@@ -1,0 +1,25 @@
+"""Figure 10: cumulative impact of Penny's optimizations."""
+
+from conftest import record_table
+
+from repro.experiments import fig10
+from repro.experiments.harness import format_overhead_table
+
+
+def test_fig10_cumulative_opts(benchmark):
+    table = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    record_table(
+        "Fig. 10",
+        format_overhead_table(
+            table, "Fig. 10 — accumulated optimization impact"
+        ),
+    )
+    names = list(fig10.CUMULATIVE_CONFIGS)
+    gmeans = [table[n]["gmean"] for n in names]
+    # fully optimized Penny must beat the unoptimized configuration,
+    # and the paper's conclusion — all optimizations combined beat every
+    # prefix — must hold
+    assert gmeans[-1] <= min(gmeans) + 1e-9
+    benchmark.extra_info["gmeans"] = dict(
+        zip(names, (round(g, 4) for g in gmeans))
+    )

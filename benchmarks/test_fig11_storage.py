@@ -1,0 +1,33 @@
+"""Figure 11: storage assignment x overwrite-prevention sensitivity."""
+
+from conftest import record_table
+
+from repro.experiments import fig11
+from repro.experiments.harness import format_overhead_table
+
+
+def test_fig11_storage_sensitivity(benchmark):
+    table = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    record_table(
+        "Fig. 11",
+        format_overhead_table(
+            table, "Fig. 11 — storage assignment / overwrite prevention"
+        ),
+    )
+    # auto storage+selection beats both all-global variants (the paper's
+    # point about automatic assignment)
+    assert (
+        table["Auto/Auto_select"]["gmean"]
+        <= table["Global/RR"]["gmean"] + 1e-9
+    )
+    assert (
+        table["Auto/Auto_select"]["gmean"]
+        <= table["Global/SA"]["gmean"] + 1e-9
+    )
+    # overwrite prevention is nearly free (last two bars almost equal)
+    gap = (
+        table["Auto/Auto_select"]["gmean"]
+        - table["Auto/No_protection"]["gmean"]
+    )
+    assert gap < 0.06
+    benchmark.extra_info["protection_cost_pp"] = round(gap * 100, 2)

@@ -1,0 +1,34 @@
+"""Figure 12: checkpoints removed by basic vs optimal pruning."""
+
+from conftest import record_table
+
+from repro.experiments import fig12
+
+
+def test_fig12_pruning_breakdown(benchmark):
+    rows = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    lines = [
+        "Fig. 12 — checkpoints removed by basic/optimal pruning",
+        "paper averages: basic ~30%, optimal ~75%",
+        "",
+        f"{'bench':8}{'total':>7}{'basic':>7}{'extra':>7}{'commit':>8}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['abbr']:8}{r['total']:>7}{r['basic']:>7}"
+            f"{r['additional']:>7}{r['committed']:>8}"
+        )
+    with_cps = [r for r in rows if r["total"]]
+    avg_basic = sum(r["basic_frac"] for r in with_cps) / len(with_cps)
+    avg_opt = sum(r["optimal_frac"] for r in with_cps) / len(with_cps)
+    lines.append(
+        f"avg pruned: basic {avg_basic * 100:.0f}%, optimal {avg_opt * 100:.0f}%"
+    )
+    record_table("Fig. 12", "\n".join(lines))
+
+    # optimal pruning strictly dominates the random search
+    assert avg_opt >= avg_basic
+    # and removes a substantial fraction overall (paper: ~75%)
+    assert avg_opt > 0.4
+    benchmark.extra_info["avg_basic"] = round(avg_basic, 3)
+    benchmark.extra_info["avg_optimal"] = round(avg_opt, 3)

@@ -1,0 +1,26 @@
+"""Figure 13: runtime impact of no/basic/optimal checkpoint pruning."""
+
+from conftest import record_table
+
+from repro.experiments import fig13
+from repro.experiments.harness import format_overhead_table
+
+
+def test_fig13_pruning_performance(benchmark):
+    table = benchmark.pedantic(fig13.run, rounds=1, iterations=1)
+    record_table(
+        "Fig. 13",
+        format_overhead_table(
+            table,
+            "Fig. 13 — pruning performance impact\n"
+            "paper averages: none 1.562, basic 1.295, optimal 1.057",
+        ),
+    )
+    assert (
+        table["Opt_pruning"]["gmean"]
+        <= table["Basic_pruning"]["gmean"] + 1e-9
+        <= table["No_pruning"]["gmean"] + 1e-9
+    )
+    benchmark.extra_info["gmeans"] = {
+        k: round(v["gmean"], 4) for k, v in table.items()
+    }

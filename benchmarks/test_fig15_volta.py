@@ -1,0 +1,28 @@
+"""Figure 15: the scheme comparison on the Volta-class Titan V."""
+
+from conftest import record_table
+
+from repro.experiments import fig15
+from repro.experiments.harness import format_overhead_table
+
+
+def test_fig15_volta(benchmark):
+    table = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    record_table(
+        "Fig. 15",
+        format_overhead_table(
+            table,
+            "Fig. 15 — fault-free overhead on Titan V (Volta, 19 apps)\n"
+            "paper: same trend as Fermi, Penny ~3.6%",
+        ),
+    )
+    # the paper's conclusion: Volta shows the same trend as Fermi
+    assert (
+        table["Penny"]["gmean"]
+        < table["Bolt/Auto_storage"]["gmean"]
+        < table["Bolt/Global"]["gmean"]
+    )
+    assert table["Penny"]["gmean"] < 1.10
+    benchmark.extra_info["gmeans"] = {
+        k: round(v["gmean"], 4) for k, v in table.items()
+    }

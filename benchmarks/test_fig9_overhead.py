@@ -1,0 +1,33 @@
+"""Figure 9: fault-free execution overhead of iGPU / Bolt / Penny across
+all 25 benchmarks on the Fermi target."""
+
+from conftest import record_table
+
+from repro.experiments import fig9
+from repro.experiments.harness import format_overhead_table
+
+
+def test_fig9_overhead(benchmark):
+    table = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    record_table(
+        "Fig. 9",
+        format_overhead_table(
+            table,
+            "Fig. 9 — fault-free execution time, normalized (Fermi)\n"
+            "paper gmeans: iGPU 1.023, Bolt/Global 1.665, "
+            "Bolt/Auto 1.385, Penny 1.033",
+        ),
+    )
+    # the paper's headline orderings
+    assert (
+        table["Penny"]["gmean"]
+        < table["Bolt/Auto_storage"]["gmean"]
+        < table["Bolt/Global"]["gmean"]
+    )
+    # Penny's overhead is a few percent
+    assert table["Penny"]["gmean"] < 1.10
+    # iGPU (ECC-dependent) stays near baseline
+    assert table["iGPU"]["gmean"] < 1.05
+    benchmark.extra_info["gmeans"] = {
+        scheme: round(table[scheme]["gmean"], 4) for scheme in table
+    }

@@ -1,0 +1,17 @@
+"""Table 1: storage cost of ECC vs Penny coding per error magnitude."""
+
+from conftest import record_table
+
+from repro.coding.schemes import format_storage_cost_table
+from repro.experiments import table1
+
+
+def test_table1_storage_cost(benchmark):
+    rows = benchmark(table1.run)
+    assert table1.verify()
+    record_table(
+        "Table 1",
+        "Table 1 — storage cost (matches paper exactly)\n\n"
+        + format_storage_cost_table(),
+    )
+    assert len(rows) == 3

@@ -1,0 +1,18 @@
+"""Table 2: per-bank hardware overheads from the CACTI/synthesis stand-in."""
+
+from conftest import record_table
+
+from repro.coding.hwcost import format_hardware_cost_table
+from repro.experiments import table2
+
+
+def test_table2_hw_cost(benchmark):
+    rows = benchmark(table2.run)
+    assert table2.max_deviation() < 0.005  # within half a percentage point
+    record_table(
+        "Table 2",
+        "Table 2 — hardware overheads per bank "
+        f"(max deviation {table2.max_deviation() * 100:.2f} pp)\n\n"
+        + format_hardware_cost_table(),
+    )
+    assert len(rows) == 3

@@ -1,0 +1,15 @@
+"""Table 3: the 25-application benchmark suite."""
+
+from conftest import record_table
+
+from repro.experiments import table3
+
+
+def test_table3_suite(benchmark):
+    rows = benchmark(table3.run)
+    assert table3.verify()
+    lines = ["Table 3 — applications used for evaluation", ""]
+    for r in rows:
+        lines.append(f"  {r['abbr']:7} {r['name']:42} {r['suite']}")
+    record_table("Table 3", "\n".join(lines))
+    assert len(rows) == 25

@@ -1,0 +1,55 @@
+"""The paper's motivating workload: binomialOptions (§1, §3.1).
+
+The paper observes that adding just two checkpointing stores to
+binomialOptions' inner-most loop costs 26.7% — GPUs have no store buffer to
+hide them — and that Penny's optimizations claw almost all of it back.
+This example reproduces that story end to end on the BO benchmark:
+
+1. Bolt's eager checkpointing with everything in global memory,
+2. Bolt plus automatic storage assignment,
+3. full Penny (bimodal placement + optimal pruning + low-level opts),
+
+each measured against the unmodified kernel with the analytic timing model.
+
+Run:  python examples/binomial_options.py
+"""
+
+from repro.bench import get_benchmark
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_PENNY,
+)
+from repro.experiments.harness import measure_baseline, measure_scheme
+
+
+def main():
+    bench = get_benchmark("BO")
+    print(f"benchmark: {bench.abbr} — {bench.name} ({bench.suite})")
+
+    base = measure_baseline(bench)
+    print(f"\nbaseline cycles: {base.cycles:,.0f} "
+          f"(bound: {base.timing.bound}, "
+          f"occupancy: {base.timing.occupancy.warps_per_sm} warps/SM)")
+
+    print(f"\n{'scheme':24}{'normalized':>12}{'checkpoints':>14}"
+          f"{'pruned':>9}")
+    for scheme in (SCHEME_BOLT_GLOBAL, SCHEME_BOLT_AUTO, SCHEME_PENNY):
+        m = measure_scheme(bench, scheme, baseline_cycles=base.cycles)
+        stats = m.compile_result.stats
+        print(
+            f"{scheme:24}{m.normalized:>12.3f}"
+            f"{int(stats['checkpoints_total']):>14}"
+            f"{int(stats['checkpoints_pruned']):>9}"
+        )
+
+    print(
+        "\nThe ordering mirrors the paper: eager global-memory checkpoints "
+        "in the\nbackward-induction loop are punishing; automatic storage "
+        "assignment\nrecovers part of it; bimodal placement + optimal "
+        "pruning + address\nLICM bring the overhead down to a few percent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""A tour of Penny's compilation phases on hand-written PTX.
+
+Feeds a PTX-subset kernel (as text) through each phase separately —
+region formation, live-in/LUP analysis, bimodal placement, hazard
+detection, pruning — printing what every stage decides.  Useful to
+understand the pipeline before reading the pass sources.
+
+Run:  python examples/compiler_tour.py
+"""
+
+from repro.analysis import CFG, AliasAnalysis, LoopInfo, ReachingDefs
+from repro.analysis.postdom import ControlDependence
+from repro.core.bimodal import bimodal_plan
+from repro.core.checkpoints import CheckpointKind, PruneState
+from repro.core.costmodel import CostModel
+from repro.core.hazards import detect_hazards, materialize_instances
+from repro.core.liveins import analyze_liveins
+from repro.core.pddg import PddgValidator
+from repro.core.pruning import prune_optimal
+from repro.core.regions import form_regions
+from repro.ir import parse_kernel, print_kernel
+
+PTX = """
+.entry axpy_inplace (.param .ptr A, .param .u32 n) {
+ENTRY:
+  mov.u32 %tid, %tid.x;
+  ld.param.u32 %a, [A];
+  ld.param.u32 %n, [n];
+  mov.u32 %i, %tid;
+HEAD:
+  setp.ge.u32 %p1, %i, %n;
+  @%p1 bra EXIT;
+BODY:
+  shl.u32 %off, %i, 2;
+  add.u32 %addr, %a, %off;
+  ld.global.u32 %v, [%addr];
+  mad.u32 %v2, %v, 3, 7;
+  st.global.u32 [%addr], %v2;
+  add.u32 %i, %i, 32;
+  bra HEAD;
+EXIT:
+  ret;
+}
+"""
+
+
+def main():
+    kernel = parse_kernel(PTX)
+    print("=== input kernel ===")
+    print(print_kernel(kernel))
+
+    # Phase 1: idempotent region formation — cut the load->store
+    # anti-dependence on A[i].
+    regions = form_regions(kernel)
+    print("\n=== after region formation ===")
+    print(print_kernel(kernel))
+    print(f"\nboundaries: {sorted(regions.boundaries)} "
+          f"({regions.num_cuts} anti-dependence cut(s))")
+
+    # Phase 2: live-ins and last update points per boundary.
+    cfg = CFG(kernel)
+    rdefs = ReachingDefs(cfg)
+    liveins = analyze_liveins(kernel, regions, cfg=cfg, rdefs=rdefs)
+    print("\n=== live-ins per region boundary ===")
+    for label in sorted(regions.boundaries):
+        binfo = liveins.boundaries[label]
+        for reg in sorted(binfo.live_ins, key=lambda r: r.name):
+            lups = binfo.lups.get(reg, set())
+            where = ", ".join(
+                f"{s.label}:{s.index}" for s in sorted(
+                    lups, key=lambda s: (s.label, s.index))
+            )
+            print(f"  {label}: {reg.name:8} LUPs at [{where}]")
+
+    # Phase 3: bimodal checkpoint placement (min-weight vertex cover).
+    cost = CostModel.for_cfg(cfg, base=2)
+    plan = bimodal_plan(cfg, liveins, cost)
+    print("\n=== bimodal checkpoint placement ===")
+    for cp in plan.checkpoints:
+        where = (
+            f"after LUP {cp.site.label}:{cp.site.index}"
+            if cp.kind is CheckpointKind.LUP
+            else f"at boundary {cp.boundary}"
+        )
+        print(f"  cp {cp.reg.name:8} {where}")
+
+    # Phase 4: overwrite hazards.
+    instances = materialize_instances(plan, cfg)
+    hazardous = detect_hazards(cfg, regions, liveins, instances)
+    print(f"\nhazardous registers (need renaming or 2-slot alternation): "
+          f"{sorted(r.name for r in hazardous)}")
+
+    # Phase 5: optimal pruning over the PDDG.
+    validator = PddgValidator(
+        cfg, rdefs, plan, instances, AliasAnalysis(cfg, rdefs),
+        LoopInfo(cfg), ControlDependence(cfg), None,
+    )
+    result = prune_optimal(plan, validator)
+    print("\n=== pruning decisions ===")
+    for cp in plan.checkpoints:
+        verdict = "PRUNED " if cp.state is PruneState.PRUNED else "COMMIT "
+        slice_note = ""
+        if cp.key in result.slices:
+            from repro.core.slices import slice_size
+
+            slice_note = (
+                f" (recovery slice, {slice_size(result.slices[cp.key])} nodes)"
+            )
+        print(f"  {verdict} {cp.reg.name}{slice_note}")
+    print(f"\nstats: {result.stats}")
+
+
+if __name__ == "__main__":
+    main()

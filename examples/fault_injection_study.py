@@ -1,0 +1,78 @@
+"""Fault-injection study: detection coding vs error magnitude (Table 1 in
+action).
+
+Penny's claim is that a cheap detection code plus idempotent re-execution
+matches the resilience of much more expensive ECC.  This study injects 1-
+and 2-bit register faults into the Penny-protected STC kernel under two
+register-file codings:
+
+- single parity (33,32) — Penny's 1-bit detector,
+- SECDED (39,32) used detection-only — Penny's 3-bit detector,
+
+and tabulates the outcomes.  Single-bit faults are always masked or
+recovered under both codings; 2-bit faults escape parity (SDC / crash) but
+are fully recovered under SECDED — exactly Table 1's "match the code to the
+expected error magnitude" message.
+
+Run:  python examples/fault_injection_study.py
+"""
+
+from repro.bench import get_benchmark
+from repro.coding import ParityCode, SecdedCode
+from repro.core.pipeline import PennyCompiler
+from repro.core.schemes import SCHEME_PENNY, scheme_config
+from repro.gpusim import FaultCampaign
+
+
+def run_campaign(kernel, workload, code_factory, bits, n=40, seed=1234):
+    campaign = FaultCampaign(
+        kernel,
+        workload.launch,
+        workload.make_memory,
+        workload.output_region(),
+        rf_code_factory=code_factory,
+    )
+    return campaign.run_random(n, seed=seed, bits_per_fault=bits).summary()
+
+
+def main():
+    bench = get_benchmark("STC")
+    workload = bench.workload()
+    result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+        bench.fresh_kernel(), workload.launch_config
+    )
+    print(f"kernel: {bench.abbr} ({bench.name}), Penny-protected, "
+          f"{int(result.stats['checkpoints_committed'])} committed "
+          f"checkpoints\n")
+
+    configs = [
+        ("parity (33,32)", lambda: ParityCode(32), 1),
+        ("parity (33,32)", lambda: ParityCode(32), 2),
+        ("SECDED (39,32)", lambda: SecdedCode(32), 1),
+        ("SECDED (39,32)", lambda: SecdedCode(32), 2),
+    ]
+    header = (
+        f"{'RF coding':18}{'fault':>7}{'masked':>9}{'recovered':>11}"
+        f"{'sdc':>6}{'due':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, factory, bits in configs:
+        summary = run_campaign(result.kernel, workload, factory, bits)
+        print(
+            f"{name:18}{f'{bits}-bit':>7}{summary['masked']:>9}"
+            f"{summary['recovered']:>11}{summary['sdc']:>6}"
+            f"{summary['due']:>6}"
+        )
+
+    print(
+        "\n1-bit faults: zero SDC under either coding — idempotent recovery "
+        "corrects\neverything the code detects.  2-bit faults slip past "
+        "single parity but are\nfully detected (and therefore recovered) "
+        "under SECDED-as-detector, at a\nfraction of DECTED ECC's hardware "
+        "cost (Table 1: 21.9% vs 71.9%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Analyze protection overhead for your own kernel, configuration by
+configuration.
+
+Shows the analysis workflow a performance engineer would use before
+deploying Penny: take one kernel (here the paper's STC worst case), sweep
+the compiler's knobs, and break each variant down into *where* the cycles
+go (issue vs LSU vs latency bound, occupancy) and *why* (checkpoint
+counts, storage placement).
+
+Run:  python examples/overhead_analysis.py
+"""
+
+from repro.bench import get_benchmark
+from repro.core.pipeline import PennyCompiler, PennyConfig
+from repro.experiments.harness import measure_baseline, measure_scheme
+from repro.gpusim.config import FERMI_C2050
+
+
+VARIANTS = [
+    ("everything off", PennyConfig(
+        name="off", placement="eager", pruning="none",
+        storage_mode="global", overwrite="sa", low_opts=False)),
+    ("+ shared storage", PennyConfig(
+        name="sh", placement="eager", pruning="none",
+        storage_mode="auto", overwrite="sa", low_opts=False)),
+    ("+ bimodal placement", PennyConfig(
+        name="bcp", placement="bimodal", pruning="none",
+        storage_mode="auto", overwrite="sa", low_opts=False)),
+    ("+ optimal pruning", PennyConfig(
+        name="prune", placement="bimodal", pruning="optimal",
+        storage_mode="auto", overwrite="sa", low_opts=False)),
+    ("+ address LICM/CSE", PennyConfig(
+        name="full", placement="bimodal", pruning="optimal",
+        storage_mode="auto", overwrite="sa", low_opts=True)),
+]
+
+
+def main():
+    bench = get_benchmark("STC")
+    base = measure_baseline(bench, FERMI_C2050)
+    print(f"kernel: {bench.abbr} ({bench.name})")
+    print(
+        f"baseline: {base.cycles:,.0f} cycles, bound={base.timing.bound}, "
+        f"{base.timing.occupancy.warps_per_sm} warps/SM "
+        f"(limited by {base.timing.occupancy.limiter})\n"
+    )
+
+    header = (
+        f"{'configuration':22}{'overhead':>10}{'bound':>9}"
+        f"{'cp stores':>11}{'committed':>11}{'shared B':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, config in VARIANTS:
+        m = measure_scheme(
+            bench, "custom", FERMI_C2050,
+            baseline_cycles=base.cycles, config_override=config,
+        )
+        stats = m.compile_result.stats
+        print(
+            f"{label:22}{(m.normalized - 1) * 100:>9.1f}%"
+            f"{m.timing.bound:>9}"
+            f"{int(stats['emitted_checkpoints']):>11}"
+            f"{int(stats['checkpoints_committed']):>11}"
+            f"{int(stats['shared_ckpt_bytes']):>10}"
+        )
+
+    print(
+        "\nReading the table: storage placement moves checkpoint stores "
+        "from the\nglobal LSU path to shared memory; bimodal placement and "
+        "pruning remove\nstores outright; address LICM turns each remaining "
+        "checkpoint into a single\nstore.  STC's floor is set by its "
+        "loop-carried registers — the paper's 19%\nworst case, a few "
+        "percent here at miniature scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

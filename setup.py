@@ -1,0 +1,4 @@
+"""Setup shim for environments installing without PEP 517 build isolation."""
+from setuptools import setup
+
+setup()

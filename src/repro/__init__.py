@@ -1,0 +1,72 @@
+"""Penny: compiler-directed soft error resilience for lightweight GPU
+register file protection — a from-scratch reproduction of the PLDI 2020
+paper, with every substrate it depends on.
+
+Quickstart::
+
+    from repro import (
+        KernelBuilder, PennyCompiler, PennyConfig, LaunchConfig,
+        Executor, Launch, MemoryImage, FaultCampaign,
+    )
+
+    kernel = ...            # build or parse a PTX-subset kernel
+    result = PennyCompiler(PennyConfig()).compile(kernel, LaunchConfig())
+    Executor(result.kernel).run(Launch(...), MemoryImage())
+
+Packages:
+
+- :mod:`repro.coding`      — EDC/ECC codes and hardware cost models
+- :mod:`repro.ir`          — the PTX-subset compiler IR
+- :mod:`repro.analysis`    — CFG / dataflow / alias analyses
+- :mod:`repro.regalloc`    — register allocation (CRAT stand-in)
+- :mod:`repro.core`        — the Penny compiler itself
+- :mod:`repro.gpusim`      — GPU simulator, recovery runtime, fault injection
+- :mod:`repro.bench`       — the 25 Table-3 benchmarks
+- :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+from repro.core.pipeline import (
+    CompileResult,
+    LaunchConfig,
+    PennyCompiler,
+    PennyConfig,
+)
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_IGPU,
+    SCHEME_PENNY,
+    scheme_config,
+)
+from repro.gpusim.executor import Executor, Launch
+from repro.gpusim.faults import FaultCampaign, FaultOutcome, FaultPlan
+from repro.gpusim.memory import MemoryImage
+from repro.ir.builder import KernelBuilder
+from repro.ir.parser import parse_kernel, parse_module
+from repro.ir.printer import print_kernel, print_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PennyCompiler",
+    "PennyConfig",
+    "CompileResult",
+    "LaunchConfig",
+    "SCHEME_IGPU",
+    "SCHEME_BOLT_GLOBAL",
+    "SCHEME_BOLT_AUTO",
+    "SCHEME_PENNY",
+    "scheme_config",
+    "Executor",
+    "Launch",
+    "MemoryImage",
+    "FaultCampaign",
+    "FaultPlan",
+    "FaultOutcome",
+    "KernelBuilder",
+    "parse_kernel",
+    "parse_module",
+    "print_kernel",
+    "print_module",
+    "__version__",
+]

@@ -1,0 +1,103 @@
+"""Memory anti-dependence detection.
+
+An idempotent region must not overwrite its own memory inputs, so region
+formation (§5) needs every *memory anti-dependence*: a load followed (on
+some control path) by a store that may write the loaded location.  Each
+such pair demands at least one region boundary on every load→store path.
+
+Checkpoint stores that Penny itself inserts never create anti-dependences
+(they write dedicated checkpoint storage), so detection runs before
+checkpoint insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.analysis.cfg import CFG
+from repro.ir.instructions import Atom, Ld, St
+from repro.ir.types import MemSpace
+
+
+@dataclass(frozen=True)
+class AntiDependence:
+    """A (load, store) pair that may touch the same memory location.
+
+    ``load_at``/``store_at`` are (block label, instruction index).  The
+    anti-dependence constrains every path from the load to the store —
+    including paths around loop back edges, which is why a pair whose store
+    precedes its load in layout order is still meaningful.
+    """
+
+    load_at: Tuple[str, int]
+    store_at: Tuple[str, int]
+    result: AliasResult
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"anti-dep {self.load_at[0]}:{self.load_at[1]} -> "
+            f"{self.store_at[0]}:{self.store_at[1]} ({self.result.value})"
+        )
+
+
+def find_memory_antideps(
+    cfg: CFG, aa: Optional[AliasAnalysis] = None
+) -> List[AntiDependence]:
+    """All may-anti-dependences in a kernel.
+
+    A pair (load, store) is reported when the store may alias the load and
+    the store is reachable from the load (possibly via back edges).  Loads
+    from read-only spaces cannot participate (they can never be
+    overwritten), which prunes the common param/const accesses.
+    """
+    aa = aa or AliasAnalysis(cfg)
+    loads: List[Tuple[str, int, object]] = []
+    stores: List[Tuple[str, int, object]] = []
+    for blk in cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if isinstance(inst, (Ld, Atom)) and inst.is_memory_read:
+                if not inst.space.read_only:
+                    loads.append((blk.label, i, inst))
+            if isinstance(inst, (St, Atom)) and inst.is_memory_write:
+                stores.append((blk.label, i, inst))
+
+    deps: List[AntiDependence] = []
+    for lbl_l, idx_l, ld in loads:
+        addr_l = aa.address_of(lbl_l, idx_l)
+        for lbl_s, idx_s, st in stores:
+            if lbl_l == lbl_s and idx_s == idx_l:
+                continue  # an atomic is not anti-dependent on itself
+            addr_s = aa.address_of(lbl_s, idx_s)
+            result = aa.alias(addr_l, addr_s)
+            if result is AliasResult.NO:
+                continue
+            if not _store_reachable_from_load(cfg, (lbl_l, idx_l), (lbl_s, idx_s)):
+                continue
+            deps.append(
+                AntiDependence((lbl_l, idx_l), (lbl_s, idx_s), result)
+            )
+    return deps
+
+
+def _store_reachable_from_load(
+    cfg: CFG, load_at: Tuple[str, int], store_at: Tuple[str, int]
+) -> bool:
+    """Can execution reach the store after executing the load?"""
+    lbl_l, idx_l = load_at
+    lbl_s, idx_s = store_at
+    if lbl_l == lbl_s and idx_s > idx_l:
+        return True
+    # Otherwise the store must be reachable through a successor path.
+    seen = set()
+    stack = list(cfg.successors(lbl_l))
+    while stack:
+        label = stack.pop()
+        if label == lbl_s:
+            return True
+        if label in seen:
+            continue
+        seen.add(label)
+        stack.extend(cfg.successors(label))
+    return False

@@ -1,0 +1,75 @@
+"""Iterative dominator computation (Cooper-Harvey-Kennedy style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.cfg import CFG
+
+
+class Dominators:
+    """Immediate-dominator tree for a CFG.
+
+    Unreachable blocks have no immediate dominator and dominate nothing.
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        rpo = [label for label in cfg.reverse_postorder()]
+        reachable = cfg.reachable()
+        rpo = [label for label in rpo if label in reachable]
+        order: Dict[str, int] = {label: i for i, label in enumerate(rpo)}
+        idom: Dict[str, Optional[str]] = {label: None for label in rpo}
+        idom[cfg.entry] = cfg.entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while order[a] > order[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while order[b] > order[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == cfg.entry:
+                    continue
+                preds = [
+                    p
+                    for p in cfg.predecessors(label)
+                    if p in order and idom[p] is not None
+                ]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = intersect(new_idom, p)
+                if idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+
+        self.idom: Dict[str, Optional[str]] = idom
+        self.idom[cfg.entry] = None  # conventional: entry has no idom
+        self._order = order
+
+    def dominates(self, a: str, b: str) -> bool:
+        """Does block ``a`` dominate block ``b``?  (Reflexive.)"""
+        if a == b:
+            return True
+        runner: Optional[str] = self.idom.get(b)
+        while runner is not None:
+            if runner == a:
+                return True
+            runner = self.idom.get(runner)
+        return False
+
+    def dominators_of(self, label: str) -> List[str]:
+        """All dominators of ``label``, innermost-out (label itself first)."""
+        result = [label]
+        runner = self.idom.get(label)
+        while runner is not None:
+            result.append(runner)
+            runner = self.idom.get(runner)
+        return result

@@ -1,0 +1,82 @@
+"""Backward liveness analysis with per-instruction-point queries.
+
+Penny needs liveness at two granularities: live-in registers of each region
+boundary (boundaries are normalized to block entries) and last-update-point
+discovery, which walks definitions against per-point live sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.analysis.cfg import CFG
+from repro.ir.types import Reg
+
+
+class Liveness:
+    """Register liveness per block entry/exit and per instruction point."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.live_in: Dict[str, Set[Reg]] = {}
+        self.live_out: Dict[str, Set[Reg]] = {}
+        self._use: Dict[str, Set[Reg]] = {}
+        self._def: Dict[str, Set[Reg]] = {}
+
+        for blk in cfg.blocks:
+            use: Set[Reg] = set()
+            defs: Set[Reg] = set()
+            for inst in blk.instructions:
+                for r in inst.reg_uses():
+                    if r not in defs:
+                        use.add(r)
+                for r in inst.defs():
+                    # A guarded def may not execute; conservatively the old
+                    # value can flow through, so do not treat it as a kill.
+                    if inst.guard is None:
+                        defs.add(r)
+            self._use[blk.label] = use
+            self._def[blk.label] = defs
+            self.live_in[blk.label] = set()
+            self.live_out[blk.label] = set()
+
+        changed = True
+        while changed:
+            changed = False
+            for blk in reversed(cfg.blocks):
+                label = blk.label
+                out: Set[Reg] = set()
+                for succ in cfg.successors(label):
+                    out |= self.live_in[succ]
+                new_in = self._use[label] | (out - self._def[label])
+                if out != self.live_out[label] or new_in != self.live_in[label]:
+                    self.live_out[label] = out
+                    self.live_in[label] = new_in
+                    changed = True
+
+        self._points: Dict[str, List[Set[Reg]]] = {}
+
+    def live_points(self, label: str) -> List[Set[Reg]]:
+        """``points[i]`` = registers live immediately *before* instruction
+        ``i`` of the block; ``points[len]`` = live at block exit."""
+        if label in self._points:
+            return self._points[label]
+        blk = self.cfg.block(label)
+        n = len(blk.instructions)
+        points: List[Set[Reg]] = [set() for _ in range(n + 1)]
+        points[n] = set(self.live_out[label])
+        for i in range(n - 1, -1, -1):
+            inst = blk.instructions[i]
+            live = set(points[i + 1])
+            if inst.guard is None:
+                live -= set(inst.defs())
+            live |= set(inst.reg_uses())
+            points[i] = live
+        self._points[label] = points
+        return points
+
+    def live_before(self, label: str, index: int) -> Set[Reg]:
+        return self.live_points(label)[index]
+
+    def live_after(self, label: str, index: int) -> Set[Reg]:
+        return self.live_points(label)[index + 1]

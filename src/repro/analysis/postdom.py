@@ -1,0 +1,164 @@
+"""Postdominators and control dependence.
+
+Penny's PDDG contains *predicate dependences*: a value defined on multiple
+paths depends on the predicates of the branches its definitions are
+control-dependent on (§6.4.1).  Control dependence is computed classically:
+block X is control-dependent on branch edge (P → S) when X postdominates S
+but does not postdominate P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.cfg import CFG
+from repro.ir.instructions import Bra
+from repro.ir.types import Reg
+
+
+class PostDominators:
+    """Immediate postdominator tree, computed on the reversed CFG.
+
+    Kernels may have several exit blocks (every ``ret``); a virtual exit
+    node joins them.
+    """
+
+    VIRTUAL_EXIT = "<exit>"
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        exits = [
+            blk.label
+            for blk in cfg.blocks
+            if not cfg.successors(blk.label)
+        ]
+        nodes = [blk.label for blk in cfg.blocks] + [self.VIRTUAL_EXIT]
+        rsuccs: Dict[str, List[str]] = {n: [] for n in nodes}  # reversed succs = preds
+        for label in (blk.label for blk in cfg.blocks):
+            rsuccs[label] = list(cfg.successors(label)) or [self.VIRTUAL_EXIT]
+
+        # Reverse postorder on the reversed graph, from the virtual exit.
+        rpreds: Dict[str, List[str]] = {n: [] for n in nodes}
+        for n, succs in rsuccs.items():
+            for s in succs:
+                rpreds[s].append(n)
+
+        visited: Set[str] = set()
+        postorder: List[str] = []
+
+        def dfs(start: str) -> None:
+            stack = [(start, iter(rpreds[start]))]
+            visited.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(rpreds[nxt])))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(node)
+                    stack.pop()
+
+        dfs(self.VIRTUAL_EXIT)
+        order = {label: i for i, label in enumerate(reversed(postorder))}
+
+        ipdom: Dict[str, Optional[str]] = {n: None for n in nodes}
+        ipdom[self.VIRTUAL_EXIT] = self.VIRTUAL_EXIT
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while order[a] > order[b]:
+                    a = ipdom[a]  # type: ignore[assignment]
+                while order[b] > order[a]:
+                    b = ipdom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in sorted(order, key=order.get):
+                if label == self.VIRTUAL_EXIT:
+                    continue
+                preds = [
+                    s
+                    for s in rsuccs.get(label, [])
+                    if s in order and ipdom[s] is not None
+                ]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = intersect(new, p)
+                if ipdom[label] != new:
+                    ipdom[label] = new
+                    changed = True
+        ipdom[self.VIRTUAL_EXIT] = None
+        self.ipdom = ipdom
+
+    def postdominates(self, a: str, b: str) -> bool:
+        """Does ``a`` postdominate ``b``?  (Reflexive.)"""
+        if a == b:
+            return True
+        runner = self.ipdom.get(b)
+        while runner is not None:
+            if runner == a:
+                return True
+            runner = self.ipdom.get(runner)
+        return False
+
+
+@dataclass(frozen=True)
+class ControlDep:
+    """Block is control-dependent on the guarded branch ending ``branch_block``
+    with predicate ``pred``; ``sense`` is the predicate value steering onto
+    the dependent edge (True = branch taken)."""
+
+    branch_block: str
+    pred: Reg
+    sense: bool
+
+
+class ControlDependence:
+    """Per-block control dependences (only guarded-branch blocks qualify —
+    unconditional control flow creates none)."""
+
+    def __init__(self, cfg: CFG, pdom: Optional[PostDominators] = None):
+        self.cfg = cfg
+        pdom = pdom or PostDominators(cfg)
+        self.deps: Dict[str, Set[ControlDep]] = {
+            blk.label: set() for blk in cfg.blocks
+        }
+        for blk in cfg.blocks:
+            guard_branch = None
+            for inst in blk.instructions:
+                if isinstance(inst, Bra) and inst.guard is not None:
+                    guard_branch = inst
+            if guard_branch is None:
+                continue
+            pred_reg, guard_sense = guard_branch.guard
+            taken = guard_branch.target
+            succs = cfg.successors(blk.label)
+            fallthrough = next((s for s in succs if s != taken), None)
+            for succ, on_taken in ((taken, True), (fallthrough, False)):
+                if succ is None:
+                    continue
+                # All blocks X postdominating succ but not blk are
+                # control-dependent on this edge.
+                runner: Optional[str] = succ
+                while runner is not None and not pdom.postdominates(
+                    runner, blk.label
+                ):
+                    sense = on_taken if guard_sense else not on_taken
+                    self.deps[runner].add(
+                        ControlDep(blk.label, pred_reg, sense)
+                    )
+                    runner = pdom.ipdom.get(runner)
+                    if runner == PostDominators.VIRTUAL_EXIT:
+                        break
+
+    def of(self, label: str) -> Set[ControlDep]:
+        return self.deps.get(label, set())

@@ -1,0 +1,136 @@
+"""Reaching definitions and def-use chains.
+
+Penny's PDDG (predicate/data dependence graph, §6.4) is built from def-use
+chains: the definitions of a register that reach each of its uses.  Because
+the IR is not SSA, a use may be reached by several definitions (one per
+control path) — that is exactly when Penny adds *predicate dependences*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.analysis.cfg import CFG
+from repro.ir.types import Reg
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """A definition site: instruction ``index`` in block ``label`` defining
+    ``reg``.  ``ENTRY_INDEX`` marks the synthetic definition at kernel entry
+    for registers used before any real definition (uninitialized reads)."""
+
+    label: str
+    index: int
+    reg: Reg
+
+    ENTRY_INDEX = -1
+
+    @property
+    def is_entry(self) -> bool:
+        return self.index == DefSite.ENTRY_INDEX
+
+
+class ReachingDefs:
+    """Forward may-analysis of definition sites."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+
+        # Collect all def sites per register.
+        self.defs_of: Dict[Reg, List[DefSite]] = {}
+        gen: Dict[str, Dict[Reg, Set[DefSite]]] = {}
+        kill_regs: Dict[str, Set[Reg]] = {}
+        for blk in cfg.blocks:
+            bgen: Dict[Reg, Set[DefSite]] = {}
+            bkill: Set[Reg] = set()
+            for i, inst in enumerate(blk.instructions):
+                for r in inst.defs():
+                    site = DefSite(blk.label, i, r)
+                    self.defs_of.setdefault(r, []).append(site)
+                    if inst.guard is None:
+                        bgen[r] = {site}
+                        bkill.add(r)
+                    else:
+                        bgen.setdefault(r, set()).add(site)
+            gen[blk.label] = bgen
+            kill_regs[blk.label] = bkill
+
+        # Entry pseudo-defs for registers ever used; filtered during queries.
+        self._entry_sites: Dict[Reg, DefSite] = {}
+
+        self.in_sets: Dict[str, Dict[Reg, Set[DefSite]]] = {
+            blk.label: {} for blk in cfg.blocks
+        }
+        self.out_sets: Dict[str, Dict[Reg, Set[DefSite]]] = {
+            blk.label: {} for blk in cfg.blocks
+        }
+
+        changed = True
+        order = cfg.reverse_postorder()
+        while changed:
+            changed = False
+            for label in order:
+                in_map: Dict[Reg, Set[DefSite]] = {}
+                for pred in cfg.predecessors(label):
+                    for reg, sites in self.out_sets[pred].items():
+                        in_map.setdefault(reg, set()).update(sites)
+                out_map: Dict[Reg, Set[DefSite]] = {
+                    reg: (
+                        set(sites)
+                        if reg not in kill_regs[label]
+                        else set()
+                    )
+                    for reg, sites in in_map.items()
+                }
+                for reg, sites in gen[label].items():
+                    out_map.setdefault(reg, set()).update(sites)
+                # Drop empty sets created by kills.
+                out_map = {r: s for r, s in out_map.items() if s}
+                if in_map != self.in_sets[label] or out_map != self.out_sets[label]:
+                    self.in_sets[label] = in_map
+                    self.out_sets[label] = out_map
+                    changed = True
+
+        self._gen = gen
+        self._kill = kill_regs
+
+    def entry_site(self, reg: Reg) -> DefSite:
+        if reg not in self._entry_sites:
+            self._entry_sites[reg] = DefSite(
+                self.cfg.entry, DefSite.ENTRY_INDEX, reg
+            )
+        return self._entry_sites[reg]
+
+    def reaching_at(self, label: str, index: int, reg: Reg) -> FrozenSet[DefSite]:
+        """Definitions of ``reg`` reaching the point just before instruction
+        ``index`` of block ``label``.  An empty result means the register is
+        read uninitialized on every path; a result containing an entry site
+        means it *may* be read uninitialized."""
+        blk = self.cfg.block(label)
+        sites: Set[DefSite] = set(self.in_sets[label].get(reg, set()))
+        may_be_entry = not sites and label == self.cfg.entry
+        for i in range(index):
+            inst = blk.instructions[i]
+            for r in inst.defs():
+                if r == reg:
+                    if inst.guard is None:
+                        sites = {DefSite(label, i, reg)}
+                        may_be_entry = False
+                    else:
+                        sites.add(DefSite(label, i, reg))
+        if may_be_entry and not sites:
+            return frozenset({self.entry_site(reg)})
+        return frozenset(sites)
+
+    def defs_reaching_use(
+        self, label: str, index: int
+    ) -> Dict[Reg, FrozenSet[DefSite]]:
+        """For each register used by instruction ``index`` in ``label``, the
+        definitions that reach that use."""
+        blk = self.cfg.block(label)
+        inst = blk.instructions[index]
+        return {
+            r: self.reaching_at(label, index, r) for r in set(inst.reg_uses())
+        }

@@ -1,0 +1,23 @@
+"""Benchmark suite: the 25 applications of the paper's Table 3.
+
+Each benchmark is a PTX-subset kernel with the *computational skeleton* of
+its namesake (tiling, stencils, reductions, in-place updates, divergent
+traversal — see DESIGN.md §4 on this substitution) plus a deterministic
+workload the simulator can execute and verify.
+"""
+
+from repro.bench.suite import (
+    ALL_BENCHMARKS,
+    Benchmark,
+    Workload,
+    benchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "Benchmark",
+    "Workload",
+    "benchmark",
+    "get_benchmark",
+]

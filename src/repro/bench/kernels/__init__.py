@@ -1,0 +1,1 @@
+"""Kernel builders for the 25 Table 3 benchmarks, grouped by suite."""

@@ -1,0 +1,33 @@
+"""Shared idioms for benchmark kernels."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.types import Reg
+
+
+def grid_stride(b: KernelBuilder) -> Tuple[Reg, Reg]:
+    """Classic grid-stride prologue: returns (global thread id, stride)."""
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    nctaid = b.special_u32("%nctaid.x")
+    gtid = b.mad(ctaid, ntid, tid)
+    stride = b.mul(ntid, nctaid)
+    return gtid, stride
+
+
+def byte_offset(b: KernelBuilder, base: Reg, index, shift: int = 2) -> Reg:
+    """base + (index << shift) — the 4-byte indexed address idiom."""
+    off = b.shl(index, shift)
+    return b.add(base, off)
+
+
+def sigmoid(b: KernelBuilder, x: Reg) -> Reg:
+    """1 / (1 + 2^(-1.4427 * x)) — fp32 logistic via the SFU ex2 unit."""
+    scaled = b.mul(x, -1.4426950408889634, dtype="f32")
+    e = b.ex2(scaled)
+    denom = b.add(e, 1.0, dtype="f32")
+    return b.rcp(denom)

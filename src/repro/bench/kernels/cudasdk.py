@@ -1,0 +1,482 @@
+"""CUDA toolkit sample kernels: BO, BS, CS, SP, SQ, FW, MT."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernels.common import byte_offset, grid_stride
+from repro.bench.suite import Workload, benchmark
+from repro.gpusim.executor import f2b
+from repro.ir.builder import KernelBuilder
+from repro.ir.module import Kernel
+
+_F = lambda rng, n, lo=0.1, hi=2.0: [  # noqa: E731
+    f2b(float(v)) for v in rng.uniform(lo, hi, n).astype(np.float32)
+]
+
+
+def _bo_workload() -> Workload:
+    options, steps = 64, 12
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("spot", options, lambda r: _F(r, options, 20.0, 60.0)),
+            ("strike", options, lambda r: _F(r, options, 30.0, 50.0)),
+            ("price", options, None),
+        ],
+        params={"S": "&spot", "K": "&strike", "OUT": "&price",
+                "steps": steps},
+        output="price",
+    )
+
+
+@benchmark("BO", "Binomial options", "CUDA toolkit samples", _bo_workload)
+def build_bo() -> Kernel:
+    """Binomial option pricing: the paper's motivating example (§1 — two
+    checkpointing stores in the inner-most loop cost 26.7%).  The value
+    array lives in per-thread local memory and is updated *in place* by the
+    backward-induction inner loop: v[j] = pu*v[j+1] + pd*v[j], a textbook
+    memory anti-dependence inside a doubly-nested loop."""
+    b = KernelBuilder(
+        "bo",
+        params=[("S", "ptr"), ("K", "ptr"), ("OUT", "ptr"), ("steps", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    sbuf = b.ld_param("S")
+    kbuf = b.ld_param("K")
+    out = b.ld_param("OUT")
+    steps = b.ld_param("steps")
+
+    spot = b.ld("global", byte_offset(b, sbuf, gtid), dtype="f32")
+    strike = b.ld("global", byte_offset(b, kbuf, gtid), dtype="f32")
+
+    # Terminal payoffs: v[j] = max(spot * u^j - strike, 0), u-walk
+    # approximated by a linear lattice step for simplicity.
+    j = b.mov(0, dst=b.reg("u32", "%j"))
+    b.label("INIT")
+    pi = b.setp("gt", j, steps)
+    b.bra("REDUCE_INIT", pred=pi)
+    jf = b.cvt(j, "f32")
+    up = b.fma(jf, 1.5, spot)
+    payoff = b.sub(up, strike, dtype="f32")
+    payoff = b.max_(payoff, 0.0, dtype="f32")
+    joff = b.shl(j, 2)
+    b.st("local", joff, payoff, dtype="f32")
+    b.add(j, 1, dst=j)
+    b.bra("INIT")
+
+    b.label("REDUCE_INIT")
+    step = b.mov(steps, dst=b.reg("u32", "%step"))
+    b.label("STEPS")
+    ps = b.setp("eq", step, 0)
+    b.bra("WRITE", pred=ps)
+    jj = b.mov(0, dst=b.reg("u32", "%jj"))
+    b.label("INNER")
+    pj = b.setp("ge", jj, step)
+    b.bra("NEXT_STEP", pred=pj)
+    jjoff = b.shl(jj, 2)
+    v_lo = b.ld("local", jjoff, dtype="f32")
+    v_hi = b.ld("local", jjoff, offset=4, dtype="f32")
+    blend = b.mul(v_hi, 0.6, dtype="f32")
+    blend = b.fma(v_lo, 0.4, blend)
+    b.st("local", jjoff, blend, dtype="f32")
+    b.add(jj, 1, dst=jj)
+    b.bra("INNER")
+    b.label("NEXT_STEP")
+    b.sub(step, 1, dst=step)
+    b.bra("STEPS")
+    b.label("WRITE")
+    result = b.ld("local", 0, dtype="f32")
+    b.st("global", byte_offset(b, out, gtid), result, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _bs_workload() -> Workload:
+    options = 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("spot", options, lambda r: _F(r, options, 20.0, 60.0)),
+            ("strike", options, lambda r: _F(r, options, 30.0, 50.0)),
+            ("years", options, lambda r: _F(r, options, 0.5, 2.0)),
+            ("call", options, None),
+        ],
+        params={"S": "&spot", "K": "&strike", "T": "&years",
+                "CALL": "&call", "r": 0.05, "v": 0.3},
+        output="call",
+    )
+
+
+@benchmark("BS", "Black-Scholes", "CUDA toolkit samples", _bs_workload)
+def build_bs() -> Kernel:
+    """Black-Scholes call pricing: straight-line SFU-heavy float code (log,
+    exp, sqrt, divide) with one output store — near-zero Penny overhead."""
+    b = KernelBuilder(
+        "bs",
+        params=[("S", "ptr"), ("K", "ptr"), ("T", "ptr"), ("CALL", "ptr"),
+                ("r", "f32"), ("v", "f32")],
+    )
+    gtid, _ = grid_stride(b)
+    sbuf = b.ld_param("S")
+    kbuf = b.ld_param("K")
+    tbuf = b.ld_param("T")
+    call = b.ld_param("CALL")
+    rate = b.ld_param("r")
+    vol = b.ld_param("v")
+
+    s = b.ld("global", byte_offset(b, sbuf, gtid), dtype="f32")
+    k = b.ld("global", byte_offset(b, kbuf, gtid), dtype="f32")
+    t = b.ld("global", byte_offset(b, tbuf, gtid), dtype="f32")
+
+    ratio = b.div(s, k, dtype="f32")
+    log_r = b.lg2(ratio)
+    log_r = b.mul(log_r, 0.6931472, dtype="f32")  # ln from log2
+    v2 = b.mul(vol, vol, dtype="f32")
+    half_v2 = b.mul(v2, 0.5, dtype="f32")
+    drift = b.add(rate, half_v2, dtype="f32")
+    drift_t = b.mul(drift, t, dtype="f32")
+    num = b.add(log_r, drift_t, dtype="f32")
+    sqrt_t = b.sqrt(t)
+    denom = b.mul(vol, sqrt_t, dtype="f32")
+    d1 = b.div(num, denom, dtype="f32")
+    d2 = b.sub(d1, denom, dtype="f32")
+
+    def cnd(x):
+        scaled = b.mul(x, -2.3, dtype="f32")
+        e = b.ex2(scaled)
+        dd = b.add(e, 1.0, dtype="f32")
+        return b.rcp(dd)
+
+    nd1 = cnd(d1)
+    nd2 = cnd(d2)
+    neg_rt = b.mul(rate, t, dtype="f32")
+    neg_rt = b.mul(neg_rt, -1.4426950, dtype="f32")
+    disc = b.ex2(neg_rt)
+    kd = b.mul(k, disc, dtype="f32")
+    term2 = b.mul(kd, nd2, dtype="f32")
+    term1 = b.mul(s, nd1, dtype="f32")
+    price = b.sub(term1, term2, dtype="f32")
+    b.st("global", byte_offset(b, call, gtid), price, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _cs_workload() -> Workload:
+    n, radius = 64, 4
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("src", n, lambda r: _F(r, n, -1.0, 1.0)),
+            ("kern", 2 * radius + 1, lambda r: _F(r, 2 * radius + 1, 0.0, 0.3)),
+            ("dst", n, None),
+        ],
+        params={"SRC": "&src", "KERN": "&kern", "DST": "&dst",
+                "radius": radius},
+        output="dst",
+    )
+
+
+@benchmark("CS", "Convolution separable", "CUDA toolkit samples", _cs_workload)
+def build_cs() -> Kernel:
+    """1-D convolution over a shared tile with halo, the row pass of the
+    separable filter."""
+    RADIUS = 4
+    b = KernelBuilder(
+        "cs",
+        params=[("SRC", "ptr"), ("KERN", "ptr"), ("DST", "ptr"),
+                ("radius", "u32")],
+        shared=[("tile", 40)],  # 32 + 2 * RADIUS
+    )
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    src = b.ld_param("SRC")
+    kern = b.ld_param("KERN")
+    dst = b.ld_param("DST")
+    radius = b.ld_param("radius")
+    gtid = b.mad(ctaid, ntid, tid)
+
+    tile = b.addr_of("tile")
+    slot = b.add(tid, RADIUS)
+    v = b.ld("global", byte_offset(b, src, gtid), dtype="f32")
+    b.st("shared", byte_offset(b, tile, slot), v, dtype="f32")
+    b.bar()
+
+    acc = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%acc"))
+    k = b.mov(0, dst=b.reg("u32", "%k"))
+    width = b.mad(radius, 2, 1)
+    b.label("TAPS")
+    p = b.setp("ge", k, width)
+    b.bra("OUT", pred=p)
+    w = b.ld("global", byte_offset(b, kern, k), dtype="f32")
+    tslot = b.add(tid, k)
+    tv = b.ld("shared", byte_offset(b, tile, tslot), dtype="f32")
+    b.fma(w, tv, acc, dst=acc)
+    b.add(k, 1, dst=k)
+    b.bra("TAPS")
+    b.label("OUT")
+    b.st("global", byte_offset(b, dst, gtid), acc, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _sp_workload() -> Workload:
+    n = 256
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("a", n, lambda r: _F(r, n, -1.0, 1.0)),
+            ("bv", n, lambda r: _F(r, n, -1.0, 1.0)),
+            ("partial", 2, None),
+        ],
+        params={"A": "&a", "B": "&bv", "OUT": "&partial", "n": n},
+        output="partial",
+    )
+
+
+@benchmark("SP", "Scalar product", "CUDA toolkit samples", _sp_workload)
+def build_sp() -> Kernel:
+    """Dot product: grid-stride partial sums, then a barrier-separated
+    shared-memory tree reduction (in-place shared anti-dependences)."""
+    b = KernelBuilder(
+        "sp",
+        params=[("A", "ptr"), ("B", "ptr"), ("OUT", "ptr"), ("n", "u32")],
+        shared=[("sums", 32)],
+    )
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    nctaid = b.special_u32("%nctaid.x")
+    abuf = b.ld_param("A")
+    bbuf = b.ld_param("B")
+    out = b.ld_param("OUT")
+    n = b.ld_param("n")
+    gtid = b.mad(ctaid, ntid, tid)
+    stride = b.mul(ntid, nctaid)
+
+    acc = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%acc"))
+    i = b.mov(gtid, dst=b.reg("u32", "%i"))
+    b.label("PARTIAL")
+    p = b.setp("ge", i, n)
+    b.bra("REDUCE", pred=p)
+    av = b.ld("global", byte_offset(b, abuf, i), dtype="f32")
+    bv = b.ld("global", byte_offset(b, bbuf, i), dtype="f32")
+    b.fma(av, bv, acc, dst=acc)
+    b.add(i, stride, dst=i)
+    b.bra("PARTIAL")
+    b.label("REDUCE")
+    sums = b.addr_of("sums")
+    b.st("shared", byte_offset(b, sums, tid), acc, dtype="f32")
+    b.bar()
+    # tree reduction: offsets 16, 8, 4, 2, 1
+    off = b.mov(16, dst=b.reg("u32", "%off"))
+    b.label("TREE")
+    pt = b.setp("eq", off, 0)
+    b.bra("WRITE", pred=pt)
+    p_active = b.setp("lt", tid, off)
+    other = b.add(tid, off)
+    mine_addr = byte_offset(b, sums, tid)
+    other_addr = byte_offset(b, sums, other)
+    mine = b.ld("shared", mine_addr, dtype="f32", guard=(p_active, True))
+    theirs = b.ld("shared", other_addr, dtype="f32", guard=(p_active, True))
+    summed = b.add(mine, theirs, dtype="f32", guard=(p_active, True))
+    b.bar()
+    b.st("shared", mine_addr, summed, dtype="f32", guard=(p_active, True))
+    b.bar()
+    b.shr(off, 1, dst=off)
+    b.bra("TREE")
+    b.label("WRITE")
+    p_zero = b.setp("eq", tid, 0)
+    total = b.ld("shared", sums, dtype="f32", guard=(p_zero, True))
+    b.st("global", byte_offset(b, out, ctaid), total, dtype="f32",
+         guard=(p_zero, True))
+    b.ret()
+    return b.finish()
+
+
+def _sq_workload() -> Workload:
+    threads = 64
+    dirs = 30
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("dirvec", dirs,
+             lambda r: list(r.integers(1, 2 ** 30, dirs))),
+            ("out", threads, None),
+        ],
+        params={"DIR": "&dirvec", "OUT": "&out", "ndraws": 16},
+        output="out",
+    )
+
+
+@benchmark("SQ", "Sobol filter", "CUDA toolkit samples", _sq_workload)
+def build_sq() -> Kernel:
+    """Sobol quasirandom draws: Gray-code bit scan xoring direction
+    vectors into a loop-carried state register."""
+    b = KernelBuilder(
+        "sq", params=[("DIR", "ptr"), ("OUT", "ptr"), ("ndraws", "u32")]
+    )
+    gtid, _ = grid_stride(b)
+    dirs = b.ld_param("DIR")
+    out = b.ld_param("OUT")
+    ndraws = b.ld_param("ndraws")
+
+    state = b.mov(0, dst=b.reg("u32", "%state"))
+    acc = b.mov(0, dst=b.reg("u32", "%accum"))
+    i = b.mov(1, dst=b.reg("u32", "%i"))
+    limit = b.add(ndraws, 1)
+    b.label("DRAWS")
+    p = b.setp("ge", i, limit)
+    b.bra("DONE", pred=p)
+    # lowest zero bit index of (i - 1) == Gray transition bit
+    im1 = b.sub(i, 1)
+    inv = b.xor(im1, 0xFFFFFFFF)
+    low = b.neg(im1, dtype="s32")
+    low = b.sub(low, 1)  # == ~ (i-1) as two's complement trick
+    bit_mask = b.and_(inv, b.add(im1, 1))
+    # bit index via conditional count (small fixed scan of 5 bits)
+    idx = b.mov(0, dst=b.reg("u32", "%idx"))
+    probe = b.mov(bit_mask, dst=b.reg("u32", "%probe"))
+    k = b.mov(0, dst=b.reg("u32", "%k"))
+    b.label("SCAN")
+    pk = b.setp("ge", k, 5)
+    b.bra("APPLY", pred=pk)
+    shifted = b.shr(probe, 1)
+    nonzero = b.setp("ne", shifted, 0)
+    b.mov(shifted, dst=probe, guard=(nonzero, True))
+    b.add(idx, 1, dst=idx, guard=(nonzero, True))
+    b.add(k, 1, dst=k)
+    b.bra("SCAN")
+    b.label("APPLY")
+    dv = b.ld("global", byte_offset(b, dirs, idx), dtype="u32")
+    b.xor(state, dv, dst=state)
+    mix = b.add(state, gtid)
+    b.xor(acc, mix, dst=acc)
+    b.add(i, 1, dst=i)
+    b.bra("DRAWS")
+    b.label("DONE")
+    b.st("global", byte_offset(b, out, gtid), acc)
+    b.ret()
+    return b.finish()
+
+
+def _fw_workload() -> Workload:
+    n = 32  # one transform per block
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("data", 64, lambda r: list(r.integers(0, 100, 64))),
+            ("out", 64, None),
+        ],
+        params={"IN": "&data", "OUT": "&out"},
+        output="out",
+    )
+
+
+@benchmark("FW", "Fast Walsh transform", "CUDA toolkit samples", _fw_workload)
+def build_fw() -> Kernel:
+    """Walsh-Hadamard butterfly over a shared array: log2(n) barrier-
+    separated in-place stages — shared-memory anti-dependences everywhere."""
+    b = KernelBuilder(
+        "fw",
+        params=[("IN", "ptr"), ("OUT", "ptr")],
+        shared=[("buf", 32)],
+    )
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    src = b.ld_param("IN")
+    out = b.ld_param("OUT")
+    gtid = b.mad(ctaid, ntid, tid)
+
+    buf = b.addr_of("buf")
+    v = b.ld("global", byte_offset(b, src, gtid), dtype="u32")
+    b.st("shared", byte_offset(b, buf, tid), v)
+    b.bar()
+
+    stride = b.mov(1, dst=b.reg("u32", "%stride"))
+    b.label("STAGE")
+    p = b.setp("ge", stride, 32)
+    b.bra("FLUSH", pred=p)
+    # partner index: pair = tid ^ stride; lower member does the butterfly
+    pair = b.xor(tid, stride)
+    p_low = b.setp("gt", pair, tid)
+    my_addr = byte_offset(b, buf, tid)
+    pair_addr = byte_offset(b, buf, pair)
+    a = b.ld("shared", my_addr, dtype="u32", guard=(p_low, True))
+    c = b.ld("shared", pair_addr, dtype="u32", guard=(p_low, True))
+    s = b.add(a, c, guard=(p_low, True))
+    d = b.sub(a, c, guard=(p_low, True))
+    b.bar()
+    b.st("shared", my_addr, s, guard=(p_low, True))
+    b.st("shared", pair_addr, d, guard=(p_low, True))
+    b.bar()
+    b.shl(stride, 1, dst=stride)
+    b.bra("STAGE")
+    b.label("FLUSH")
+    final = b.ld("shared", byte_offset(b, buf, tid), dtype="u32")
+    b.st("global", byte_offset(b, out, gtid), final)
+    b.ret()
+    return b.finish()
+
+
+def _mt_workload() -> Workload:
+    dim = 8  # 8x8 tile per block
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("a", 128, lambda r: list(r.integers(0, 1000, 128))),
+            ("at", 128, None),
+        ],
+        params={"A": "&a", "AT": "&at", "dim": dim},
+        output="at",
+    )
+
+
+@benchmark("MT", "Matrix transpose", "CUDA toolkit samples", _mt_workload)
+def build_mt() -> Kernel:
+    """Tiled transpose through shared memory: coalesced load, barrier,
+    permuted store."""
+    b = KernelBuilder(
+        "mt",
+        params=[("A", "ptr"), ("AT", "ptr"), ("dim", "u32")],
+        shared=[("tile", 64)],
+    )
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    abuf = b.ld_param("A")
+    atbuf = b.ld_param("AT")
+    dim = b.ld_param("dim")
+    gtid = b.mad(ctaid, ntid, tid)
+
+    tile = b.addr_of("tile")
+    # first half of the tile (32 of 64 elements) per launch wave
+    base = b.mul(ctaid, 64)
+    v0 = b.ld("global", byte_offset(b, abuf, b.add(base, tid)), dtype="u32")
+    b.st("shared", byte_offset(b, tile, tid), v0)
+    hi = b.add(tid, 32)
+    v1 = b.ld("global", byte_offset(b, abuf, b.add(base, hi)), dtype="u32")
+    b.st("shared", byte_offset(b, tile, hi), v1)
+    b.bar()
+    # transpose within the 8x8 tile: out[c*8 + r] = tile[r*8 + c]
+    r0 = b.div(tid, dim)
+    c0 = b.rem(tid, dim)
+    src_idx = b.mad(c0, dim, r0)
+    t0 = b.ld("shared", byte_offset(b, tile, src_idx), dtype="u32")
+    b.st("global", byte_offset(b, atbuf, b.add(base, tid)), t0)
+    r1 = b.div(hi, dim)
+    c1 = b.rem(hi, dim)
+    src_idx1 = b.mad(c1, dim, r1)
+    t1 = b.ld("shared", byte_offset(b, tile, src_idx1), dtype="u32")
+    b.st("global", byte_offset(b, atbuf, b.add(base, hi)), t1)
+    b.ret()
+    return b.finish()

@@ -1,0 +1,327 @@
+"""GPGPU-Sim benchmark suite kernels: CP, LIB, LPS, NN, NQU."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernels.common import byte_offset, grid_stride, sigmoid
+from repro.bench.suite import Workload, benchmark
+from repro.gpusim.executor import f2b
+from repro.ir.builder import KernelBuilder
+from repro.ir.module import Kernel
+
+_F = lambda rng, n, lo=0.1, hi=2.0: [  # noqa: E731
+    f2b(float(v)) for v in rng.uniform(lo, hi, n).astype(np.float32)
+]
+
+
+def _cp_workload() -> Workload:
+    atoms, points = 24, 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("ax", atoms, lambda r: _F(r, atoms)),
+            ("ay", atoms, lambda r: _F(r, atoms)),
+            ("aq", atoms, lambda r: _F(r, atoms, 0.5, 1.5)),
+            ("pot", points, None),
+        ],
+        params={
+            "AX": "&ax",
+            "AY": "&ay",
+            "AQ": "&aq",
+            "POT": "&pot",
+            "natoms": atoms,
+        },
+        output="pot",
+    )
+
+
+@benchmark("CP", "Coulombic potential", "GPGPU-Sim bench", _cp_workload)
+def build_cp() -> Kernel:
+    """Each thread evaluates the Coulomb potential at one lattice point by
+    summing charge / distance over all atoms — a deep float inner loop with
+    no stores, Penny's best case for pruning."""
+    b = KernelBuilder(
+        "cp",
+        params=[("AX", "ptr"), ("AY", "ptr"), ("AQ", "ptr"),
+                ("POT", "ptr"), ("natoms", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    ax = b.ld_param("AX")
+    ay = b.ld_param("AY")
+    aq = b.ld_param("AQ")
+    pot_buf = b.ld_param("POT")
+    natoms = b.ld_param("natoms")
+
+    px_i = b.and_(gtid, 7)
+    py_i = b.shr(gtid, 3)
+    px = b.cvt(px_i, "f32")
+    py = b.cvt(py_i, "f32")
+
+    pot = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%pot"))
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    b.label("ATOM_LOOP")
+    p_end = b.setp("ge", i, natoms)
+    b.bra("STORE", pred=p_end)
+    x = b.ld("global", byte_offset(b, ax, i), dtype="f32")
+    y = b.ld("global", byte_offset(b, ay, i), dtype="f32")
+    q = b.ld("global", byte_offset(b, aq, i), dtype="f32")
+    dx = b.sub(x, px, dtype="f32")
+    dy = b.sub(y, py, dtype="f32")
+    d2 = b.mul(dx, dx, dtype="f32")
+    d2 = b.fma(dy, dy, d2)
+    d2 = b.add(d2, 0.0625, dtype="f32")  # softening term
+    dist = b.sqrt(d2)
+    inv = b.rcp(dist)
+    b.fma(q, inv, pot, dst=pot)
+    b.add(i, 1, dst=i)
+    b.bra("ATOM_LOOP")
+    b.label("STORE")
+    b.st("global", byte_offset(b, pot_buf, gtid), pot, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _lib_workload() -> Workload:
+    threads = 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[("acc", threads, None)],
+        params={"OUT": "&acc", "paths": 24},
+        output="acc",
+    )
+
+
+@benchmark("LIB", "Libor Monte Carlo", "GPGPU-Sim bench", _lib_workload)
+def build_lib() -> Kernel:
+    """Monte-Carlo path loop: an LCG random stream drives an exponential
+    payoff accumulator — loop-carried integer *and* float state."""
+    b = KernelBuilder("lib", params=[("OUT", "ptr"), ("paths", "u32")])
+    gtid, _ = grid_stride(b)
+    out = b.ld_param("OUT")
+    paths = b.ld_param("paths")
+
+    state = b.mad(gtid, 2654435761, 12345, dst=b.reg("u32", "%state"))
+    acc = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%acc"))
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    b.label("PATH")
+    p = b.setp("ge", i, paths)
+    b.bra("DONE", pred=p)
+    b.mad(state, 1664525, 1013904223, dst=state)
+    bits = b.shr(state, 9)
+    u = b.cvt(bits, "f32")
+    u = b.mul(u, 1.1920929e-7, dtype="f32")  # uniform in [0, ~8)
+    rate = b.mul(u, -0.25, dtype="f32")
+    growth = b.ex2(rate)
+    b.add(acc, growth, dtype="f32", dst=acc)
+    b.add(i, 1, dst=i)
+    b.bra("PATH")
+    b.label("DONE")
+    payoff = b.mul(acc, 0.01, dtype="f32")
+    b.st("global", byte_offset(b, out, gtid), payoff, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _lps_workload() -> Workload:
+    n = 64  # one tile per block
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("grid_in", n, lambda r: _F(r, n)),
+            ("grid_out", n, None),
+        ],
+        params={"IN": "&grid_in", "OUT": "&grid_out", "steps": 6},
+        output="grid_out",
+    )
+
+
+@benchmark("LPS", "Laplace transform", "GPGPU-Sim bench", _lps_workload)
+def build_lps() -> Kernel:
+    """Iterative Laplace relaxation on a shared-memory tile: barrier-
+    separated in-place updates (shared-memory anti-dependences)."""
+    b = KernelBuilder(
+        "lps",
+        params=[("IN", "ptr"), ("OUT", "ptr"), ("steps", "u32")],
+        shared=[("tile", 34)],
+    )
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    gin = b.ld_param("IN")
+    gout = b.ld_param("OUT")
+    steps = b.ld_param("steps")
+    gtid = b.mad(ctaid, ntid, tid)
+
+    tile = b.addr_of("tile")
+    # load interior element (halo cells stay zero)
+    v = b.ld("global", byte_offset(b, gin, gtid), dtype="f32")
+    slot = b.add(tid, 1)
+    b.st("shared", byte_offset(b, tile, slot), v, dtype="f32")
+    b.bar()
+
+    s = b.mov(0, dst=b.reg("u32", "%s"))
+    b.label("STEP")
+    p = b.setp("ge", s, steps)
+    b.bra("FLUSH", pred=p)
+    addr_c = byte_offset(b, tile, slot)
+    left = b.ld("shared", addr_c, offset=-4, dtype="f32")
+    right = b.ld("shared", addr_c, offset=4, dtype="f32")
+    center = b.ld("shared", addr_c, dtype="f32")
+    sum_lr = b.add(left, right, dtype="f32")
+    relaxed = b.fma(center, 2.0, sum_lr)
+    relaxed = b.mul(relaxed, 0.25, dtype="f32")
+    b.bar()
+    b.st("shared", addr_c, relaxed, dtype="f32")
+    b.bar()
+    b.add(s, 1, dst=s)
+    b.bra("STEP")
+    b.label("FLUSH")
+    final = b.ld("shared", byte_offset(b, tile, slot), dtype="f32")
+    b.st("global", byte_offset(b, gout, gtid), final, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _nn_workload() -> Workload:
+    inputs, outputs = 16, 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("x", inputs, lambda r: _F(r, inputs, -1.0, 1.0)),
+            ("w", inputs * outputs, lambda r: _F(r, inputs * outputs, -0.5, 0.5)),
+            ("y", outputs, None),
+        ],
+        params={"X": "&x", "W": "&w", "Y": "&y", "n_in": inputs},
+        output="y",
+    )
+
+
+@benchmark("NN", "Neural network", "GPGPU-Sim bench", _nn_workload)
+def build_nn() -> Kernel:
+    """One dense layer: per-output weighted sum plus a logistic activation
+    computed on the SFU path."""
+    b = KernelBuilder(
+        "nn",
+        params=[("X", "ptr"), ("W", "ptr"), ("Y", "ptr"), ("n_in", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    xbuf = b.ld_param("X")
+    wbuf = b.ld_param("W")
+    ybuf = b.ld_param("Y")
+    n_in = b.ld_param("n_in")
+
+    row_base = b.mul(gtid, n_in)
+    acc = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%acc"))
+    j = b.mov(0, dst=b.reg("u32", "%j"))
+    b.label("DOT")
+    p = b.setp("ge", j, n_in)
+    b.bra("ACT", pred=p)
+    xj = b.ld("global", byte_offset(b, xbuf, j), dtype="f32")
+    widx = b.add(row_base, j)
+    wj = b.ld("global", byte_offset(b, wbuf, widx), dtype="f32")
+    b.fma(wj, xj, acc, dst=acc)
+    b.add(j, 1, dst=j)
+    b.bra("DOT")
+    b.label("ACT")
+    act = sigmoid(b, acc)
+    b.st("global", byte_offset(b, ybuf, gtid), act, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _nqu_workload() -> Workload:
+    threads = 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[("counts", threads, None)],
+        params={"OUT": "&counts", "n": 6},
+        output="counts",
+    )
+
+
+@benchmark("NQU", "N-Queens", "GPGPU-Sim bench", _nqu_workload)
+def build_nqu() -> Kernel:
+    """Bitmask N-Queens backtracking with an explicit local-memory stack —
+    the divergence-heavy, irregular-control benchmark of the suite.  Each
+    thread pins the first queen to ``tid % n`` and counts completions."""
+    b = KernelBuilder("nqu", params=[("OUT", "ptr"), ("n", "u32")])
+    gtid, _ = grid_stride(b)
+    out = b.ld_param("OUT")
+    n = b.ld_param("n")
+    full = b.shl(1, n)
+    full = b.sub(full, 1)  # n ones
+
+    # Local stacks (byte offsets; depth < 16): occupied columns, the two
+    # diagonal masks, and the candidate set still to try at this depth.
+    # local[0..15]: cols, [16..31]: diag-left, [32..47]: diag-right,
+    # [48..63]: candidates.
+    zero = b.mov(0)
+    first_col = b.rem(gtid, n)
+    first = b.shl(1, first_col)
+
+    depth = b.mov(1, dst=b.reg("u32", "%depth"))
+    count = b.mov(0, dst=b.reg("u32", "%count"))
+    cols = b.mov(first, dst=b.reg("u32", "%cols"))
+    dl = b.shl(first, 1, dst=b.reg("u32", "%dl"))
+    dr = b.shr(first, 1, dst=b.reg("u32", "%dr"))
+
+    # cand(depth) = free positions at this depth
+    blocked = b.or_(cols, dl)
+    blocked = b.or_(blocked, dr)
+    inv = b.xor(blocked, 0xFFFFFFFF)
+    cand = b.and_(inv, full, dst=b.reg("u32", "%cand"))
+
+    b.label("SEARCH")
+    p_done = b.setp("eq", depth, 0)
+    b.bra("FINISH", pred=p_done)
+    p_none = b.setp("eq", cand, 0)
+    b.bra("BACKTRACK", pred=p_none)
+    # pick lowest candidate bit
+    negc = b.neg(cand, dtype="s32")
+    bit = b.and_(cand, negc)
+    b.xor(cand, bit, dst=cand)  # remove it from this depth's candidates
+    # placing this queen as number depth+1 completes the board at depth n-1
+    nm1 = b.sub(n, 1)
+    p_leaf = b.setp("ge", depth, nm1)
+    b.bra("LEAF", pred=p_leaf)
+    # push state
+    doff = b.shl(depth, 2)
+    b.st("local", doff, cols)
+    b.st("local", doff, dl, offset=64)
+    b.st("local", doff, dr, offset=128)
+    b.st("local", doff, cand, offset=192)
+    # descend
+    b.or_(cols, bit, dst=cols)
+    t1 = b.or_(dl, bit)
+    b.shl(t1, 1, dst=dl)
+    t2 = b.or_(dr, bit)
+    b.shr(t2, 1, dst=dr)
+    b.add(depth, 1, dst=depth)
+    blocked2 = b.or_(cols, dl)
+    blocked2 = b.or_(blocked2, dr)
+    inv2 = b.xor(blocked2, 0xFFFFFFFF)
+    b.and_(inv2, full, dst=cand)
+    b.bra("SEARCH")
+    b.label("LEAF")
+    b.add(count, 1, dst=count)
+    b.bra("SEARCH")
+    b.label("BACKTRACK")
+    b.sub(depth, 1, dst=depth)
+    p_out = b.setp("eq", depth, 0)
+    b.bra("SEARCH", pred=p_out)
+    boff = b.shl(depth, 2)
+    b.ld("local", boff, dtype="u32", dst=cols)
+    b.ld("local", boff, offset=64, dtype="u32", dst=dl)
+    b.ld("local", boff, offset=128, dtype="u32", dst=dr)
+    b.ld("local", boff, offset=192, dtype="u32", dst=cand)
+    b.bra("SEARCH")
+    b.label("FINISH")
+    b.st("global", byte_offset(b, out, gtid), count)
+    b.ret()
+    return b.finish()

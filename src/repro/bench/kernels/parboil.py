@@ -1,0 +1,291 @@
+"""Parboil suite kernels: SGEMM, SPMV, STC, TPACF."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernels.common import byte_offset, grid_stride
+from repro.bench.suite import Workload, benchmark
+from repro.gpusim.executor import f2b
+from repro.ir.builder import KernelBuilder
+from repro.ir.module import Kernel
+
+_F = lambda rng, n, lo=0.1, hi=2.0: [  # noqa: E731
+    f2b(float(v)) for v in rng.uniform(lo, hi, n).astype(np.float32)
+]
+
+
+def _sgemm_workload() -> Workload:
+    k_dim, rows = 32, 64  # one output element per thread
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("a", rows * k_dim, lambda r: _F(r, rows * k_dim, -1.0, 1.0)),
+            ("b", k_dim, lambda r: _F(r, k_dim, -1.0, 1.0)),
+            ("c", rows, None),
+        ],
+        params={"A": "&a", "B": "&b", "C": "&c", "K": k_dim},
+        output="c",
+    )
+
+
+@benchmark("SGEMM", "SP matrix multiplication", "Parboil", _sgemm_workload)
+def build_sgemm() -> Kernel:
+    """Tiled matrix-vector core of SGEMM: the B tile is staged through
+    shared memory with barriers; the dot-product accumulator is classic
+    loop-carried live state (un-prunable, like the paper notes)."""
+    TILE = 8
+    b = KernelBuilder(
+        "sgemm",
+        params=[("A", "ptr"), ("B", "ptr"), ("C", "ptr"), ("K", "u32")],
+        shared=[("btile", TILE)],
+    )
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    abuf = b.ld_param("A")
+    bbuf = b.ld_param("B")
+    cbuf = b.ld_param("C")
+    kdim = b.ld_param("K")
+    gtid = b.mad(ctaid, ntid, tid)
+    row_base = b.mul(gtid, kdim)
+    btile = b.addr_of("btile")
+
+    acc = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%acc"))
+    k0 = b.mov(0, dst=b.reg("u32", "%k0"))
+    b.label("TILE_LOOP")
+    p_done = b.setp("ge", k0, kdim)
+    b.bra("WRITE", pred=p_done)
+    # cooperative tile load: first TILE threads fetch B[k0 + tid]
+    p_loader = b.setp("lt", tid, TILE)
+    src_idx = b.add(k0, tid)
+    bv = b.ld("global", byte_offset(b, bbuf, src_idx), dtype="f32",
+              guard=(p_loader, True))
+    b.st("shared", byte_offset(b, btile, tid), bv, dtype="f32",
+         guard=(p_loader, True))
+    b.bar()
+    kk = b.mov(0, dst=b.reg("u32", "%kk"))
+    b.label("INNER")
+    p_tile_end = b.setp("ge", kk, TILE)
+    b.bra("NEXT_TILE", pred=p_tile_end)
+    aidx = b.add(row_base, k0)
+    aidx = b.add(aidx, kk)
+    av = b.ld("global", byte_offset(b, abuf, aidx), dtype="f32")
+    bval = b.ld("shared", byte_offset(b, btile, kk), dtype="f32")
+    b.fma(av, bval, acc, dst=acc)
+    b.add(kk, 1, dst=kk)
+    b.bra("INNER")
+    b.label("NEXT_TILE")
+    b.bar()
+    b.add(k0, TILE, dst=k0)
+    b.bra("TILE_LOOP")
+    b.label("WRITE")
+    b.st("global", byte_offset(b, cbuf, gtid), acc, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _spmv_workload() -> Workload:
+    rows, nnz_per_row = 64, 6
+    nnz = rows * nnz_per_row
+
+    def rowptr(rng):
+        return [i * nnz_per_row for i in range(rows)] + [nnz]
+
+    def colidx(rng):
+        return list(rng.integers(0, rows, nnz))
+
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("rowptr", rows + 1, rowptr),
+            ("colidx", nnz, colidx),
+            ("vals", nnz, lambda r: _F(r, nnz, -1.0, 1.0)),
+            ("x", rows, lambda r: _F(r, rows, -1.0, 1.0)),
+            ("y", rows, None),
+        ],
+        params={
+            "ROWPTR": "&rowptr",
+            "COLIDX": "&colidx",
+            "VALS": "&vals",
+            "X": "&x",
+            "Y": "&y",
+        },
+        output="y",
+    )
+
+
+@benchmark("SPMV", "Sparse matrix-vector mult.", "Parboil", _spmv_workload)
+def build_spmv() -> Kernel:
+    """CSR sparse matrix-vector product: data-dependent loop bounds and
+    indirect (gather) loads."""
+    b = KernelBuilder(
+        "spmv",
+        params=[("ROWPTR", "ptr"), ("COLIDX", "ptr"), ("VALS", "ptr"),
+                ("X", "ptr"), ("Y", "ptr")],
+    )
+    gtid, _ = grid_stride(b)
+    rowptr = b.ld_param("ROWPTR")
+    colidx = b.ld_param("COLIDX")
+    vals = b.ld_param("VALS")
+    xbuf = b.ld_param("X")
+    ybuf = b.ld_param("Y")
+
+    start = b.ld("global", byte_offset(b, rowptr, gtid), dtype="u32")
+    row_next = b.add(gtid, 1)
+    end = b.ld("global", byte_offset(b, rowptr, row_next), dtype="u32")
+    acc = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%acc"))
+    j = b.mov(start, dst=b.reg("u32", "%j"))
+    b.label("ROW")
+    p = b.setp("ge", j, end)
+    b.bra("OUT", pred=p)
+    col = b.ld("global", byte_offset(b, colidx, j), dtype="u32")
+    v = b.ld("global", byte_offset(b, vals, j), dtype="f32")
+    xv = b.ld("global", byte_offset(b, xbuf, col), dtype="f32")
+    b.fma(v, xv, acc, dst=acc)
+    b.add(j, 1, dst=j)
+    b.bra("ROW")
+    b.label("OUT")
+    b.st("global", byte_offset(b, ybuf, gtid), acc, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _stc_workload() -> Workload:
+    chunk = 8
+    n = 64 * chunk  # 64 threads, one chunk each
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("src", n + 2, lambda r: _F(r, n + 2)),
+            ("dst", n, None),
+        ],
+        params={"SRC": "&src", "DST": "&dst", "chunk": chunk},
+        output="dst",
+    )
+
+
+@benchmark("STC", "Jacobi stencil", "Parboil", _stc_workload)
+def build_stc() -> Kernel:
+    """Sequential stencil sweep per thread with *loop-carried* window
+    registers and a store every iteration — the structure the paper calls
+    out as preventing checkpoint pruning (STC is its worst case, 19%)."""
+    b = KernelBuilder(
+        "stc", params=[("SRC", "ptr"), ("DST", "ptr"), ("chunk", "u32")]
+    )
+    gtid, _ = grid_stride(b)
+    src = b.ld_param("SRC")
+    dst = b.ld_param("DST")
+    chunk = b.ld_param("chunk")
+
+    base_i = b.mul(gtid, chunk)
+    # rolling window: prev = src[base], cur = src[base+1]
+    prev = b.ld("global", byte_offset(b, src, base_i), dtype="f32",
+                dst=b.reg("f32", "%prev"))
+    i1 = b.add(base_i, 1)
+    cur = b.ld("global", byte_offset(b, src, i1), dtype="f32",
+               dst=b.reg("f32", "%cur"))
+    k = b.mov(0, dst=b.reg("u32", "%k"))
+    b.label("SWEEP")
+    p = b.setp("ge", k, chunk)
+    b.bra("DONE", pred=p)
+    idx = b.add(base_i, k)
+    nxt_i = b.add(idx, 2)
+    nxt = b.ld("global", byte_offset(b, src, nxt_i), dtype="f32")
+    s = b.add(prev, cur, dtype="f32")
+    s = b.add(s, nxt, dtype="f32")
+    avg = b.mul(s, 0.3333333, dtype="f32")
+    b.st("global", byte_offset(b, dst, idx), avg, dtype="f32")
+    b.mov(cur, dtype="f32", dst=prev)  # roll the window (loop-carried)
+    b.mov(nxt, dtype="f32", dst=cur)
+    b.add(k, 1, dst=k)
+    b.bra("SWEEP")
+    b.label("DONE")
+    b.ret()
+    return b.finish()
+
+
+def _tpacf_workload() -> Workload:
+    points, bins = 32, 8
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("px", points, lambda r: _F(r, points, -1.0, 1.0)),
+            ("py", points, lambda r: _F(r, points, -1.0, 1.0)),
+            ("hist", bins, None),
+        ],
+        params={"PX": "&px", "PY": "&py", "HIST": "&hist",
+                "npoints": points, "nbins": bins},
+        output="hist",
+    )
+
+
+@benchmark("TPACF", "2-point angular correlation", "Parboil", _tpacf_workload)
+def build_tpacf() -> Kernel:
+    """Angular correlation histogram: each thread bins the distances from
+    its point to all others into a private local histogram, then merges
+    with global atomics (inter-thread anti-dependences -> sync regions)."""
+    b = KernelBuilder(
+        "tpacf",
+        params=[("PX", "ptr"), ("PY", "ptr"), ("HIST", "ptr"),
+                ("npoints", "u32"), ("nbins", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    px = b.ld_param("PX")
+    py = b.ld_param("PY")
+    hist = b.ld_param("HIST")
+    npoints = b.ld_param("npoints")
+    nbins = b.ld_param("nbins")
+
+    my_idx = b.rem(gtid, npoints)
+    x0 = b.ld("global", byte_offset(b, px, my_idx), dtype="f32")
+    y0 = b.ld("global", byte_offset(b, py, my_idx), dtype="f32")
+
+    # zero the private histogram (local bytes 0..nbins*4)
+    z = b.mov(0, dst=b.reg("u32", "%z"))
+    b.label("ZERO")
+    pz = b.setp("ge", z, nbins)
+    b.bra("PAIRS_INIT", pred=pz)
+    zoff = b.shl(z, 2)
+    b.st("local", zoff, 0)
+    b.add(z, 1, dst=z)
+    b.bra("ZERO")
+
+    b.label("PAIRS_INIT")
+    j = b.mov(0, dst=b.reg("u32", "%j"))
+    b.label("PAIRS")
+    pj = b.setp("ge", j, npoints)
+    b.bra("MERGE_INIT", pred=pj)
+    xj = b.ld("global", byte_offset(b, px, j), dtype="f32")
+    yj = b.ld("global", byte_offset(b, py, j), dtype="f32")
+    dx = b.sub(xj, x0, dtype="f32")
+    dy = b.sub(yj, y0, dtype="f32")
+    d2 = b.mul(dx, dx, dtype="f32")
+    d2 = b.fma(dy, dy, d2)
+    scaled = b.mul(d2, 0.9, dtype="f32")
+    binf = b.min_(scaled, 7.0, dtype="f32")
+    bin_ = b.cvt(binf, "u32")
+    boff = b.shl(bin_, 2)
+    old = b.ld("local", boff, dtype="u32")
+    newv = b.add(old, 1)
+    b.st("local", boff, newv)
+    b.add(j, 1, dst=j)
+    b.bra("PAIRS")
+
+    b.label("MERGE_INIT")
+    m = b.mov(0, dst=b.reg("u32", "%m"))
+    b.label("MERGE")
+    pm = b.setp("ge", m, nbins)
+    b.bra("DONE", pred=pm)
+    moff = b.shl(m, 2)
+    cnt = b.ld("local", moff, dtype="u32")
+    b.atom("global", "add", byte_offset(b, hist, m), cnt)
+    b.add(m, 1, dst=m)
+    b.bra("MERGE")
+    b.label("DONE")
+    b.ret()
+    return b.finish()

@@ -1,0 +1,534 @@
+"""Rodinia suite kernels: BP, BFS, GAU, HS, MD, NW, PF, SRAD, SC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.kernels.common import byte_offset, grid_stride, sigmoid
+from repro.bench.suite import Workload, benchmark
+from repro.gpusim.executor import f2b
+from repro.ir.builder import KernelBuilder
+from repro.ir.module import Kernel
+
+_F = lambda rng, n, lo=0.1, hi=2.0: [  # noqa: E731
+    f2b(float(v)) for v in rng.uniform(lo, hi, n).astype(np.float32)
+]
+
+
+def _bp_workload() -> Workload:
+    inputs, hidden = 16, 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("x", inputs, lambda r: _F(r, inputs, -1.0, 1.0)),
+            ("w", inputs * hidden, lambda r: _F(r, inputs * hidden, -0.5, 0.5)),
+            ("h", hidden, None),
+        ],
+        params={"X": "&x", "W": "&w", "H": "&h", "n_in": inputs,
+                "eta": 0.0625},
+        output="h",
+    )
+
+
+@benchmark("BP", "Back propagation", "Rodinia", _bp_workload)
+def build_bp() -> Kernel:
+    """Backprop: forward weighted sum + activation, then an in-place weight
+    update loop (load/store of the same address — anti-dependences that
+    force region cuts inside the loop)."""
+    b = KernelBuilder(
+        "bp",
+        params=[("X", "ptr"), ("W", "ptr"), ("H", "ptr"),
+                ("n_in", "u32"), ("eta", "f32")],
+    )
+    gtid, _ = grid_stride(b)
+    xbuf = b.ld_param("X")
+    wbuf = b.ld_param("W")
+    hbuf = b.ld_param("H")
+    n_in = b.ld_param("n_in")
+    eta = b.ld_param("eta")
+
+    row = b.mul(gtid, n_in)
+    acc = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%acc"))
+    j = b.mov(0, dst=b.reg("u32", "%j"))
+    b.label("FWD")
+    p = b.setp("ge", j, n_in)
+    b.bra("ACT", pred=p)
+    xj = b.ld("global", byte_offset(b, xbuf, j), dtype="f32")
+    widx = b.add(row, j)
+    wj = b.ld("global", byte_offset(b, wbuf, widx), dtype="f32")
+    b.fma(wj, xj, acc, dst=acc)
+    b.add(j, 1, dst=j)
+    b.bra("FWD")
+    b.label("ACT")
+    act = sigmoid(b, acc)
+    b.st("global", byte_offset(b, hbuf, gtid), act, dtype="f32")
+    # weight update: w += eta * delta * x (delta ~ act * (1 - act))
+    one_m = b.sub(1.0, act, dtype="f32")
+    delta = b.mul(act, one_m, dtype="f32")
+    scale = b.mul(eta, delta, dtype="f32")
+    j2 = b.mov(0, dst=b.reg("u32", "%j2"))
+    b.label("UPD")
+    p2 = b.setp("ge", j2, n_in)
+    b.bra("DONE", pred=p2)
+    xj2 = b.ld("global", byte_offset(b, xbuf, j2), dtype="f32")
+    widx2 = b.add(row, j2)
+    waddr = byte_offset(b, wbuf, widx2)
+    wold = b.ld("global", waddr, dtype="f32")
+    wnew = b.fma(scale, xj2, wold)
+    b.st("global", waddr, wnew, dtype="f32")
+    b.add(j2, 1, dst=j2)
+    b.bra("UPD")
+    b.label("DONE")
+    b.ret()
+    return b.finish()
+
+
+def _bfs_workload() -> Workload:
+    nodes, degree = 64, 4
+    edges = nodes * degree
+
+    def adj(rng):
+        return list(rng.integers(0, nodes, edges))
+
+    def levels(rng):
+        lv = [0xFFFFFFFF] * nodes
+        lv[0] = 0
+        return lv
+
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("adj", edges, adj),
+            ("level", nodes, levels),
+        ],
+        params={"ADJ": "&adj", "LEVEL": "&level", "degree": degree,
+                "cur": 0},
+        output="level",
+    )
+
+
+@benchmark("BFS", "Breadth-first search", "Rodinia", _bfs_workload)
+def build_bfs() -> Kernel:
+    """One level-synchronous BFS step: frontier test + conditional neighbor
+    relaxation.  Divergent control flow and in-place level updates."""
+    b = KernelBuilder(
+        "bfs",
+        params=[("ADJ", "ptr"), ("LEVEL", "ptr"), ("degree", "u32"),
+                ("cur", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    adj = b.ld_param("ADJ")
+    level = b.ld_param("LEVEL")
+    degree = b.ld_param("degree")
+    cur = b.ld_param("cur")
+
+    my_level = b.ld("global", byte_offset(b, level, gtid), dtype="u32")
+    p_front = b.setp("ne", my_level, cur)
+    b.bra("DONE", pred=p_front)
+    edge_base = b.mul(gtid, degree)
+    nxt = b.add(cur, 1)
+    e = b.mov(0, dst=b.reg("u32", "%e"))
+    b.label("EDGES")
+    pe = b.setp("ge", e, degree)
+    b.bra("DONE", pred=pe)
+    eidx = b.add(edge_base, e)
+    nbr = b.ld("global", byte_offset(b, adj, eidx), dtype="u32")
+    nbr_addr = byte_offset(b, level, nbr)
+    nbr_level = b.ld("global", nbr_addr, dtype="u32")
+    p_unvisited = b.setp("eq", nbr_level, 0xFFFFFFFF)
+    b.st("global", nbr_addr, nxt, guard=(p_unvisited, True))
+    b.add(e, 1, dst=e)
+    b.bra("EDGES")
+    b.label("DONE")
+    b.ret()
+    return b.finish()
+
+
+def _gau_workload() -> Workload:
+    n = 16  # n x n matrix; 64 threads handle rows below the pivot
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("m", n * n, lambda r: _F(r, n * n, 1.0, 3.0)),
+        ],
+        params={"M": "&m", "n": n, "k": 0},
+        output="m",
+    )
+
+
+@benchmark("GAU", "Gaussian elimination", "Rodinia", _gau_workload)
+def build_gau() -> Kernel:
+    """One elimination step: each thread scales-and-subtracts the pivot row
+    from its row, updating the matrix in place (dense anti-dependences)."""
+    b = KernelBuilder("gau", params=[("M", "ptr"), ("n", "u32"), ("k", "u32")])
+    gtid, _ = grid_stride(b)
+    m = b.ld_param("M")
+    n = b.ld_param("n")
+    k = b.ld_param("k")
+
+    row = b.add(gtid, 1)
+    b.add(row, k, dst=row)
+    p_oob = b.setp("ge", row, n)
+    b.bra("DONE", pred=p_oob)
+    pivot_base = b.mul(k, n)
+    pivot_idx = b.add(pivot_base, k)
+    pivot = b.ld("global", byte_offset(b, m, pivot_idx), dtype="f32")
+    row_base = b.mul(row, n)
+    lead_idx = b.add(row_base, k)
+    lead = b.ld("global", byte_offset(b, m, lead_idx), dtype="f32")
+    factor = b.div(lead, pivot, dtype="f32")
+    j = b.mov(k, dst=b.reg("u32", "%j"))
+    b.label("ROW")
+    pj = b.setp("ge", j, n)
+    b.bra("DONE", pred=pj)
+    pidx = b.add(pivot_base, j)
+    pv = b.ld("global", byte_offset(b, m, pidx), dtype="f32")
+    ridx = b.add(row_base, j)
+    raddr = byte_offset(b, m, ridx)
+    rv = b.ld("global", raddr, dtype="f32")
+    neg_f = b.neg(factor, dtype="f32")
+    upd = b.fma(neg_f, pv, rv)
+    b.st("global", raddr, upd, dtype="f32")
+    b.add(j, 1, dst=j)
+    b.bra("ROW")
+    b.label("DONE")
+    b.ret()
+    return b.finish()
+
+
+def _hs_workload() -> Workload:
+    n = 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("temp", n, lambda r: _F(r, n, 300.0, 340.0)),
+            ("power", n, lambda r: _F(r, n, 0.0, 1.0)),
+            ("out", n, None),
+        ],
+        params={"T": "&temp", "P": "&power", "OUT": "&out"},
+        output="out",
+    )
+
+
+@benchmark("HS", "Hotspot", "Rodinia", _hs_workload)
+def build_hs() -> Kernel:
+    """Thermal stencil: shared-memory tile with halo exchange via barrier,
+    one Jacobi update per launch."""
+    b = KernelBuilder(
+        "hs",
+        params=[("T", "ptr"), ("P", "ptr"), ("OUT", "ptr")],
+        shared=[("tile", 34)],
+    )
+    tid = b.special_u32("%tid.x")
+    ntid = b.special_u32("%ntid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    tbuf = b.ld_param("T")
+    pbuf = b.ld_param("P")
+    obuf = b.ld_param("OUT")
+    gtid = b.mad(ctaid, ntid, tid)
+
+    tile = b.addr_of("tile")
+    v = b.ld("global", byte_offset(b, tbuf, gtid), dtype="f32")
+    slot = b.add(tid, 1)
+    b.st("shared", byte_offset(b, tile, slot), v, dtype="f32")
+    b.bar()
+    caddr = byte_offset(b, tile, slot)
+    left = b.ld("shared", caddr, offset=-4, dtype="f32")
+    right = b.ld("shared", caddr, offset=4, dtype="f32")
+    center = b.ld("shared", caddr, dtype="f32")
+    pw = b.ld("global", byte_offset(b, pbuf, gtid), dtype="f32")
+    lr = b.add(left, right, dtype="f32")
+    lap = b.fma(center, -2.0, lr)
+    dt = b.fma(lap, 0.1, pw)
+    newt = b.add(center, dt, dtype="f32")
+    b.st("global", byte_offset(b, obuf, gtid), newt, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _md_workload() -> Workload:
+    particles, neighbors = 64, 8
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("pos", particles, lambda r: _F(r, particles, 0.0, 4.0)),
+            ("nbr", particles * neighbors,
+             lambda r: list(r.integers(0, particles, particles * neighbors))),
+            ("force", particles, None),
+        ],
+        params={"POS": "&pos", "NBR": "&nbr", "F": "&force",
+                "nnbr": neighbors},
+        output="force",
+    )
+
+
+@benchmark("MD", "Molecular Dynamics", "Rodinia", _md_workload)
+def build_md() -> Kernel:
+    """Lennard-Jones force over a neighbor list: gather loads and an
+    SFU-heavy (rcp) inner loop accumulating into a register."""
+    b = KernelBuilder(
+        "md",
+        params=[("POS", "ptr"), ("NBR", "ptr"), ("F", "ptr"), ("nnbr", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    pos = b.ld_param("POS")
+    nbrbuf = b.ld_param("NBR")
+    fbuf = b.ld_param("F")
+    nnbr = b.ld_param("nnbr")
+
+    my_pos = b.ld("global", byte_offset(b, pos, gtid), dtype="f32")
+    nbr_base = b.mul(gtid, nnbr)
+    force = b.mov(0.0, dtype="f32", dst=b.reg("f32", "%force"))
+    j = b.mov(0, dst=b.reg("u32", "%j"))
+    b.label("NBRS")
+    p = b.setp("ge", j, nnbr)
+    b.bra("OUT", pred=p)
+    nidx = b.add(nbr_base, j)
+    nb = b.ld("global", byte_offset(b, nbrbuf, nidx), dtype="u32")
+    nb_pos = b.ld("global", byte_offset(b, pos, nb), dtype="f32")
+    dr = b.sub(nb_pos, my_pos, dtype="f32")
+    r2 = b.fma(dr, dr, 0.01)
+    inv_r2 = b.rcp(r2)
+    inv_r6 = b.mul(inv_r2, inv_r2, dtype="f32")
+    inv_r6 = b.mul(inv_r6, inv_r2, dtype="f32")
+    lj = b.fma(inv_r6, -2.0, inv_r2)
+    contrib = b.mul(lj, dr, dtype="f32")
+    b.add(force, contrib, dtype="f32", dst=force)
+    b.add(j, 1, dst=j)
+    b.bra("NBRS")
+    b.label("OUT")
+    b.st("global", byte_offset(b, fbuf, gtid), force, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _nw_workload() -> Workload:
+    cols, rows_per_thread = 16, 1
+    threads = 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("score", threads * cols,
+             lambda r: list(r.integers(0, 8, threads * cols))),
+            ("ref", cols, lambda r: list(r.integers(0, 4, cols))),
+        ],
+        params={"S": "&score", "REF": "&ref", "cols": cols, "penalty": 1},
+        output="score",
+    )
+
+
+@benchmark("NW", "Needleman-Wunsch", "Rodinia", _nw_workload)
+def build_nw() -> Kernel:
+    """Dynamic-programming row sweep: each score cell depends on the one
+    just written (carried ``left`` register) and the row is updated in
+    place — loop-carried dependence plus anti-dependences."""
+    b = KernelBuilder(
+        "nw",
+        params=[("S", "ptr"), ("REF", "ptr"), ("cols", "u32"),
+                ("penalty", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    sbuf = b.ld_param("S")
+    ref = b.ld_param("REF")
+    cols = b.ld_param("cols")
+    penalty = b.ld_param("penalty")
+
+    row_base = b.mul(gtid, cols)
+    left = b.mov(0, dst=b.reg("u32", "%left"))
+    j = b.mov(0, dst=b.reg("u32", "%j"))
+    b.label("CELL")
+    p = b.setp("ge", j, cols)
+    b.bra("DONE", pred=p)
+    sidx = b.add(row_base, j)
+    saddr = byte_offset(b, sbuf, sidx)
+    up = b.ld("global", saddr, dtype="u32")
+    refj = b.ld("global", byte_offset(b, ref, j), dtype="u32")
+    match = b.add(left, refj)
+    gap = b.add(up, penalty)
+    best = b.max_(match, gap, dtype="s32")
+    b.st("global", saddr, best)
+    b.mov(best, dst=left)  # carried to the next cell
+    b.add(j, 1, dst=j)
+    b.bra("CELL")
+    b.label("DONE")
+    b.ret()
+    return b.finish()
+
+
+def _pf_workload() -> Workload:
+    cols, rows = 32, 6
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("wall", cols * rows,
+             lambda r: list(r.integers(0, 10, cols * rows))),
+            ("result", cols, None),
+        ],
+        params={"WALL": "&wall", "OUT": "&result", "rows": rows},
+        output="result",
+    )
+
+
+@benchmark("PF", "Pathfinder", "Rodinia", _pf_workload)
+def build_pf() -> Kernel:
+    """Row-by-row shortest-path DP through shared memory: per-row barrier,
+    min of three neighbors, in-place shared update."""
+    b = KernelBuilder(
+        "pf",
+        params=[("WALL", "ptr"), ("OUT", "ptr"), ("rows", "u32")],
+        shared=[("prev", 34)],
+    )
+    tid = b.special_u32("%tid.x")
+    ctaid = b.special_u32("%ctaid.x")
+    ntid = b.special_u32("%ntid.x")
+    wall = b.ld_param("WALL")
+    out = b.ld_param("OUT")
+    rows = b.ld_param("rows")
+    gtid = b.mad(ctaid, ntid, tid)
+
+    prev = b.addr_of("prev")
+    slot = b.add(tid, 1)
+    # row 0 seeds the DP (use only each block's 32 columns)
+    col = b.rem(gtid, 32)
+    first = b.ld("global", byte_offset(b, wall, col), dtype="u32")
+    b.st("shared", byte_offset(b, prev, slot), first)
+    # halo columns hold a large sentinel
+    big = b.mov(1000000)
+    p_first = b.setp("eq", tid, 0)
+    b.st("shared", prev, big, guard=(p_first, True))
+    last_slot = b.mov(33)
+    lastaddr = byte_offset(b, prev, last_slot)
+    b.st("shared", lastaddr, big, guard=(p_first, True))
+    b.bar()
+
+    r = b.mov(1, dst=b.reg("u32", "%r"))
+    b.label("ROWS")
+    p = b.setp("ge", r, rows)
+    b.bra("WRITE", pred=p)
+    saddr = byte_offset(b, prev, slot)
+    left = b.ld("shared", saddr, offset=-4, dtype="u32")
+    center = b.ld("shared", saddr, dtype="u32")
+    right = b.ld("shared", saddr, offset=4, dtype="u32")
+    m = b.min_(left, center, dtype="u32")
+    m = b.min_(m, right, dtype="u32")
+    ridx = b.mad(r, 32, col)
+    w = b.ld("global", byte_offset(b, wall, ridx), dtype="u32")
+    total = b.add(m, w)
+    b.bar()
+    b.st("shared", saddr, total)
+    b.bar()
+    b.add(r, 1, dst=r)
+    b.bra("ROWS")
+    b.label("WRITE")
+    final = b.ld("shared", byte_offset(b, prev, slot), dtype="u32")
+    b.st("global", byte_offset(b, out, col), final)
+    b.ret()
+    return b.finish()
+
+
+def _srad_workload() -> Workload:
+    n = 64
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("img", n + 2, lambda r: _F(r, n + 2, 1.0, 5.0)),
+            ("out", n, None),
+        ],
+        params={"IMG": "&img", "OUT": "&out", "lam": 0.125},
+        output="out",
+    )
+
+
+@benchmark("SRAD", "Speckle reducing anisotropic diffusion", "Rodinia",
+           _srad_workload)
+def build_srad() -> Kernel:
+    """Diffusion update: gradient, divergence-heavy coefficient (fp32
+    division), and smoothed output store."""
+    b = KernelBuilder(
+        "srad", params=[("IMG", "ptr"), ("OUT", "ptr"), ("lam", "f32")]
+    )
+    gtid, _ = grid_stride(b)
+    img = b.ld_param("IMG")
+    out = b.ld_param("OUT")
+    lam = b.ld_param("lam")
+
+    idx = b.add(gtid, 1)
+    caddr = byte_offset(b, img, idx)
+    center = b.ld("global", caddr, dtype="f32")
+    left = b.ld("global", caddr, offset=-4, dtype="f32")
+    right = b.ld("global", caddr, offset=4, dtype="f32")
+    g_l = b.sub(left, center, dtype="f32")
+    g_r = b.sub(right, center, dtype="f32")
+    num = b.mul(g_l, g_l, dtype="f32")
+    num = b.fma(g_r, g_r, num)
+    c2 = b.mul(center, center, dtype="f32")
+    q = b.div(num, c2, dtype="f32")
+    denom = b.add(q, 1.0, dtype="f32")
+    coeff = b.rcp(denom)
+    flux = b.add(g_l, g_r, dtype="f32")
+    upd = b.mul(coeff, flux, dtype="f32")
+    upd = b.mul(upd, lam, dtype="f32")
+    res = b.add(center, upd, dtype="f32")
+    b.st("global", byte_offset(b, out, gtid), res, dtype="f32")
+    b.ret()
+    return b.finish()
+
+
+def _sc_workload() -> Workload:
+    points, centers = 64, 6
+    return Workload(
+        grid=2,
+        block=32,
+        buffers=[
+            ("pts", points, lambda r: _F(r, points, 0.0, 8.0)),
+            ("ctr", centers, lambda r: _F(r, centers, 0.0, 8.0)),
+            ("assign", points, None),
+        ],
+        params={"PTS": "&pts", "CTR": "&ctr", "ASSIGN": "&assign",
+                "ncenters": centers},
+        output="assign",
+    )
+
+
+@benchmark("SC", "Stream cluster", "Rodinia", _sc_workload)
+def build_sc() -> Kernel:
+    """Nearest-center assignment: distance loop with select-based argmin
+    (two loop-carried registers: best distance and best index)."""
+    b = KernelBuilder(
+        "sc",
+        params=[("PTS", "ptr"), ("CTR", "ptr"), ("ASSIGN", "ptr"),
+                ("ncenters", "u32")],
+    )
+    gtid, _ = grid_stride(b)
+    pts = b.ld_param("PTS")
+    ctr = b.ld_param("CTR")
+    assign = b.ld_param("ASSIGN")
+    ncenters = b.ld_param("ncenters")
+
+    p0 = b.ld("global", byte_offset(b, pts, gtid), dtype="f32")
+    best_d = b.mov(1.0e30, dtype="f32", dst=b.reg("f32", "%best_d"))
+    best_i = b.mov(0, dst=b.reg("u32", "%best_i"))
+    c = b.mov(0, dst=b.reg("u32", "%c"))
+    b.label("CENTERS")
+    p = b.setp("ge", c, ncenters)
+    b.bra("OUT", pred=p)
+    cv = b.ld("global", byte_offset(b, ctr, c), dtype="f32")
+    d = b.sub(cv, p0, dtype="f32")
+    d2 = b.mul(d, d, dtype="f32")
+    closer = b.setp("lt", d2, best_d, dtype="f32")
+    b.selp(d2, best_d, closer, dtype="f32", dst=best_d)
+    b.selp(c, best_i, closer, dtype="u32", dst=best_i)
+    b.add(c, 1, dst=c)
+    b.bra("CENTERS")
+    b.label("OUT")
+    b.st("global", byte_offset(b, assign, gtid), best_i)
+    b.ret()
+    return b.finish()

@@ -1,0 +1,158 @@
+"""Benchmark registry and workload plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.pipeline import LaunchConfig
+from repro.gpusim.executor import Launch, f2b
+from repro.gpusim.memory import MemoryImage
+from repro.ir.module import Kernel
+
+#: a buffer initializer: name -> (num_words, fill callable(rng) -> iterable)
+BufferSpec = Tuple[str, int, Optional[Callable[[np.random.Generator], Sequence[int]]]]
+
+
+@dataclass
+class Workload:
+    """A deterministic, re-creatable input for one kernel launch.
+
+    ``buffers`` are allocated in order (addresses are therefore stable
+    across :meth:`make` calls); ``params`` values are either raw ints,
+    floats (packed to fp32 bits), or ``"&name"`` strings resolving to a
+    buffer's base address.  ``output`` names the buffer that defines
+    program output for SDC checking.
+    """
+
+    grid: int
+    block: int
+    buffers: List[BufferSpec]
+    params: Dict[str, Union[int, float, str]]
+    output: str
+    seed: int = 12345
+
+    @property
+    def launch(self) -> Launch:
+        return Launch(grid=self.grid, block=self.block)
+
+    @property
+    def launch_config(self) -> LaunchConfig:
+        return LaunchConfig(threads_per_block=self.block, num_blocks=self.grid)
+
+    def make(self) -> Tuple[MemoryImage, Dict[str, int], Tuple[int, int]]:
+        """Build a fresh memory image.  Returns (memory, buffer addresses,
+        (output address, output words))."""
+        rng = np.random.default_rng(self.seed)
+        mem = MemoryImage()
+        addrs: Dict[str, int] = {}
+        sizes: Dict[str, int] = {}
+        for name, words, fill in self.buffers:
+            addr = mem.alloc_global(words)
+            addrs[name] = addr
+            sizes[name] = words
+            if fill is not None:
+                data = list(fill(rng))
+                if len(data) != words:
+                    raise ValueError(
+                        f"buffer {name!r}: fill produced {len(data)} words, "
+                        f"expected {words}"
+                    )
+                mem.upload(addr, [int(v) & 0xFFFFFFFF for v in data])
+        for pname, pval in self.params.items():
+            if isinstance(pval, str):
+                if not pval.startswith("&"):
+                    raise ValueError(f"bad param ref {pval!r}")
+                mem.set_param(pname, addrs[pval[1:]])
+            elif isinstance(pval, float):
+                mem.set_param(pname, f2b(pval))
+            else:
+                mem.set_param(pname, int(pval))
+        out = (addrs[self.output], sizes[self.output])
+        return mem, addrs, out
+
+    def make_memory(self) -> MemoryImage:
+        return self.make()[0]
+
+    def output_region(self) -> Tuple[int, int]:
+        return self.make()[2]
+
+
+@dataclass
+class Benchmark:
+    """One Table 3 application."""
+
+    abbr: str
+    name: str
+    suite: str
+    build: Callable[[], Kernel]
+    workload: Callable[[], Workload]
+    #: present on the Volta (Fig. 15) subset
+    on_volta: bool = True
+
+    def fresh_kernel(self) -> Kernel:
+        return self.build()
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def benchmark(
+    abbr: str, name: str, suite: str, workload: Callable[[], Workload],
+    on_volta: bool = True,
+):
+    """Decorator registering a kernel builder as a benchmark."""
+
+    def wrap(build: Callable[[], Kernel]) -> Callable[[], Kernel]:
+        if abbr in _REGISTRY:
+            raise ValueError(f"duplicate benchmark {abbr!r}")
+        _REGISTRY[abbr] = Benchmark(
+            abbr=abbr,
+            name=name,
+            suite=suite,
+            build=build,
+            workload=workload,
+            on_volta=on_volta,
+        )
+        return build
+
+    return wrap
+
+
+def _load_all() -> None:
+    # Importing the kernel modules populates the registry.
+    from repro.bench.kernels import cudasdk, gpgpusim, parboil, rodinia  # noqa: F401
+
+
+def get_benchmark(abbr: str) -> Benchmark:
+    _load_all()
+    try:
+        return _REGISTRY[abbr]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {abbr!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+class _AllBenchmarks:
+    """Lazy view over the registry (import-cycle-free)."""
+
+    def __iter__(self):
+        _load_all()
+        return iter(sorted(_REGISTRY.values(), key=lambda b: b.abbr))
+
+    def __len__(self):
+        _load_all()
+        return len(_REGISTRY)
+
+    def __getitem__(self, abbr: str) -> Benchmark:
+        return get_benchmark(abbr)
+
+    def abbrs(self) -> List[str]:
+        _load_all()
+        return sorted(_REGISTRY)
+
+
+ALL_BENCHMARKS = _AllBenchmarks()

@@ -1,0 +1,177 @@
+"""Command-line front end: protect PTX-subset kernels from the shell.
+
+Usage::
+
+    python -m repro.cli compile kernel.ptx --scheme Penny
+    python -m repro.cli compile kernel.ptx --pruning basic --storage global
+    python -m repro.cli report kernel.ptx           # compile stats as JSON
+    python -m repro.cli schemes                     # list presets
+
+``compile`` prints the protected kernel's PTX followed by a ``//``-comment
+report (region count, checkpoint statistics, storage layout); ``report``
+emits the statistics alone as JSON for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_PENNY,
+    scheme_config,
+)
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_kernel
+
+_SCHEMES = (SCHEME_PENNY, SCHEME_BOLT_GLOBAL, SCHEME_BOLT_AUTO)
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as f:
+        return f.read()
+
+
+def _build_config(args: argparse.Namespace) -> PennyConfig:
+    config = scheme_config(args.scheme)
+    if args.pruning:
+        config.pruning = args.pruning
+    if args.storage:
+        config.storage_mode = args.storage
+    if args.overwrite:
+        config.overwrite = args.overwrite
+    if args.no_low_opts:
+        config.low_opts = False
+    if args.param_noalias:
+        config.param_noalias = True
+    return config
+
+
+def _compile_all(args: argparse.Namespace):
+    module = parse_module(_read_source(args.input))
+    config = _build_config(args)
+    launch = LaunchConfig(
+        threads_per_block=args.block, num_blocks=args.grid
+    )
+    compiler = PennyCompiler(config)
+    return [compiler.compile(kernel, launch) for kernel in module.kernels]
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    for result in _compile_all(args):
+        print(print_kernel(result.kernel))
+        print()
+        print(f"// scheme: {result.config.name}")
+        for key in sorted(result.stats):
+            print(f"// {key}: {result.stats[key]}")
+        print()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    reports = []
+    for result in _compile_all(args):
+        reports.append(
+            {
+                "kernel": result.kernel.name,
+                "scheme": result.config.name,
+                "stats": result.stats,
+                "boundaries": sorted(result.regions.boundaries),
+            }
+        )
+    json.dump(reports, sys.stdout, indent=2, default=str)
+    print()
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.verify import verify_compiled
+
+    status = 0
+    for result in _compile_all(args):
+        problems = verify_compiled(result.kernel)
+        if problems:
+            status = 1
+            print(f"{result.kernel.name}: {len(problems)} violation(s)")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"{result.kernel.name}: recovery metadata verified clean")
+    return status
+
+
+def cmd_schemes(_args: argparse.Namespace) -> int:
+    for name in _SCHEMES:
+        cfg = scheme_config(name)
+        print(
+            f"{name:20} placement={cfg.placement:8} pruning={cfg.pruning:8} "
+            f"storage={cfg.storage_mode:7} overwrite={cfg.overwrite:5} "
+            f"low_opts={cfg.low_opts}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Penny: protect PTX-subset kernels against soft errors",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile kernels and print protected PTX"
+    )
+    p_report = sub.add_parser(
+        "report", help="compile kernels and print statistics as JSON"
+    )
+    p_verify = sub.add_parser(
+        "verify",
+        help="compile kernels and statically verify their recovery metadata",
+    )
+    for p in (p_compile, p_report, p_verify):
+        p.add_argument("input", help="PTX-subset file, or '-' for stdin")
+        p.add_argument(
+            "--scheme", default=SCHEME_PENNY, choices=_SCHEMES,
+            help="comparison-scheme preset to start from",
+        )
+        p.add_argument(
+            "--pruning", choices=("none", "basic", "optimal"), default=None
+        )
+        p.add_argument(
+            "--storage", choices=("shared", "global", "auto"), default=None
+        )
+        p.add_argument(
+            "--overwrite", choices=("rr", "sa", "auto", "none"), default=None
+        )
+        p.add_argument("--no-low-opts", action="store_true")
+        p.add_argument(
+            "--param-noalias", action="store_true",
+            help="assume distinct pointer params never alias (restrict)",
+        )
+        p.add_argument("--block", type=int, default=256,
+                       help="threads per block (storage layout)")
+        p.add_argument("--grid", type=int, default=4,
+                       help="number of blocks (storage layout)")
+    p_compile.set_defaults(func=cmd_compile)
+    p_report.set_defaults(func=cmd_report)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_schemes = sub.add_parser("schemes", help="list scheme presets")
+    p_schemes.set_defaults(func=cmd_schemes)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

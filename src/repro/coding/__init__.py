@@ -1,0 +1,49 @@
+"""Error detection / correction coding substrate.
+
+The paper contrasts conventional ECC protection of a GPU register file with
+Penny's detection-only use of cheaper codes (Table 1, Table 2).  This package
+implements the codes themselves — single parity, Hamming SEC, extended
+Hamming SECDED, and BCH-based DEC/TEC codes over GF(2^m) — together with:
+
+- :mod:`repro.coding.schemes` — a registry mapping protection goals (1/2/3-bit
+  errors) to the coding scheme each approach uses, with the paper's quoted
+  (n, k) storage costs for Table 1.
+- :mod:`repro.coding.hwcost` — an analytic register-file bank model standing
+  in for CACTI + Synopsys synthesis, reproducing Table 2's relative area /
+  latency / energy / leakage overheads.
+
+Every code shares the :class:`repro.coding.base.Code` interface: ``encode``
+produces an integer codeword, ``decode`` returns a :class:`DecodeResult`, and
+``check`` answers the detection-only question Penny's register file asks on
+every read.
+"""
+
+from repro.coding.base import Code, DecodeResult, DecodeStatus
+from repro.coding.parity import ParityCode
+from repro.coding.hamming import HammingCode, SecdedCode
+from repro.coding.bch import BchCode, DectedCode, TecqedCode
+from repro.coding.schemes import (
+    CodingScheme,
+    conventional_ecc_scheme,
+    penny_scheme,
+    storage_cost_table,
+)
+from repro.coding.hwcost import RegisterFileBankModel, hardware_cost_table
+
+__all__ = [
+    "Code",
+    "DecodeResult",
+    "DecodeStatus",
+    "ParityCode",
+    "HammingCode",
+    "SecdedCode",
+    "BchCode",
+    "DectedCode",
+    "TecqedCode",
+    "CodingScheme",
+    "conventional_ecc_scheme",
+    "penny_scheme",
+    "storage_cost_table",
+    "RegisterFileBankModel",
+    "hardware_cost_table",
+]

@@ -1,0 +1,191 @@
+"""Arithmetic in GF(2^m) and polynomials over GF(2), used by the BCH codes.
+
+The DECTED / TECQED codes of Table 1 are multi-bit-correcting block codes;
+we realize them as shortened binary BCH codes, which requires finite-field
+machinery: exponential/log tables for GF(2^m), minimal polynomials of field
+elements, and polynomial arithmetic over GF(2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+# Primitive polynomials (as bit masks, LSB = x^0) for small extension fields.
+PRIMITIVE_POLYS = {
+    3: 0b1011,  # x^3 + x + 1
+    4: 0b10011,  # x^4 + x + 1
+    5: 0b100101,  # x^5 + x^2 + 1
+    6: 0b1000011,  # x^6 + x + 1
+    7: 0b10001001,  # x^7 + x^3 + 1
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with log/antilog tables.
+
+    Elements are integers in ``[0, 2^m)``; ``alpha = 2`` (the polynomial
+    ``x``) is a primitive element for the tabulated primitive polynomials.
+    """
+
+    def __init__(self, m: int):
+        if m not in PRIMITIVE_POLYS:
+            raise ValueError(f"no primitive polynomial tabulated for m={m}")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        poly = PRIMITIVE_POLYS[m]
+        self.exp: List[int] = [0] * (2 * self.order)
+        self.log: List[int] = [0] * self.size
+        x = 1
+        for i in range(self.order):
+            self.exp[i] = x
+            self.log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= poly
+        # Duplicate the exp table so products of logs index directly.
+        for i in range(self.order, 2 * self.order):
+            self.exp[i] = self.exp[i - self.order]
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self.exp[(self.log[a] - self.log[b]) % self.order]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self.exp[(self.order - self.log[a]) % self.order]
+
+    def pow(self, a: int, e: int) -> int:
+        if a == 0:
+            return 0 if e else 1
+        return self.exp[(self.log[a] * e) % self.order]
+
+    def alpha_pow(self, e: int) -> int:
+        """alpha ** e for the primitive element alpha."""
+        return self.exp[e % self.order]
+
+    def minimal_polynomial(self, element: int) -> int:
+        """Minimal polynomial of ``element`` over GF(2), as a bit mask.
+
+        Computed from the conjugacy class {e, e^2, e^4, ...}: the minimal
+        polynomial is the product of ``(x - c)`` over the class, which has
+        coefficients in GF(2).
+        """
+        if element == 0:
+            return 0b10  # x
+        conjugates = []
+        c = element
+        while c not in conjugates:
+            conjugates.append(c)
+            c = self.mul(c, c)
+        # Multiply out prod (x + c_i) with coefficients in GF(2^m);
+        # the result must land in GF(2).
+        coeffs = [1]  # leading coefficient of x^0 polynomial "1"
+        for c in conjugates:
+            # poly = poly * (x + c)
+            new = [0] * (len(coeffs) + 1)
+            for i, a in enumerate(coeffs):
+                new[i + 1] ^= a  # times x
+                new[i] ^= self.mul(a, c)  # times c
+            coeffs = new
+        mask = 0
+        for i, a in enumerate(coeffs):
+            if a not in (0, 1):
+                raise AssertionError(
+                    "minimal polynomial coefficient outside GF(2)"
+                )
+            if a:
+                mask |= 1 << i
+        return mask
+
+
+@lru_cache(maxsize=None)
+def field(m: int) -> GF2m:
+    """Memoized field constructor — table building is O(2^m)."""
+    return GF2m(m)
+
+
+def poly2_degree(p: int) -> int:
+    """Degree of a GF(2) polynomial encoded as a bit mask (-1 for zero)."""
+    return p.bit_length() - 1
+
+
+def poly2_mul(a: int, b: int) -> int:
+    """Product of two GF(2) polynomials (carry-less multiplication)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly2_mod(a: int, b: int) -> int:
+    """Remainder of GF(2) polynomial division a mod b."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial modulo zero")
+    db = poly2_degree(b)
+    while poly2_degree(a) >= db:
+        a ^= b << (poly2_degree(a) - db)
+    return a
+
+
+def poly2_gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, poly2_mod(a, b)
+    return a
+
+
+def poly2_lcm(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    g = poly2_gcd(a, b)
+    # Exact division: multiply then divide via repeated subtraction.
+    prod = poly2_mul(a, b)
+    return _poly2_divexact(prod, g)
+
+
+def _poly2_divexact(a: int, b: int) -> int:
+    """Exact quotient of GF(2) polynomials (remainder must be zero)."""
+    q = 0
+    db = poly2_degree(b)
+    while poly2_degree(a) >= db:
+        shift = poly2_degree(a) - db
+        q |= 1 << shift
+        a ^= b << shift
+    if a:
+        raise ValueError("polynomial division was not exact")
+    return q
+
+
+def poly2_eval_in_field(p: int, x: int, gf: GF2m) -> int:
+    """Evaluate a GF(2) polynomial at a GF(2^m) point (Horner)."""
+    result = 0
+    for i in range(poly2_degree(p), -1, -1):
+        result = gf.mul(result, x)
+        if (p >> i) & 1:
+            result ^= 1
+    return result
+
+
+def bch_generator(m: int, t: int) -> int:
+    """Generator polynomial of the binary BCH code with designed distance
+    ``2t + 1`` over GF(2^m): lcm of minimal polynomials of alpha^1..alpha^2t.
+    """
+    gf = field(m)
+    gen = 1
+    for i in range(1, 2 * t + 1):
+        gen = poly2_lcm(gen, gf.minimal_polynomial(gf.alpha_pow(i)))
+    return gen

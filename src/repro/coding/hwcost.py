@@ -1,0 +1,197 @@
+"""Analytic register-file bank cost model (CACTI + synthesis stand-in).
+
+The paper evaluates hardware cost (Table 2) by designing RF banks with each
+coding scheme in CACTI 6.5 at 22nm and synthesizing the encode/decode logic
+with Synopsys DC.  We reproduce that evaluation with an analytic model:
+
+- The **baseline bank** (256KB RF / 16 banks, no protection) is pinned to the
+  paper's reported synthesis results: 0.105 mm^2, 1.01 ns access latency,
+  9.64 pJ per access, 4.7 nW leakage.
+- **Area** scales with stored bits: a bank storing ``n`` bits per 32-bit
+  register costs ``n / 32`` of the baseline array (check-bit columns are
+  physically identical to data columns).
+- **Access energy** and **leakage** also scale with stored bits, discounted
+  by the fixed periphery fraction that does not grow with word width
+  (sense amps, decoders): calibrated fractions 0.965 and 0.945.
+- **Access latency** is dominated by the encode/check logic appended to the
+  read path, not by the array; per-scheme logic-depth factors are calibrated
+  against the paper's synthesis numbers, with a first-principles XOR-tree
+  fallback for schemes outside the calibration set.
+
+Note Table 2 of the paper synthesizes a 13-check-bit DECTED (40.6% area —
+matching our BCH construction in :mod:`repro.coding.bch`) even though its
+Table 1 quotes (55,32); we follow Table 2 here and Table 1 in
+:mod:`repro.coding.schemes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Check-bit counts used by the Table 2 synthesis for k = 32 data bits.
+SYNTHESIS_CHECK_BITS: Dict[str, int] = {
+    "None": 0,
+    "Parity": 1,
+    "Hamming": 6,
+    "SECDED": 7,
+    "DECTED": 13,
+    "TECQED": 28,
+}
+
+#: Calibrated read-path logic latency overhead (fraction of baseline access
+#: latency) per scheme, from the paper's synthesis (Table 2).
+_LATENCY_OVERHEAD: Dict[str, float] = {
+    "None": 0.0,
+    "Parity": 0.035,
+    "Hamming": 0.218,
+    "SECDED": 0.256,
+    "DECTED": 0.492,
+    "TECQED": 0.743,
+}
+
+#: Fraction of access energy / leakage that grows with stored bits (the
+#: remainder is width-independent periphery).
+_ENERGY_ARRAY_FRACTION = 0.965
+_LEAKAGE_ARRAY_FRACTION = 0.945
+
+
+@dataclass(frozen=True)
+class BankCost:
+    """Absolute per-bank costs, in the units the paper reports."""
+
+    area_mm2: float
+    access_latency_ns: float
+    access_energy_pj: float
+    leakage_nw: float
+
+    def overhead_vs(self, baseline: "BankCost") -> "BankOverhead":
+        return BankOverhead(
+            area=self.area_mm2 / baseline.area_mm2 - 1.0,
+            access_latency=self.access_latency_ns
+            / baseline.access_latency_ns
+            - 1.0,
+            access_energy=self.access_energy_pj
+            / baseline.access_energy_pj
+            - 1.0,
+            leakage=self.leakage_nw / baseline.leakage_nw - 1.0,
+        )
+
+
+@dataclass(frozen=True)
+class BankOverhead:
+    """Fractional overheads relative to the unprotected baseline bank."""
+
+    area: float
+    access_latency: float
+    access_energy: float
+    leakage: float
+
+
+class RegisterFileBankModel:
+    """Cost model for one bank of a banked GPU register file.
+
+    Parameters default to the paper's configuration: a 256KB RF split into
+    16 banks of 32-bit registers at 22nm.
+    """
+
+    #: Paper-reported baseline synthesis results (22nm, 16KB bank).
+    BASELINE = BankCost(
+        area_mm2=0.105,
+        access_latency_ns=1.01,
+        access_energy_pj=9.64,
+        leakage_nw=4.7,
+    )
+
+    def __init__(self, data_bits: int = 32):
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        self.data_bits = data_bits
+
+    def check_bits(self, scheme_name: str) -> int:
+        try:
+            return SYNTHESIS_CHECK_BITS[scheme_name]
+        except KeyError:
+            raise ValueError(f"unknown coding scheme {scheme_name!r}") from None
+
+    def _storage_scale(self, scheme_name: str) -> float:
+        return self.check_bits(scheme_name) / self.data_bits
+
+    def _latency_overhead(self, scheme_name: str) -> float:
+        if scheme_name in _LATENCY_OVERHEAD:
+            return _LATENCY_OVERHEAD[scheme_name]
+        # First-principles fallback: one XOR-tree stage per log2 of fan-in,
+        # ~3.7% of the baseline access time per check bit up to saturation.
+        cb = self.check_bits(scheme_name)
+        return min(0.037 * cb, 0.80)
+
+    def cost(self, scheme_name: str) -> BankCost:
+        """Absolute per-bank cost for a bank protected with ``scheme_name``."""
+        base = self.BASELINE
+        scale = self._storage_scale(scheme_name)
+        return BankCost(
+            area_mm2=base.area_mm2 * (1.0 + scale),
+            access_latency_ns=base.access_latency_ns
+            * (1.0 + self._latency_overhead(scheme_name)),
+            access_energy_pj=base.access_energy_pj
+            * (1.0 + scale * _ENERGY_ARRAY_FRACTION),
+            leakage_nw=base.leakage_nw
+            * (1.0 + scale * _LEAKAGE_ARRAY_FRACTION),
+        )
+
+    def overhead(self, scheme_name: str) -> BankOverhead:
+        """Fractional overhead of ``scheme_name`` vs the unprotected bank."""
+        return self.cost(scheme_name).overhead_vs(self.BASELINE)
+
+
+#: (error bits -> scheme name) pairs mirroring Table 2's rows.
+_TABLE2_ROWS = [
+    (1, "SECDED", "Parity"),
+    (2, "DECTED", "Hamming"),
+    (3, "TECQED", "SECDED"),
+]
+
+
+def hardware_cost_table(model: RegisterFileBankModel = None) -> List[dict]:
+    """Reproduce Table 2: per-bank overheads for ECC vs Penny coding."""
+    model = model or RegisterFileBankModel()
+    rows = []
+    for bits, ecc_name, penny_name in _TABLE2_ROWS:
+        ecc = model.overhead(ecc_name)
+        penny = model.overhead(penny_name)
+        rows.append(
+            {
+                "error_bits": bits,
+                "ecc_coding": ecc_name,
+                "ecc_area": ecc.area,
+                "ecc_latency": ecc.access_latency,
+                "ecc_energy": ecc.access_energy,
+                "ecc_leakage": ecc.leakage,
+                "penny_coding": penny_name,
+                "penny_area": penny.area,
+                "penny_latency": penny.access_latency,
+                "penny_energy": penny.access_energy,
+                "penny_leakage": penny.leakage,
+            }
+        )
+    return rows
+
+
+def format_hardware_cost_table(model: RegisterFileBankModel = None) -> str:
+    """Pretty-print Table 2 in the paper's layout."""
+    rows = hardware_cost_table(model)
+    header = (
+        f"{'Err':<5}{'ECC':<8}{'Area':>7}{'Lat.':>7}{'Enrg':>7}{'Leak':>7}"
+        f"   {'Penny':<9}{'Area':>7}{'Lat.':>7}{'Enrg':>7}{'Leak':>7}"
+    )
+    lines = [header]
+    for r in rows:
+        lines.append(
+            f"{str(r['error_bits']) + 'b':<5}{r['ecc_coding']:<8}"
+            f"{r['ecc_area'] * 100:>6.1f}%{r['ecc_latency'] * 100:>6.1f}%"
+            f"{r['ecc_energy'] * 100:>6.1f}%{r['ecc_leakage'] * 100:>6.1f}%"
+            f"   {r['penny_coding']:<9}"
+            f"{r['penny_area'] * 100:>6.1f}%{r['penny_latency'] * 100:>6.1f}%"
+            f"{r['penny_energy'] * 100:>6.1f}%{r['penny_leakage'] * 100:>6.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Single-bit even parity — Penny's 1-bit-error detector (Table 1: (33,32))."""
+
+from __future__ import annotations
+
+from repro.coding.base import Code, DecodeResult, DecodeStatus, popcount
+
+
+class ParityCode(Code):
+    """Even parity over ``k`` data bits: one check bit, detects odd errors.
+
+    Penny pairs this (33,32) code with idempotent recovery to match the
+    resilience of SECDED(39,32) ECC at 3.1% instead of 21.9% storage
+    overhead.  The parity bit is stored at bit position ``k``.
+    """
+
+    guaranteed_correct = 0
+
+    def __init__(self, k: int = 32):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.n = k + 1
+        self.guaranteed_detect = 1
+
+    def encode(self, data: int) -> int:
+        self._require_data_range(data)
+        parity = popcount(data) & 1
+        return data | (parity << self.k)
+
+    def check(self, codeword: int) -> bool:
+        self._require_codeword_range(codeword)
+        return popcount(codeword) & 1 == 1
+
+    def decode(self, codeword: int) -> DecodeResult:
+        data = self.extract_data(codeword)
+        if self.check(codeword):
+            return DecodeResult(data=data, status=DecodeStatus.DETECTED)
+        return DecodeResult(data=data, status=DecodeStatus.CLEAN)

@@ -1,0 +1,123 @@
+"""Protection-scheme registry reproducing the paper's Table 1.
+
+For each error magnitude (1, 2, 3 flipped bits per 32-bit register) the
+paper compares the coding a conventional ECC design needs against the coding
+Penny needs when the code is used *detection-only* and correction is handled
+by idempotent re-execution.
+
+The quoted (n, k) pairs below are exactly the paper's (Table 1).  Note that
+our *functional* DECTED/TECQED implementations (:mod:`repro.coding.bch`)
+achieve the same correction guarantees with fewer check bits than the quoted
+hardware-oriented constructions; the quoted numbers are what Table 1 and the
+storage-cost benchmark report.  (The paper itself uses a smaller DECTED in
+its Table 2 synthesis — 13 check bits — which matches our BCH construction;
+:mod:`repro.coding.hwcost` records that discrepancy.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.coding.base import Code
+from repro.coding.bch import DectedCode, TecqedCode
+from repro.coding.hamming import HammingCode, SecdedCode
+from repro.coding.parity import ParityCode
+
+
+@dataclass(frozen=True)
+class CodingScheme:
+    """One row-half of Table 1: a named code with its quoted storage cost."""
+
+    name: str
+    quoted_n: int
+    quoted_k: int
+    factory: Optional[Callable[[], Code]]
+
+    @property
+    def quoted_check_bits(self) -> int:
+        return self.quoted_n - self.quoted_k
+
+    @property
+    def quoted_overhead(self) -> float:
+        """Fractional storage overhead, e.g. 0.219 for SECDED (39,32)."""
+        return self.quoted_check_bits / self.quoted_k
+
+    def build(self) -> Code:
+        """Instantiate the functional code implementing this scheme."""
+        if self.factory is None:
+            raise ValueError(f"no functional implementation for {self.name}")
+        return self.factory()
+
+
+PARITY = CodingScheme("Parity", 33, 32, lambda: ParityCode(32))
+HAMMING = CodingScheme("Hamming", 38, 32, lambda: HammingCode(32))
+SECDED = CodingScheme("SECDED", 39, 32, lambda: SecdedCode(32))
+DECTED = CodingScheme("DECTED", 55, 32, lambda: DectedCode(32))
+TECQED = CodingScheme("TECQED", 60, 32, lambda: TecqedCode(32))
+
+#: Conventional ECC protection per error magnitude (Table 1, middle column).
+_CONVENTIONAL: Dict[int, CodingScheme] = {1: SECDED, 2: DECTED, 3: TECQED}
+
+#: Penny's detection-only coding per error magnitude (Table 1, right column).
+_PENNY: Dict[int, CodingScheme] = {1: PARITY, 2: HAMMING, 3: SECDED}
+
+
+def conventional_ecc_scheme(error_bits: int) -> CodingScheme:
+    """Coding a conventional ECC design needs to *correct* ``error_bits``."""
+    try:
+        return _CONVENTIONAL[error_bits]
+    except KeyError:
+        raise ValueError(
+            f"no conventional scheme tabulated for {error_bits}-bit errors"
+        ) from None
+
+
+def penny_scheme(error_bits: int) -> CodingScheme:
+    """Coding Penny needs to *detect* ``error_bits`` (recovery corrects)."""
+    try:
+        return _PENNY[error_bits]
+    except KeyError:
+        raise ValueError(
+            f"no Penny scheme tabulated for {error_bits}-bit errors"
+        ) from None
+
+
+def storage_cost_table() -> List[dict]:
+    """Reproduce Table 1 as a list of row dictionaries."""
+    rows = []
+    for bits in (1, 2, 3):
+        ecc = conventional_ecc_scheme(bits)
+        penny = penny_scheme(bits)
+        rows.append(
+            {
+                "error_bits": bits,
+                "ecc_coding": ecc.name,
+                "ecc_n": ecc.quoted_n,
+                "ecc_k": ecc.quoted_k,
+                "ecc_overhead": ecc.quoted_overhead,
+                "penny_coding": penny.name,
+                "penny_n": penny.quoted_n,
+                "penny_k": penny.quoted_k,
+                "penny_overhead": penny.quoted_overhead,
+            }
+        )
+    return rows
+
+
+def format_storage_cost_table() -> str:
+    """Pretty-print Table 1 in the paper's layout."""
+    lines = [
+        f"{'Error':<7}{'Conventional ECC':<24}{'Penny':<24}",
+    ]
+    for row in storage_cost_table():
+        ecc = (
+            f"{row['ecc_coding']} ({row['ecc_n']},{row['ecc_k']}) "
+            f"{row['ecc_overhead'] * 100:.1f}%"
+        )
+        penny = (
+            f"{row['penny_coding']} ({row['penny_n']},{row['penny_k']}) "
+            f"{row['penny_overhead'] * 100:.1f}%"
+        )
+        lines.append(f"{str(row['error_bits']) + ' bit':<7}{ecc:<24}{penny:<24}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Penny's compiler: the paper's primary contribution.
+
+The passes run in the order of §5:
+
+1. :mod:`repro.core.regions` — idempotent region formation (cut every memory
+   anti-dependence; synchronization instructions are boundaries).
+2. :mod:`repro.core.liveins` — region live-ins and last update points (LUPs).
+3. :mod:`repro.core.checkpoints` — eager checkpoint placement (Bolt) and the
+   checkpoint plan representation.
+4. :mod:`repro.core.bimodal` — bimodal checkpoint placement (LUP vs region
+   boundary) solved as bipartite min-weight vertex cover via max-flow (§6.2).
+5. :mod:`repro.core.overwrite` — checkpoint-overwrite hazard detection plus
+   the two prevention schemes (register renaming / 2-coloring storage
+   alternation with adjustment blocks) and automatic selection (§6.3).
+6. :mod:`repro.core.pruning` — Bolt's basic random-search pruning and
+   Penny's optimal two-phase pruning over the PDDG (§6.4, Algorithms 1-2).
+7. :mod:`repro.core.storage` — occupancy-aware shared/global checkpoint
+   storage assignment (§6.5).
+8. :mod:`repro.core.codegen` — checkpoint lowering, low-level optimizations
+   (§6.6), and recovery-table emission.
+
+:mod:`repro.core.pipeline` wires everything behind :class:`PennyCompiler`,
+and :mod:`repro.core.schemes` provides the paper's comparison configurations
+(iGPU, Bolt/Global, Bolt/Auto_storage, Penny).
+"""
+
+from repro.core.regions import RegionInfo, form_regions
+from repro.core.liveins import BoundaryInfo, LupInfo, analyze_liveins
+from repro.core.checkpoints import CheckpointPlan, PlannedCheckpoint
+from repro.core.costmodel import CostModel
+from repro.core.pipeline import CompileResult, PennyCompiler, PennyConfig
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_IGPU,
+    SCHEME_PENNY,
+    scheme_config,
+)
+
+__all__ = [
+    "RegionInfo",
+    "form_regions",
+    "BoundaryInfo",
+    "LupInfo",
+    "analyze_liveins",
+    "CheckpointPlan",
+    "PlannedCheckpoint",
+    "CostModel",
+    "PennyCompiler",
+    "PennyConfig",
+    "CompileResult",
+    "SCHEME_IGPU",
+    "SCHEME_BOLT_GLOBAL",
+    "SCHEME_BOLT_AUTO",
+    "SCHEME_PENNY",
+    "scheme_config",
+]

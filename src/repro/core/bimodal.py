@@ -1,0 +1,120 @@
+"""Bimodal checkpoint placement (§6.2).
+
+For each register, every LUP↔boundary edge must be covered by a checkpoint
+at one of its endpoints: checkpoint at the LUP (classic eager placement) or
+delayed to the region boundary.  Choosing the cheapest set of endpoints is
+min-weight vertex cover, NP-hard in general but polynomial on bipartite
+graphs: by the weighted König theorem it equals a max-flow / min-cut
+computation, which is how Penny solves it.
+
+Vertex weights follow the cost model (``base ** loop_depth``); the paper's
+Figure 3 uses base 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+import networkx as nx
+
+from repro.analysis.cfg import CFG
+from repro.analysis.reachingdefs import DefSite
+from repro.core.checkpoints import (
+    CheckpointKind,
+    CheckpointPlan,
+    PlannedCheckpoint,
+)
+from repro.core.costmodel import CostModel
+from repro.core.liveins import LiveinAnalysis
+from repro.ir.types import Reg
+
+
+def bimodal_plan(
+    cfg: CFG,
+    liveins: LiveinAnalysis,
+    cost: CostModel,
+    cover_base: int = 2,
+) -> CheckpointPlan:
+    """Choose LUP-vs-boundary placement for every register's checkpoints."""
+    plan = CheckpointPlan()
+    for reg in sorted(liveins.edges, key=lambda r: r.name):
+        edges = liveins.edges[reg]
+        chosen_lups, chosen_bounds = _min_weight_cover(
+            cfg, cost, edges, cover_base
+        )
+        _emit_register_plan(plan, reg, edges, chosen_lups, chosen_bounds)
+    return plan
+
+
+def _vertex_weight(cost: CostModel, label: str, base: int) -> int:
+    return base ** cost.depth(label)
+
+
+def _min_weight_cover(
+    cfg: CFG,
+    cost: CostModel,
+    edges: Set[Tuple[DefSite, str]],
+    base: int,
+) -> Tuple[Set[DefSite], Set[str]]:
+    """Min-weight vertex cover of one register's bipartite LUP/boundary
+    graph, via max-flow min-cut (weighted König)."""
+    lups = {lup for lup, _ in edges}
+    bounds = {b for _, b in edges}
+
+    graph = nx.DiGraph()
+    source, sink = "S", "T"
+    for lup in lups:
+        graph.add_edge(
+            source,
+            ("lup", lup),
+            capacity=_vertex_weight(cost, lup.label, base),
+        )
+    for b in bounds:
+        graph.add_edge(
+            ("bound", b), sink, capacity=_vertex_weight(cost, b, base)
+        )
+    for lup, b in edges:
+        graph.add_edge(("lup", lup), ("bound", b), capacity=float("inf"))
+
+    _, (s_side, t_side) = nx.minimum_cut(graph, source, sink)
+    # A LUP is in the cover when its source edge is cut (LUP on sink side);
+    # a boundary is in the cover when its sink edge is cut (boundary on
+    # source side).
+    chosen_lups = {lup for lup in lups if ("lup", lup) in t_side}
+    chosen_bounds = {b for b in bounds if ("bound", b) in s_side}
+    return chosen_lups, chosen_bounds
+
+
+def _emit_register_plan(
+    plan: CheckpointPlan,
+    reg: Reg,
+    edges: Set[Tuple[DefSite, str]],
+    chosen_lups: Set[DefSite],
+    chosen_bounds: Set[str],
+) -> None:
+    lup_cps: Dict[DefSite, PlannedCheckpoint] = {}
+    bound_cps: Dict[str, PlannedCheckpoint] = {}
+    for lup, boundary in sorted(
+        edges, key=lambda e: (e[0].label, e[0].index, e[1])
+    ):
+        if lup in chosen_lups:
+            cp = lup_cps.get(lup)
+            if cp is None:
+                cp = PlannedCheckpoint(reg=reg, kind=CheckpointKind.LUP, site=lup)
+                lup_cps[lup] = cp
+                plan.checkpoints.append(cp)
+            cp.covers.add((lup, boundary))
+        if boundary in chosen_bounds:
+            cp = bound_cps.get(boundary)
+            if cp is None:
+                cp = PlannedCheckpoint(
+                    reg=reg, kind=CheckpointKind.BOUNDARY, boundary=boundary
+                )
+                bound_cps[boundary] = cp
+                plan.checkpoints.append(cp)
+            cp.covers.add((lup, boundary))
+        if lup not in chosen_lups and boundary not in chosen_bounds:
+            raise AssertionError(
+                f"uncovered checkpoint edge for {reg.name}: "
+                f"{lup.label}:{lup.index} -> {boundary}"
+            )

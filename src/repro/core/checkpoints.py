@@ -1,0 +1,137 @@
+"""Checkpoint plan: which registers are checkpointed where.
+
+A :class:`PlannedCheckpoint` is a *logical* checkpoint — one vertex of the
+bimodal placement graph.  An LUP checkpoint materializes as a single ``cp``
+right after its defining instruction; a boundary checkpoint materializes at
+the bottom of every predecessor block of the boundary (i.e. just before the
+region ends, which is what the recoverability proof requires: live-outs are
+saved *before* the region's end).
+
+Eager placement (Bolt's scheme, §3) simply creates one LUP checkpoint per
+last-update point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.reachingdefs import DefSite
+from repro.core.liveins import LiveinAnalysis
+from repro.ir.types import Reg
+
+
+class PruneState(enum.Enum):
+    """Pruning decision of a checkpoint (§6.4)."""
+
+    COMMITTED = "committed"
+    PRUNED = "pruned"
+    UNDECIDED = "undecided"
+
+
+class CheckpointKind(enum.Enum):
+    LUP = "lup"
+    BOUNDARY = "boundary"
+
+
+@dataclass(eq=False)
+class PlannedCheckpoint:
+    """One logical checkpoint of register ``reg``.  Identity semantics
+    (hash/eq by object) — the pruning phases keep checkpoints in sets.
+
+    - LUP kind: ``site`` is the defining instruction; the ``cp`` goes right
+      after it (same block).
+    - BOUNDARY kind: ``boundary`` is the region-boundary label; ``cp``
+      instructions go at the bottom of each predecessor block.
+
+    ``covers`` lists the (lup site, boundary) edges this checkpoint
+    satisfies.  ``state`` is filled by pruning; ``color`` by storage
+    alternation; ``dummy`` marks adjustment-block checkpoints.
+    """
+
+    reg: Reg
+    kind: CheckpointKind
+    site: Optional[DefSite] = None
+    boundary: Optional[str] = None
+    covers: Set[Tuple[DefSite, str]] = field(default_factory=set)
+    state: PruneState = PruneState.COMMITTED
+    color: int = 0
+    dummy: bool = False
+
+    def insertion_blocks(self, cfg: Optional[CFG] = None) -> List[str]:
+        """Blocks where ``cp`` instructions will be inserted."""
+        if self.kind is CheckpointKind.LUP:
+            assert self.site is not None
+            return [self.site.label]
+        assert self.boundary is not None
+        if cfg is None:
+            raise ValueError("boundary checkpoints need a CFG to locate preds")
+        return list(cfg.predecessors(self.boundary))
+
+    @property
+    def key(self) -> Tuple:
+        if self.kind is CheckpointKind.LUP:
+            return ("lup", self.reg.name, self.site.label, self.site.index)
+        return ("boundary", self.reg.name, self.boundary)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = (
+            f"{self.site.label}:{self.site.index}"
+            if self.kind is CheckpointKind.LUP
+            else self.boundary
+        )
+        return (
+            f"PlannedCheckpoint({self.reg.name} @ {self.kind.value}:{where}, "
+            f"{self.state.value})"
+        )
+
+
+@dataclass
+class CheckpointPlan:
+    """All logical checkpoints of a kernel plus pruning statistics."""
+
+    checkpoints: List[PlannedCheckpoint] = field(default_factory=list)
+    #: filled by pruning: counts for the Fig. 12 breakdown
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def committed(self) -> List[PlannedCheckpoint]:
+        return [
+            c for c in self.checkpoints if c.state is PruneState.COMMITTED
+        ]
+
+    def pruned(self) -> List[PlannedCheckpoint]:
+        return [c for c in self.checkpoints if c.state is PruneState.PRUNED]
+
+    def of_register(self, reg: Reg) -> List[PlannedCheckpoint]:
+        return [c for c in self.checkpoints if c.reg == reg]
+
+    def registers(self) -> Set[Reg]:
+        return {c.reg for c in self.checkpoints}
+
+    def find(self, key: Tuple) -> Optional[PlannedCheckpoint]:
+        for c in self.checkpoints:
+            if c.key == key:
+                return c
+        return None
+
+
+def eager_plan(liveins: LiveinAnalysis) -> CheckpointPlan:
+    """Bolt's eager checkpointing: one checkpoint per LUP, covering every
+    boundary the LUP's value reaches."""
+    plan = CheckpointPlan()
+    by_site: Dict[Tuple[Reg, DefSite], PlannedCheckpoint] = {}
+    for reg, edges in liveins.edges.items():
+        for lup, boundary in sorted(
+            edges, key=lambda e: (e[0].label, e[0].index, e[1])
+        ):
+            cp = by_site.get((reg, lup))
+            if cp is None:
+                cp = PlannedCheckpoint(
+                    reg=reg, kind=CheckpointKind.LUP, site=lup
+                )
+                by_site[(reg, lup)] = cp
+                plan.checkpoints.append(cp)
+            cp.covers.add((lup, boundary))
+    return plan

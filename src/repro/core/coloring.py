@@ -1,0 +1,143 @@
+"""2-slot checkpoint storage alternation (§6.3, Figures 4(b) and 5).
+
+Each register with overwrite hazards gets *two* checkpoint slots.  The
+paper assigns colors per region and patches conflicts with dummy
+checkpoints in adjustment blocks (Figure 5).  We implement the same
+two-slot idea with a construction that is uniform and locally provable —
+the **edge snapshot** scheme:
+
+- Every planned checkpoint of a hazardous register writes slot **K0**.
+  Because the register's last definition is always followed by one of its
+  checkpoints before the next boundary (plan coverage), K0 always holds the
+  register's *current* value at region ends.
+- On every edge into a boundary where the register is live-in, a dummy
+  checkpoint in an *adjustment block* snapshots the register into slot
+  **K1** — unless no definition of the register can reach that edge within
+  the current region (then K1 provably still holds the right value).
+- Recovery always restores the register from **K1**: at any point inside a
+  region, K1 was last written when the region was entered, so it holds
+  exactly the entry value.  In-region checkpoints touch only K0 and can
+  never clobber it.
+
+The loop case degenerates to exactly the paper's behaviour (one body
+checkpoint + one back-edge dummy per iteration); straight-line multi-region
+code pays a dummy per live-in boundary crossing that the paper's minimal
+coloring sometimes avoids — an overhead-only deviation recorded in
+DESIGN.md.
+
+Safety of the dummy itself: it *reads* the register (detection point) and
+*writes* K1, which mid-region restores rely on.  Adjustment blocks are
+therefore **mini-regions** in the recovery table: an error detected inside
+one restores each dummy register from K0 (fresh, see above) and re-executes
+just the adjustment block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.core.hazards import CpInstance
+from repro.core.liveins import LiveinAnalysis
+from repro.core.regions import RegionInfo
+from repro.ir.types import Reg
+
+#: Slot written by planned (in-region) checkpoints of hazardous registers.
+CURRENT_SLOT = 0
+#: Slot holding the region-entry snapshot; the one recovery restores from.
+SNAPSHOT_SLOT = 1
+
+
+@dataclass
+class Adjustment:
+    """A dummy checkpoint of ``reg`` in a new block on edge ``pred ->
+    succ``: stores the register into ``color`` (= K1); on detection inside
+    the adjustment block the register is restored from ``restore_color``
+    (= K0, the register's current value)."""
+
+    pred: str
+    succ: str
+    reg: Reg
+    color: int
+    restore_color: int
+
+
+@dataclass
+class ColoringResult:
+    """Slot decisions for all hazardous registers."""
+
+    instance_colors: Dict[Tuple[Tuple, str], int] = field(default_factory=dict)
+    restore_colors: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    adjustments: List[Adjustment] = field(default_factory=list)
+    colored_registers: Set[Reg] = field(default_factory=set)
+
+    def color_of(self, cp_key: Tuple, block: str) -> int:
+        return self.instance_colors.get((cp_key, block), 0)
+
+    def restore_color(self, boundary: str, reg: Reg) -> int:
+        return self.restore_colors.get((boundary, reg.name), 0)
+
+    def drop_register(self, reg_name: str) -> None:
+        """Remove a register's snapshot machinery (used when pruning makes
+        all its restores slice-based)."""
+        self.adjustments = [
+            a for a in self.adjustments if a.reg.name != reg_name
+        ]
+        self.restore_colors = {
+            k: v for k, v in self.restore_colors.items() if k[1] != reg_name
+        }
+        self.colored_registers = {
+            r for r in self.colored_registers if r.name != reg_name
+        }
+
+
+def color_checkpoints(
+    cfg: CFG,
+    regions: RegionInfo,
+    liveins: LiveinAnalysis,
+    instances: List[CpInstance],
+    hazardous: Set[Reg],
+) -> ColoringResult:
+    """Apply the edge-snapshot scheme to every hazardous register."""
+    result = ColoringResult()
+    result.colored_registers = set(hazardous)
+
+    # Where is each hazardous register defined?  (For the dummy-elision
+    # check: an edge whose predecessor's region cannot contain a definition
+    # of the register needs no dummy.)
+    def_regions: Dict[str, Set[str]] = {r.name: set() for r in hazardous}
+    for blk in cfg.blocks:
+        for inst in blk.instructions:
+            for reg in inst.defs():
+                if reg in hazardous:
+                    def_regions[reg.name].update(
+                        regions.region_entry_candidates(blk.label)
+                    )
+
+    for reg in sorted(hazardous, key=lambda r: r.name):
+        # Planned checkpoints keep the default color (K0) — nothing to
+        # record in instance_colors, since color_of defaults to 0.
+        for boundary, binfo in liveins.boundaries.items():
+            if reg not in binfo.live_ins or reg not in binfo.lups:
+                continue
+            result.restore_colors[(boundary, reg.name)] = SNAPSHOT_SLOT
+            for pred in cfg.predecessors(boundary):
+                pred_regions = regions.region_entry_candidates(pred)
+                if not pred_regions & def_regions[reg.name]:
+                    # No definition of reg can be live in the predecessor's
+                    # region: K1 already holds the value reg has at the
+                    # boundary, so the snapshot is elidable.
+                    continue
+                result.adjustments.append(
+                    Adjustment(
+                        pred=pred,
+                        succ=boundary,
+                        reg=reg,
+                        color=SNAPSHOT_SLOT,
+                        restore_color=CURRENT_SLOT,
+                    )
+                )
+    return result
+
+

@@ -1,0 +1,43 @@
+"""Checkpoint cost estimation (§6.1).
+
+A checkpoint placed at loop depth ``d`` costs ``C ** d`` with ``C = 64`` by
+default — large enough that removing one checkpoint from a deeply nested
+loop always beats removing many shallow ones.  Bimodal placement (§6.2)
+uses the same model with ``C = 2`` for its vertex weights, as the paper
+does in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import LoopInfo
+
+
+@dataclass
+class CostModel:
+    """Estimates checkpoint costs from loop nesting depth."""
+
+    loops: LoopInfo
+    base: int = 64
+
+    @classmethod
+    def for_cfg(cls, cfg: CFG, base: int = 64) -> "CostModel":
+        return cls(loops=LoopInfo(cfg), base=base)
+
+    def depth(self, label: str) -> int:
+        return self.loops.depth_of(label)
+
+    def block_cost(self, label: str) -> int:
+        """Cost of one checkpoint placed in the given block."""
+        return self.base ** self.loops.depth_of(label)
+
+    def plan_cost(self, plan) -> int:
+        """Total estimated cost of all committed checkpoints in a plan."""
+        total = 0
+        for cp in plan.committed():
+            for label in cp.insertion_blocks():
+                total += self.block_cost(label)
+        return total

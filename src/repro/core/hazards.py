@@ -1,0 +1,100 @@
+"""Checkpoint-overwrite hazard detection (§3.1, §6.3).
+
+GPUs have no gated store buffer, so a checkpoint store can clobber a
+previously saved checkpoint that recovery still needs.  The precise
+condition: a ``cp`` of register ``r`` executing inside a region whose entry
+``B`` has ``r`` as a live-in, storing a value that may *differ* from ``r``'s
+value at ``B`` — i.e. the stored value was defined inside the current
+region.  (A checkpoint that rewrites the same value is harmless.)
+
+This module materializes the plan's logical checkpoints into concrete
+(block, position) instances and flags the hazardous ones; the renaming and
+coloring schemes consume the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.analysis.cfg import CFG
+from repro.core.checkpoints import (
+    CheckpointKind,
+    CheckpointPlan,
+    PlannedCheckpoint,
+)
+from repro.core.liveins import LiveinAnalysis
+from repro.core.regions import RegionInfo
+from repro.ir.types import Reg
+
+
+@dataclass
+class CpInstance:
+    """A concrete checkpoint instance: logical checkpoint ``cp`` placed in
+    ``block`` (for LUP checkpoints, right after instruction ``index``; for
+    boundary checkpoints, at the bottom of the block)."""
+
+    cp: PlannedCheckpoint
+    block: str
+    index: Optional[int]  # def index for LUP kind, None for block-bottom
+    hazardous: bool = False
+
+    @property
+    def reg(self) -> Reg:
+        return self.cp.reg
+
+    @property
+    def at_block_end(self) -> bool:
+        return self.index is None
+
+
+def materialize_instances(
+    plan: CheckpointPlan, cfg: CFG
+) -> List[CpInstance]:
+    """Expand logical checkpoints to per-block instances."""
+    instances: List[CpInstance] = []
+    for cp in plan.checkpoints:
+        if cp.kind is CheckpointKind.LUP:
+            assert cp.site is not None
+            instances.append(CpInstance(cp, cp.site.label, cp.site.index))
+        else:
+            assert cp.boundary is not None
+            for pred in cfg.predecessors(cp.boundary):
+                instances.append(CpInstance(cp, pred, None))
+    return instances
+
+
+def detect_hazards(
+    cfg: CFG,
+    regions: RegionInfo,
+    liveins: LiveinAnalysis,
+    instances: List[CpInstance],
+) -> Set[Reg]:
+    """Mark hazardous instances in place; return the hazardous registers.
+
+    An instance in block ``X`` is hazardous when some region-entry candidate
+    ``B`` of ``X`` has the register live-in *and* the checkpointed value was
+    defined inside that same region (for LUP checkpoints the definition is
+    at the checkpoint; for boundary checkpoints we check whether any covered
+    LUP lies in the current region).
+    """
+    hazardous: Set[Reg] = set()
+    for inst in instances:
+        reg = inst.reg
+        for entry in regions.region_entry_candidates(inst.block):
+            binfo = liveins.boundaries.get(entry)
+            if binfo is None or reg not in binfo.live_ins:
+                continue
+            if inst.cp.kind is CheckpointKind.LUP:
+                inst.hazardous = True
+            else:
+                # Boundary checkpoint: hazardous only if a covered LUP is
+                # inside the region entered at ``entry``.
+                for lup, _ in inst.cp.covers:
+                    if entry in regions.region_entry_candidates(lup.label):
+                        inst.hazardous = True
+                        break
+            if inst.hazardous:
+                hazardous.add(reg)
+                break
+    return hazardous

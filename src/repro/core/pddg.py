@@ -1,0 +1,578 @@
+"""Predicate/data dependence graph (PDDG) validation — Algorithm 1 (§6.4.1).
+
+Validating a checkpoint ``cv`` asks: can the value it saves be recomputed at
+recovery time from things that are guaranteed intact — constants, special
+registers, read-only or un-overwritten memory, and other *committed*
+checkpoints?  The answer is computed by a depth-first traversal of the
+value's dependences, merging three validation states with priority
+``invalid > undecided > valid``:
+
+- ``VALID``     — recomputable; a recovery-slice expression is produced.
+- ``INVALID``   — provably not recomputable (cyclic dependence, overwritten
+  memory, atomics, uninitialized input).
+- ``UNDECIDED`` — recomputable *if* some other checkpoint ends up committed
+  (its pruning decision is deferred to phase 2).
+
+Deviations from the paper, chosen to keep the produced recovery slices
+*executable* in our recovery runtime and documented in DESIGN.md:
+
+- A valid state whose value our slice builder cannot linearize (e.g. a join
+  of more than two definitions) is demoted to INVALID, so "prunable" always
+  means "the runtime can actually rebuild the value".
+- A committed checkpoint's slot is only trusted under conservative
+  conditions (LUP-kind, sole writer of its slot, not inside a loop); see
+  :meth:`PddgValidator._slot_usable`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.analysis.cfg import CFG
+from repro.analysis.loops import LoopInfo
+from repro.analysis.postdom import ControlDependence
+from repro.analysis.reachingdefs import DefSite, ReachingDefs
+from repro.core.checkpoints import (
+    CheckpointKind,
+    CheckpointPlan,
+    PlannedCheckpoint,
+    PruneState,
+)
+from repro.core.coloring import ColoringResult
+from repro.core.hazards import CpInstance
+from repro.core.slices import (
+    SImm,
+    SLoad,
+    SOp,
+    SSelp,
+    SSetp,
+    SSlot,
+    SSpecial,
+    SSymRef,
+    SliceExpr,
+)
+from repro.ir.instructions import Alu, Atom, Ld, Selp, Setp, St
+from repro.ir.types import DType, Imm, Operand, Reg, Special, SymRef
+
+
+class VState(enum.IntEnum):
+    """Validation state; numeric order is the merge priority."""
+
+    VALID = 0
+    UNDECIDED = 1
+    INVALID = 2
+
+
+def merge(a: VState, b: VState) -> VState:
+    return max(a, b)
+
+
+@dataclass
+class Marked:
+    """Validation result for one node: the merged state and, when VALID,
+    the recovery-slice expression that recomputes the value."""
+
+    state: VState
+    expr: Optional[SliceExpr] = None
+
+
+#: Callback giving the current pruning decision of a checkpoint, or None
+#: when decisions are not yet known (phase 1).
+DecisionFn = Callable[[PlannedCheckpoint], Optional[PruneState]]
+
+
+class PddgValidator:
+    """Shared machinery for phase-1/phase-2 validation and restore slices."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        rdefs: ReachingDefs,
+        plan: CheckpointPlan,
+        instances: List[CpInstance],
+        aa: AliasAnalysis,
+        loops: LoopInfo,
+        ctrldep: ControlDependence,
+        coloring: Optional[ColoringResult] = None,
+    ):
+        self.cfg = cfg
+        self.rdefs = rdefs
+        self.plan = plan
+        self.instances = instances
+        self.aa = aa
+        self.loops = loops
+        self.ctrldep = ctrldep
+        self.coloring = coloring
+        self.materialization_failures = 0
+
+        #: LUP checkpoints by their defining site.
+        self.cp_at_site: Dict[DefSite, PlannedCheckpoint] = {}
+        for cp in plan.checkpoints:
+            if cp.kind is CheckpointKind.LUP and cp.site is not None:
+                self.cp_at_site[cp.site] = cp
+
+        #: all stores, for memory-overwrite checks
+        self._stores: List[Tuple[str, int]] = []
+        for blk in cfg.blocks:
+            for i, inst in enumerate(blk.instructions):
+                if inst.is_memory_write:
+                    self._stores.append((blk.label, i))
+
+    # -- public API -------------------------------------------------------------
+
+    def validate_checkpoint(
+        self, cv: PlannedCheckpoint, decision: Optional[DecisionFn] = None
+    ) -> Marked:
+        """Run Algorithm 1 from checkpoint ``cv``."""
+        if cv.kind is CheckpointKind.LUP:
+            assert cv.site is not None
+            return self._mark_def(cv.site, frozenset(), decision, root=cv)
+        assert cv.boundary is not None
+        return self._mark_reg_at(
+            cv.boundary, 0, cv.reg, frozenset(), decision
+        )
+
+    def value_at(
+        self, label: str, index: int, reg: Reg, decision: Optional[DecisionFn]
+    ) -> Marked:
+        """Validate/slice the value of ``reg`` just before (label, index) —
+        used to build boundary restore slices."""
+        return self._mark_reg_at(label, index, reg, frozenset(), decision)
+
+    def collect_decision_deps(
+        self, cv: PlannedCheckpoint, decision: DecisionFn
+    ) -> Set[PlannedCheckpoint]:
+        """Algorithm 2's CollectDecisionDeps: the checkpoints whose pruning
+        decisions must be known before ``cv`` can be finalized."""
+        deps: Set[PlannedCheckpoint] = set()
+        visited: Set[DefSite] = set()
+        if cv.kind is CheckpointKind.LUP:
+            self._deps_from_def(cv.site, cv, decision, deps, visited)
+        else:
+            self._deps_from_reg(
+                cv.boundary, 0, cv.reg, cv, decision, deps, visited
+            )
+        deps.discard(cv)
+        return deps
+
+    # -- memory-overwrite check ----------------------------------------------------
+
+    def memory_intact(self, label: str, index: int) -> bool:
+        """CheckMemOW: may the location loaded at (label, index) be
+        overwritten before recovery re-executes the load?  Conservative:
+        invalid when any may-aliasing store is reachable from the load."""
+        addr = self.aa.address_of(label, index)
+        for s_label, s_index in self._stores:
+            s_addr = self.aa.address_of(s_label, s_index)
+            if self.aa.alias(addr, s_addr) is AliasResult.NO:
+                continue
+            if self._reachable(label, s_label, index, s_index):
+                return False
+        return True
+
+    def _reachable(
+        self, from_label: str, to_label: str, from_idx: int, to_idx: int
+    ) -> bool:
+        if from_label == to_label and to_idx > from_idx:
+            return True
+        seen: Set[str] = set()
+        stack = list(self.cfg.successors(from_label))
+        while stack:
+            lbl = stack.pop()
+            if lbl == to_label:
+                return True
+            if lbl in seen:
+                continue
+            seen.add(lbl)
+            stack.extend(self.cfg.successors(lbl))
+        return False
+
+    # -- slot usability ----------------------------------------------------------------
+
+    def _slot_usable(self, cd: PlannedCheckpoint) -> bool:
+        """May a recovery slice read ``cd``'s checkpoint slot?
+
+        Conservative conditions guaranteeing the slot holds exactly the
+        value that flowed into the dependent computation:
+
+        - ``cd`` is LUP-kind (it provably executed right after the value was
+          defined; a boundary checkpoint may still be pending),
+        - ``cd``'s block is not inside a loop (no self-overwrite across
+          iterations),
+        - no other checkpoint instance or coloring dummy writes the same
+          (register, color) slot.
+        """
+        if cd.kind is not CheckpointKind.LUP:
+            return False
+        if self.loops.depth_of(cd.site.label) > 0:
+            return False
+        color = 0
+        if self.coloring is not None:
+            color = self.coloring.color_of(cd.key, cd.site.label)
+        for inst in self.instances:
+            if inst.cp is cd or inst.reg != cd.reg:
+                continue
+            other_color = 0
+            if self.coloring is not None:
+                other_color = self.coloring.color_of(inst.cp.key, inst.block)
+            if other_color == color:
+                return False
+        if self.coloring is not None:
+            for adj in self.coloring.adjustments:
+                if adj.reg == cd.reg and adj.color == color:
+                    return False
+        return True
+
+    # -- Algorithm 1: marking --------------------------------------------------------------
+
+    def _mark_reg_at(
+        self,
+        label: str,
+        index: int,
+        reg: Reg,
+        visited: FrozenSet[DefSite],
+        decision: Optional[DecisionFn],
+    ) -> Marked:
+        sites = [
+            s
+            for s in self.rdefs.reaching_at(label, index, reg)
+            if not s.is_entry
+        ]
+        if not sites:
+            return Marked(VState.INVALID)  # uninitialized input
+        if len(sites) == 1:
+            return self._mark_def(sites[0], visited, decision)
+        return self._mark_join(sites, visited, decision)
+
+    def _mark_join(
+        self,
+        sites: List[DefSite],
+        visited: FrozenSet[DefSite],
+        decision: Optional[DecisionFn],
+    ) -> Marked:
+        """A value defined on multiple paths: data dependences on every
+        definition plus predicate dependences on the branches steering
+        between them (§6.4.1)."""
+        state = VState.VALID
+        marks: List[Tuple[DefSite, Marked]] = []
+        for site in sorted(sites, key=lambda s: (s.label, s.index)):
+            m = self._mark_def(site, visited, decision)
+            marks.append((site, m))
+            state = merge(state, m.state)
+        # Predicate dependences: the branch predicates the definitions are
+        # control-dependent on.
+        pred_exprs: Dict[Tuple[str, str], Marked] = {}
+        for site, _ in marks:
+            for cd in self.ctrldep.of(site.label):
+                key = (cd.branch_block, cd.pred.name)
+                if key in pred_exprs:
+                    continue
+                branch_blk = self.cfg.block(cd.branch_block)
+                pm = self._mark_reg_at(
+                    cd.branch_block,
+                    len(branch_blk.instructions),
+                    cd.pred,
+                    visited,
+                    decision,
+                )
+                pred_exprs[key] = pm
+                state = merge(state, pm.state)
+        if state is not VState.VALID:
+            return Marked(state)
+        expr = self._materialize_join(marks, visited, decision)
+        if expr is None:
+            self.materialization_failures += 1
+            return Marked(VState.INVALID)
+        return Marked(VState.VALID, expr)
+
+    def _materialize_join(
+        self,
+        marks: List[Tuple[DefSite, Marked]],
+        visited: FrozenSet[DefSite],
+        decision: Optional[DecisionFn],
+    ) -> Optional[SliceExpr]:
+        """Linearize a two-way join as a select over its branch predicate.
+
+        Supported shapes: both definitions control-dependent on opposite
+        edges of one branch, or one definition on a branch edge with the
+        other flowing around the branch."""
+        if len(marks) != 2:
+            return None
+        (site_a, mark_a), (site_b, mark_b) = marks
+        deps_a = self.ctrldep.of(site_a.label)
+        deps_b = self.ctrldep.of(site_b.label)
+        for cd_a in deps_a:
+            opposite = next(
+                (
+                    cd_b
+                    for cd_b in deps_b
+                    if cd_b.branch_block == cd_a.branch_block
+                    and cd_b.pred == cd_a.pred
+                    and cd_b.sense != cd_a.sense
+                ),
+                None,
+            )
+            matches_around = not any(
+                cd_b.branch_block == cd_a.branch_block for cd_b in deps_b
+            )
+            if opposite is None and not matches_around:
+                continue
+            branch_blk = self.cfg.block(cd_a.branch_block)
+            pm = self._mark_reg_at(
+                cd_a.branch_block,
+                len(branch_blk.instructions),
+                cd_a.pred,
+                visited,
+                decision,
+            )
+            if pm.state is not VState.VALID or pm.expr is None:
+                continue
+            dtype = site_a.reg.dtype
+            if cd_a.sense:
+                return SSelp(dtype, mark_a.expr, mark_b.expr, pm.expr)
+            return SSelp(dtype, mark_b.expr, mark_a.expr, pm.expr)
+        return None
+
+    def _mark_def(
+        self,
+        site: DefSite,
+        visited: FrozenSet[DefSite],
+        decision: Optional[DecisionFn],
+        root: Optional[PlannedCheckpoint] = None,
+    ) -> Marked:
+        if site in visited:
+            return Marked(VState.INVALID)  # cyclic dependence
+        visited = visited | {site}
+
+        cp = self.cp_at_site.get(site)
+        is_checkpoint_node = cp is not None and cp is not root
+        # Phase 2 shortcut: a committed checkpoint with a trustworthy slot
+        # terminates the traversal (Algorithm 2, lines 7-8).
+        if is_checkpoint_node and decision is not None:
+            d = decision(cp)
+            if d is PruneState.COMMITTED and self._slot_usable(cp):
+                color = (
+                    self.coloring.color_of(cp.key, cp.site.label)
+                    if self.coloring
+                    else 0
+                )
+                return Marked(VState.VALID, SSlot(cp.reg.name, color))
+
+        result = self._mark_instruction(site, visited, decision)
+
+        if result.state is VState.INVALID and is_checkpoint_node:
+            if decision is None:
+                # Phase 1: the checkpoint *might* be committed — defer.
+                return Marked(VState.UNDECIDED)
+            d = decision(cp)
+            if d is PruneState.UNDECIDED:
+                return Marked(VState.UNDECIDED)
+            # Committed-but-unusable or pruned: the value is unreachable.
+            return Marked(VState.INVALID)
+        return result
+
+    def _mark_instruction(
+        self,
+        site: DefSite,
+        visited: FrozenSet[DefSite],
+        decision: Optional[DecisionFn],
+    ) -> Marked:
+        inst = self.cfg.block(site.label).instructions[site.index]
+
+        if inst.guard is not None:
+            # A guarded definition merges with the prior value under the
+            # guard predicate: dst = guard ? value : previous.
+            prior = self._mark_reg_at(
+                site.label, site.index, site.reg, visited, decision
+            )
+            guard_reg, sense = inst.guard
+            guard_mark = self._mark_reg_at(
+                site.label, site.index, guard_reg, visited, decision
+            )
+            value = self._mark_unguarded(site, inst, visited, decision)
+            state = merge(merge(prior.state, guard_mark.state), value.state)
+            if state is not VState.VALID:
+                return Marked(state)
+            if sense:
+                expr = SSelp(
+                    site.reg.dtype, value.expr, prior.expr, guard_mark.expr
+                )
+            else:
+                expr = SSelp(
+                    site.reg.dtype, prior.expr, value.expr, guard_mark.expr
+                )
+            return Marked(VState.VALID, expr)
+
+        return self._mark_unguarded(site, inst, visited, decision)
+
+    def _mark_unguarded(
+        self,
+        site: DefSite,
+        inst,
+        visited: FrozenSet[DefSite],
+        decision: Optional[DecisionFn],
+    ) -> Marked:
+        if isinstance(inst, Atom):
+            return Marked(VState.INVALID)  # non-idempotent read
+
+        if isinstance(inst, Ld):
+            base = self._mark_operand(
+                site, inst.base, DType.U32, visited, decision
+            )
+            if inst.space.read_only:
+                mem = VState.VALID
+            else:
+                mem = (
+                    VState.VALID
+                    if self.memory_intact(site.label, site.index)
+                    else VState.INVALID
+                )
+            state = merge(base.state, mem)
+            if state is not VState.VALID:
+                return Marked(state)
+            return Marked(
+                VState.VALID,
+                SLoad(inst.space, inst.dtype, base.expr, inst.offset),
+            )
+
+        if isinstance(inst, Setp):
+            a = self._mark_operand(site, inst.srcs[0], inst.dtype, visited, decision)
+            b = self._mark_operand(site, inst.srcs[1], inst.dtype, visited, decision)
+            state = merge(a.state, b.state)
+            if state is not VState.VALID:
+                return Marked(state)
+            return Marked(VState.VALID, SSetp(inst.cmp, inst.dtype, a.expr, b.expr))
+
+        if isinstance(inst, Selp):
+            a = self._mark_operand(site, inst.srcs[0], inst.dtype, visited, decision)
+            b = self._mark_operand(site, inst.srcs[1], inst.dtype, visited, decision)
+            p = self._mark_operand(site, inst.pred, DType.PRED, visited, decision)
+            state = merge(merge(a.state, b.state), p.state)
+            if state is not VState.VALID:
+                return Marked(state)
+            return Marked(
+                VState.VALID, SSelp(inst.dtype, a.expr, b.expr, p.expr)
+            )
+
+        if isinstance(inst, Alu):
+            marks = [
+                self._mark_operand(site, src, inst.dtype, visited, decision)
+                for src in inst.srcs
+            ]
+            state = VState.VALID
+            for m in marks:
+                state = merge(state, m.state)
+            if state is not VState.VALID:
+                return Marked(state)
+            return Marked(
+                VState.VALID,
+                SOp(inst.op, inst.dtype, tuple(m.expr for m in marks)),
+            )
+
+        return Marked(VState.INVALID)
+
+    def _mark_operand(
+        self,
+        site: DefSite,
+        op: Operand,
+        dtype: DType,
+        visited: FrozenSet[DefSite],
+        decision: Optional[DecisionFn],
+    ) -> Marked:
+        if isinstance(op, Imm):
+            return Marked(VState.VALID, SImm(op.value, op.dtype))
+        if isinstance(op, Special):
+            return Marked(VState.VALID, SSpecial(op.name))
+        if isinstance(op, SymRef):
+            return Marked(VState.VALID, SSymRef(op.name))
+        return self._mark_reg_at(
+            site.label, site.index, op, visited, decision
+        )
+
+    # -- Algorithm 2: decision-dependence collection ---------------------------------------
+
+    def overwriting_checkpoints(
+        self, cd: PlannedCheckpoint
+    ) -> Set[PlannedCheckpoint]:
+        """OWCkpts: checkpoints that may overwrite ``cd``'s slot (same
+        register, same color — conservatively, all other checkpoints of the
+        register when coloring is absent)."""
+        color = 0
+        if self.coloring is not None and cd.kind is CheckpointKind.LUP:
+            color = self.coloring.color_of(cd.key, cd.site.label)
+        out: Set[PlannedCheckpoint] = set()
+        for inst in self.instances:
+            if inst.cp is cd or inst.reg != cd.reg:
+                continue
+            other = 0
+            if self.coloring is not None:
+                other = self.coloring.color_of(inst.cp.key, inst.block)
+            if other == color:
+                out.add(inst.cp)
+        return out
+
+    def _deps_from_def(
+        self,
+        site: DefSite,
+        cv: PlannedCheckpoint,
+        decision: DecisionFn,
+        deps: Set[PlannedCheckpoint],
+        visited: Set[DefSite],
+    ) -> None:
+        if site in visited:
+            return
+        visited.add(site)
+        cp = self.cp_at_site.get(site)
+        if cp is not None and cp is not cv:
+            d = decision(cp)
+            if d is PruneState.COMMITTED:
+                deps.update(self.overwriting_checkpoints(cp))
+                return  # traversal stops at committed checkpoints
+            if d is PruneState.UNDECIDED:
+                deps.add(cp)
+                deps.update(self.overwriting_checkpoints(cp))
+                # continue the traversal to find committed ones deeper
+        inst = self.cfg.block(site.label).instructions[site.index]
+        regs = list(inst.reg_uses())
+        if inst.guard is not None:
+            self._deps_from_reg(
+                site.label, site.index, site.reg, cv, decision, deps, visited
+            )
+        for reg in regs:
+            self._deps_from_reg(
+                site.label, site.index, reg, cv, decision, deps, visited
+            )
+
+    def _deps_from_reg(
+        self,
+        label: str,
+        index: int,
+        reg: Reg,
+        cv: PlannedCheckpoint,
+        decision: DecisionFn,
+        deps: Set[PlannedCheckpoint],
+        visited: Set[DefSite],
+    ) -> None:
+        sites = [
+            s
+            for s in self.rdefs.reaching_at(label, index, reg)
+            if not s.is_entry
+        ]
+        for site in sites:
+            self._deps_from_def(site, cv, decision, deps, visited)
+        if len(sites) > 1:
+            for site in sites:
+                for cd in self.ctrldep.of(site.label):
+                    branch_blk = self.cfg.block(cd.branch_block)
+                    self._deps_from_reg(
+                        cd.branch_block,
+                        len(branch_blk.instructions),
+                        cd.pred,
+                        cv,
+                        decision,
+                        deps,
+                        visited,
+                    )

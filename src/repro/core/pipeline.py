@@ -1,0 +1,404 @@
+"""The Penny compiler driver: §5's phase ordering behind one call.
+
+:func:`PennyCompiler.compile` takes an input kernel (virtual registers,
+no checkpoints) and produces a protected kernel plus a
+:class:`CompileResult` with everything the evaluation needs: checkpoint
+statistics, estimated costs, register demand, shared-memory consumption,
+and the recovery table the simulator's runtime consumes.
+
+Configuration knobs mirror the paper's evaluated variants:
+
+===============  ==========================================================
+``placement``    ``"eager"`` (Bolt) or ``"bimodal"`` (§6.2)
+``pruning``      ``"none"``, ``"basic"`` (Bolt's random search), or
+                 ``"optimal"`` (§6.4)
+``storage_mode`` ``"shared"``, ``"global"``, or ``"auto"`` (§6.5)
+``overwrite``    ``"rr"`` (renaming first), ``"sa"`` (2-coloring only),
+                 ``"auto"`` (compile both, keep the cheaper — §6.3), or
+                 ``"none"`` (no protection; Fig. 11's last bar)
+``low_opts``     §6.6 address-computation LICM/CSE on checkpoint stores
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Set
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import LoopInfo
+from repro.analysis.postdom import ControlDependence
+from repro.analysis.reachingdefs import ReachingDefs
+from repro.core.bimodal import bimodal_plan
+from repro.core.checkpoints import (
+    CheckpointKind,
+    CheckpointPlan,
+    PlannedCheckpoint,
+    PruneState,
+    eager_plan,
+)
+from repro.core.codegen import CodegenResult, generate
+from repro.core.coloring import ColoringResult, color_checkpoints
+from repro.core.costmodel import CostModel
+from repro.core.hazards import detect_hazards, materialize_instances
+from repro.core.liveins import LiveinAnalysis, analyze_liveins
+from repro.core.pddg import PddgValidator
+from repro.core.pruning import (
+    PruneResult,
+    prune_basic,
+    prune_none,
+    prune_optimal,
+)
+from repro.core.recovery_meta import (
+    RecoveryTable,
+    adjustment_recoveries,
+    build_recovery_table,
+)
+from repro.core.regions import RegionInfo, form_regions
+from repro.core.renaming import apply_renaming
+from repro.core.storage import StorageBudget, assign_storage
+from repro.ir.module import Kernel
+from repro.ir.parser import parse_kernel
+from repro.ir.printer import print_kernel
+from repro.ir.types import Reg
+from repro.regalloc import count_registers
+
+
+@dataclass
+class LaunchConfig:
+    """The launch geometry the compiler needs for storage layout."""
+
+    threads_per_block: int = 256
+    num_blocks: int = 4
+
+    @property
+    def total_threads(self) -> int:
+        return self.threads_per_block * self.num_blocks
+
+
+@dataclass
+class PennyConfig:
+    """Compiler configuration; see module docstring for the knobs."""
+
+    name: str = "penny"
+    placement: str = "bimodal"
+    pruning: str = "optimal"
+    storage_mode: str = "auto"
+    overwrite: str = "auto"
+    low_opts: bool = True
+    cost_base: int = 64
+    cover_base: int = 2
+    basic_prune_attempts: int = 64
+    basic_prune_seed: int = 12345
+    max_rename_rounds: int = 8
+    max_replan_rounds: int = 8
+    #: model restrict-qualified pointers (True) or faithful PTX aliasing
+    #: where distinct pointer params may alias (False, the default)
+    param_noalias: bool = False
+    #: run the static recovery-metadata verifier (repro.core.verify) on the
+    #: compiled kernel and raise on violations; off by default because the
+    #: evaluation compiles hundreds of kernels, on in the test suite
+    verify: bool = False
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one compilation."""
+
+    kernel: Kernel
+    config: PennyConfig
+    launch: LaunchConfig
+    plan: CheckpointPlan
+    regions: RegionInfo
+    recovery: RecoveryTable
+    coloring: Optional[ColoringResult]
+    codegen: CodegenResult
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+def clone_kernel(kernel: Kernel) -> Kernel:
+    """Deep-copy a kernel via its textual form (metadata is dropped — only
+    valid for pre-compilation kernels)."""
+    return parse_kernel(print_kernel(kernel))
+
+
+class PennyCompiler:
+    """Runs the full §5 pipeline over one kernel."""
+
+    def __init__(
+        self,
+        config: Optional[PennyConfig] = None,
+        budget: Optional[StorageBudget] = None,
+    ):
+        self.config = config or PennyConfig()
+        self.budget = budget or StorageBudget()
+
+    def compile(
+        self,
+        kernel: Kernel,
+        launch: Optional[LaunchConfig] = None,
+        copy: bool = True,
+    ) -> CompileResult:
+        launch = launch or LaunchConfig()
+        if copy:
+            kernel = clone_kernel(kernel)
+        kernel.validate()
+
+        if self.config.overwrite == "auto":
+            return self._compile_auto(kernel, launch)
+        return self._compile_one(kernel, launch, self.config.overwrite)
+
+    # -- auto selection of the overwrite-prevention scheme (§6.3) ------------
+
+    def _compile_auto(
+        self, kernel: Kernel, launch: LaunchConfig
+    ) -> CompileResult:
+        results = []
+        for scheme in ("rr", "sa"):
+            candidate = clone_kernel(kernel)
+            results.append(self._compile_one(candidate, launch, scheme))
+        best = min(results, key=lambda r: r.stats["estimated_cost"])
+        best.stats["auto_selected"] = best.stats["overwrite_scheme"]
+        return best
+
+    # -- single-scheme pipeline ------------------------------------------------
+
+    def _compile_one(
+        self, kernel: Kernel, launch: LaunchConfig, overwrite: str
+    ) -> CompileResult:
+        cfg = CFG(kernel)
+        aa = AliasAnalysis(cfg, param_noalias=self.config.param_noalias)
+        regions = form_regions(kernel, aa)
+
+        # Renaming loop: hazards fixed by renaming change live-ins and LUPs,
+        # so the plan is rebuilt until renaming converges.
+        for _ in range(self.config.max_rename_rounds):
+            cfg = CFG(kernel)
+            rdefs = ReachingDefs(cfg)
+            liveins = analyze_liveins(kernel, regions, cfg=cfg, rdefs=rdefs)
+            cost = CostModel.for_cfg(cfg, base=self.config.cost_base)
+            plan = self._make_plan(cfg, liveins, cost)
+            instances = materialize_instances(plan, cfg)
+            hazardous = detect_hazards(cfg, regions, liveins, instances)
+            if overwrite != "rr" or not hazardous:
+                break
+            renamed = apply_renaming(
+                kernel, cfg, regions, liveins, rdefs, instances
+            )
+            if renamed == 0:
+                break
+        else:
+            raise RuntimeError("register renaming did not converge")
+
+        # Storage alternation for whatever hazards remain (all of them in
+        # "sa" mode; the renaming-resistant rest in "rr" mode).
+        coloring: Optional[ColoringResult] = None
+        if overwrite != "none" and hazardous:
+            coloring = color_checkpoints(
+                cfg, regions, liveins, instances, hazardous
+            )
+
+        # Pruning.  (The alias analysis used for region formation predates
+        # the block splits, so build a fresh one on the current CFG.)
+        aa = AliasAnalysis(
+            cfg, rdefs, param_noalias=self.config.param_noalias
+        )
+        loops = LoopInfo(cfg)
+        ctrldep = ControlDependence(cfg)
+        validator = PddgValidator(
+            cfg, rdefs, plan, instances, aa, loops, ctrldep, coloring
+        )
+        prune = self._run_pruning(plan, validator)
+
+        # Recovery table (may force-commit unsliceable registers), kept
+        # consistent with the snapshot machinery of colored registers:
+        # mixed prune states are committed wholesale and fully-slice-
+        # restored registers drop their dummies.
+        for _ in range(self.config.max_replan_rounds):
+            recovery = build_recovery_table(
+                cfg, liveins, plan, validator, prune.slices, coloring
+            )
+            if coloring is None:
+                break
+            forced = self._reconcile_coloring(plan, coloring, recovery)
+            if forced == 0:
+                break
+        else:
+            raise RuntimeError("pruning/coloring reconciliation diverged")
+
+        # Storage assignment over the final committed set.
+        budget = replace(
+            self.budget,
+            threads_per_block=launch.threads_per_block,
+            kernel_shared_bytes=sum(4 * d.num_words for d in kernel.shared),
+        )
+        storage = assign_storage(
+            plan,
+            cfg,
+            cost,
+            budget,
+            coloring,
+            mode=self.config.storage_mode,
+            total_threads=launch.total_threads,
+        )
+
+        # Code generation.
+        codegen = generate(
+            kernel,
+            cfg,
+            plan,
+            storage,
+            coloring,
+            low_opts=self.config.low_opts,
+        )
+        for label, entry in adjustment_recoveries(
+            coloring, codegen.adjustment_labels
+        ).items():
+            recovery.regions[label] = entry
+        if codegen.extra_slices:
+            for entry in recovery.regions.values():
+                from repro.core.recovery_meta import RestoreAction
+
+                for reg_name, expr in sorted(codegen.extra_slices.items()):
+                    entry.restores.append(
+                        RestoreAction(
+                            reg_name=reg_name, dtype="u32", slice_expr=expr
+                        )
+                    )
+
+        kernel.meta["recovery_table"] = recovery
+        kernel.meta["region_boundaries"] = regions.boundaries
+        kernel.meta["protected"] = True
+
+        if self.config.verify:
+            from repro.core.verify import check as verify_check
+
+            verify_check(kernel)
+
+        result = CompileResult(
+            kernel=kernel,
+            config=self.config,
+            launch=launch,
+            plan=plan,
+            regions=regions,
+            recovery=recovery,
+            coloring=coloring,
+            codegen=codegen,
+            stats={},
+        )
+        self._fill_stats(result, cost, overwrite, storage, hazardous)
+        return result
+
+    def _reconcile_coloring(
+        self, plan: CheckpointPlan, coloring: ColoringResult, recovery
+    ) -> int:
+        """All-or-nothing pruning for colored registers; drop snapshot
+        dummies of registers whose restores are all slice-based."""
+        from repro.core.checkpoints import PruneState
+
+        forced = 0
+        for reg in sorted(
+            coloring.colored_registers, key=lambda r: r.name
+        ):
+            cps = plan.of_register(reg)
+            if not cps:
+                continue
+            has_slot_restore = any(
+                action.reg_name == reg.name and action.is_slot
+                for entry in recovery.regions.values()
+                for action in entry.restores
+            )
+            states = {cp.state for cp in cps}
+            if not has_slot_restore and states == {PruneState.PRUNED}:
+                coloring.drop_register(reg.name)
+            elif len(states) > 1 or has_slot_restore and states != {
+                PruneState.COMMITTED
+            }:
+                for cp in cps:
+                    if cp.state is not PruneState.COMMITTED:
+                        cp.state = PruneState.COMMITTED
+                        forced += 1
+        if forced:
+            plan.stats["pruned"] = len(plan.pruned())
+            plan.stats["committed"] = len(plan.committed())
+        return forced
+
+    def _make_plan(
+        self, cfg: CFG, liveins: LiveinAnalysis, cost: CostModel
+    ) -> CheckpointPlan:
+        if self.config.placement == "eager":
+            return eager_plan(liveins)
+        return bimodal_plan(
+            cfg, liveins, cost, cover_base=self.config.cover_base
+        )
+
+    def _run_pruning(
+        self, plan: CheckpointPlan, validator: PddgValidator
+    ) -> PruneResult:
+        mode = self.config.pruning
+        if mode == "none":
+            return prune_none(plan)
+        if mode == "basic":
+            return prune_basic(
+                plan,
+                validator,
+                attempts=self.config.basic_prune_attempts,
+                seed=self.config.basic_prune_seed,
+            )
+        if mode == "optimal":
+            return prune_optimal(plan, validator)
+        raise ValueError(f"unknown pruning mode {mode!r}")
+
+    def _fill_stats(
+        self,
+        result: CompileResult,
+        cost: CostModel,
+        overwrite: str,
+        storage,
+        hazardous: Set[Reg],
+    ) -> None:
+        kernel = result.kernel
+        cfg = CFG(kernel)
+        final_loops = LoopInfo(cfg)  # adjustment blocks may sit in loops
+        est = 0
+        for blk in cfg.blocks:
+            depth_cost = cost.base ** final_loops.depth_of(blk.label)
+            for inst in blk.instructions:
+                if inst.is_memory_write and _is_checkpoint_store(inst):
+                    est += depth_cost
+        result.stats.update(
+            {
+                "overwrite_scheme": overwrite,
+                "estimated_cost": float(est),
+                "checkpoints_total": float(len(result.plan.checkpoints)),
+                "checkpoints_committed": float(len(result.plan.committed())),
+                "checkpoints_pruned": float(len(result.plan.pruned())),
+                "hazardous_registers": float(len(hazardous)),
+                "registers": float(count_registers(kernel)),
+                "shared_slots": float(storage.shared_slots),
+                "global_slots": float(storage.global_slots),
+                "shared_ckpt_bytes": float(storage.shared_bytes_per_block),
+                "emitted_checkpoints": float(
+                    result.codegen.emitted_checkpoints
+                ),
+                "address_insts": float(result.codegen.emitted_address_insts),
+                "forced_commits": float(result.recovery.forced_commits),
+                "num_boundaries": float(len(result.regions.boundaries)),
+            }
+        )
+
+
+def _is_checkpoint_store(inst) -> bool:
+    from repro.core.codegen import GLOBAL_CKPT_SYMBOL, SHARED_CKPT_SYMBOL
+    from repro.ir.instructions import St
+    from repro.ir.types import Reg as _Reg, SymRef
+
+    if not isinstance(inst, St):
+        return False
+    if isinstance(inst.base, SymRef):
+        return inst.base.name in (GLOBAL_CKPT_SYMBOL, SHARED_CKPT_SYMBOL)
+    if isinstance(inst.base, _Reg):
+        return inst.base.name.startswith(("%ckb_", "%ca"))
+    return False

@@ -1,0 +1,266 @@
+"""Checkpoint pruning: Bolt's basic random search and Penny's optimal
+two-phase algorithm (§6.4).
+
+Phase 1 (:func:`prune_optimal`) validates every checkpoint independently
+with Algorithm 1: VALID checkpoints are pruned, INVALID ones committed, and
+UNDECIDED ones — whose recomputability hinges on other checkpoints'
+decisions — move to phase 2.  Phase 2 builds the decision-dependence graph
+(Algorithm 2), condenses it with Tarjan's SCC algorithm, and finalizes the
+undecided checkpoints in topological order; checkpoints inside a
+dependence cycle are committed (the paper brute-forces these and reports
+finding none — we record them in the stats instead).
+
+Bolt's basic pruning (:func:`prune_basic`) re-uses the same validator as a
+whole-solution checker: random bit-strings propose pruned subsets and the
+first valid one wins, exactly the search the paper describes (and exactly
+why it leaves many prunable checkpoints committed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.checkpoints import (
+    CheckpointPlan,
+    PlannedCheckpoint,
+    PruneState,
+)
+from repro.core.pddg import PddgValidator, VState
+from repro.core.slices import SliceExpr
+
+
+@dataclass
+class PruneResult:
+    """Pruning outcome: per-checkpoint states live on the plan itself;
+    ``slices`` maps pruned checkpoints (by key) to their recovery-slice
+    expressions; ``stats`` feeds the Fig. 12 breakdown."""
+
+    slices: Dict[Tuple, SliceExpr] = field(default_factory=dict)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def prune_none(plan: CheckpointPlan) -> PruneResult:
+    """No pruning: every checkpoint committed (the No_pruning bar of
+    Fig. 13)."""
+    for cp in plan.checkpoints:
+        cp.state = PruneState.COMMITTED
+    result = PruneResult()
+    result.stats = {
+        "total": len(plan.checkpoints),
+        "pruned": 0,
+        "committed": len(plan.checkpoints),
+        "undecided_cycles": 0,
+    }
+    plan.stats = result.stats
+    return result
+
+
+def prune_optimal(
+    plan: CheckpointPlan, validator: PddgValidator
+) -> PruneResult:
+    """Penny's optimal two-phase pruning."""
+    result = PruneResult()
+
+    # ---- Phase 1: trivial checkpoints --------------------------------------
+    undecided: List[PlannedCheckpoint] = []
+    for cp in plan.checkpoints:
+        marked = validator.validate_checkpoint(cp, decision=None)
+        if marked.state is VState.VALID:
+            cp.state = PruneState.PRUNED
+            result.slices[cp.key] = marked.expr
+        elif marked.state is VState.INVALID:
+            cp.state = PruneState.COMMITTED
+        else:
+            cp.state = PruneState.UNDECIDED
+            undecided.append(cp)
+
+    # ---- Phase 2: decision-dependent checkpoints -----------------------------
+    cycles = 0
+    if undecided:
+        cycles = _finalize_undecided(plan, validator, undecided, result)
+
+    # Any checkpoint still undecided is committed conservatively.
+    for cp in plan.checkpoints:
+        if cp.state is PruneState.UNDECIDED:
+            cp.state = PruneState.COMMITTED
+
+    result.stats = {
+        "total": len(plan.checkpoints),
+        "pruned": len(plan.pruned()),
+        "committed": len(plan.committed()),
+        "undecided_cycles": cycles,
+        "materialization_failures": validator.materialization_failures,
+    }
+    plan.stats = result.stats
+    return result
+
+
+def _finalize_undecided(
+    plan: CheckpointPlan,
+    validator: PddgValidator,
+    undecided: List[PlannedCheckpoint],
+    result: PruneResult,
+) -> int:
+    """Phase 2: order undecided checkpoints by decision dependence and
+    finalize them.  Returns the number of checkpoints inside dependence
+    cycles (committed conservatively)."""
+
+    def decision(cp: PlannedCheckpoint) -> PruneState:
+        return cp.state
+
+    # Decision-dependence graph restricted to undecided checkpoints.
+    undecided_set = set(id(cp) for cp in undecided)
+    deps_of: Dict[int, Set[int]] = {}
+    by_id: Dict[int, PlannedCheckpoint] = {id(cp): cp for cp in undecided}
+    for cp in undecided:
+        deps = validator.collect_decision_deps(cp, decision)
+        deps_of[id(cp)] = {
+            id(d) for d in deps if id(d) in undecided_set
+        }
+
+    order, cyclic = _tarjan_topological(deps_of)
+
+    in_cycle = 0
+    for node_id in order:
+        cp = by_id[node_id]
+        if node_id in cyclic:
+            cp.state = PruneState.COMMITTED
+            in_cycle += 1
+            continue
+        marked = validator.validate_checkpoint(cp, decision=decision)
+        if marked.state is VState.VALID:
+            cp.state = PruneState.PRUNED
+            result.slices[cp.key] = marked.expr
+        else:
+            cp.state = PruneState.COMMITTED
+    return in_cycle
+
+
+def _tarjan_topological(
+    deps_of: Dict[int, Set[int]]
+) -> Tuple[List[int], Set[int]]:
+    """Tarjan's SCC algorithm.  Returns node ids in dependence-respecting
+    order (dependencies before dependents) plus the ids belonging to SCCs of
+    size > 1 (cyclic decision dependence)."""
+    index_counter = [0]
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+
+    def strongconnect(v: int) -> None:
+        work = [(v, iter(deps_of.get(v, ())))]
+        index[v] = lowlink[v] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = lowlink[w] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(deps_of.get(w, ()))))
+                    advanced = True
+                    break
+                elif w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == node:
+                            break
+                    sccs.append(scc)
+
+    for v in deps_of:
+        if v not in index:
+            strongconnect(v)
+
+    # Tarjan emits SCCs in reverse topological order of the condensation —
+    # i.e. dependencies first, which is exactly the processing order.
+    order: List[int] = []
+    cyclic: Set[int] = set()
+    for scc in sccs:
+        if len(scc) > 1:
+            cyclic.update(scc)
+        order.extend(scc)
+    return order, cyclic
+
+
+def prune_basic(
+    plan: CheckpointPlan,
+    validator: PddgValidator,
+    attempts: int = 64,
+    seed: int = 12345,
+) -> PruneResult:
+    """Bolt's basic pruning: random n-bit strings propose pruned subsets;
+    the first *valid* solution encountered wins (§6.4: "finds any first
+    valid solution encountered during the random searches")."""
+    rng = random.Random(seed)
+    n = len(plan.checkpoints)
+    result = PruneResult()
+
+    best: Optional[Tuple[Set[int], Dict[Tuple, SliceExpr]]] = None
+    for _ in range(attempts):
+        proposal = {i for i in range(n) if rng.random() < 0.5}
+        slices = _validate_solution(plan, validator, proposal)
+        if slices is not None:
+            best = (proposal, slices)
+            break
+    if best is None:
+        # Fall back to the always-valid empty pruning.
+        best = (set(), {})
+
+    pruned_idx, slices = best
+    for i, cp in enumerate(plan.checkpoints):
+        cp.state = (
+            PruneState.PRUNED if i in pruned_idx else PruneState.COMMITTED
+        )
+    result.slices = slices
+    result.stats = {
+        "total": n,
+        "pruned": len(pruned_idx),
+        "committed": n - len(pruned_idx),
+        "undecided_cycles": 0,
+    }
+    plan.stats = result.stats
+    return result
+
+
+def _validate_solution(
+    plan: CheckpointPlan, validator: PddgValidator, pruned_idx: Set[int]
+) -> Optional[Dict[Tuple, SliceExpr]]:
+    """Whole-solution check: with the proposal's committed set fixed, every
+    pruned checkpoint must validate.  Returns the slices on success."""
+    states: Dict[int, PruneState] = {}
+    for i, cp in enumerate(plan.checkpoints):
+        states[id(cp)] = (
+            PruneState.PRUNED if i in pruned_idx else PruneState.COMMITTED
+        )
+
+    def decision(cp: PlannedCheckpoint) -> PruneState:
+        return states.get(id(cp), PruneState.COMMITTED)
+
+    slices: Dict[Tuple, SliceExpr] = {}
+    for i, cp in enumerate(plan.checkpoints):
+        if i not in pruned_idx:
+            continue
+        marked = validator.validate_checkpoint(cp, decision=decision)
+        if marked.state is not VState.VALID:
+            return None
+        slices[cp.key] = marked.expr
+    return slices

@@ -1,0 +1,200 @@
+"""Idempotent region formation (§5, "Region formation").
+
+A region may not overwrite its own memory inputs, so every memory
+anti-dependence (load → may-aliasing store) must cross at least one region
+boundary on every path.  Synchronization instructions (barriers, fences,
+atomics) are boundaries too, which handles inter-thread anti-dependences
+for the data-race-free programs Penny targets.
+
+The exact minimum-cut formulation is a hitting-set problem (De Kruijf et
+al.); like the paper we use an approximation: existing boundaries are
+checked first, and an uncovered anti-dependence is cut immediately before
+its store — a point every load→store path provably crosses.
+
+After cut positions are chosen, blocks are split so that **every region
+boundary is a block entry**; the boundary block labels are recorded in
+``kernel.meta['region_boundaries']``.  The kernel entry is always a
+boundary (execution starts a region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.antidep import AntiDependence, find_memory_antideps
+from repro.analysis.cfg import CFG
+from repro.ir.module import Kernel
+
+Position = Tuple[str, int]  # boundary *before* instruction index in block
+
+
+@dataclass
+class RegionInfo:
+    """Result of region formation.
+
+    ``boundaries`` — labels of blocks whose entry is a region boundary
+    (always includes the kernel entry block).
+    ``entries_of`` — for every block, the set of boundary labels from which
+    the block is reachable without crossing another boundary; i.e. the
+    possible *current region entries* while executing that block.
+    ``num_cuts`` — how many anti-dependence cuts were inserted (sync
+    boundaries not included).
+    """
+
+    boundaries: Set[str]
+    entries_of: Dict[str, Set[str]] = field(default_factory=dict)
+    num_cuts: int = 0
+
+    def region_entry_candidates(self, label: str) -> Set[str]:
+        return self.entries_of.get(label, set())
+
+
+def form_regions(kernel: Kernel, aa: Optional[AliasAnalysis] = None) -> RegionInfo:
+    """Partition ``kernel`` into idempotent regions, mutating it (block
+    splits) so boundaries land on block entries."""
+    cuts = _sync_cuts(kernel)
+    cuts |= _antidep_cuts(kernel, cuts, aa)
+    num_cuts = _apply_cuts(kernel, cuts)
+
+    cfg = CFG(kernel)
+    boundaries = set(kernel.meta.get("region_boundaries", set()))
+    boundaries.add(cfg.entry)
+    kernel.meta["region_boundaries"] = boundaries
+
+    info = RegionInfo(boundaries=boundaries, num_cuts=num_cuts)
+    info.entries_of = _region_entries(cfg, boundaries)
+    kernel.meta["region_info"] = info
+    return info
+
+
+def _sync_cuts(kernel: Kernel) -> Set[Position]:
+    """Boundaries around synchronization instructions.
+
+    A boundary goes *before* and *after* each sync so no region ever
+    re-executes one: a sync-only region reads no registers and therefore
+    never detects (hence never re-executes) anything.
+    """
+    cuts: Set[Position] = set()
+    for blk in kernel.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if inst.is_barrier_like:
+                cuts.add((blk.label, i))
+                cuts.add((blk.label, i + 1))
+    return cuts
+
+
+def _antidep_cuts(
+    kernel: Kernel, existing: Set[Position], aa: Optional[AliasAnalysis]
+) -> Set[Position]:
+    """Greedy hitting-set approximation over memory anti-dependences."""
+    cfg = CFG(kernel)
+    aa = aa or AliasAnalysis(cfg)
+    deps = find_memory_antideps(cfg, aa)
+    cuts: Set[Position] = set(existing)
+    added: Set[Position] = set()
+    # Stores with many incoming anti-deps first, so one cut covers several.
+    by_store: Dict[Position, List[AntiDependence]] = {}
+    for dep in deps:
+        by_store.setdefault(dep.store_at, []).append(dep)
+    for store_at, store_deps in sorted(
+        by_store.items(), key=lambda kv: -len(kv[1])
+    ):
+        for dep in store_deps:
+            if not _covered(cfg, dep, cuts):
+                cuts.add(store_at)
+                added.add(store_at)
+                break
+    return added
+
+
+def _covered(cfg: CFG, dep: AntiDependence, cuts: Set[Position]) -> bool:
+    """Does every path from the load to the store cross a cut?
+
+    Equivalently: is there NO cut-free path?  We search forward from the
+    point just after the load; a block's instructions are passable up to its
+    first cut.
+    """
+    load_label, load_idx = dep.load_at
+    store_label, store_idx = dep.store_at
+
+    def first_cut_at_or_after(label: str, start: int) -> Optional[int]:
+        indices = [
+            idx for (lbl, idx) in cuts if lbl == label and idx >= start
+        ]
+        return min(indices) if indices else None
+
+    # Start just after the load.
+    start_points = [(load_label, load_idx + 1)]
+    seen: Set[Tuple[str, int]] = set()
+    while start_points:
+        label, start = start_points.pop()
+        if (label, start) in seen:
+            continue
+        seen.add((label, start))
+        cut = first_cut_at_or_after(label, start)
+        block_len = len(cfg.block(label).instructions)
+        reach_end = cut is None
+        limit = cut if cut is not None else block_len
+        if label == store_label and start <= store_idx < limit:
+            return False  # reached the store without crossing a cut
+        if reach_end:
+            for succ in cfg.successors(label):
+                start_points.append((succ, 0))
+    return True
+
+
+def _apply_cuts(kernel: Kernel, cuts: Set[Position]) -> int:
+    """Split blocks so each cut position becomes a block entry.  Returns the
+    number of distinct cut positions that required action."""
+    boundaries: Set[str] = set(kernel.meta.get("region_boundaries", set()))
+    by_block: Dict[str, List[int]] = {}
+    for label, idx in cuts:
+        by_block.setdefault(label, []).append(idx)
+
+    count = 0
+    for label, indices in by_block.items():
+        # Split from the highest index down so earlier indices stay valid.
+        for idx in sorted(set(indices), reverse=True):
+            blk = kernel.block(label)
+            count += 1
+            if idx == 0:
+                boundaries.add(label)
+                continue
+            if idx >= len(blk.instructions):
+                # Cut at block end: boundary is the fall-through successor's
+                # entry only if the block falls through; if it branches, the
+                # successor entries are natural split points already.  Create
+                # an explicit empty boundary block on the fall-through edge.
+                if blk.falls_through:
+                    tail = kernel.split_block(label, idx)
+                    boundaries.add(tail.label)
+                # If the block ends in a terminator, the cut is the target
+                # block's entry, which sync cuts add separately; nothing to do.
+                continue
+            tail = kernel.split_block(label, idx)
+            boundaries.add(tail.label)
+    kernel.meta["region_boundaries"] = boundaries
+    return count
+
+
+def _region_entries(cfg: CFG, boundaries: Set[str]) -> Dict[str, Set[str]]:
+    """For each block, which boundaries can be the current region's entry
+    when control is inside that block (forward dataflow)."""
+    entries: Dict[str, Set[str]] = {}
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label in boundaries:
+                new = {label}
+            else:
+                new = set()
+                for pred in cfg.predecessors(label):
+                    new |= entries.get(pred, set())
+            if entries.get(label) != new:
+                entries[label] = new
+                changed = True
+    return entries

@@ -1,0 +1,164 @@
+"""Register-renaming based overwrite prevention (§6.3, Figure 4(c)).
+
+A hazardous checkpoint stores a value defined *inside* a region where the
+same register is a live-in: the store clobbers the live-in's saved value.
+Renaming gives the in-region definition (and every use it reaches — its
+du-web) a fresh register, so its checkpoint writes a fresh slot.
+
+Renaming is impossible when the hazardous definition's web also carries the
+live-in value itself — the classic case being a loop-carried update
+``r = r + 1``, where the defining web *is* the live-in web.  Such registers
+are left to storage alternation (the pipeline applies 2-coloring to whatever
+renaming cannot fix, in either RR or SA mode; the modes differ in which
+technique is tried first, matching the paper's auto-selection design).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.analysis.reachingdefs import DefSite, ReachingDefs
+from repro.core.hazards import CpInstance
+from repro.core.liveins import LiveinAnalysis
+from repro.core.regions import RegionInfo
+from repro.ir.module import Kernel
+from repro.ir.types import Reg
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[DefSite, DefSite] = {}
+
+    def find(self, x: DefSite) -> DefSite:
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: DefSite, b: DefSite) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def compute_webs(cfg: CFG, rdefs: ReachingDefs) -> Dict[DefSite, Set[DefSite]]:
+    """Du-webs: definitions of the same register that reach a common use are
+    merged; returns a map from each def site to its web (shared set)."""
+    uf = _UnionFind()
+    for blk in cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            for reg in set(inst.reg_uses()):
+                sites = [
+                    s
+                    for s in rdefs.reaching_at(blk.label, i, reg)
+                    if not s.is_entry
+                ]
+                for a, b in zip(sites, sites[1:]):
+                    uf.union(a, b)
+    webs: Dict[DefSite, Set[DefSite]] = {}
+    groups: Dict[DefSite, Set[DefSite]] = {}
+    for site in uf.parent:
+        groups.setdefault(uf.find(site), set()).add(site)
+    for root, members in groups.items():
+        for m in members:
+            webs[m] = members
+    return webs
+
+
+def renamable(
+    reg: Reg,
+    web: Set[DefSite],
+    hazard_entries,
+    liveins: LiveinAnalysis,
+    rdefs: ReachingDefs,
+) -> bool:
+    """Can renaming this web break the overwrite hazard observed at the
+    given region entries?
+
+    Not if the web itself supplies the live-in value of any of those
+    entries — then the renamed register would be live-in there too and the
+    hazard survives (the loop-carried case).
+    """
+    for entry in hazard_entries:
+        binfo = liveins.boundaries.get(entry)
+        if binfo is None or reg not in binfo.live_ins:
+            continue
+        reaching = {
+            s for s in rdefs.reaching_at(entry, 0, reg) if not s.is_entry
+        }
+        if reaching & web:
+            return False
+    return True
+
+
+def apply_renaming(
+    kernel: Kernel,
+    cfg: CFG,
+    regions: RegionInfo,
+    liveins: LiveinAnalysis,
+    rdefs: ReachingDefs,
+    instances: List[CpInstance],
+) -> int:
+    """Rename the webs of hazardous LUP-checkpoint definitions where legal.
+
+    Returns the number of webs renamed (0 = fixpoint reached; remaining
+    hazards need storage alternation).  The caller must recompute analyses
+    and the checkpoint plan after a nonzero return.
+    """
+    webs = compute_webs(cfg, rdefs)
+    renamed_webs: List[Tuple[Reg, FrozenSet[DefSite]]] = []
+    claimed: Set[int] = set()
+    for inst in instances:
+        if not inst.hazardous:
+            continue
+        if inst.cp.kind.value == "lup":
+            sites: List[DefSite] = [inst.cp.site]
+        else:
+            sites = [lup for lup, _ in inst.cp.covers]
+        hazard_entries = regions.region_entry_candidates(inst.block)
+        for site in sites:
+            web = webs.get(site, {site})
+            if id(web) in claimed:
+                continue
+            if renamable(site.reg, web, hazard_entries, liveins, rdefs):
+                claimed.add(id(web))
+                renamed_webs.append((site.reg, frozenset(web)))
+
+    for reg, web in renamed_webs:
+        _rename_web(kernel, cfg, rdefs, reg, web)
+    return len(renamed_webs)
+
+
+def _rename_web(
+    kernel: Kernel,
+    cfg: CFG,
+    rdefs: ReachingDefs,
+    reg: Reg,
+    web: FrozenSet[DefSite],
+) -> None:
+    fresh = kernel.fresh_reg(reg.dtype, prefix="%rn")
+    mapping = {reg: fresh}
+    # Identify every use reached (exclusively — webs guarantee it) by the
+    # web *before* mutating any definition: reaching-def queries rescan the
+    # instruction stream and would miss defs that were already renamed.
+    use_sites = []
+    for blk in cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if reg not in inst.reg_uses():
+                continue
+            reaching = {
+                s
+                for s in rdefs.reaching_at(blk.label, i, reg)
+                if not s.is_entry
+            }
+            if reaching & web:
+                use_sites.append(inst)
+    for site in web:
+        inst = cfg.block(site.label).instructions[site.index]
+        inst.replace_defs(mapping)
+    for inst in use_sites:
+        inst.replace_uses(mapping)

@@ -1,0 +1,114 @@
+"""The comparison schemes of the paper's evaluation (§7.3).
+
+- **iGPU** — De Kruijf et al.'s idempotence via anti-dependence register
+  renaming.  No checkpoints: recovery relies on an ECC-protected register
+  file, so only its fault-free overhead (register pressure) is comparable.
+- **Bolt/Global** — Bolt's eager checkpointing with basic random-search
+  pruning, all checkpoints in global memory; storage alternation is enabled
+  for correctness (GPUs have no store buffer).
+- **Bolt/Auto_storage** — Bolt plus Penny's automatic storage assignment.
+- **Penny** — everything enabled: bimodal placement, optimal pruning,
+  automatic storage and overwrite-scheme selection, low-level opts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.analysis.cfg import CFG
+from repro.analysis.reachingdefs import ReachingDefs
+from repro.core.liveins import analyze_liveins
+from repro.core.pipeline import PennyConfig
+from repro.core.regions import form_regions
+from repro.core.renaming import compute_webs, renamable, _rename_web
+from repro.ir.module import Kernel
+
+SCHEME_IGPU = "iGPU"
+SCHEME_BOLT_GLOBAL = "Bolt/Global"
+SCHEME_BOLT_AUTO = "Bolt/Auto_storage"
+SCHEME_PENNY = "Penny"
+
+_CONFIGS: Dict[str, PennyConfig] = {
+    SCHEME_BOLT_GLOBAL: PennyConfig(
+        name=SCHEME_BOLT_GLOBAL,
+        placement="eager",
+        pruning="basic",
+        storage_mode="global",
+        overwrite="sa",
+        low_opts=False,
+    ),
+    SCHEME_BOLT_AUTO: PennyConfig(
+        name=SCHEME_BOLT_AUTO,
+        placement="eager",
+        pruning="basic",
+        storage_mode="auto",
+        overwrite="sa",
+        low_opts=False,
+    ),
+    SCHEME_PENNY: PennyConfig(
+        name=SCHEME_PENNY,
+        placement="bimodal",
+        pruning="optimal",
+        storage_mode="auto",
+        overwrite="auto",
+        low_opts=True,
+    ),
+}
+
+
+def scheme_config(name: str) -> PennyConfig:
+    """Config for one of the paper's comparison schemes (not iGPU, which is
+    a different transformation — see :func:`igpu_transform`)."""
+    try:
+        return replace(_CONFIGS[name])
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}") from None
+
+
+def igpu_transform(kernel: Kernel, max_rounds: int = 8) -> int:
+    """iGPU's idempotence transformation: rename every register
+    anti-dependence (a register live-in at a region entry and redefined in
+    that region), extending live ranges and raising register pressure.
+
+    Returns the number of webs renamed.  Loop-carried updates cannot be
+    renamed (the web supplies its own live-in); real iGPU subdivides such
+    regions — since our experiments use iGPU only for fault-free overhead
+    (its recovery needs ECC hardware we deliberately omit), the residue is
+    left in place.
+    """
+    regions = form_regions(kernel)
+    total = 0
+    for _ in range(max_rounds):
+        cfg = CFG(kernel)
+        rdefs = ReachingDefs(cfg)
+        liveins = analyze_liveins(kernel, regions, cfg=cfg, rdefs=rdefs)
+        webs = compute_webs(cfg, rdefs)
+
+        renamed = 0
+        claimed = set()
+        for blk in cfg.blocks:
+            for i, inst in enumerate(blk.instructions):
+                for reg in inst.defs():
+                    hazard = any(
+                        entry in liveins.boundaries
+                        and reg in liveins.boundaries[entry].live_ins
+                        for entry in regions.region_entry_candidates(blk.label)
+                    )
+                    if not hazard:
+                        continue
+                    from repro.analysis.reachingdefs import DefSite
+
+                    site = DefSite(blk.label, i, reg)
+                    web = webs.get(site, {site})
+                    if id(web) in claimed:
+                        continue
+                    entries = regions.region_entry_candidates(blk.label)
+                    if renamable(reg, web, entries, liveins, rdefs):
+                        claimed.add(id(web))
+                        _rename_web(kernel, cfg, rdefs, reg, frozenset(web))
+                        renamed += 1
+        total += renamed
+        if renamed == 0:
+            break
+    return total

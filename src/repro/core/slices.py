@@ -1,0 +1,136 @@
+"""Recovery-slice expressions.
+
+A pruned checkpoint's value is recomputed at recovery time by a *recovery
+slice* (§6.4): a small expression tree over things that are guaranteed
+error-free at recovery — immediates, special registers, re-executable loads
+(read-only or provably un-overwritten memory), committed checkpoint slots,
+and ALU combinations thereof.  Control-flow joins are linearized with
+selects over branch predicates, which are themselves recomputed by slices.
+
+The recovery runtime (:mod:`repro.gpusim.recovery`) evaluates these trees
+per thread against ECC-protected memory state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.ir.types import DType, MemSpace
+
+
+@dataclass(frozen=True)
+class SImm:
+    """A literal value."""
+
+    value: Union[int, float]
+    dtype: DType = DType.U32
+
+
+@dataclass(frozen=True)
+class SSpecial:
+    """A special register (%tid.x, ...) — hardware-provided, error-free."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SSymRef:
+    """The base address of a named buffer (kernel param or shared array)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SSlot:
+    """The committed checkpoint slot of a register: (register name, color).
+    The runtime resolves it through the kernel's checkpoint storage map."""
+
+    reg_name: str
+    color: int
+
+
+@dataclass(frozen=True)
+class SLoad:
+    """Re-execution of a load at recovery time."""
+
+    space: MemSpace
+    dtype: DType
+    base: "SliceExpr"
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class SOp:
+    """An ALU operation over sub-expressions."""
+
+    op: str
+    dtype: DType
+    srcs: Tuple["SliceExpr", ...]
+
+
+@dataclass(frozen=True)
+class SSetp:
+    """A comparison producing 0/1."""
+
+    cmp: str
+    dtype: DType
+    a: "SliceExpr"
+    b: "SliceExpr"
+
+
+@dataclass(frozen=True)
+class SSelp:
+    """pred ? a : b — linearized control-flow join."""
+
+    dtype: DType
+    a: "SliceExpr"
+    b: "SliceExpr"
+    pred: "SliceExpr"
+
+
+SliceExpr = Union[SImm, SSpecial, SSymRef, SSlot, SLoad, SOp, SSetp, SSelp]
+
+
+def slice_size(expr: SliceExpr) -> int:
+    """Number of nodes — a proxy for the recovery slice's instruction count."""
+    if isinstance(expr, (SImm, SSpecial, SSymRef, SSlot)):
+        return 1
+    if isinstance(expr, SLoad):
+        return 1 + slice_size(expr.base)
+    if isinstance(expr, SOp):
+        return 1 + sum(slice_size(s) for s in expr.srcs)
+    if isinstance(expr, SSetp):
+        return 1 + slice_size(expr.a) + slice_size(expr.b)
+    if isinstance(expr, SSelp):
+        return (
+            1
+            + slice_size(expr.a)
+            + slice_size(expr.b)
+            + slice_size(expr.pred)
+        )
+    raise TypeError(f"not a slice expression: {expr!r}")
+
+
+def slots_used(expr: SliceExpr) -> List[SSlot]:
+    """All committed-checkpoint slots a slice reads."""
+    out: List[SSlot] = []
+
+    def walk(e: SliceExpr) -> None:
+        if isinstance(e, SSlot):
+            out.append(e)
+        elif isinstance(e, SLoad):
+            walk(e.base)
+        elif isinstance(e, SOp):
+            for s in e.srcs:
+                walk(s)
+        elif isinstance(e, SSetp):
+            walk(e.a)
+            walk(e.b)
+        elif isinstance(e, SSelp):
+            walk(e.a)
+            walk(e.b)
+            walk(e.pred)
+
+    walk(expr)
+    return out

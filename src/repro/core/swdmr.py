@@ -1,0 +1,195 @@
+"""Software dual-modular redundancy (SW-DMR) — the expensive detector
+Penny's §4 argues against.
+
+Prior idempotent-recovery schemes require errors to be detected *within*
+the region where they occur, which forces a low-latency detector such as
+software instruction duplication (SWIFT-style DMR, the paper's citation
+[50]).  This pass implements that detector so its fault-free cost can be
+compared against Penny's parity hardware:
+
+- every computational instruction is duplicated into a shadow register
+  space (``%dmr_*``),
+- loads are *not* duplicated (memory is ECC-protected; the loaded value is
+  copied into the shadow space instead — standard SWIFT treatment),
+- before every store, atomic, and conditional branch, the operands'
+  master and shadow copies are compared; a mismatch redirects control to a
+  detection block (modelled as kernel abort — the detector only needs to
+  *signal*; recovery would be someone else's job).
+
+The resulting kernel computes exactly what the original computes (the
+shadow computation is dead weight), which the test suite verifies, and its
+simulated overhead quantifies §4's point: checking at every externalization
+point costs integer-factor slowdowns where Penny's detection is free at
+run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ir.instructions import (
+    Alu,
+    Atom,
+    Bar,
+    Bra,
+    Instruction,
+    Ld,
+    Membar,
+    Ret,
+    Selp,
+    Setp,
+    St,
+)
+from repro.ir.module import BasicBlock, Kernel
+from repro.ir.types import DType, Reg
+
+#: label of the synthesized detection-signal block
+DETECT_LABEL = "__DMR_DETECT"
+
+
+@dataclass
+class DmrResult:
+    """Statistics of the transformation."""
+
+    duplicated: int = 0
+    checks: int = 0
+    shadow_registers: int = 0
+
+
+def _shadow(reg: Reg, table: Dict[str, Reg]) -> Reg:
+    if reg.name not in table:
+        table[reg.name] = Reg(f"%dmr_{reg.name.lstrip('%')}", reg.dtype)
+    return table[reg.name]
+
+
+def _shadow_operand(op, table: Dict[str, Reg]):
+    if isinstance(op, Reg):
+        return _shadow(op, table)
+    return op  # immediates / specials / symbols are fault-free sources
+
+
+def apply_swdmr(kernel: Kernel) -> DmrResult:
+    """Apply SW-DMR in place.  The kernel gains a ``__DMR_DETECT`` block
+    that loops forever (the simulator's instruction budget turns an actual
+    divergence into a simulation error — in fault-free runs it is never
+    reached, which is all the overhead comparison needs)."""
+    result = DmrResult()
+    shadows: Dict[str, Reg] = {}
+    check_preds: List[Reg] = []
+
+    def make_check(kernel, reg: Reg, shadow: Reg) -> List[Instruction]:
+        pred = kernel.fresh_reg(DType.PRED, prefix="%dmrp")
+        check_preds.append(pred)
+        result.checks += 1
+        return [
+            Setp("ne", reg.dtype, pred, reg, shadow),
+            Bra(DETECT_LABEL, guard=(pred, True)),
+        ]
+
+    for blk in list(kernel.blocks):
+        new: List[Instruction] = []
+        for inst in blk.instructions:
+            checks: List[Instruction] = []
+            dup: Optional[Instruction] = None
+
+            if isinstance(inst, Alu):
+                dup = Alu(
+                    inst.op,
+                    inst.dtype,
+                    _shadow(inst.dst, shadows),
+                    [_shadow_operand(s, shadows) for s in inst.srcs],
+                    guard=_shadow_guard(inst.guard, shadows),
+                )
+            elif isinstance(inst, Setp):
+                dup = Setp(
+                    inst.cmp,
+                    inst.dtype,
+                    _shadow(inst.dst, shadows),
+                    _shadow_operand(inst.srcs[0], shadows),
+                    _shadow_operand(inst.srcs[1], shadows),
+                    guard=_shadow_guard(inst.guard, shadows),
+                )
+            elif isinstance(inst, Selp):
+                dup = Selp(
+                    inst.dtype,
+                    _shadow(inst.dst, shadows),
+                    _shadow_operand(inst.srcs[0], shadows),
+                    _shadow_operand(inst.srcs[1], shadows),
+                    _shadow(inst.pred, shadows),
+                    guard=_shadow_guard(inst.guard, shadows),
+                )
+            elif isinstance(inst, Ld):
+                # Memory is ECC-protected: copy the loaded value into the
+                # shadow space rather than loading twice.
+                dup = Alu(
+                    "mov",
+                    inst.dtype,
+                    _shadow(inst.dst, shadows),
+                    [inst.dst],
+                    guard=_shadow_guard(inst.guard, shadows),
+                )
+                # ... but the *address* must be verified before the access.
+                if isinstance(inst.base, Reg):
+                    checks.extend(make_check(kernel, inst.base,
+                                             _shadow(inst.base, shadows)))
+            elif isinstance(inst, (St, Atom)):
+                for reg in inst.reg_uses():
+                    if reg.name.startswith("%dmr"):
+                        continue
+                    if reg.name in shadows:
+                        checks.extend(
+                            make_check(kernel, reg, shadows[reg.name])
+                        )
+            elif isinstance(inst, Bra) and inst.guard is not None:
+                guard_reg = inst.guard[0]
+                if guard_reg.name in shadows:
+                    checks.extend(
+                        make_check(kernel, guard_reg, shadows[guard_reg.name])
+                    )
+
+            new.extend(checks)
+            new.append(inst)
+            if dup is not None:
+                result.duplicated += 1
+                new.append(dup)
+        blk.instructions = new
+
+    # Guarded branches must still terminate their blocks: re-split blocks
+    # whose checks introduced mid-block branches.
+    _normalize_blocks(kernel)
+
+    detect = BasicBlock(
+        DETECT_LABEL,
+        [Bra(DETECT_LABEL)],  # signal by spinning; never reached fault-free
+    )
+    kernel.blocks.append(detect)
+    result.shadow_registers = len(shadows)
+    kernel.validate()
+    return result
+
+
+def _shadow_guard(guard, shadows):
+    if guard is None:
+        return None
+    reg, sense = guard
+    # The shadow computation is guarded by the *master* predicate so that
+    # master and shadow stay in lockstep even if the shadow predicate was
+    # corrupted (the compare at the branch will catch that case).
+    return (reg, sense)
+
+
+def _normalize_blocks(kernel: Kernel) -> None:
+    """Split blocks so every branch is block-final again."""
+    changed = True
+    while changed:
+        changed = False
+        for blk in list(kernel.blocks):
+            for i, inst in enumerate(blk.instructions):
+                is_last = i == len(blk.instructions) - 1
+                if isinstance(inst, Bra) and not is_last:
+                    kernel.split_block(blk.label, i + 1)
+                    changed = True
+                    break
+            if changed:
+                break

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> rows`` returning the table's data and a
+``main()`` that pretty-prints it; ``python -m repro.experiments.fig9`` etc.
+regenerate the paper's artifacts.  EXPERIMENTS.md records paper-vs-measured
+for each.
+"""
+
+from repro.experiments.harness import (
+    SCHEMES_FIG9,
+    BenchmarkMeasurement,
+    measure_baseline,
+    measure_scheme,
+    normalized_overheads,
+)
+
+__all__ = [
+    "SCHEMES_FIG9",
+    "BenchmarkMeasurement",
+    "measure_baseline",
+    "measure_scheme",
+    "normalized_overheads",
+]

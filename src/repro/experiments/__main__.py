@@ -1,0 +1,49 @@
+"""Regenerate every paper artifact in one go:
+
+    python -m repro.experiments            # everything (several minutes)
+    python -m repro.experiments fig9 fig13 # a selection
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+ARTIFACTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "appendix_a",
+    "detectors",
+    "energy_total",
+    "fault_rate",
+    "scale_study",
+)
+
+
+def main(argv=None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or ARTIFACTS
+    for name in names:
+        if name not in ARTIFACTS:
+            print(f"unknown artifact {name!r}; choose from {ARTIFACTS}")
+            return 2
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print("=" * 72)
+        print(f"### {name}")
+        print("=" * 72)
+        start = time.time()
+        module.main()
+        print(f"\n[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

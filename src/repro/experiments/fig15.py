@@ -1,0 +1,49 @@
+"""Figure 15: the Fig. 9 comparison on the Volta-class Titan V (§7.8).
+
+The paper could only run 19 of the 25 applications on the experimental
+Volta GPGPU-Sim; the same subset is used here.  The expected result is the
+same ordering and similar magnitudes as Fermi (Penny ~3.6%)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench import ALL_BENCHMARKS
+from repro.experiments.harness import (
+    SCHEMES_FIG9,
+    format_overhead_table,
+    normalized_overheads,
+)
+from repro.gpusim.config import VOLTA_TITAN_V
+
+#: the 19 applications shown in the paper's Fig. 15
+VOLTA_APPS = (
+    "CP", "NN", "NQU", "SGEMM", "SPMV", "TPACF", "BP", "BFS", "GAU",
+    "HS", "PF", "SRAD", "SC", "BS", "BO", "CS", "FW", "SP", "MT",
+)
+
+
+def run(benchmarks=None) -> Dict[str, Dict[str, float]]:
+    if benchmarks is None:
+        benchmarks = [ALL_BENCHMARKS[a] for a in VOLTA_APPS]
+    return normalized_overheads(benchmarks, SCHEMES_FIG9, gpu=VOLTA_TITAN_V)
+
+
+def main() -> None:
+    table = run()
+    print(
+        format_overhead_table(
+            table, "Fig. 15 — fault-free overhead on Titan V (Volta)"
+        )
+    )
+    print()
+    ordering = (
+        table["Penny"]["gmean"]
+        < table["Bolt/Auto_storage"]["gmean"]
+        < table["Bolt/Global"]["gmean"]
+    )
+    print("same ordering as Fermi (paper's conclusion):", ordering)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Figure 9: fault-free execution-time overhead of iGPU, Bolt/Global,
+Bolt/Auto_storage, and Penny across the 25 benchmarks (Fermi target)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench import ALL_BENCHMARKS
+from repro.experiments.harness import (
+    SCHEMES_FIG9,
+    format_overhead_table,
+    normalized_overheads,
+)
+from repro.gpusim.config import FERMI_C2050
+
+#: paper-reported geometric means (normalized execution time)
+PAPER_GMEANS = {
+    "iGPU": 1.023,
+    "Bolt/Global": 1.665,
+    "Bolt/Auto_storage": 1.385,
+    "Penny": 1.033,
+}
+
+
+def run(benchmarks=None) -> Dict[str, Dict[str, float]]:
+    benches = benchmarks if benchmarks is not None else list(ALL_BENCHMARKS)
+    return normalized_overheads(benches, SCHEMES_FIG9, gpu=FERMI_C2050)
+
+
+def main() -> None:
+    table = run()
+    print(format_overhead_table(table, "Fig. 9 — fault-free execution time "
+                                       "(normalized to baseline, Fermi)"))
+    print()
+    print("paper gmeans:", PAPER_GMEANS)
+    ordering_holds = (
+        table["Penny"]["gmean"]
+        < table["Bolt/Auto_storage"]["gmean"]
+        < table["Bolt/Global"]["gmean"]
+    )
+    print("ordering Penny < Bolt/Auto < Bolt/Global holds:", ordering_holds)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+"""Shared measurement machinery for the evaluation experiments.
+
+A *measurement* of (benchmark, scheme) is: build the kernel, apply the
+scheme's transformation, execute the workload functionally on the
+simulator, and feed the dynamic counts + resource usage into the analytic
+timing model.  Overheads are normalized against the unmodified baseline,
+exactly like the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.suite import Benchmark, Workload
+from repro.core.pipeline import CompileResult, PennyCompiler, PennyConfig
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_IGPU,
+    SCHEME_PENNY,
+    igpu_transform,
+    scheme_config,
+)
+from repro.gpusim.config import FERMI_C2050, GpuConfig
+from repro.gpusim.executor import ExecutionResult, Executor
+from repro.gpusim.timing import TimingModel, TimingReport
+from repro.ir.module import Kernel
+from repro.regalloc import count_registers
+
+#: the Fig. 9 / Fig. 15 comparison set, in plotting order
+SCHEMES_FIG9 = (
+    SCHEME_IGPU,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_BOLT_AUTO,
+    SCHEME_PENNY,
+)
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """One (benchmark, scheme) data point."""
+
+    abbr: str
+    scheme: str
+    cycles: float
+    normalized: float  # vs the unprotected baseline
+    timing: TimingReport
+    execution: ExecutionResult
+    compile_result: Optional[CompileResult] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def _kernel_shared_bytes(kernel: Kernel) -> int:
+    return sum(4 * d.num_words for d in kernel.shared)
+
+
+def _measure_kernel(
+    kernel: Kernel,
+    workload: Workload,
+    gpu: GpuConfig,
+    regs_override: Optional[int] = None,
+) -> Tuple[float, TimingReport, ExecutionResult]:
+    mem = workload.make_memory()
+    execution = Executor(kernel, rf_code_factory=lambda: None).run(
+        workload.launch, mem
+    )
+    regs = regs_override if regs_override is not None else count_registers(kernel)
+    timing = TimingModel(gpu).estimate(
+        execution,
+        threads_per_block=workload.block,
+        num_blocks=workload.grid,
+        regs_per_thread=regs,
+        shared_per_block=_kernel_shared_bytes(kernel),
+    )
+    return timing.cycles, timing, execution
+
+
+def measure_baseline(
+    bench: Benchmark, gpu: GpuConfig = FERMI_C2050
+) -> BenchmarkMeasurement:
+    """The unmodified program ("original program with no modification")."""
+    workload = bench.workload()
+    kernel = bench.fresh_kernel()
+    cycles, timing, execution = _measure_kernel(kernel, workload, gpu)
+    return BenchmarkMeasurement(
+        abbr=bench.abbr,
+        scheme="baseline",
+        cycles=cycles,
+        normalized=1.0,
+        timing=timing,
+        execution=execution,
+    )
+
+
+def measure_scheme(
+    bench: Benchmark,
+    scheme: str,
+    gpu: GpuConfig = FERMI_C2050,
+    baseline_cycles: Optional[float] = None,
+    config_override: Optional[PennyConfig] = None,
+) -> BenchmarkMeasurement:
+    """Measure one of the paper's schemes (or a custom config) on a
+    benchmark, normalized to the baseline."""
+    workload = bench.workload()
+    if baseline_cycles is None:
+        baseline_cycles = measure_baseline(bench, gpu).cycles
+
+    if scheme == SCHEME_IGPU:
+        kernel = bench.fresh_kernel()
+        igpu_transform(kernel)
+        cycles, timing, execution = _measure_kernel(kernel, workload, gpu)
+        return BenchmarkMeasurement(
+            abbr=bench.abbr,
+            scheme=scheme,
+            cycles=cycles,
+            normalized=cycles / baseline_cycles,
+            timing=timing,
+            execution=execution,
+        )
+
+    config = config_override or scheme_config(scheme)
+    compiler = PennyCompiler(config)
+    result = compiler.compile(bench.fresh_kernel(), workload.launch_config)
+    cycles, timing, execution = _measure_kernel(
+        result.kernel,
+        workload,
+        gpu,
+        regs_override=int(result.stats["registers"]),
+    )
+    return BenchmarkMeasurement(
+        abbr=bench.abbr,
+        scheme=scheme,
+        cycles=cycles,
+        normalized=cycles / baseline_cycles,
+        timing=timing,
+        execution=execution,
+        compile_result=result,
+    )
+
+
+def normalized_overheads(
+    benchmarks,
+    schemes,
+    gpu: GpuConfig = FERMI_C2050,
+    configs: Optional[Dict[str, PennyConfig]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Matrix of normalized execution times: scheme -> abbr -> factor,
+    plus a 'gmean' entry per scheme."""
+    table: Dict[str, Dict[str, float]] = {s: {} for s in schemes}
+    for bench in benchmarks:
+        base = measure_baseline(bench, gpu)
+        for scheme in schemes:
+            config = (configs or {}).get(scheme)
+            m = measure_scheme(
+                bench,
+                scheme,
+                gpu,
+                baseline_cycles=base.cycles,
+                config_override=config,
+            )
+            table[scheme][bench.abbr] = m.normalized
+    for scheme in schemes:
+        values = list(table[scheme].values())
+        table[scheme]["gmean"] = geometric_mean(values)
+    return table
+
+
+def geometric_mean(values: List[float]) -> float:
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_overhead_table(
+    table: Dict[str, Dict[str, float]], title: str
+) -> str:
+    """Render a scheme x benchmark normalized-time table."""
+    schemes = list(table)
+    abbrs = [k for k in next(iter(table.values())) if k != "gmean"]
+    lines = [title, ""]
+    header = f"{'bench':8}" + "".join(f"{s:>18}" for s in schemes)
+    lines.append(header)
+    for abbr in abbrs:
+        row = f"{abbr:8}" + "".join(
+            f"{table[s][abbr]:>18.3f}" for s in schemes
+        )
+        lines.append(row)
+    lines.append(
+        f"{'gmean':8}" + "".join(f"{table[s]['gmean']:>18.3f}" for s in schemes)
+    )
+    return "\n".join(lines)

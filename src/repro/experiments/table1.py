@@ -1,0 +1,46 @@
+"""Table 1: storage cost of conventional ECC vs Penny per error magnitude."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.coding.schemes import format_storage_cost_table, storage_cost_table
+
+#: the paper's numbers, for EXPERIMENTS.md comparison
+PAPER_TABLE1 = {
+    1: ("SECDED", 39, 0.219, "Parity", 33, 0.031),
+    2: ("DECTED", 55, 0.719, "Hamming", 38, 0.188),
+    3: ("TECQED", 60, 0.875, "SECDED", 39, 0.219),
+}
+
+
+def run() -> List[dict]:
+    return storage_cost_table()
+
+
+def verify() -> bool:
+    """True when every generated row matches the paper's."""
+    for row in run():
+        ecc_name, ecc_n, ecc_oh, p_name, p_n, p_oh = PAPER_TABLE1[
+            row["error_bits"]
+        ]
+        if (
+            row["ecc_coding"] != ecc_name
+            or row["ecc_n"] != ecc_n
+            or abs(row["ecc_overhead"] - ecc_oh) > 0.001
+            or row["penny_coding"] != p_name
+            or row["penny_n"] != p_n
+            or abs(row["penny_overhead"] - p_oh) > 0.001
+        ):
+            return False
+    return True
+
+
+def main() -> None:
+    print(format_storage_cost_table())
+    print()
+    print("matches paper:", verify())
+
+
+if __name__ == "__main__":
+    main()

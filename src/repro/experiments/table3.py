@@ -1,0 +1,61 @@
+"""Table 3: the benchmark applications used for evaluation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench import ALL_BENCHMARKS
+
+#: (abbr, suite) pairs exactly as the paper's Table 3 lists them
+PAPER_TABLE3 = {
+    "CP": "GPGPU-Sim bench",
+    "LIB": "GPGPU-Sim bench",
+    "LPS": "GPGPU-Sim bench",
+    "NN": "GPGPU-Sim bench",
+    "NQU": "GPGPU-Sim bench",
+    "BO": "CUDA toolkit samples",
+    "BS": "CUDA toolkit samples",
+    "CS": "CUDA toolkit samples",
+    "SP": "CUDA toolkit samples",
+    "SQ": "CUDA toolkit samples",
+    "FW": "CUDA toolkit samples",
+    "MT": "CUDA toolkit samples",
+    "SPMV": "Parboil",
+    "STC": "Parboil",
+    "TPACF": "Parboil",
+    "SGEMM": "Parboil",
+    "BP": "Rodinia",
+    "BFS": "Rodinia",
+    "GAU": "Rodinia",
+    "HS": "Rodinia",
+    "MD": "Rodinia",
+    "NW": "Rodinia",
+    "PF": "Rodinia",
+    "SRAD": "Rodinia",
+    "SC": "Rodinia",
+}
+
+
+def run() -> List[dict]:
+    return [
+        {"abbr": b.abbr, "name": b.name, "suite": b.suite}
+        for b in ALL_BENCHMARKS
+    ]
+
+
+def verify() -> bool:
+    rows = run()
+    if len(rows) != 25:
+        return False
+    return all(PAPER_TABLE3.get(r["abbr"]) == r["suite"] for r in rows)
+
+
+def main() -> None:
+    for row in run():
+        print(f"{row['abbr']:7} {row['name']:40} {row['suite']}")
+    print()
+    print("matches paper (25 apps, same suites):", verify())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""GPU architecture simulator (GPGPU-Sim stand-in).
+
+A functional SIMT interpreter for the PTX-subset IR with:
+
+- a parity/EDC-tracked register file — every register read is checked, so
+  corrupted values can never propagate (the property Penny's recovery
+  correctness rests on, Appendix A),
+- shared / global / local / const / param memory spaces (ECC-protected:
+  fault injection never touches them),
+- barrier-synchronized thread blocks with divergence (threads execute
+  independently and meet at barriers),
+- a recovery runtime that catches parity exceptions, restores live-ins from
+  checkpoint storage or recovery slices, and re-executes the region,
+- a fault injector flipping register bits at chosen dynamic points,
+- an analytic timing model (occupancy + latency hiding) and an RF energy
+  model (GPUWattch stand-in) fed by the interpreter's dynamic counts.
+
+Fermi (Tesla C2050) and Volta (Titan V) configurations mirror the paper's
+two evaluation targets.
+"""
+
+from repro.gpusim.config import FERMI_C2050, VOLTA_TITAN_V, GpuConfig
+from repro.gpusim.memory import MemoryImage
+from repro.gpusim.regfile import ParityError, RegisterFile
+from repro.gpusim.executor import ExecutionResult, Executor, Launch
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.timing import TimingModel, TimingReport
+from repro.gpusim.energy import rf_energy
+from repro.gpusim.faults import FaultCampaign, FaultOutcome, FaultPlan
+
+__all__ = [
+    "GpuConfig",
+    "FERMI_C2050",
+    "VOLTA_TITAN_V",
+    "MemoryImage",
+    "RegisterFile",
+    "ParityError",
+    "Executor",
+    "Launch",
+    "ExecutionResult",
+    "occupancy",
+    "TimingModel",
+    "TimingReport",
+    "rf_energy",
+    "FaultCampaign",
+    "FaultOutcome",
+    "FaultPlan",
+]

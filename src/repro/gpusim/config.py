@@ -1,0 +1,74 @@
+"""Simulated GPU configurations.
+
+The paper evaluates on a Fermi-class Tesla C2050 (GPGPU-Sim's default
+model) and, for the architecture sensitivity study of §7.8, a Volta-class
+Titan V.  Only the parameters our occupancy and timing models consume are
+carried here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Per-SM resources and latency/issue parameters."""
+
+    name: str
+    num_sms: int
+    warp_size: int = 32
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    regs_per_sm: int = 32768
+    shared_per_sm: int = 48 * 1024
+
+    #: issue cost in cycles per instruction class
+    issue_alu: int = 1
+    issue_sfu: int = 4
+    issue_mem: int = 1
+
+    #: round-trip latencies in cycles
+    lat_shared: int = 30
+    lat_global: int = 400
+    lat_const: int = 30
+
+    #: LSU throughput cost per (coalesced) memory transaction
+    lsu_shared: int = 2
+    lsu_global: int = 8
+
+    #: barrier overhead in cycles
+    lat_barrier: int = 20
+
+    def clone(self, **overrides) -> "GpuConfig":
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+#: The paper's primary target: Tesla C2050 (Fermi, GPGPU-Sim default).
+FERMI_C2050 = GpuConfig(
+    name="Tesla C2050 (Fermi)",
+    num_sms=14,
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    regs_per_sm=32768,
+    shared_per_sm=48 * 1024,
+    lat_global=400,
+    lat_shared=30,
+)
+
+#: The §7.8 sensitivity target: Titan V (Volta).  Larger register file and
+#: caches, more blocks per SM, lower effective global latency.
+VOLTA_TITAN_V = GpuConfig(
+    name="Titan V (Volta)",
+    num_sms=80,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    regs_per_sm=65536,
+    shared_per_sm=96 * 1024,
+    lat_global=280,
+    lat_shared=20,
+    lsu_global=4,
+)

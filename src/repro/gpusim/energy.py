@@ -1,0 +1,63 @@
+"""Register-file energy accounting (GPUWattch stand-in, Fig. 14).
+
+RF energy = (reads + writes) x per-access energy of the bank's coding
+scheme, using the synthesis-calibrated costs of
+:mod:`repro.coding.hwcost`.  A protected kernel performs *more* RF
+accesses than the baseline (checkpoint stores read registers; address
+preambles write them), so Penny's total comes out slightly above
+``baseline x 1.03`` — the paper reports 7% vs SECDED's 22.4%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coding.hwcost import RegisterFileBankModel
+from repro.gpusim.executor import ExecutionResult
+
+
+@dataclass(frozen=True)
+class RfEnergy:
+    """Energy of all register-file accesses of one run, in picojoules."""
+
+    accesses: int
+    per_access_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.accesses * self.per_access_pj
+
+
+def rf_energy(
+    result: ExecutionResult,
+    scheme_name: str = "Parity",
+    model: RegisterFileBankModel = None,
+) -> RfEnergy:
+    """Energy consumed by the register file during ``result``'s run under
+    the given coding scheme ("None" = unprotected baseline)."""
+    model = model or RegisterFileBankModel()
+    cost = model.cost(scheme_name)
+    return RfEnergy(
+        accesses=result.rf_reads + result.rf_writes,
+        per_access_pj=cost.access_energy_pj,
+    )
+
+
+def total_gpu_energy_norm(
+    rf_energy_norm: float,
+    cycles_norm: float,
+    rf_fraction: float = 0.15,
+) -> float:
+    """Whole-GPU energy, normalized to the unprotected baseline — the
+    §9.1 exploration the paper defers to future work.
+
+    The RF contributes ``rf_fraction`` of baseline GPU energy (GPUWattch
+    reports 10–20% for Fermi-class parts); the remaining energy scales with
+    run time (static power and the unchanged dynamic activity of the other
+    units).  Penny changes both terms — a cheaper RF but a slightly longer
+    run — which is exactly why the paper stops short of claiming a total-
+    energy win.
+    """
+    if not 0.0 < rf_fraction < 1.0:
+        raise ValueError("rf_fraction must be in (0, 1)")
+    return rf_fraction * rf_energy_norm + (1.0 - rf_fraction) * cycles_norm

@@ -1,0 +1,94 @@
+"""Simulated GPU memory spaces.
+
+All spaces are word-addressed stores of 32-bit values (our IR only issues
+4-byte-aligned accesses).  GPU memories are ECC-protected (the paper's
+premise), so the fault injector never touches them — only the register
+file.  Values are stored as raw 32-bit patterns; interpretation (int vs
+float) happens in the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+_MASK32 = 0xFFFFFFFF
+
+
+class MemoryError32(RuntimeError):
+    """Unaligned or out-of-space access."""
+
+
+class WordStore:
+    """A sparse word-addressed memory with a bump allocator."""
+
+    def __init__(self, name: str, size_bytes: int = 1 << 24):
+        self.name = name
+        self.size_bytes = size_bytes
+        self.words: Dict[int, int] = {}
+        self._alloc_ptr = 0
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, addr: int) -> int:
+        if addr % 4 != 0:
+            raise MemoryError32(
+                f"unaligned 4-byte access at {addr:#x} in {self.name}"
+            )
+        if addr < 0 or addr + 4 > self.size_bytes:
+            raise MemoryError32(
+                f"address {addr:#x} out of bounds for {self.name}"
+            )
+        return addr // 4
+
+    def load(self, addr: int) -> int:
+        self.reads += 1
+        return self.words.get(self._check(addr), 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self.writes += 1
+        self.words[self._check(addr)] = value & _MASK32
+
+    def allocate(self, num_bytes: int, align: int = 256) -> int:
+        """Reserve a region; returns its base address."""
+        base = (self._alloc_ptr + align - 1) // align * align
+        if base + num_bytes > self.size_bytes:
+            raise MemoryError32(f"{self.name} exhausted")
+        self._alloc_ptr = base + num_bytes
+        return base
+
+    def write_block(self, addr: int, values: Iterable[int]) -> None:
+        for i, v in enumerate(values):
+            self.store(addr + 4 * i, int(v))
+
+    def read_block(self, addr: int, count: int) -> List[int]:
+        return [self.load(addr + 4 * i) for i in range(count)]
+
+
+@dataclass
+class MemoryImage:
+    """All memory state of one kernel launch.
+
+    ``global_mem`` and ``const_mem`` are launch-wide; ``shared`` is per
+    thread block and ``local`` per thread (created on demand by the
+    executor).  ``params`` maps kernel parameter names to raw values.
+    """
+
+    global_mem: WordStore = field(default_factory=lambda: WordStore("global"))
+    const_mem: WordStore = field(default_factory=lambda: WordStore("const"))
+    params: Dict[str, int] = field(default_factory=dict)
+
+    def alloc_global(self, num_words: int) -> int:
+        return self.global_mem.allocate(num_words * 4)
+
+    def set_param(self, name: str, value: int) -> None:
+        self.params[name] = value & _MASK32
+
+    def upload(self, addr: int, values: Iterable[int]) -> None:
+        self.global_mem.write_block(addr, values)
+
+    def download(self, addr: int, count: int) -> List[int]:
+        return self.global_mem.read_block(addr, count)
+
+    def snapshot_global(self) -> Dict[int, int]:
+        return dict(self.global_mem.words)

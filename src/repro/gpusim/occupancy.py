@@ -1,0 +1,54 @@
+"""Occupancy calculation: resident blocks/warps per SM.
+
+Occupancy is the lever through which Penny's costs become runtime:
+register pressure from renaming and shared-memory checkpoint storage both
+shrink the number of resident warps, which shrinks the latency-hiding pool
+the timing model draws on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.config import GpuConfig
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    limiter: str  # "blocks" | "threads" | "registers" | "shared"
+
+    @property
+    def active(self) -> bool:
+        return self.blocks_per_sm > 0
+
+
+def occupancy(
+    config: GpuConfig,
+    threads_per_block: int,
+    regs_per_thread: int,
+    shared_per_block: int,
+) -> Occupancy:
+    """Resident blocks per SM under the four classic limits."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    limits = {
+        "blocks": config.max_blocks_per_sm,
+        "threads": config.max_threads_per_sm // threads_per_block,
+    }
+    reg_demand = max(1, regs_per_thread) * threads_per_block
+    limits["registers"] = config.regs_per_sm // reg_demand
+    if shared_per_block > 0:
+        limits["shared"] = config.shared_per_sm // shared_per_block
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    warp_size = config.warp_size
+    warps = blocks * ((threads_per_block + warp_size - 1) // warp_size)
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        threads_per_sm=blocks * threads_per_block,
+        limiter=limiter,
+    )

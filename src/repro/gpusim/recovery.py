@@ -1,0 +1,146 @@
+"""Penny's recovery runtime, simulated.
+
+When a register read trips parity, the runtime (footnote 3 of the paper):
+
+1. looks up the recovery entry of the thread's *current region* (tracked by
+   the executor as the last boundary / adjustment block entered),
+2. restores the region's live-in registers — from their checkpoint slots in
+   ECC-protected shared/global memory, or by evaluating recovery slices for
+   pruned checkpoints,
+3. redirects control to the beginning of the region.
+
+Restores re-encode the registers, wiping any corruption on them; corrupted
+registers that are *not* live-in are left as-is — they are dead or will be
+caught at their next read (Appendix A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.recovery_meta import RecoveryTable, RestoreAction
+from repro.core.slices import (
+    SImm,
+    SLoad,
+    SOp,
+    SSelp,
+    SSetp,
+    SSlot,
+    SSpecial,
+    SSymRef,
+    SliceExpr,
+)
+from repro.core.storage import StorageAssignment, StorageKind
+from repro.ir.types import MemSpace
+from repro.gpusim.executor import (
+    SimulationError,
+    ThreadContext,
+    UnrecoverableError,
+    _alu_compute,
+    _compare,
+    b2f,
+    f2b,
+    to_signed,
+)
+
+_MASK32 = 0xFFFFFFFF
+
+
+class RecoveryRuntime:
+    """Executes restore actions and region re-entry for one kernel."""
+
+    def __init__(self, kernel, table: RecoveryTable):
+        self.kernel = kernel
+        self.table = table
+        self.storage: Optional[StorageAssignment] = kernel.meta.get(
+            "storage_assignment"
+        )
+
+    def recover(self, t: ThreadContext, env, err) -> None:
+        entry = self.table.regions.get(t.region_label)
+        if entry is None:
+            raise UnrecoverableError(
+                f"no recovery entry for region {t.region_label!r} "
+                f"({err})"
+            )
+        for action in entry.restores:
+            value = self._restore_value(t, env, action)
+            t.rf.write(action.reg_name, value)
+        # Control returns to the region entry (the executor resets the pc).
+
+    # -- restore actions ----------------------------------------------------------
+
+    def _restore_value(self, t: ThreadContext, env, action: RestoreAction) -> int:
+        if action.is_slot:
+            return self._load_slot(t, env, action.reg_name, action.slot_color)
+        assert action.slice_expr is not None
+        return self._eval(t, env, action.slice_expr)
+
+    def _load_slot(self, t: ThreadContext, env, reg_name: str, color: int) -> int:
+        if self.storage is None:
+            raise UnrecoverableError("kernel has no checkpoint storage map")
+        slot = self.storage.slots.get((reg_name, color))
+        if slot is None:
+            raise UnrecoverableError(
+                f"no checkpoint slot for {reg_name} color {color}"
+            )
+        if slot.kind is StorageKind.SHARED:
+            base = env.shared_bases["__ckpt_shared"]
+            addr = (
+                base
+                + slot.index * self.storage.threads_per_block * 4
+                + t.tid * 4
+            )
+            return env.shared.load(addr)
+        gtid = t.ctaid * env.launch.block + t.tid
+        addr = (
+            env.ckpt_global_base
+            + slot.index * self.storage.total_threads * 4
+            + gtid * 4
+        )
+        return env.mem.global_mem.load(addr)
+
+    # -- slice evaluation -------------------------------------------------------------
+
+    def _eval(self, t: ThreadContext, env, expr: SliceExpr) -> int:
+        if isinstance(expr, SImm):
+            if expr.dtype.is_float:
+                return f2b(float(expr.value))
+            return int(expr.value) & _MASK32
+        if isinstance(expr, SSpecial):
+            return env.special(t, expr.name)
+        if isinstance(expr, SSymRef):
+            return env.symbol_address(expr.name)
+        if isinstance(expr, SSlot):
+            return self._load_slot(t, env, expr.reg_name, expr.color)
+        if isinstance(expr, SLoad):
+            base = self._eval(t, env, expr.base)
+            addr = (base + expr.offset) & _MASK32
+            if expr.space is MemSpace.PARAM:
+                # The base is SSymRef(param); symbol resolution already
+                # produced the parameter's value.
+                return base
+            if expr.space is MemSpace.GLOBAL:
+                return env.mem.global_mem.load(addr)
+            if expr.space is MemSpace.SHARED:
+                return env.shared.load(addr)
+            if expr.space is MemSpace.CONST:
+                return env.mem.const_mem.load(addr)
+            if expr.space is MemSpace.LOCAL:
+                return t.local.load(addr)
+            raise UnrecoverableError(f"slice load from {expr.space}")
+        if isinstance(expr, SOp):
+            vals = [self._eval(t, env, s) for s in expr.srcs]
+            return _alu_compute(expr.op, expr.dtype, vals)
+        if isinstance(expr, SSetp):
+            a = self._eval(t, env, expr.a)
+            b = self._eval(t, env, expr.b)
+            return 1 if _compare(expr.cmp, expr.dtype, a, b) else 0
+        if isinstance(expr, SSelp):
+            p = self._eval(t, env, expr.pred)
+            return (
+                self._eval(t, env, expr.a)
+                if p
+                else self._eval(t, env, expr.b)
+            )
+        raise UnrecoverableError(f"cannot evaluate slice node {expr!r}")

@@ -1,0 +1,85 @@
+"""Per-thread register file with EDC (parity) tracking.
+
+Every register holds an encoded codeword of its 32-bit value.  Writes
+encode; reads run the code's ``check`` — if it fires, :class:`ParityError`
+is raised *before the value can be used*, which is the no-propagation
+property Penny's recovery correctness depends on (Appendix A, Axiom 1).
+
+Fault injection flips raw codeword bits.  An unprotected register file
+(``code=None``) stores bare values and lets corrupted reads through — used
+for SDC baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.coding.base import Code
+
+_MASK32 = 0xFFFFFFFF
+
+
+class ParityError(RuntimeError):
+    """EDC detected a corrupted register at read time."""
+
+    def __init__(self, reg_name: str):
+        super().__init__(f"parity mismatch on register {reg_name}")
+        self.reg_name = reg_name
+
+
+class RegisterFile:
+    """One thread's registers: name -> codeword."""
+
+    def __init__(self, code: Optional[Code] = None):
+        self.code = code
+        self.words: Dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.detections = 0
+
+    def write(self, name: str, value: int) -> None:
+        value &= _MASK32
+        self.writes += 1
+        if self.code is None:
+            self.words[name] = value
+        else:
+            self.words[name] = self.code.encode(value)
+
+    def read(self, name: str) -> int:
+        self.reads += 1
+        word = self.words.get(name)
+        if word is None:
+            # Reading a never-written register: define it as zero (and
+            # encode it so subsequent flips are detectable).
+            self.write(name, 0)
+            self.reads += 0
+            word = self.words[name]
+        if self.code is None:
+            return word & _MASK32
+        if self.code.check(word):
+            self.detections += 1
+            raise ParityError(name)
+        return self.code.extract_data(word)
+
+    def peek(self, name: str) -> Optional[int]:
+        """Raw data bits without a parity check (diagnostics only)."""
+        word = self.words.get(name)
+        if word is None:
+            return None
+        if self.code is None:
+            return word & _MASK32
+        return self.code.extract_data(word)
+
+    def flip_bits(self, name: str, bit_positions: Iterable[int]) -> bool:
+        """Inject a fault: flip codeword bits of a register.  Returns False
+        when the register does not exist yet (nothing to corrupt)."""
+        if name not in self.words:
+            return False
+        word = self.words[name]
+        for bit in bit_positions:
+            word ^= 1 << bit
+        self.words[name] = word
+        return True
+
+    def registers(self):
+        return list(self.words)

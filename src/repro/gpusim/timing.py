@@ -1,0 +1,161 @@
+"""Analytic GPU timing model (the cycle-level half of the GPGPU-Sim
+substitution; see DESIGN.md §4).
+
+The model consumes the interpreter's per-warp dynamic instruction counts
+and the kernel's occupancy, and produces a cycle estimate as the maximum of
+three *monotone* bounds over each SM's assigned warps:
+
+- **issue bound** — one instruction issue port: every assigned warp's issue
+  cycles serialize (``N_warps * issue_per_warp``);
+- **LSU bound**   — memory operations consume load/store-unit throughput,
+  stores included: with no store buffer they occupy the pipeline, which is
+  the §3.1 observation that makes checkpointing stores expensive;
+- **latency bound** — warps run in occupancy-sized waves; within a wave,
+  one warp's dependent-load chain (``issue + mem_latency / MLP``) cannot be
+  compressed, so ``waves * chain`` lower-bounds the SM.  Low occupancy
+  (fewer warps per wave → more waves) directly lengthens this bound, which
+  is how register pressure and shared-memory checkpoint storage cost time.
+
+All three bounds grow when instructions are added and when occupancy drops,
+so transformed kernels are never estimated faster than their baseline.
+Absolute cycles are not calibrated to silicon; the paper's figures only use
+*ratios*, which these bounds drive through exactly the quantities Penny
+manipulates: checkpoint-store counts, their loop depth, and occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.gpusim.config import GpuConfig
+from repro.gpusim.executor import (
+    CLASS_ALU,
+    CLASS_ATOM,
+    CLASS_BAR,
+    CLASS_LD_GLOBAL,
+    CLASS_LD_OTHER,
+    CLASS_LD_SHARED,
+    CLASS_SFU,
+    CLASS_ST_GLOBAL,
+    CLASS_ST_OTHER,
+    CLASS_ST_SHARED,
+    ExecutionResult,
+)
+from repro.gpusim.occupancy import Occupancy, occupancy
+
+
+@dataclass
+class TimingReport:
+    cycles: float
+    issue_cycles: float
+    lsu_cycles: float
+    latency_cycles: float
+    waves: int
+    occupancy: Occupancy
+
+    @property
+    def bound(self) -> str:
+        bounds = {
+            "issue": self.issue_cycles,
+            "lsu": self.lsu_cycles,
+            "latency": self.latency_cycles,
+        }
+        return max(bounds, key=lambda k: bounds[k])
+
+
+class TimingModel:
+    """Estimates kernel cycles from dynamic counts + occupancy."""
+
+    #: memory-level parallelism assumed within one warp's load stream
+    MLP = 4.0
+
+    def __init__(self, config: GpuConfig):
+        self.config = config
+
+    def _per_warp(self, counts: Counter) -> Tuple[float, float, float]:
+        """(issue cycles, lsu cycles, dependent-load latency chain)."""
+        c = self.config
+        mem_ops = (
+            counts.get(CLASS_LD_GLOBAL, 0)
+            + counts.get(CLASS_ST_GLOBAL, 0)
+            + counts.get(CLASS_LD_SHARED, 0)
+            + counts.get(CLASS_ST_SHARED, 0)
+            + counts.get(CLASS_LD_OTHER, 0)
+            + counts.get(CLASS_ST_OTHER, 0)
+            + counts.get(CLASS_ATOM, 0)
+        )
+        issue = (
+            counts.get(CLASS_ALU, 0) * c.issue_alu
+            + counts.get(CLASS_SFU, 0) * c.issue_sfu
+            + mem_ops * c.issue_mem
+            + counts.get(CLASS_BAR, 0) * c.lat_barrier
+        )
+        lsu = (
+            (counts.get(CLASS_LD_GLOBAL, 0) + counts.get(CLASS_ST_GLOBAL, 0))
+            * c.lsu_global
+            + (counts.get(CLASS_LD_SHARED, 0) + counts.get(CLASS_ST_SHARED, 0))
+            * c.lsu_shared
+            + (counts.get(CLASS_LD_OTHER, 0) + counts.get(CLASS_ST_OTHER, 0))
+            * c.lsu_shared
+            + counts.get(CLASS_ATOM, 0) * 2 * c.lsu_global
+        )
+        load_latency = (
+            counts.get(CLASS_LD_GLOBAL, 0) * c.lat_global
+            + counts.get(CLASS_LD_SHARED, 0) * c.lat_shared
+            + counts.get(CLASS_LD_OTHER, 0) * c.lat_shared
+            + counts.get(CLASS_ATOM, 0) * c.lat_global
+        )
+        return float(issue), float(lsu), load_latency / self.MLP
+
+    def estimate(
+        self,
+        result: ExecutionResult,
+        threads_per_block: int,
+        num_blocks: int,
+        regs_per_thread: int,
+        shared_per_block: int,
+    ) -> TimingReport:
+        occ = occupancy(
+            self.config, threads_per_block, regs_per_thread, shared_per_block
+        )
+        if not occ.active:
+            raise ValueError(
+                "kernel cannot launch: zero occupancy "
+                f"(limited by {occ.limiter})"
+            )
+
+        # Average per-warp profile over the measured warps.
+        if result.warp_counts:
+            n = len(result.warp_counts)
+            avg = Counter()
+            for counts in result.warp_counts.values():
+                avg.update(counts)
+            per_warp = Counter({k: v / n for k, v in avg.items()})
+        else:
+            per_warp = Counter()
+        issue, lsu, mem_chain = self._per_warp(per_warp)
+
+        warp_size = self.config.warp_size
+        warps_per_block = (threads_per_block + warp_size - 1) // warp_size
+
+        # Work assigned to the busiest SM.
+        sms_used = min(self.config.num_sms, num_blocks)
+        blocks_on_sm = -(-num_blocks // sms_used)
+        warps_on_sm = blocks_on_sm * warps_per_block
+        resident = max(1, min(occ.warps_per_sm, warps_on_sm))
+        waves = max(1, -(-warps_on_sm // resident))
+
+        issue_bound = warps_on_sm * issue
+        lsu_bound = warps_on_sm * lsu
+        latency_bound = waves * (issue + mem_chain)
+
+        return TimingReport(
+            cycles=max(issue_bound, lsu_bound, latency_bound),
+            issue_cycles=issue_bound,
+            lsu_cycles=lsu_bound,
+            latency_cycles=latency_bound,
+            waves=waves,
+            occupancy=occ,
+        )

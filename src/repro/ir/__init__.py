@@ -1,0 +1,69 @@
+"""PTX-subset compiler IR.
+
+Penny operates on GPU kernels in PTX form (the paper performs register
+allocation on PTX, CRAT-style, then applies its transformations and runs the
+result on GPGPU-Sim).  This package defines the PTX subset our passes and
+benchmarks use:
+
+- 32-bit registers typed ``u32 / s32 / f32 / pred`` (predicates are stored in
+  32-bit registers holding 0/1, so the whole register file is uniform —
+  exactly what the parity-protected RF of the simulator needs),
+- 32-bit byte addressing into ``global / shared / local / const / param``
+  memory spaces,
+- ALU, memory, comparison, select, branch, barrier, and atomic instructions,
+  plus the ``cp`` checkpoint pseudo-instruction Penny introduces.
+
+The IR is deliberately mutable: passes rewrite instruction lists and split
+blocks in place, as a production compiler would.
+"""
+
+from repro.ir.types import DType, MemSpace, Reg, Imm, Special, SPECIAL_REGISTERS
+from repro.ir.instructions import (
+    Alu,
+    Atom,
+    Bar,
+    Bra,
+    Checkpoint,
+    Instruction,
+    Ld,
+    Membar,
+    Ret,
+    Selp,
+    Setp,
+    St,
+)
+from repro.ir.module import BasicBlock, Kernel, KernelParam, Module
+from repro.ir.builder import KernelBuilder
+from repro.ir.parser import parse_kernel, parse_module, PtxParseError
+from repro.ir.printer import print_kernel, print_module
+
+__all__ = [
+    "DType",
+    "MemSpace",
+    "Reg",
+    "Imm",
+    "Special",
+    "SPECIAL_REGISTERS",
+    "Instruction",
+    "Alu",
+    "Setp",
+    "Selp",
+    "Ld",
+    "St",
+    "Bra",
+    "Bar",
+    "Membar",
+    "Atom",
+    "Ret",
+    "Checkpoint",
+    "BasicBlock",
+    "Kernel",
+    "KernelParam",
+    "Module",
+    "KernelBuilder",
+    "parse_kernel",
+    "parse_module",
+    "PtxParseError",
+    "print_kernel",
+    "print_module",
+]

@@ -1,0 +1,306 @@
+"""Fluent construction of PTX-subset kernels.
+
+The benchmark suite builds its 25 kernels with :class:`KernelBuilder`, which
+is far less error-prone than hand-writing PTX text and keeps register dtypes
+in one place.  Example::
+
+    b = KernelBuilder("saxpy", params=[("X", "ptr"), ("Y", "ptr"),
+                                       ("alpha", "f32"), ("n", "u32")])
+    tid = b.special_u32("%tid.x")
+    n = b.ld_param("n")
+    p = b.setp("ge", tid, n)
+    b.bra("DONE", pred=p)
+    ...
+    b.label("DONE")
+    b.ret()
+    kernel = b.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.ir.instructions import (
+    Alu,
+    Atom,
+    Bar,
+    Bra,
+    Guard,
+    Instruction,
+    Ld,
+    Membar,
+    Ret,
+    Selp,
+    Setp,
+    St,
+)
+from repro.ir.module import BasicBlock, Kernel, KernelParam, SharedDecl
+from repro.ir.types import DType, Imm, MemSpace, Operand, Reg, Special, SymRef
+
+_DTYPE_ALIASES = {
+    "u32": DType.U32,
+    "s32": DType.S32,
+    "f32": DType.F32,
+    "pred": DType.PRED,
+}
+
+
+def _dtype(d: Union[str, DType]) -> DType:
+    if isinstance(d, DType):
+        return d
+    return _DTYPE_ALIASES[d]
+
+
+def _as_operand(x, dtype: DType) -> Operand:
+    """Coerce Python numbers to immediates of the instruction dtype."""
+    if isinstance(x, (Reg, Imm, Special, SymRef)):
+        return x
+    if isinstance(x, bool):
+        raise TypeError("bool operand is ambiguous; use an Imm")
+    if isinstance(x, int):
+        return Imm(x, dtype if not dtype.is_float else DType.U32)
+    if isinstance(x, float):
+        return Imm(x, DType.F32)
+    raise TypeError(f"cannot use {x!r} as an operand")
+
+
+class KernelBuilder:
+    """Builds a :class:`Kernel` block by block."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Tuple[str, str]] = (),
+        shared: Sequence[Tuple[str, int]] = (),
+    ):
+        kp = []
+        for pname, kind in params:
+            if kind == "ptr":
+                kp.append(KernelParam(pname, DType.U32, is_pointer=True))
+            else:
+                kp.append(KernelParam(pname, _dtype(kind)))
+        decls = [SharedDecl(sname, words) for sname, words in shared]
+        self.kernel = Kernel(name, params=kp, shared=decls)
+        self._current = BasicBlock("ENTRY")
+        self.kernel.blocks.append(self._current)
+        self._finished = False
+
+    # -- registers and labels -------------------------------------------------
+
+    def reg(self, dtype: Union[str, DType] = "u32", name: Optional[str] = None) -> Reg:
+        """Create a fresh register (or a named one)."""
+        dt = _dtype(dtype)
+        if name is not None:
+            return Reg(name, dt)
+        return self.kernel.fresh_reg(dt, prefix="%p" if dt is DType.PRED else "%v")
+
+    def label(self, name: str) -> None:
+        """Start a new basic block labelled ``name``."""
+        if not self._current.instructions and not self._is_branch_target(
+            self._current.label
+        ):
+            # Current block is empty and nothing branches to it (e.g. the
+            # anonymous block opened after a bra/ret): rename it in place.
+            self._current.label = name
+            return
+        self._current = BasicBlock(name)
+        self.kernel.blocks.append(self._current)
+
+    def _is_branch_target(self, label: str) -> bool:
+        return any(
+            label in blk.branch_targets() for blk in self.kernel.blocks
+        )
+
+    def emit(self, inst: Instruction) -> Instruction:
+        self._current.instructions.append(inst)
+        return inst
+
+    # -- ALU -------------------------------------------------------------------
+
+    def _alu(self, op, dtype, srcs, dst=None, guard=None) -> Reg:
+        dt = _dtype(dtype)
+        dst = dst or self.reg(dt)
+        ops = [_as_operand(s, dt) for s in srcs]
+        self.emit(Alu(op, dt, dst, ops, guard=guard))
+        return dst
+
+    def add(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("add", dtype, [a, b], dst, guard)
+
+    def sub(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("sub", dtype, [a, b], dst, guard)
+
+    def mul(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("mul", dtype, [a, b], dst, guard)
+
+    def div(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("div", dtype, [a, b], dst, guard)
+
+    def rem(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("rem", dtype, [a, b], dst, guard)
+
+    def mad(self, a, b, c, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("mad", dtype, [a, b, c], dst, guard)
+
+    def fma(self, a, b, c, dst=None, guard=None) -> Reg:
+        return self._alu("fma", "f32", [a, b, c], dst, guard)
+
+    def min_(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("min", dtype, [a, b], dst, guard)
+
+    def max_(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("max", dtype, [a, b], dst, guard)
+
+    def and_(self, a, b, dst=None, guard=None) -> Reg:
+        return self._alu("and", "u32", [a, b], dst, guard)
+
+    def or_(self, a, b, dst=None, guard=None) -> Reg:
+        return self._alu("or", "u32", [a, b], dst, guard)
+
+    def xor(self, a, b, dst=None, guard=None) -> Reg:
+        return self._alu("xor", "u32", [a, b], dst, guard)
+
+    def shl(self, a, b, dst=None, guard=None) -> Reg:
+        return self._alu("shl", "u32", [a, b], dst, guard)
+
+    def shr(self, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("shr", dtype, [a, b], dst, guard)
+
+    def neg(self, a, dtype="s32", dst=None, guard=None) -> Reg:
+        return self._alu("neg", dtype, [a], dst, guard)
+
+    def abs_(self, a, dtype="s32", dst=None, guard=None) -> Reg:
+        return self._alu("abs", dtype, [a], dst, guard)
+
+    def sqrt(self, a, dst=None, guard=None) -> Reg:
+        return self._alu("sqrt", "f32", [a], dst, guard)
+
+    def rcp(self, a, dst=None, guard=None) -> Reg:
+        return self._alu("rcp", "f32", [a], dst, guard)
+
+    def ex2(self, a, dst=None, guard=None) -> Reg:
+        return self._alu("ex2", "f32", [a], dst, guard)
+
+    def lg2(self, a, dst=None, guard=None) -> Reg:
+        return self._alu("lg2", "f32", [a], dst, guard)
+
+    def sin(self, a, dst=None, guard=None) -> Reg:
+        return self._alu("sin", "f32", [a], dst, guard)
+
+    def cos(self, a, dst=None, guard=None) -> Reg:
+        return self._alu("cos", "f32", [a], dst, guard)
+
+    def mov(self, src, dtype="u32", dst=None, guard=None) -> Reg:
+        return self._alu("mov", dtype, [src], dst, guard)
+
+    def cvt(self, src, dtype, dst=None, guard=None) -> Reg:
+        """Convert ``src`` to ``dtype`` (s32<->f32, u32<->f32, ...)."""
+        return self._alu("cvt", dtype, [src], dst, guard)
+
+    def special_u32(self, name: str, dst=None) -> Reg:
+        """Materialize a special register (e.g. ``%tid.x``) into a register."""
+        return self._alu("mov", "u32", [Special(name)], dst)
+
+    def addr_of(self, symbol: str, dst=None) -> Reg:
+        """Materialize the base address of a shared array."""
+        return self._alu("mov", "u32", [SymRef(symbol)], dst)
+
+    # -- predicates and control flow --------------------------------------------
+
+    def setp(self, cmp: str, a, b, dtype="u32", dst=None, guard=None) -> Reg:
+        dt = _dtype(dtype)
+        dst = dst or self.reg("pred")
+        self.emit(Setp(cmp, dt, dst, _as_operand(a, dt), _as_operand(b, dt), guard=guard))
+        return dst
+
+    def selp(self, a, b, pred: Reg, dtype="u32", dst=None, guard=None) -> Reg:
+        dt = _dtype(dtype)
+        dst = dst or self.reg(dt)
+        self.emit(Selp(dt, dst, _as_operand(a, dt), _as_operand(b, dt), pred, guard=guard))
+        return dst
+
+    def bra(self, target: str, pred: Optional[Reg] = None, sense: bool = True) -> None:
+        guard: Optional[Guard] = (pred, sense) if pred is not None else None
+        self.emit(Bra(target, guard=guard))
+        # Any branch (guarded branches fall through) ends the block; start an
+        # anonymous successor block.
+        self._current = BasicBlock(self.kernel.fresh_label())
+        self.kernel.blocks.append(self._current)
+
+    def ret(self) -> None:
+        self.emit(Ret())
+        self._current = BasicBlock(self.kernel.fresh_label())
+        self.kernel.blocks.append(self._current)
+
+    def bar(self) -> None:
+        self.emit(Bar())
+
+    def membar(self, level: str = "gl") -> None:
+        self.emit(Membar(level))
+
+    # -- memory ------------------------------------------------------------------
+
+    def ld_param(self, name: str, dst=None) -> Reg:
+        param = self.kernel.param(name)
+        dt = DType.U32 if param.is_pointer else param.dtype
+        dst = dst or self.reg(dt)
+        self.emit(Ld(MemSpace.PARAM, dt, dst, SymRef(name)))
+        return dst
+
+    def ld(self, space, base, offset=0, dtype="u32", dst=None, guard=None) -> Reg:
+        dt = _dtype(dtype)
+        space = MemSpace(space) if isinstance(space, str) else space
+        dst = dst or self.reg(dt)
+        self.emit(Ld(space, dt, dst, _as_operand(base, DType.U32), offset, guard=guard))
+        return dst
+
+    def st(self, space, base, src, offset=0, dtype="u32", guard=None) -> None:
+        dt = _dtype(dtype)
+        space = MemSpace(space) if isinstance(space, str) else space
+        self.emit(
+            St(
+                space,
+                dt,
+                _as_operand(base, DType.U32),
+                _as_operand(src, dt),
+                offset,
+                guard=guard,
+            )
+        )
+
+    def atom(self, space, op, base, src, offset=0, dtype="u32", dst=None, src2=None, guard=None) -> Reg:
+        dt = _dtype(dtype)
+        space = MemSpace(space) if isinstance(space, str) else space
+        dst = dst or self.reg(dt)
+        self.emit(
+            Atom(
+                space,
+                op,
+                dt,
+                dst,
+                _as_operand(base, DType.U32),
+                _as_operand(src, dt),
+                offset,
+                src2=_as_operand(src2, dt) if src2 is not None else None,
+                guard=guard,
+            )
+        )
+        return dst
+
+    # -- finalization --------------------------------------------------------------
+
+    def finish(self) -> Kernel:
+        """Validate and return the kernel (drops a trailing empty block)."""
+        if self._finished:
+            return self.kernel
+        if not self._current.instructions and len(self.kernel.blocks) > 1:
+            # Drop the trailing empty block left after a final ret/bra —
+            # unless something branches to it.
+            targets = set()
+            for blk in self.kernel.blocks:
+                targets.update(blk.branch_targets())
+            if self._current.label not in targets:
+                self.kernel.blocks.remove(self._current)
+        self.kernel.validate()
+        self._finished = True
+        return self.kernel

@@ -1,0 +1,533 @@
+"""Instruction classes of the PTX-subset IR.
+
+Every instruction knows its defined registers (:meth:`Instruction.defs`) and
+used operands (:meth:`Instruction.uses`), which is all the dataflow analyses
+need.  Instructions are mutable (fields may be rewritten by passes) but
+operands themselves (:class:`Reg`, :class:`Imm`, ...) are immutable values.
+
+An optional *guard* ``(pred_reg, sense)`` models PTX predication
+(``@%p`` / ``@!%p`` prefixes); a guarded instruction additionally uses its
+predicate register.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.ir.types import DType, Imm, MemSpace, Operand, Reg, SymRef
+
+#: ALU opcodes with two register/immediate sources.
+BINARY_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "mulhi",
+        "div",
+        "rem",
+        "min",
+        "max",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "shr",
+    }
+)
+
+#: ALU opcodes with one source.
+UNARY_OPS = frozenset(
+    {"mov", "neg", "not", "abs", "cvt", "sqrt", "rcp", "ex2", "lg2", "sin", "cos"}
+)
+
+#: Three-source fused multiply-add.
+TERNARY_OPS = frozenset({"mad", "fma"})
+
+ALU_OPS = BINARY_OPS | UNARY_OPS | TERNARY_OPS
+
+#: setp comparison predicates.
+CMP_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+#: Atomic operations (treated as region boundaries by Penny).
+ATOM_OPS = frozenset({"add", "exch", "max", "min", "cas"})
+
+Guard = Tuple[Reg, bool]  # (predicate register, sense); sense False = @!%p
+
+
+class Instruction:
+    """Base class for all instructions."""
+
+    __slots__ = ("guard",)
+
+    def __init__(self, guard: Optional[Guard] = None):
+        self.guard = guard
+
+    # -- dataflow interface --------------------------------------------------
+
+    def defs(self) -> Tuple[Reg, ...]:
+        """Registers written by this instruction."""
+        return ()
+
+    def uses(self) -> Tuple[Operand, ...]:
+        """Operands read by this instruction (guard predicate included)."""
+        if self.guard is not None:
+            return (self.guard[0],)
+        return ()
+
+    def reg_uses(self) -> Tuple[Reg, ...]:
+        """Register operands read by this instruction."""
+        return tuple(op for op in self.uses() if isinstance(op, Reg))
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_memory_read(self) -> bool:
+        return False
+
+    @property
+    def is_memory_write(self) -> bool:
+        return False
+
+    @property
+    def is_barrier_like(self) -> bool:
+        """True for synchronization instructions Penny treats as region
+        boundaries (barriers, fences, atomics)."""
+        return False
+
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+    def replace_uses(self, mapping) -> None:
+        """Rewrite register uses via ``mapping`` (Reg -> Reg).  Subclasses
+        with register sources override; the base handles the guard."""
+        if self.guard is not None and self.guard[0] in mapping:
+            self.guard = (mapping[self.guard[0]], self.guard[1])
+
+    def replace_defs(self, mapping) -> None:
+        """Rewrite register defs via ``mapping`` (Reg -> Reg)."""
+
+    def _guard_prefix(self) -> str:
+        if self.guard is None:
+            return ""
+        reg, sense = self.guard
+        return f"@{'' if sense else '!'}{reg} "
+
+    @staticmethod
+    def _map_op(op: Operand, mapping) -> Operand:
+        if isinstance(op, Reg) and op in mapping:
+            return mapping[op]
+        return op
+
+
+class Alu(Instruction):
+    """Arithmetic / logic / move / conversion: ``op.dtype dst, srcs...``."""
+
+    __slots__ = ("op", "dtype", "dst", "srcs")
+
+    def __init__(
+        self,
+        op: str,
+        dtype: DType,
+        dst: Reg,
+        srcs: Sequence[Operand],
+        guard: Optional[Guard] = None,
+    ):
+        super().__init__(guard)
+        if op not in ALU_OPS:
+            raise ValueError(f"unknown ALU op {op!r}")
+        expected = 3 if op in TERNARY_OPS else (2 if op in BINARY_OPS else 1)
+        if len(srcs) != expected:
+            raise ValueError(f"{op} expects {expected} sources, got {len(srcs)}")
+        self.op = op
+        self.dtype = dtype
+        self.dst = dst
+        self.srcs = list(srcs)
+
+    def defs(self) -> Tuple[Reg, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[Operand, ...]:
+        return tuple(self.srcs) + super().uses()
+
+    def replace_uses(self, mapping) -> None:
+        self.srcs = [self._map_op(s, mapping) for s in self.srcs]
+        super().replace_uses(mapping)
+
+    def replace_defs(self, mapping) -> None:
+        if self.dst in mapping:
+            self.dst = mapping[self.dst]
+
+    def __str__(self) -> str:
+        srcs = ", ".join(str(s) for s in self.srcs)
+        return f"{self._guard_prefix()}{self.op}.{self.dtype.value} {self.dst}, {srcs};"
+
+
+class Setp(Instruction):
+    """Predicate set: ``setp.cmp.dtype dst, a, b``."""
+
+    __slots__ = ("cmp", "dtype", "dst", "srcs")
+
+    def __init__(
+        self,
+        cmp: str,
+        dtype: DType,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        guard: Optional[Guard] = None,
+    ):
+        super().__init__(guard)
+        if cmp not in CMP_OPS:
+            raise ValueError(f"unknown comparison {cmp!r}")
+        self.cmp = cmp
+        self.dtype = dtype
+        self.dst = dst
+        self.srcs = [a, b]
+
+    def defs(self) -> Tuple[Reg, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[Operand, ...]:
+        return tuple(self.srcs) + super().uses()
+
+    def replace_uses(self, mapping) -> None:
+        self.srcs = [self._map_op(s, mapping) for s in self.srcs]
+        super().replace_uses(mapping)
+
+    def replace_defs(self, mapping) -> None:
+        if self.dst in mapping:
+            self.dst = mapping[self.dst]
+
+    def __str__(self) -> str:
+        return (
+            f"{self._guard_prefix()}setp.{self.cmp}.{self.dtype.value} "
+            f"{self.dst}, {self.srcs[0]}, {self.srcs[1]};"
+        )
+
+
+class Selp(Instruction):
+    """Select: ``selp.dtype dst, a, b, pred`` — dst = pred ? a : b."""
+
+    __slots__ = ("dtype", "dst", "srcs", "pred")
+
+    def __init__(
+        self,
+        dtype: DType,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+        pred: Reg,
+        guard: Optional[Guard] = None,
+    ):
+        super().__init__(guard)
+        self.dtype = dtype
+        self.dst = dst
+        self.srcs = [a, b]
+        self.pred = pred
+
+    def defs(self) -> Tuple[Reg, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[Operand, ...]:
+        return tuple(self.srcs) + (self.pred,) + super().uses()
+
+    def replace_uses(self, mapping) -> None:
+        self.srcs = [self._map_op(s, mapping) for s in self.srcs]
+        if self.pred in mapping:
+            self.pred = mapping[self.pred]
+        super().replace_uses(mapping)
+
+    def replace_defs(self, mapping) -> None:
+        if self.dst in mapping:
+            self.dst = mapping[self.dst]
+
+    def __str__(self) -> str:
+        return (
+            f"{self._guard_prefix()}selp.{self.dtype.value} {self.dst}, "
+            f"{self.srcs[0]}, {self.srcs[1]}, {self.pred};"
+        )
+
+
+class Ld(Instruction):
+    """Load: ``ld.space.dtype dst, [base+offset]``.
+
+    ``base`` may be a register, a :class:`SymRef` (named buffer), or an
+    immediate absolute address.
+    """
+
+    __slots__ = ("space", "dtype", "dst", "base", "offset")
+
+    def __init__(
+        self,
+        space: MemSpace,
+        dtype: DType,
+        dst: Reg,
+        base: Operand,
+        offset: int = 0,
+        guard: Optional[Guard] = None,
+    ):
+        super().__init__(guard)
+        self.space = space
+        self.dtype = dtype
+        self.dst = dst
+        self.base = base
+        self.offset = offset
+
+    def defs(self) -> Tuple[Reg, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[Operand, ...]:
+        return (self.base,) + super().uses()
+
+    @property
+    def is_memory_read(self) -> bool:
+        return True
+
+    def replace_uses(self, mapping) -> None:
+        self.base = self._map_op(self.base, mapping)
+        super().replace_uses(mapping)
+
+    def replace_defs(self, mapping) -> None:
+        if self.dst in mapping:
+            self.dst = mapping[self.dst]
+
+    def __str__(self) -> str:
+        off = f"+{self.offset}" if self.offset else ""
+        return (
+            f"{self._guard_prefix()}ld.{self.space.value}.{self.dtype.value} "
+            f"{self.dst}, [{self.base}{off}];"
+        )
+
+
+class St(Instruction):
+    """Store: ``st.space.dtype [base+offset], src``."""
+
+    __slots__ = ("space", "dtype", "base", "offset", "src")
+
+    def __init__(
+        self,
+        space: MemSpace,
+        dtype: DType,
+        base: Operand,
+        src: Operand,
+        offset: int = 0,
+        guard: Optional[Guard] = None,
+    ):
+        super().__init__(guard)
+        if space.read_only:
+            raise ValueError(f"cannot store to read-only space {space}")
+        self.space = space
+        self.dtype = dtype
+        self.base = base
+        self.offset = offset
+        self.src = src
+
+    def uses(self) -> Tuple[Operand, ...]:
+        return (self.base, self.src) + super().uses()
+
+    @property
+    def is_memory_write(self) -> bool:
+        return True
+
+    def replace_uses(self, mapping) -> None:
+        self.base = self._map_op(self.base, mapping)
+        self.src = self._map_op(self.src, mapping)
+        super().replace_uses(mapping)
+
+    def __str__(self) -> str:
+        off = f"+{self.offset}" if self.offset else ""
+        return (
+            f"{self._guard_prefix()}st.{self.space.value}.{self.dtype.value} "
+            f"[{self.base}{off}], {self.src};"
+        )
+
+
+class Bra(Instruction):
+    """Branch to a label; conditional when guarded."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: str, guard: Optional[Guard] = None):
+        super().__init__(guard)
+        self.target = target
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.guard is None
+
+    def __str__(self) -> str:
+        return f"{self._guard_prefix()}bra {self.target};"
+
+
+class Bar(Instruction):
+    """Thread-block barrier (``bar.sync``) — a Penny region boundary."""
+
+    __slots__ = ()
+
+    @property
+    def is_barrier_like(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self._guard_prefix()}bar.sync 0;"
+
+
+class Membar(Instruction):
+    """Memory fence — a Penny region boundary."""
+
+    __slots__ = ("level",)
+
+    def __init__(self, level: str = "gl", guard: Optional[Guard] = None):
+        super().__init__(guard)
+        self.level = level
+
+    @property
+    def is_barrier_like(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self._guard_prefix()}membar.{self.level};"
+
+
+class Atom(Instruction):
+    """Atomic read-modify-write: ``atom.space.op.dtype dst, [base+off], src``.
+
+    Atomics are both memory reads and writes, and Penny treats them as
+    region boundaries (inter-thread anti-dependences).
+    """
+
+    __slots__ = ("space", "op", "dtype", "dst", "base", "offset", "src", "src2")
+
+    def __init__(
+        self,
+        space: MemSpace,
+        op: str,
+        dtype: DType,
+        dst: Reg,
+        base: Operand,
+        src: Operand,
+        offset: int = 0,
+        src2: Optional[Operand] = None,
+        guard: Optional[Guard] = None,
+    ):
+        super().__init__(guard)
+        if op not in ATOM_OPS:
+            raise ValueError(f"unknown atomic op {op!r}")
+        if op == "cas" and src2 is None:
+            raise ValueError("atom.cas requires a second source")
+        self.space = space
+        self.op = op
+        self.dtype = dtype
+        self.dst = dst
+        self.base = base
+        self.offset = offset
+        self.src = src
+        self.src2 = src2
+
+    def defs(self) -> Tuple[Reg, ...]:
+        return (self.dst,)
+
+    def uses(self) -> Tuple[Operand, ...]:
+        ops = [self.base, self.src]
+        if self.src2 is not None:
+            ops.append(self.src2)
+        return tuple(ops) + super().uses()
+
+    @property
+    def is_memory_read(self) -> bool:
+        return True
+
+    @property
+    def is_memory_write(self) -> bool:
+        return True
+
+    @property
+    def is_barrier_like(self) -> bool:
+        return True
+
+    def replace_uses(self, mapping) -> None:
+        self.base = self._map_op(self.base, mapping)
+        self.src = self._map_op(self.src, mapping)
+        if self.src2 is not None:
+            self.src2 = self._map_op(self.src2, mapping)
+        super().replace_uses(mapping)
+
+    def replace_defs(self, mapping) -> None:
+        if self.dst in mapping:
+            self.dst = mapping[self.dst]
+
+    def __str__(self) -> str:
+        off = f"+{self.offset}" if self.offset else ""
+        extra = f", {self.src2}" if self.src2 is not None else ""
+        return (
+            f"{self._guard_prefix()}atom.{self.space.value}.{self.op}."
+            f"{self.dtype.value} {self.dst}, [{self.base}{off}], {self.src}{extra};"
+        )
+
+
+class Ret(Instruction):
+    """Kernel exit."""
+
+    __slots__ = ()
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.guard is None
+
+    def __str__(self) -> str:
+        return f"{self._guard_prefix()}ret;"
+
+
+class Checkpoint(Instruction):
+    """Penny's ``cp`` pseudo-instruction: save a live-out register to its
+    checkpoint storage slot.
+
+    ``slot`` names the per-register checkpoint storage; ``color`` selects
+    between the two alternating storages of the 2-coloring scheme;
+    ``space`` is filled in by automatic storage assignment and ``dummy``
+    marks adjustment-block checkpoints inserted to resolve coloring
+    conflicts.  Codegen lowers ``cp`` to an ordinary store.
+    """
+
+    __slots__ = ("reg", "slot", "color", "space", "dummy", "lup_block")
+
+    def __init__(
+        self,
+        reg: Reg,
+        slot: Optional[str] = None,
+        color: int = 0,
+        space: Optional[MemSpace] = None,
+        dummy: bool = False,
+        guard: Optional[Guard] = None,
+    ):
+        super().__init__(guard)
+        self.reg = reg
+        self.slot = slot or f"ckpt_{reg.name.lstrip('%')}"
+        self.color = color
+        self.space = space
+        self.dummy = dummy
+        self.lup_block = None  # set by checkpoint placement for diagnostics
+
+    def defs(self) -> Tuple[Reg, ...]:
+        return ()
+
+    def uses(self) -> Tuple[Operand, ...]:
+        return (self.reg,) + super().uses()
+
+    @property
+    def is_memory_write(self) -> bool:
+        return True
+
+    def replace_uses(self, mapping) -> None:
+        if self.reg in mapping:
+            self.reg = mapping[self.reg]
+        super().replace_uses(mapping)
+
+    def __str__(self) -> str:
+        space = f".{self.space.value}" if self.space else ""
+        dummy = " (dummy)" if self.dummy else ""
+        return (
+            f"{self._guard_prefix()}cp{space} {self.reg}, "
+            f"{self.slot}.K{self.color};{dummy}"
+        )

@@ -1,0 +1,299 @@
+"""Parser for the PTX-subset text syntax.
+
+The accepted grammar is exactly what :mod:`repro.ir.printer` emits — see the
+package docstring for the instruction forms.  The parser is line-oriented:
+one instruction, label, or declaration per line; ``//`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    ALU_OPS,
+    ATOM_OPS,
+    BINARY_OPS,
+    CMP_OPS,
+    TERNARY_OPS,
+    Alu,
+    Atom,
+    Bar,
+    Bra,
+    Guard,
+    Instruction,
+    Ld,
+    Membar,
+    Ret,
+    Selp,
+    Setp,
+    St,
+)
+from repro.ir.module import BasicBlock, Kernel, KernelParam, Module, SharedDecl
+from repro.ir.types import (
+    DType,
+    Imm,
+    MemSpace,
+    Operand,
+    Reg,
+    SPECIAL_REGISTERS,
+    Special,
+    SymRef,
+)
+
+
+class PtxParseError(ValueError):
+    """Raised on malformed PTX-subset input, with line information."""
+
+    def __init__(self, message: str, lineno: int, line: str):
+        super().__init__(f"line {lineno}: {message}: {line.strip()!r}")
+        self.lineno = lineno
+        self.line = line
+
+
+_ENTRY_RE = re.compile(r"^\.entry\s+(\w+)\s*\((.*)\)\s*\{$")
+_PARAM_RE = re.compile(r"^\.param\s+\.(\w+)\s+(\w+)$")
+_SHARED_RE = re.compile(r"^\.shared\s+\.b32\s+(\w+)\[(\d+)\]\s*;$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*)\s*:$")
+_GUARD_RE = re.compile(r"^@(!?)(%[\w.]+)\s+(.*)$")
+_MEM_RE = re.compile(r"^\[([^\]]+)\]$")
+
+_DTYPES = {d.value: d for d in DType}
+
+
+class _KernelParser:
+    """Parses the body of one kernel."""
+
+    def __init__(self, name: str, params: List[KernelParam]):
+        self.kernel = Kernel(name, params=params)
+        self.kernel.blocks = []
+        self._current: Optional[BasicBlock] = None
+        self._regs: Dict[str, Reg] = {}
+        self._auto_block = False
+        self._symbols = {p.name for p in params}
+
+    def _block(self) -> BasicBlock:
+        if self._current is None:
+            self._current = BasicBlock("ENTRY")
+            self.kernel.blocks.append(self._current)
+        return self._current
+
+    def start_block(self, label: str) -> None:
+        if (
+            self._current is not None
+            and self._auto_block
+            and not self._current.instructions
+        ):
+            # The empty anonymous block opened after a guarded branch can be
+            # renamed in place (its fresh label is never a branch target).
+            self._current.label = label
+        else:
+            self._current = BasicBlock(label)
+            self.kernel.blocks.append(self._current)
+        self._auto_block = False
+
+    def add_shared(self, name: str, words: int) -> None:
+        self.kernel.shared.append(SharedDecl(name, words))
+        self._symbols.add(name)
+
+    def reg(self, name: str, dtype: DType) -> Reg:
+        if name not in self._regs:
+            self._regs[name] = Reg(name, dtype)
+        return self._regs[name]
+
+    def operand(self, token: str, dtype: DType) -> Operand:
+        token = token.strip()
+        if token in SPECIAL_REGISTERS:
+            return Special(token)
+        if token.startswith("%"):
+            rdt = DType.PRED if token.startswith("%p") else dtype
+            return self.reg(token, rdt)
+        if token in self._symbols:
+            return SymRef(token)
+        try:
+            if dtype.is_float or "." in token or "e" in token.lower():
+                return Imm(float(token), DType.F32)
+            return Imm(int(token, 0), dtype)
+        except ValueError:
+            raise ValueError(f"cannot parse operand {token!r}")
+
+    def address(self, token: str, dtype: DType) -> Tuple[Operand, int]:
+        """Parse a memory operand ``[base]`` / ``[base+off]``."""
+        m = _MEM_RE.match(token.strip())
+        if not m:
+            raise ValueError(f"expected memory operand, got {token!r}")
+        inner = m.group(1).strip()
+        offset = 0
+        if "+" in inner:
+            base_tok, off_tok = inner.rsplit("+", 1)
+            offset = int(off_tok.strip(), 0)
+            inner = base_tok.strip()
+        elif "-" in inner[1:]:
+            base_tok, off_tok = inner.rsplit("-", 1)
+            offset = -int(off_tok.strip(), 0)
+            inner = base_tok.strip()
+        base = self.operand(inner, DType.U32)
+        return base, offset
+
+    def parse_instruction(self, text: str) -> Instruction:
+        guard: Optional[Guard] = None
+        gm = _GUARD_RE.match(text)
+        if gm:
+            sense = gm.group(1) != "!"
+            guard = (self.reg(gm.group(2), DType.PRED), sense)
+            text = gm.group(3)
+        if not text.endswith(";"):
+            raise ValueError("missing trailing ';'")
+        text = text[:-1].strip()
+
+        head, _, rest = text.partition(" ")
+        args = [a.strip() for a in _split_args(rest)] if rest else []
+        parts = head.split(".")
+        op = parts[0]
+
+        if op == "ret":
+            return Ret(guard=guard)
+        if op == "bra":
+            if len(args) != 1:
+                raise ValueError("bra expects one label")
+            return Bra(args[0], guard=guard)
+        if op == "bar":
+            return Bar(guard=guard)
+        if op == "membar":
+            level = parts[1] if len(parts) > 1 else "gl"
+            return Membar(level, guard=guard)
+        if op == "ld":
+            space = MemSpace(parts[1])
+            dtype = _DTYPES[parts[2]]
+            dst = self.operand(args[0], dtype)
+            base, off = self.address(args[1], dtype)
+            return Ld(space, dtype, dst, base, off, guard=guard)
+        if op == "st":
+            space = MemSpace(parts[1])
+            dtype = _DTYPES[parts[2]]
+            base, off = self.address(args[0], dtype)
+            src = self.operand(args[1], dtype)
+            return St(space, dtype, base, src, off, guard=guard)
+        if op == "atom":
+            space = MemSpace(parts[1])
+            aop = parts[2]
+            dtype = _DTYPES[parts[3]]
+            dst = self.operand(args[0], dtype)
+            base, off = self.address(args[1], dtype)
+            src = self.operand(args[2], dtype)
+            src2 = self.operand(args[3], dtype) if len(args) > 3 else None
+            return Atom(space, aop, dtype, dst, base, src, off, src2=src2, guard=guard)
+        if op == "setp":
+            cmp = parts[1]
+            dtype = _DTYPES[parts[2]]
+            dst = self.operand(args[0], DType.PRED)
+            return Setp(
+                cmp, dtype, dst, self.operand(args[1], dtype),
+                self.operand(args[2], dtype), guard=guard,
+            )
+        if op == "selp":
+            dtype = _DTYPES[parts[1]]
+            dst = self.operand(args[0], dtype)
+            pred = self.operand(args[3], DType.PRED)
+            return Selp(
+                dtype, dst, self.operand(args[1], dtype),
+                self.operand(args[2], dtype), pred, guard=guard,
+            )
+        if op in ALU_OPS:
+            dtype = _DTYPES[parts[1]]
+            dst = self.operand(args[0], dtype)
+            srcs = [self.operand(a, dtype) for a in args[1:]]
+            return Alu(op, dtype, dst, srcs, guard=guard)
+        raise ValueError(f"unknown instruction {op!r}")
+
+    def emit(self, inst: Instruction) -> None:
+        self._block().instructions.append(inst)
+        if isinstance(inst, Bra) and inst.guard is not None:
+            # Guarded branches must end their block; open an anonymous
+            # fall-through block for whatever follows.
+            self.start_block(self.kernel.fresh_label())
+            self._auto_block = True
+
+    def finish(self) -> Kernel:
+        self.kernel.validate()
+        return self.kernel
+
+
+def _split_args(text: str) -> List[str]:
+    """Split instruction arguments on top-level commas ( [] groups kept )."""
+    args = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        args.append("".join(current))
+    return [a.strip() for a in args if a.strip()]
+
+
+def _parse_params(text: str, lineno: int, line: str) -> List[KernelParam]:
+    params = []
+    for chunk in _split_args(text):
+        m = _PARAM_RE.match(chunk)
+        if not m:
+            raise PtxParseError(f"malformed parameter {chunk!r}", lineno, line)
+        kind, name = m.group(1), m.group(2)
+        if kind == "ptr":
+            params.append(KernelParam(name, DType.U32, is_pointer=True))
+        elif kind in _DTYPES:
+            params.append(KernelParam(name, _DTYPES[kind]))
+        else:
+            raise PtxParseError(f"unknown param type .{kind}", lineno, line)
+    return params
+
+
+def parse_module(text: str) -> Module:
+    """Parse PTX-subset text containing one or more kernels."""
+    module = Module()
+    parser: Optional[_KernelParser] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if parser is None:
+            m = _ENTRY_RE.match(line)
+            if not m:
+                raise PtxParseError("expected '.entry name (...) {'", lineno, raw)
+            params = _parse_params(m.group(2), lineno, raw)
+            parser = _KernelParser(m.group(1), params)
+            continue
+        if line == "}":
+            module.kernels.append(parser.finish())
+            parser = None
+            continue
+        sm = _SHARED_RE.match(line)
+        if sm:
+            parser.add_shared(sm.group(1), int(sm.group(2)))
+            continue
+        lm = _LABEL_RE.match(line)
+        if lm:
+            parser.start_block(lm.group(1))
+            continue
+        try:
+            parser.emit(parser.parse_instruction(line))
+        except ValueError as exc:
+            raise PtxParseError(str(exc), lineno, raw) from exc
+    if parser is not None:
+        raise PtxParseError("unterminated kernel (missing '}')", lineno, "")
+    return module
+
+
+def parse_kernel(text: str) -> Kernel:
+    """Parse text containing exactly one kernel."""
+    module = parse_module(text)
+    if len(module.kernels) != 1:
+        raise ValueError(f"expected exactly one kernel, got {len(module.kernels)}")
+    return module.kernels[0]

@@ -1,0 +1,29 @@
+"""Emit PTX-subset text from the IR (the inverse of :mod:`repro.ir.parser`)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.module import Kernel, Module
+
+
+def print_kernel(kernel: Kernel) -> str:
+    """Render a kernel as parseable PTX-subset text."""
+    lines: List[str] = []
+    params = ", ".join(
+        f".param .{'ptr' if p.is_pointer else p.dtype.value} {p.name}"
+        for p in kernel.params
+    )
+    lines.append(f".entry {kernel.name} ({params}) {{")
+    for decl in kernel.shared:
+        lines.append(f"  .shared .b32 {decl.name}[{decl.num_words}];")
+    for blk in kernel.blocks:
+        lines.append(f"{blk.label}:")
+        for inst in blk.instructions:
+            lines.append(f"  {inst}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    return "\n\n".join(print_kernel(k) for k in module.kernels)

@@ -1,0 +1,77 @@
+"""Regression pins for the compiler's per-benchmark decisions.
+
+These values were produced by the current pipeline and lock in its
+behaviour: a silent change to region formation, placement, hazard
+detection, or pruning shows up here as a diff that must be reviewed
+(update the table deliberately when an algorithm improves).
+"""
+
+import pytest
+
+from repro.bench import ALL_BENCHMARKS, get_benchmark
+from repro.core import PennyCompiler, SCHEME_PENNY, scheme_config
+
+#: abbr -> (boundaries, total checkpoints, committed, scheme, hazardous)
+GOLDEN = {
+    "BFS": (2, 8, 3, "rr", 3),
+    "BO": (3, 9, 5, "rr", 4),
+    "BP": (3, 11, 5, "rr", 3),
+    "BS": (2, 2, 1, "rr", 0),
+    "CP": (2, 2, 1, "rr", 0),
+    "CS": (4, 8, 1, "rr", 0),
+    "FW": (7, 13, 8, "rr", 5),
+    "GAU": (2, 8, 4, "rr", 3),
+    "HS": (4, 7, 1, "rr", 0),
+    "LIB": (1, 0, 0, "rr", 0),
+    "LPS": (7, 9, 3, "rr", 1),
+    "MD": (2, 2, 1, "rr", 0),
+    "MT": (3, 6, 0, "rr", 0),
+    "NN": (2, 2, 1, "rr", 0),
+    "NQU": (2, 12, 8, "rr", 8),
+    "NW": (2, 8, 3, "rr", 3),
+    "PF": (7, 10, 3, "rr", 1),
+    "SC": (2, 2, 1, "rr", 0),
+    "SGEMM": (5, 13, 5, "rr", 3),
+    "SP": (7, 11, 6, "rr", 4),
+    "SPMV": (2, 2, 1, "rr", 0),
+    "SQ": (2, 2, 1, "rr", 0),
+    "SRAD": (2, 2, 1, "rr", 0),
+    "STC": (2, 9, 5, "rr", 5),
+    "TPACF": (4, 14, 9, "rr", 4),
+}
+
+
+@pytest.mark.parametrize("abbr", sorted(GOLDEN))
+def test_compiler_decisions_pinned(abbr):
+    bench = get_benchmark(abbr)
+    wl = bench.workload()
+    result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    s = result.stats
+    got = (
+        int(s["num_boundaries"]),
+        int(s["checkpoints_total"]),
+        int(s["checkpoints_committed"]),
+        s["overwrite_scheme"],
+        int(s["hazardous_registers"]),
+    )
+    assert got == GOLDEN[abbr], (
+        f"{abbr}: compiler decisions changed "
+        f"(boundaries, total, committed, scheme, hazardous) "
+        f"= {got}, pinned {GOLDEN[abbr]}"
+    )
+
+
+def test_golden_covers_whole_suite():
+    assert set(GOLDEN) == {b.abbr for b in ALL_BENCHMARKS}
+
+
+def test_interesting_structure_distribution():
+    """The suite spans the structures the evaluation depends on."""
+    no_checkpoints = [a for a, g in GOLDEN.items() if g[1] == 0]
+    heavy = [a for a, g in GOLDEN.items() if g[2] >= 5]
+    fully_pruned = [a for a, g in GOLDEN.items() if g[1] > 0 and g[2] == 0]
+    assert "LIB" in no_checkpoints  # pure compute, no anti-dependences
+    assert "STC" in heavy  # un-prunable loop-carried state
+    assert "MT" in fully_pruned  # everything recomputable

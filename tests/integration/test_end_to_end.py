@@ -1,0 +1,120 @@
+"""End-to-end functional equivalence: every benchmark, every scheme.
+
+The transformed kernel must compute exactly what the original computes —
+checkpointing, renaming, storage alternation and recovery metadata may not
+change program semantics.
+"""
+
+import pytest
+
+from repro.bench import ALL_BENCHMARKS, get_benchmark
+from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_PENNY,
+    igpu_transform,
+    scheme_config,
+)
+from repro.gpusim import Executor, Launch, MemoryImage
+
+ABBRS = [b.abbr for b in ALL_BENCHMARKS]
+
+
+def golden_output(bench):
+    wl = bench.workload()
+    mem, _, out = wl.make()
+    Executor(bench.fresh_kernel(), rf_code_factory=lambda: None).run(
+        wl.launch, mem
+    )
+    return mem.download(*out), wl, out
+
+
+def run_kernel(kernel, wl, out):
+    mem = wl.make_memory()
+    Executor(kernel, rf_code_factory=lambda: None).run(wl.launch, mem)
+    return mem.download(*out)
+
+
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_penny_preserves_semantics(abbr):
+    bench = get_benchmark(abbr)
+    golden, wl, out = golden_output(bench)
+    result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    assert run_kernel(result.kernel, wl, out) == golden
+
+
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_bolt_global_preserves_semantics(abbr):
+    bench = get_benchmark(abbr)
+    golden, wl, out = golden_output(bench)
+    result = PennyCompiler(scheme_config(SCHEME_BOLT_GLOBAL)).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    assert run_kernel(result.kernel, wl, out) == golden
+
+
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_igpu_preserves_semantics(abbr):
+    bench = get_benchmark(abbr)
+    golden, wl, out = golden_output(bench)
+    kernel = bench.fresh_kernel()
+    igpu_transform(kernel)
+    assert run_kernel(kernel, wl, out) == golden
+
+
+@pytest.mark.parametrize(
+    "abbr", ["BO", "STC", "SGEMM", "FW", "NW", "TPACF", "GAU"]
+)
+@pytest.mark.parametrize("pruning", ["none", "basic", "optimal"])
+def test_pruning_modes_preserve_semantics(abbr, pruning):
+    """The checkpoint-heavy kernels across all pruning levels."""
+    bench = get_benchmark(abbr)
+    golden, wl, out = golden_output(bench)
+    config = PennyConfig(pruning=pruning, overwrite="sa")
+    result = PennyCompiler(config).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    assert run_kernel(result.kernel, wl, out) == golden
+
+
+@pytest.mark.parametrize("abbr", ["BO", "STC", "SP", "PF"])
+@pytest.mark.parametrize("storage", ["shared", "global", "auto"])
+def test_storage_modes_preserve_semantics(abbr, storage):
+    bench = get_benchmark(abbr)
+    golden, wl, out = golden_output(bench)
+    config = PennyConfig(storage_mode=storage, overwrite="sa")
+    result = PennyCompiler(config).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    assert run_kernel(result.kernel, wl, out) == golden
+
+
+@pytest.mark.parametrize("abbr", ["BO", "STC", "FW", "NQU"])
+@pytest.mark.parametrize("overwrite", ["rr", "sa"])
+def test_overwrite_schemes_preserve_semantics(abbr, overwrite):
+    bench = get_benchmark(abbr)
+    golden, wl, out = golden_output(bench)
+    config = PennyConfig(overwrite=overwrite)
+    result = PennyCompiler(config).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    assert run_kernel(result.kernel, wl, out) == golden
+
+
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_protected_kernel_carries_recovery_metadata(abbr):
+    bench = get_benchmark(abbr)
+    wl = bench.workload()
+    result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    kernel = result.kernel
+    assert kernel.meta.get("protected")
+    assert "recovery_table" in kernel.meta
+    assert "region_boundaries" in kernel.meta
+    table = kernel.meta["recovery_table"]
+    for boundary in kernel.meta["region_boundaries"]:
+        assert boundary in table.regions

@@ -1,0 +1,129 @@
+"""Experiment-harness smoke tests on benchmark subsets (full runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.bench import ALL_BENCHMARKS, get_benchmark
+from repro.experiments import harness
+from repro.experiments import fig9, fig10, fig11, fig12, fig13, fig14, fig15
+from repro.experiments import appendix_a, detectors, energy_total
+from repro.experiments import table1, table2, table3
+
+SUBSET = [get_benchmark(a) for a in ("BO", "STC", "BS")]
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        assert table1.verify()
+
+    def test_table2_close_to_paper(self):
+        assert table2.max_deviation() < 0.005
+
+    def test_table3_matches_paper(self):
+        assert table3.verify()
+
+
+class TestHarness:
+    def test_baseline_normalized_to_one(self):
+        m = harness.measure_baseline(get_benchmark("BS"))
+        assert m.normalized == 1.0
+        assert m.cycles > 0
+
+    def test_scheme_measurement_has_compile_result(self):
+        m = harness.measure_scheme(get_benchmark("BS"), "Penny")
+        assert m.compile_result is not None
+        assert m.normalized >= 1.0
+
+    def test_igpu_measurement(self):
+        m = harness.measure_scheme(get_benchmark("BS"), "iGPU")
+        assert m.compile_result is None
+        assert m.normalized > 0
+
+    def test_geometric_mean(self):
+        assert harness.geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert harness.geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_format_table_renders(self):
+        table = {"Penny": {"BS": 1.01, "gmean": 1.01}}
+        text = harness.format_overhead_table(table, "t")
+        assert "Penny" in text and "BS" in text and "gmean" in text
+
+
+class TestFigureShapes:
+    """The paper's qualitative claims on a fast 3-benchmark subset."""
+
+    def test_fig9_ordering(self):
+        table = fig9.run(SUBSET)
+        assert (
+            table["Penny"]["gmean"]
+            <= table["Bolt/Auto_storage"]["gmean"]
+            <= table["Bolt/Global"]["gmean"]
+        )
+        # Penny's overhead is small
+        assert table["Penny"]["gmean"] < 1.25
+
+    def test_fig10_cumulative_improvement(self):
+        table = fig10.run(SUBSET)
+        names = list(fig10.CUMULATIVE_CONFIGS)
+        first, last = table[names[0]]["gmean"], table[names[-1]]["gmean"]
+        assert last <= first + 1e-9
+
+    def test_fig11_no_protection_is_lower_bound(self):
+        table = fig11.run(SUBSET)
+        assert (
+            table["Auto/No_protection"]["gmean"]
+            <= table["Auto/Auto_select"]["gmean"] + 1e-9
+        )
+
+    def test_fig12_optimal_prunes_at_least_basic(self):
+        rows = fig12.run(SUBSET)
+        for r in rows:
+            assert r["basic"] + r["additional"] + r["committed"] == r["total"]
+            assert r["optimal_frac"] >= r["basic_frac"] - 1e-9
+
+    def test_fig13_pruning_ordering(self):
+        table = fig13.run(SUBSET)
+        assert (
+            table["Opt_pruning"]["gmean"]
+            <= table["Basic_pruning"]["gmean"] + 1e-9
+            <= table["No_pruning"]["gmean"] + 1e-9
+        )
+
+    def test_fig14_energy_ordering(self):
+        # light-checkpoint apps must show the paper's Penny < ECC ordering;
+        # checkpoint-dense miniature kernels (BO/STC/FW) legitimately exceed
+        # it — see EXPERIMENTS.md on the loop-body-scale deviation
+        light = [get_benchmark(a) for a in ("BS", "CP", "MD", "SPMV")]
+        rows = fig14.run(light)
+        for r in rows:
+            assert r["penny_norm"] < r["ecc_norm"], r
+            assert r["ecc_norm"] == pytest.approx(1.211, abs=0.02)
+            assert r["penny_norm"] >= 1.0
+
+    def test_fig15_volta_subset_defined(self):
+        assert len(fig15.VOLTA_APPS) == 19
+        abbrs = {b.abbr for b in ALL_BENCHMARKS}
+        assert set(fig15.VOLTA_APPS) <= abbrs
+
+    def test_fig15_runs_on_volta(self):
+        table = fig15.run(SUBSET)
+        assert table["Penny"]["gmean"] < table["Bolt/Global"]["gmean"]
+
+
+class TestExtensionArtifacts:
+    def test_appendix_a_clean(self):
+        rows = appendix_a.run(apps=("STC",), injections_per_app=15)
+        assert rows[0]["sdc"] == 0 and rows[0]["due"] == 0
+
+    def test_detector_ablation(self):
+        table = detectors.run(SUBSET)
+        assert table["SW-DMR"]["gmean"] > table["Penny"]["gmean"]
+
+    def test_total_energy_marginal(self):
+        rows = energy_total.run(SUBSET)
+        for r in rows:
+            # ECC's total is a pure hardware tax, always small; Penny's
+            # follows its runtime overhead (BO, the checkpoint-heavy
+            # outlier, pays the most) — the §9.1 no-strong-claim territory
+            assert 0.95 < r["ecc@0.15"] < 1.10
+            assert 0.95 < r["penny@0.15"] < 1.35

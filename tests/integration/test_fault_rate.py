@@ -1,0 +1,27 @@
+"""Recovery-cost-vs-fault-rate experiment (§3.1's Amdahl argument)."""
+
+import pytest
+
+from repro.experiments import fault_rate
+from repro.gpusim.faults import RateFaultPlan
+
+
+def test_rate_plan_validates_interval():
+    with pytest.raises(ValueError):
+        RateFaultPlan(interval=0)
+
+
+def test_inflation_grows_with_rate_and_stays_correct():
+    rows = fault_rate.run(abbr="STC", intervals=(5000, 200, 50), seed=7)
+    inflations = [r["inflation"] for r in rows]
+    # monotone in pressure (allowing float noise)
+    assert inflations[0] <= inflations[1] + 1e-9 <= inflations[2] + 2e-9
+    # correctness is rate-independent
+    assert all(r["correct"] for r in rows)
+    # the highest pressure actually exercised recovery
+    assert rows[-1]["recoveries"] > 0
+
+
+def test_negligible_at_low_rates():
+    rows = fault_rate.run(abbr="STC", intervals=(10_000,), seed=3)
+    assert rows[0]["inflation"] < 1.01

@@ -1,0 +1,88 @@
+"""Multi-bit fault campaigns: the stronger-coding story of Table 1.
+
+Penny's pitch for multi-bit environments: use a bigger *detection* code
+(Hamming for 2-bit, SECDED for 3-bit) and keep correcting by re-execution.
+These campaigns check each (code, fault magnitude) pairing end to end,
+including burst (adjacent-bit) upsets from single particle strikes.
+"""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.coding import HammingCode, SecdedCode
+from repro.core.pipeline import PennyCompiler
+from repro.core.schemes import SCHEME_PENNY, scheme_config
+from repro.gpusim import FaultCampaign
+
+
+@pytest.fixture(scope="module")
+def protected_stc():
+    bench = get_benchmark("STC")
+    wl = bench.workload()
+    result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    return result.kernel, wl
+
+
+def _campaign(kernel, wl, code_factory):
+    return FaultCampaign(
+        kernel,
+        wl.launch,
+        wl.make_memory,
+        wl.output_region(),
+        rf_code_factory=code_factory,
+    )
+
+
+def test_hamming_rf_recovers_double_faults(protected_stc):
+    """Hamming (38,32) detection-only handles 2-bit errors (Table 1 row 2)."""
+    kernel, wl = protected_stc
+    campaign = _campaign(kernel, wl, lambda: HammingCode(32))
+    summary = campaign.run_random(30, seed=21, bits_per_fault=2).summary()
+    assert summary["sdc"] == 0, summary
+    assert summary["due"] == 0, summary
+
+
+def test_secded_rf_recovers_triple_faults(protected_stc):
+    """SECDED (39,32) detection-only handles 3-bit errors (Table 1 row 3) —
+    what would take TECQED (60,32) with conventional ECC."""
+    kernel, wl = protected_stc
+    campaign = _campaign(kernel, wl, lambda: SecdedCode(32))
+    summary = campaign.run_random(30, seed=22, bits_per_fault=3).summary()
+    assert summary["sdc"] == 0, summary
+    assert summary["due"] == 0, summary
+
+
+def test_burst_faults_within_detection_guarantee(protected_stc):
+    """3-bit adjacent bursts under a SECDED RF: detected and recovered."""
+    kernel, wl = protected_stc
+    campaign = _campaign(kernel, wl, lambda: SecdedCode(32))
+    summary = campaign.run_random(
+        30, seed=23, bits_per_fault=3, pattern="burst"
+    ).summary()
+    assert summary["sdc"] == 0, summary
+    assert summary["due"] == 0, summary
+
+
+def test_magnitude_beyond_guarantee_can_corrupt(protected_stc):
+    """4 flips exceed SECDED's detection-only guarantee: corruption or
+    crashes become possible (the reason TECQED-class needs exist at all)."""
+    kernel, wl = protected_stc
+    campaign = _campaign(kernel, wl, lambda: SecdedCode(32))
+    summary = campaign.run_random(60, seed=24, bits_per_fault=4).summary()
+    # nothing to assert about exact counts — only that the guarantee's
+    # boundary is real: at least one injection must escape cleanly-detected
+    # behaviour across a decent sample, or the code is stronger than
+    # claimed (which would be a modelling bug)
+    escaped = summary["sdc"] + summary["due"]
+    recovered_or_masked = summary["masked"] + summary["recovered"]
+    assert escaped + recovered_or_masked == 60
+    assert escaped > 0, summary
+
+
+def test_bad_pattern_rejected(protected_stc):
+    kernel, wl = protected_stc
+    campaign = _campaign(kernel, wl, None)
+    with pytest.raises(ValueError):
+        campaign.run_random(1, pattern="diagonal")

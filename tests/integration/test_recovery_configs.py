@@ -1,0 +1,80 @@
+"""Fault-injection campaigns across compiler configurations.
+
+The main recovery tests exercise the default Penny configuration (shared
+storage, low-opts, bimodal).  Every other configuration must uphold the
+same invariant — in particular:
+
+- **global checkpoint storage**: recovery slot loads resolve through the
+  global coalesced layout;
+- **low_opts off**: checkpoints recompute their addresses inline through
+  short-lived temporaries that recovery never restores (they are redefined
+  by re-execution before being read);
+- **eager placement** and **rr overwrite** paths.
+"""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.core.pipeline import PennyCompiler, PennyConfig
+from repro.gpusim import FaultCampaign
+
+CONFIG_MATRIX = [
+    pytest.param(
+        PennyConfig(storage_mode="global", overwrite="sa"),
+        id="global-storage",
+    ),
+    pytest.param(
+        PennyConfig(low_opts=False, overwrite="sa"),
+        id="inline-addresses",
+    ),
+    pytest.param(
+        PennyConfig(placement="eager", overwrite="sa"),
+        id="eager-placement",
+    ),
+    pytest.param(
+        PennyConfig(overwrite="rr"),
+        id="renaming-first",
+    ),
+    pytest.param(
+        PennyConfig(pruning="none", overwrite="sa"),
+        id="no-pruning",
+    ),
+    pytest.param(
+        PennyConfig(pruning="basic", overwrite="sa"),
+        id="basic-pruning",
+    ),
+]
+
+
+@pytest.mark.parametrize("config", CONFIG_MATRIX)
+@pytest.mark.parametrize("abbr", ["STC", "BO"])
+def test_single_bit_invariant_across_configs(config, abbr):
+    bench = get_benchmark(abbr)
+    wl = bench.workload()
+    result = PennyCompiler(config).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    campaign = FaultCampaign(
+        result.kernel, wl.launch, wl.make_memory, wl.output_region()
+    )
+    summary = campaign.run_random(25, seed=31, bits_per_fault=1).summary()
+    assert summary["sdc"] == 0, (config, summary)
+    assert summary["due"] == 0, (config, summary)
+
+
+def test_global_storage_campaign_actually_recovers():
+    """The global-storage path must see real recoveries, not just masks."""
+    bench = get_benchmark("STC")
+    wl = bench.workload()
+    result = PennyCompiler(
+        PennyConfig(storage_mode="global", overwrite="sa")
+    ).compile(bench.fresh_kernel(), wl.launch_config)
+    storage = result.kernel.meta["storage_assignment"]
+    assert storage.global_slots > 0 and storage.shared_slots == 0
+    campaign = FaultCampaign(
+        result.kernel, wl.launch, wl.make_memory, wl.output_region()
+    )
+    report = campaign.run_random(40, seed=17, bits_per_fault=1)
+    assert report.summary()["recovered"] > 0
+    assert report.summary()["sdc"] == 0
+    assert report.summary()["due"] == 0

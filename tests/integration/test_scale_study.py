@@ -1,0 +1,37 @@
+"""The workload-scale study backing EXPERIMENTS.md's compression claim."""
+
+from repro.experiments import scale_study
+from repro.gpusim import Executor, Launch, MemoryImage
+
+
+def test_family_members_compute_consistently():
+    """Every family member must be a valid, runnable kernel."""
+    for n in (2, 12):
+        kernel = scale_study.build_kernel(n)
+        kernel.validate()
+        mem = MemoryImage()
+        addr = mem.alloc_global(2048)
+        mem.upload(addr, list(range(1, 65)))
+        mem.set_param("A", addr)
+        mem.set_param("n", 32)
+        Executor(kernel, rf_code_factory=lambda: None).run(
+            Launch(2, 32), mem
+        )
+
+
+def test_bolt_grows_penny_flat():
+    rows = scale_study.run(sweep=(2, 12, 20))
+    bolts = [r["bolt"] for r in rows]
+    pennys = [r["penny"] for r in rows]
+    # Bolt's overhead climbs materially with the live-out count...
+    assert bolts[-1] > bolts[0] + 0.2
+    # ... Penny's does not (pruning absorbs the extra live-outs)
+    assert abs(pennys[-1] - pennys[0]) < 0.05
+    # and Bolt reaches the paper's magnitude at paper-scale counts
+    assert bolts[-1] > 1.6
+
+
+def test_penny_checkpoint_count_flat():
+    rows = scale_study.run(sweep=(2, 20))
+    assert rows[0]["penny_committed"] == rows[-1]["penny_committed"]
+    assert rows[-1]["bolt_committed"] > rows[0]["bolt_committed"]

@@ -1,0 +1,118 @@
+"""The static verifier: clean on every compiled benchmark, loud on
+deliberately broken metadata."""
+
+import pytest
+
+from repro.bench import ALL_BENCHMARKS, get_benchmark
+from repro.core import PennyCompiler, SCHEME_PENNY, scheme_config
+from repro.core.pipeline import PennyConfig
+from repro.core.verify import VerificationError, check, verify_compiled
+
+ABBRS = [b.abbr for b in ALL_BENCHMARKS]
+
+
+@pytest.mark.parametrize("abbr", ABBRS)
+def test_all_penny_kernels_verify_clean(abbr):
+    bench = get_benchmark(abbr)
+    wl = bench.workload()
+    result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+    assert verify_compiled(result.kernel) == []
+
+
+@pytest.mark.parametrize("abbr", ["BO", "STC", "FW"])
+@pytest.mark.parametrize("pruning", ["none", "basic", "optimal"])
+def test_all_pruning_modes_verify_clean(abbr, pruning):
+    bench = get_benchmark(abbr)
+    wl = bench.workload()
+    result = PennyCompiler(
+        PennyConfig(pruning=pruning, overwrite="sa")
+    ).compile(bench.fresh_kernel(), wl.launch_config)
+    assert verify_compiled(result.kernel) == []
+
+
+def _compiled_stc():
+    bench = get_benchmark("STC")
+    wl = bench.workload()
+    return PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+
+
+class TestViolationDetection:
+    def test_uncompiled_kernel_flagged(self):
+        kernel = get_benchmark("STC").fresh_kernel()
+        assert verify_compiled(kernel)
+
+    def test_missing_recovery_entry_flagged(self):
+        result = _compiled_stc()
+        boundary = next(iter(result.regions.boundaries))
+        del result.recovery.regions[boundary]
+        problems = verify_compiled(result.kernel)
+        assert any("no recovery entry" in p for p in problems)
+
+    def test_dropped_restore_flagged(self):
+        result = _compiled_stc()
+        # remove a restore action from some entry that has slot restores
+        for entry in result.recovery.regions.values():
+            slot_actions = [a for a in entry.restores if a.is_slot]
+            if slot_actions:
+                entry.restores.remove(slot_actions[0])
+                break
+        problems = verify_compiled(result.kernel)
+        assert any("no restore action" in p for p in problems)
+
+    def test_bogus_slot_flagged(self):
+        result = _compiled_stc()
+        for entry in result.recovery.regions.values():
+            for action in entry.restores:
+                if action.is_slot:
+                    action.slot_color = 7  # no such color
+                    problems = verify_compiled(result.kernel)
+                    assert any("no storage slot" in p for p in problems)
+                    return
+        pytest.skip("no slot restores to corrupt")
+
+    def test_check_raises(self):
+        kernel = get_benchmark("STC").fresh_kernel()
+        with pytest.raises(VerificationError):
+            check(kernel)
+
+    def test_check_passes_on_clean(self):
+        result = _compiled_stc()
+        check(result.kernel)
+
+
+    def test_missing_checkpoint_store_flagged_by_coverage(self):
+        """Deleting a checkpoint store from the lowered kernel must trip
+        the V1 coverage check for some slot-restored live-in."""
+        from repro.core.verify import _is_checkpoint_store
+
+        result = _compiled_stc()
+        kernel = result.kernel
+        slot_regs = {
+            a.reg_name
+            for entry in result.recovery.regions.values()
+            for a in entry.restores
+            if a.is_slot
+        }
+        removed = False
+        for blk in kernel.blocks:
+            for i, inst in enumerate(blk.instructions):
+                if (
+                    _is_checkpoint_store(inst)
+                    and hasattr(inst.src, "name")
+                    and inst.src.name in slot_regs
+                ):
+                    del blk.instructions[i]
+                    removed = True
+                    break
+            if removed:
+                break
+        assert removed
+        problems = verify_compiled(kernel)
+        assert any("slot restore would be stale" in p for p in problems), (
+            problems
+        )
+

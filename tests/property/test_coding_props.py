@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the coding substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    DectedCode,
+    HammingCode,
+    ParityCode,
+    SecdedCode,
+    TecqedCode,
+)
+from repro.coding.base import DecodeStatus, flip_bits
+
+CODES = {
+    "parity": ParityCode(32),
+    "hamming": HammingCode(32),
+    "secded": SecdedCode(32),
+    "dected": DectedCode(32),
+    "tecqed": TecqedCode(32),
+}
+
+data_words = st.integers(min_value=0, max_value=2**32 - 1)
+code_names = st.sampled_from(sorted(CODES))
+
+
+@given(name=code_names, data=data_words)
+def test_roundtrip(name, data):
+    code = CODES[name]
+    cw = code.encode(data)
+    assert code.extract_data(cw) == data
+    assert not code.check(cw)
+    r = code.decode(cw)
+    assert r.status is DecodeStatus.CLEAN and r.data == data
+
+
+@given(name=code_names, data=data_words, seed=st.integers(0, 2**20))
+def test_detection_guarantee(name, data, seed):
+    import random
+
+    code = CODES[name]
+    rng = random.Random(seed)
+    nerr = rng.randint(1, code.guaranteed_detect)
+    cw = code.encode(data)
+    bad = flip_bits(cw, rng.sample(range(code.n), nerr))
+    assert code.check(bad)
+
+
+@given(name=code_names, data=data_words, seed=st.integers(0, 2**20))
+def test_correction_guarantee(name, data, seed):
+    import random
+
+    code = CODES[name]
+    if code.guaranteed_correct == 0:
+        return
+    rng = random.Random(seed)
+    nerr = rng.randint(1, code.guaranteed_correct)
+    cw = code.encode(data)
+    bad = flip_bits(cw, rng.sample(range(code.n), nerr))
+    r = code.decode(bad)
+    assert r.status is DecodeStatus.CORRECTED
+    assert r.data == data
+
+
+@given(name=st.sampled_from(["secded", "dected", "tecqed"]),
+       data=data_words, seed=st.integers(0, 2**20))
+def test_extended_codes_never_miscorrect_t_plus_1(name, data, seed):
+    import random
+
+    code = CODES[name]
+    rng = random.Random(seed)
+    cw = code.encode(data)
+    bad = flip_bits(
+        cw, rng.sample(range(code.n), code.guaranteed_correct + 1)
+    )
+    assert code.decode(bad).status is DecodeStatus.DETECTED
+
+
+@given(data=data_words)
+def test_codeword_bit_budget(data):
+    for code in CODES.values():
+        cw = code.encode(data)
+        assert cw < (1 << code.n)
+
+
+@given(a=data_words, b=data_words)
+def test_distinct_data_distinct_codewords(a, b):
+    for code in CODES.values():
+        if a != b:
+            assert code.encode(a) != code.encode(b)

@@ -1,0 +1,284 @@
+"""CFG, dominators, loops, liveness, reaching definitions, postdominators."""
+
+import pytest
+
+from repro.analysis import (
+    CFG,
+    DefSite,
+    Dominators,
+    Liveness,
+    LoopInfo,
+    ReachingDefs,
+)
+from repro.analysis.postdom import ControlDependence, PostDominators
+from repro.ir import KernelBuilder
+from repro.ir.types import Reg
+
+
+def diamond_kernel():
+    """if (tid < n) x = 1 else x = 2; out[tid] = x"""
+    b = KernelBuilder("diamond", params=[("OUT", "ptr"), ("n", "u32")])
+    tid = b.special_u32("%tid.x")
+    n = b.ld_param("n")
+    out = b.ld_param("OUT")
+    x = b.reg("u32", "%x")
+    p = b.setp("lt", tid, n)
+    b.bra("THEN", pred=p)
+    b.mov(2, dst=x)
+    b.bra("JOIN")
+    b.label("THEN")
+    b.mov(1, dst=x)
+    b.label("JOIN")
+    off = b.shl(tid, 2)
+    addr = b.add(out, off)
+    b.st("global", addr, x)
+    b.ret()
+    return b.finish()
+
+
+def loop_kernel():
+    b = KernelBuilder("loop", params=[("A", "ptr"), ("n", "u32")])
+    n = b.ld_param("n")
+    a = b.ld_param("A")
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    acc = b.mov(0, dst=b.reg("u32", "%acc"))
+    b.label("HEAD")
+    p = b.setp("ge", i, n)
+    b.bra("EXIT", pred=p)
+    off = b.shl(i, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    b.add(acc, v, dst=acc)
+    b.add(i, 1, dst=i)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.st("global", a, acc)
+    b.ret()
+    return b.finish()
+
+
+def nested_loop_kernel():
+    b = KernelBuilder("nested", params=[("n", "u32")])
+    n = b.ld_param("n")
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    acc = b.mov(0, dst=b.reg("u32", "%acc"))
+    b.label("OUTER")
+    pi = b.setp("ge", i, n)
+    b.bra("END", pred=pi)
+    j = b.mov(0, dst=b.reg("u32", "%j"))
+    b.label("INNER")
+    pj = b.setp("ge", j, n)
+    b.bra("NEXT", pred=pj)
+    b.add(acc, 1, dst=acc)
+    b.add(j, 1, dst=j)
+    b.bra("INNER")
+    b.label("NEXT")
+    b.add(i, 1, dst=i)
+    b.bra("OUTER")
+    b.label("END")
+    b.ret()
+    return b.finish()
+
+
+class TestCFG:
+    def test_diamond_structure(self):
+        cfg = CFG(diamond_kernel())
+        succs = cfg.successors("ENTRY")
+        assert len(succs) == 2
+        assert "THEN" in succs
+        join_preds = cfg.predecessors("JOIN")
+        assert len(join_preds) == 2
+
+    def test_loop_back_edge(self):
+        cfg = CFG(loop_kernel())
+        assert "HEAD" in cfg.reverse_postorder()
+        # the loop body branches back to HEAD
+        assert any(
+            "HEAD" in cfg.successors(lbl)
+            for lbl in cfg.preds["HEAD"]
+            if lbl != "ENTRY"
+        )
+
+    def test_rpo_starts_at_entry(self):
+        for k in (diamond_kernel(), loop_kernel(), nested_loop_kernel()):
+            assert CFG(k).reverse_postorder()[0] == "ENTRY"
+
+    def test_reachable_covers_all_blocks(self):
+        cfg = CFG(diamond_kernel())
+        assert cfg.reachable() == {blk.label for blk in cfg.blocks}
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = CFG(diamond_kernel())
+        dom = Dominators(cfg)
+        for blk in cfg.blocks:
+            assert dom.dominates("ENTRY", blk.label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = CFG(diamond_kernel())
+        dom = Dominators(cfg)
+        assert not dom.dominates("THEN", "JOIN")
+
+    def test_loop_header_dominates_body(self):
+        cfg = CFG(loop_kernel())
+        dom = Dominators(cfg)
+        body = [
+            lbl for lbl in cfg.preds["HEAD"] if lbl != "ENTRY"
+        ]
+        for lbl in body:
+            assert dom.dominates("HEAD", lbl)
+
+    def test_dominators_of_chain(self):
+        cfg = CFG(loop_kernel())
+        dom = Dominators(cfg)
+        chain = dom.dominators_of("EXIT")
+        assert chain[0] == "EXIT"
+        assert chain[-1] == "ENTRY"
+
+
+class TestLoops:
+    def test_single_loop_found(self):
+        li = LoopInfo(CFG(loop_kernel()))
+        assert len(li.loops) == 1
+        assert li.loops[0].header == "HEAD"
+        assert li.depth_of("HEAD") == 1
+        assert li.depth_of("ENTRY") == 0
+
+    def test_nested_depths(self):
+        li = LoopInfo(CFG(nested_loop_kernel()))
+        assert li.depth_of("OUTER") == 1
+        assert li.depth_of("INNER") == 2
+        assert li.depth_of("END") == 0
+
+    def test_nesting_parents(self):
+        li = LoopInfo(CFG(nested_loop_kernel()))
+        inner = next(l for l in li.loops if l.header == "INNER")
+        outer = next(l for l in li.loops if l.header == "OUTER")
+        assert inner.parent is outer
+        assert inner in outer.children
+
+    def test_no_loops_in_diamond(self):
+        assert LoopInfo(CFG(diamond_kernel())).loops == []
+
+
+class TestLiveness:
+    def test_loop_carried_register_live_at_header(self):
+        cfg = CFG(loop_kernel())
+        lv = Liveness(cfg)
+        assert Reg("%i") in lv.live_in["HEAD"]
+        assert Reg("%acc") in lv.live_in["HEAD"]
+
+    def test_dead_after_last_use(self):
+        cfg = CFG(loop_kernel())
+        lv = Liveness(cfg)
+        assert Reg("%i") not in lv.live_in["EXIT"]
+        assert Reg("%acc") in lv.live_in["EXIT"]
+
+    def test_per_point_liveness(self):
+        cfg = CFG(diamond_kernel())
+        lv = Liveness(cfg)
+        join = cfg.block("JOIN")
+        # %x is live at JOIN entry, dead after the store that uses it
+        assert Reg("%x") in lv.live_before("JOIN", 0)
+        st_index = next(
+            i for i, inst in enumerate(join.instructions)
+            if inst.is_memory_write
+        )
+        assert Reg("%x") not in lv.live_after("JOIN", st_index)
+
+    def test_guarded_def_does_not_kill(self):
+        b = KernelBuilder("g", params=[("OUT", "ptr")])
+        out = b.ld_param("OUT")
+        x = b.mov(5, dst=b.reg("u32", "%x"))
+        p = b.setp("eq", x, 5)
+        b.mov(9, dst=x, guard=(p, True))
+        b.st("global", out, x)
+        b.ret()
+        cfg = CFG(b.finish())
+        lv = Liveness(cfg)
+        # both definitions of %x can reach the store: the unguarded def must
+        # stay live through the guarded one
+        points = lv.live_points("ENTRY")
+        guarded_i = 3
+        assert Reg("%x") in points[guarded_i]
+
+
+class TestReachingDefs:
+    def test_join_sees_both_definitions(self):
+        k = diamond_kernel()
+        cfg = CFG(k)
+        rd = ReachingDefs(cfg)
+        sites = rd.reaching_at("JOIN", 0, Reg("%x"))
+        assert len(sites) == 2
+        # one definition per branch arm: THEN and the anonymous else block
+        assert "THEN" in {s.label for s in sites}
+
+    def test_loop_register_has_two_reaching_defs_at_header(self):
+        cfg = CFG(loop_kernel())
+        rd = ReachingDefs(cfg)
+        sites = rd.reaching_at("HEAD", 0, Reg("%i"))
+        assert len(sites) == 2  # init in ENTRY + increment in the body
+
+    def test_redefinition_kills(self):
+        b = KernelBuilder("k", params=[("OUT", "ptr")])
+        out = b.ld_param("OUT")
+        x = b.mov(1, dst=b.reg("u32", "%x"))
+        b.mov(2, dst=x)
+        b.st("global", out, x)
+        b.ret()
+        cfg = CFG(b.finish())
+        rd = ReachingDefs(cfg)
+        blk = cfg.blocks[0]
+        st_index = next(
+            i for i, inst in enumerate(blk.instructions)
+            if inst.is_memory_write
+        )
+        sites = rd.reaching_at(blk.label, st_index, Reg("%x"))
+        assert len(sites) == 1
+        (site,) = sites
+        assert blk.instructions[site.index].srcs[0].value == 2
+
+    def test_entry_pseudo_def_for_uninitialized(self):
+        b = KernelBuilder("k", params=[("OUT", "ptr")])
+        out = b.ld_param("OUT")
+        b.st("global", out, Reg("%ghost"))
+        b.ret()
+        cfg = CFG(b.finish())
+        rd = ReachingDefs(cfg)
+        sites = rd.reaching_at("ENTRY", 1, Reg("%ghost"))
+        assert len(sites) == 1 and next(iter(sites)).is_entry
+
+
+class TestPostDominators:
+    def test_join_postdominates_arms(self):
+        cfg = CFG(diamond_kernel())
+        pdom = PostDominators(cfg)
+        assert pdom.postdominates("JOIN", "THEN")
+        assert pdom.postdominates("JOIN", "ENTRY")
+
+    def test_arm_does_not_postdominate_entry(self):
+        cfg = CFG(diamond_kernel())
+        pdom = PostDominators(cfg)
+        assert not pdom.postdominates("THEN", "ENTRY")
+
+    def test_control_dependence_of_arms(self):
+        cfg = CFG(diamond_kernel())
+        cd = ControlDependence(cfg)
+        deps = cd.of("THEN")
+        assert len(deps) == 1
+        dep = next(iter(deps))
+        assert dep.branch_block == "ENTRY"
+        assert dep.sense is True  # THEN is the taken edge
+
+    def test_join_is_not_control_dependent(self):
+        cfg = CFG(diamond_kernel())
+        cd = ControlDependence(cfg)
+        assert cd.of("JOIN") == set()
+
+    def test_loop_body_control_dependent_on_exit_test(self):
+        cfg = CFG(loop_kernel())
+        cd = ControlDependence(cfg)
+        body = [lbl for lbl in cfg.preds["HEAD"] if lbl != "ENTRY"]
+        deps = cd.of(body[0])
+        assert any(d.branch_block == "HEAD" for d in deps)

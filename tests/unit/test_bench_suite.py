@@ -1,0 +1,151 @@
+"""The 25-application benchmark suite: registry sanity, workload
+determinism, and per-app structural signatures the evaluation relies on."""
+
+import pytest
+
+from repro.analysis import CFG, LoopInfo
+from repro.bench import ALL_BENCHMARKS, get_benchmark
+from repro.bench.suite import Workload
+from repro.ir import Atom, Bar
+
+
+class TestRegistry:
+    def test_twenty_five_apps(self):
+        assert len(ALL_BENCHMARKS) == 25
+
+    def test_all_abbrs_unique(self):
+        abbrs = [b.abbr for b in ALL_BENCHMARKS]
+        assert len(abbrs) == len(set(abbrs))
+
+    def test_suites_match_table3(self):
+        suites = {b.suite for b in ALL_BENCHMARKS}
+        assert suites == {
+            "GPGPU-Sim bench",
+            "Parboil",
+            "Rodinia",
+            "CUDA toolkit samples",
+        }
+
+    def test_unknown_abbr(self):
+        with pytest.raises(KeyError):
+            get_benchmark("NOPE")
+
+    def test_kernels_validate(self):
+        for bench in ALL_BENCHMARKS:
+            bench.fresh_kernel().validate()
+
+    def test_fresh_kernel_is_fresh(self):
+        bench = get_benchmark("BS")
+        k1, k2 = bench.fresh_kernel(), bench.fresh_kernel()
+        assert k1 is not k2
+
+
+class TestWorkloads:
+    def test_deterministic_memory(self):
+        for abbr in ("CP", "SGEMM", "NQU"):
+            wl = get_benchmark(abbr).workload()
+            m1, a1, o1 = wl.make()
+            m2, a2, o2 = wl.make()
+            assert a1 == a2 and o1 == o2
+            assert m1.snapshot_global() == m2.snapshot_global()
+            assert m1.params == m2.params
+
+    def test_param_references_resolve(self):
+        for bench in ALL_BENCHMARKS:
+            wl = bench.workload()
+            mem, addrs, out = wl.make()
+            kernel = bench.fresh_kernel()
+            for p in kernel.params:
+                assert p.name in mem.params, (bench.abbr, p.name)
+
+    def test_output_region_within_allocation(self):
+        for bench in ALL_BENCHMARKS:
+            wl = bench.workload()
+            _, addrs, (addr, words) = wl.make()
+            assert words > 0
+            assert addr in addrs.values()
+
+    def test_bad_buffer_fill_rejected(self):
+        wl = Workload(
+            grid=1,
+            block=1,
+            buffers=[("x", 4, lambda r: [1, 2])],  # wrong length
+            params={},
+            output="x",
+        )
+        with pytest.raises(ValueError):
+            wl.make()
+
+    def test_bad_param_ref_rejected(self):
+        wl = Workload(
+            grid=1, block=1, buffers=[("x", 1, None)],
+            params={"A": "x"},  # missing '&'
+            output="x",
+        )
+        with pytest.raises(ValueError):
+            wl.make()
+
+
+class TestStructuralSignatures:
+    """Each app must exhibit the structure its paper role depends on."""
+
+    def test_stc_has_loop(self):
+        li = LoopInfo(CFG(get_benchmark("STC").fresh_kernel()))
+        assert li.loops
+
+    def test_bo_has_nested_loops(self):
+        """BO's backward induction is the paper's doubly-nested motivator."""
+        li = LoopInfo(CFG(get_benchmark("BO").fresh_kernel()))
+        assert max(l.depth for l in li.loops) >= 2
+
+    def test_bs_is_loop_free(self):
+        """Black-Scholes is straight-line — Penny's trivial case."""
+        li = LoopInfo(CFG(get_benchmark("BS").fresh_kernel()))
+        assert not li.loops
+
+    def test_barrier_apps_have_barriers(self):
+        for abbr in ("LPS", "SGEMM", "HS", "PF", "SP", "FW", "MT", "CS"):
+            kernel = get_benchmark(abbr).fresh_kernel()
+            has_bar = any(
+                isinstance(inst, Bar)
+                for blk in kernel.blocks
+                for inst in blk.instructions
+            )
+            assert has_bar, abbr
+
+    def test_tpacf_uses_atomics(self):
+        kernel = get_benchmark("TPACF").fresh_kernel()
+        has_atom = any(
+            isinstance(inst, Atom)
+            for blk in kernel.blocks
+            for inst in blk.instructions
+        )
+        assert has_atom
+
+    def test_volta_subset_flags(self):
+        from repro.experiments.fig15 import VOLTA_APPS
+
+        for abbr in VOLTA_APPS:
+            assert get_benchmark(abbr).on_volta
+
+    def test_gau_updates_in_place(self):
+        """GAU reads and writes the same matrix — anti-dependences."""
+        from repro.analysis import find_memory_antideps
+
+        kernel = get_benchmark("GAU").fresh_kernel()
+        assert find_memory_antideps(CFG(kernel))
+
+    def test_nqu_is_divergent(self):
+        """N-Queens threads take wildly different dynamic paths."""
+        from repro.gpusim import Executor
+
+        bench = get_benchmark("NQU")
+        wl = bench.workload()
+        mem = wl.make_memory()
+        result = Executor(
+            bench.fresh_kernel(), rf_code_factory=lambda: None
+        ).run(wl.launch, mem)
+        lengths = set(result.thread_instructions.values())
+        # one search tree per pinned first-queen column -> several distinct
+        # dynamic path lengths
+        assert len(lengths) >= 3

@@ -1,0 +1,279 @@
+"""Checkpoint planning: eager placement, cost model, bimodal vertex cover,
+hazard detection, renaming, and coloring."""
+
+import pytest
+
+from repro.analysis import CFG, ReachingDefs
+from repro.core.bimodal import bimodal_plan
+from repro.core.checkpoints import CheckpointKind, PruneState, eager_plan
+from repro.core.coloring import (
+    CURRENT_SLOT,
+    SNAPSHOT_SLOT,
+    color_checkpoints,
+)
+from repro.core.costmodel import CostModel
+from repro.core.hazards import detect_hazards, materialize_instances
+from repro.core.liveins import analyze_liveins
+from repro.core.regions import form_regions
+from repro.core.renaming import apply_renaming, compute_webs
+from repro.ir import KernelBuilder
+from repro.ir.types import Reg
+
+
+def loop_update_kernel():
+    """Loop with in-place A[i] update: per-iteration regions, loop-carried
+    induction variable, live-in address/value registers."""
+    b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+    a = b.ld_param("A")
+    n = b.ld_param("n")
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    b.label("HEAD")
+    p = b.setp("ge", i, n)
+    b.bra("EXIT", pred=p)
+    off = b.shl(i, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    v2 = b.mul(v, 2)
+    b.st("global", addr, v2)
+    b.add(i, 1, dst=i)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.ret()
+    return b.finish()
+
+
+def figure4_kernel():
+    """The paper's Figure 4 shape: a register checkpointed, then redefined
+    and checkpointed again within a region where it is live-in."""
+    b = KernelBuilder("k", params=[("A", "ptr")])
+    a = b.ld_param("A")
+    r1 = b.mov(5, dst=b.reg("u32", "%r1"))
+    v = b.ld("global", a, dtype="u32")
+    b.st("global", a, r1)            # anti-dep: cut before this store (R2)
+    r4 = b.mov(7, dst=b.reg("u32", "%r4"))
+    b.add(r1, r4, dst=r1)            # redefinition of r1 (Figure 4 line 6)
+    w = b.ld("global", a, dtype="u32")
+    b.st("global", a, r1)            # second cut (R3); r1 live-in there
+    b.ret()
+    return b.finish()
+
+
+def _prepare(kernel):
+    regions = form_regions(kernel)
+    cfg = CFG(kernel)
+    rdefs = ReachingDefs(cfg)
+    liveins = analyze_liveins(kernel, regions, cfg=cfg, rdefs=rdefs)
+    return regions, cfg, rdefs, liveins
+
+
+class TestEagerPlan:
+    def test_one_checkpoint_per_lup(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = eager_plan(liveins)
+        assert plan.checkpoints
+        for cp in plan.checkpoints:
+            assert cp.kind is CheckpointKind.LUP
+            assert cp.covers
+
+    def test_all_edges_covered(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = eager_plan(liveins)
+        covered = set()
+        for cp in plan.checkpoints:
+            covered |= cp.covers
+        all_edges = {
+            (lup, b) for reg, edges in liveins.edges.items()
+            for (lup, b) in edges
+        }
+        assert covered == all_edges
+
+
+class TestCostModel:
+    def test_exponential_in_depth(self):
+        k = loop_update_kernel()
+        _prepare(k)
+        cfg = CFG(k)
+        cost = CostModel.for_cfg(cfg, base=64)
+        assert cost.block_cost("ENTRY") == 1
+        assert cost.block_cost("HEAD") == 64
+
+    def test_figure3_base(self):
+        k = loop_update_kernel()
+        _prepare(k)
+        cost = CostModel.for_cfg(CFG(k), base=2)
+        assert cost.block_cost("HEAD") == 2
+
+
+class TestBimodal:
+    def test_covers_all_edges(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        cost = CostModel.for_cfg(cfg, base=2)
+        plan = bimodal_plan(cfg, liveins, cost)
+        covered = set()
+        for cp in plan.checkpoints:
+            covered |= cp.covers
+        all_edges = {
+            (lup, b) for reg, edges in liveins.edges.items()
+            for (lup, b) in edges
+        }
+        assert covered == all_edges
+
+    def test_never_costs_more_than_eager(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        cost = CostModel.for_cfg(cfg, base=2)
+
+        def plan_cost(plan):
+            total = 0
+            for cp in plan.checkpoints:
+                for label in cp.insertion_blocks(cfg):
+                    total += cost.block_cost(label)
+            return total
+
+        assert plan_cost(bimodal_plan(cfg, liveins, cost)) <= plan_cost(
+            eager_plan(liveins)
+        )
+
+    def test_hoists_out_of_loop_when_possible(self):
+        """A register defined before the loop but live-in to a post-loop
+        boundary should be checkpointed outside the loop."""
+        b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+        a = b.ld_param("A")
+        n = b.ld_param("n")
+        x = b.mov(42, dst=b.reg("u32", "%x"))
+        i = b.mov(0, dst=b.reg("u32", "%i"))
+        b.label("HEAD")
+        p = b.setp("ge", i, n)
+        b.bra("EXIT", pred=p)
+        off = b.shl(i, 2)
+        addr = b.add(a, off)
+        v = b.ld("global", addr, dtype="u32")
+        b.st("global", addr, v)
+        b.add(i, 1, dst=i)
+        b.bra("HEAD")
+        b.label("EXIT")
+        b.st("global", a, x, offset=4096)
+        w = b.ld("global", a, offset=4096, dtype="u32")
+        b.st("global", a, w, offset=8192)
+        b.ret()
+        k = b.finish()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        cost = CostModel.for_cfg(cfg, base=2)
+        plan = bimodal_plan(cfg, liveins, cost)
+        x_cps = plan.of_register(Reg("%x"))
+        assert x_cps
+        for cp in x_cps:
+            for label in cp.insertion_blocks(cfg):
+                assert cost.depth(label) == 0, "checkpoint left inside loop"
+
+
+class TestHazards:
+    def test_loop_carried_register_is_hazardous(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        assert Reg("%i") in hazardous
+
+    def test_loop_invariant_register_not_hazardous(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        # the loop bound and base address are never redefined
+        for reg in hazardous:
+            assert reg.name not in ("%v0", "%v1")
+
+    def test_figure4_redefinition_is_hazardous(self):
+        k = figure4_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = eager_plan(liveins)
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        assert Reg("%r1") in hazardous
+
+
+class TestRenaming:
+    def test_webs_merge_at_joins(self):
+        k = loop_update_kernel()
+        _prepare(k)
+        cfg = CFG(k)
+        rdefs = ReachingDefs(cfg)
+        webs = compute_webs(cfg, rdefs)
+        i_sites = [s for s in webs if s.reg == Reg("%i")]
+        assert i_sites
+        # init and increment belong to one web (they meet at the setp use)
+        assert len({id(webs[s]) for s in i_sites}) == 1
+
+    def test_figure4_resolved_by_renaming(self):
+        """Renaming must break the Figure 4 hazard (the new value's web is
+        disjoint from the live-in web)."""
+        k = figure4_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = eager_plan(liveins)
+        instances = materialize_instances(plan, cfg)
+        detect_hazards(cfg, regions, liveins, instances)
+        renamed = apply_renaming(k, cfg, regions, liveins, rdefs, instances)
+        assert renamed >= 1
+        # after renaming, re-analysis shows %r1's redefinition is gone
+        cfg2 = CFG(k)
+        rdefs2 = ReachingDefs(cfg2)
+        liveins2 = analyze_liveins(k, regions, cfg=cfg2, rdefs=rdefs2)
+        plan2 = eager_plan(liveins2)
+        instances2 = materialize_instances(plan2, cfg2)
+        hazardous2 = detect_hazards(cfg2, regions, liveins2, instances2)
+        assert Reg("%r1") not in hazardous2
+
+    def test_loop_carried_not_renamable(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        detect_hazards(cfg, regions, liveins, instances)
+        renamed = apply_renaming(k, cfg, regions, liveins, rdefs, instances)
+        # %i's web supplies its own live-in: renaming must refuse it
+        cfg2 = CFG(k)
+        assert Reg("%i") in {r for r in cfg2.kernel.all_registers()}
+
+
+class TestColoring:
+    def test_snapshot_dummies_on_boundary_edges(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        coloring = color_checkpoints(cfg, regions, liveins, instances, hazardous)
+        assert coloring.colored_registers == hazardous
+        for adj in coloring.adjustments:
+            assert adj.succ in regions.boundaries
+            assert adj.color == SNAPSHOT_SLOT
+            assert adj.restore_color == CURRENT_SLOT
+
+    def test_restore_colors_point_at_snapshot_slot(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        coloring = color_checkpoints(cfg, regions, liveins, instances, hazardous)
+        for reg in hazardous:
+            for label, binfo in liveins.boundaries.items():
+                if reg in binfo.live_ins and reg in binfo.lups:
+                    assert coloring.restore_color(label, reg) == SNAPSHOT_SLOT
+
+    def test_non_hazardous_registers_untouched(self):
+        k = loop_update_kernel()
+        regions, cfg, rdefs, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        coloring = color_checkpoints(cfg, regions, liveins, instances, hazardous)
+        safe = Reg("%v1")
+        assert coloring.restore_color("HEAD", safe) == 0
+        assert all(a.reg != safe for a in coloring.adjustments)

@@ -1,0 +1,214 @@
+"""Block-code guarantees: detection, correction, and Table 1/2 accounting."""
+
+import random
+
+import pytest
+
+from repro.coding import (
+    BchCode,
+    DectedCode,
+    HammingCode,
+    ParityCode,
+    SecdedCode,
+    TecqedCode,
+)
+from repro.coding.base import DecodeStatus, flip_bits, popcount
+from repro.coding.hwcost import RegisterFileBankModel, hardware_cost_table
+from repro.coding.schemes import (
+    conventional_ecc_scheme,
+    penny_scheme,
+    storage_cost_table,
+)
+
+ALL_CODES = [
+    ParityCode(32),
+    HammingCode(32),
+    SecdedCode(32),
+    DectedCode(32),
+    TecqedCode(32),
+]
+
+#: codes with distance >= 2t+2, which guarantee detect-not-miscorrect at t+1
+EXTENDED = (SecdedCode, DectedCode, TecqedCode)
+
+
+@pytest.fixture(params=ALL_CODES, ids=lambda c: type(c).__name__)
+def code(request):
+    return request.param
+
+
+class TestRoundTrip:
+    def test_encode_decode_clean(self, code):
+        rng = random.Random(1)
+        for _ in range(50):
+            d = rng.getrandbits(32)
+            cw = code.encode(d)
+            assert code.extract_data(cw) == d
+            assert not code.check(cw)
+            r = code.decode(cw)
+            assert r.status is DecodeStatus.CLEAN
+            assert r.data == d
+
+    def test_edge_data_words(self, code):
+        for d in (0, 1, 0xFFFFFFFF, 0x80000000, 0x55555555):
+            cw = code.encode(d)
+            assert code.decode(cw).data == d
+
+    def test_data_out_of_range_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.encode(1 << 32)
+        with pytest.raises(ValueError):
+            code.encode(-1)
+
+    def test_codeword_out_of_range_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.check(1 << code.n)
+
+
+class TestDetection:
+    def test_detects_up_to_guarantee(self, code):
+        rng = random.Random(2)
+        for _ in range(60):
+            d = rng.getrandbits(32)
+            cw = code.encode(d)
+            for nerr in range(1, code.guaranteed_detect + 1):
+                bad = flip_bits(cw, rng.sample(range(code.n), nerr))
+                assert code.check(bad), (
+                    f"{type(code).__name__} missed a {nerr}-bit error"
+                )
+
+    def test_single_parity_misses_even_flips(self):
+        # The known limitation Table 1 is about: parity cannot see 2 flips.
+        code = ParityCode(32)
+        cw = code.encode(0xDEADBEEF)
+        bad = flip_bits(cw, [3, 17])
+        assert not code.check(bad)
+
+
+class TestCorrection:
+    def test_corrects_up_to_guarantee(self, code):
+        rng = random.Random(3)
+        for _ in range(40):
+            d = rng.getrandbits(32)
+            cw = code.encode(d)
+            for nerr in range(1, code.guaranteed_correct + 1):
+                bad = flip_bits(cw, rng.sample(range(code.n), nerr))
+                r = code.decode(bad)
+                assert r.status is DecodeStatus.CORRECTED
+                assert r.data == d
+
+    def test_extended_codes_detect_t_plus_1(self, code):
+        if not isinstance(code, EXTENDED):
+            pytest.skip("only distance-2t+2 codes guarantee DUE at t+1")
+        rng = random.Random(4)
+        for _ in range(40):
+            d = rng.getrandbits(32)
+            cw = code.encode(d)
+            bad = flip_bits(
+                cw, rng.sample(range(code.n), code.guaranteed_correct + 1)
+            )
+            assert code.decode(bad).status is DecodeStatus.DETECTED
+
+    def test_every_single_bit_position_correctable(self):
+        for code in (HammingCode(32), SecdedCode(32), DectedCode(32)):
+            cw = code.encode(0xCAFEBABE)
+            for pos in range(code.n):
+                r = code.decode(cw ^ (1 << pos))
+                assert r.status is DecodeStatus.CORRECTED
+                assert r.data == 0xCAFEBABE
+
+
+class TestParameters:
+    def test_parity_shape(self):
+        c = ParityCode(32)
+        assert (c.n, c.k, c.check_bits) == (33, 32, 1)
+
+    def test_hamming_shape(self):
+        c = HammingCode(32)
+        assert (c.n, c.k, c.check_bits) == (38, 32, 6)
+
+    def test_secded_shape(self):
+        c = SecdedCode(32)
+        assert (c.n, c.k, c.check_bits) == (39, 32, 7)
+
+    def test_bch_t_bounds(self):
+        with pytest.raises(ValueError):
+            BchCode(k=32, t=0)
+        with pytest.raises(ValueError):
+            BchCode(k=60, t=2, m=6)  # exceeds shortened capacity
+
+    def test_parity_even(self):
+        c = ParityCode(8)
+        assert popcount(c.encode(0b1011)) % 2 == 0
+
+
+class TestSchemes:
+    def test_table1_values(self):
+        rows = storage_cost_table()
+        assert [r["ecc_coding"] for r in rows] == ["SECDED", "DECTED", "TECQED"]
+        assert [r["penny_coding"] for r in rows] == ["Parity", "Hamming", "SECDED"]
+        assert abs(rows[0]["ecc_overhead"] - 0.219) < 0.001
+        assert abs(rows[0]["penny_overhead"] - 0.031) < 0.001
+        assert abs(rows[1]["ecc_overhead"] - 0.719) < 0.001
+        assert abs(rows[2]["ecc_overhead"] - 0.875) < 0.001
+
+    def test_penny_needs_strictly_fewer_bits(self):
+        for bits in (1, 2, 3):
+            ecc = conventional_ecc_scheme(bits)
+            penny = penny_scheme(bits)
+            assert penny.quoted_check_bits < ecc.quoted_check_bits
+
+    def test_functional_code_matches_detection_goal(self):
+        # Penny's code for b-bit errors must *detect* b bits.
+        for bits in (1, 2, 3):
+            code = penny_scheme(bits).build()
+            assert code.guaranteed_detect >= bits
+
+    def test_conventional_code_matches_correction_goal(self):
+        for bits in (1, 2, 3):
+            code = conventional_ecc_scheme(bits).build()
+            assert code.guaranteed_correct >= bits
+
+    def test_unknown_magnitude(self):
+        with pytest.raises(ValueError):
+            penny_scheme(4)
+
+
+class TestHwCost:
+    def test_baseline_matches_paper_synthesis(self):
+        base = RegisterFileBankModel.BASELINE
+        assert base.area_mm2 == pytest.approx(0.105)
+        assert base.access_latency_ns == pytest.approx(1.01)
+        assert base.access_energy_pj == pytest.approx(9.64)
+        assert base.leakage_nw == pytest.approx(4.7)
+
+    @pytest.mark.parametrize(
+        "scheme,area,lat",
+        [
+            ("Parity", 0.031, 0.035),
+            ("Hamming", 0.188, 0.218),
+            ("SECDED", 0.219, 0.256),
+            ("DECTED", 0.406, 0.492),
+            ("TECQED", 0.875, 0.743),
+        ],
+    )
+    def test_table2_overheads(self, scheme, area, lat):
+        oh = RegisterFileBankModel().overhead(scheme)
+        assert oh.area == pytest.approx(area, abs=0.002)
+        assert oh.access_latency == pytest.approx(lat, abs=0.002)
+
+    def test_energy_and_leakage_track_area(self):
+        model = RegisterFileBankModel()
+        for scheme in ("Parity", "SECDED", "TECQED"):
+            oh = model.overhead(scheme)
+            assert 0 < oh.access_energy < oh.area + 1e-9
+            assert 0 < oh.leakage < oh.access_energy
+
+    def test_table_rows(self):
+        rows = hardware_cost_table()
+        assert [r["ecc_coding"] for r in rows] == ["SECDED", "DECTED", "TECQED"]
+        assert all(r["penny_area"] < r["ecc_area"] for r in rows)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            RegisterFileBankModel().cost("TripleModular")

@@ -1,0 +1,143 @@
+"""Finite-field and GF(2)-polynomial arithmetic underpinning the BCH codes."""
+
+import pytest
+
+from repro.coding.gf import (
+    GF2m,
+    bch_generator,
+    field,
+    poly2_degree,
+    poly2_gcd,
+    poly2_lcm,
+    poly2_mod,
+    poly2_mul,
+    poly2_eval_in_field,
+)
+
+
+class TestGF2m:
+    def test_field_sizes(self):
+        for m in (3, 4, 5, 6, 8):
+            gf = field(m)
+            assert gf.size == 1 << m
+            assert gf.order == (1 << m) - 1
+
+    def test_exp_log_inverse_relationship(self):
+        gf = field(6)
+        for x in range(1, gf.size):
+            assert gf.exp[gf.log[x]] == x
+
+    def test_alpha_generates_whole_group(self):
+        gf = field(6)
+        seen = {gf.alpha_pow(i) for i in range(gf.order)}
+        assert seen == set(range(1, gf.size))
+
+    def test_mul_identity_and_zero(self):
+        gf = field(6)
+        for x in range(gf.size):
+            assert gf.mul(x, 1) == x
+            assert gf.mul(x, 0) == 0
+
+    def test_mul_commutative_and_associative(self):
+        gf = field(4)
+        elems = range(gf.size)
+        for a in elems:
+            for bb in elems:
+                assert gf.mul(a, bb) == gf.mul(bb, a)
+        for a in (3, 7, 11):
+            for bb in (2, 5, 13):
+                for c in (1, 9, 15):
+                    assert gf.mul(gf.mul(a, bb), c) == gf.mul(a, gf.mul(bb, c))
+
+    def test_inverse(self):
+        gf = field(6)
+        for x in range(1, gf.size):
+            assert gf.mul(x, gf.inv(x)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            field(6).inv(0)
+
+    def test_div(self):
+        gf = field(5)
+        for a in range(1, gf.size):
+            for bb in range(1, gf.size):
+                q = gf.div(a, bb)
+                assert gf.mul(q, bb) == a
+
+    def test_pow(self):
+        gf = field(6)
+        assert gf.pow(2, 0) == 1
+        x = 5
+        acc = 1
+        for e in range(1, 10):
+            acc = gf.mul(acc, x)
+            assert gf.pow(x, e) == acc
+
+    def test_minimal_polynomial_has_element_as_root(self):
+        gf = field(6)
+        for e in (2, 3, 5, 7, 21):
+            mp = gf.minimal_polynomial(e)
+            assert poly2_eval_in_field(mp, e, gf) == 0
+
+    def test_minimal_polynomial_of_primitive_element_is_primitive_poly(self):
+        gf = field(6)
+        assert gf.minimal_polynomial(2) == 0b1000011
+
+    def test_unknown_m_raises(self):
+        with pytest.raises(ValueError):
+            GF2m(99)
+
+
+class TestPoly2:
+    def test_degree(self):
+        assert poly2_degree(0) == -1
+        assert poly2_degree(1) == 0
+        assert poly2_degree(0b1011) == 3
+
+    def test_mul_distributes_over_xor(self):
+        a, b, c = 0b1101, 0b111, 0b1001
+        assert poly2_mul(a, b ^ c) == poly2_mul(a, b) ^ poly2_mul(a, c)
+
+    def test_mod_smaller_than_divisor(self):
+        a, m = 0b110110101, 0b1011
+        r = poly2_mod(a, m)
+        assert poly2_degree(r) < poly2_degree(m)
+
+    def test_mod_exact_division(self):
+        a, b = 0b1101, 0b111
+        prod = poly2_mul(a, b)
+        assert poly2_mod(prod, a) == 0
+        assert poly2_mod(prod, b) == 0
+
+    def test_gcd_of_coprime(self):
+        # x and x+1 are coprime
+        assert poly2_gcd(0b10, 0b11) == 1
+
+    def test_lcm_divisible_by_both(self):
+        a, b = 0b111, 0b1011  # irreducible polys
+        l = poly2_lcm(a, b)
+        assert poly2_mod(l, a) == 0
+        assert poly2_mod(l, b) == 0
+
+    def test_lcm_of_equal_is_self(self):
+        assert poly2_lcm(0b111, 0b111) == 0b111
+
+
+class TestBchGenerator:
+    def test_generator_degree_bounds(self):
+        # t=2 over GF(2^6): deg <= 12; t=3: deg <= 18
+        assert poly2_degree(bch_generator(6, 2)) <= 12
+        assert poly2_degree(bch_generator(6, 3)) <= 18
+
+    def test_generator_has_required_roots(self):
+        gf = field(6)
+        for t in (1, 2, 3):
+            g = bch_generator(6, t)
+            for i in range(1, 2 * t + 1):
+                assert poly2_eval_in_field(g, gf.alpha_pow(i), gf) == 0
+
+    def test_generator_t1_is_minimal_polynomial_product(self):
+        # t=1: lcm(m1, m2) == m1 (conjugates share a minimal polynomial)
+        gf = field(6)
+        assert bch_generator(6, 1) == gf.minimal_polynomial(2)

@@ -1,0 +1,370 @@
+"""Simulator components: memory, register file, executor semantics,
+occupancy, timing, energy."""
+
+import math
+
+import pytest
+
+from repro.coding import ParityCode, SecdedCode
+from repro.gpusim import (
+    FERMI_C2050,
+    VOLTA_TITAN_V,
+    Executor,
+    Launch,
+    MemoryImage,
+    ParityError,
+    RegisterFile,
+    TimingModel,
+    occupancy,
+    rf_energy,
+)
+from repro.gpusim.executor import (
+    SimulationError,
+    b2f,
+    f2b,
+    to_signed,
+)
+from repro.gpusim.memory import MemoryError32, WordStore
+from repro.ir import KernelBuilder
+
+
+class TestWordStore:
+    def test_load_store(self):
+        s = WordStore("t")
+        s.store(8, 123)
+        assert s.load(8) == 123
+        assert s.load(4) == 0  # untouched words read zero
+
+    def test_unaligned_rejected(self):
+        s = WordStore("t")
+        with pytest.raises(MemoryError32):
+            s.load(3)
+        with pytest.raises(MemoryError32):
+            s.store(5, 1)
+
+    def test_bounds(self):
+        s = WordStore("t", size_bytes=16)
+        with pytest.raises(MemoryError32):
+            s.load(16)
+
+    def test_allocator_is_aligned_and_disjoint(self):
+        s = WordStore("t")
+        a = s.allocate(100)
+        b = s.allocate(100)
+        assert a % 256 == 0 and b % 256 == 0
+        assert b >= a + 100
+
+    def test_values_truncated_to_32_bits(self):
+        s = WordStore("t")
+        s.store(0, 0x1_2345_6789)
+        assert s.load(0) == 0x2345_6789
+
+    def test_access_counters(self):
+        s = WordStore("t")
+        s.store(0, 1)
+        s.load(0)
+        s.load(0)
+        assert (s.writes, s.reads) == (1, 2)
+
+
+class TestRegisterFile:
+    def test_write_read_roundtrip(self):
+        rf = RegisterFile(ParityCode(32))
+        rf.write("%r1", 0xDEADBEEF)
+        assert rf.read("%r1") == 0xDEADBEEF
+
+    def test_single_flip_detected(self):
+        rf = RegisterFile(ParityCode(32))
+        rf.write("%r1", 42)
+        assert rf.flip_bits("%r1", [7])
+        with pytest.raises(ParityError):
+            rf.read("%r1")
+        assert rf.detections == 1
+
+    def test_rewrite_clears_corruption(self):
+        rf = RegisterFile(ParityCode(32))
+        rf.write("%r1", 42)
+        rf.flip_bits("%r1", [7])
+        rf.write("%r1", 43)
+        assert rf.read("%r1") == 43
+
+    def test_double_flip_escapes_parity_but_not_secded(self):
+        rf_p = RegisterFile(ParityCode(32))
+        rf_p.write("%r1", 42)
+        rf_p.flip_bits("%r1", [3, 9])
+        assert rf_p.read("%r1") != 42  # silent corruption
+
+        rf_s = RegisterFile(SecdedCode(32))
+        rf_s.write("%r1", 42)
+        rf_s.flip_bits("%r1", [3, 9])
+        with pytest.raises(ParityError):
+            rf_s.read("%r1")
+
+    def test_unprotected_rf_lets_everything_through(self):
+        rf = RegisterFile(None)
+        rf.write("%r1", 42)
+        rf.flip_bits("%r1", [3])
+        assert rf.read("%r1") == 42 ^ 8
+
+    def test_flip_unknown_register_is_noop(self):
+        rf = RegisterFile(ParityCode(32))
+        assert not rf.flip_bits("%nope", [1])
+
+    def test_read_of_unwritten_register_is_zero(self):
+        rf = RegisterFile(ParityCode(32))
+        assert rf.read("%fresh") == 0
+
+
+class TestFloatConversion:
+    def test_round_trip(self):
+        for v in (0.0, 1.5, -3.25, 1e20, -1e-20):
+            assert b2f(f2b(v)) == pytest.approx(v, rel=1e-6)
+
+    def test_fp32_rounding(self):
+        # 1e40 overflows fp32 to +inf
+        assert math.isinf(b2f(f2b(1e40)))
+
+    def test_to_signed(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert to_signed(5) == 5
+
+
+class TestExecutorSemantics:
+    def _run_expr(self, build_fn, params=None, buffers=1):
+        b = KernelBuilder("t", params=[("OUT", "ptr")] + (params or []))
+        out = b.ld_param("OUT")
+        val = build_fn(b)
+        b.st("global", out, val)
+        b.ret()
+        kernel = b.finish()
+        mem = MemoryImage()
+        addr = mem.alloc_global(buffers)
+        mem.set_param("OUT", addr)
+        Executor(kernel).run(Launch(grid=1, block=1), mem)
+        return mem.download(addr, 1)[0]
+
+    def test_integer_arithmetic(self):
+        assert self._run_expr(lambda b: b.add(7, 5)) == 12
+        assert self._run_expr(lambda b: b.sub(3, 5)) == (3 - 5) & 0xFFFFFFFF
+        assert self._run_expr(lambda b: b.mul(6, 7)) == 42
+        assert self._run_expr(lambda b: b.mad(3, 4, 5)) == 17
+        assert self._run_expr(lambda b: b.div(17, 5)) == 3
+        assert self._run_expr(lambda b: b.rem(17, 5)) == 2
+
+    def test_signed_semantics(self):
+        big = 0xFFFFFFF6  # -10 as two's complement
+        assert self._run_expr(lambda b: b.div(big, 3, dtype="s32")) == (
+            (-3) & 0xFFFFFFFF
+        )
+        assert self._run_expr(lambda b: b.abs_(big, dtype="s32")) == 10
+        assert self._run_expr(lambda b: b.shr(big, 1, dtype="s32")) == (
+            (-5) & 0xFFFFFFFF
+        )
+        assert self._run_expr(lambda b: b.shr(big, 1, dtype="u32")) == (
+            big >> 1
+        )
+
+    def test_division_by_zero_defined(self):
+        assert self._run_expr(lambda b: b.div(5, 0)) == 0
+        assert self._run_expr(lambda b: b.rem(5, 0)) == 0
+
+    def test_bitwise(self):
+        assert self._run_expr(lambda b: b.and_(0b1100, 0b1010)) == 0b1000
+        assert self._run_expr(lambda b: b.or_(0b1100, 0b1010)) == 0b1110
+        assert self._run_expr(lambda b: b.xor(0b1100, 0b1010)) == 0b0110
+        assert self._run_expr(lambda b: b.shl(1, 4)) == 16
+
+    def test_float_arithmetic(self):
+        got = self._run_expr(lambda b: b.fma(2.0, 3.0, 1.0))
+        assert b2f(got) == pytest.approx(7.0)
+        got = self._run_expr(lambda b: b.sqrt(b.mov(9.0, dtype="f32")))
+        assert b2f(got) == pytest.approx(3.0)
+        got = self._run_expr(lambda b: b.ex2(b.mov(3.0, dtype="f32")))
+        assert b2f(got) == pytest.approx(8.0)
+
+    def test_cvt_both_directions(self):
+        got = self._run_expr(lambda b: b.cvt(b.mov(7), "f32"))
+        assert b2f(got) == pytest.approx(7.0)
+        got = self._run_expr(
+            lambda b: b.cvt(b.mov(3.75, dtype="f32"), "u32")
+        )
+        assert got == 3
+
+    def test_setp_and_selp(self):
+        def build(b):
+            p = b.setp("lt", 3, 5)
+            return b.selp(111, 222, p)
+
+        assert self._run_expr(build) == 111
+
+    def test_special_registers(self):
+        b = KernelBuilder("t", params=[("OUT", "ptr")])
+        out = b.ld_param("OUT")
+        tid = b.special_u32("%tid.x")
+        ntid = b.special_u32("%ntid.x")
+        ct = b.special_u32("%ctaid.x")
+        g = b.mad(ct, ntid, tid)
+        off = b.shl(g, 2)
+        b.st("global", b.add(out, off), g)
+        b.ret()
+        kernel = b.finish()
+        mem = MemoryImage()
+        addr = mem.alloc_global(8)
+        mem.set_param("OUT", addr)
+        Executor(kernel).run(Launch(grid=2, block=4), mem)
+        assert mem.download(addr, 8) == list(range(8))
+
+    def test_atomics_accumulate(self):
+        b = KernelBuilder("t", params=[("OUT", "ptr")])
+        out = b.ld_param("OUT")
+        b.atom("global", "add", out, 1)
+        b.ret()
+        kernel = b.finish()
+        mem = MemoryImage()
+        addr = mem.alloc_global(1)
+        mem.set_param("OUT", addr)
+        Executor(kernel).run(Launch(grid=2, block=16), mem)
+        assert mem.download(addr, 1)[0] == 32
+
+    def test_barrier_synchronizes_shared(self):
+        """Thread 0 reads what thread 31 wrote before the barrier."""
+        b = KernelBuilder("t", params=[("OUT", "ptr")], shared=[("s", 32)])
+        out = b.ld_param("OUT")
+        tid = b.special_u32("%tid.x")
+        sbase = b.addr_of("s")
+        off = b.shl(tid, 2)
+        b.st("shared", b.add(sbase, off), tid)
+        b.bar()
+        rev = b.sub(31, tid)
+        roff = b.shl(rev, 2)
+        v = b.ld("shared", b.add(sbase, roff), dtype="u32")
+        b.st("global", b.add(out, off), v)
+        b.ret()
+        kernel = b.finish()
+        mem = MemoryImage()
+        addr = mem.alloc_global(32)
+        mem.set_param("OUT", addr)
+        Executor(kernel).run(Launch(grid=1, block=32), mem)
+        assert mem.download(addr, 32) == list(reversed(range(32)))
+
+    def test_infinite_loop_detected(self):
+        b = KernelBuilder("t", params=[])
+        b.label("SPIN")
+        b.mov(0)
+        b.bra("SPIN")
+        b.label("X")
+        b.ret()
+        kernel = b.finish()
+        with pytest.raises(SimulationError):
+            Executor(kernel, max_instructions_per_thread=1000).run(
+                Launch(grid=1, block=1), MemoryImage()
+            )
+
+    def test_missing_param_reported(self):
+        b = KernelBuilder("t", params=[("OUT", "ptr")])
+        b.ld_param("OUT")
+        b.ret()
+        with pytest.raises(SimulationError):
+            Executor(b.finish()).run(Launch(grid=1, block=1), MemoryImage())
+
+
+class TestOccupancy:
+    def test_block_limited(self):
+        occ = occupancy(FERMI_C2050, threads_per_block=32,
+                        regs_per_thread=8, shared_per_block=0)
+        assert occ.blocks_per_sm == 8
+        assert occ.limiter == "blocks"
+
+    def test_thread_limited(self):
+        occ = occupancy(FERMI_C2050, threads_per_block=512,
+                        regs_per_thread=8, shared_per_block=0)
+        assert occ.blocks_per_sm == 3
+        assert occ.limiter == "threads"
+
+    def test_register_limited(self):
+        occ = occupancy(FERMI_C2050, threads_per_block=256,
+                        regs_per_thread=63, shared_per_block=0)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 2
+
+    def test_shared_limited(self):
+        occ = occupancy(FERMI_C2050, threads_per_block=64,
+                        regs_per_thread=8, shared_per_block=16 * 1024)
+        assert occ.limiter == "shared"
+        assert occ.blocks_per_sm == 3
+
+    def test_volta_is_roomier(self):
+        fermi = occupancy(FERMI_C2050, 256, 32, 8192)
+        volta = occupancy(VOLTA_TITAN_V, 256, 32, 8192)
+        assert volta.warps_per_sm >= fermi.warps_per_sm
+
+
+class TestTiming:
+    def _result_with(self, counts):
+        from collections import Counter
+        from repro.gpusim.executor import ExecutionResult
+
+        r = ExecutionResult()
+        r.warp_counts[(0, 0)] = Counter(counts)
+        return r
+
+    def test_adding_work_never_speeds_up(self):
+        model = TimingModel(FERMI_C2050)
+        base = self._result_with({"alu": 100, "ld_global": 10})
+        more = self._result_with({"alu": 100, "ld_global": 10, "st_global": 5})
+        t_base = model.estimate(base, 32, 2, 16, 0).cycles
+        t_more = model.estimate(more, 32, 2, 16, 0).cycles
+        assert t_more >= t_base
+
+    def test_lower_occupancy_never_speeds_up(self):
+        model = TimingModel(FERMI_C2050)
+        r = self._result_with({"alu": 100, "ld_global": 10})
+        fast = model.estimate(r, 256, 16, 16, 0).cycles
+        slow = model.estimate(r, 256, 16, 63, 0).cycles  # register pressure
+        assert slow >= fast
+
+    def test_global_store_costs_more_than_shared(self):
+        model = TimingModel(FERMI_C2050)
+        shared = self._result_with({"alu": 20, "st_shared": 50})
+        glob = self._result_with({"alu": 20, "st_global": 50})
+        t_shared = model.estimate(shared, 32, 2, 16, 0).cycles
+        t_global = model.estimate(glob, 32, 2, 16, 0).cycles
+        assert t_global > t_shared
+
+    def test_zero_occupancy_rejected(self):
+        model = TimingModel(FERMI_C2050)
+        r = self._result_with({"alu": 1})
+        with pytest.raises(ValueError):
+            model.estimate(r, 256, 1, 16, 10**9)
+
+
+class TestEnergy:
+    def test_parity_cheaper_than_secded(self):
+        from repro.gpusim.executor import ExecutionResult
+
+        r = ExecutionResult(rf_reads=1000, rf_writes=500)
+        assert rf_energy(r, "Parity").total_pj < rf_energy(r, "SECDED").total_pj
+        assert rf_energy(r, "None").total_pj < rf_energy(r, "Parity").total_pj
+
+    def test_scales_with_accesses(self):
+        from repro.gpusim.executor import ExecutionResult
+
+        small = ExecutionResult(rf_reads=10, rf_writes=0)
+        big = ExecutionResult(rf_reads=100, rf_writes=0)
+        assert rf_energy(big, "Parity").total_pj == pytest.approx(
+            10 * rf_energy(small, "Parity").total_pj
+        )
+
+    def test_total_gpu_energy_model(self):
+        from repro.gpusim.energy import total_gpu_energy_norm
+
+        # pure weighting: rf fraction of the rf term, rest of the cycles
+        assert total_gpu_energy_norm(1.2, 1.0, 0.5) == pytest.approx(1.1)
+        assert total_gpu_energy_norm(1.0, 1.0, 0.15) == pytest.approx(1.0)
+        # an RF win can be wiped out by a run-time tax
+        ecc = total_gpu_energy_norm(1.211, 1.0, 0.15)
+        penny_slow = total_gpu_energy_norm(1.03, 1.06, 0.15)
+        assert penny_slow > ecc - 0.05  # marginal, as §9.1 warns
+        with pytest.raises(ValueError):
+            total_gpu_energy_norm(1.0, 1.0, 0.0)

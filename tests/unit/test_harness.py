@@ -1,0 +1,78 @@
+"""The experiment harness's measurement plumbing."""
+
+import math
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.experiments.harness import (
+    SCHEMES_FIG9,
+    format_overhead_table,
+    geometric_mean,
+    measure_baseline,
+    measure_scheme,
+    normalized_overheads,
+)
+from repro.gpusim.config import FERMI_C2050, VOLTA_TITAN_V
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.0, 1.0, 8.0]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_insensitive_to_order(self):
+        a = geometric_mean([1.2, 3.4, 0.9])
+        b = geometric_mean([0.9, 1.2, 3.4])
+        assert a == pytest.approx(b)
+
+
+class TestMeasurements:
+    def test_baseline_deterministic(self):
+        bench = get_benchmark("CS")
+        m1 = measure_baseline(bench)
+        m2 = measure_baseline(bench)
+        assert m1.cycles == m2.cycles
+
+    def test_schemes_are_at_least_baseline(self):
+        bench = get_benchmark("CS")
+        base = measure_baseline(bench)
+        for scheme in SCHEMES_FIG9:
+            m = measure_scheme(bench, scheme, baseline_cycles=base.cycles)
+            assert m.normalized >= 1.0 - 1e-9, scheme
+
+    def test_gpu_config_changes_absolute_cycles(self):
+        bench = get_benchmark("SGEMM")
+        fermi = measure_baseline(bench, FERMI_C2050)
+        volta = measure_baseline(bench, VOLTA_TITAN_V)
+        assert fermi.cycles != volta.cycles
+
+    def test_matrix_includes_gmean(self):
+        table = normalized_overheads(
+            [get_benchmark("BS")], ["Penny", "Bolt/Global"]
+        )
+        for scheme in table:
+            assert "gmean" in table[scheme]
+            assert "BS" in table[scheme]
+
+    def test_timing_report_carried(self):
+        m = measure_baseline(get_benchmark("SGEMM"))
+        assert m.timing.occupancy.warps_per_sm > 0
+        assert m.timing.bound in ("issue", "lsu", "latency")
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        table = {
+            "A": {"X": 1.0, "YLONGNAME": 2.345, "gmean": 1.5},
+            "B": {"X": 1.1, "YLONGNAME": 0.9, "gmean": 1.0},
+        }
+        text = format_overhead_table(table, "title")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "gmean" in lines[-1]
+        # every scheme column appears in the header
+        assert "A" in lines[2] and "B" in lines[2]

@@ -1,0 +1,266 @@
+"""IR construction, printing, parsing, and structural invariants."""
+
+import pytest
+
+from repro.ir import (
+    Alu,
+    Atom,
+    Bar,
+    Bra,
+    Checkpoint,
+    DType,
+    Imm,
+    KernelBuilder,
+    Ld,
+    MemSpace,
+    Membar,
+    Reg,
+    Ret,
+    Selp,
+    Setp,
+    Special,
+    St,
+    parse_kernel,
+    parse_module,
+    print_kernel,
+    PtxParseError,
+)
+from repro.ir.module import BasicBlock, Kernel, KernelParam
+from repro.ir.types import SymRef
+
+
+def saxpy_kernel():
+    b = KernelBuilder(
+        "saxpy",
+        params=[("X", "ptr"), ("Y", "ptr"), ("alpha", "f32"), ("n", "u32")],
+        shared=[("smem", 64)],
+    )
+    tid = b.special_u32("%tid.x")
+    n = b.ld_param("n")
+    p = b.setp("ge", tid, n)
+    b.bra("DONE", pred=p)
+    x = b.ld_param("X")
+    y = b.ld_param("Y")
+    off = b.shl(tid, 2)
+    xa = b.add(x, off)
+    ya = b.add(y, off)
+    xv = b.ld("global", xa, dtype="f32")
+    yv = b.ld("global", ya, dtype="f32")
+    alpha = b.ld_param("alpha")
+    r = b.fma(alpha, xv, yv)
+    b.st("global", ya, r, dtype="f32")
+    b.bar()
+    b.label("DONE")
+    b.ret()
+    return b.finish()
+
+
+class TestRegisterIdentity:
+    def test_name_based_equality(self):
+        assert Reg("%r1", DType.U32) == Reg("%r1", DType.S32)
+        assert hash(Reg("%r1", DType.U32)) == hash(Reg("%r1", DType.F32))
+        assert Reg("%r1") != Reg("%r2")
+
+    def test_special_register_validation(self):
+        Special("%tid.x")
+        with pytest.raises(ValueError):
+            Special("%bogus")
+
+
+class TestInstructions:
+    def test_alu_defs_uses(self):
+        dst = Reg("%d")
+        inst = Alu("add", DType.U32, dst, [Reg("%a"), Imm(3)])
+        assert inst.defs() == (dst,)
+        assert Reg("%a") in inst.uses()
+        assert inst.reg_uses() == (Reg("%a"),)
+
+    def test_alu_arity_checked(self):
+        with pytest.raises(ValueError):
+            Alu("add", DType.U32, Reg("%d"), [Reg("%a")])
+        with pytest.raises(ValueError):
+            Alu("mov", DType.U32, Reg("%d"), [Reg("%a"), Reg("%b")])
+        with pytest.raises(ValueError):
+            Alu("frobnicate", DType.U32, Reg("%d"), [Reg("%a")])
+
+    def test_guard_is_a_use(self):
+        p = Reg("%p", DType.PRED)
+        inst = Alu("mov", DType.U32, Reg("%d"), [Imm(1)], guard=(p, True))
+        assert p in inst.reg_uses()
+
+    def test_store_to_readonly_space_rejected(self):
+        with pytest.raises(ValueError):
+            St(MemSpace.PARAM, DType.U32, Reg("%a"), Reg("%v"))
+
+    def test_atom_cas_requires_second_source(self):
+        with pytest.raises(ValueError):
+            Atom(MemSpace.GLOBAL, "cas", DType.U32, Reg("%d"), Reg("%a"),
+                 Reg("%v"))
+
+    def test_memory_classification(self):
+        ld = Ld(MemSpace.GLOBAL, DType.U32, Reg("%d"), Reg("%a"))
+        st = St(MemSpace.GLOBAL, DType.U32, Reg("%a"), Reg("%v"))
+        atom = Atom(MemSpace.GLOBAL, "add", DType.U32, Reg("%d"), Reg("%a"),
+                    Reg("%v"))
+        assert ld.is_memory_read and not ld.is_memory_write
+        assert st.is_memory_write and not st.is_memory_read
+        assert atom.is_memory_read and atom.is_memory_write
+        assert atom.is_barrier_like
+
+    def test_barriers_are_barrier_like(self):
+        assert Bar().is_barrier_like
+        assert Membar().is_barrier_like
+        assert not Ret().is_barrier_like
+
+    def test_replace_uses_and_defs(self):
+        a, b_, d = Reg("%a"), Reg("%b"), Reg("%d")
+        inst = Alu("add", DType.U32, d, [a, a])
+        inst.replace_uses({a: b_})
+        assert inst.srcs == [b_, b_]
+        inst.replace_defs({d: a})
+        assert inst.dst == a
+
+    def test_checkpoint_pseudo(self):
+        cp = Checkpoint(Reg("%r5"), color=1)
+        assert cp.is_memory_write
+        assert Reg("%r5") in cp.uses()
+        assert "K1" in str(cp)
+
+
+class TestBuilder:
+    def test_builds_valid_kernel(self):
+        k = saxpy_kernel()
+        k.validate()
+        assert k.name == "saxpy"
+        assert [p.name for p in k.params] == ["X", "Y", "alpha", "n"]
+        assert k.shared[0].name == "smem"
+
+    def test_blocks_after_branches(self):
+        k = saxpy_kernel()
+        labels = [blk.label for blk in k.blocks]
+        assert labels[0] == "ENTRY"
+        assert "DONE" in labels
+
+    def test_fresh_names_unique(self):
+        k = saxpy_kernel()
+        regs = [r.name for r in k.all_registers()]
+        assert len(regs) == len(set(regs))
+
+    def test_guarded_branch_ends_block(self):
+        k = saxpy_kernel()
+        for blk in k.blocks:
+            for i, inst in enumerate(blk.instructions):
+                if isinstance(inst, Bra):
+                    assert i == len(blk.instructions) - 1
+
+
+class TestKernelStructure:
+    def test_split_block(self):
+        k = saxpy_kernel()
+        blk = k.blocks[1]
+        n = len(blk.instructions)
+        tail = k.split_block(blk.label, 2)
+        assert len(blk.instructions) == 2
+        assert len(tail.instructions) == n - 2
+        k.validate()
+
+    def test_split_out_of_range(self):
+        k = saxpy_kernel()
+        with pytest.raises(IndexError):
+            k.split_block("ENTRY", 99)
+
+    def test_duplicate_labels_rejected(self):
+        k = Kernel("bad", blocks=[BasicBlock("A", [Ret()]),
+                                  BasicBlock("A", [Ret()])])
+        with pytest.raises(ValueError):
+            k.validate()
+
+    def test_branch_to_unknown_label_rejected(self):
+        k = Kernel("bad", blocks=[BasicBlock("A", [Bra("NOWHERE")])])
+        with pytest.raises(ValueError):
+            k.validate()
+
+    def test_fallthrough_off_end_rejected(self):
+        k = Kernel("bad", blocks=[BasicBlock("A", [Alu("mov", DType.U32,
+                                                       Reg("%a"), [Imm(0)])])])
+        with pytest.raises(ValueError):
+            k.validate()
+
+    def test_lookup_errors(self):
+        k = saxpy_kernel()
+        with pytest.raises(KeyError):
+            k.block("nope")
+        with pytest.raises(KeyError):
+            k.param("nope")
+
+
+class TestParserPrinter:
+    def test_round_trip(self):
+        k = saxpy_kernel()
+        text = print_kernel(k)
+        again = print_kernel(parse_kernel(text))
+        assert text == again
+
+    def test_parse_multi_kernel_module(self):
+        text = print_kernel(saxpy_kernel())
+        module = parse_module(text + "\n\n" + text.replace("saxpy", "saxpy2"))
+        assert [k.name for k in module.kernels] == ["saxpy", "saxpy2"]
+
+    def test_parse_errors_carry_line_numbers(self):
+        with pytest.raises(PtxParseError) as err:
+            parse_kernel(".entry k () {\n  bogus.u32 %r1;\n}")
+        assert "line 2" in str(err.value)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(PtxParseError):
+            parse_kernel(".entry k () {\n  mov.u32 %r1, 0\n  ret;\n}")
+
+    def test_unterminated_kernel(self):
+        with pytest.raises(PtxParseError):
+            parse_kernel(".entry k () {\n  ret;")
+
+    def test_comments_and_blank_lines(self):
+        k = parse_kernel(
+            ".entry k () {\n"
+            "  // a comment\n"
+            "\n"
+            "  mov.u32 %r1, 7; // trailing comment\n"
+            "  ret;\n"
+            "}"
+        )
+        assert len(k.blocks[0].instructions) == 2
+
+    def test_negative_offsets(self):
+        k = parse_kernel(
+            ".entry k (.param .ptr A) {\n"
+            "  ld.param.u32 %r1, [A];\n"
+            "  ld.global.u32 %r2, [%r1+-4];\n"
+            "  ret;\n"
+            "}"
+        )
+        ld = k.blocks[0].instructions[1]
+        assert ld.offset == -4
+
+    def test_pred_registers_typed(self):
+        k = parse_kernel(
+            ".entry k () {\n"
+            "  mov.u32 %r1, 3;\n"
+            "  setp.lt.u32 %p1, %r1, 5;\n"
+            "  @%p1 bra OUT;\n"
+            "OUT:\n"
+            "  ret;\n"
+            "}"
+        )
+        setp = k.blocks[0].instructions[1]
+        assert setp.dst.dtype is DType.PRED
+
+    def test_symbol_operands(self):
+        k = parse_kernel(
+            ".entry k (.param .ptr A) {\n"
+            "  .shared .b32 buf[16];\n"
+            "  mov.u32 %r1, buf;\n"
+            "  ret;\n"
+            "}"
+        )
+        mov = k.blocks[0].instructions[0]
+        assert isinstance(mov.srcs[0], SymRef)

@@ -1,0 +1,196 @@
+"""Pipeline robustness on degenerate and unusual kernels."""
+
+import pytest
+
+from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+from repro.gpusim import Executor, Launch, MemoryImage
+from repro.ir import KernelBuilder
+
+LAUNCH = LaunchConfig(threads_per_block=8, num_blocks=1)
+
+
+def compile_(kernel, **cfg):
+    defaults = dict(overwrite="sa")
+    defaults.update(cfg)
+    return PennyCompiler(PennyConfig(**defaults)).compile(kernel, LAUNCH)
+
+
+def run(kernel, words=16, params=()):
+    mem = MemoryImage()
+    addr = mem.alloc_global(words)
+    mem.upload(addr, list(range(1, words + 1)))
+    for name in params:
+        mem.set_param(name, addr)
+    Executor(kernel, rf_code_factory=lambda: None).run(Launch(1, 8), mem)
+    return mem.download(addr, words)
+
+
+class TestDegenerateKernels:
+    def test_empty_kernel(self):
+        b = KernelBuilder("empty", params=[])
+        b.ret()
+        result = compile_(b.finish())
+        assert result.stats["checkpoints_total"] == 0
+        Executor(result.kernel).run(Launch(1, 8), MemoryImage())
+
+    def test_pure_compute_no_memory(self):
+        b = KernelBuilder("compute", params=[])
+        x = b.mov(1)
+        for _ in range(5):
+            x = b.add(x, x)
+        b.ret()
+        result = compile_(b.finish())
+        assert result.stats["num_boundaries"] == 1  # just the entry
+        assert result.stats["checkpoints_total"] == 0
+
+    def test_barrier_only_kernel(self):
+        b = KernelBuilder("sync", params=[])
+        b.bar()
+        b.bar()
+        b.ret()
+        result = compile_(b.finish())
+        Executor(result.kernel).run(Launch(1, 8), MemoryImage())
+
+    def test_store_only_kernel(self):
+        b = KernelBuilder("wo", params=[("A", "ptr")])
+        a = b.ld_param("A")
+        tid = b.special_u32("%tid.x")
+        off = b.shl(tid, 2)
+        b.st("global", b.add(a, off), 7)
+        b.ret()
+        golden = run(b.finish(), params=("A",))
+        b2 = KernelBuilder("wo", params=[("A", "ptr")])
+        a = b2.ld_param("A")
+        tid = b2.special_u32("%tid.x")
+        off = b2.shl(tid, 2)
+        b2.st("global", b2.add(a, off), 7)
+        b2.ret()
+        result = compile_(b2.finish())
+        assert run(result.kernel, params=("A",)) == golden
+
+    def test_uninitialized_register_read(self):
+        """Reading a never-written register is defined (zero) and must not
+        break compilation — its restore is simply skipped."""
+        b = KernelBuilder("uninit", params=[("A", "ptr")])
+        a = b.ld_param("A")
+        ghost = b.reg("u32", "%ghost")
+        v = b.ld("global", a, dtype="u32")
+        s = b.add(v, ghost)
+        b.st("global", a, s)
+        b.ret()
+        result = compile_(b.finish())
+        out = run(result.kernel, params=("A",))
+        assert out[0] == 1  # 1 + 0
+
+    def test_back_to_back_boundaries(self):
+        """Consecutive anti-dependences produce adjacent tiny regions."""
+
+        def build():
+            b = KernelBuilder("tight", params=[("A", "ptr")])
+            a = b.ld_param("A")
+            for i in range(3):
+                v = b.ld("global", a, dtype="u32")
+                b.st("global", a, b.add(v, 1))
+            b.ret()
+            return b.finish()
+
+        golden = run(build(), params=("A",))
+        result = compile_(build())
+        assert result.stats["num_boundaries"] >= 3
+        assert run(result.kernel, params=("A",)) == golden
+
+    def test_deeply_nested_loops(self):
+        b = KernelBuilder("deep", params=[("A", "ptr")])
+        a = b.ld_param("A")
+        regs = []
+        for depth in range(3):
+            i = b.mov(0, dst=b.reg("u32", f"%i{depth}"))
+            regs.append(i)
+            b.label(f"L{depth}")
+            p = b.setp("ge", i, 2)
+            b.bra(f"X{depth}", pred=p)
+        v = b.ld("global", a, dtype="u32")
+        b.st("global", a, b.add(v, 1))
+        for depth in reversed(range(3)):
+            b.add(regs[depth], 1, dst=regs[depth])
+            b.bra(f"L{depth}")
+            b.label(f"X{depth}")
+            if depth:
+                b.add(regs[depth - 1], 1, dst=regs[depth - 1])
+                b.bra(f"L{depth - 1}")
+        b.ret()
+        kernel = b.finish()
+        golden = run(kernel, params=("A",))
+        b_copy = compile_(kernel)  # compile(copy=True) leaves input intact
+        assert run(b_copy.kernel, params=("A",)) == golden
+
+    def test_self_loop_block(self):
+        """A block that branches to itself (single-block loop)."""
+        b = KernelBuilder("selfloop", params=[("A", "ptr")])
+        a = b.ld_param("A")
+        i = b.mov(0, dst=b.reg("u32", "%i"))
+        b.label("SPIN")
+        v = b.ld("global", a, dtype="u32")
+        b.st("global", a, b.add(v, 1))
+        b.add(i, 1, dst=i)
+        p = b.setp("lt", i, 3)
+        b.bra("SPIN", pred=p)
+        b.ret()
+        result = compile_(b.finish())
+        run(result.kernel, params=("A",))
+
+    def test_unreachable_block_tolerated(self):
+        from repro.ir import parse_kernel
+
+        kernel = parse_kernel(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  ld.global.u32 %v, [%a];\n"
+            "  st.global.u32 [%a], %v;\n"
+            "  ret;\n"
+            "DEAD:\n"
+            "  mov.u32 %z, 1;\n"
+            "  ret;\n"
+            "}"
+        )
+        result = compile_(kernel)
+        run(result.kernel, params=("A",))
+
+
+class TestConfigurationCorners:
+    def _loop_kernel(self):
+        b = KernelBuilder("k", params=[("A", "ptr")])
+        a = b.ld_param("A")
+        i = b.mov(0, dst=b.reg("u32", "%i"))
+        b.label("H")
+        p = b.setp("ge", i, 4)
+        b.bra("X", pred=p)
+        off = b.shl(i, 2)
+        addr = b.add(a, off)
+        v = b.ld("global", addr, dtype="u32")
+        b.st("global", addr, b.add(v, 10))
+        b.add(i, 1, dst=i)
+        b.bra("H")
+        b.label("X")
+        b.ret()
+        return b.finish()
+
+    def test_every_config_combination_compiles_and_runs(self):
+        golden = run(self._loop_kernel(), params=("A",))
+        for placement in ("eager", "bimodal"):
+            for pruning in ("none", "basic", "optimal"):
+                for low_opts in (True, False):
+                    result = compile_(
+                        self._loop_kernel(),
+                        placement=placement,
+                        pruning=pruning,
+                        low_opts=low_opts,
+                    )
+                    got = run(result.kernel, params=("A",))
+                    assert got == golden, (placement, pruning, low_opts)
+
+    def test_overwrite_none_is_unsafe_but_runs(self):
+        golden = run(self._loop_kernel(), params=("A",))
+        result = compile_(self._loop_kernel(), overwrite="none")
+        assert run(result.kernel, params=("A",)) == golden

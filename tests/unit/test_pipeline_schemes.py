@@ -1,0 +1,242 @@
+"""Compiler pipeline configuration, scheme presets, iGPU, and regalloc."""
+
+import pytest
+
+from repro.core.pipeline import (
+    LaunchConfig,
+    PennyCompiler,
+    PennyConfig,
+    clone_kernel,
+)
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_PENNY,
+    igpu_transform,
+    scheme_config,
+)
+from repro.ir import KernelBuilder, print_kernel
+from repro.regalloc import allocate, count_registers
+
+
+def little_kernel():
+    b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+    a = b.ld_param("A")
+    n = b.ld_param("n")
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    b.label("HEAD")
+    p = b.setp("ge", i, n)
+    b.bra("EXIT", pred=p)
+    off = b.shl(i, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    v2 = b.mul(v, 2)
+    b.st("global", addr, v2)
+    b.add(i, 1, dst=i)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.ret()
+    return b.finish()
+
+
+class TestRegalloc:
+    def test_allocation_within_budget(self):
+        k = little_kernel()
+        result = allocate(k, budget=8, rewrite=False)
+        assert result.num_regs <= 8
+
+    def test_rewrite_renames_to_physical(self):
+        k = little_kernel()
+        allocate(k, budget=16, rewrite=True)
+        names = {r.name for r in k.all_registers()}
+        assert all(n.startswith("%r") or n.startswith("%spill") for n in names)
+        k.validate()
+
+    def test_rewritten_kernel_still_runs(self):
+        from repro.gpusim import Executor, Launch, MemoryImage
+
+        k = little_kernel()
+        mem = MemoryImage()
+        addr = mem.alloc_global(8)
+        mem.upload(addr, [1, 2, 3, 4, 5, 6, 7, 8])
+        mem.set_param("A", addr)
+        mem.set_param("n", 8)
+        allocate(k, budget=16, rewrite=True)
+        Executor(k, rf_code_factory=lambda: None).run(Launch(1, 1), mem)
+        assert mem.download(addr, 8) == [2, 4, 6, 8, 10, 12, 14, 16]
+
+    def test_count_registers_stable(self):
+        k = little_kernel()
+        before = print_kernel(k)
+        n = count_registers(k)
+        assert n > 0
+        assert print_kernel(k) == before  # counting must not mutate
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            allocate(little_kernel(), budget=1)
+
+
+class TestSchemePresets:
+    def test_known_schemes(self):
+        for name in (SCHEME_BOLT_GLOBAL, SCHEME_BOLT_AUTO, SCHEME_PENNY):
+            cfg = scheme_config(name)
+            assert cfg.name == name
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            scheme_config("Hope")
+
+    def test_bolt_is_eager_basic(self):
+        cfg = scheme_config(SCHEME_BOLT_GLOBAL)
+        assert cfg.placement == "eager"
+        assert cfg.pruning == "basic"
+        assert cfg.storage_mode == "global"
+        assert not cfg.low_opts
+
+    def test_penny_fully_enabled(self):
+        cfg = scheme_config(SCHEME_PENNY)
+        assert cfg.placement == "bimodal"
+        assert cfg.pruning == "optimal"
+        assert cfg.storage_mode == "auto"
+        assert cfg.low_opts
+
+    def test_configs_are_copies(self):
+        a = scheme_config(SCHEME_PENNY)
+        a.low_opts = False
+        assert scheme_config(SCHEME_PENNY).low_opts
+
+
+class TestIgpu:
+    def test_renames_antidependent_registers(self):
+        k = little_kernel()
+        renamed = igpu_transform(k)
+        k.validate()
+        # loop-carried %i cannot be renamed, but the transform must not
+        # corrupt the kernel
+        assert renamed >= 0
+
+    def test_functionally_equivalent(self):
+        from repro.gpusim import Executor, Launch, MemoryImage
+
+        def run(kernel):
+            mem = MemoryImage()
+            addr = mem.alloc_global(8)
+            mem.upload(addr, list(range(1, 9)))
+            mem.set_param("A", addr)
+            mem.set_param("n", 8)
+            Executor(kernel, rf_code_factory=lambda: None).run(
+                Launch(1, 1), mem
+            )
+            return mem.download(addr, 8)
+
+        assert run(little_kernel()) == run(
+            (lambda k: (igpu_transform(k), k)[1])(little_kernel())
+        )
+
+
+class TestPipeline:
+    def test_clone_kernel_is_deep(self):
+        k = little_kernel()
+        c = clone_kernel(k)
+        c.blocks[0].instructions.pop()
+        assert len(k.blocks[0].instructions) != len(c.blocks[0].instructions)
+
+    def test_compile_does_not_mutate_input_by_default(self):
+        k = little_kernel()
+        before = print_kernel(k)
+        PennyCompiler(PennyConfig(overwrite="sa")).compile(k, LaunchConfig(32, 2))
+        assert print_kernel(k) == before
+
+    def test_all_pruning_modes_compile(self):
+        for pruning in ("none", "basic", "optimal"):
+            cfg = PennyConfig(pruning=pruning, overwrite="sa")
+            result = PennyCompiler(cfg).compile(
+                little_kernel(), LaunchConfig(32, 2)
+            )
+            assert result.stats["checkpoints_total"] >= 0
+
+    def test_pruning_mode_ordering(self):
+        committed = {}
+        for pruning in ("none", "basic", "optimal"):
+            cfg = PennyConfig(pruning=pruning, overwrite="sa")
+            result = PennyCompiler(cfg).compile(
+                little_kernel(), LaunchConfig(32, 2)
+            )
+            committed[pruning] = result.stats["checkpoints_committed"]
+        assert committed["optimal"] <= committed["basic"] <= committed["none"]
+
+    def test_auto_overwrite_picks_cheaper(self):
+        cfg = PennyConfig(overwrite="auto")
+        result = PennyCompiler(cfg).compile(little_kernel(), LaunchConfig(32, 2))
+        assert result.stats["overwrite_scheme"] in ("rr", "sa")
+        assert "auto_selected" in result.stats
+
+    def test_invalid_pruning_mode(self):
+        cfg = PennyConfig(pruning="psychic", overwrite="sa")
+        with pytest.raises(ValueError):
+            PennyCompiler(cfg).compile(little_kernel(), LaunchConfig(32, 2))
+
+    def test_stats_populated(self):
+        result = PennyCompiler(PennyConfig(overwrite="sa")).compile(
+            little_kernel(), LaunchConfig(32, 2)
+        )
+        for key in (
+            "estimated_cost",
+            "checkpoints_total",
+            "registers",
+            "num_boundaries",
+            "emitted_checkpoints",
+        ):
+            assert key in result.stats
+
+    def test_param_noalias_reduces_boundaries(self):
+        b = KernelBuilder("two", params=[("A", "ptr"), ("B", "ptr")])
+        a = b.ld_param("A")
+        bb = b.ld_param("B")
+        v = b.ld("global", a, dtype="u32")
+        b.st("global", bb, v)
+        b.ret()
+        k = b.finish()
+        strict = PennyCompiler(
+            PennyConfig(overwrite="sa", param_noalias=False)
+        ).compile(k, LaunchConfig(32, 1))
+        relaxed = PennyCompiler(
+            PennyConfig(overwrite="sa", param_noalias=True)
+        ).compile(k, LaunchConfig(32, 1))
+        assert relaxed.stats["num_boundaries"] <= strict.stats["num_boundaries"]
+
+
+class TestSpilling:
+    def test_tight_budget_spills_and_still_computes(self):
+        from repro.gpusim import Executor, Launch, MemoryImage
+
+        def build():
+            b = KernelBuilder("fat", params=[("A", "ptr")])
+            a = b.ld_param("A")
+            # more simultaneously-live values than a budget of 6 can hold
+            vals = [b.ld("global", a, offset=4 * i, dtype="u32")
+                    for i in range(10)]
+            total = vals[0]
+            for v in vals[1:]:
+                total = b.add(total, v)
+            b.st("global", a, total, offset=4096)
+            b.ret()
+            return b.finish()
+
+        def run(kernel):
+            mem = MemoryImage()
+            addr = mem.alloc_global(2048)
+            mem.upload(addr, list(range(1, 11)))
+            mem.set_param("A", addr)
+            Executor(kernel, rf_code_factory=lambda: None).run(
+                Launch(1, 1), mem
+            )
+            return mem.download(addr + 4096, 1)[0]
+
+        golden = run(build())
+        assert golden == sum(range(1, 11))
+        spilled_kernel = build()
+        result = allocate(spilled_kernel, budget=6, rewrite=True)
+        assert result.spilled, "budget 6 must force spills"
+        assert run(spilled_kernel) == golden

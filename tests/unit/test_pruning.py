@@ -1,0 +1,219 @@
+"""PDDG validation and the pruning algorithms (§6.4)."""
+
+import pytest
+
+from repro.analysis import CFG, AliasAnalysis, LoopInfo, ReachingDefs
+from repro.analysis.postdom import ControlDependence
+from repro.core.checkpoints import PruneState, eager_plan
+from repro.core.hazards import materialize_instances
+from repro.core.liveins import analyze_liveins
+from repro.core.pddg import PddgValidator, VState
+from repro.core.pruning import prune_basic, prune_none, prune_optimal
+from repro.core.regions import form_regions
+from repro.core.slices import SLoad, SOp, slice_size, slots_used
+from repro.ir import KernelBuilder
+from repro.ir.types import Reg
+
+
+def _setup(kernel):
+    regions = form_regions(kernel)
+    cfg = CFG(kernel)
+    rdefs = ReachingDefs(cfg)
+    liveins = analyze_liveins(kernel, regions, cfg=cfg, rdefs=rdefs)
+    plan = eager_plan(liveins)
+    instances = materialize_instances(plan, cfg)
+    validator = PddgValidator(
+        cfg,
+        rdefs,
+        plan,
+        instances,
+        AliasAnalysis(cfg, rdefs),
+        LoopInfo(cfg),
+        ControlDependence(cfg),
+        None,
+    )
+    return plan, validator
+
+
+def recomputable_kernel():
+    """Live-ins derived from params and tid only — all prunable.  The load
+    exists purely to force an anti-dependence cut; its value is dead."""
+    b = KernelBuilder("k", params=[("A", "ptr")])
+    tid = b.special_u32("%tid.x")
+    a = b.ld_param("A")
+    off = b.shl(tid, 2)
+    addr = b.add(a, off)
+    b.ld("global", addr, dtype="u32")
+    x = b.mul(tid, 3)
+    b.st("global", addr, x)
+    b.st("global", addr, tid, offset=4096)
+    b.ret()
+    return b.finish()
+
+
+def loaded_value_kernel():
+    """A live-in loaded from memory that the kernel itself overwrites —
+    not recomputable, must stay committed."""
+    b = KernelBuilder("k", params=[("A", "ptr")])
+    tid = b.special_u32("%tid.x")
+    a = b.ld_param("A")
+    off = b.shl(tid, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    v2 = b.mul(v, 3)
+    b.st("global", addr, v2)
+    b.st("global", addr, v2, offset=4)
+    b.ret()
+    return b.finish()
+
+
+def loop_carried_kernel():
+    b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+    a = b.ld_param("A")
+    n = b.ld_param("n")
+    acc = b.mov(0, dst=b.reg("u32", "%acc"))
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    b.label("HEAD")
+    p = b.setp("ge", i, n)
+    b.bra("EXIT", pred=p)
+    off = b.shl(i, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    b.add(acc, v, dst=acc)
+    b.st("global", addr, acc)
+    b.add(i, 1, dst=i)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.ret()
+    return b.finish()
+
+
+class TestPhase1Validation:
+    def test_address_chain_is_valid(self):
+        plan, validator = _setup(recomputable_kernel())
+        states = {
+            cp.reg.name: validator.validate_checkpoint(cp)
+            for cp in plan.checkpoints
+        }
+        # tid, the address chain, and x = tid*3 recompute from specials
+        # and params — all valid with materialized slices
+        for name, marked in states.items():
+            assert marked.state is VState.VALID, name
+            assert marked.expr is not None, name
+
+    def test_overwritten_load_is_invalid(self):
+        plan, validator = _setup(loaded_value_kernel())
+        # v2 = 3 * (load that the kernel's own store may overwrite)
+        v2_cps = [
+            cp for cp in plan.checkpoints
+            if any(
+                isinstance(n, int) for n in [0]
+            ) and cp.reg.name not in ("%v0",)
+        ]
+        results = {
+            cp.reg.name: validator.validate_checkpoint(cp).state
+            for cp in plan.checkpoints
+        }
+        assert VState.INVALID in results.values()
+
+    def test_loop_carried_is_invalid(self):
+        plan, validator = _setup(loop_carried_kernel())
+        acc_cps = plan.of_register(Reg("%acc"))
+        assert acc_cps
+        for cp in acc_cps:
+            assert validator.validate_checkpoint(cp).state in (
+                VState.INVALID,
+                VState.UNDECIDED,
+            )
+
+    def test_memory_intact_respects_reachability(self):
+        plan, validator = _setup(recomputable_kernel())
+        cfg = validator.cfg
+        # find the load and the store positions
+        for blk in cfg.blocks:
+            for i, inst in enumerate(blk.instructions):
+                if inst.is_memory_read and not inst.space.read_only:
+                    # the in-place store overwrites this exact address
+                    assert not validator.memory_intact(blk.label, i)
+
+
+class TestOptimalPruning:
+    def test_recomputable_kernel_fully_pruned(self):
+        plan, validator = _setup(recomputable_kernel())
+        result = prune_optimal(plan, validator)
+        assert len(plan.pruned()) == len(plan.checkpoints)
+        assert set(result.slices) == {cp.key for cp in plan.checkpoints}
+
+    def test_loop_carried_stays_committed(self):
+        plan, validator = _setup(loop_carried_kernel())
+        prune_optimal(plan, validator)
+        for cp in plan.of_register(Reg("%acc")):
+            assert cp.state is PruneState.COMMITTED
+
+    def test_stats_consistent(self):
+        plan, validator = _setup(loop_carried_kernel())
+        result = prune_optimal(plan, validator)
+        assert result.stats["pruned"] + result.stats["committed"] == result.stats["total"]
+        assert result.stats["pruned"] == len(plan.pruned())
+
+    def test_slices_reference_only_safe_sources(self):
+        plan, validator = _setup(recomputable_kernel())
+        result = prune_optimal(plan, validator)
+        for expr in result.slices.values():
+            assert slice_size(expr) >= 1
+            for slot in slots_used(expr):
+                # any slot referenced must belong to a committed checkpoint
+                assert any(
+                    cp.reg.name == slot.reg_name
+                    and cp.state is PruneState.COMMITTED
+                    for cp in plan.checkpoints
+                )
+
+
+class TestBasicPruning:
+    def test_solution_is_valid(self):
+        plan, validator = _setup(recomputable_kernel())
+        prune_basic(plan, validator, attempts=32, seed=5)
+        # the committed+pruned decision must be self-consistent: rerun the
+        # validator against the final decisions
+        def decision(cp):
+            return cp.state
+
+        for cp in plan.pruned():
+            marked = validator.validate_checkpoint(cp, decision=decision)
+            assert marked.state is VState.VALID
+
+    def test_prunes_no_more_than_optimal(self):
+        k1 = recomputable_kernel()
+        k2 = recomputable_kernel()
+        plan_b, val_b = _setup(k1)
+        plan_o, val_o = _setup(k2)
+        prune_basic(plan_b, val_b, attempts=32, seed=7)
+        prune_optimal(plan_o, val_o)
+        assert len(plan_b.pruned()) <= len(plan_o.pruned())
+
+    def test_falls_back_to_empty_pruning(self):
+        plan, validator = _setup(loop_carried_kernel())
+        prune_basic(plan, validator, attempts=1, seed=1)
+        # whatever happened, every checkpoint has a final decision
+        assert all(
+            cp.state in (PruneState.PRUNED, PruneState.COMMITTED)
+            for cp in plan.checkpoints
+        )
+
+    def test_deterministic_given_seed(self):
+        plan1, val1 = _setup(recomputable_kernel())
+        plan2, val2 = _setup(recomputable_kernel())
+        prune_basic(plan1, val1, attempts=16, seed=99)
+        prune_basic(plan2, val2, attempts=16, seed=99)
+        assert [cp.state for cp in plan1.checkpoints] == [
+            cp.state for cp in plan2.checkpoints
+        ]
+
+
+class TestPruneNone:
+    def test_everything_committed(self):
+        plan, validator = _setup(recomputable_kernel())
+        prune_none(plan)
+        assert len(plan.committed()) == len(plan.checkpoints)
+        assert plan.stats["pruned"] == 0

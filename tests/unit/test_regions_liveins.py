@@ -1,0 +1,181 @@
+"""Region formation and live-in / LUP analysis."""
+
+import pytest
+
+from repro.analysis import CFG, AliasAnalysis
+from repro.core.liveins import analyze_liveins
+from repro.core.regions import form_regions
+from repro.ir import Bar, KernelBuilder
+from repro.ir.types import Reg
+
+
+def antidep_kernel():
+    """ld A[tid]; st A[tid] — must be cut between load and store."""
+    b = KernelBuilder("k", params=[("A", "ptr")])
+    tid = b.special_u32("%tid.x")
+    a = b.ld_param("A")
+    off = b.shl(tid, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    v2 = b.mul(v, 2)
+    b.st("global", addr, v2)
+    b.ret()
+    return b.finish()
+
+
+def barrier_kernel():
+    b = KernelBuilder("k", params=[("A", "ptr")], shared=[("s", 32)])
+    tid = b.special_u32("%tid.x")
+    a = b.ld_param("A")
+    sbase = b.addr_of("s")
+    off = b.shl(tid, 2)
+    v = b.ld("global", b.add(a, off), dtype="u32")
+    b.st("shared", b.add(sbase, off), v)
+    b.bar()
+    w = b.ld("shared", sbase, dtype="u32")
+    b.st("global", b.add(a, off), w)
+    b.ret()
+    return b.finish()
+
+
+class TestRegionFormation:
+    def test_antidep_gets_cut(self):
+        k = antidep_kernel()
+        info = form_regions(k)
+        # entry is always a boundary + one cut before the store
+        assert len(info.boundaries) == 2
+        assert info.num_cuts >= 1
+        k.validate()
+
+    def test_cut_separates_load_from_store(self):
+        k = antidep_kernel()
+        info = form_regions(k)
+        cfg = CFG(k)
+        non_entry = next(b for b in info.boundaries if b != cfg.entry)
+        boundary_block = cfg.block(non_entry)
+        # the store must be at or after the boundary
+        assert any(
+            inst.is_memory_write for inst in boundary_block.instructions
+        )
+        # the load must be strictly before it
+        entry_insts = cfg.block(cfg.entry).instructions
+        assert any(
+            inst.is_memory_read and not inst.space.read_only
+            for inst in entry_insts
+        )
+
+    def test_barriers_are_boundaries(self):
+        k = barrier_kernel()
+        info = form_regions(k)
+        cfg = CFG(k)
+        # the bar.sync must start its own region: a boundary block whose
+        # first instruction is the barrier, and another boundary after it
+        bar_blocks = [
+            blk.label
+            for blk in cfg.blocks
+            if blk.instructions and isinstance(blk.instructions[0], Bar)
+        ]
+        assert bar_blocks
+        assert set(bar_blocks) <= info.boundaries
+
+    def test_no_region_reexecutes_a_barrier(self):
+        """A region containing a barrier would deadlock on re-execution:
+        verify every barrier is immediately followed by a boundary."""
+        k = barrier_kernel()
+        info = form_regions(k)
+        cfg = CFG(k)
+        for blk in cfg.blocks:
+            for i, inst in enumerate(blk.instructions):
+                if isinstance(inst, Bar):
+                    if i + 1 < len(blk.instructions):
+                        pytest.fail("barrier not at end of its block")
+                    for succ in cfg.successors(blk.label):
+                        assert succ in info.boundaries
+
+    def test_entries_of_tracks_paths(self):
+        k = antidep_kernel()
+        info = form_regions(k)
+        cfg = CFG(k)
+        assert info.region_entry_candidates(cfg.entry) == {cfg.entry}
+        non_entry = next(b for b in info.boundaries if b != cfg.entry)
+        assert info.region_entry_candidates(non_entry) == {non_entry}
+
+    def test_idempotent_when_no_antideps(self):
+        b = KernelBuilder("pure", params=[("A", "ptr"), ("B", "ptr")])
+        a = b.ld_param("A")
+        bb = b.ld_param("B")
+        v = b.ld("global", a, dtype="u32")
+        b.st("global", bb, v, offset=4)
+        b.ret()
+        k = b.finish()
+        cfg = CFG(k)
+        aa = AliasAnalysis(cfg, param_noalias=True)
+        info = form_regions(k, aa)
+        assert info.boundaries == {"ENTRY"}
+        assert info.num_cuts == 0
+
+
+class TestLiveins:
+    def test_region_live_ins(self):
+        k = antidep_kernel()
+        info = form_regions(k)
+        cfg = CFG(k)
+        liveins = analyze_liveins(k, info)
+        non_entry = next(b for b in info.boundaries if b != cfg.entry)
+        binfo = liveins.boundaries[non_entry]
+        # the store needs the address and the value
+        names = {r.name for r in binfo.live_ins}
+        assert len(names) >= 2
+
+    def test_entry_has_no_live_ins(self):
+        k = antidep_kernel()
+        info = form_regions(k)
+        liveins = analyze_liveins(k, info)
+        assert liveins.boundaries["ENTRY"].live_ins == set()
+
+    def test_lups_reach_their_boundary(self):
+        k = antidep_kernel()
+        info = form_regions(k)
+        cfg = CFG(k)
+        liveins = analyze_liveins(k, info)
+        for label, binfo in liveins.boundaries.items():
+            for reg, lups in binfo.lups.items():
+                for lup in lups:
+                    inst = cfg.block(lup.label).instructions[lup.index]
+                    assert reg in inst.defs()
+
+    def test_multiple_lups_on_divergent_paths(self):
+        b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+        tid = b.special_u32("%tid.x")
+        a = b.ld_param("A")
+        n = b.ld_param("n")
+        x = b.reg("u32", "%x")
+        p = b.setp("lt", tid, n)
+        b.bra("T", pred=p)
+        b.mov(2, dst=x)
+        b.bra("J")
+        b.label("T")
+        b.mov(1, dst=x)
+        b.label("J")
+        off = b.shl(tid, 2)
+        addr = b.add(a, off)
+        v = b.ld("global", addr, dtype="u32")
+        s = b.add(v, x)
+        b.st("global", addr, s)
+        # keep %x live past the anti-dependence cut so it is a region
+        # live-in with one LUP per branch arm (Figure 2 of the paper)
+        s2 = b.add(x, 1)
+        b.st("global", addr, s2, offset=1024)
+        b.ret()
+        k = b.finish()
+        info = form_regions(k)
+        liveins = analyze_liveins(k, info)
+        x_edges = liveins.edges.get(Reg("%x"), set())
+        lups = {lup for lup, _ in x_edges}
+        assert len(lups) == 2  # one per arm (Figure 2 of the paper)
+
+    def test_checkpointed_registers(self):
+        k = antidep_kernel()
+        info = form_regions(k)
+        liveins = analyze_liveins(k, info)
+        assert liveins.checkpointed_registers() == set(liveins.edges)

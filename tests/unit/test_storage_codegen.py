@@ -1,0 +1,210 @@
+"""Storage assignment, recovery tables, and code generation."""
+
+import pytest
+
+from repro.core.codegen import GLOBAL_CKPT_SYMBOL, SHARED_CKPT_SYMBOL
+from repro.core.pipeline import (
+    LaunchConfig,
+    PennyCompiler,
+    PennyConfig,
+)
+from repro.core.storage import (
+    SlotAssignment,
+    StorageBudget,
+    StorageKind,
+    assign_storage,
+)
+from repro.ir import KernelBuilder, St
+from repro.ir.types import MemSpace, SymRef
+
+
+def loop_kernel():
+    b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+    a = b.ld_param("A")
+    n = b.ld_param("n")
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    b.label("HEAD")
+    p = b.setp("ge", i, n)
+    b.bra("EXIT", pred=p)
+    off = b.shl(i, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    v2 = b.mul(v, 2)
+    b.st("global", addr, v2)
+    b.add(i, 1, dst=i)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.ret()
+    return b.finish()
+
+
+def compile_loop(**config_kwargs):
+    defaults = dict(overwrite="sa")
+    defaults.update(config_kwargs)
+    compiler = PennyCompiler(PennyConfig(**defaults))
+    return compiler.compile(
+        loop_kernel(), LaunchConfig(threads_per_block=32, num_blocks=2)
+    )
+
+
+class TestStorageBudget:
+    def test_occupancy_blocks(self):
+        budget = StorageBudget(
+            shared_per_sm=48 * 1024,
+            max_blocks_per_sm=8,
+            max_threads_per_sm=1536,
+            threads_per_block=256,
+            kernel_shared_bytes=0,
+        )
+        assert budget.occupancy_blocks() == 6  # threads-limited
+        assert budget.occupancy_blocks(48 * 1024) == 1  # shared-limited
+
+    def test_occupancy_preserving_shared(self):
+        budget = StorageBudget(
+            shared_per_sm=48 * 1024,
+            max_blocks_per_sm=8,
+            max_threads_per_sm=1536,
+            threads_per_block=256,
+            kernel_shared_bytes=0,
+        )
+        limit = budget.occupancy_preserving_shared()
+        assert budget.occupancy_blocks(limit) == budget.occupancy_blocks(0)
+        assert budget.occupancy_blocks(limit + 4096) < budget.occupancy_blocks(0)
+
+    def test_kernel_shared_counts_against_budget(self):
+        tight = StorageBudget(
+            shared_per_sm=8 * 1024,
+            threads_per_block=256,
+            kernel_shared_bytes=4 * 1024,
+        )
+        assert tight.occupancy_blocks() == 2
+        assert tight.occupancy_preserving_shared() == 0
+
+
+class TestStorageModes:
+    def test_global_mode_uses_no_shared(self):
+        result = compile_loop(storage_mode="global")
+        storage = result.kernel.meta["storage_assignment"]
+        assert storage.shared_slots == 0
+        assert storage.global_slots > 0
+
+    def test_shared_mode_uses_no_global(self):
+        result = compile_loop(storage_mode="shared")
+        storage = result.kernel.meta["storage_assignment"]
+        assert storage.global_slots == 0
+        assert storage.shared_slots > 0
+
+    def test_auto_fits_in_occupancy_budget(self):
+        result = compile_loop(storage_mode="auto")
+        storage = result.kernel.meta["storage_assignment"]
+        # tiny kernel: everything fits in shared without occupancy loss
+        assert storage.global_slots == 0
+
+    def test_colored_registers_get_two_slots(self):
+        result = compile_loop(storage_mode="shared")
+        storage = result.kernel.meta["storage_assignment"]
+        coloring = result.coloring
+        assert coloring is not None
+        for reg in coloring.colored_registers:
+            assert (reg.name, 0) in storage.slots
+            assert (reg.name, 1) in storage.slots
+
+    def test_invalid_mode_rejected(self):
+        from repro.analysis import CFG
+        from repro.core.checkpoints import CheckpointPlan
+        from repro.core.costmodel import CostModel
+
+        k = loop_kernel()
+        cfg = CFG(k)
+        with pytest.raises(ValueError):
+            assign_storage(
+                CheckpointPlan(),
+                cfg,
+                CostModel.for_cfg(cfg),
+                StorageBudget(),
+                mode="flash",
+            )
+
+
+class TestCodegen:
+    def test_checkpoints_lowered_to_stores(self):
+        result = compile_loop()
+        ckpt_stores = [
+            inst
+            for blk in result.kernel.blocks
+            for inst in blk.instructions
+            if isinstance(inst, St)
+            and (
+                (isinstance(inst.base, SymRef)
+                 and inst.base.name in (SHARED_CKPT_SYMBOL, GLOBAL_CKPT_SYMBOL))
+                or (hasattr(inst.base, "name")
+                    and inst.base.name.startswith(("%ckb_", "%ca")))
+            )
+        ]
+        assert len(ckpt_stores) == result.codegen.emitted_checkpoints
+
+    def test_low_opts_reduce_address_instructions(self):
+        with_opts = compile_loop(low_opts=True)
+        without = compile_loop(low_opts=False)
+        assert (
+            with_opts.codegen.emitted_address_insts
+            < without.codegen.emitted_address_insts
+        )
+
+    def test_shared_storage_declared(self):
+        result = compile_loop(storage_mode="shared")
+        names = [d.name for d in result.kernel.shared]
+        assert SHARED_CKPT_SYMBOL in names
+
+    def test_global_words_reserved(self):
+        result = compile_loop(storage_mode="global")
+        assert result.kernel.meta["ckpt_global_words"] > 0
+
+    def test_adjustment_blocks_recorded(self):
+        result = compile_loop()
+        if result.coloring and result.coloring.adjustments:
+            adj = result.kernel.meta["adjustment_blocks"]
+            labels = {blk.label for blk in result.kernel.blocks}
+            assert adj <= labels
+
+    def test_kernel_still_validates(self):
+        result = compile_loop()
+        result.kernel.validate()
+
+
+class TestRecoveryTable:
+    def test_every_boundary_has_entry(self):
+        result = compile_loop()
+        for boundary in result.regions.boundaries:
+            assert boundary in result.recovery.regions
+
+    def test_live_ins_all_restorable(self):
+        result = compile_loop()
+        for label, entry in result.recovery.regions.items():
+            for action in entry.restores:
+                assert action.is_slot or action.slice_expr is not None
+
+    def test_slot_restores_have_slots(self):
+        result = compile_loop()
+        storage = result.kernel.meta["storage_assignment"]
+        for entry in result.recovery.regions.values():
+            for action in entry.restores:
+                if action.is_slot:
+                    assert (action.reg_name, action.slot_color) in storage.slots
+
+    def test_adjustment_entries_are_mini_regions(self):
+        result = compile_loop()
+        adj_labels = result.kernel.meta.get("adjustment_blocks", set())
+        for label in adj_labels:
+            entry = result.recovery.regions[label]
+            assert entry.mini_region
+            assert entry.restores
+
+    def test_ckb_base_registers_restorable_everywhere(self):
+        result = compile_loop()
+        if not result.codegen.extra_slices:
+            pytest.skip("no preamble registers emitted")
+        for entry in result.recovery.regions.values():
+            restored = {a.reg_name for a in entry.restores}
+            for reg_name in result.codegen.extra_slices:
+                assert reg_name in restored

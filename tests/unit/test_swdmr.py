@@ -1,0 +1,141 @@
+"""The SW-DMR detector pass (§4's expensive alternative)."""
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.core.swdmr import DETECT_LABEL, apply_swdmr
+from repro.gpusim import Executor, Launch, MemoryImage
+from repro.gpusim.executor import SimulationError
+from repro.ir import Bra, KernelBuilder, Setp
+
+
+def little_kernel():
+    b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+    tid = b.special_u32("%tid.x")
+    a = b.ld_param("A")
+    n = b.ld_param("n")
+    i = b.mov(tid, dst=b.reg("u32", "%i"))
+    b.label("HEAD")
+    p = b.setp("ge", i, n)
+    b.bra("EXIT", pred=p)
+    off = b.shl(i, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    v2 = b.mad(v, 5, 1)
+    b.st("global", addr, v2)
+    b.add(i, 32, dst=i)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.ret()
+    return b.finish()
+
+
+def run(kernel, n=64):
+    mem = MemoryImage()
+    addr = mem.alloc_global(n)
+    mem.upload(addr, list(range(1, n + 1)))
+    mem.set_param("A", addr)
+    mem.set_param("n", n)
+    Executor(kernel, rf_code_factory=lambda: None).run(
+        Launch(grid=2, block=32), mem
+    )
+    return mem.download(addr, n)
+
+
+class TestTransformation:
+    def test_preserves_semantics(self):
+        golden = run(little_kernel())
+        k = little_kernel()
+        apply_swdmr(k)
+        assert run(k) == golden
+
+    def test_duplicates_computation(self):
+        k = little_kernel()
+        result = apply_swdmr(k)
+        assert result.duplicated > 0
+        assert result.shadow_registers > 0
+        names = {r.name for r in k.all_registers()}
+        assert any(n.startswith("%dmr_") for n in names)
+
+    def test_checks_guard_externalization(self):
+        k = little_kernel()
+        result = apply_swdmr(k)
+        assert result.checks > 0
+        # every check is a setp.ne + guarded branch to the detect block
+        detect_branches = [
+            inst
+            for blk in k.blocks
+            if blk.label != DETECT_LABEL  # its self-loop is not a check
+            for inst in blk.instructions
+            if isinstance(inst, Bra) and inst.target == DETECT_LABEL
+        ]
+        assert len(detect_branches) == result.checks
+
+    def test_detect_block_added(self):
+        k = little_kernel()
+        apply_swdmr(k)
+        labels = [blk.label for blk in k.blocks]
+        assert DETECT_LABEL in labels
+        k.validate()
+
+    def test_instruction_count_roughly_doubles(self):
+        k = little_kernel()
+        before = sum(len(blk.instructions) for blk in k.blocks)
+        apply_swdmr(k)
+        after = sum(len(blk.instructions) for blk in k.blocks)
+        assert after > 1.6 * before
+
+    def test_fault_free_never_reaches_detect(self):
+        """Detection block spins forever; a fault-free run must finish."""
+        k = little_kernel()
+        apply_swdmr(k)
+        run(k)  # SimulationError would fire if DETECT were entered
+
+    def test_detects_shadow_divergence(self):
+        """Corrupting a master register after its shadow copy diverges the
+        pair; the next externalization check must trap."""
+        from repro.gpusim.faults import FaultPlan
+
+        k = little_kernel()
+        apply_swdmr(k)
+        plan = FaultPlan(
+            ctaid=0, tid=1, after_instructions=12, reg_name="%i", bits=(2,)
+        )
+        mem = MemoryImage()
+        addr = mem.alloc_global(64)
+        mem.upload(addr, list(range(1, 65)))
+        mem.set_param("A", addr)
+        mem.set_param("n", 64)
+        with pytest.raises(SimulationError):
+            # unprotected RF lets the corrupt value flow; the DMR check
+            # catches the divergence and spins in DETECT until the
+            # instruction budget trips
+            Executor(
+                k,
+                rf_code_factory=lambda: None,
+                max_instructions_per_thread=20_000,
+                fault_plan=plan,
+            ).run(Launch(grid=2, block=32), mem)
+
+
+class TestOnBenchmarks:
+    @pytest.mark.parametrize("abbr", ["BS", "STC", "FW", "NQU"])
+    def test_benchmark_equivalence(self, abbr):
+        bench = get_benchmark(abbr)
+        wl = bench.workload()
+        mem, _, out = wl.make()
+        Executor(bench.fresh_kernel(), rf_code_factory=lambda: None).run(
+            wl.launch, mem
+        )
+        golden = mem.download(*out)
+        k = bench.fresh_kernel()
+        apply_swdmr(k)
+        mem2 = wl.make_memory()
+        Executor(k, rf_code_factory=lambda: None).run(wl.launch, mem2)
+        assert mem2.download(*out) == golden
+
+    def test_costs_more_than_penny(self):
+        from repro.experiments.detectors import run as run_detectors
+
+        table = run_detectors([get_benchmark("STC"), get_benchmark("BS")])
+        assert table["SW-DMR"]["gmean"] > table["Penny"]["gmean"]
