@@ -14,6 +14,12 @@ recovered under both codings; 2-bit faults escape parity (SDC / crash) but
 are fully recovered under SECDED — exactly Table 1's "match the code to the
 expected error magnitude" message.
 
+The second half of the study drives the parallel campaign engine
+(:mod:`repro.gpusim.campaign`) across all three injection surfaces —
+register file, checkpoint slots in shared/global memory (SECDED
+correct-or-escalate), and faults striking during recovery itself — and
+prints the DUE taxonomy plus Wilson 95% confidence intervals.
+
 Run:  python examples/fault_injection_study.py
 """
 
@@ -22,6 +28,7 @@ from repro.coding import ParityCode, SecdedCode
 from repro.core.pipeline import PennyCompiler
 from repro.core.schemes import SCHEME_PENNY, scheme_config
 from repro.gpusim import FaultCampaign
+from repro.gpusim.campaign import CampaignSpec, ParallelCampaign
 
 
 def run_campaign(kernel, workload, code_factory, bits, n=40, seed=1234):
@@ -71,6 +78,46 @@ def main():
         "single parity but are\nfully detected (and therefore recovered) "
         "under SECDED-as-detector, at a\nfraction of DECTED ECC's hardware "
         "cost (Table 1: 21.9% vs 71.9%)."
+    )
+
+    # -- part 2: the parallel campaign engine, all three surfaces ---------
+    print(
+        "\nParallel campaign (engine: repro.gpusim.campaign) — 200 "
+        "injections across the\nregister file, checkpoint storage "
+        "(SECDED correct-or-escalate) and the\nrecovery runtime itself, "
+        "on 2 workers:\n"
+    )
+    spec = CampaignSpec(
+        benchmark="STC",
+        scheme=SCHEME_PENNY,
+        rf_code="parity",
+        num_injections=200,
+        seed=2020,
+        surfaces=("rf", "ckpt", "recovery"),
+        bits_per_fault=1,
+    )
+    report = ParallelCampaign(spec, workers=2).run()
+
+    print(f"{'surface':10}" + "".join(
+        f"{o:>13}" for o in ("masked", "recovered", "sdc", "due")
+    ))
+    for surface, row in sorted(report.by_surface().items()):
+        print(f"{surface:10}" + "".join(
+            f"{row[o]:>13}" for o in ("masked", "recovered", "sdc", "due")
+        ))
+
+    taxonomy = report.due_taxonomy()
+    print(f"\nDUE taxonomy: {taxonomy or 'no DUEs'}")
+    print("\noutcome rates over injected runs (Wilson 95% CI):")
+    for name, (p, lo, hi) in report.rates().items():
+        print(f"  {name:10}{p:>8.4f}   [{lo:.4f}, {hi:.4f}]")
+
+    print(
+        "\nSingle-bit RF faults stay SDC-free at campaign scale; "
+        "checkpoint-storage strikes\nare corrected (1 bit) or escalate to "
+        "a labelled memory_exception DUE (2 bits);\nfaults during recovery "
+        "either converge through re-entrant recovery or terminate\nas "
+        "budget_exhausted — never silent, never hung."
     )
 
 

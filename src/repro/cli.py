@@ -6,10 +6,15 @@ Usage::
     python -m repro.cli compile kernel.ptx --pruning basic --storage global
     python -m repro.cli report kernel.ptx           # compile stats as JSON
     python -m repro.cli schemes                     # list presets
+    python -m repro.cli campaign --bench STC -n 200 --workers 4 \\
+        --surfaces rf,ckpt,recovery --journal stc.jsonl
 
 ``compile`` prints the protected kernel's PTX followed by a ``//``-comment
 report (region count, checkpoint statistics, storage layout); ``report``
-emits the statistics alone as JSON for scripting.
+emits the statistics alone as JSON for scripting; ``campaign`` runs a
+parallel fault-injection campaign on a registered benchmark and prints the
+outcome summary, the DUE taxonomy and Wilson confidence intervals
+(``--resume`` continues a killed campaign from its JSONL journal).
 """
 
 from __future__ import annotations
@@ -107,6 +112,73 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    # Deferred: pulls in numpy (bench registry) and the simulator.
+    from repro.bench import get_benchmark  # noqa: F401  (validates early)
+    from repro.gpusim.campaign import CampaignSpec, ParallelCampaign
+
+    surfaces = tuple(
+        s.strip() for s in args.surfaces.split(",") if s.strip()
+    )
+    try:
+        get_benchmark(args.bench)
+    except KeyError:
+        print(f"unknown benchmark {args.bench!r}", file=sys.stderr)
+        return 2
+    spec = CampaignSpec(
+        benchmark=args.bench,
+        scheme=args.scheme,
+        rf_code=args.code,
+        num_injections=args.injections,
+        seed=args.seed,
+        surfaces=surfaces,
+        bits_per_fault=args.bits,
+        pattern=args.pattern,
+        max_instructions=args.watchdog,
+        max_recoveries=args.max_recoveries,
+    )
+    report = ParallelCampaign(
+        spec, workers=args.workers, journal_path=args.journal
+    ).run(resume=args.resume)
+
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "summary": report.summary(),
+            "due_taxonomy": report.due_taxonomy(),
+            "by_surface": report.by_surface(),
+            "rates": {
+                k: {"rate": p, "lo": lo, "hi": hi}
+                for k, (p, lo, hi) in report.rates().items()
+            },
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+
+    summary = report.summary()
+    print(
+        f"campaign: {spec.benchmark} scheme={spec.scheme} "
+        f"code={spec.rf_code} surfaces={','.join(spec.surfaces)} "
+        f"n={spec.num_injections} workers={args.workers}"
+    )
+    print()
+    print(f"{'outcome':14}{'count':>8}")
+    for name, count in summary.items():
+        print(f"{name:14}{count:>8}")
+    taxonomy = report.due_taxonomy()
+    if taxonomy:
+        print()
+        print("DUE taxonomy:")
+        for label, count in sorted(taxonomy.items()):
+            print(f"  {label:20}{count:>6}")
+    print()
+    print(f"{'rate':12}{'point':>9}{'95% CI':>20}")
+    for name, (p, lo, hi) in report.rates().items():
+        print(f"{name:12}{p:>9.4f}   [{lo:.4f}, {hi:.4f}]")
+    return 0
+
+
 def cmd_schemes(_args: argparse.Namespace) -> int:
     for name in _SCHEMES:
         cfg = scheme_config(name)
@@ -165,6 +237,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_schemes = sub.add_parser("schemes", help="list scheme presets")
     p_schemes.set_defaults(func=cmd_schemes)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a parallel fault-injection campaign on a benchmark",
+    )
+    p_campaign.add_argument(
+        "--bench", required=True, help="benchmark abbreviation (e.g. STC)"
+    )
+    p_campaign.add_argument(
+        "-n", "--injections", type=int, default=200,
+        help="number of injections (default 200)",
+    )
+    p_campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = inline)",
+    )
+    p_campaign.add_argument("--seed", type=int, default=2020)
+    p_campaign.add_argument(
+        "--scheme", default=SCHEME_PENNY,
+        choices=_SCHEMES + ("none",),
+        help="protection scheme, or 'none' for an unprotected kernel",
+    )
+    p_campaign.add_argument(
+        "--code", default="parity", choices=("parity", "secded", "none"),
+        help="register-file detection code",
+    )
+    p_campaign.add_argument(
+        "--surfaces", default="rf",
+        help="comma-separated injection surfaces: rf,ckpt,recovery",
+    )
+    p_campaign.add_argument(
+        "--bits", type=int, default=1, help="flipped bits per RF fault"
+    )
+    p_campaign.add_argument(
+        "--pattern", default="random", choices=("random", "burst")
+    )
+    p_campaign.add_argument(
+        "--journal", default=None,
+        help="JSONL journal path (crash-safe, resumable)",
+    )
+    p_campaign.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed campaign from its journal",
+    )
+    p_campaign.add_argument(
+        "--watchdog", type=int, default=2_000_000,
+        help="per-injection instruction budget per thread",
+    )
+    p_campaign.add_argument(
+        "--max-recoveries", type=int, default=100,
+        help="recovery budget per thread before budget_exhausted",
+    )
+    p_campaign.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_campaign.set_defaults(func=cmd_campaign)
     return parser
 
 

@@ -17,13 +17,27 @@ from typing import Dict, List
 from repro.bench import get_benchmark
 from repro.core.pipeline import PennyCompiler
 from repro.core.schemes import SCHEME_PENNY, scheme_config
-from repro.gpusim.executor import Executor
-from repro.gpusim.faults import RateFaultPlan
+from repro.gpusim.executor import Executor, SimulationError
+from repro.gpusim.faults import RateFaultPlan, classify_due
+from repro.gpusim.memory import MemoryError32
 
 INTERVALS = (10_000, 1_000, 200, 50)
 
 
-def run(abbr: str = "STC", intervals=INTERVALS, seed: int = 99) -> List[Dict]:
+def run(
+    abbr: str = "STC",
+    intervals=INTERVALS,
+    seed: int = 99,
+    repeats: int = 1,
+) -> List[Dict]:
+    """One row per interval.  ``repeats > 1`` reruns each interval with the
+    *same plan object* — the executor re-arms it at run start, so repeated
+    runs are identical; any divergence would mean injection state leaked
+    across runs (the bug the ``reset()`` contract exists to prevent).
+
+    A run that dies (only possible at absurd fault pressure) is reported
+    with its DUE-taxonomy label in ``due`` instead of aborting the sweep.
+    """
     bench = get_benchmark(abbr)
     wl = bench.workload()
     result = PennyCompiler(scheme_config(SCHEME_PENNY)).compile(
@@ -38,23 +52,43 @@ def run(abbr: str = "STC", intervals=INTERVALS, seed: int = 99) -> List[Dict]:
     rows = []
     for interval in intervals:
         plan = RateFaultPlan(interval=interval, seed=seed)
-        mem2 = wl.make_memory()
-        stats = Executor(
-            result.kernel,
-            fault_plan=plan,
-            max_recoveries_per_thread=100_000,
-            max_instructions_per_thread=20_000_000,
-        ).run(wl.launch, mem2)
-        output = mem2.download(*out)
-        rows.append(
-            {
-                "interval": interval,
-                "injections": plan.injections,
-                "recoveries": stats.recoveries,
-                "inflation": stats.instructions / base_insts,
-                "correct": output == golden,
-            }
-        )
+        row = None
+        for _ in range(max(1, repeats)):
+            mem2 = wl.make_memory()
+            executor = Executor(
+                result.kernel,
+                fault_plan=plan,
+                max_recoveries_per_thread=100_000,
+                max_instructions_per_thread=20_000_000,
+            )
+            try:
+                stats = executor.run(wl.launch, mem2)
+            except (SimulationError, MemoryError32) as exc:
+                this = {
+                    "interval": interval,
+                    "injections": plan.injections,
+                    "recoveries": -1,
+                    "inflation": float("inf"),
+                    "correct": False,
+                    "due": classify_due(exc).value,
+                }
+            else:
+                output = mem2.download(*out)
+                this = {
+                    "interval": interval,
+                    "injections": plan.injections,
+                    "recoveries": stats.recoveries,
+                    "inflation": stats.instructions / base_insts,
+                    "correct": output == golden,
+                    "due": None,
+                }
+            if row is not None and this != row:
+                raise AssertionError(
+                    f"plan reuse diverged at interval {interval}: "
+                    f"{this} != {row} (reset() contract violated)"
+                )
+            row = this
+        rows.append(row)
     return rows
 
 

@@ -11,7 +11,11 @@ A functional SIMT interpreter for the PTX-subset IR with:
   independently and meet at barriers),
 - a recovery runtime that catches parity exceptions, restores live-ins from
   checkpoint storage or recovery slices, and re-executes the region,
-- a fault injector flipping register bits at chosen dynamic points,
+- a fault injector with three surfaces — register bits at chosen dynamic
+  points, checkpoint slots in shared/global memory under a SECDED
+  correct-or-escalate model, and strikes during recovery itself — plus a
+  parallel, journaled campaign engine with a DUE taxonomy
+  (:mod:`repro.gpusim.campaign`),
 - an analytic timing model (occupancy + latency hiding) and an RF energy
   model (GPUWattch stand-in) fed by the interpreter's dynamic counts.
 
@@ -26,7 +30,25 @@ from repro.gpusim.executor import ExecutionResult, Executor, Launch
 from repro.gpusim.occupancy import occupancy
 from repro.gpusim.timing import TimingModel, TimingReport
 from repro.gpusim.energy import rf_energy
-from repro.gpusim.faults import FaultCampaign, FaultOutcome, FaultPlan
+from repro.gpusim.faults import (
+    CheckpointFaultPlan,
+    ComposedFaultPlan,
+    DueType,
+    FaultCampaign,
+    FaultOutcome,
+    FaultPlan,
+    RateFaultPlan,
+    RecoveryFaultPlan,
+    classify_due,
+)
+from repro.gpusim.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    InjectionRecord,
+    ParallelCampaign,
+    run_campaign,
+    wilson_interval,
+)
 
 __all__ = [
     "GpuConfig",
@@ -45,4 +67,16 @@ __all__ = [
     "FaultCampaign",
     "FaultOutcome",
     "FaultPlan",
+    "RateFaultPlan",
+    "CheckpointFaultPlan",
+    "RecoveryFaultPlan",
+    "ComposedFaultPlan",
+    "DueType",
+    "classify_due",
+    "CampaignSpec",
+    "CampaignReport",
+    "InjectionRecord",
+    "ParallelCampaign",
+    "run_campaign",
+    "wilson_interval",
 ]

@@ -1,0 +1,622 @@
+"""Hardened, parallel fault-injection campaign engine.
+
+The original :class:`repro.gpusim.faults.FaultCampaign` injects only into
+the register file, runs strictly serially, and assumes checkpoint storage
+and the recovery runtime are fault-free.  This engine removes all three
+assumptions:
+
+- **Wider surface.**  Injections are drawn from three surfaces: the
+  register file (``rf``), checkpoint slots in shared/global memory under a
+  SECDED correct-or-escalate model (``ckpt``), and the recovery runtime
+  itself — strikes between restore actions or just before a slot load
+  (``recovery``), exercising re-entrant recovery under the
+  ``max_recoveries_per_thread`` budget.
+
+- **DUE taxonomy.**  Every detected-unrecoverable outcome carries a
+  :class:`repro.gpusim.faults.DueType` label — ``no_runtime``,
+  ``budget_exhausted``, ``missing_metadata``, ``slice_failure``,
+  ``memory_exception`` or ``watchdog_timeout`` — instead of one lossy
+  ``DUE`` bucket.
+
+- **Scale.**  Injections run on a multiprocessing worker pool with
+  deterministic per-index seeding (an injection's plan depends only on the
+  campaign seed and its index, never on scheduling), a per-injection
+  instruction-budget watchdog, a crash-safe JSONL journal that survives a
+  mid-campaign kill and resumes to the identical final report,
+  :meth:`CampaignReport.merge` for sharded campaigns, and Wilson-score
+  confidence intervals on the outcome rates.
+
+Journal format: line 1 is a header ``{"spec": {...}, "version": 1}``; every
+subsequent line is one :class:`InjectionRecord` as JSON.  Lines are written
+append-only and flushed per record, so after a crash the journal holds a
+header plus complete records (a torn final line is detected and dropped on
+resume).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gpusim.executor import Executor, SimulationError
+from repro.gpusim.faults import (
+    CheckpointFaultPlan,
+    ComposedFaultPlan,
+    DueType,
+    FaultOutcome,
+    FaultPlan,
+    RecoveryFaultPlan,
+    classify_due,
+)
+from repro.gpusim.memory import MemoryError32
+
+JOURNAL_VERSION = 1
+
+SURFACE_RF = "rf"
+SURFACE_CKPT = "ckpt"
+SURFACE_RECOVERY = "recovery"
+ALL_SURFACES = (SURFACE_RF, SURFACE_CKPT, SURFACE_RECOVERY)
+
+
+def stable_seed(campaign_seed: int, index: int) -> int:
+    """Deterministic 63-bit seed for injection ``index`` of a campaign.
+
+    Derived with SHA-256 so it is stable across processes, Python versions
+    and ``PYTHONHASHSEED`` — the property the resumable journal and shard
+    merging depend on (same seed → same plan → same outcome).
+    """
+    digest = hashlib.sha256(
+        f"{campaign_seed}:{index}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float, float]:
+    """Wilson score interval: ``(rate, lower, upper)`` at confidence ``z``.
+
+    Unlike the normal approximation it behaves at the boundaries — the
+    regime campaigns care about, since the interesting rates (SDC on
+    single-bit faults) are exactly zero and the claim is the upper bound.
+    """
+    if trials <= 0:
+        return (0.0, 0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+        / denom
+    )
+    return (p, max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to (re)build a campaign anywhere.
+
+    The spec is pure data so worker processes can reconstruct the compiled
+    kernel, the golden run and every injection plan from it alone — that is
+    what makes the journal resumable and shards mergeable.
+    """
+
+    benchmark: str
+    scheme: str = "Penny"  # a scheme preset name, or "none" (unprotected)
+    rf_code: str = "parity"  # parity | secded | none
+    num_injections: int = 100
+    seed: int = 2020
+    surfaces: Tuple[str, ...] = (SURFACE_RF,)
+    bits_per_fault: int = 1
+    pattern: str = "random"  # random | burst
+    ckpt_bits: Tuple[int, ...] = (1, 2)
+    recovery_repeat_rate: float = 0.25
+    max_instructions: int = 2_000_000  # per-injection watchdog budget
+    max_recoveries: int = 100
+
+    def __post_init__(self):
+        for s in self.surfaces:
+            if s not in ALL_SURFACES:
+                raise ValueError(f"unknown injection surface {s!r}")
+        if not self.surfaces:
+            raise ValueError("at least one injection surface required")
+        if self.pattern not in ("random", "burst"):
+            raise ValueError(f"unknown fault pattern {self.pattern!r}")
+        if self.rf_code not in ("parity", "secded", "none"):
+            raise ValueError(f"unknown rf code {self.rf_code!r}")
+        if self.num_injections < 0:
+            raise ValueError("num_injections must be >= 0")
+
+    def to_dict(self) -> Dict:
+        d = dataclasses.asdict(self)
+        d["surfaces"] = list(self.surfaces)
+        d["ckpt_bits"] = list(self.ckpt_bits)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CampaignSpec":
+        d = dict(d)
+        d["surfaces"] = tuple(d.get("surfaces", (SURFACE_RF,)))
+        d["ckpt_bits"] = tuple(d.get("ckpt_bits", (1, 2)))
+        return cls(**d)
+
+
+@dataclass
+class InjectionRecord:
+    """One journaled injection outcome (plain data, JSONL-serializable)."""
+
+    index: int
+    surface: str
+    outcome: str
+    due_cause: Optional[str] = None
+    detections: int = 0
+    recoveries: int = 0
+    instructions: int = 0
+    seed: int = 0
+    detail: Optional[str] = None
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "InjectionRecord":
+        return cls(**json.loads(line))
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign results with taxonomy and confidence intervals."""
+
+    records: List[InjectionRecord] = field(default_factory=list)
+    spec: Optional[CampaignSpec] = None
+
+    def count(self, outcome: FaultOutcome) -> int:
+        return sum(1 for r in self.records if r.outcome == outcome.value)
+
+    def summary(self) -> Dict[str, int]:
+        return {o.value: self.count(o) for o in FaultOutcome}
+
+    def due_taxonomy(self) -> Dict[str, int]:
+        """DUE counts by taxonomy label (only labels that occurred)."""
+        taxonomy: Dict[str, int] = {}
+        for r in self.records:
+            if r.outcome == FaultOutcome.DUE.value:
+                label = r.due_cause or "unclassified"
+                taxonomy[label] = taxonomy.get(label, 0) + 1
+        return taxonomy
+
+    def by_surface(self) -> Dict[str, Dict[str, int]]:
+        table: Dict[str, Dict[str, int]] = {}
+        for r in self.records:
+            row = table.setdefault(
+                r.surface, {o.value: 0 for o in FaultOutcome}
+            )
+            row[r.outcome] += 1
+        return table
+
+    @property
+    def injected_runs(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.outcome != FaultOutcome.NOT_INJECTED.value
+        )
+
+    def rates(self, z: float = 1.96) -> Dict[str, Tuple[float, float, float]]:
+        """Wilson ``(rate, lo, hi)`` for each outcome over injected runs."""
+        n = self.injected_runs
+        out = {}
+        for o in (
+            FaultOutcome.MASKED,
+            FaultOutcome.RECOVERED,
+            FaultOutcome.SDC,
+            FaultOutcome.DUE,
+        ):
+            out[o.value] = wilson_interval(self.count(o), n, z)
+        return out
+
+    @classmethod
+    def merge(cls, reports: Iterable["CampaignReport"]) -> "CampaignReport":
+        """Merge shard reports into one.  Records are deduplicated by
+        injection index (identical seeds produce identical records, so the
+        first occurrence wins) and re-sorted."""
+        seen: Dict[int, InjectionRecord] = {}
+        spec = None
+        for rep in reports:
+            if spec is None:
+                spec = rep.spec
+            for r in rep.records:
+                seen.setdefault(r.index, r)
+        merged = sorted(seen.values(), key=lambda r: r.index)
+        return cls(records=merged, spec=spec)
+
+
+# -- per-process campaign state --------------------------------------------------
+
+
+def _code_factory(name: str):
+    if name == "parity":
+        from repro.coding import ParityCode
+
+        return lambda: ParityCode(32)
+    if name == "secded":
+        from repro.coding import SecdedCode
+
+        return lambda: SecdedCode(32)
+    if name == "none":
+        return lambda: None
+    raise ValueError(f"unknown rf code {name!r}")
+
+
+class _CampaignState:
+    """Compiled kernel + golden profile, built once per process."""
+
+    def __init__(self, spec: CampaignSpec):
+        from repro.bench import get_benchmark
+
+        self.spec = spec
+        bench = get_benchmark(spec.benchmark)
+        self.wl = bench.workload()
+        kernel = bench.fresh_kernel()
+        if spec.scheme != "none":
+            from repro.core.pipeline import PennyCompiler
+            from repro.core.schemes import scheme_config
+
+            kernel = (
+                PennyCompiler(scheme_config(spec.scheme))
+                .compile(kernel, self.wl.launch_config)
+                .kernel
+            )
+        self.kernel = kernel
+        self.storage = kernel.meta.get("storage_assignment")
+        self.code_factory = _code_factory(spec.rf_code)
+        code = self.code_factory()
+        self.codeword_bits = code.n if code is not None else 33
+
+        # Golden run (generous budget — the watchdog is for injected runs).
+        mem, _, out = self.wl.make()
+        golden_exec = Executor(
+            self.kernel, rf_code_factory=self.code_factory
+        ).run(self.wl.launch, mem)
+        self.out = out
+        self.golden = mem.download(*out)
+        self.lifetimes = {
+            key: n
+            for key, n in golden_exec.thread_instructions.items()
+            if n >= 2
+        }
+        if not self.lifetimes:
+            raise ValueError(
+                f"{spec.benchmark}: no thread executed enough instructions"
+            )
+        self.keys = sorted(self.lifetimes)
+
+    # -- deterministic plan construction --
+
+    def plan_for_index(self, index: int):
+        """Build injection ``index``'s plan.  Depends only on the spec and
+        the (deterministic) golden profile."""
+        spec = self.spec
+        seed = stable_seed(spec.seed, index)
+        rng = random.Random(seed)
+        surface = spec.surfaces[rng.randrange(len(spec.surfaces))]
+        ctaid, tid = self.keys[rng.randrange(len(self.keys))]
+        horizon = self.lifetimes[(ctaid, tid)]
+        point = rng.randrange(1, max(2, horizon))
+        bits = self._draw_bits(rng, spec.bits_per_fault)
+
+        if surface == SURFACE_CKPT and (
+            self.storage is None or not self.storage.slots
+        ):
+            surface = SURFACE_RF  # nothing to strike; degrade honestly
+        if surface == SURFACE_RECOVERY and not self.kernel.meta.get(
+            "recovery_table"
+        ):
+            surface = SURFACE_RF
+
+        if surface == SURFACE_RF:
+            plan = FaultPlan(
+                ctaid=ctaid,
+                tid=tid,
+                after_instructions=point,
+                bits=bits,
+                rng_seed=rng.getrandbits(30),
+            )
+        elif surface == SURFACE_CKPT:
+            # A slot strike alone is invisible until recovery reads the
+            # slot, so pair it with an RF fault that triggers recovery.
+            nbits = spec.ckpt_bits[rng.randrange(len(spec.ckpt_bits))]
+            ckpt_point = rng.randrange(1, max(2, horizon))
+            plan = ComposedFaultPlan(
+                plans=[
+                    CheckpointFaultPlan(
+                        ctaid=ctaid,
+                        tid=tid,
+                        after_instructions=min(point, ckpt_point),
+                        num_bits=nbits,
+                        rng_seed=rng.getrandbits(30),
+                        storage=self.storage,
+                    ),
+                    FaultPlan(
+                        ctaid=ctaid,
+                        tid=tid,
+                        after_instructions=max(point, ckpt_point),
+                        bits=bits,
+                        rng_seed=rng.getrandbits(30),
+                    ),
+                ]
+            )
+        else:  # SURFACE_RECOVERY
+            primary = FaultPlan(
+                ctaid=ctaid,
+                tid=tid,
+                after_instructions=point,
+                bits=bits,
+                rng_seed=rng.getrandbits(30),
+            )
+            mode = "register" if rng.random() < 0.5 else "slot"
+            plan = RecoveryFaultPlan(
+                primary=primary,
+                strike_restore=rng.randrange(4),
+                mode=mode,
+                bits=(rng.randrange(self.codeword_bits),),
+                repeat=rng.random() < spec.recovery_repeat_rate,
+                storage=self.storage,
+            )
+        return surface, seed, plan
+
+    def _draw_bits(self, rng: random.Random, nbits: int) -> Tuple[int, ...]:
+        if self.spec.pattern == "burst":
+            start = rng.randrange(self.codeword_bits - nbits + 1)
+            return tuple(range(start, start + nbits))
+        return tuple(rng.sample(range(self.codeword_bits), nbits))
+
+    # -- one injection --
+
+    def run_index(self, index: int) -> InjectionRecord:
+        surface, seed, plan = self.plan_for_index(index)
+        mem = self.wl.make_memory()
+        executor = Executor(
+            self.kernel,
+            rf_code_factory=self.code_factory,
+            max_instructions_per_thread=self.spec.max_instructions,
+            max_recoveries_per_thread=self.spec.max_recoveries,
+            fault_plan=plan,
+        )
+        try:
+            result = executor.run(self.wl.launch, mem)
+        except (SimulationError, MemoryError32) as exc:
+            return InjectionRecord(
+                index=index,
+                surface=surface,
+                outcome=FaultOutcome.DUE.value,
+                due_cause=classify_due(exc).value,
+                detections=-1,
+                recoveries=-1,
+                instructions=-1,
+                seed=seed,
+                detail=str(exc),
+            )
+        output = mem.download(*self.out)
+        if not plan.injected:
+            outcome = FaultOutcome.NOT_INJECTED
+        elif output == self.golden:
+            outcome = (
+                FaultOutcome.RECOVERED
+                if result.recoveries > 0
+                else FaultOutcome.MASKED
+            )
+        else:
+            outcome = FaultOutcome.SDC
+        return InjectionRecord(
+            index=index,
+            surface=surface,
+            outcome=outcome.value,
+            detections=result.detections,
+            recoveries=result.recoveries,
+            instructions=result.instructions,
+            seed=seed,
+            detail=_plan_detail(plan),
+        )
+
+
+def _plan_detail(plan) -> Optional[str]:
+    if isinstance(plan, ComposedFaultPlan):
+        parts = [_plan_detail(p) for p in plan.plans]
+        return "+".join(p for p in parts if p) or None
+    if isinstance(plan, CheckpointFaultPlan):
+        if plan.effect:
+            return f"ckpt:{plan.effect}:{plan.hit_slot or '-'}"
+        return None
+    if isinstance(plan, RecoveryFaultPlan):
+        tag = f"recovery:{plan.mode}:strikes={plan.strikes}"
+        if plan.repeat:
+            tag += ":repeat"
+        return tag
+    if isinstance(plan, FaultPlan):
+        return f"rf:{plan.hit_register or '-'}"
+    return None
+
+
+# -- worker-pool plumbing --------------------------------------------------------
+
+_WORKER_STATE: Optional[_CampaignState] = None
+
+
+def _worker_init(spec_dict: Dict) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _CampaignState(CampaignSpec.from_dict(spec_dict))
+
+
+def _worker_run(index: int) -> Dict:
+    assert _WORKER_STATE is not None, "worker pool not initialized"
+    return dataclasses.asdict(_WORKER_STATE.run_index(index))
+
+
+# -- journal ---------------------------------------------------------------------
+
+
+def load_journal(path: str) -> Tuple[Optional[Dict], Dict[int, InjectionRecord]]:
+    """Read a (possibly truncated) journal.  Returns the header spec dict
+    (or None) and the complete records by index.  Torn or corrupt lines —
+    the tail of a killed campaign — are skipped, not fatal."""
+    header: Optional[Dict] = None
+    records: Dict[int, InjectionRecord] = {}
+    if not os.path.exists(path):
+        return None, records
+    with open(path) as f:
+        for lineno, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a mid-campaign kill
+            if lineno == 0 and "spec" in obj:
+                header = obj
+                continue
+            try:
+                rec = InjectionRecord(**obj)
+            except TypeError:
+                continue
+            records[rec.index] = rec
+    return header, records
+
+
+class _Journal:
+    """Append-only JSONL writer, flushed per record (crash-safe)."""
+
+    def __init__(self, path: str, spec: CampaignSpec, fresh: bool):
+        self.path = path
+        mode = "w" if fresh else "a"
+        if not fresh and os.path.exists(path) and os.path.getsize(path) > 0:
+            # A kill can tear the final line without a newline; terminate
+            # it so the first appended record does not merge into it (the
+            # torn fragment then parses as one corrupt line and is skipped
+            # on load, instead of eating a fresh record).
+            with open(path, "rb") as f:
+                f.seek(-1, os.SEEK_END)
+                torn = f.read(1) != b"\n"
+            if torn:
+                with open(path, "a") as f:
+                    f.write("\n")
+        self._f = open(path, mode)
+        if fresh:
+            self._write_line(
+                json.dumps(
+                    {"spec": spec.to_dict(), "version": JOURNAL_VERSION},
+                    sort_keys=True,
+                )
+            )
+
+    def _write_line(self, line: str) -> None:
+        self._f.write(line + "\n")
+        self._f.flush()
+        os.fsync(self._f.fileno())
+
+    def append(self, record: InjectionRecord) -> None:
+        self._write_line(record.to_json())
+
+    def close(self) -> None:
+        self._f.close()
+
+
+# -- the engine ------------------------------------------------------------------
+
+
+class ParallelCampaign:
+    """Runs a :class:`CampaignSpec` on a worker pool with a resumable
+    journal.
+
+    ``workers <= 1`` runs inline (no subprocesses) — same records, same
+    journal.  ``resume=True`` re-reads the journal, keeps every complete
+    record and only runs the missing indices; because plans are seeded per
+    index, the resumed campaign's final report is identical to an
+    uninterrupted run's.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        workers: int = 1,
+        journal_path: Optional[str] = None,
+    ):
+        self.spec = spec
+        self.workers = max(1, workers)
+        self.journal_path = journal_path
+
+    def run(self, resume: bool = False) -> CampaignReport:
+        done: Dict[int, InjectionRecord] = {}
+        if self.journal_path and resume:
+            header, done = load_journal(self.journal_path)
+            if header is not None and header.get("spec") != self.spec.to_dict():
+                raise ValueError(
+                    "journal was written by a different campaign spec; "
+                    "refusing to resume into it"
+                )
+            # Drop stray indices beyond this spec (defensive).
+            done = {
+                i: r
+                for i, r in done.items()
+                if 0 <= i < self.spec.num_injections
+            }
+        todo = [
+            i for i in range(self.spec.num_injections) if i not in done
+        ]
+        journal = (
+            _Journal(self.journal_path, self.spec, fresh=not done)
+            if self.journal_path
+            else None
+        )
+        records = list(done.values())
+        try:
+            if todo:
+                for rec in self._execute(todo):
+                    records.append(rec)
+                    if journal is not None:
+                        journal.append(rec)
+        finally:
+            if journal is not None:
+                journal.close()
+        records.sort(key=lambda r: r.index)
+        return CampaignReport(records=records, spec=self.spec)
+
+    def _execute(self, todo: Sequence[int]) -> Iterable[InjectionRecord]:
+        if self.workers <= 1 or len(todo) <= 1:
+            state = _CampaignState(self.spec)
+            for i in todo:
+                yield state.run_index(i)
+            return
+        import multiprocessing as mp
+
+        ctx = mp.get_context()
+        with ctx.Pool(
+            processes=self.workers,
+            initializer=_worker_init,
+            initargs=(self.spec.to_dict(),),
+        ) as pool:
+            for rec_dict in pool.imap_unordered(
+                _worker_run, todo, chunksize=4
+            ):
+                yield InjectionRecord(**rec_dict)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+) -> CampaignReport:
+    """Convenience wrapper: build and run a :class:`ParallelCampaign`."""
+    return ParallelCampaign(
+        spec, workers=workers, journal_path=journal_path
+    ).run(resume=resume)

@@ -13,6 +13,7 @@ class, memory traffic by space, and register-file access counts.
 
 from __future__ import annotations
 
+import inspect
 import math
 import struct
 from collections import Counter
@@ -63,7 +64,23 @@ class SimulationError(RuntimeError):
 
 
 class UnrecoverableError(SimulationError):
-    """Detection fired but recovery was impossible or diverged."""
+    """Detection fired but recovery was impossible or diverged.
+
+    ``cause`` is the DUE-taxonomy label the campaign engine reports
+    (:class:`repro.gpusim.faults.DueType`): every raise site in the
+    executor and the recovery runtime tags its failure mode explicitly
+    so no DUE collapses into an undifferentiated bucket.
+    """
+
+    def __init__(self, message: str, cause: str = "slice_failure"):
+        super().__init__(message)
+        self.cause = cause
+
+
+class WatchdogTimeout(SimulationError):
+    """The per-injection instruction-budget watchdog fired: the run burned
+    through its dynamic-instruction allowance without terminating (runaway
+    loop from a corrupted induction variable, barrier livelock, ...)."""
 
 
 @dataclass
@@ -195,6 +212,17 @@ class Executor:
         self.max_instructions = max_instructions_per_thread
         self.max_recoveries = max_recoveries_per_thread
         self.fault_plan = fault_plan
+        # Newer plans take (thread, env) so they can strike memory-side
+        # state; plans predating the widened surface take (thread) only.
+        self._plan_takes_env = False
+        if fault_plan is not None:
+            try:
+                hook_params = inspect.signature(
+                    fault_plan.after_instruction
+                ).parameters
+                self._plan_takes_env = len(hook_params) >= 2
+            except (TypeError, ValueError):
+                self._plan_takes_env = True
         self._block_index = {blk.label: i for i, blk in enumerate(kernel.blocks)}
         self._recovery_runtime = None
         table = kernel.meta.get("recovery_table")
@@ -209,6 +237,13 @@ class Executor:
 
     def run(self, launch: Launch, mem: MemoryImage) -> ExecutionResult:
         result = ExecutionResult()
+        # Stateful fault plans (rate plans, campaign plans) carry per-run
+        # bookkeeping; reset it so a reused plan cannot leak injection
+        # schedules or counters from a previous run into this one.
+        if self.fault_plan is not None:
+            reset = getattr(self.fault_plan, "reset", None)
+            if reset is not None:
+                reset()
         # Reserve global checkpoint storage once per launch.
         ckpt_words = self.kernel.meta.get("ckpt_global_words", 0)
         ckpt_global_base = (
@@ -343,8 +378,9 @@ class Executor:
                 continue
             inst = blk.instructions[t.index]
             if t.executed >= self.max_instructions:
-                raise SimulationError(
-                    f"thread ({t.ctaid},{t.tid}) exceeded instruction budget"
+                raise WatchdogTimeout(
+                    f"thread ({t.ctaid},{t.tid}) exceeded instruction budget "
+                    f"of {self.max_instructions}"
                 )
             try:
                 self._execute(t, env, inst)
@@ -353,7 +389,10 @@ class Executor:
                 continue
             t.executed += 1
             if self.fault_plan is not None:
-                self.fault_plan.after_instruction(t)
+                if self._plan_takes_env:
+                    self.fault_plan.after_instruction(t, env)
+                else:
+                    self.fault_plan.after_instruction(t)
 
     def _enter_block(self, t: ThreadContext, label: str) -> None:
         t.label = label
@@ -365,14 +404,17 @@ class Executor:
     def _recover(self, t: ThreadContext, env: "_BlockEnv", err: ParityError) -> None:
         if self._recovery_runtime is None:
             raise UnrecoverableError(
-                f"{err} in thread ({t.ctaid},{t.tid}) with no recovery runtime"
+                f"{err} in thread ({t.ctaid},{t.tid}) with no recovery runtime",
+                cause="no_runtime",
             )
         t.recoveries += 1
         if t.recoveries > self.max_recoveries:
             raise UnrecoverableError(
-                f"thread ({t.ctaid},{t.tid}) exceeded recovery budget"
+                f"thread ({t.ctaid},{t.tid}) exceeded recovery budget "
+                f"of {self.max_recoveries}",
+                cause="budget_exhausted",
             )
-        self._recovery_runtime.recover(t, env, err)
+        self._recovery_runtime.recover(t, env, err, fault_plan=self.fault_plan)
         self._enter_block(t, t.region_label)
 
     # -- instruction semantics ---------------------------------------------------------

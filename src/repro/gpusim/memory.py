@@ -1,22 +1,40 @@
 """Simulated GPU memory spaces.
 
 All spaces are word-addressed stores of 32-bit values (our IR only issues
-4-byte-aligned accesses).  GPU memories are ECC-protected (the paper's
-premise), so the fault injector never touches them — only the register
-file.  Values are stored as raw 32-bit patterns; interpretation (int vs
-float) happens in the executor.
+4-byte-aligned accesses).  GPU memories are SECDED-ECC-protected (the
+paper's premise), which the campaign engine models explicitly rather than
+assuming fault-free storage: a single flipped bit in a word is corrected
+in place (invisible to the program), a double flip is *detected but
+uncorrectable* — the word is poisoned and the next load raises
+:class:`EccUncorrectableError` — and triple-and-wider upsets can escape
+the code entirely and silently corrupt the stored pattern.  Rewriting a
+word re-encodes it, scrubbing any pending poison (exactly what a
+checkpoint overwrite does to a struck slot).  Values are stored as raw
+32-bit patterns; interpretation (int vs float) happens in the executor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Set
 
 _MASK32 = 0xFFFFFFFF
 
 
 class MemoryError32(RuntimeError):
     """Unaligned or out-of-space access."""
+
+
+class EccUncorrectableError(MemoryError32):
+    """A load touched a word whose ECC reported a detected-uncorrectable
+    error (the memory-side escalation path of SECDED's correct-or-escalate
+    contract)."""
+
+    def __init__(self, store_name: str, addr: int):
+        super().__init__(
+            f"ECC uncorrectable error at {addr:#x} in {store_name}"
+        )
+        self.addr = addr
 
 
 class WordStore:
@@ -29,6 +47,9 @@ class WordStore:
         self._alloc_ptr = 0
         self.reads = 0
         self.writes = 0
+        #: word indices whose ECC state is detected-uncorrectable
+        self.poisoned: Set[int] = set()
+        self.ecc_corrections = 0
 
     def _check(self, addr: int) -> int:
         if addr % 4 != 0:
@@ -43,11 +64,38 @@ class WordStore:
 
     def load(self, addr: int) -> int:
         self.reads += 1
-        return self.words.get(self._check(addr), 0)
+        idx = self._check(addr)
+        if idx in self.poisoned:
+            raise EccUncorrectableError(self.name, addr)
+        return self.words.get(idx, 0)
 
     def store(self, addr: int, value: int) -> None:
         self.writes += 1
-        self.words[self._check(addr)] = value & _MASK32
+        idx = self._check(addr)
+        # A write re-encodes the word, clearing any uncorrectable state.
+        self.poisoned.discard(idx)
+        self.words[idx] = value & _MASK32
+
+    # -- ECC fault model (campaign engine) -----------------------------------------
+
+    def ecc_correct(self, addr: int) -> None:
+        """A single-bit upset struck this word: SECDED corrects it in
+        place.  Only the correction counter moves — the program never
+        observes anything."""
+        self._check(addr)
+        self.ecc_corrections += 1
+
+    def poison(self, addr: int) -> None:
+        """A double-bit upset struck this word: detected, uncorrectable.
+        The next load raises :class:`EccUncorrectableError`; a store
+        scrubs the poison (rewrite re-encodes)."""
+        self.poisoned.add(self._check(addr))
+
+    def corrupt(self, addr: int, xor_mask: int) -> None:
+        """A ≥3-bit upset escaped SECDED (possible miscorrection): the
+        stored pattern silently changes."""
+        idx = self._check(addr)
+        self.words[idx] = (self.words.get(idx, 0) ^ xor_mask) & _MASK32
 
     def allocate(self, num_bytes: int, align: int = 256) -> int:
         """Reserve a region; returns its base address."""

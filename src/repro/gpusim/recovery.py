@@ -46,6 +46,28 @@ from repro.gpusim.executor import (
 _MASK32 = 0xFFFFFFFF
 
 
+def slot_location(storage: StorageAssignment, slot, t: ThreadContext, env):
+    """Resolve a checkpoint slot to its ``(word_store, address)`` for one
+    thread.  Shared slots are laid out coalesced per block; global slots per
+    launch.  Shared by the runtime's restore path and the fault injector's
+    checkpoint-memory plans, so both always agree on where a slot lives."""
+    if slot.kind is StorageKind.SHARED:
+        base = env.shared_bases["__ckpt_shared"]
+        addr = (
+            base
+            + slot.index * storage.threads_per_block * 4
+            + t.tid * 4
+        )
+        return env.shared, addr
+    gtid = t.ctaid * env.launch.block + t.tid
+    addr = (
+        env.ckpt_global_base
+        + slot.index * storage.total_threads * 4
+        + gtid * 4
+    )
+    return env.mem.global_mem, addr
+
+
 class RecoveryRuntime:
     """Executes restore actions and region re-entry for one kernel."""
 
@@ -56,16 +78,29 @@ class RecoveryRuntime:
             "storage_assignment"
         )
 
-    def recover(self, t: ThreadContext, env, err) -> None:
+    def recover(self, t: ThreadContext, env, err, fault_plan=None) -> None:
         entry = self.table.regions.get(t.region_label)
         if entry is None:
             raise UnrecoverableError(
                 f"no recovery entry for region {t.region_label!r} "
-                f"({err})"
+                f"({err})",
+                cause="missing_metadata",
             )
-        for action in entry.restores:
+        # The recovery runtime itself is an injection surface: campaign
+        # plans may strike between restore actions (mid-restore) or just
+        # before a slot load (mid-slice / ECC escalation).  ``before_restore``
+        # fires before action ``i`` executes, ``after_restore`` after its
+        # register has been rewritten — re-corrupting a freshly restored
+        # register there is the worst case re-entrant recovery must absorb.
+        before = getattr(fault_plan, "before_restore", None)
+        after = getattr(fault_plan, "after_restore", None)
+        for i, action in enumerate(entry.restores):
+            if before is not None:
+                before(t, env, action, i)
             value = self._restore_value(t, env, action)
             t.rf.write(action.reg_name, value)
+            if after is not None:
+                after(t, env, action, i)
         # Control returns to the region entry (the executor resets the pc).
 
     # -- restore actions ----------------------------------------------------------
@@ -78,27 +113,18 @@ class RecoveryRuntime:
 
     def _load_slot(self, t: ThreadContext, env, reg_name: str, color: int) -> int:
         if self.storage is None:
-            raise UnrecoverableError("kernel has no checkpoint storage map")
+            raise UnrecoverableError(
+                "kernel has no checkpoint storage map",
+                cause="missing_metadata",
+            )
         slot = self.storage.slots.get((reg_name, color))
         if slot is None:
             raise UnrecoverableError(
-                f"no checkpoint slot for {reg_name} color {color}"
+                f"no checkpoint slot for {reg_name} color {color}",
+                cause="missing_metadata",
             )
-        if slot.kind is StorageKind.SHARED:
-            base = env.shared_bases["__ckpt_shared"]
-            addr = (
-                base
-                + slot.index * self.storage.threads_per_block * 4
-                + t.tid * 4
-            )
-            return env.shared.load(addr)
-        gtid = t.ctaid * env.launch.block + t.tid
-        addr = (
-            env.ckpt_global_base
-            + slot.index * self.storage.total_threads * 4
-            + gtid * 4
-        )
-        return env.mem.global_mem.load(addr)
+        store, addr = slot_location(self.storage, slot, t, env)
+        return store.load(addr)
 
     # -- slice evaluation -------------------------------------------------------------
 
@@ -128,10 +154,20 @@ class RecoveryRuntime:
                 return env.mem.const_mem.load(addr)
             if expr.space is MemSpace.LOCAL:
                 return t.local.load(addr)
-            raise UnrecoverableError(f"slice load from {expr.space}")
+            raise UnrecoverableError(
+                f"slice load from {expr.space}", cause="slice_failure"
+            )
         if isinstance(expr, SOp):
             vals = [self._eval(t, env, s) for s in expr.srcs]
-            return _alu_compute(expr.op, expr.dtype, vals)
+            try:
+                return _alu_compute(expr.op, expr.dtype, vals)
+            except UnrecoverableError:
+                raise
+            except SimulationError as exc:
+                raise UnrecoverableError(
+                    f"slice op {expr.op!r} failed: {exc}",
+                    cause="slice_failure",
+                )
         if isinstance(expr, SSetp):
             a = self._eval(t, env, expr.a)
             b = self._eval(t, env, expr.b)
@@ -143,4 +179,6 @@ class RecoveryRuntime:
                 if p
                 else self._eval(t, env, expr.b)
             )
-        raise UnrecoverableError(f"cannot evaluate slice node {expr!r}")
+        raise UnrecoverableError(
+            f"cannot evaluate slice node {expr!r}", cause="slice_failure"
+        )

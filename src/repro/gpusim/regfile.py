@@ -36,6 +36,7 @@ class RegisterFile:
         self.reads = 0
         self.writes = 0
         self.detections = 0
+        self.injected_faults = 0
 
     def write(self, name: str, value: int) -> None:
         value &= _MASK32
@@ -79,7 +80,17 @@ class RegisterFile:
         for bit in bit_positions:
             word ^= 1 << bit
         self.words[name] = word
+        self.injected_faults += 1
         return True
 
     def registers(self):
         return list(self.words)
+
+    def random_register(self, rng) -> Optional[str]:
+        """Deterministically pick a live register with ``rng`` (the name
+        list is sorted first so the choice depends only on the rng state
+        and architectural state, never on dict ordering)."""
+        regs = sorted(self.words)
+        if not regs:
+            return None
+        return regs[rng.randrange(len(regs))]

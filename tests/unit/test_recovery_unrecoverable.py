@@ -1,0 +1,116 @@
+"""The recovery runtime's UnrecoverableError branches, each with its
+DUE-taxonomy cause: missing region entry, missing checkpoint slot, missing
+storage map, unsupported slice node."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.coding import ParityCode
+from repro.core.recovery_meta import (
+    RecoveryTable,
+    RegionRecovery,
+    RestoreAction,
+)
+from repro.core.storage import StorageAssignment
+from repro.gpusim.executor import (
+    Launch,
+    ThreadContext,
+    UnrecoverableError,
+    _BlockEnv,
+)
+from repro.gpusim.faults import DueType, classify_due
+from repro.gpusim.memory import MemoryImage, WordStore
+from repro.gpusim.recovery import RecoveryRuntime
+from repro.gpusim.regfile import ParityError, RegisterFile
+
+
+def _thread(region="entry"):
+    t = ThreadContext(0, 0, RegisterFile(ParityCode(32)))
+    t.region_label = region
+    return t
+
+
+def _env():
+    return _BlockEnv(
+        launch=Launch(grid=1, block=4),
+        mem=MemoryImage(),
+        shared=WordStore("shared"),
+        shared_bases={"__ckpt_shared": 0},
+        ckpt_global_base=0,
+    )
+
+
+def _kernel(meta=None):
+    return SimpleNamespace(meta=meta or {})
+
+
+ERR = ParityError("%r1")
+
+
+def test_missing_region_entry_is_missing_metadata():
+    runtime = RecoveryRuntime(_kernel(), RecoveryTable())
+    with pytest.raises(UnrecoverableError) as exc_info:
+        runtime.recover(_thread(), _env(), ERR)
+    assert exc_info.value.cause == "missing_metadata"
+    assert classify_due(exc_info.value) is DueType.MISSING_METADATA
+    assert "no recovery entry" in str(exc_info.value)
+
+
+def _slot_table():
+    return RecoveryTable(
+        regions={
+            "entry": RegionRecovery(
+                entry_label="entry",
+                restores=[
+                    RestoreAction("%r1", "s32", slot_color=0)
+                ],
+            )
+        }
+    )
+
+
+def test_kernel_without_storage_map_is_missing_metadata():
+    # A slot restore on a kernel whose meta carries no storage assignment.
+    runtime = RecoveryRuntime(_kernel(), _slot_table())
+    assert runtime.storage is None
+    with pytest.raises(UnrecoverableError) as exc_info:
+        runtime.recover(_thread(), _env(), ERR)
+    assert exc_info.value.cause == "missing_metadata"
+    assert "no checkpoint storage map" in str(exc_info.value)
+
+
+def test_missing_checkpoint_slot_is_missing_metadata():
+    # Storage map exists but the (register, color) slot was never assigned.
+    meta = {"storage_assignment": StorageAssignment()}
+    runtime = RecoveryRuntime(_kernel(meta), _slot_table())
+    with pytest.raises(UnrecoverableError) as exc_info:
+        runtime.recover(_thread(), _env(), ERR)
+    assert exc_info.value.cause == "missing_metadata"
+    assert "no checkpoint slot" in str(exc_info.value)
+
+
+def test_unsupported_slice_node_is_slice_failure():
+    table = RecoveryTable(
+        regions={
+            "entry": RegionRecovery(
+                entry_label="entry",
+                restores=[
+                    RestoreAction(
+                        "%r1", "s32", slice_expr="not-a-slice-node"
+                    )
+                ],
+            )
+        }
+    )
+    runtime = RecoveryRuntime(_kernel(), table)
+    with pytest.raises(UnrecoverableError) as exc_info:
+        runtime.recover(_thread(), _env(), ERR)
+    assert exc_info.value.cause == "slice_failure"
+    assert classify_due(exc_info.value) is DueType.SLICE_FAILURE
+    assert "cannot evaluate slice node" in str(exc_info.value)
+
+
+def test_untagged_unrecoverable_defaults_to_slice_failure():
+    # The constructor default keeps even hand-raised errors classifiable.
+    assert classify_due(UnrecoverableError("x")) is DueType.SLICE_FAILURE
