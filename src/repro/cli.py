@@ -8,13 +8,20 @@ Usage::
     python -m repro.cli schemes                     # list presets
     python -m repro.cli campaign --bench STC -n 200 --workers 4 \\
         --surfaces rf,ckpt,recovery --journal stc.jsonl
+    python -m repro.cli fuzz -n 1000 --seed 2020 --workers 4 \\
+        --reduce --journal findings.jsonl
+    python -m repro.cli verify --corpus findings.jsonl
 
 ``compile`` prints the protected kernel's PTX followed by a ``//``-comment
 report (region count, checkpoint statistics, storage layout); ``report``
 emits the statistics alone as JSON for scripting; ``campaign`` runs a
 parallel fault-injection campaign on a registered benchmark and prints the
 outcome summary, the DUE taxonomy and Wilson confidence intervals
-(``--resume`` continues a killed campaign from its JSONL journal).
+(``--resume`` continues a killed campaign from its JSONL journal);
+``fuzz`` runs the differential compiler fuzzer (exit status 1 when any
+finding survives) and ``verify --corpus`` re-checks a fuzz corpus's
+findings — including their reduced reproducers — against the current
+compiler.
 """
 
 from __future__ import annotations
@@ -65,7 +72,9 @@ def _compile_all(args: argparse.Namespace):
     launch = LaunchConfig(
         threads_per_block=args.block, num_blocks=args.grid
     )
-    compiler = PennyCompiler(config)
+    compiler = PennyCompiler(
+        config, strict=not getattr(args, "no_strict", False)
+    )
     return [compiler.compile(kernel, launch) for kernel in module.kernels]
 
 
@@ -99,17 +108,68 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.verify import verify_compiled
 
+    if args.corpus:
+        return _verify_corpus(args)
+    if not args.input:
+        print("verify: an input file or --corpus is required",
+              file=sys.stderr)
+        return 2
+
     status = 0
     for result in _compile_all(args):
         problems = verify_compiled(result.kernel)
+        fallback = result.stats.get("fallback_path")
+        suffix = f" (fallback: {fallback})" if fallback else ""
         if problems:
             status = 1
-            print(f"{result.kernel.name}: {len(problems)} violation(s)")
+            print(f"{result.kernel.name}: {len(problems)} violation(s)"
+                  f"{suffix}")
             for p in problems:
                 print(f"  - {p}")
         else:
-            print(f"{result.kernel.name}: recovery metadata verified clean")
+            print(f"{result.kernel.name}: recovery metadata verified clean"
+                  f"{suffix}")
     return status
+
+
+def _verify_corpus(args: argparse.Namespace) -> int:
+    """Re-run the differential oracle over a fuzz corpus's findings.
+
+    A finding's *reduced* reproducer is preferred when present; each is
+    checked for reproducing with its recorded fingerprint against the
+    current compiler.  Exit 0 when every finding still reproduces, 1
+    when any has gone stale (fixed, or fingerprint drifted).
+    """
+    import dataclasses as _dc
+
+    from repro.fuzz.oracle import run_case
+    from repro.fuzz.triage import TriageCorpus
+
+    corpus = TriageCorpus.load(args.corpus)
+    if not corpus.findings:
+        print(f"{args.corpus}: no findings")
+        return 0
+    stale = 0
+    for i, finding in enumerate(corpus.findings):
+        case = finding.fuzz_case()
+        if finding.reduced_kernel:
+            case = _dc.replace(case, kernel_text=finding.reduced_kernel)
+        result = run_case(
+            case,
+            scheme=args.scheme,
+            strict=getattr(args, "strict", False),
+            iteration=finding.iteration,
+        )
+        got = result.finding.fingerprint if result.finding else result.status
+        if result.finding and result.finding.fingerprint == finding.fingerprint:
+            print(f"[{i}] reproduces: {finding.fingerprint}")
+        else:
+            stale += 1
+            print(f"[{i}] STALE: recorded {finding.fingerprint!r}, "
+                  f"got {got!r}")
+    print(f"{len(corpus.findings) - stale}/{len(corpus.findings)} "
+          f"findings still reproduce")
+    return 1 if stale else 0
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -179,6 +239,55 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzRunner, FuzzSpec
+
+    spec = FuzzSpec(
+        iterations=args.iterations,
+        seed=args.seed,
+        scheme=args.scheme,
+        strict=args.strict,
+        fault=not args.no_fault,
+        mutate_rate=args.mutate_rate,
+    )
+    report = FuzzRunner(
+        spec, workers=args.workers, journal_path=args.journal
+    ).run(reduce=args.reduce)
+
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+        return 1 if report.findings else 0
+
+    print(
+        f"fuzz: n={spec.iterations} seed={spec.seed} scheme={spec.scheme} "
+        f"strict={spec.strict} mutate_rate={spec.mutate_rate} "
+        f"workers={args.workers}"
+    )
+    print()
+    print(f"{'outcome':16}{'count':>8}")
+    for name, count in sorted(report.outcomes.items()):
+        print(f"{name:16}{count:>8}")
+    buckets = report.buckets()
+    if buckets:
+        print()
+        print(f"{len(report.findings)} finding(s) in "
+              f"{len(buckets)} bucket(s):")
+        for fp, findings in sorted(buckets.items()):
+            rep = findings[0]
+            print(f"  [{len(findings):3}] {fp}")
+            if rep.reduced_instructions is not None:
+                print(
+                    f"        reduced {rep.original_instructions} -> "
+                    f"{rep.reduced_instructions} instructions "
+                    f"(seed {rep.seed})"
+                )
+    else:
+        print()
+        print("no findings")
+    return 1 if report.findings else 0
+
+
 def cmd_schemes(_args: argparse.Namespace) -> int:
     for name in _SCHEMES:
         cfg = scheme_config(name)
@@ -208,7 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile kernels and statically verify their recovery metadata",
     )
     for p in (p_compile, p_report, p_verify):
-        p.add_argument("input", help="PTX-subset file, or '-' for stdin")
+        if p is p_verify:
+            p.add_argument(
+                "input", nargs="?", default=None,
+                help="PTX-subset file, or '-' for stdin "
+                     "(omit when using --corpus)",
+            )
+        else:
+            p.add_argument("input", help="PTX-subset file, or '-' for stdin")
         p.add_argument(
             "--scheme", default=SCHEME_PENNY, choices=_SCHEMES,
             help="comparison-scheme preset to start from",
@@ -231,6 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="threads per block (storage layout)")
         p.add_argument("--grid", type=int, default=4,
                        help="number of blocks (storage layout)")
+        p.add_argument(
+            "--no-strict", action="store_true",
+            help="compile through the fallback lattice instead of "
+                 "raising on pass failure",
+        )
+    p_verify.add_argument(
+        "--corpus", default=None, metavar="JSONL",
+        help="re-check a fuzz finding corpus instead of compiling a file",
+    )
+    p_verify.add_argument(
+        "--strict", action="store_true",
+        help="with --corpus: replay findings against a strict compiler",
+    )
     p_compile.set_defaults(func=cmd_compile)
     p_report.set_defaults(func=cmd_report)
     p_verify.set_defaults(func=cmd_verify)
@@ -293,6 +422,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the compiler with generated kernels",
+    )
+    p_fuzz.add_argument(
+        "-n", "--iterations", type=int, default=200,
+        help="number of fuzz iterations (default 200)",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=2020)
+    p_fuzz.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = inline)",
+    )
+    p_fuzz.add_argument(
+        "--scheme", default=SCHEME_PENNY, choices=_SCHEMES,
+        help="protection scheme under test",
+    )
+    p_fuzz.add_argument(
+        "--strict", action="store_true",
+        help="compile strictly (no fallback lattice); pass failures "
+             "become findings",
+    )
+    p_fuzz.add_argument(
+        "--mutate-rate", type=float, default=0.3,
+        help="fraction of cases passed through the IR mutators",
+    )
+    p_fuzz.add_argument(
+        "--no-fault", action="store_true",
+        help="skip the fault-recovery oracle stage",
+    )
+    p_fuzz.add_argument(
+        "--reduce", action="store_true",
+        help="ddmin-reduce one representative per finding bucket",
+    )
+    p_fuzz.add_argument(
+        "--journal", default=None,
+        help="JSONL finding-corpus path (crash-safe, append-only)",
+    )
+    p_fuzz.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -33,6 +33,7 @@ from repro.core.checkpoints import (
     PruneState,
 )
 from repro.core.coloring import ColoringResult
+from repro.core.errors import CodegenError
 from repro.core.slices import SImm, SOp, SSpecial, SSymRef, SliceExpr
 from repro.core.storage import StorageAssignment, StorageKind
 from repro.ir.instructions import (
@@ -125,8 +126,9 @@ def _insert_adjustment_blocks(
         elif rewired:
             kernel.blocks.append(block)
         else:
-            raise RuntimeError(
-                f"no edge {pred_label} -> {succ_label} to adjust"
+            raise CodegenError(
+                f"no edge {pred_label} -> {succ_label} to adjust",
+                detail={"pred": pred_label, "succ": succ_label},
             )
         result.adjustment_labels[(pred_label, succ_label)] = label
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
 from repro.analysis.cfg import CFG
+from repro.core.errors import ColoringError
 from repro.core.hazards import CpInstance
 from repro.core.liveins import LiveinAnalysis
 from repro.core.regions import RegionInfo
@@ -138,6 +139,26 @@ def color_checkpoints(
                         restore_color=CURRENT_SLOT,
                     )
                 )
+
+    # Integrity: every adjustment must sit on a real CFG edge (codegen
+    # rewires exactly these edges) and every restore color must belong to
+    # a colored register.  A violation here is a coloring bug, and typing
+    # it lets the fallback lattice degrade instead of crashing later.
+    for adj in result.adjustments:
+        if adj.succ not in cfg.successors(adj.pred):
+            raise ColoringError(
+                f"adjustment for {adj.reg.name} targets nonexistent edge "
+                f"{adj.pred} -> {adj.succ}",
+                detail={"pred": adj.pred, "succ": adj.succ},
+            )
+    colored_names = {r.name for r in result.colored_registers}
+    for (boundary, reg_name) in result.restore_colors:
+        if reg_name not in colored_names:
+            raise ColoringError(
+                f"restore color recorded for uncolored register {reg_name} "
+                f"at {boundary}",
+                detail={"boundary": boundary, "register": reg_name},
+            )
     return result
 
 

@@ -1,0 +1,163 @@
+"""Typed compile-error hierarchy.
+
+Every pass failure the pipeline can hit is represented by a distinct
+:class:`CompileError` subclass instead of a bare ``RuntimeError``.  Each
+carries three things the fallback lattice and the fuzzing triage need:
+
+- ``pass_name`` — which pass failed (``renaming``, ``coloring``,
+  ``pruning``, ``reconcile``, ``recovery_meta``, ``storage``, ``codegen``,
+  ``verify``, ``clone``, ``validate``);
+- ``scheme`` — the overwrite-prevention scheme in effect (``rr``/``sa``/
+  ``none``), when the failure is scheme-dependent;
+- ``kernel_ptx`` — a textual snapshot of the kernel at the failure point,
+  so a fuzz finding is reproducible from the error object alone.
+
+:class:`ConfigError` additionally subclasses :class:`ValueError` because
+the misconfiguration sites it replaced raised ``ValueError`` and callers
+legitimately catch it that way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _snapshot(kernel) -> Optional[str]:
+    """Best-effort textual snapshot of a kernel (never raises)."""
+    if kernel is None:
+        return None
+    try:
+        from repro.ir.printer import print_kernel
+
+        return print_kernel(kernel)
+    except Exception:
+        return None
+
+
+class CompileError(RuntimeError):
+    """Base class of every typed compilation failure."""
+
+    #: subclass default when the raise site does not pass ``pass_name``
+    default_pass = "pipeline"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pass_name: Optional[str] = None,
+        scheme: Optional[str] = None,
+        kernel=None,
+        detail: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.pass_name = pass_name or self.default_pass
+        self.scheme = scheme
+        self.kernel_name = getattr(kernel, "name", None)
+        self.kernel_ptx = _snapshot(kernel)
+        self.detail: Dict[str, object] = dict(detail or {})
+
+    def attach_kernel(self, kernel) -> None:
+        """Fill in the kernel snapshot if the raise site had no kernel in
+        scope (the pipeline driver calls this so every error that escapes
+        ``compile()`` is reproducible from the error object alone)."""
+        if self.kernel_name is None:
+            self.kernel_name = getattr(kernel, "name", None)
+        if self.kernel_ptx is None:
+            self.kernel_ptx = _snapshot(kernel)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the fuzz corpus stores this)."""
+        return {
+            "type": type(self).__name__,
+            "message": self.message,
+            "pass": self.pass_name,
+            "scheme": self.scheme,
+            "kernel": self.kernel_name,
+            "kernel_ptx": self.kernel_ptx,
+            "detail": {k: str(v) for k, v in self.detail.items()},
+        }
+
+    def __str__(self) -> str:
+        scheme = f", scheme={self.scheme}" if self.scheme else ""
+        return f"[{self.pass_name}{scheme}] {self.message}"
+
+
+class ConfigError(CompileError, ValueError):
+    """Invalid compiler configuration (unknown mode names etc.)."""
+
+    default_pass = "config"
+
+
+class InvalidKernelError(CompileError, ValueError):
+    """The input kernel failed structural validation."""
+
+    default_pass = "validate"
+
+
+class CloneError(CompileError):
+    """``clone_kernel`` was handed an already-compiled kernel whose
+    metadata (recovery table, storage map) a textual round-trip would
+    silently drop."""
+
+    default_pass = "clone"
+
+
+class RenamingError(CompileError):
+    """Register renaming did not converge within its round budget."""
+
+    default_pass = "renaming"
+
+
+class ColoringError(CompileError):
+    """Storage-alternation coloring produced an inconsistent result."""
+
+    default_pass = "coloring"
+
+
+class PruningError(CompileError):
+    """Checkpoint pruning violated one of its own invariants."""
+
+    default_pass = "pruning"
+
+
+class ReconcileError(CompileError):
+    """Pruning/coloring reconciliation diverged."""
+
+    default_pass = "reconcile"
+
+
+class RecoveryMetaError(CompileError):
+    """Recovery-table construction failed."""
+
+    default_pass = "recovery_meta"
+
+
+class StorageError(CompileError):
+    """Checkpoint storage assignment produced an unusable layout."""
+
+    default_pass = "storage"
+
+
+class CodegenError(CompileError):
+    """Checkpoint lowering / code generation failed."""
+
+    default_pass = "codegen"
+
+
+class FallbackExhaustedError(CompileError):
+    """Every rung of the fallback lattice failed.
+
+    ``causes`` holds ``(rung_name, exception)`` pairs in attempt order;
+    the terminal cause's fingerprint is what triage buckets on.
+    """
+
+    default_pass = "fallback"
+
+    def __init__(self, message: str, causes, **kwargs):
+        super().__init__(message, **kwargs)
+        self.causes: List = list(causes)
+
+    @property
+    def terminal_cause(self):
+        return self.causes[-1][1] if self.causes else None

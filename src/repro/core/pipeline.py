@@ -42,6 +42,15 @@ from repro.core.checkpoints import (
 from repro.core.codegen import CodegenResult, generate
 from repro.core.coloring import ColoringResult, color_checkpoints
 from repro.core.costmodel import CostModel
+from repro.core.errors import (
+    CloneError,
+    CompileError,
+    ConfigError,
+    FallbackExhaustedError,
+    InvalidKernelError,
+    ReconcileError,
+    RenamingError,
+)
 from repro.core.hazards import detect_hazards, materialize_instances
 from repro.core.liveins import LiveinAnalysis, analyze_liveins
 from repro.core.pddg import PddgValidator
@@ -118,22 +127,60 @@ class CompileResult:
     stats: Dict[str, float] = field(default_factory=dict)
 
 
+#: metadata keys that mark a kernel as already compiled — a textual
+#: round-trip would silently drop them (checkpoint stores survive the
+#: printer, the recovery machinery does not).
+_COMPILED_META_KEYS = (
+    "recovery_table",
+    "region_boundaries",
+    "storage_assignment",
+    "protected",
+)
+
+
 def clone_kernel(kernel: Kernel) -> Kernel:
-    """Deep-copy a kernel via its textual form (metadata is dropped — only
-    valid for pre-compilation kernels)."""
+    """Deep-copy a pre-compilation kernel via its textual form.
+
+    Compiled kernels carry recovery metadata that the printer cannot
+    represent; cloning one would produce a kernel that *looks* protected
+    (checkpoint stores present) but silently recovers nothing.  Detect
+    that and raise :class:`repro.core.errors.CloneError` instead.
+    """
+    present = [k for k in _COMPILED_META_KEYS if k in kernel.meta]
+    if present:
+        raise CloneError(
+            f"cannot clone compiled kernel {kernel.name!r} via its textual "
+            f"form: metadata {present} would be silently dropped",
+            kernel=kernel,
+            detail={"meta_keys": present},
+        )
     return parse_kernel(print_kernel(kernel))
 
 
 class PennyCompiler:
-    """Runs the full §5 pipeline over one kernel."""
+    """Runs the full §5 pipeline over one kernel.
+
+    ``strict=True`` (the default) preserves the historical contract: any
+    pass failure raises a typed :class:`repro.core.errors.CompileError`.
+    ``strict=False`` enables the **fallback lattice**: when the configured
+    scheme fails, the compiler degrades — renaming non-convergence falls
+    back to storage alternation (SA), an SA/coloring/pruning failure falls
+    back to eager placement with no pruning, and the terminal rung
+    checkpoints everything at region boundaries into global storage.
+    Every fallback result must pass :func:`repro.core.verify.verify_compiled`
+    before it is returned; the degradation path is recorded in
+    ``CompileResult.stats["fallback_path"]``.
+    """
 
     def __init__(
         self,
         config: Optional[PennyConfig] = None,
         budget: Optional[StorageBudget] = None,
+        strict: bool = True,
     ):
         self.config = config or PennyConfig()
         self.budget = budget or StorageBudget()
+        self.strict = strict
 
     def compile(
         self,
@@ -142,13 +189,108 @@ class PennyCompiler:
         copy: bool = True,
     ) -> CompileResult:
         launch = launch or LaunchConfig()
+        try:
+            kernel.validate()
+        except ValueError as exc:
+            raise InvalidKernelError(
+                str(exc), kernel=kernel
+            ) from exc
         if copy:
             kernel = clone_kernel(kernel)
-        kernel.validate()
 
-        if self.config.overwrite == "auto":
+        try:
+            if self.strict:
+                return self._dispatch(kernel, launch, self.config)
+            return self._compile_with_fallback(kernel, launch)
+        except CompileError as exc:
+            exc.attach_kernel(kernel)
+            raise
+
+    def _dispatch(
+        self, kernel: Kernel, launch: LaunchConfig, config: PennyConfig
+    ) -> CompileResult:
+        if config.overwrite == "auto":
             return self._compile_auto(kernel, launch)
-        return self._compile_one(kernel, launch, self.config.overwrite)
+        return self._compile_one(kernel, launch, config.overwrite)
+
+    # -- the fallback lattice (strict=False) -----------------------------------
+
+    def fallback_lattice(self):
+        """The degradation ladder: ``(rung_name, config)`` pairs, most
+        capable first.  ``overwrite="none"`` configurations never gain
+        protection by degrading (the rungs keep ``none``)."""
+        cfg = self.config
+        sa = cfg.overwrite if cfg.overwrite == "none" else "sa"
+        rungs = [
+            ("as-configured", cfg),
+            ("sa", replace(cfg, overwrite=sa)),
+            (
+                "eager-noprune",
+                replace(cfg, overwrite=sa, placement="eager", pruning="none"),
+            ),
+            (
+                "boundary-global",
+                replace(
+                    cfg,
+                    overwrite=sa,
+                    placement="eager",
+                    pruning="none",
+                    storage_mode="global",
+                    low_opts=False,
+                ),
+            ),
+        ]
+        seen = []
+        out = []
+        for name, rung_cfg in rungs:
+            if rung_cfg in seen:
+                continue
+            seen.append(rung_cfg)
+            out.append((name, rung_cfg))
+        return out
+
+    def _compile_with_fallback(
+        self, kernel: Kernel, launch: LaunchConfig
+    ) -> CompileResult:
+        from repro.core.verify import VerificationError, verify_compiled
+
+        lattice = self.fallback_lattice()
+        causes = []
+        path = []
+        for level, (rung_name, rung_cfg) in enumerate(lattice):
+            path.append(rung_name)
+            candidate = clone_kernel(kernel)
+            rung = PennyCompiler(rung_cfg, self.budget, strict=True)
+            try:
+                result = rung._dispatch(candidate, launch, rung_cfg)
+                problems = verify_compiled(result.kernel)
+                if problems:
+                    raise VerificationError(
+                        f"{len(problems)} violation(s): "
+                        + "; ".join(problems[:5])
+                    )
+            except (KeyboardInterrupt, SystemExit, MemoryError):
+                raise
+            except Exception as exc:  # degrade, do not die
+                causes.append((rung_name, exc))
+                continue
+            result.stats["fallback_level"] = float(level)
+            result.stats["fallback_path"] = "->".join(path)
+            result.stats["degraded"] = float(level > 0)
+            if causes:
+                result.stats["fallback_errors"] = "; ".join(
+                    f"{name}: {type(e).__name__}" for name, e in causes
+                )
+            result.stats["verified"] = 1.0
+            return result
+        raise FallbackExhaustedError(
+            "every fallback rung failed: "
+            + "; ".join(
+                f"{name}: {type(e).__name__}: {e}" for name, e in causes
+            ),
+            causes,
+            kernel=kernel,
+        )
 
     # -- auto selection of the overwrite-prevention scheme (§6.3) ------------
 
@@ -190,7 +332,17 @@ class PennyCompiler:
             if renamed == 0:
                 break
         else:
-            raise RuntimeError("register renaming did not converge")
+            raise RenamingError(
+                "register renaming did not converge within "
+                f"{self.config.max_rename_rounds} rounds "
+                f"({len(hazardous)} hazardous register(s) remain)",
+                scheme=overwrite,
+                kernel=kernel,
+                detail={
+                    "rounds": self.config.max_rename_rounds,
+                    "hazardous": sorted(r.name for r in hazardous),
+                },
+            )
 
         # Storage alternation for whatever hazards remain (all of them in
         # "sa" mode; the renaming-resistant rest in "rr" mode).
@@ -226,7 +378,13 @@ class PennyCompiler:
             if forced == 0:
                 break
         else:
-            raise RuntimeError("pruning/coloring reconciliation diverged")
+            raise ReconcileError(
+                "pruning/coloring reconciliation diverged within "
+                f"{self.config.max_replan_rounds} rounds",
+                scheme=overwrite,
+                kernel=kernel,
+                detail={"rounds": self.config.max_replan_rounds},
+            )
 
         # Storage assignment over the final committed set.
         budget = replace(
@@ -349,7 +507,9 @@ class PennyCompiler:
             )
         if mode == "optimal":
             return prune_optimal(plan, validator)
-        raise ValueError(f"unknown pruning mode {mode!r}")
+        raise ConfigError(
+            f"unknown pruning mode {mode!r}", pass_name="pruning"
+        )
 
     def _fill_stats(
         self,

@@ -27,6 +27,7 @@ from repro.core.checkpoints import (
     PlannedCheckpoint,
     PruneState,
 )
+from repro.core.errors import PruningError
 from repro.core.pddg import PddgValidator, VState
 from repro.core.slices import SliceExpr
 
@@ -85,6 +86,16 @@ def prune_optimal(
     for cp in plan.checkpoints:
         if cp.state is PruneState.UNDECIDED:
             cp.state = PruneState.COMMITTED
+
+    # Invariant: a pruned checkpoint is only recoverable through its slice;
+    # a PRUNED state without one means the validator lied and recovery
+    # would silently lose the register.
+    for cp in plan.checkpoints:
+        if cp.state is PruneState.PRUNED and cp.key not in result.slices:
+            raise PruningError(
+                f"checkpoint {cp.key} pruned without a recovery slice",
+                detail={"checkpoint": cp.key},
+            )
 
     result.stats = {
         "total": len(plan.checkpoints),

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.analysis.cfg import CFG
 from repro.core.checkpoints import CheckpointPlan, PruneState
 from repro.core.coloring import ColoringResult
+from repro.core.errors import RecoveryMetaError
 from repro.core.liveins import LiveinAnalysis
 from repro.core.pddg import PddgValidator, VState
 from repro.core.slices import SliceExpr
@@ -111,7 +112,9 @@ def build_recovery_table(
         if not changed:
             break
     else:
-        raise RuntimeError("recovery table construction did not converge")
+        raise RecoveryMetaError(
+            "recovery table construction did not converge"
+        )
 
     if extra_slices:
         for entry in table.regions.values():
@@ -177,8 +180,9 @@ def _force_commit(label: str, reg: Reg, plan: CheckpointPlan) -> int:
                 cp.state = PruneState.COMMITTED
                 forced += 1
     if forced == 0:
-        raise RuntimeError(
-            f"cannot restore {reg.name} at {label}: no checkpoints to commit"
+        raise RecoveryMetaError(
+            f"cannot restore {reg.name} at {label}: no checkpoints to commit",
+            detail={"register": reg.name, "boundary": label},
         )
     # Keep the plan stats coherent.
     plan.stats["pruned"] = len(plan.pruned())

@@ -27,6 +27,7 @@ from repro.analysis.cfg import CFG
 from repro.core.checkpoints import CheckpointPlan
 from repro.core.coloring import ColoringResult
 from repro.core.costmodel import CostModel
+from repro.core.errors import ConfigError, StorageError
 from repro.ir.types import Reg
 
 
@@ -130,7 +131,7 @@ def assign_storage(
     global — the Bolt/Global configuration).
     """
     if mode not in ("auto", "shared", "global"):
-        raise ValueError(f"unknown storage mode {mode!r}")
+        raise ConfigError(f"unknown storage mode {mode!r}", pass_name="storage")
 
     regs: Dict[Reg, int] = {}
     for cp in plan.committed():
@@ -174,4 +175,21 @@ def assign_storage(
                 )
                 assignment.global_slots += 1
             assignment.slots[(reg.name, color)] = slot
+
+    # Forced-shared layouts can exceed physical shared memory outright
+    # (occupancy aside, the kernel would not even launch) — that is a
+    # compile failure the fallback lattice degrades to global storage on.
+    total_shared = (
+        budget.kernel_shared_bytes + assignment.shared_bytes_per_block
+    )
+    if assignment.shared_slots and total_shared > budget.shared_per_sm:
+        raise StorageError(
+            f"checkpoint storage needs {total_shared} shared bytes per "
+            f"block but the SM has {budget.shared_per_sm}",
+            detail={
+                "mode": mode,
+                "shared_slots": assignment.shared_slots,
+                "kernel_shared_bytes": budget.kernel_shared_bytes,
+            },
+        )
     return assignment

@@ -19,7 +19,8 @@ them:
   locations no reachable store may alias, committed slots, and fault-free
   sources.
 - **V5 adjustment soundness** — adjustment blocks contain only checkpoint
-  stores plus one unconditional branch, and carry mini-region entries
+  stores (plus the address arithmetic the unoptimized lowering emits for
+  them) and one unconditional branch, and carry mini-region entries
   restoring every register they read.
 
 ``verify_compiled`` returns a list of human-readable violations (empty =
@@ -42,9 +43,9 @@ from repro.core.slices import (
     SSlot,
     SliceExpr,
 )
-from repro.ir.instructions import Bra, Instruction, St
+from repro.ir.instructions import Alu, Bra, Instruction, St
 from repro.ir.module import Kernel
-from repro.ir.types import MemSpace, Reg, SymRef
+from repro.ir.types import Imm, MemSpace, Reg, Special, SymRef
 
 
 class VerificationError(RuntimeError):
@@ -59,6 +60,31 @@ def _is_checkpoint_store(inst: Instruction) -> bool:
     if isinstance(inst.base, Reg):
         return inst.base.name.startswith(("%ckb_", "%ca"))
     return False
+
+
+def _is_checkpoint_addressing(inst: Instruction) -> bool:
+    """Address arithmetic emitted by the unoptimized (``low_opts=False``)
+    checkpoint lowering: unguarded mov/mad into a fresh ``%ca*`` register
+    whose inputs are only specials, immediates, checkpoint base symbols,
+    or other ``%ca*`` registers.  Such instructions cannot touch kernel
+    state, so they are sound inside adjustment blocks."""
+    if not isinstance(inst, Alu) or inst.guard is not None:
+        return False
+    dst = inst.dst
+    if not isinstance(dst, Reg) or not dst.name.startswith("%ca"):
+        return False
+    for src in inst.srcs:
+        if isinstance(src, (Special, Imm)):
+            continue
+        if isinstance(src, SymRef) and src.name in (
+            SHARED_CKPT_SYMBOL,
+            GLOBAL_CKPT_SYMBOL,
+        ):
+            continue
+        if isinstance(src, Reg) and src.name.startswith("%ca"):
+            continue
+        return False
+    return True
 
 
 def verify_compiled(kernel: Kernel) -> List[str]:
@@ -367,6 +393,8 @@ def _verify_adjustments(
                 f"adjustment block {label} must end in an unconditional bra"
             )
         for inst in body[:-1]:
+            if _is_checkpoint_addressing(inst):
+                continue
             if not _is_checkpoint_store(inst):
                 problems.append(
                     f"adjustment block {label} contains a non-checkpoint "

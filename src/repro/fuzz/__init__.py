@@ -1,0 +1,39 @@
+"""Differential IR fuzzing for the Penny compiler + simulator pair.
+
+The subsystem stress-tests the compiler on kernels nobody hand-wrote:
+
+- :mod:`repro.fuzz.generator` — seeded grammar-based kernel generation
+  (same seed, same kernel, on every platform);
+- :mod:`repro.fuzz.mutators` — seeded IR mutations over generated cases;
+- :mod:`repro.fuzz.oracle` — the differential oracle: the protected
+  kernel must match the unprotected baseline under zero faults and must
+  not silently corrupt under injected faults;
+- :mod:`repro.fuzz.reducer` — delta-debugging shrinker that preserves a
+  failure's triage fingerprint;
+- :mod:`repro.fuzz.triage` — fingerprinting + JSONL finding corpus;
+- :mod:`repro.fuzz.harness` — the (optionally parallel) campaign driver
+  behind ``python -m repro.cli fuzz``.
+"""
+
+from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
+from repro.fuzz.harness import FuzzReport, FuzzRunner, FuzzSpec
+from repro.fuzz.mutators import mutate_case
+from repro.fuzz.oracle import CaseResult, run_case
+from repro.fuzz.reducer import reduce_case
+from repro.fuzz.triage import Finding, TriageCorpus, fingerprint
+
+__all__ = [
+    "CaseResult",
+    "Finding",
+    "FuzzCase",
+    "FuzzReport",
+    "FuzzRunner",
+    "FuzzSpec",
+    "GeneratorConfig",
+    "TriageCorpus",
+    "fingerprint",
+    "generate_case",
+    "mutate_case",
+    "reduce_case",
+    "run_case",
+]

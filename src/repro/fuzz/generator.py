@@ -1,0 +1,327 @@
+"""Seeded grammar-based kernel generation.
+
+:func:`generate_case` derives everything — kernel structure, launch
+geometry, buffer contents — from one integer seed through
+``random.Random``, so a case reproduces bit-identically from its seed on
+any platform (the property the resumable corpus and the reducer rely on).
+
+Generated kernels are *safe by construction*:
+
+- every memory access lands inside a parameter buffer (global thread ids
+  are bounded by the launch, offsets by the buffer size);
+- global memory is race-free: each buffer is split into per-thread *home*
+  words ``[0, T)``, per-thread *scratch* words ``[T, 2T)`` (``T`` = total
+  threads; thread ``g`` only ever stores words ``g`` and ``T+g``) and a
+  read-only tail ``[2T, buffer_words)`` that loop loads target — so no
+  word is written by one thread and touched by another, and re-executing
+  a region after fault recovery cannot observe a different interleaving
+  (Penny's contract only covers race-free kernels);
+- every loop has an immediate trip count (2–4) on a dedicated counter
+  register no other instruction overwrites;
+- barriers are only emitted while control flow is still uniform (before
+  the first tid-dependent branch);
+- registers are always defined before use on every path.
+
+Within those constraints the generator aims squarely at the compiler's
+hard parts: registers are *redefined* across region boundaries (overwrite
+hazards → renaming/coloring), accumulators are loop-carried (live-ins at
+loop headers), and loads feed address arithmetic (slice-based pruning).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpusim.memory import MemoryImage
+from repro.ir.builder import KernelBuilder
+from repro.ir.module import Kernel
+from repro.ir.parser import parse_kernel
+from repro.ir.printer import print_kernel
+
+#: ops safe on arbitrary u32 values (div/rem handle 0 in the simulator,
+#: but we keep them off the random pool to avoid trivially-masked lanes)
+_MIX_OPS = ("add", "sub", "mul", "and", "or", "xor", "min", "max")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs bounding the generated kernels."""
+
+    #: must cover 2 * (max_block * max_grid) private words + the loop
+    #: read-only tail (see the race-freedom notes in the module docstring)
+    buffer_words: int = 160
+    max_buffers: int = 3
+    min_segments: int = 3
+    max_segments: int = 6
+    max_block: int = 32
+    max_grid: int = 2
+    allow_shared: bool = True
+    allow_float: bool = True
+
+
+@dataclass
+class FuzzCase:
+    """One self-contained fuzz input: kernel text + launch + memory plan.
+
+    ``buffers`` maps pointer-param name to its initial words; scalars map
+    name to value.  :meth:`make_memory` rebuilds identical memory images
+    for the baseline and the protected run.
+    """
+
+    seed: int
+    kernel_text: str
+    block: int
+    grid: int
+    buffers: Dict[str, List[int]] = field(default_factory=dict)
+    scalars: Dict[str, int] = field(default_factory=dict)
+    mutations: List[str] = field(default_factory=list)
+
+    def kernel(self) -> Kernel:
+        return parse_kernel(self.kernel_text)
+
+    @property
+    def total_threads(self) -> int:
+        return self.block * self.grid
+
+    def make_memory(self) -> Tuple[MemoryImage, Dict[str, Tuple[int, int]]]:
+        """Fresh memory image + ``{buffer: (addr, words)}`` output map.
+
+        Allocation order is the sorted buffer-name order, so addresses are
+        identical across rebuilds of the same case.
+        """
+        mem = MemoryImage()
+        out: Dict[str, Tuple[int, int]] = {}
+        for name in sorted(self.buffers):
+            words = self.buffers[name]
+            addr = mem.alloc_global(len(words))
+            mem.upload(addr, words)
+            mem.set_param(name, addr)
+            out[name] = (addr, len(words))
+        for name, value in sorted(self.scalars.items()):
+            mem.set_param(name, value)
+        return mem, out
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "kernel_text": self.kernel_text,
+            "block": self.block,
+            "grid": self.grid,
+            "buffers": self.buffers,
+            "scalars": self.scalars,
+            "mutations": self.mutations,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FuzzCase":
+        return cls(
+            seed=d["seed"],
+            kernel_text=d["kernel_text"],
+            block=d["block"],
+            grid=d["grid"],
+            buffers={k: list(v) for k, v in d.get("buffers", {}).items()},
+            scalars=dict(d.get("scalars", {})),
+            mutations=list(d.get("mutations", [])),
+        )
+
+
+class _Gen:
+    """One generation run (all state threaded through ``self.rng``)."""
+
+    def __init__(self, seed: int, config: GeneratorConfig):
+        self.seed = seed
+        self.cfg = config
+        self.rng = random.Random(seed)
+        self.uniform = True  # no tid-dependent branch emitted yet
+        self.pool: List = []  # overwritable u32 value registers
+        self.protected: List = []  # never overwritten (bases, gtid, ...)
+        self.label_n = 0
+        self.total_threads = 0  # set by build(); the T of the layout
+
+    def _label(self, stem: str) -> str:
+        self.label_n += 1
+        return f"{stem}{self.label_n}"
+
+    def _pick(self):
+        return self.pool[self.rng.randrange(len(self.pool))]
+
+    def _any_value(self):
+        regs = self.pool + self.protected
+        return regs[self.rng.randrange(len(regs))]
+
+    def _dst(self):
+        """Half the time overwrite an existing pool register (hazard
+        pressure), otherwise define a fresh one."""
+        if self.pool and self.rng.random() < 0.5:
+            return self._pick()
+        return None
+
+    def build(self) -> FuzzCase:
+        rng, cfg = self.rng, self.cfg
+        block = rng.choice([4, 8, 16, min(32, cfg.max_block)])
+        grid = rng.randint(1, cfg.max_grid)
+        self.total_threads = block * grid
+        if cfg.buffer_words < 2 * self.total_threads + 4:
+            raise ValueError(
+                f"buffer_words={cfg.buffer_words} too small for "
+                f"{self.total_threads} threads (race-free layout needs "
+                f"2*T+4 words)"
+            )
+        nbuf = rng.randint(1, cfg.max_buffers)
+        buf_names = [chr(ord("A") + i) for i in range(nbuf)]
+        params = [(n, "ptr") for n in buf_names] + [("k", "u32")]
+        shared = []
+        use_shared = cfg.allow_shared and rng.random() < 0.5
+        if use_shared:
+            shared = [("smem", block)]
+
+        b = KernelBuilder(f"fz_{self.seed & 0xFFFFFF:06x}", params=params,
+                          shared=shared)
+        tid = b.special_u32("%tid.x")
+        ctaid = b.special_u32("%ctaid.x")
+        ntid = b.special_u32("%ntid.x")
+        gtid = b.mad(ctaid, ntid, tid)
+        bases = {n: b.ld_param(n) for n in buf_names}
+        kreg = b.ld_param("k")
+        self.protected = [gtid, tid, kreg] + list(bases.values())
+
+        # Seed the value pool with per-thread data from each buffer.
+        addr0 = {}
+        for n in buf_names:
+            addr0[n] = b.mad(gtid, 4, bases[n])
+            self.protected.append(addr0[n])
+            self.pool.append(b.ld("global", addr0[n], dtype="u32"))
+        self.pool.append(b.mov(rng.randrange(1, 64)))
+
+        segments = rng.randint(cfg.min_segments, cfg.max_segments)
+        emitters = [self._seg_straight, self._seg_loop, self._seg_memop]
+        if use_shared:
+            emitters.append(self._seg_shared)
+        emitters.append(self._seg_cond)
+        if cfg.allow_float:
+            emitters.append(self._seg_float)
+        for _ in range(segments):
+            emit = emitters[rng.randrange(len(emitters))]
+            emit(b, buf_names, bases, addr0, block, gtid)
+
+        # Final result store: fold the pool into buffer 0 at the thread's
+        # home slot, so every surviving computation is observable.
+        acc = self.pool[0]
+        for v in self.pool[1:3]:
+            acc = b.xor(acc, v)
+        b.st("global", addr0[buf_names[0]], acc)
+        b.ret()
+        kernel = b.finish()
+
+        buffers = {
+            n: [rng.getrandbits(32) for _ in range(cfg.buffer_words)]
+            for n in buf_names
+        }
+        return FuzzCase(
+            seed=self.seed,
+            kernel_text=print_kernel(kernel),
+            block=block,
+            grid=grid,
+            buffers=buffers,
+            scalars={"k": rng.randrange(1, 17)},
+        )
+
+    # -- segments ---------------------------------------------------------------
+
+    def _seg_straight(self, b, bufs, bases, addr0, block, gtid) -> None:
+        for _ in range(self.rng.randint(3, 8)):
+            op = self.rng.choice(_MIX_OPS)
+            a, c = self._pick(), self._any_value()
+            if self.rng.random() < 0.3:
+                c = self.rng.randrange(0, 1 << 16)
+            dst = b._alu(op, "u32", [a, c], self._dst())
+            if dst not in self.pool:
+                self.pool.append(dst)
+        if self.rng.random() < 0.5:
+            sh = b.shl(self._pick(), self.rng.randrange(0, 5))
+            self.pool.append(sh)
+
+    def _seg_loop(self, b, bufs, bases, addr0, block, gtid) -> None:
+        trip = self.rng.randint(2, 4)
+        i = b.mov(0, dst=b.reg("u32"))
+        head, exit_ = self._label("LOOP"), self._label("LEXIT")
+        acc = self._pick()
+        b.label(head)
+        p = b.setp("ge", i, trip)
+        b.bra(exit_, pred=p)
+        for _ in range(self.rng.randint(1, 3)):
+            op = self.rng.choice(_MIX_OPS)
+            b._alu(op, "u32", [acc, self._any_value()], acc)
+        if self.rng.random() < 0.5:
+            # loop-carried load from the read-only tail: word 2T+i is
+            # never stored by any thread, so the value is schedule- and
+            # rollback-independent
+            n = bufs[self.rng.randrange(len(bufs))]
+            off = b.shl(i, 2)
+            la = b.add(bases[n], off)
+            v = b.ld("global", la, offset=8 * self.total_threads,
+                     dtype="u32")
+            b._alu("add", "u32", [acc, v], acc)
+        b.add(i, 1, dst=i)
+        b.bra(head)
+        b.label(exit_)
+
+    def _seg_cond(self, b, bufs, bases, addr0, block, gtid) -> None:
+        skip = self._label("SKIP")
+        bound = self.rng.randrange(1, block * 2)
+        p = b.setp("ge", gtid, bound)
+        b.bra(skip, pred=p)
+        for _ in range(self.rng.randint(2, 4)):
+            op = self.rng.choice(_MIX_OPS)
+            # Only overwrite already-initialized registers here: a fresh
+            # register defined under the guard would be read-before-write
+            # for every thread that branches around this block, and a
+            # register without a dominating write cannot be protected
+            # (there is nothing to checkpoint, so recovery can never
+            # clear a fault landing in it).
+            b._alu(op, "u32", [self._pick(), self._any_value()],
+                   self._pick())
+        b.label(skip)
+        self.uniform = False
+
+    def _seg_memop(self, b, bufs, bases, addr0, block, gtid) -> None:
+        # store/reload through one of the thread's two private words:
+        # home (word gtid, offset 0) or scratch (word T+gtid)
+        n = bufs[self.rng.randrange(len(bufs))]
+        off = self.rng.choice([0, 4 * self.total_threads])
+        b.st("global", addr0[n], self._pick(), offset=off)
+        v = b.ld("global", addr0[n], offset=off, dtype="u32")
+        self.pool.append(v)
+
+    def _seg_shared(self, b, bufs, bases, addr0, block, gtid) -> None:
+        if not self.uniform:
+            return  # a barrier after divergence could livelock
+        smem = b.addr_of("smem")
+        sa = b.mad(b.special_u32("%tid.x"), 4, smem)
+        b.st("shared", sa, self._pick())
+        b.bar()
+        # neighbour read: (tid + 1) mod block stays in the array
+        t1 = b.add(b.special_u32("%tid.x"), 1)
+        tm = b.rem(t1, block)
+        na = b.mad(tm, 4, smem)
+        v = b.ld("shared", na, dtype="u32")
+        b.bar()
+        self.pool.append(v)
+
+    def _seg_float(self, b, bufs, bases, addr0, block, gtid) -> None:
+        f = b.cvt(self._pick(), "f32")
+        g = b.cvt(gtid, "f32")
+        h = b.fma(f, 0.5, g)
+        if self.rng.random() < 0.5:
+            h = b._alu(self.rng.choice(("add", "mul", "max")), "f32", [h, g])
+        back = b.cvt(h, "u32")
+        self.pool.append(b.and_(back, 0xFFFF))
+
+
+def generate_case(
+    seed: int, config: Optional[GeneratorConfig] = None
+) -> FuzzCase:
+    """Generate the (deterministic) fuzz case for ``seed``."""
+    return _Gen(seed, config or GeneratorConfig()).build()

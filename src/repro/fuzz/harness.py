@@ -1,0 +1,236 @@
+"""The fuzz campaign driver.
+
+Mirrors the fault-injection campaign engine's architecture
+(:mod:`repro.gpusim.campaign`): a pure-data :class:`FuzzSpec` from which
+worker processes rebuild everything, deterministic per-iteration SHA-256
+seeding (iteration ``i`` of a campaign produces the same case and the
+same oracle verdict no matter which worker runs it, or whether any
+worker runs it twice), and an optional crash-safe JSONL finding corpus.
+
+Reduction runs in the parent after the sweep: one representative per
+triage bucket is shrunk with the ddmin reducer under a same-fingerprint
+repro check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
+from repro.fuzz.mutators import mutate_case
+from repro.fuzz.oracle import run_case
+from repro.fuzz.reducer import instruction_count, reduce_case
+from repro.fuzz.triage import Finding, TriageCorpus
+from repro.gpusim.campaign import stable_seed
+
+#: per-iteration outcome labels (findings carry their stage separately)
+OUTCOME_OK = "ok"
+OUTCOME_INVALID = "invalid_case"
+OUTCOME_BASELINE_SKIP = "baseline_skip"
+OUTCOME_FINDING = "finding"
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Everything a worker needs to run any iteration of a campaign."""
+
+    iterations: int = 100
+    seed: int = 2020
+    scheme: str = "Penny"
+    strict: bool = False
+    fault: bool = True
+    mutate_rate: float = 0.3
+    mutate_rounds: int = 2
+    buffer_words: int = 160
+
+    def __post_init__(self):
+        if self.iterations < 0:
+            raise ValueError("iterations must be >= 0")
+        if not 0.0 <= self.mutate_rate <= 1.0:
+            raise ValueError("mutate_rate must be in [0, 1]")
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FuzzSpec":
+        return cls(**d)
+
+    def generator_config(self) -> GeneratorConfig:
+        return GeneratorConfig(buffer_words=self.buffer_words)
+
+    def case_for_iteration(self, index: int) -> FuzzCase:
+        """Deterministically build iteration ``index``'s case."""
+        import random
+
+        case_seed = stable_seed(self.seed, index)
+        case = generate_case(case_seed, self.generator_config())
+        rng = random.Random(stable_seed(self.seed, index) ^ 0x5EED)
+        if rng.random() < self.mutate_rate:
+            case = mutate_case(
+                case, rng.getrandbits(32), rounds=self.mutate_rounds
+            )
+        return case
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated sweep results."""
+
+    spec: Optional[FuzzSpec] = None
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def iterations_run(self) -> int:
+        return sum(self.outcomes.values())
+
+    def buckets(self) -> Dict[str, List[Finding]]:
+        out: Dict[str, List[Finding]] = {}
+        for f in self.findings:
+            out.setdefault(f.fingerprint, []).append(f)
+        return out
+
+    def to_dict(self) -> Dict:
+        return {
+            "spec": self.spec.to_dict() if self.spec else None,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "buckets": {
+                fp: {
+                    "count": len(fs),
+                    "stage": fs[0].stage,
+                    "pass": fs[0].pass_name,
+                    "exc_type": fs[0].exc_type,
+                    "example_seed": fs[0].seed,
+                    "reduced_instructions": fs[0].reduced_instructions,
+                    "original_instructions": fs[0].original_instructions,
+                }
+                for fp, fs in sorted(self.buckets().items())
+            },
+        }
+
+
+def _run_iteration(spec: FuzzSpec, index: int) -> Dict:
+    """One iteration → a plain-data record (process-boundary safe)."""
+    case = spec.case_for_iteration(index)
+    result = run_case(
+        case,
+        scheme=spec.scheme,
+        strict=spec.strict,
+        fault=spec.fault,
+        iteration=index,
+    )
+    record: Dict = {"index": index, "outcome": result.status}
+    if result.finding is not None:
+        record["finding"] = dataclasses.asdict(result.finding)
+    return record
+
+
+_WORKER_SPEC: Optional[FuzzSpec] = None
+
+
+def _worker_init(spec_dict: Dict) -> None:
+    global _WORKER_SPEC
+    _WORKER_SPEC = FuzzSpec.from_dict(spec_dict)
+
+
+def _worker_run(index: int) -> Dict:
+    assert _WORKER_SPEC is not None, "worker pool not initialized"
+    return _run_iteration(_WORKER_SPEC, index)
+
+
+class FuzzRunner:
+    """Runs a :class:`FuzzSpec`, optionally in parallel, then triages
+    (and optionally reduces) the findings."""
+
+    def __init__(
+        self,
+        spec: FuzzSpec,
+        workers: int = 1,
+        journal_path: Optional[str] = None,
+    ):
+        self.spec = spec
+        self.workers = max(1, workers)
+        self.journal_path = journal_path
+
+    def run(self, reduce: bool = False) -> FuzzReport:
+        report = FuzzReport(spec=self.spec)
+        corpus = TriageCorpus(self.journal_path)
+        try:
+            for record in self._execute(range(self.spec.iterations)):
+                outcome = record["outcome"]
+                report.outcomes[outcome] = (
+                    report.outcomes.get(outcome, 0) + 1
+                )
+                if "finding" in record:
+                    finding = Finding(**record["finding"])
+                    report.findings.append(finding)
+            if reduce and report.findings:
+                self._reduce_buckets(report)
+            # Corpus entries are written once, post-reduction, so the
+            # journal carries the shrunk reproducers.
+            for finding in report.findings:
+                corpus.append(finding)
+        finally:
+            corpus.close()
+        return report
+
+    def _execute(self, todo: Sequence[int]) -> Iterable[Dict]:
+        if self.workers <= 1 or len(todo) <= 1:
+            for i in todo:
+                yield _run_iteration(self.spec, i)
+            return
+        import multiprocessing as mp
+
+        ctx = mp.get_context()
+        with ctx.Pool(
+            processes=self.workers,
+            initializer=_worker_init,
+            initargs=(self.spec.to_dict(),),
+        ) as pool:
+            for record in pool.imap_unordered(_worker_run, todo, chunksize=1):
+                yield record
+
+    # -- reduction ----------------------------------------------------------------
+
+    def _reduce_buckets(self, report: FuzzReport) -> None:
+        """ddmin the first finding of every bucket in-place."""
+        for fp, findings in report.buckets().items():
+            rep = findings[0]
+            case = rep.fuzz_case()
+            original = instruction_count(case.kernel_text)
+
+            def reproduces(candidate: FuzzCase) -> bool:
+                result = run_case(
+                    candidate,
+                    scheme=self.spec.scheme,
+                    strict=self.spec.strict,
+                    fault=self.spec.fault,
+                    iteration=rep.iteration,
+                )
+                return (
+                    result.finding is not None
+                    and result.finding.fingerprint == fp
+                )
+
+            reduced = reduce_case(case, reproduces)
+            rep.original_instructions = original
+            rep.reduced_instructions = instruction_count(
+                reduced.kernel_text
+            )
+            rep.reduced_kernel = reduced.kernel_text
+
+
+def run_fuzz(
+    spec: FuzzSpec,
+    workers: int = 1,
+    journal_path: Optional[str] = None,
+    reduce: bool = False,
+) -> FuzzReport:
+    """Convenience wrapper mirroring :func:`repro.gpusim.campaign.run_campaign`."""
+    return FuzzRunner(
+        spec, workers=workers, journal_path=journal_path
+    ).run(reduce=reduce)

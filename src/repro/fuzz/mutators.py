@@ -1,0 +1,212 @@
+"""Seeded IR mutations over fuzz cases.
+
+Mutators work on the *structural* IR (parse → mutate → print), so a
+mutant is always syntactically well-formed PTX text; what a mutation may
+break is kernel-level validity (``Kernel.validate``) or memory safety at
+runtime.  Both are expected fuzz outcomes, not bugs: the oracle records
+them as ``invalid_case`` / ``baseline_skip`` and moves on.  What mutation
+buys is coverage the generator's safe-by-construction grammar cannot
+reach — dead stores, duplicated defs, perturbed immediates, flipped
+guards — each of which reshapes liveness, hazards, and slices.
+
+The one invariant mutators must *preserve* is the generator's race-free
+memory layout: a mutation that changes which address an instruction
+touches (or how often an address-feeding register is bumped) can make
+two threads share a word, and a racy kernel fails the differential
+oracle for scheduling reasons, not compiler bugs.  So every mutator
+skips instructions whose destination transitively feeds a memory
+address (:func:`_address_taint`), and barriers are never dropped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as _dc_replace
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.fuzz.generator import FuzzCase
+from repro.ir.instructions import Alu, Bar, Bra, Instruction, Ld, Ret, St
+from repro.ir.module import Kernel
+from repro.ir.parser import parse_kernel
+from repro.ir.printer import print_kernel
+from repro.ir.types import Imm, Reg
+
+_COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor", "min", "max"})
+_SWAPPABLE = ("add", "sub", "mul", "min", "max", "and", "or", "xor")
+_INTERESTING = (0, 1, 2, 3, 4, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF)
+
+
+def _flat(kernel: Kernel) -> List[Tuple[int, int, Instruction]]:
+    out = []
+    for bi, blk in enumerate(kernel.blocks):
+        for ii, inst in enumerate(blk.instructions):
+            out.append((bi, ii, inst))
+    return out
+
+
+def _address_taint(kernel: Kernel) -> FrozenSet[str]:
+    """Names of registers that transitively feed a memory address."""
+    tainted = set()
+    insts = [inst for _, _, inst in _flat(kernel)]
+    for inst in insts:
+        if isinstance(inst, (Ld, St)) and isinstance(inst.base, Reg):
+            tainted.add(inst.base.name)
+    changed = True
+    while changed:
+        changed = False
+        for inst in insts:
+            if any(r.name in tainted for r in inst.defs()):
+                for r in inst.reg_uses():
+                    if r.name not in tainted:
+                        tainted.add(r.name)
+                        changed = True
+    return frozenset(tainted)
+
+
+def _untainted(inst: Instruction, taint: FrozenSet[str]) -> bool:
+    return not any(r.name in taint for r in inst.defs())
+
+
+def _mut_tweak_immediate(
+    kernel: Kernel, rng: random.Random, taint: FrozenSet[str]
+) -> Optional[str]:
+    candidates = []
+    for bi, ii, inst in _flat(kernel):
+        if isinstance(inst, Alu) and _untainted(inst, taint):
+            for si, src in enumerate(inst.srcs):
+                if isinstance(src, Imm) and not src.dtype.is_float:
+                    candidates.append((inst, si, src))
+    if not candidates:
+        return None
+    inst, si, src = candidates[rng.randrange(len(candidates))]
+    if rng.random() < 0.5:
+        value = rng.choice(_INTERESTING)
+    else:
+        value = (int(src.value) + rng.choice((-2, -1, 1, 2))) & 0xFFFFFFFF
+    inst.srcs[si] = Imm(value, src.dtype)
+    return f"imm:{value:#x}"
+
+
+def _mut_swap_operands(
+    kernel: Kernel, rng: random.Random, taint: FrozenSet[str]
+) -> Optional[str]:
+    candidates = [
+        inst
+        for _, _, inst in _flat(kernel)
+        if isinstance(inst, Alu)
+        and len(inst.srcs) >= 2
+        and _untainted(inst, taint)
+    ]
+    if not candidates:
+        return None
+    inst = candidates[rng.randrange(len(candidates))]
+    inst.srcs[0], inst.srcs[1] = inst.srcs[1], inst.srcs[0]
+    sem = "commutes" if inst.op in _COMMUTATIVE else "changes"
+    return f"swap:{inst.op}:{sem}"
+
+
+def _mut_change_op(
+    kernel: Kernel, rng: random.Random, taint: FrozenSet[str]
+) -> Optional[str]:
+    candidates = [
+        inst
+        for _, _, inst in _flat(kernel)
+        if isinstance(inst, Alu)
+        and inst.op in _SWAPPABLE
+        and not inst.dtype.is_float
+        and len(inst.srcs) == 2
+        and _untainted(inst, taint)
+    ]
+    if not candidates:
+        return None
+    inst = candidates[rng.randrange(len(candidates))]
+    old = inst.op
+    inst.op = rng.choice([op for op in _SWAPPABLE if op != old])
+    return f"op:{old}->{inst.op}"
+
+
+def _mut_dup_inst(
+    kernel: Kernel, rng: random.Random, taint: FrozenSet[str]
+) -> Optional[str]:
+    # duplicating an address-feeding def is NOT idempotent (a counter
+    # bump twice per trip shifts every address it derives), hence the
+    # taint filter even though the copy computes "the same thing"
+    candidates = [
+        (bi, ii, inst)
+        for bi, ii, inst in _flat(kernel)
+        if isinstance(inst, (Alu, Ld, St)) and _untainted(inst, taint)
+    ]
+    if not candidates:
+        return None
+    bi, ii, inst = candidates[rng.randrange(len(candidates))]
+    # Re-parsing yields a structurally fresh copy sharing no operands.
+    kernel.blocks[bi].instructions.insert(ii, inst)
+    return f"dup:{type(inst).__name__.lower()}"
+
+
+def _mut_drop_inst(
+    kernel: Kernel, rng: random.Random, taint: FrozenSet[str]
+) -> Optional[str]:
+    # barriers stay: dropping one un-synchronizes the shared-memory
+    # neighbour exchange and the diff oracle would see the race, not a bug
+    candidates = [
+        (bi, ii, inst)
+        for bi, ii, inst in _flat(kernel)
+        if not isinstance(inst, (Bra, Ret, Bar))
+        and _untainted(inst, taint)
+    ]
+    if not candidates:
+        return None
+    bi, ii, inst = candidates[rng.randrange(len(candidates))]
+    del kernel.blocks[bi].instructions[ii]
+    return f"drop:{type(inst).__name__.lower()}"
+
+
+def _mut_flip_guard(
+    kernel: Kernel, rng: random.Random, taint: FrozenSet[str]
+) -> Optional[str]:
+    candidates = [
+        inst for _, _, inst in _flat(kernel) if inst.guard is not None
+    ]
+    if not candidates:
+        return None
+    inst = candidates[rng.randrange(len(candidates))]
+    reg, sense = inst.guard
+    inst.guard = (reg, not sense)
+    return f"guard:!{reg.name}"
+
+
+_MUTATORS = (
+    _mut_tweak_immediate,
+    _mut_swap_operands,
+    _mut_change_op,
+    _mut_dup_inst,
+    _mut_drop_inst,
+    _mut_flip_guard,
+)
+
+
+def mutate_case(
+    case: FuzzCase, seed: int, rounds: int = 2
+) -> FuzzCase:
+    """Apply ``rounds`` seeded mutations to ``case``'s kernel.
+
+    Always returns a *new* case (the input is never touched) whose
+    ``mutations`` log records what was applied.  Individual mutators can
+    decline (no candidate sites); declined rounds are skipped.
+    """
+    rng = random.Random(seed)
+    kernel = parse_kernel(case.kernel_text)
+    taint = _address_taint(kernel)
+    applied: List[str] = []
+    for _ in range(rounds):
+        mut = _MUTATORS[rng.randrange(len(_MUTATORS))]
+        tag = mut(kernel, rng, taint)
+        if tag is not None:
+            applied.append(tag)
+    text = print_kernel(kernel)
+    return _dc_replace(
+        case,
+        kernel_text=text,
+        mutations=list(case.mutations) + applied,
+    )

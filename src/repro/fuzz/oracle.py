@@ -1,0 +1,394 @@
+"""The differential oracle.
+
+For one :class:`FuzzCase` the oracle checks, in order:
+
+1. **Validity** — the kernel parses and validates (mutants may not;
+   that is an ``invalid_case`` outcome, not a finding).
+2. **Baseline** — the *unprotected* kernel runs to completion on the
+   functional simulator.  A baseline crash means the case itself is bad
+   (``baseline_skip``), again not a compiler bug.
+3. **Compilation** — the Penny compiler protects the kernel.  In
+   ``strict=False`` mode *any* exception is a finding (the fallback
+   lattice promised never to raise); in ``strict=True`` mode typed
+   ``CompileError``\\ s and bare crashes alike are findings.
+4. **Static verification** — ``verify_compiled`` must be clean.
+5. **Zero-fault differential** — the protected kernel's final buffer
+   contents must equal the baseline's exactly.
+6. **Fault recovery** — under a deterministically-seeded single-bit
+   register-file fault (same SHA-256 per-index seeding as the campaign
+   engine) the protected kernel must finish with the baseline's output:
+   a mismatch is silent data corruption, a simulator exception is a
+   detected-unrecoverable failure; both break the paper's guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import CompileError, FallbackExhaustedError
+from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+from repro.core.schemes import scheme_config
+from repro.core.verify import verify_compiled
+from repro.fuzz.generator import FuzzCase
+from repro.fuzz.triage import Finding, fingerprint
+from repro.gpusim.campaign import stable_seed
+from repro.gpusim.executor import Executor, Launch, SimulationError
+from repro.gpusim.faults import FaultPlan
+from repro.gpusim.memory import MemoryError32
+
+#: instruction budget for the unprotected baseline (generated kernels are
+#: tiny; a mutant that spins past this is discarded, not reported)
+BASELINE_BUDGET = 300_000
+#: protected-run budget: checkpoints + recoveries inflate the dynamic
+#: count, but far less than this multiplier
+PROTECTED_BUDGET_FACTOR = 50
+PROTECTED_BUDGET_FLOOR = 50_000
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one oracle evaluation."""
+
+    status: str  # "ok" | "invalid_case" | "baseline_skip" | "finding"
+    finding: Optional[Finding] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_finding(self) -> bool:
+        return self.status == "finding"
+
+
+def _reads_uninitialized(kernel) -> bool:
+    """True when some path reaches a register read with no prior write
+    (a *definitely-assigned* dataflow analysis over the CFG).
+
+    The generator never produces such kernels, but mutation can (drop
+    the defining instruction, flip a branch guard so a defining block is
+    skipped).  The baseline tolerates the result — uninitialized
+    registers read as zero — but the protection contract cannot hold: a
+    register with no dominating write has no checkpoint, so a fault
+    landing in it is restored by nothing and recovery loops until the
+    budget trips.  Such kernels are undefined-behavior inputs and must
+    be discarded as ``invalid_case``, never reported as findings.
+
+    The analysis is instruction-granular: IN[i] is the set of registers
+    written on *every* path reaching instruction ``i`` (meet = set
+    intersection), guarded instructions do not count as writes (the
+    predicate may be false), and a read outside IN is a violation.
+    """
+    from repro.ir.instructions import Bra, Ret
+
+    flat = []  # (inst, block_index)
+    block_start: Dict[int, int] = {}  # block index -> flat index
+    for bi, blk in enumerate(kernel.blocks):
+        block_start[bi] = len(flat)
+        for inst in blk.instructions:
+            flat.append(inst)
+    block_start[len(kernel.blocks)] = len(flat)
+    label_to_flat = {
+        blk.label: block_start[bi]
+        for bi, blk in enumerate(kernel.blocks)
+    }
+    n = len(flat)
+    if n == 0:
+        return False
+
+    def successors(i: int) -> List[int]:
+        inst = flat[i]
+        if isinstance(inst, Ret):
+            return []
+        if isinstance(inst, Bra):
+            tgt = label_to_flat[inst.target]
+            if inst.guard is None:
+                return [tgt]
+            return [j for j in (i + 1, tgt) if j < n] or []
+        return [i + 1] if i + 1 < n else []
+
+    preds: List[List[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for j in successors(i):
+            preds[j].append(i)
+
+    universe = set()
+    for inst in flat:
+        universe.update(r.name for r in inst.defs())
+
+    def gen(i: int) -> set:
+        inst = flat[i]
+        if inst.guard is not None:
+            return set()  # predicated-off executions do not write
+        return {r.name for r in inst.defs()}
+
+    out = [set(universe) for _ in range(n)]
+    out[0] = gen(0)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n):
+            if i == 0 or not preds[i]:
+                inn = set()
+            else:
+                inn = set.intersection(*(out[p] for p in preds[i]))
+            new_out = inn | gen(i)
+            if new_out != out[i]:
+                out[i] = new_out
+                changed = True
+
+    for i in range(n):
+        if i == 0 or not preds[i]:
+            inn = set()
+        else:
+            inn = set.intersection(*(out[p] for p in preds[i]))
+        for reg in flat[i].reg_uses():
+            if reg.name not in inn:
+                return True
+    return False
+
+
+def _resolve_config(scheme: Union[str, PennyConfig]) -> PennyConfig:
+    if isinstance(scheme, PennyConfig):
+        return scheme
+    return scheme_config(scheme)
+
+
+def _error_fields(exc: BaseException) -> Tuple[str, str, str]:
+    """(exc_type, pass_name, message) for fingerprinting.
+
+    A :class:`FallbackExhaustedError` is bucketed by its *terminal* cause:
+    the lattice exhausting is the symptom, the pass that killed the last
+    rung is the bug.
+    """
+    if isinstance(exc, FallbackExhaustedError) and exc.terminal_cause:
+        cause = exc.terminal_cause
+        ctype, cpass, _ = _error_fields(cause)
+        return ctype, cpass, str(cause)
+    if isinstance(exc, CompileError):
+        return type(exc).__name__, exc.pass_name, exc.message
+    return type(exc).__name__, "unknown", str(exc)
+
+
+def _make_finding(
+    iteration: int,
+    case: FuzzCase,
+    stage: str,
+    exc: Optional[BaseException] = None,
+    message: Optional[str] = None,
+    exc_type: str = "OracleMismatch",
+    pass_name: str = "oracle",
+) -> Finding:
+    if exc is not None:
+        exc_type, pass_name, message = _error_fields(exc)
+    error = exc.to_dict() if isinstance(exc, CompileError) else {
+        "type": exc_type,
+        "message": message,
+    }
+    return Finding(
+        iteration=iteration,
+        seed=case.seed,
+        stage=stage,
+        exc_type=exc_type,
+        pass_name=pass_name,
+        message=message or "",
+        fingerprint=fingerprint(stage, exc_type, pass_name, message or ""),
+        case=case.to_dict(),
+        error={k: v for k, v in error.items() if k != "kernel_ptx"},
+    )
+
+
+def _download_outputs(mem, out_map) -> List[Tuple[str, List[int]]]:
+    return [
+        (name, mem.download(addr, words))
+        for name, (addr, words) in sorted(out_map.items())
+    ]
+
+
+def run_case(
+    case: FuzzCase,
+    scheme: Union[str, PennyConfig] = "Penny",
+    strict: bool = False,
+    fault: bool = True,
+    iteration: int = 0,
+) -> CaseResult:
+    """Run the full differential oracle over one case."""
+    stats: Dict[str, float] = {}
+
+    # 1. validity
+    try:
+        kernel = case.kernel()
+        kernel.validate()
+    except ValueError:
+        return CaseResult(status="invalid_case", stats=stats)
+    if _reads_uninitialized(kernel):
+        return CaseResult(status="invalid_case", stats=stats)
+
+    launch = Launch(grid=case.grid, block=case.block)
+    launch_cfg = LaunchConfig(
+        threads_per_block=case.block, num_blocks=case.grid
+    )
+
+    # 2. unprotected baseline
+    mem, out_map = case.make_memory()
+    try:
+        base_exec = Executor(
+            kernel,
+            rf_code_factory=lambda: None,
+            max_instructions_per_thread=BASELINE_BUDGET,
+        ).run(launch, mem)
+    except (SimulationError, MemoryError32):
+        return CaseResult(status="baseline_skip", stats=stats)
+    baseline = _download_outputs(mem, out_map)
+    stats["baseline_instructions"] = float(base_exec.instructions)
+    per_thread_max = max(
+        base_exec.thread_instructions.values(), default=1
+    )
+    protected_budget = max(
+        PROTECTED_BUDGET_FLOOR, per_thread_max * PROTECTED_BUDGET_FACTOR
+    )
+
+    # 3. compile
+    compiler = PennyCompiler(_resolve_config(scheme), strict=strict)
+    try:
+        result = compiler.compile(case.kernel(), launch_cfg)
+    except Exception as exc:
+        return CaseResult(
+            status="finding",
+            finding=_make_finding(iteration, case, "compile", exc=exc),
+            stats=stats,
+        )
+    protected = result.kernel
+    stats["fallback_level"] = result.stats.get("fallback_level", 0.0)
+
+    # 4. static verification (the non-strict lattice already verified)
+    if result.stats.get("verified") != 1.0:
+        problems = verify_compiled(protected)
+        if problems:
+            return CaseResult(
+                status="finding",
+                finding=_make_finding(
+                    iteration,
+                    case,
+                    "verify",
+                    message="; ".join(problems[:5]),
+                    exc_type="VerificationProblems",
+                    pass_name="verify",
+                ),
+                stats=stats,
+            )
+
+    # 5. zero-fault differential
+    mem2, out_map2 = case.make_memory()
+    try:
+        Executor(
+            protected,
+            max_instructions_per_thread=protected_budget,
+        ).run(launch, mem2)
+    except (SimulationError, MemoryError32) as exc:
+        return CaseResult(
+            status="finding",
+            finding=_make_finding(
+                iteration,
+                case,
+                "run_zero_fault",
+                message=str(exc),
+                exc_type=type(exc).__name__,
+                pass_name="simulator",
+            ),
+            stats=stats,
+        )
+    protected_out = _download_outputs(mem2, out_map2)
+    if protected_out != baseline:
+        diffs = [
+            name
+            for (name, a), (_, b) in zip(protected_out, baseline)
+            if a != b
+        ]
+        return CaseResult(
+            status="finding",
+            finding=_make_finding(
+                iteration,
+                case,
+                "diff_zero_fault",
+                message=f"buffers differ from baseline: {diffs}",
+                exc_type="DifferentialMismatch",
+                pass_name="oracle",
+            ),
+            stats=stats,
+        )
+
+    # 6. fault recovery
+    if fault and protected.meta.get("recovery_table") is not None:
+        fault_result = _run_fault(
+            case, protected, launch, protected_budget, iteration
+        )
+        if fault_result is not None:
+            return CaseResult(
+                status="finding", finding=fault_result, stats=stats
+            )
+    return CaseResult(status="ok", stats=stats)
+
+
+def _run_fault(
+    case: FuzzCase,
+    protected,
+    launch: Launch,
+    budget: int,
+    iteration: int,
+) -> Optional[Finding]:
+    """One deterministic single-bit RF injection; returns a finding when
+    the protection contract breaks."""
+    import random
+
+    # A fresh zero-fault run profiles thread lifetimes for point selection
+    # (the run above already proved this cannot raise).
+    mem_p, out_map = case.make_memory()
+    profile = Executor(
+        protected, max_instructions_per_thread=budget
+    ).run(launch, mem_p)
+    golden = _download_outputs(mem_p, out_map)
+    lifetimes = {
+        k: n for k, n in profile.thread_instructions.items() if n >= 2
+    }
+    if not lifetimes:
+        return None
+
+    rng = random.Random(stable_seed(case.seed, 1))
+    ctaid, tid = sorted(lifetimes)[rng.randrange(len(lifetimes))]
+    point = rng.randrange(1, lifetimes[(ctaid, tid)])
+    plan = FaultPlan(
+        ctaid=ctaid,
+        tid=tid,
+        after_instructions=point,
+        bits=(rng.randrange(33),),
+        rng_seed=rng.getrandbits(30),
+    )
+    mem_f, out_map_f = case.make_memory()
+    try:
+        Executor(
+            protected,
+            max_instructions_per_thread=budget,
+            fault_plan=plan,
+        ).run(launch, mem_f)
+    except (SimulationError, MemoryError32) as exc:
+        cause = getattr(exc, "cause", type(exc).__name__)
+        return _make_finding(
+            iteration,
+            case,
+            "fault",
+            message=f"injected fault was unrecoverable ({cause}): {exc}",
+            exc_type=type(exc).__name__,
+            pass_name="recovery",
+        )
+    if not plan.injected:
+        return None  # thread retired before the injection point
+    faulted = _download_outputs(mem_f, out_map_f)
+    if faulted != golden:
+        return _make_finding(
+            iteration,
+            case,
+            "fault",
+            message="silent data corruption after injected fault",
+            exc_type="FaultSdc",
+            pass_name="recovery",
+        )
+    return None

@@ -1,0 +1,102 @@
+"""Delta-debugging reduction of failing fuzz cases.
+
+Classic ddmin over the kernel's flat instruction list: try to delete
+chunks of instructions, keep a deletion when the shrunk case still fails
+*with the same triage fingerprint*, halve the chunk size when a whole
+pass makes no progress.  Control-flow instructions participate too — a
+candidate that breaks structural validity simply fails the repro check
+(``Kernel.validate`` rejects it inside the oracle) and is discarded, so
+no special-casing of branches is needed beyond skipping terminators that
+validation forces us to keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _dc_replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.generator import FuzzCase
+from repro.ir.parser import parse_kernel
+from repro.ir.printer import print_kernel
+
+
+def instruction_count(kernel_text: str) -> int:
+    kernel = parse_kernel(kernel_text)
+    return sum(len(blk.instructions) for blk in kernel.blocks)
+
+
+def _drop_positions(
+    kernel_text: str, positions: Sequence[int]
+) -> Optional[str]:
+    """Kernel text with the flat instruction ``positions`` removed, or
+    ``None`` when the result is not even structurally valid."""
+    kernel = parse_kernel(kernel_text)
+    drop = set(positions)
+    flat = 0
+    for blk in kernel.blocks:
+        kept = []
+        for inst in blk.instructions:
+            if flat not in drop:
+                kept.append(inst)
+            flat += 1
+        blk.instructions = kept
+    # Blocks may now be empty; that is fine (fall-through) except for a
+    # final falling-through block, which validate() rejects below.
+    try:
+        kernel.validate()
+    except ValueError:
+        return None
+    return print_kernel(kernel)
+
+
+def reduce_case(
+    case: FuzzCase,
+    check: Callable[[FuzzCase], bool],
+    max_checks: int = 400,
+) -> FuzzCase:
+    """Shrink ``case`` while ``check`` (same-fingerprint repro) holds.
+
+    ``check`` receives a candidate case and must return True iff the
+    original failure reproduces with an identical fingerprint.  The
+    returned case is the smallest reproducer found within ``max_checks``
+    oracle invocations (the original case if nothing could be removed).
+    """
+    current = case
+    checks = 0
+
+    def try_candidate(text: str) -> Optional[FuzzCase]:
+        nonlocal checks
+        if checks >= max_checks:
+            return None
+        candidate = _dc_replace(current, kernel_text=text)
+        checks += 1
+        return candidate if check(candidate) else None
+
+    n = 2
+    while True:
+        count = instruction_count(current.kernel_text)
+        if count <= 1:
+            break
+        n = min(n, count)
+        chunk = max(1, count // n)
+        progress = False
+        start = 0
+        while start < count:
+            positions = list(range(start, min(start + chunk, count)))
+            text = _drop_positions(current.kernel_text, positions)
+            if text is not None and text != current.kernel_text:
+                candidate = try_candidate(text)
+                if candidate is not None:
+                    current = candidate
+                    progress = True
+                    break  # counts shifted; restart the scan
+            start += chunk
+        if checks >= max_checks:
+            break
+        if progress:
+            n = max(2, n - 1)
+            continue
+        if chunk == 1:
+            break  # single-instruction granularity exhausted
+        n = min(count, n * 2)
+    return current

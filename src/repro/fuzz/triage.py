@@ -1,0 +1,117 @@
+"""Failure fingerprinting and the JSONL finding corpus.
+
+A *fingerprint* buckets failures by what broke, not where the RNG was:
+``stage : exception type : pass : normalized message``.  Normalization
+strips the parts that vary between kernels hitting the same bug —
+register names, labels, numbers — so one compiler defect found by 40
+different seeds lands in one bucket, and the reducer only has to shrink
+one representative per bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fuzz.generator import FuzzCase
+
+_REG_RE = re.compile(r"%[A-Za-z_][\w.]*")
+_HEX_RE = re.compile(r"0x[0-9a-fA-F]+")
+_LABEL_RE = re.compile(r"\b[A-Z][A-Z_]*\d+(?:_split_\d+)?\b")
+_NUM_RE = re.compile(r"\b\d+\b")
+
+
+def normalize_message(message: str) -> str:
+    """Strip kernel-specific identifiers out of an error message."""
+    msg = _REG_RE.sub("%R", message)
+    msg = _HEX_RE.sub("0xN", msg)
+    msg = _LABEL_RE.sub("L", msg)
+    msg = _NUM_RE.sub("N", msg)
+    return msg.strip()
+
+
+def fingerprint(
+    stage: str, exc_type: str, pass_name: str, message: str
+) -> str:
+    """The bucket key: exception type + pass + normalized message."""
+    return f"{stage}:{exc_type}:{pass_name}:{normalize_message(message)}"
+
+
+@dataclass
+class Finding:
+    """One triaged fuzz failure (JSONL-serializable)."""
+
+    iteration: int
+    seed: int
+    stage: str  # compile | verify | run_zero_fault | diff_zero_fault | fault
+    exc_type: str
+    pass_name: str
+    message: str
+    fingerprint: str
+    case: Dict = field(default_factory=dict)
+    reduced_kernel: Optional[str] = None
+    reduced_instructions: Optional[int] = None
+    original_instructions: Optional[int] = None
+    error: Dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Finding":
+        return cls(**json.loads(line))
+
+    def fuzz_case(self) -> FuzzCase:
+        return FuzzCase.from_dict(self.case)
+
+
+class TriageCorpus:
+    """An append-only JSONL corpus of findings, bucketed by fingerprint.
+
+    With a ``path`` every appended finding is flushed to disk
+    immediately (crash-safe, like the campaign journal); without one the
+    corpus is purely in-memory.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.findings: List[Finding] = []
+        self._f = open(path, "w") if path else None
+
+    def append(self, finding: Finding) -> None:
+        self.findings.append(finding)
+        if self._f is not None:
+            self._f.write(finding.to_json() + "\n")
+            self._f.flush()
+            os.fsync(self._f.fileno())
+
+    def buckets(self) -> Dict[str, List[Finding]]:
+        out: Dict[str, List[Finding]] = {}
+        for f in self.findings:
+            out.setdefault(f.fingerprint, []).append(f)
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        return {fp: len(fs) for fp, fs in sorted(self.buckets().items())}
+
+    def close(self) -> None:
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    @classmethod
+    def load(cls, path: str) -> "TriageCorpus":
+        corpus = cls()
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    corpus.findings.append(Finding.from_json(line))
+                except (json.JSONDecodeError, TypeError):
+                    continue  # torn tail of a killed run
+        return corpus

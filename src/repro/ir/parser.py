@@ -284,8 +284,19 @@ def parse_module(text: str) -> Module:
             continue
         try:
             parser.emit(parser.parse_instruction(line))
+        except PtxParseError:
+            raise
         except ValueError as exc:
             raise PtxParseError(str(exc), lineno, raw) from exc
+        except (KeyError, IndexError, AttributeError) as exc:
+            # Table lookups and operand splitting fail with bare
+            # KeyError/IndexError on malformed text; surface them with
+            # the same line context instead of leaking internals.
+            raise PtxParseError(
+                f"malformed instruction ({type(exc).__name__}: {exc})",
+                lineno,
+                raw,
+            ) from exc
     if parser is not None:
         raise PtxParseError("unterminated kernel (missing '}')", lineno, "")
     return module
@@ -295,5 +306,20 @@ def parse_kernel(text: str) -> Kernel:
     """Parse text containing exactly one kernel."""
     module = parse_module(text)
     if len(module.kernels) != 1:
-        raise ValueError(f"expected exactly one kernel, got {len(module.kernels)}")
+        # Point at the offending line: the second kernel's .entry for a
+        # multi-kernel module, or line 1 for an empty one.
+        entries = [
+            (lineno, raw)
+            for lineno, raw in enumerate(text.splitlines(), start=1)
+            if raw.split("//", 1)[0].strip().startswith(".entry")
+        ]
+        if len(module.kernels) > 1 and len(entries) > 1:
+            lineno, line = entries[1]
+        else:
+            lineno, line = 1, text.splitlines()[0] if text.splitlines() else ""
+        raise PtxParseError(
+            f"expected exactly one kernel, got {len(module.kernels)}",
+            lineno,
+            line,
+        )
     return module.kernels[0]

@@ -1,0 +1,168 @@
+"""The fallback lattice: degrade instead of dying, verify before return.
+
+Pass failures are forced by monkeypatching pipeline passes; each test
+asserts three things the robustness contract promises: (1) strict mode
+raises the typed error, (2) non-strict mode returns a *verified* result,
+(3) the degradation path is recorded in ``CompileResult.stats``.
+"""
+
+import pytest
+
+from repro.core import pipeline as pl
+from repro.core.errors import (
+    FallbackExhaustedError,
+    PruningError,
+    RenamingError,
+    StorageError,
+)
+from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+from repro.core.storage import StorageBudget
+from repro.core.verify import verify_compiled
+from repro.ir import KernelBuilder
+
+LAUNCH = LaunchConfig(threads_per_block=32, num_blocks=1)
+
+
+def hazard_kernel():
+    """A kernel with a real overwrite hazard: a loop-carried accumulator
+    overwritten after an in-loop region boundary, which forces the rr
+    scheme through ``apply_renaming``."""
+    b = KernelBuilder("hz", params=[("A", "ptr")])
+    a = b.ld_param("A")
+    acc = b.ld("global", a, dtype="u32")
+    i = b.mov(0, dst=b.reg("u32"))
+    b.label("H")
+    p = b.setp("ge", i, 3)
+    b.bra("X", pred=p)
+    b.st("global", a, acc)  # boundary inside the loop
+    b.add(acc, 1, dst=acc)  # overwrites a live-in of its own region
+    b.add(i, 1, dst=i)
+    b.bra("H")
+    b.label("X")
+    b.st("global", a, acc, offset=4)
+    b.ret()
+    return b.finish()
+
+
+def _fail_pruning(*args, **kwargs):
+    raise PruningError("forced pruning failure (test)")
+
+
+def _fail_renaming(*args, **kwargs):
+    raise RenamingError("forced renaming failure (test)", scheme="rr")
+
+
+class TestDegradation:
+    def test_pruning_failure_degrades(self, monkeypatch):
+        monkeypatch.setattr(pl, "prune_optimal", _fail_pruning)
+        cfg = PennyConfig(pruning="optimal")
+
+        with pytest.raises(PruningError):
+            PennyCompiler(cfg, strict=True).compile(hazard_kernel(), LAUNCH)
+
+        result = PennyCompiler(cfg, strict=False).compile(
+            hazard_kernel(), LAUNCH
+        )
+        stats = result.stats
+        assert stats["degraded"] == 1.0
+        assert stats["fallback_level"] >= 1.0
+        assert stats["fallback_path"].startswith("as-configured->")
+        assert "PruningError" in stats["fallback_errors"]
+        assert stats["verified"] == 1.0
+        assert verify_compiled(result.kernel) == []
+
+    def test_renaming_failure_falls_back_to_sa(self, monkeypatch):
+        monkeypatch.setattr(pl, "apply_renaming", _fail_renaming)
+        cfg = PennyConfig(overwrite="rr")
+
+        with pytest.raises(RenamingError):
+            PennyCompiler(cfg, strict=True).compile(hazard_kernel(), LAUNCH)
+
+        result = PennyCompiler(cfg, strict=False).compile(
+            hazard_kernel(), LAUNCH
+        )
+        # SA does not rename, so the patched pass is never reached
+        assert result.stats["fallback_path"] == "as-configured->sa"
+        assert result.stats["overwrite_scheme"] == "sa"
+        assert verify_compiled(result.kernel) == []
+
+    def test_shared_capacity_degrades_to_global(self):
+        # no monkeypatching: a real failure mode — shared storage cannot
+        # fit, the terminal rung switches to global storage
+        budget = StorageBudget(shared_per_sm=8)
+        cfg = PennyConfig(storage_mode="shared")
+
+        with pytest.raises(StorageError):
+            PennyCompiler(cfg, budget=budget, strict=True).compile(
+                hazard_kernel(), LAUNCH
+            )
+
+        result = PennyCompiler(cfg, budget=budget, strict=False).compile(
+            hazard_kernel(), LAUNCH
+        )
+        assert result.stats["fallback_path"].endswith("boundary-global")
+        storage = result.kernel.meta["storage_assignment"]
+        assert storage.shared_slots == 0
+        assert verify_compiled(result.kernel) == []
+
+    def test_no_degradation_when_healthy(self):
+        result = PennyCompiler(PennyConfig(), strict=False).compile(
+            hazard_kernel(), LAUNCH
+        )
+        assert result.stats["degraded"] == 0.0
+        assert result.stats["fallback_level"] == 0.0
+        assert result.stats["fallback_path"] == "as-configured"
+        assert "fallback_errors" not in result.stats
+        assert result.stats["verified"] == 1.0
+
+
+class TestExhaustion:
+    def test_all_rungs_fail(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise StorageError("forced storage failure (test)")
+
+        monkeypatch.setattr(pl, "assign_storage", explode)
+        cfg = PennyConfig()
+        with pytest.raises(FallbackExhaustedError) as ei:
+            PennyCompiler(cfg, strict=False).compile(
+                hazard_kernel(), LAUNCH
+            )
+        err = ei.value
+        # one cause per attempted rung, terminal cause typed
+        assert len(err.causes) == len(
+            PennyCompiler(cfg).fallback_lattice()
+        )
+        assert isinstance(err.terminal_cause, StorageError)
+        assert err.kernel_name == "hz"
+
+    def test_unprotected_config_never_gains_protection(self):
+        cfg = PennyConfig(overwrite="none")
+        compiler = PennyCompiler(cfg, strict=False)
+        for _, rung_cfg in compiler.fallback_lattice():
+            assert rung_cfg.overwrite == "none"
+
+
+class TestLatticeShape:
+    def test_rungs_deduplicated(self):
+        # the terminal rung config equals eager-noprune for a config that
+        # already uses global storage without low-opts
+        cfg = PennyConfig(
+            placement="eager",
+            pruning="none",
+            storage_mode="global",
+            low_opts=False,
+            overwrite="sa",
+        )
+        lattice = PennyCompiler(cfg).fallback_lattice()
+        names = [name for name, _ in lattice]
+        assert names == ["as-configured"]
+
+    def test_full_lattice_for_default_config(self):
+        lattice = PennyCompiler(PennyConfig()).fallback_lattice()
+        names = [name for name, _ in lattice]
+        assert names == [
+            "as-configured",
+            "sa",
+            "eager-noprune",
+            "boundary-global",
+        ]
