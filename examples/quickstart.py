@@ -7,6 +7,7 @@ and shows the parity-triggered recovery restoring the correct output.
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro import (
     Executor,
     FaultPlan,
@@ -14,8 +15,6 @@ from repro import (
     Launch,
     LaunchConfig,
     MemoryImage,
-    PennyCompiler,
-    PennyConfig,
     print_kernel,
 )
 
@@ -69,7 +68,7 @@ def main():
     print("golden output (first 8):", golden[:8])
 
     # 2. Compile with Penny: regions, checkpoints, recovery table.
-    result = PennyCompiler(PennyConfig()).compile(build_kernel(), launch_config)
+    result = repro.protect(build_kernel(), launch=launch_config)
     print("\n--- protected kernel ---")
     print(print_kernel(result.kernel))
     print("\ncompiler stats:")

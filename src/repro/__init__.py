@@ -4,14 +4,19 @@ paper, with every substrate it depends on.
 
 Quickstart::
 
-    from repro import (
-        KernelBuilder, PennyCompiler, PennyConfig, LaunchConfig,
-        Executor, Launch, MemoryImage, FaultCampaign,
-    )
+    import repro
 
-    kernel = ...            # build or parse a PTX-subset kernel
-    result = PennyCompiler(PennyConfig()).compile(kernel, LaunchConfig())
-    Executor(result.kernel).run(Launch(...), MemoryImage())
+    kernel = ...                     # build or parse a PTX-subset kernel
+    result = repro.protect(kernel)   # full Penny pipeline, strict
+    repro.Executor(result.kernel).run(repro.Launch(...), repro.MemoryImage())
+
+:func:`protect` is the one-call entry point; drop down to
+:class:`PennyCompiler` + :class:`PennyConfig` when you need to mix knobs
+the presets don't cover.  To watch a run, install a tracer first::
+
+    with repro.obs.Tracer() as tracer:
+        result = repro.protect(kernel)
+    repro.obs.write_chrome_trace("trace.json", tracer)
 
 Packages:
 
@@ -23,8 +28,12 @@ Packages:
 - :mod:`repro.gpusim`      — GPU simulator, recovery runtime, fault injection
 - :mod:`repro.bench`       — the 25 Table-3 benchmarks
 - :mod:`repro.experiments` — one module per paper table/figure
+- :mod:`repro.obs`         — tracing, metrics, and exporters
 """
 
+from typing import Optional, Union
+
+from repro import obs
 from repro.core.pipeline import (
     CompileResult,
     LaunchConfig,
@@ -36,22 +45,62 @@ from repro.core.schemes import (
     SCHEME_BOLT_GLOBAL,
     SCHEME_IGPU,
     SCHEME_PENNY,
+    Scheme,
     scheme_config,
 )
 from repro.gpusim.executor import Executor, Launch
 from repro.gpusim.faults import FaultCampaign, FaultOutcome, FaultPlan
 from repro.gpusim.memory import MemoryImage
 from repro.ir.builder import KernelBuilder
+from repro.ir.module import Kernel
 from repro.ir.parser import parse_kernel, parse_module
 from repro.ir.printer import print_kernel, print_module
 
 __version__ = "1.0.0"
 
+
+def protect(
+    kernel: Union[Kernel, str],
+    *,
+    scheme: str = SCHEME_PENNY,
+    overwrite: Union[Scheme, str, None] = None,
+    strict: bool = True,
+    launch: Optional[LaunchConfig] = None,
+) -> CompileResult:
+    """Protect a kernel against soft errors with one call.
+
+    The documented entry point: picks the ``scheme`` preset (default:
+    the full Penny pipeline), compiles, and returns a
+    :class:`CompileResult` whose ``.kernel`` carries checkpoints and the
+    recovery table.  All arguments but the kernel are keyword-only.
+
+    :param kernel: a :class:`Kernel`, or PTX-subset source text.
+    :param scheme: comparison-scheme preset name (``SCHEME_PENNY``,
+        ``SCHEME_BOLT_GLOBAL``, ``SCHEME_BOLT_AUTO``).
+    :param overwrite: override the preset's overwrite-prevention scheme
+        (a :class:`Scheme` or any alias ``Scheme.parse`` accepts).
+    :param strict: raise typed compile errors instead of degrading
+        through the fallback lattice.
+    :param launch: launch geometry for storage layout (defaults to
+        ``LaunchConfig()``).
+    """
+    if isinstance(kernel, str):
+        kernel = parse_kernel(kernel)
+    config = scheme_config(scheme)
+    if overwrite is not None:
+        config.overwrite = Scheme.parse(overwrite)
+    return PennyCompiler(config, strict=strict).compile(
+        kernel, launch or LaunchConfig()
+    )
+
+
 __all__ = [
+    "protect",
     "PennyCompiler",
     "PennyConfig",
     "CompileResult",
     "LaunchConfig",
+    "Scheme",
     "SCHEME_IGPU",
     "SCHEME_BOLT_GLOBAL",
     "SCHEME_BOLT_AUTO",
@@ -63,10 +112,12 @@ __all__ = [
     "FaultCampaign",
     "FaultPlan",
     "FaultOutcome",
+    "Kernel",
     "KernelBuilder",
     "parse_kernel",
     "parse_module",
     "print_kernel",
     "print_module",
+    "obs",
     "__version__",
 ]

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli fuzz -n 1000 --seed 2020 --workers 4 \\
         --reduce --journal findings.jsonl
     python -m repro.cli verify --corpus findings.jsonl
+    penny trace examples/scale.ptx --trace-out trace.json
 
 ``compile`` prints the protected kernel's PTX followed by a ``//``-comment
 report (region count, checkpoint statistics, storage layout); ``report``
@@ -22,6 +23,14 @@ outcome summary, the DUE taxonomy and Wilson confidence intervals
 finding survives) and ``verify --corpus`` re-checks a fuzz corpus's
 findings — including their reduced reproducers — against the current
 compiler.
+
+``trace`` compiles and executes a kernel under a :mod:`repro.obs` tracer
+— including a seeded register-file fault so the trace shows detection
+and recovery re-execution — and writes a Chrome trace-event JSON
+(``--trace-out``, default ``trace.json``; open in ``chrome://tracing``
+or https://ui.perfetto.dev).  ``compile``, ``campaign`` and ``fuzz``
+also accept ``--trace-out``/``--metrics-out`` to observe any run.
+(``penny`` is the installed console-script alias for this module.)
 """
 
 from __future__ import annotations
@@ -31,11 +40,13 @@ import json
 import sys
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
 from repro.core.schemes import (
     SCHEME_BOLT_AUTO,
     SCHEME_BOLT_GLOBAL,
     SCHEME_PENNY,
+    Scheme,
     scheme_config,
 )
 from repro.ir.parser import parse_module
@@ -49,6 +60,53 @@ def _read_source(path: str) -> str:
         return sys.stdin.read()
     with open(path) as f:
         return f.read()
+
+
+class _Observation:
+    """``--trace-out`` / ``--metrics-out`` plumbing for any subcommand.
+
+    When either flag was given, installs a :class:`repro.obs.Tracer` for
+    the duration of the ``with`` block and writes the requested artifacts
+    on exit; otherwise it is inert and the command runs unobserved.
+    """
+
+    def __init__(self, args: argparse.Namespace):
+        self.trace_out = getattr(args, "trace_out", None)
+        self.metrics_out = getattr(args, "metrics_out", None)
+        self.tracer: Optional[obs.Tracer] = (
+            obs.Tracer()
+            if (self.trace_out or self.metrics_out)
+            else None
+        )
+        self._reports: List = []
+
+    def report(self, reportable) -> None:
+        """Queue a Reportable for the metrics sink (no-op when inert)."""
+        if self.tracer is not None:
+            self._reports.append(reportable)
+
+    def __enter__(self) -> "_Observation":
+        if self.tracer is not None:
+            self.tracer.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self.tracer is None:
+            return False
+        self.tracer.__exit__(*exc)
+        if self.trace_out:
+            obs.write_chrome_trace(self.trace_out, self.tracer)
+            print(f"trace written to {self.trace_out}", file=sys.stderr)
+        if self.metrics_out:
+            with obs.MetricsSink(self.metrics_out) as sink:
+                if self.tracer.counters:
+                    sink.write_counters(self.tracer.counters)
+                for r in self._reports:
+                    sink.write_report(r)
+            print(
+                f"metrics written to {self.metrics_out}", file=sys.stderr
+            )
+        return False
 
 
 def _build_config(args: argparse.Namespace) -> PennyConfig:
@@ -79,7 +137,11 @@ def _compile_all(args: argparse.Namespace):
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    for result in _compile_all(args):
+    with _Observation(args) as watch:
+        results = _compile_all(args)
+        for result in results:
+            watch.report(result)
+    for result in results:
         print(print_kernel(result.kernel))
         print()
         print(f"// scheme: {result.config.name}")
@@ -90,16 +152,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    reports = []
-    for result in _compile_all(args):
-        reports.append(
-            {
-                "kernel": result.kernel.name,
-                "scheme": result.config.name,
-                "stats": result.stats,
-                "boundaries": sorted(result.regions.boundaries),
-            }
-        )
+    reports = [result.to_dict() for result in _compile_all(args)]
     json.dump(reports, sys.stdout, indent=2, default=str)
     print()
     return 0
@@ -197,22 +250,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         max_instructions=args.watchdog,
         max_recoveries=args.max_recoveries,
     )
-    report = ParallelCampaign(
-        spec, workers=args.workers, journal_path=args.journal
-    ).run(resume=args.resume)
+    with _Observation(args) as watch:
+        report = ParallelCampaign(
+            spec, workers=args.workers, journal_path=args.journal
+        ).run(resume=args.resume)
+        watch.report(report)
 
     if args.json:
-        payload = {
-            "spec": spec.to_dict(),
-            "summary": report.summary(),
-            "due_taxonomy": report.due_taxonomy(),
-            "by_surface": report.by_surface(),
-            "rates": {
-                k: {"rate": p, "lo": lo, "hi": hi}
-                for k, (p, lo, hi) in report.rates().items()
-            },
-        }
-        json.dump(payload, sys.stdout, indent=2)
+        json.dump(report.to_dict(), sys.stdout, indent=2)
         print()
         return 0
 
@@ -250,9 +295,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         fault=not args.no_fault,
         mutate_rate=args.mutate_rate,
     )
-    report = FuzzRunner(
-        spec, workers=args.workers, journal_path=args.journal
-    ).run(reduce=args.reduce)
+    with _Observation(args) as watch:
+        report = FuzzRunner(
+            spec, workers=args.workers, journal_path=args.journal
+        ).run(reduce=args.reduce)
+        watch.report(report)
 
     if args.json:
         json.dump(report.to_dict(), sys.stdout, indent=2)
@@ -288,6 +335,111 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _synthesize_memory(kernel, words: int):
+    """A workload for a kernel we know nothing about: every pointer param
+    gets a ``words``-long global buffer of small nonzero values, every
+    scalar param gets ``words`` (the conventional element count)."""
+    from repro.gpusim.memory import MemoryImage
+
+    mem = MemoryImage()
+    for p in kernel.params:
+        if p.is_pointer:
+            addr = mem.alloc_global(words)
+            mem.upload(addr, [(i * 7 + 3) % 251 for i in range(words)])
+            mem.set_param(p.name, addr)
+        else:
+            mem.set_param(p.name, words)
+    return mem
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Compile and execute kernels under a tracer, seeding one recoverable
+    register-file fault so the trace shows detection + re-execution."""
+    from repro.gpusim.executor import Executor, Launch
+    from repro.gpusim.faults import FaultPlan
+
+    module = parse_module(_read_source(args.input))
+    config = _build_config(args)
+    launch_config = LaunchConfig(
+        threads_per_block=args.block, num_blocks=args.grid
+    )
+    launch = Launch(grid=args.grid, block=args.block)
+
+    tracer = obs.Tracer()
+    reports: List = []
+    recovered_all = True
+    with tracer:
+        for kernel in module.kernels:
+            compiler = PennyCompiler(
+                config, strict=not getattr(args, "no_strict", False)
+            )
+            result = compiler.compile(kernel, launch_config)
+            reports.append(result)
+
+            # Fault-free reference run.
+            mem = _synthesize_memory(result.kernel, args.words)
+            reports.append(Executor(result.kernel).run(launch, mem))
+
+            # Seeded fault runs: scan injection points until one lands on
+            # a live register and recovery fires (bounded attempts; a
+            # fault on a dead register is simply masked).
+            recovered = False
+            for tid in (3, 0, 7):
+                if tid >= args.block:
+                    continue
+                for after in (25, 10, 40, 5, 60, 100):
+                    plan = FaultPlan(
+                        ctaid=0,
+                        tid=tid,
+                        after_instructions=after,
+                        bits=(13,),
+                    )
+                    fmem = _synthesize_memory(result.kernel, args.words)
+                    try:
+                        faulted = Executor(
+                            result.kernel, fault_plan=plan
+                        ).run(launch, fmem)
+                    except Exception:
+                        continue  # DUE/timeout: try another point
+                    if faulted.recoveries > 0:
+                        reports.append(faulted)
+                        recovered = True
+                        break
+                if recovered:
+                    break
+            recovered_all &= recovered
+            n_spans = sum(
+                1
+                for s in tracer.find("sim.recover")
+                if s.tags.get("error") is None
+            )
+            status = (
+                f"{n_spans} recovery span(s)"
+                if recovered
+                else "no recovery could be seeded"
+            )
+            print(f"{kernel.name}: {status}")
+
+    trace_out = args.trace_out or "trace.json"
+    obs.write_chrome_trace(trace_out, tracer)
+    problems = obs.validate_chrome_trace(obs.chrome_trace(tracer))
+    if problems:
+        for p in problems:
+            print(f"trace schema: {p}", file=sys.stderr)
+        return 1
+    print(
+        f"{len(tracer.spans)} span(s), {len(tracer.events)} event(s) "
+        f"-> {trace_out}  (open in chrome://tracing or ui.perfetto.dev)"
+    )
+    if args.metrics_out:
+        with obs.MetricsSink(args.metrics_out) as sink:
+            sink.write_counters(tracer.counters)
+            for r in reports:
+                sink.write_report(r)
+        print(f"metrics -> {args.metrics_out}")
+    return 0 if recovered_all else 1
+
+
 def cmd_schemes(_args: argparse.Namespace) -> int:
     for name in _SCHEMES:
         cfg = scheme_config(name)
@@ -297,6 +449,17 @@ def cmd_schemes(_args: argparse.Namespace) -> int:
             f"low_opts={cfg.low_opts}"
         )
     return 0
+
+
+def _add_observe_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="JSON",
+        help="write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="JSONL",
+        help="write counters and reports as JSONL metrics records",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -336,7 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--storage", choices=("shared", "global", "auto"), default=None
         )
         p.add_argument(
-            "--overwrite", choices=("rr", "sa", "auto", "none"), default=None
+            "--overwrite", type=Scheme.parse, choices=tuple(Scheme),
+            default=None, metavar="{rr,sa,auto,none}",
+            help="overwrite-prevention scheme (aliases: renaming, "
+                 "storage-alternation, off)",
         )
         p.add_argument("--no-low-opts", action="store_true")
         p.add_argument(
@@ -360,12 +526,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="with --corpus: replay findings against a strict compiler",
     )
+    _add_observe_flags(p_compile)
     p_compile.set_defaults(func=cmd_compile)
     p_report.set_defaults(func=cmd_report)
     p_verify.set_defaults(func=cmd_verify)
 
     p_schemes = sub.add_parser("schemes", help="list scheme presets")
     p_schemes.set_defaults(func=cmd_schemes)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="compile + execute a kernel under a tracer and export a "
+             "Chrome trace with a seeded fault recovery",
+    )
+    p_trace.add_argument("input", help="PTX-subset file, or '-' for stdin")
+    p_trace.add_argument(
+        "--scheme", default=SCHEME_PENNY, choices=_SCHEMES,
+        help="comparison-scheme preset to start from",
+    )
+    p_trace.add_argument(
+        "--pruning", choices=("none", "basic", "optimal"), default=None
+    )
+    p_trace.add_argument(
+        "--storage", choices=("shared", "global", "auto"), default=None
+    )
+    p_trace.add_argument(
+        "--overwrite", type=Scheme.parse, choices=tuple(Scheme),
+        default=None, metavar="{rr,sa,auto,none}",
+        help="overwrite-prevention scheme (aliases accepted)",
+    )
+    p_trace.add_argument("--no-low-opts", action="store_true")
+    p_trace.add_argument("--param-noalias", action="store_true")
+    p_trace.add_argument("--no-strict", action="store_true")
+    p_trace.add_argument(
+        "--block", type=int, default=16, help="threads per block"
+    )
+    p_trace.add_argument(
+        "--grid", type=int, default=2, help="number of blocks"
+    )
+    p_trace.add_argument(
+        "--words", type=int, default=64,
+        help="synthesized buffer length / scalar-param value",
+    )
+    _add_observe_flags(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_campaign = sub.add_parser(
         "campaign",
@@ -421,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    _add_observe_flags(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_fuzz = sub.add_parser(
@@ -464,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    _add_observe_flags(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 

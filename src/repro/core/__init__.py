@@ -34,6 +34,7 @@ from repro.core.schemes import (
     SCHEME_BOLT_GLOBAL,
     SCHEME_IGPU,
     SCHEME_PENNY,
+    Scheme,
     scheme_config,
 )
 
@@ -53,5 +54,6 @@ __all__ = [
     "SCHEME_BOLT_GLOBAL",
     "SCHEME_BOLT_AUTO",
     "SCHEME_PENNY",
+    "Scheme",
     "scheme_config",
 ]

@@ -23,8 +23,9 @@ Configuration knobs mirror the paper's evaluated variants:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Set
+from typing import Any, Dict, Optional, Set
 
+import repro.obs as obs
 from repro.analysis.alias import AliasAnalysis
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
@@ -111,10 +112,22 @@ class PennyConfig:
     #: evaluation compiles hundreds of kernels, on in the test suite
     verify: bool = False
 
+    def __post_init__(self):
+        # Normalize the overwrite knob to the typed Scheme enum (accepting
+        # historical strings and aliases).  Imported lazily: schemes.py
+        # imports PennyConfig from this module at load time.
+        from repro.core.schemes import Scheme
+
+        self.overwrite = Scheme.parse(self.overwrite)
+
 
 @dataclass
 class CompileResult:
-    """Everything produced by one compilation."""
+    """Everything produced by one compilation.
+
+    Implements the :class:`repro.obs.Reportable` protocol: ``to_dict``
+    is the complete JSONL-sink form, ``summary`` the headline numbers.
+    """
 
     kernel: Kernel
     config: PennyConfig
@@ -125,6 +138,40 @@ class CompileResult:
     coloring: Optional[ColoringResult]
     codegen: CodegenResult
     stats: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.core.schemes import Scheme
+
+        return {
+            "kind": "compile_result",
+            "kernel": self.kernel.name,
+            "scheme": self.config.name,
+            "placement": self.config.placement,
+            "pruning": self.config.pruning,
+            "storage_mode": self.config.storage_mode,
+            "overwrite": Scheme.parse(self.config.overwrite).value,
+            "launch": {
+                "threads_per_block": self.launch.threads_per_block,
+                "num_blocks": self.launch.num_blocks,
+            },
+            "boundaries": sorted(self.regions.boundaries),
+            "stats": {k: self.stats[k] for k in sorted(self.stats)},
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        keys = (
+            "checkpoints_total",
+            "checkpoints_committed",
+            "checkpoints_pruned",
+            "num_boundaries",
+            "estimated_cost",
+            "registers",
+            "overwrite_scheme",
+        )
+        out: Dict[str, Any] = {"kernel": self.kernel.name,
+                               "scheme": self.config.name}
+        out.update({k: self.stats[k] for k in keys if k in self.stats})
+        return out
 
 
 #: metadata keys that mark a kernel as already compiled — a textual
@@ -188,23 +235,59 @@ class PennyCompiler:
         launch: Optional[LaunchConfig] = None,
         copy: bool = True,
     ) -> CompileResult:
-        launch = launch or LaunchConfig()
-        try:
-            kernel.validate()
-        except ValueError as exc:
-            raise InvalidKernelError(
-                str(exc), kernel=kernel
-            ) from exc
-        if copy:
-            kernel = clone_kernel(kernel)
+        from repro.core.schemes import Scheme
 
-        try:
-            if self.strict:
-                return self._dispatch(kernel, launch, self.config)
-            return self._compile_with_fallback(kernel, launch)
-        except CompileError as exc:
-            exc.attach_kernel(kernel)
-            raise
+        launch = launch or LaunchConfig()
+        with obs.span(
+            "compile",
+            kernel=kernel.name,
+            scheme=self.config.name,
+            overwrite=Scheme.parse(self.config.overwrite).value,
+            strict=self.strict,
+        ):
+            try:
+                kernel.validate()
+            except ValueError as exc:
+                raise InvalidKernelError(
+                    str(exc), kernel=kernel
+                ) from exc
+            if copy:
+                with obs.span("pass.clone"):
+                    kernel = clone_kernel(kernel)
+
+            try:
+                if self.strict:
+                    result = self._dispatch(kernel, launch, self.config)
+                else:
+                    result = self._compile_with_fallback(kernel, launch)
+            except CompileError as exc:
+                exc.attach_kernel(kernel)
+                raise
+            self._count_result(result)
+            return result
+
+    @staticmethod
+    def _count_result(result: CompileResult) -> None:
+        """Publish one compilation's headline counters (no-op unobserved)."""
+        if obs.current_tracer() is None:
+            return
+        obs.inc("compile.kernels")
+        obs.inc("compile.regions_cut", len(result.regions.boundaries))
+        obs.inc("compile.checkpoints_placed", len(result.plan.checkpoints))
+        obs.inc("compile.checkpoints_pruned", len(result.plan.pruned()))
+        obs.inc("compile.checkpoints_committed", len(result.plan.committed()))
+        obs.inc(
+            "compile.adjustment_blocks",
+            len(result.codegen.adjustment_labels),
+        )
+        obs.inc(
+            "compile.emitted_checkpoints", result.codegen.emitted_checkpoints
+        )
+        obs.inc(
+            "compile.address_insts", result.codegen.emitted_address_insts
+        )
+        obs.inc("compile.forced_commits", result.recovery.forced_commits)
+        obs.gauge("compile.registers", result.stats.get("registers", 0.0))
 
     def _dispatch(
         self, kernel: Kernel, launch: LaunchConfig, config: PennyConfig
@@ -219,8 +302,10 @@ class PennyCompiler:
         """The degradation ladder: ``(rung_name, config)`` pairs, most
         capable first.  ``overwrite="none"`` configurations never gain
         protection by degrading (the rungs keep ``none``)."""
+        from repro.core.schemes import Scheme
+
         cfg = self.config
-        sa = cfg.overwrite if cfg.overwrite == "none" else "sa"
+        sa = Scheme.NONE if cfg.overwrite == Scheme.NONE else Scheme.SA
         rungs = [
             ("as-configured", cfg),
             ("sa", replace(cfg, overwrite=sa)),
@@ -262,21 +347,31 @@ class PennyCompiler:
             candidate = clone_kernel(kernel)
             rung = PennyCompiler(rung_cfg, self.budget, strict=True)
             try:
-                result = rung._dispatch(candidate, launch, rung_cfg)
-                problems = verify_compiled(result.kernel)
-                if problems:
-                    raise VerificationError(
-                        f"{len(problems)} violation(s): "
-                        + "; ".join(problems[:5])
-                    )
+                with obs.span("fallback.rung", rung=rung_name, level=level):
+                    result = rung._dispatch(candidate, launch, rung_cfg)
+                    with obs.span("pass.verify", rung=rung_name):
+                        problems = verify_compiled(result.kernel)
+                    if problems:
+                        raise VerificationError(
+                            f"{len(problems)} violation(s): "
+                            + "; ".join(problems[:5])
+                        )
             except (KeyboardInterrupt, SystemExit, MemoryError):
                 raise
             except Exception as exc:  # degrade, do not die
                 causes.append((rung_name, exc))
+                obs.inc("compile.fallback_rung_failures")
+                obs.event(
+                    "fallback.degrade",
+                    rung=rung_name,
+                    error=type(exc).__name__,
+                )
                 continue
             result.stats["fallback_level"] = float(level)
             result.stats["fallback_path"] = "->".join(path)
             result.stats["degraded"] = float(level > 0)
+            if level > 0:
+                obs.inc("compile.degraded")
             if causes:
                 result.stats["fallback_errors"] = "; ".join(
                     f"{name}: {type(e).__name__}" for name, e in causes
@@ -297,12 +392,16 @@ class PennyCompiler:
     def _compile_auto(
         self, kernel: Kernel, launch: LaunchConfig
     ) -> CompileResult:
+        from repro.core.schemes import Scheme
+
         results = []
-        for scheme in ("rr", "sa"):
+        for scheme in (Scheme.RR, Scheme.SA):
             candidate = clone_kernel(kernel)
-            results.append(self._compile_one(candidate, launch, scheme))
+            with obs.span("compile.candidate", overwrite=scheme.value):
+                results.append(self._compile_one(candidate, launch, scheme))
         best = min(results, key=lambda r: r.stats["estimated_cost"])
         best.stats["auto_selected"] = best.stats["overwrite_scheme"]
+        obs.event("compile.auto_selected", overwrite=best.stats["auto_selected"])
         return best
 
     # -- single-scheme pipeline ------------------------------------------------
@@ -310,121 +409,160 @@ class PennyCompiler:
     def _compile_one(
         self, kernel: Kernel, launch: LaunchConfig, overwrite: str
     ) -> CompileResult:
-        cfg = CFG(kernel)
-        aa = AliasAnalysis(cfg, param_noalias=self.config.param_noalias)
-        regions = form_regions(kernel, aa)
+        from repro.core.schemes import Scheme
+
+        overwrite = Scheme.parse(overwrite)
+        with obs.span("pass.regions"):
+            cfg = CFG(kernel)
+            aa = AliasAnalysis(cfg, param_noalias=self.config.param_noalias)
+            regions = form_regions(kernel, aa)
 
         # Renaming loop: hazards fixed by renaming change live-ins and LUPs,
         # so the plan is rebuilt until renaming converges.
-        for _ in range(self.config.max_rename_rounds):
-            cfg = CFG(kernel)
-            rdefs = ReachingDefs(cfg)
-            liveins = analyze_liveins(kernel, regions, cfg=cfg, rdefs=rdefs)
-            cost = CostModel.for_cfg(cfg, base=self.config.cost_base)
-            plan = self._make_plan(cfg, liveins, cost)
-            instances = materialize_instances(plan, cfg)
-            hazardous = detect_hazards(cfg, regions, liveins, instances)
-            if overwrite != "rr" or not hazardous:
-                break
-            renamed = apply_renaming(
-                kernel, cfg, regions, liveins, rdefs, instances
-            )
-            if renamed == 0:
-                break
-        else:
-            raise RenamingError(
-                "register renaming did not converge within "
-                f"{self.config.max_rename_rounds} rounds "
-                f"({len(hazardous)} hazardous register(s) remain)",
-                scheme=overwrite,
-                kernel=kernel,
-                detail={
-                    "rounds": self.config.max_rename_rounds,
-                    "hazardous": sorted(r.name for r in hazardous),
-                },
-            )
+        rename_rounds = 0
+        with obs.span("pass.placement", placement=self.config.placement) as placement_span:
+            for _ in range(self.config.max_rename_rounds):
+                rename_rounds += 1
+                cfg = CFG(kernel)
+                rdefs = ReachingDefs(cfg)
+                with obs.span("pass.liveins"):
+                    liveins = analyze_liveins(
+                        kernel, regions, cfg=cfg, rdefs=rdefs
+                    )
+                cost = CostModel.for_cfg(cfg, base=self.config.cost_base)
+                with obs.span("pass.plan"):
+                    plan = self._make_plan(cfg, liveins, cost)
+                instances = materialize_instances(plan, cfg)
+                with obs.span("pass.hazards"):
+                    hazardous = detect_hazards(cfg, regions, liveins, instances)
+                if overwrite != "rr" or not hazardous:
+                    break
+                with obs.span("pass.renaming"):
+                    renamed = apply_renaming(
+                        kernel, cfg, regions, liveins, rdefs, instances
+                    )
+                if renamed == 0:
+                    break
+            else:
+                placement_span.tag(rounds=rename_rounds, converged=False)
+                self._raise_renaming(overwrite, kernel, hazardous)
+            placement_span.tag(rounds=rename_rounds)
+        obs.inc("compile.rename_rounds", rename_rounds)
 
+        return self._lower(
+            kernel, launch, overwrite, cfg, rdefs, regions, liveins,
+            cost, plan, instances, hazardous,
+        )
+
+    def _raise_renaming(self, overwrite, kernel, hazardous):
+        raise RenamingError(
+            "register renaming did not converge within "
+            f"{self.config.max_rename_rounds} rounds "
+            f"({len(hazardous)} hazardous register(s) remain)",
+            scheme=overwrite,
+            kernel=kernel,
+            detail={
+                "rounds": self.config.max_rename_rounds,
+                "hazardous": sorted(r.name for r in hazardous),
+            },
+        )
+
+    def _lower(
+        self, kernel, launch, overwrite, cfg, rdefs, regions, liveins,
+        cost, plan, instances, hazardous,
+    ) -> CompileResult:
         # Storage alternation for whatever hazards remain (all of them in
         # "sa" mode; the renaming-resistant rest in "rr" mode).
         coloring: Optional[ColoringResult] = None
         if overwrite != "none" and hazardous:
-            coloring = color_checkpoints(
-                cfg, regions, liveins, instances, hazardous
-            )
+            with obs.span("pass.coloring", hazardous=len(hazardous)):
+                coloring = color_checkpoints(
+                    cfg, regions, liveins, instances, hazardous
+                )
 
         # Pruning.  (The alias analysis used for region formation predates
         # the block splits, so build a fresh one on the current CFG.)
-        aa = AliasAnalysis(
-            cfg, rdefs, param_noalias=self.config.param_noalias
-        )
-        loops = LoopInfo(cfg)
-        ctrldep = ControlDependence(cfg)
-        validator = PddgValidator(
-            cfg, rdefs, plan, instances, aa, loops, ctrldep, coloring
-        )
-        prune = self._run_pruning(plan, validator)
+        with obs.span("pass.pddg"):
+            aa = AliasAnalysis(
+                cfg, rdefs, param_noalias=self.config.param_noalias
+            )
+            loops = LoopInfo(cfg)
+            ctrldep = ControlDependence(cfg)
+            validator = PddgValidator(
+                cfg, rdefs, plan, instances, aa, loops, ctrldep, coloring
+            )
+        with obs.span("pass.pruning", mode=self.config.pruning):
+            prune = self._run_pruning(plan, validator)
 
         # Recovery table (may force-commit unsliceable registers), kept
         # consistent with the snapshot machinery of colored registers:
         # mixed prune states are committed wholesale and fully-slice-
         # restored registers drop their dummies.
-        for _ in range(self.config.max_replan_rounds):
-            recovery = build_recovery_table(
-                cfg, liveins, plan, validator, prune.slices, coloring
-            )
-            if coloring is None:
-                break
-            forced = self._reconcile_coloring(plan, coloring, recovery)
-            if forced == 0:
-                break
-        else:
-            raise ReconcileError(
-                "pruning/coloring reconciliation diverged within "
-                f"{self.config.max_replan_rounds} rounds",
-                scheme=overwrite,
-                kernel=kernel,
-                detail={"rounds": self.config.max_replan_rounds},
-            )
+        with obs.span("pass.recovery_table"):
+            for _ in range(self.config.max_replan_rounds):
+                recovery = build_recovery_table(
+                    cfg, liveins, plan, validator, prune.slices, coloring
+                )
+                if coloring is None:
+                    break
+                forced = self._reconcile_coloring(plan, coloring, recovery)
+                if forced == 0:
+                    break
+            else:
+                raise ReconcileError(
+                    "pruning/coloring reconciliation diverged within "
+                    f"{self.config.max_replan_rounds} rounds",
+                    scheme=overwrite,
+                    kernel=kernel,
+                    detail={"rounds": self.config.max_replan_rounds},
+                )
 
         # Storage assignment over the final committed set.
-        budget = replace(
-            self.budget,
-            threads_per_block=launch.threads_per_block,
-            kernel_shared_bytes=sum(4 * d.num_words for d in kernel.shared),
-        )
-        storage = assign_storage(
-            plan,
-            cfg,
-            cost,
-            budget,
-            coloring,
-            mode=self.config.storage_mode,
-            total_threads=launch.total_threads,
-        )
+        with obs.span("pass.storage", mode=self.config.storage_mode):
+            budget = replace(
+                self.budget,
+                threads_per_block=launch.threads_per_block,
+                kernel_shared_bytes=sum(
+                    4 * d.num_words for d in kernel.shared
+                ),
+            )
+            storage = assign_storage(
+                plan,
+                cfg,
+                cost,
+                budget,
+                coloring,
+                mode=self.config.storage_mode,
+                total_threads=launch.total_threads,
+            )
 
         # Code generation.
-        codegen = generate(
-            kernel,
-            cfg,
-            plan,
-            storage,
-            coloring,
-            low_opts=self.config.low_opts,
-        )
-        for label, entry in adjustment_recoveries(
-            coloring, codegen.adjustment_labels
-        ).items():
-            recovery.regions[label] = entry
-        if codegen.extra_slices:
-            for entry in recovery.regions.values():
-                from repro.core.recovery_meta import RestoreAction
+        with obs.span("pass.codegen", low_opts=self.config.low_opts):
+            codegen = generate(
+                kernel,
+                cfg,
+                plan,
+                storage,
+                coloring,
+                low_opts=self.config.low_opts,
+            )
+            for label, entry in adjustment_recoveries(
+                coloring, codegen.adjustment_labels
+            ).items():
+                recovery.regions[label] = entry
+            if codegen.extra_slices:
+                for entry in recovery.regions.values():
+                    from repro.core.recovery_meta import RestoreAction
 
-                for reg_name, expr in sorted(codegen.extra_slices.items()):
-                    entry.restores.append(
-                        RestoreAction(
-                            reg_name=reg_name, dtype="u32", slice_expr=expr
+                    for reg_name, expr in sorted(
+                        codegen.extra_slices.items()
+                    ):
+                        entry.restores.append(
+                            RestoreAction(
+                                reg_name=reg_name, dtype="u32",
+                                slice_expr=expr,
+                            )
                         )
-                    )
 
         kernel.meta["recovery_table"] = recovery
         kernel.meta["region_boundaries"] = regions.boundaries
@@ -433,7 +571,8 @@ class PennyCompiler:
         if self.config.verify:
             from repro.core.verify import check as verify_check
 
-            verify_check(kernel)
+            with obs.span("pass.verify"):
+                verify_check(kernel)
 
         result = CompileResult(
             kernel=kernel,
@@ -528,9 +667,11 @@ class PennyCompiler:
             for inst in blk.instructions:
                 if inst.is_memory_write and _is_checkpoint_store(inst):
                     est += depth_cost
+        from repro.core.schemes import Scheme
+
         result.stats.update(
             {
-                "overwrite_scheme": overwrite,
+                "overwrite_scheme": Scheme.parse(overwrite).value,
                 "estimated_cost": float(est),
                 "checkpoints_total": float(len(result.plan.checkpoints)),
                 "checkpoints_committed": float(len(result.plan.committed())),

@@ -13,8 +13,9 @@
 
 from __future__ import annotations
 
+import enum
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Union
 
 from repro.analysis.cfg import CFG
 from repro.analysis.reachingdefs import ReachingDefs
@@ -23,6 +24,70 @@ from repro.core.pipeline import PennyConfig
 from repro.core.regions import form_regions
 from repro.core.renaming import compute_webs, renamable, _rename_web
 from repro.ir.module import Kernel
+
+class Scheme(str, enum.Enum):
+    """The overwrite-prevention scheme (§6.3), as a typed enum.
+
+    Historically this knob was a magic string threaded through
+    ``PennyConfig.overwrite``, the fallback lattice, compile stats and
+    the CLI; the enum replaces it so trace span tags and error payloads
+    are typed.  It subclasses ``str`` — ``Scheme.SA == "sa"`` holds, and
+    JSON serialization yields the plain value — so existing string-based
+    callers keep working; :meth:`parse` accepts the historical spellings
+    plus a few self-describing aliases.
+    """
+
+    #: register renaming first, storage alternation for the residue
+    RR = "rr"
+    #: 2-coloring storage alternation only
+    SA = "sa"
+    #: compile both, keep the cheaper (§6.3)
+    AUTO = "auto"
+    #: no overwrite prevention (unsafe; Fig. 11's last bar)
+    NONE = "none"
+
+    # Mixed-in enums on Python < 3.12 format as "Scheme.SA" unless the
+    # str behavior is restored explicitly; stats lines and CLI tables
+    # must render the plain value.
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @classmethod
+    def parse(cls, value: Union["Scheme", str, None]) -> "Scheme":
+        """Parse a scheme from its value or a historical alias."""
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls.AUTO
+        try:
+            key = value.strip().lower().replace("_", "-")
+        except AttributeError:
+            raise ValueError(
+                f"cannot parse {value!r} as an overwrite scheme"
+            ) from None
+        try:
+            return _SCHEME_ALIASES[key]
+        except KeyError:
+            known = sorted({s.value for s in cls})
+            raise ValueError(
+                f"unknown overwrite scheme {value!r}; known: {known} "
+                f"(aliases: renaming, storage-alternation, off)"
+            ) from None
+
+
+_SCHEME_ALIASES: Dict[str, Scheme] = {
+    "rr": Scheme.RR,
+    "rename": Scheme.RR,
+    "renaming": Scheme.RR,
+    "sa": Scheme.SA,
+    "alternation": Scheme.SA,
+    "storage-alternation": Scheme.SA,
+    "auto": Scheme.AUTO,
+    "best": Scheme.AUTO,
+    "none": Scheme.NONE,
+    "off": Scheme.NONE,
+}
+
 
 SCHEME_IGPU = "iGPU"
 SCHEME_BOLT_GLOBAL = "Bolt/Global"

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
+import repro.obs as obs
 from repro.bench.suite import Benchmark, Workload
 from repro.core.pipeline import CompileResult, PennyCompiler, PennyConfig
 from repro.core.schemes import (
@@ -82,9 +83,10 @@ def measure_baseline(
     bench: Benchmark, gpu: GpuConfig = FERMI_C2050
 ) -> BenchmarkMeasurement:
     """The unmodified program ("original program with no modification")."""
-    workload = bench.workload()
-    kernel = bench.fresh_kernel()
-    cycles, timing, execution = _measure_kernel(kernel, workload, gpu)
+    with obs.span("measure.baseline", benchmark=bench.abbr):
+        workload = bench.workload()
+        kernel = bench.fresh_kernel()
+        cycles, timing, execution = _measure_kernel(kernel, workload, gpu)
     return BenchmarkMeasurement(
         abbr=bench.abbr,
         scheme="baseline",
@@ -108,10 +110,33 @@ def measure_scheme(
     if baseline_cycles is None:
         baseline_cycles = measure_baseline(bench, gpu).cycles
 
-    if scheme == SCHEME_IGPU:
-        kernel = bench.fresh_kernel()
-        igpu_transform(kernel)
-        cycles, timing, execution = _measure_kernel(kernel, workload, gpu)
+    with obs.span("measure.scheme", benchmark=bench.abbr, scheme=scheme):
+        if scheme == SCHEME_IGPU:
+            kernel = bench.fresh_kernel()
+            igpu_transform(kernel)
+            cycles, timing, execution = _measure_kernel(
+                kernel, workload, gpu
+            )
+            return BenchmarkMeasurement(
+                abbr=bench.abbr,
+                scheme=scheme,
+                cycles=cycles,
+                normalized=cycles / baseline_cycles,
+                timing=timing,
+                execution=execution,
+            )
+
+        config = config_override or scheme_config(scheme)
+        compiler = PennyCompiler(config)
+        result = compiler.compile(
+            bench.fresh_kernel(), workload.launch_config
+        )
+        cycles, timing, execution = _measure_kernel(
+            result.kernel,
+            workload,
+            gpu,
+            regs_override=int(result.stats["registers"]),
+        )
         return BenchmarkMeasurement(
             abbr=bench.abbr,
             scheme=scheme,
@@ -119,26 +144,8 @@ def measure_scheme(
             normalized=cycles / baseline_cycles,
             timing=timing,
             execution=execution,
+            compile_result=result,
         )
-
-    config = config_override or scheme_config(scheme)
-    compiler = PennyCompiler(config)
-    result = compiler.compile(bench.fresh_kernel(), workload.launch_config)
-    cycles, timing, execution = _measure_kernel(
-        result.kernel,
-        workload,
-        gpu,
-        regs_override=int(result.stats["registers"]),
-    )
-    return BenchmarkMeasurement(
-        abbr=bench.abbr,
-        scheme=scheme,
-        cycles=cycles,
-        normalized=cycles / baseline_cycles,
-        timing=timing,
-        execution=execution,
-        compile_result=result,
-    )
 
 
 def normalized_overheads(

@@ -17,8 +17,9 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+import repro.obs as obs
 from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
 from repro.fuzz.mutators import mutate_case
 from repro.fuzz.oracle import run_case
@@ -94,8 +95,19 @@ class FuzzReport:
             out.setdefault(f.fingerprint, []).append(f)
         return out
 
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "iterations": self.iterations_run,
+            "findings": len(self.findings),
+            "buckets": len(self.buckets()),
+            **{
+                f"outcome.{k}": v for k, v in sorted(self.outcomes.items())
+            },
+        }
+
     def to_dict(self) -> Dict:
         return {
+            "kind": "fuzz_report",
             "spec": self.spec.to_dict() if self.spec else None,
             "outcomes": dict(sorted(self.outcomes.items())),
             "buckets": {
@@ -115,16 +127,26 @@ class FuzzReport:
 
 def _run_iteration(spec: FuzzSpec, index: int) -> Dict:
     """One iteration → a plain-data record (process-boundary safe)."""
-    case = spec.case_for_iteration(index)
-    result = run_case(
-        case,
-        scheme=spec.scheme,
-        strict=spec.strict,
-        fault=spec.fault,
+    case_seed = stable_seed(spec.seed, index)
+    with obs.span(
+        "fuzz.iteration",
         iteration=index,
-    )
+        seed=case_seed,
+        scheme=spec.scheme,
+    ) as it_span:
+        case = spec.case_for_iteration(index)
+        result = run_case(
+            case,
+            scheme=spec.scheme,
+            strict=spec.strict,
+            fault=spec.fault,
+            iteration=index,
+        )
+        it_span.tag(outcome=result.status)
+    obs.inc(f"fuzz.outcome.{result.status}")
     record: Dict = {"index": index, "outcome": result.status}
     if result.finding is not None:
+        obs.inc("fuzz.findings")
         record["finding"] = dataclasses.asdict(result.finding)
     return record
 
@@ -157,6 +179,18 @@ class FuzzRunner:
         self.journal_path = journal_path
 
     def run(self, reduce: bool = False) -> FuzzReport:
+        with obs.span(
+            "fuzz.run",
+            iterations=self.spec.iterations,
+            seed=self.spec.seed,
+            scheme=self.spec.scheme,
+            workers=self.workers,
+        ) as run_span:
+            report = self._run(reduce)
+            run_span.tag(findings=len(report.findings))
+        return report
+
+    def _run(self, reduce: bool) -> FuzzReport:
         report = FuzzReport(spec=self.spec)
         corpus = TriageCorpus(self.journal_path)
         try:

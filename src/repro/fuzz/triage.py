@@ -57,6 +57,28 @@ class Finding:
     original_instructions: Optional[int] = None
     error: Dict = field(default_factory=dict)
 
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "finding",
+            "iteration": self.iteration,
+            "seed": self.seed,
+            "stage": self.stage,
+            "exc_type": self.exc_type,
+            "pass": self.pass_name,
+            "fingerprint": self.fingerprint,
+            "message": self.message,
+            "reduced_instructions": self.reduced_instructions,
+            "original_instructions": self.original_instructions,
+        }
+
+    def summary(self) -> Dict:
+        return {
+            "stage": self.stage,
+            "exc_type": self.exc_type,
+            "pass": self.pass_name,
+            "fingerprint": self.fingerprint,
+        }
+
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
 

@@ -42,8 +42,10 @@ import math
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import repro.obs as obs
+from repro.obs.metrics import Counters
 from repro.gpusim.executor import Executor, SimulationError
 from repro.gpusim.faults import (
     CheckpointFaultPlan,
@@ -151,7 +153,16 @@ class CampaignSpec:
 
 @dataclass
 class InjectionRecord:
-    """One journaled injection outcome (plain data, JSONL-serializable)."""
+    """One journaled injection outcome (plain data, JSONL-serializable).
+
+    ``counters`` is the injection's :class:`repro.obs.Counters` snapshot
+    (instruction classes, recovery re-execution histogram, ...) captured
+    by whichever worker ran it.  Because an injection's simulation is
+    deterministic in its seed, the snapshot is a pure function of the
+    record's index — so shard merging (which deduplicates by index) sums
+    counter totals to exactly the serial run's.  ``None`` on records from
+    journals predating the observability layer.
+    """
 
     index: int
     surface: str
@@ -162,6 +173,7 @@ class InjectionRecord:
     instructions: int = 0
     seed: int = 0
     detail: Optional[str] = None
+    counters: Optional[Dict] = None
 
     def to_json(self) -> str:
         return json.dumps(dataclasses.asdict(self), sort_keys=True)
@@ -173,7 +185,12 @@ class InjectionRecord:
 
 @dataclass
 class CampaignReport:
-    """Aggregated campaign results with taxonomy and confidence intervals."""
+    """Aggregated campaign results with taxonomy and confidence intervals.
+
+    Implements the :class:`repro.obs.Reportable` protocol; ``counters()``
+    folds the per-record metric snapshots into one registry whose totals
+    are independent of sharding and worker scheduling.
+    """
 
     records: List[InjectionRecord] = field(default_factory=list)
     spec: Optional[CampaignSpec] = None
@@ -223,11 +240,40 @@ class CampaignReport:
             out[o.value] = wilson_interval(self.count(o), n, z)
         return out
 
+    def counters(self) -> Counters:
+        """All records' metric snapshots, merged (associative: any
+        sharding of the records produces the same totals)."""
+        return Counters.merged(
+            Counters.from_dict(r.counters)
+            for r in self.records
+            if r.counters
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "campaign_report",
+            "spec": self.spec.to_dict() if self.spec else None,
+            "injections": len(self.records),
+            "injected_runs": self.injected_runs,
+            "summary": self.summary(),
+            "due_taxonomy": dict(sorted(self.due_taxonomy().items())),
+            "by_surface": {
+                s: row for s, row in sorted(self.by_surface().items())
+            },
+            "rates": {
+                k: {"rate": p, "lo": lo, "hi": hi}
+                for k, (p, lo, hi) in self.rates().items()
+            },
+            "counters": self.counters().to_dict(),
+        }
+
     @classmethod
     def merge(cls, reports: Iterable["CampaignReport"]) -> "CampaignReport":
         """Merge shard reports into one.  Records are deduplicated by
         injection index (identical seeds produce identical records, so the
-        first occurrence wins) and re-sorted."""
+        first occurrence wins) and re-sorted.  Deduplication is also what
+        keeps ``counters()`` totals equal to a serial run's no matter how
+        the shards overlapped."""
         seen: Dict[int, InjectionRecord] = {}
         spec = None
         for rep in reports:
@@ -391,9 +437,15 @@ class _CampaignState:
             max_recoveries_per_thread=self.spec.max_recoveries,
             fault_plan=plan,
         )
+        # A span-less tracer scoped to this one injection: the executor's
+        # end-of-run dump and recovery histograms land in a fresh registry
+        # whose snapshot rides on the record across the process boundary.
+        injection_obs = obs.Tracer(record_spans=False)
         try:
-            result = executor.run(self.wl.launch, mem)
+            with injection_obs:
+                result = executor.run(self.wl.launch, mem)
         except (SimulationError, MemoryError32) as exc:
+            injection_obs.counters.inc(f"campaign.due.{classify_due(exc).value}")
             return InjectionRecord(
                 index=index,
                 surface=surface,
@@ -404,6 +456,7 @@ class _CampaignState:
                 instructions=-1,
                 seed=seed,
                 detail=str(exc),
+                counters=injection_obs.counters.to_dict(),
             )
         output = mem.download(*self.out)
         if not plan.injected:
@@ -416,6 +469,7 @@ class _CampaignState:
             )
         else:
             outcome = FaultOutcome.SDC
+        injection_obs.counters.inc(f"campaign.outcome.{outcome.value}")
         return InjectionRecord(
             index=index,
             surface=surface,
@@ -425,6 +479,7 @@ class _CampaignState:
             instructions=result.instructions,
             seed=seed,
             detail=_plan_detail(plan),
+            counters=injection_obs.counters.to_dict(),
         )
 
 
@@ -555,6 +610,17 @@ class ParallelCampaign:
         self.journal_path = journal_path
 
     def run(self, resume: bool = False) -> CampaignReport:
+        with obs.span(
+            "campaign.run",
+            benchmark=self.spec.benchmark,
+            scheme=self.spec.scheme,
+            injections=self.spec.num_injections,
+            workers=self.workers,
+            seed=self.spec.seed,
+        ):
+            return self._run(resume)
+
+    def _run(self, resume: bool) -> CampaignReport:
         done: Dict[int, InjectionRecord] = {}
         if self.journal_path and resume:
             header, done = load_journal(self.journal_path)

@@ -18,8 +18,9 @@ import math
 import struct
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
+import repro.obs as obs
 from repro.coding.parity import ParityCode
 from repro.gpusim.memory import MemoryImage, WordStore
 from repro.gpusim.regfile import ParityError, RegisterFile
@@ -99,7 +100,12 @@ class Launch:
 
 @dataclass
 class ExecutionResult:
-    """Aggregated dynamic statistics of one kernel run."""
+    """Aggregated dynamic statistics of one kernel run.
+
+    Implements the :class:`repro.obs.Reportable` protocol (``to_dict``
+    / ``summary``) so runs serialize to the JSONL metrics sink with the
+    same key conventions as every other result type.
+    """
 
     #: per-warp instruction-class counts: warp id -> class -> count
     warp_counts: Dict[Tuple[int, int], Counter] = field(default_factory=dict)
@@ -122,6 +128,42 @@ class ExecutionResult:
             total.update(counts)
         return total
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "execution_result",
+            "threads": self.threads,
+            "instructions": self.instructions,
+            "detections": self.detections,
+            "recoveries": self.recoveries,
+            "rf_reads": self.rf_reads,
+            "rf_writes": self.rf_writes,
+            "shared_accesses": self.shared_accesses,
+            "global_accesses": self.global_accesses,
+            "inst_classes": {
+                cls: n for cls, n in sorted(self.total_by_class().items())
+            },
+            "warp_counts": {
+                f"{ctaid}:{warp}": {c: n for c, n in sorted(counts.items())}
+                for (ctaid, warp), counts in sorted(self.warp_counts.items())
+            },
+            "thread_instructions": {
+                f"{ctaid}:{tid}": n
+                for (ctaid, tid), n in sorted(
+                    self.thread_instructions.items()
+                )
+            },
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "threads": self.threads,
+            "instructions": self.instructions,
+            "detections": self.detections,
+            "recoveries": self.recoveries,
+            "rf_reads": self.rf_reads,
+            "rf_writes": self.rf_writes,
+        }
+
 
 class ThreadContext:
     """One thread's architectural state."""
@@ -140,6 +182,7 @@ class ThreadContext:
         "visits",
         "executed",
         "recoveries",
+        "region_entry_executed",
     )
 
     def __init__(self, tid: int, ctaid: int, rf: RegisterFile):
@@ -156,6 +199,9 @@ class ThreadContext:
         self.visits: Counter = Counter()  # block label -> entry count
         self.executed = 0
         self.recoveries = 0
+        #: ``executed`` as of the last region entry; the difference at a
+        #: recovery is the work the region re-executes (obs histogram)
+        self.region_entry_executed = 0
 
 
 #: instruction classes for the timing model
@@ -236,6 +282,36 @@ class Executor:
     # -- launch ------------------------------------------------------------------
 
     def run(self, launch: Launch, mem: MemoryImage) -> ExecutionResult:
+        with obs.span(
+            "sim.run",
+            kernel=self.kernel.name,
+            grid=launch.grid,
+            block=launch.block,
+            faulted=self.fault_plan is not None,
+        ):
+            result = self._run(launch, mem)
+        self._publish_counters(result)
+        return result
+
+    def _publish_counters(self, result: ExecutionResult) -> None:
+        """Dump one run's dynamic statistics into the current tracer's
+        metrics registry.  End-of-run only — the interpreter's hot loop
+        carries no per-instruction observability cost."""
+        if obs.current_tracer() is None:
+            return
+        obs.inc("sim.runs")
+        obs.inc("sim.instructions", result.instructions)
+        obs.inc("sim.threads", result.threads)
+        obs.inc("sim.detections", result.detections)
+        obs.inc("sim.recoveries", result.recoveries)
+        obs.inc("sim.rf_reads", result.rf_reads)
+        obs.inc("sim.rf_writes", result.rf_writes)
+        obs.inc("sim.shared_accesses", result.shared_accesses)
+        obs.inc("sim.global_accesses", result.global_accesses)
+        for cls, n in result.total_by_class().items():
+            obs.inc(f"sim.inst.{cls}", n)
+
+    def _run(self, launch: Launch, mem: MemoryImage) -> ExecutionResult:
         result = ExecutionResult()
         # Stateful fault plans (rate plans, campaign plans) carry per-run
         # bookkeeping; reset it so a reused plan cannot leak injection
@@ -400,22 +476,50 @@ class Executor:
         t.visits[label] += 1
         if label in self._recovery_labels:
             t.region_label = label
+            t.region_entry_executed = t.executed
 
     def _recover(self, t: ThreadContext, env: "_BlockEnv", err: ParityError) -> None:
-        if self._recovery_runtime is None:
-            raise UnrecoverableError(
-                f"{err} in thread ({t.ctaid},{t.tid}) with no recovery runtime",
-                cause="no_runtime",
+        # The instructions executed since this thread entered its current
+        # region are exactly the work recovery throws away and re-executes
+        # — the paper's re-execution cost, observed per region.
+        reexec = t.executed - t.region_entry_executed
+        obs.event(
+            "sim.detect",
+            region=t.region_label,
+            ctaid=t.ctaid,
+            tid=t.tid,
+            reexec_insts=reexec,
+        )
+        with obs.span(
+            "sim.recover",
+            region=t.region_label,
+            ctaid=t.ctaid,
+            tid=t.tid,
+            reexec_insts=reexec,
+        ):
+            if self._recovery_runtime is None:
+                raise UnrecoverableError(
+                    f"{err} in thread ({t.ctaid},{t.tid}) with no recovery "
+                    f"runtime",
+                    cause="no_runtime",
+                )
+            t.recoveries += 1
+            if t.recoveries > self.max_recoveries:
+                raise UnrecoverableError(
+                    f"thread ({t.ctaid},{t.tid}) exceeded recovery budget "
+                    f"of {self.max_recoveries}",
+                    cause="budget_exhausted",
+                )
+            self._recovery_runtime.recover(
+                t, env, err, fault_plan=self.fault_plan
             )
-        t.recoveries += 1
-        if t.recoveries > self.max_recoveries:
-            raise UnrecoverableError(
-                f"thread ({t.ctaid},{t.tid}) exceeded recovery budget "
-                f"of {self.max_recoveries}",
-                cause="budget_exhausted",
+            self._enter_block(t, t.region_label)
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            tracer.counters.inc("sim.reexec_insts_total", reexec)
+            tracer.counters.observe_value(
+                f"sim.reexec.{t.region_label}", reexec
             )
-        self._recovery_runtime.recover(t, env, err, fault_plan=self.fault_plan)
-        self._enter_block(t, t.region_label)
 
     # -- instruction semantics ---------------------------------------------------------
 

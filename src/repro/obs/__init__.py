@@ -1,0 +1,91 @@
+"""``repro.obs`` — zero-dependency observability for the whole system.
+
+Three pieces, wired through every layer of the reproduction:
+
+- **Tracing** (:mod:`repro.obs.tracer`): a context-var-scoped
+  :class:`Tracer` with nested spans and a strictly no-op default.  Every
+  compiler pass, fallback rung, simulator run and recovery is a span;
+  unobserved runs pay one ``ContextVar.get`` per instrumentation site.
+
+- **Metrics** (:mod:`repro.obs.metrics`): a :class:`Counters` registry
+  (counters, gauges, power-of-two histograms) whose merge is associative
+  and commutative — campaign shards merge worker snapshots in arrival
+  order and still equal a serial run.
+
+- **Export** (:mod:`repro.obs.export`): Chrome trace-event JSON (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev) and a JSONL metrics
+  sink fed by the :class:`Reportable` protocol
+  (:mod:`repro.obs.report`), each with a schema validator.
+
+Quickstart::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with tracer:
+        result = repro.protect(kernel)      # passes appear as spans
+    obs.write_chrome_trace("trace.json", tracer)
+    print(tracer.counters.to_dict())
+
+Or from the shell::
+
+    penny trace examples/scale.ptx --trace-out trace.json
+"""
+
+from repro.obs.export import (
+    METRIC_KINDS,
+    MetricsSink,
+    chrome_trace,
+    find_span,
+    load_chrome_trace,
+    span_names,
+    validate_chrome_trace,
+    validate_metrics_jsonl,
+    validate_metrics_record,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counters, pow2_bucket
+from repro.obs.report import Reportable, as_report_dict
+from repro.obs.tracer import (
+    NULL_SPAN,
+    EventRecord,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    event,
+    gauge,
+    inc,
+    observe,
+    span,
+)
+
+__all__ = [
+    # tracer
+    "Tracer",
+    "SpanRecord",
+    "EventRecord",
+    "NULL_SPAN",
+    "current_tracer",
+    "span",
+    "event",
+    "inc",
+    "observe",
+    "gauge",
+    # metrics
+    "Counters",
+    "pow2_bucket",
+    # report
+    "Reportable",
+    "as_report_dict",
+    # export
+    "MetricsSink",
+    "METRIC_KINDS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "validate_metrics_record",
+    "validate_metrics_jsonl",
+    "span_names",
+    "find_span",
+]

@@ -1,0 +1,283 @@
+"""Exporters: Chrome trace-event JSON and the JSONL metrics sink.
+
+**Chrome trace format.**  :func:`chrome_trace` renders a tracer's spans
+as *complete* events (``"ph": "X"``) and its instant events as ``"ph":
+"i"``, in the JSON-object flavor (``{"traceEvents": [...]}``) that both
+``chrome://tracing`` and Perfetto load directly.  Timestamps and
+durations are microseconds relative to the earliest span, span tags
+become ``args``, and the span taxonomy's first dotted component becomes
+the category (``"pass.regions"`` -> cat ``"pass"``).  Nesting needs no
+explicit parent links in this format — the viewers reconstruct it from
+containment on the same pid/tid — but ``args.span_id``/``args.parent_id``
+are preserved for programmatic consumers.
+
+**Metrics sink.**  :class:`MetricsSink` appends JSON records to a JSONL
+file, one object per line, each stamped with a ``kind`` discriminator.
+Anything :class:`repro.obs.report.Reportable` can be written directly;
+counter registries are written as ``kind: "counters"`` snapshots.
+
+Both formats ship a validator (:func:`validate_chrome_trace`,
+:func:`validate_metrics_jsonl`) returning a list of problems — empty
+means valid — so tests and CI gate artifacts on schema, not vibes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs.metrics import Counters
+from repro.obs.tracer import Tracer
+
+#: metrics-record discriminators the sink emits / the validator accepts
+METRIC_KINDS = (
+    "counters",
+    "compile_result",
+    "execution_result",
+    "campaign_report",
+    "fuzz_report",
+    "finding",
+    "meta",
+)
+
+
+# -- Chrome trace-event JSON ------------------------------------------------------
+
+
+def chrome_trace(
+    tracer: Tracer,
+    process_name: str = "repro",
+    pid: int = 1,
+    tid: int = 1,
+) -> Dict[str, Any]:
+    """Render a tracer's spans/events as a Chrome trace-event object."""
+    origin = min(
+        [s.start for s in tracer.spans] + [e.at for e in tracer.events],
+        default=0.0,
+    )
+
+    def us(t: float) -> float:
+        return round((t - origin) * 1e6, 3)
+
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for s in sorted(tracer.spans, key=lambda s: (s.start, s.span_id)):
+        args = dict(s.tags)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ts": us(s.start),
+                "dur": us(s.end) - us(s.start),
+                "args": args,
+            }
+        )
+    for e in sorted(tracer.events, key=lambda e: e.at):
+        events.append(
+            {
+                "ph": "i",
+                "pid": pid,
+                "tid": tid,
+                "name": e.name,
+                "cat": e.name.split(".", 1)[0],
+                "ts": us(e.at),
+                "s": "t",  # thread-scoped instant
+                "args": dict(e.tags),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, tracer: Tracer, **kwargs) -> None:
+    with open(path, "w") as f:
+        json.dump(chrome_trace(tracer, **kwargs), f, indent=1, default=str)
+        f.write("\n")
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Schema-check a Chrome trace object; returns problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(obj, Mapping):
+        return ["top level is not an object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        for key in ("pid", "tid", "name"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        if ph in ("X", "i"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        args = ev.get("args", {})
+        if not isinstance(args, Mapping):
+            problems.append(f"{where}: args not an object")
+    # Containment sanity: every X event with a parent_id must fall inside
+    # its parent's [ts, ts+dur] window (the invariant viewers rely on).
+    by_id = {
+        ev["args"]["span_id"]: ev
+        for ev in events
+        if isinstance(ev, Mapping)
+        and ev.get("ph") == "X"
+        and isinstance(ev.get("args"), Mapping)
+        and "span_id" in ev["args"]
+    }
+    for ev in by_id.values():
+        parent_id = ev["args"].get("parent_id")
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {ev['args']['span_id']}: parent {parent_id} missing"
+            )
+            continue
+        eps = 1e-3  # µs rounding slack
+        if not (
+            parent["ts"] - eps <= ev["ts"]
+            and ev["ts"] + ev["dur"] <= parent["ts"] + parent["dur"] + eps
+        ):
+            problems.append(
+                f"span {ev['args']['span_id']} ({ev['name']}) escapes "
+                f"parent {parent_id} ({parent['name']})"
+            )
+    return problems
+
+
+# -- JSONL metrics sink -----------------------------------------------------------
+
+
+class MetricsSink:
+    """Append-only JSONL metrics writer, flushed per record."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._f = open(path, "w")
+
+    def write(self, kind: str, payload: Mapping[str, Any]) -> None:
+        record = {"kind": kind}
+        record.update(payload)
+        self._f.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        self._f.flush()
+
+    def write_counters(
+        self, counters: Counters, **context: Any
+    ) -> None:
+        payload: Dict[str, Any] = dict(context)
+        payload["data"] = counters.to_dict()
+        self.write("counters", payload)
+
+    def write_report(self, reportable) -> None:
+        """Write anything implementing the Reportable protocol."""
+        d = reportable.to_dict()
+        kind = d.get("kind", "meta")
+        self.write(kind, {k: v for k, v in d.items() if k != "kind"})
+
+    def close(self) -> None:
+        self._f.close()
+
+    def __enter__(self) -> "MetricsSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def validate_metrics_record(obj: Any) -> List[str]:
+    """Schema-check one metrics record; returns problems (empty = ok)."""
+    if not isinstance(obj, Mapping):
+        return ["record is not an object"]
+    problems: List[str] = []
+    kind = obj.get("kind")
+    if not isinstance(kind, str) or not kind:
+        problems.append(f"bad kind {kind!r}")
+    elif kind not in METRIC_KINDS:
+        problems.append(f"unknown kind {kind!r}")
+    if kind == "counters":
+        data = obj.get("data")
+        if not isinstance(data, Mapping):
+            problems.append("counters record missing 'data' object")
+        else:
+            for section in ("counters", "gauges", "histograms"):
+                if section not in data:
+                    problems.append(f"counters data missing {section!r}")
+    return problems
+
+
+def validate_metrics_jsonl(
+    path_or_lines: Union[str, List[str]]
+) -> List[str]:
+    """Validate a JSONL metrics file (or pre-split lines)."""
+    if isinstance(path_or_lines, str):
+        with open(path_or_lines) as f:
+            lines = f.readlines()
+    else:
+        lines = path_or_lines
+    problems: List[str] = []
+    seen = 0
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        seen += 1
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not JSON ({exc})")
+            continue
+        problems.extend(
+            f"line {lineno}: {p}" for p in validate_metrics_record(obj)
+        )
+    if seen == 0:
+        problems.append("no records")
+    return problems
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)
+
+
+def span_names(trace_obj: Mapping[str, Any]) -> List[str]:
+    """All X-event names in a Chrome trace object (with duplicates)."""
+    return [
+        ev["name"]
+        for ev in trace_obj.get("traceEvents", [])
+        if isinstance(ev, Mapping) and ev.get("ph") == "X"
+    ]
+
+
+def find_span(
+    trace_obj: Mapping[str, Any], name: str
+) -> Optional[Dict[str, Any]]:
+    for ev in trace_obj.get("traceEvents", []):
+        if isinstance(ev, Mapping) and ev.get("ph") == "X" and ev.get("name") == name:
+            return dict(ev)
+    return None

@@ -1,0 +1,126 @@
+"""The metrics registry: counters, gauges, and bucketed histograms.
+
+Everything here is designed around one algebraic requirement: **merging
+must be associative and commutative with an identity** (a fresh, empty
+registry), because campaign shards merge worker snapshots in whatever
+order the pool delivers them and the result must be bit-identical to a
+serial run.  Concretely:
+
+- **counters** merge by summation,
+- **histograms** merge by per-bucket summation,
+- **gauges** merge by ``max`` (the only order-independent choice that is
+  still useful for high-water marks like peak register demand).
+
+Snapshots (:meth:`Counters.to_dict`) are plain JSON-serializable dicts,
+and :meth:`Counters.from_dict` round-trips them, so a snapshot can cross
+a process boundary inside a campaign record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+
+def pow2_bucket(n: int) -> str:
+    """A power-of-two histogram bucket label for a non-negative count.
+
+    ``0 -> "0"``, ``1 -> "1"``, ``2..3 -> "2-3"``, ``4..7 -> "4-7"``, ...
+    Stable, compact labels so shard merges agree on bucket identity.
+    """
+    if n <= 0:
+        return "0"
+    if n == 1:
+        return "1"
+    lo = 1
+    while lo * 2 <= n:
+        lo *= 2
+    return f"{lo}-{lo * 2 - 1}"
+
+
+class Counters:
+    """A named-metric registry (counters + gauges + histograms)."""
+
+    __slots__ = ("counts", "gauges", "hists")
+
+    def __init__(self):
+        self.counts: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.hists: Dict[str, Dict[str, float]] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, bucket: str, n: float = 1) -> None:
+        hist = self.hists.setdefault(name, {})
+        hist[bucket] = hist.get(bucket, 0) + n
+
+    def observe_value(self, name: str, value: int, n: float = 1) -> None:
+        """Observe a non-negative integer into power-of-two buckets."""
+        self.observe(name, pow2_bucket(value), n)
+
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Fold ``other`` into this registry (in place; returns self)."""
+        for name, n in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + n
+        for name, v in other.gauges.items():
+            cur = self.gauges.get(name)
+            self.gauges[name] = v if cur is None else max(cur, v)
+        for name, hist in other.hists.items():
+            mine = self.hists.setdefault(name, {})
+            for bucket, n in hist.items():
+                mine[bucket] = mine.get(bucket, 0) + n
+        return self
+
+    @classmethod
+    def merged(cls, registries: Iterable["Counters"]) -> "Counters":
+        out = cls()
+        for reg in registries:
+            out.merge(reg)
+        return out
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot with deterministic key order."""
+        return {
+            "counters": {k: self.counts[k] for k in sorted(self.counts)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                name: {b: hist[b] for b in sorted(hist)}
+                for name, hist in sorted(self.hists.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Optional[Mapping]) -> "Counters":
+        out = cls()
+        if not d:
+            return out
+        out.counts.update(d.get("counters", {}))
+        out.gauges.update(d.get("gauges", {}))
+        for name, hist in d.get("histograms", {}).items():
+            out.hists[name] = dict(hist)
+        return out
+
+    # -- conveniences ---------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self.counts or self.gauges or self.hists)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"Counters({len(self.counts)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.hists)} histograms)"
+        )

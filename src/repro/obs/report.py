@@ -1,0 +1,47 @@
+"""The ``Reportable`` protocol: one serialization contract for results.
+
+Before this protocol existed, three divergent ad-hoc serializations fed
+anything that wanted numbers out of the system: ``CompileResult.stats``
+(a loose float dict), the campaign CLI's hand-rolled JSON payload, and
+the fuzz report's bucket dump.  Every sink had to special-case each.
+Now every result type implements:
+
+- ``to_dict()`` — a complete, JSON-serializable dict whose first key is
+  a ``kind`` discriminator (``compile_result``, ``execution_result``,
+  ``campaign_report``, ``fuzz_report``, ``finding``) with snake_case
+  keys throughout, and
+- ``summary()`` — a small flat dict of the headline numbers, suitable
+  for one-line logging or a table row.
+
+The JSONL metrics sink (:class:`repro.obs.export.MetricsSink`) writes
+any Reportable directly; :func:`as_report_dict` is the duck-typed
+adapter for code that receives "something resembling a result".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Reportable(Protocol):
+    """Anything that can serialize itself for the metrics sink."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Complete JSON-serializable form, ``kind``-discriminated."""
+        ...
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat headline numbers (a table row, not the whole story)."""
+        ...
+
+
+def as_report_dict(obj: Any) -> Dict[str, Any]:
+    """Best-effort conversion of a result-ish object to a report dict."""
+    if isinstance(obj, Reportable):
+        return obj.to_dict()
+    if isinstance(obj, dict):
+        return obj
+    raise TypeError(
+        f"{type(obj).__name__} implements neither Reportable nor dict"
+    )

@@ -1,0 +1,257 @@
+"""Context-var-scoped tracing: nested spans with a strictly no-op default.
+
+Design constraints, in priority order:
+
+1. **Unobserved code pays (almost) nothing.**  Every instrumentation site
+   calls :func:`span` (or :func:`event`); when no tracer is installed that
+   is one ``ContextVar.get`` plus a ``None`` check, and the returned
+   context manager is a shared singleton whose ``__enter__``/``__exit__``
+   do nothing and allocate nothing.  Instrumentation is therefore placed
+   at *pass* and *event* granularity (a compile emits dozens of spans, a
+   simulation emits one per recovery) — never per instruction.
+
+2. **Scoping is dynamic, not lexical.**  The current tracer lives in a
+   :class:`contextvars.ContextVar`, so ``with tracer:`` observes
+   everything called underneath it — including library code that knows
+   nothing about who is watching — and composes with threads and asyncio
+   the way context vars do.
+
+3. **Spans are plain data.**  A finished :class:`SpanRecord` is a frozen
+   bag of (name, start, end, parent, tags) that the exporters
+   (:mod:`repro.obs.export`) turn into Chrome trace-event JSON without
+   touching live objects.
+
+Usage::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with tracer:
+        with obs.span("compile", kernel="axpy"):
+            with obs.span("pass.regions"):
+                ...
+            obs.inc("compile.regions_cut", 3)
+    obs.write_chrome_trace("trace.json", tracer)
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Counters
+
+_CURRENT: ContextVar[Optional["Tracer"]] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+
+
+def current_tracer() -> Optional["Tracer"]:
+    """The tracer observing this context, or ``None`` (unobserved)."""
+    return _CURRENT.get()
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out when no tracer is installed.
+
+    A singleton: :func:`span` must not allocate on the unobserved path.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (pure data; exporters consume these)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float  # seconds, tracer clock
+    end: float
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One instant event (a point in time, no duration)."""
+
+    name: str
+    at: float
+    parent_id: Optional[int]
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+
+class _LiveSpan:
+    """An open span; closes (and records itself) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "start", "tags")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        tags: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.tags = tags
+        self.start = 0.0
+
+    def tag(self, **tags: Any) -> "_LiveSpan":
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        self.start = self._tracer._clock()
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self._tracer._clock()
+        stack = self._tracer._stack
+        # Tolerate mis-nested exits (an exception unwinding through
+        # several spans): pop back to (and including) this span.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+        if self._tracer.record_spans:
+            self._tracer.spans.append(
+                SpanRecord(
+                    span_id=self.span_id,
+                    parent_id=self.parent_id,
+                    name=self.name,
+                    start=self.start,
+                    end=end,
+                    tags=self.tags,
+                )
+            )
+        return False
+
+
+class Tracer:
+    """Collects spans, events and metrics for one observed activity.
+
+    ``record_spans=False`` keeps only the metrics registry — what the
+    campaign engine's workers use, where per-injection span lists would
+    be pure memory pressure.
+
+    A tracer is also a context manager: ``with tracer:`` installs it as
+    the context's current tracer and restores the previous one on exit
+    (tracers nest; the innermost wins).
+    """
+
+    def __init__(self, record_spans: bool = True, clock=time.perf_counter):
+        self.record_spans = record_spans
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+        self.counters = Counters()
+        self._clock = clock
+        self._stack: List[_LiveSpan] = []
+        self._ids = itertools.count(1)
+        self._token = None
+
+    # -- installation ---------------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        return False
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> _LiveSpan:
+        parent = self._stack[-1].span_id if self._stack else None
+        return _LiveSpan(self, next(self._ids), parent, name, tags)
+
+    def event(self, name: str, **tags: Any) -> None:
+        if not self.record_spans:
+            return
+        parent = self._stack[-1].span_id if self._stack else None
+        self.events.append(
+            EventRecord(
+                name=name, at=self._clock(), parent_id=parent, tags=tags
+            )
+        )
+
+    # -- inspection -----------------------------------------------------------
+
+    def roots(self) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: SpanRecord) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> List[SpanRecord]:
+        """All finished spans with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+
+# -- module-level instrumentation API (the no-op fast path) ---------------------
+
+
+def span(name: str, **tags: Any):
+    """A span under the current tracer, or the shared no-op singleton."""
+    tracer = _CURRENT.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **tags)
+
+
+def event(name: str, **tags: Any) -> None:
+    """An instant event under the current tracer (no-op when unobserved)."""
+    tracer = _CURRENT.get()
+    if tracer is not None:
+        tracer.event(name, **tags)
+
+
+def inc(name: str, n: float = 1) -> None:
+    """Increment a counter on the current tracer (no-op when unobserved)."""
+    tracer = _CURRENT.get()
+    if tracer is not None:
+        tracer.counters.inc(name, n)
+
+
+def observe(name: str, bucket: str, n: float = 1) -> None:
+    """Add to a histogram bucket on the current tracer (no-op version)."""
+    tracer = _CURRENT.get()
+    if tracer is not None:
+        tracer.counters.observe(name, bucket, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the current tracer (no-op when unobserved)."""
+    tracer = _CURRENT.get()
+    if tracer is not None:
+        tracer.counters.gauge(name, value)

@@ -1,0 +1,332 @@
+"""The observability layer: tracer scoping, span nesting, counter-merge
+algebra, and both exporters' schemas."""
+
+import json
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import Counters, pow2_bucket
+from repro.obs.tracer import NULL_SPAN, Tracer, current_tracer
+
+
+class FakeClock:
+    """A deterministic clock: every read advances by one tick."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+# -- the no-op default -----------------------------------------------------------
+
+
+class TestNoopDefault:
+    def test_no_tracer_installed_by_default(self):
+        assert current_tracer() is None
+
+    def test_span_returns_shared_singleton(self):
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("else", tag=1) is NULL_SPAN
+
+    def test_null_span_is_inert_context_manager(self):
+        with obs.span("unobserved") as s:
+            assert s is NULL_SPAN
+            assert s.tag(k=1) is s
+
+    def test_metrics_calls_are_noops(self):
+        obs.inc("nope")
+        obs.gauge("nope", 1.0)
+        obs.observe("nope", "0")
+        obs.event("nope")
+        assert current_tracer() is None
+
+    def test_unobserved_overhead_is_tiny(self):
+        # The real guard is benchmarks/test_compiler_speed.py; this is a
+        # smoke bound generous enough to never flake: 200k unobserved
+        # instrumentation sites in well under a second.
+        start = time.perf_counter()
+        for _ in range(200_000):
+            with obs.span("x"):
+                pass
+        assert time.perf_counter() - start < 1.0
+
+    def test_tracer_uninstalls_on_exit(self):
+        t = Tracer()
+        with t:
+            assert current_tracer() is t
+        assert current_tracer() is None
+
+    def test_tracer_uninstalls_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError("boom")
+        assert current_tracer() is None
+
+
+# -- span nesting and ordering ---------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_parent_links(self):
+        t = Tracer(clock=FakeClock())
+        with t:
+            with obs.span("outer"):
+                with obs.span("inner.a"):
+                    pass
+                with obs.span("inner.b"):
+                    pass
+        outer = t.find("outer")[0]
+        a = t.find("inner.a")[0]
+        b = t.find("inner.b")[0]
+        assert outer.parent_id is None
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+        assert t.roots() == [outer] != []
+        assert t.children_of(outer) == [a, b]
+
+    def test_children_close_before_parents(self):
+        t = Tracer(clock=FakeClock())
+        with t:
+            with obs.span("p"):
+                with obs.span("c"):
+                    pass
+        p = t.find("p")[0]
+        c = t.find("c")[0]
+        assert p.start < c.start < c.end < p.end
+        # Children are appended (closed) before their parents.
+        assert t.spans.index(c) < t.spans.index(p)
+
+    def test_tags_and_late_tags(self):
+        t = Tracer(clock=FakeClock())
+        with t:
+            with obs.span("s", a=1) as s:
+                s.tag(b=2)
+        rec = t.find("s")[0]
+        assert rec.tags == {"a": 1, "b": 2}
+
+    def test_exception_tags_error_and_propagates(self):
+        t = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with t:
+                with obs.span("failing"):
+                    raise ValueError("x")
+        assert t.find("failing")[0].tags["error"] == "ValueError"
+
+    def test_mis_nested_exit_pops_back_to_self(self):
+        t = Tracer(clock=FakeClock())
+        with t:
+            outer = t.span("outer")
+            inner = t.span("inner")
+            outer.__enter__()
+            inner.__enter__()
+            # Exit outer first: inner must be popped too, and a
+            # subsequent span must not claim a stale parent.
+            outer.__exit__(None, None, None)
+            with obs.span("after"):
+                pass
+        assert t.find("after")[0].parent_id is None
+
+    def test_events_carry_parent(self):
+        t = Tracer(clock=FakeClock())
+        with t:
+            with obs.span("p"):
+                obs.event("blip", reason="test")
+        ev = t.events[0]
+        assert ev.name == "blip"
+        assert ev.parent_id == t.find("p")[0].span_id
+        assert ev.tags == {"reason": "test"}
+
+    def test_record_spans_false_keeps_only_metrics(self):
+        t = Tracer(record_spans=False)
+        with t:
+            with obs.span("s"):
+                obs.inc("n")
+            obs.event("e")
+        assert t.spans == [] and t.events == []
+        assert t.counters.counts == {"n": 1}
+
+    def test_tracers_nest_innermost_wins(self):
+        a, b = Tracer(), Tracer()
+        with a:
+            with b:
+                obs.inc("x")
+            obs.inc("y")
+        assert b.counters.counts == {"x": 1}
+        assert a.counters.counts == {"y": 1}
+
+
+# -- counter algebra -------------------------------------------------------------
+
+
+class TestCounters:
+    def _sample(self, lo, hi):
+        c = Counters()
+        for i in range(lo, hi):
+            c.inc("n", i)
+            c.gauge("g", float(i))
+            c.observe_value("h", i)
+        return c
+
+    def test_merge_matches_serial(self):
+        serial = self._sample(0, 30)
+        sharded = Counters.merged(
+            [self._sample(0, 11), self._sample(11, 23), self._sample(23, 30)]
+        )
+        assert sharded == serial
+        assert sharded.to_dict() == serial.to_dict()
+
+    def test_merge_is_commutative(self):
+        shards = [self._sample(0, 7), self._sample(7, 20), self._sample(20, 30)]
+        fwd = Counters.merged(shards)
+        rev = Counters.merged(reversed(shards))
+        assert fwd == rev
+
+    def test_merge_is_associative(self):
+        a, b, c = (
+            self._sample(0, 5),
+            self._sample(5, 12),
+            self._sample(12, 30),
+        )
+        left = Counters.merged([Counters.merged([a, b]), c])
+        a2, b2, c2 = (
+            self._sample(0, 5),
+            self._sample(5, 12),
+            self._sample(12, 30),
+        )
+        right = Counters.merged([a2, Counters.merged([b2, c2])])
+        assert left == right
+
+    def test_gauges_merge_as_max(self):
+        a, b = Counters(), Counters()
+        a.gauge("g", 3.0)
+        b.gauge("g", 9.0)
+        assert Counters.merged([a, b]).gauges["g"] == 9.0
+
+    def test_round_trip(self):
+        c = self._sample(0, 10)
+        assert Counters.from_dict(c.to_dict()) == c
+        json.dumps(c.to_dict())  # JSON-safe
+
+    def test_bool(self):
+        assert not Counters()
+        c = Counters()
+        c.inc("x")
+        assert c
+
+    def test_pow2_buckets(self):
+        assert pow2_bucket(0) == "0"
+        assert pow2_bucket(1) == "1"
+        assert pow2_bucket(2) == "2-3"
+        assert pow2_bucket(3) == "2-3"
+        assert pow2_bucket(4) == "4-7"
+        assert pow2_bucket(1000) == "512-1023"
+
+
+# -- Chrome trace exporter -------------------------------------------------------
+
+
+def _traced_tracer():
+    t = Tracer(clock=FakeClock())
+    with t:
+        with obs.span("compile", kernel="k"):
+            with obs.span("pass.regions"):
+                pass
+            with obs.span("pass.codegen"):
+                obs.event("fallback.degrade", rung="sa")
+    return t
+
+
+class TestChromeTrace:
+    def test_valid_against_schema(self):
+        trace = obs.chrome_trace(_traced_tracer())
+        assert obs.validate_chrome_trace(trace) == []
+
+    def test_structure(self):
+        trace = obs.chrome_trace(_traced_tracer(), process_name="unit")
+        assert obs.span_names(trace) == [
+            "compile",
+            "pass.regions",
+            "pass.codegen",
+        ]
+        compile_ev = obs.find_span(trace, "compile")
+        regions = obs.find_span(trace, "pass.regions")
+        assert regions["cat"] == "pass"
+        assert regions["args"]["parent_id"] == compile_ev["args"]["span_id"]
+        # Containment: child window inside parent window.
+        assert compile_ev["ts"] <= regions["ts"]
+        assert (
+            regions["ts"] + regions["dur"]
+            <= compile_ev["ts"] + compile_ev["dur"]
+        )
+        phases = {ev["ph"] for ev in trace["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+
+    def test_json_serializable_and_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(str(path), _traced_tracer())
+        loaded = obs.load_chrome_trace(str(path))
+        assert obs.validate_chrome_trace(loaded) == []
+
+    def test_validator_rejects_bad_phase(self):
+        bad = {"traceEvents": [{"ph": "Z", "pid": 1, "tid": 1, "name": "x"}]}
+        assert obs.validate_chrome_trace(bad)
+
+    def test_validator_rejects_escaping_child(self):
+        bad = {
+            "traceEvents": [
+                {
+                    "ph": "X", "pid": 1, "tid": 1, "name": "p",
+                    "ts": 0, "dur": 5, "args": {"span_id": 1},
+                },
+                {
+                    "ph": "X", "pid": 1, "tid": 1, "name": "c",
+                    "ts": 3, "dur": 9,
+                    "args": {"span_id": 2, "parent_id": 1},
+                },
+            ]
+        }
+        assert any("escapes" in p for p in obs.validate_chrome_trace(bad))
+
+
+# -- metrics sink ----------------------------------------------------------------
+
+
+class TestMetricsSink:
+    def test_counters_and_reports_validate(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        c = Counters()
+        c.inc("compile.kernels")
+        c.observe_value("sim.reexec.R", 12)
+
+        class R:
+            def to_dict(self):
+                return {"kind": "compile_result", "kernel": "k"}
+
+            def summary(self):
+                return {"kernel": "k"}
+
+        with obs.MetricsSink(str(path)) as sink:
+            sink.write_counters(c, scope="unit")
+            sink.write_report(R())
+        assert obs.validate_metrics_jsonl(str(path)) == []
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [r["kind"] for r in records] == ["counters", "compile_result"]
+        assert records[0]["scope"] == "unit"
+        assert records[0]["data"]["counters"] == {"compile.kernels": 1}
+
+    def test_validator_rejects_unknown_kind(self):
+        assert obs.validate_metrics_record({"kind": "mystery"})
+        assert obs.validate_metrics_record([1, 2])
+
+    def test_validator_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert obs.validate_metrics_jsonl(str(path)) == ["no records"]

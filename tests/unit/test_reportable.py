@@ -1,0 +1,171 @@
+"""The Reportable protocol: every report object serializes with a
+``kind`` discriminator, consistent keys, and JSON-safe values."""
+
+import json
+
+import pytest
+
+import repro
+import repro.obs as obs
+from repro.fuzz.harness import FuzzReport, FuzzSpec
+from repro.fuzz.triage import Finding, fingerprint
+from repro.gpusim.campaign import CampaignReport, CampaignSpec, InjectionRecord
+from repro.gpusim.executor import Executor, Launch
+from repro.gpusim.memory import MemoryImage
+from repro.ir.builder import KernelBuilder
+from repro.obs.report import Reportable, as_report_dict
+
+
+def _scale_kernel():
+    b = KernelBuilder("scale", params=[("A", "ptr"), ("n", "u32")])
+    tid = b.special_u32("%tid.x")
+    n = b.ld_param("n")
+    base = b.ld_param("A")
+    i = b.mov(tid, dst=b.reg("u32", "%i"))
+    b.label("HEAD")
+    done = b.setp("ge", i, n)
+    b.bra("EXIT", pred=done)
+    off = b.shl(i, 2)
+    addr = b.add(base, off)
+    v = b.ld("global", addr, dtype="u32")
+    v = b.mad(v, 3, 7)
+    b.st("global", addr, v)
+    b.add(i, 8, dst=i)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.ret()
+    return b.finish()
+
+
+@pytest.fixture(scope="module")
+def compile_result():
+    return repro.protect(
+        _scale_kernel(),
+        launch=repro.LaunchConfig(threads_per_block=8, num_blocks=1),
+    )
+
+
+@pytest.fixture(scope="module")
+def execution_result(compile_result):
+    mem = MemoryImage()
+    addr = mem.alloc_global(16)
+    mem.upload(addr, list(range(1, 17)))
+    mem.set_param("A", addr)
+    mem.set_param("n", 16)
+    return Executor(compile_result.kernel).run(
+        Launch(grid=1, block=8), mem
+    )
+
+
+def _finding():
+    fp = fingerprint("compile", "ValueError", "pass.pruning", "bad 7")
+    return Finding(
+        iteration=3,
+        seed=99,
+        stage="compile",
+        exc_type="ValueError",
+        pass_name="pass.pruning",
+        message="bad 7",
+        fingerprint=fp,
+    )
+
+
+def _campaign_report():
+    spec = CampaignSpec(benchmark="STC", num_injections=2)
+    records = [
+        InjectionRecord(
+            index=i,
+            surface="rf",
+            outcome="masked",
+            detections=0,
+            recoveries=0,
+            counters={
+                "counters": {"sim.runs": 1},
+                "gauges": {},
+                "histograms": {},
+            },
+        )
+        for i in range(2)
+    ]
+    return CampaignReport(records=records, spec=spec)
+
+
+class TestProtocol:
+    def test_all_report_types_satisfy_reportable(
+        self, compile_result, execution_result
+    ):
+        for obj in (
+            compile_result,
+            execution_result,
+            _campaign_report(),
+            FuzzReport(spec=FuzzSpec(iterations=0)),
+            _finding(),
+        ):
+            assert isinstance(obj, Reportable)
+
+    def test_as_report_dict(self, compile_result):
+        assert as_report_dict(compile_result)["kind"] == "compile_result"
+
+    def test_kinds_are_sink_kinds(
+        self, compile_result, execution_result
+    ):
+        for obj in (
+            compile_result,
+            execution_result,
+            _campaign_report(),
+            FuzzReport(spec=FuzzSpec(iterations=0)),
+            _finding(),
+        ):
+            assert obj.to_dict()["kind"] in obs.METRIC_KINDS
+
+
+class TestRoundTrips:
+    def test_compile_result(self, compile_result):
+        d = json.loads(json.dumps(compile_result.to_dict()))
+        assert d["kind"] == "compile_result"
+        assert d["kernel"] == "scale"
+        assert d["scheme"] == "Penny"
+        assert d["stats"]["checkpoints_total"] >= d["stats"][
+            "checkpoints_committed"
+        ]
+        assert d["boundaries"] == sorted(d["boundaries"])
+        summary = compile_result.summary()
+        assert summary["kernel"] == "scale"
+        assert summary["scheme"] == "Penny"
+
+    def test_execution_result(self, execution_result):
+        d = json.loads(json.dumps(execution_result.to_dict()))
+        assert d["kind"] == "execution_result"
+        assert d["instructions"] > 0
+        assert d["threads"] == 8
+        # inst_classes count warp-level issues, not per-thread retires.
+        assert d["inst_classes"]["alu"] > 0
+        assert all(v > 0 for v in d["inst_classes"].values())
+        assert execution_result.summary()["instructions"] == d[
+            "instructions"
+        ]
+
+    def test_campaign_report(self):
+        report = _campaign_report()
+        d = json.loads(json.dumps(report.to_dict()))
+        assert d["kind"] == "campaign_report"
+        assert d["injections"] == 2
+        assert d["summary"]["masked"] == 2
+        assert d["counters"]["counters"] == {"sim.runs": 2}
+
+    def test_fuzz_report(self):
+        report = FuzzReport(spec=FuzzSpec(iterations=0))
+        report.outcomes["ok"] = 4
+        report.findings.append(_finding())
+        d = json.loads(json.dumps(report.to_dict()))
+        assert d["kind"] == "fuzz_report"
+        assert d["outcomes"] == {"ok": 4}
+        assert len(d["buckets"]) == 1
+        assert report.summary()["findings"] == 1
+
+    def test_finding(self):
+        d = json.loads(json.dumps(_finding().to_dict()))
+        assert d["kind"] == "finding"
+        assert d["stage"] == "compile"
+        assert d["pass"] == "pass.pruning"
+        assert _finding().summary()["exc_type"] == "ValueError"

@@ -1,0 +1,93 @@
+"""The Scheme enum: parsing, aliases, string compatibility, and its
+threading through PennyConfig and the compile pipeline."""
+
+import json
+
+import pytest
+
+import repro
+from repro.core.pipeline import PennyConfig
+from repro.core.schemes import Scheme
+
+
+class TestParse:
+    def test_canonical_values(self):
+        assert Scheme.parse("rr") is Scheme.RR
+        assert Scheme.parse("sa") is Scheme.SA
+        assert Scheme.parse("auto") is Scheme.AUTO
+        assert Scheme.parse("none") is Scheme.NONE
+
+    def test_enum_passthrough(self):
+        assert Scheme.parse(Scheme.SA) is Scheme.SA
+
+    def test_none_means_auto(self):
+        assert Scheme.parse(None) is Scheme.AUTO
+
+    def test_aliases(self):
+        assert Scheme.parse("renaming") is Scheme.RR
+        assert Scheme.parse("rename") is Scheme.RR
+        assert Scheme.parse("storage-alternation") is Scheme.SA
+        assert Scheme.parse("storage_alternation") is Scheme.SA
+        assert Scheme.parse("alternation") is Scheme.SA
+        assert Scheme.parse("best") is Scheme.AUTO
+        assert Scheme.parse("off") is Scheme.NONE
+
+    def test_case_and_whitespace_insensitive(self):
+        assert Scheme.parse("  SA ") is Scheme.SA
+        assert Scheme.parse("Renaming") is Scheme.RR
+
+    def test_unknown_raises_with_known_values(self):
+        with pytest.raises(ValueError, match="unknown overwrite scheme"):
+            Scheme.parse("xor")
+        with pytest.raises(ValueError):
+            Scheme.parse(42)
+
+
+class TestStringCompat:
+    def test_equals_plain_string(self):
+        assert Scheme.SA == "sa"
+        assert Scheme.RR in ("rr", "sa")
+
+    def test_str_and_format_render_value(self):
+        assert str(Scheme.SA) == "sa"
+        assert f"{Scheme.RR:5}" == "rr   "
+
+    def test_json_renders_value(self):
+        assert json.dumps({"overwrite": Scheme.AUTO}) == '{"overwrite": "auto"}'
+
+    def test_usable_as_dict_key(self):
+        assert {Scheme.SA: 1}["sa"] == 1
+
+
+class TestThreading:
+    def test_config_normalizes_string(self):
+        assert PennyConfig(overwrite="renaming").overwrite is Scheme.RR
+        assert PennyConfig(overwrite=Scheme.SA).overwrite is Scheme.SA
+
+    def test_config_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            PennyConfig(overwrite="xor")
+
+    def test_compile_stats_carry_value(self):
+        k = repro.parse_kernel(open("examples/scale.ptx").read())
+        result = repro.protect(
+            k,
+            overwrite=Scheme.SA,
+            launch=repro.LaunchConfig(threads_per_block=16, num_blocks=2),
+        )
+        assert result.stats["overwrite_scheme"] == "sa"
+
+    def test_alias_and_enum_compile_identically(self):
+        launch = repro.LaunchConfig(threads_per_block=16, num_blocks=2)
+        src = open("examples/scale.ptx").read()
+        via_alias = repro.protect(
+            repro.parse_kernel(src), overwrite="storage-alternation",
+            launch=launch,
+        )
+        via_enum = repro.protect(
+            repro.parse_kernel(src), overwrite=Scheme.SA, launch=launch
+        )
+        assert repro.print_kernel(via_alias.kernel) == repro.print_kernel(
+            via_enum.kernel
+        )
+        assert via_alias.stats == via_enum.stats
