@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli fuzz -n 1000 --seed 2020 --workers 4 \\
         --reduce --journal findings.jsonl
     python -m repro.cli verify --corpus findings.jsonl
+    penny lint examples/vecadd.ptx --format sarif --out lint.sarif
+    penny lint --bench all --compiled --fail-on warning
     penny trace examples/scale.ptx --trace-out trace.json
 
 ``compile`` prints the protected kernel's PTX followed by a ``//``-comment
@@ -23,6 +25,13 @@ outcome summary, the DUE taxonomy and Wilson confidence intervals
 finding survives) and ``verify --corpus`` re-checks a fuzz corpus's
 findings — including their reduced reproducers — against the current
 compiler.
+
+``lint`` runs the :mod:`repro.lint` static analyzer over PTX files,
+registered benchmarks (``--bench``), or golden fixtures (``--fixtures``),
+rendering text with source carets, JSONL metrics records, or SARIF
+2.1.0 for CI code scanning; ``--compiled`` additionally compiles each
+kernel and runs the post-compile checkpoint rules.  Exit status is 1
+when any diagnostic reaches ``--fail-on`` (default ``error``).
 
 ``trace`` compiles and executes a kernel under a :mod:`repro.obs` tracer
 — including a seeded register-file fault so the trace shows detection
@@ -335,6 +344,174 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _parse_severity_overrides(pairs: List[str]) -> dict:
+    """``RULE=LEVEL`` strings -> {rule: Severity} (raises on bad level)."""
+    from repro.lint import Severity
+
+    overrides = {}
+    for pair in pairs:
+        rule_id, _, level = pair.partition("=")
+        if not rule_id or not level:
+            raise ValueError(f"bad --severity {pair!r} (want RULE=LEVEL)")
+        overrides[rule_id] = Severity.parse(level)
+    return overrides
+
+
+def _lint_units(args: argparse.Namespace):
+    """Yield ``(display_path, source_text_or_None, kernels)`` units to
+    lint: each input file is one unit (with its text, for carets), each
+    requested benchmark is one source-less unit."""
+    for path in args.inputs:
+        text = _read_source(path)
+        display = "<stdin>" if path == "-" else path
+        yield display, text, list(parse_module(text).kernels)
+    bench_requests = list(args.bench)
+    if "all" in bench_requests:
+        from repro.bench import ALL_BENCHMARKS
+
+        bench_requests = ALL_BENCHMARKS.abbrs()
+    for abbr in bench_requests:
+        from repro.bench import get_benchmark
+
+        b = get_benchmark(abbr)
+        yield f"bench:{abbr}", None, [b.fresh_kernel()]
+
+
+def _lint_fixtures(args: argparse.Namespace, select_kwargs: dict) -> int:
+    """Regression mode: lint every ``DIR/*.ptx`` and compare against its
+    ``.expect`` golden (lines of ``severity rule kernel:block:index``)."""
+    import glob
+    import os
+
+    from repro.lint import AnalyzerError, lint_source
+
+    ptxs = sorted(glob.glob(os.path.join(args.fixtures, "*.ptx")))
+    if not ptxs:
+        print(f"lint: no fixtures in {args.fixtures!r}", file=sys.stderr)
+        return 2
+    failed = 0
+    for ptx in ptxs:
+        expect_path = os.path.splitext(ptx)[0] + ".expect"
+        try:
+            with open(expect_path) as f:
+                expected = sorted(
+                    line.strip()
+                    for line in f
+                    if line.strip() and not line.startswith("#")
+                )
+        except FileNotFoundError:
+            print(f"FAIL {ptx}: missing golden {expect_path}")
+            failed += 1
+            continue
+        try:
+            report = lint_source(_read_source(ptx), **select_kwargs)
+        except AnalyzerError as exc:
+            print(f"FAIL {ptx}: analyzer crash: {exc}")
+            failed += 1
+            continue
+        got = sorted(
+            f"{d.severity.value} {d.rule} {d.location}"
+            for d in report.diagnostics
+        )
+        if got == expected:
+            print(f"ok   {ptx} ({len(got)} diagnostic(s))")
+            continue
+        failed += 1
+        print(f"FAIL {ptx}: diagnostics diverge from golden")
+        for line in sorted(set(expected) - set(got)):
+            print(f"  missing:    {line}")
+        for line in sorted(set(got) - set(expected)):
+            print(f"  unexpected: {line}")
+    print(f"{len(ptxs) - failed}/{len(ptxs)} fixtures match")
+    return 1 if failed else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        AnalyzerError,
+        LintReport,
+        Severity,
+        lint_compiled,
+        lint_kernel,
+    )
+    from repro.lint.render import (
+        render_jsonl,
+        render_sarif,
+        render_text,
+        sarif_report,
+        validate_sarif,
+    )
+
+    try:
+        severity = _parse_severity_overrides(args.severity)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    select_kwargs = dict(
+        only=args.rule, disable=tuple(args.disable), severity=severity
+    )
+
+    if args.fixtures:
+        return _lint_fixtures(args, select_kwargs)
+    if not args.inputs and not args.bench:
+        print("lint: an input file, --bench, or --fixtures is required",
+              file=sys.stderr)
+        return 2
+
+    units = []  # (display_path, source, report)
+    merged = LintReport()
+    with _Observation(args):
+        try:
+            for display, text, kernels in _lint_units(args):
+                report = LintReport()
+                for kernel in kernels:
+                    report.extend(
+                        lint_kernel(kernel, source=text, **select_kwargs)
+                    )
+                    if args.compiled:
+                        compiler = PennyCompiler(
+                            scheme_config(args.scheme), strict=False
+                        )
+                        launch = LaunchConfig(
+                            threads_per_block=args.block,
+                            num_blocks=args.grid,
+                        )
+                        result = compiler.compile(kernel, launch)
+                        report.extend(
+                            lint_compiled(result.kernel, **select_kwargs)
+                        )
+                units.append((display, text, report))
+                merged.extend(report)
+        except AnalyzerError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+
+    single = units[0][0] if len(units) == 1 else None
+    if args.format == "sarif":
+        rendered = render_sarif(merged, path=single)
+        problems = validate_sarif(sarif_report(merged, path=single))
+        for p in problems:
+            print(f"sarif schema: {p}", file=sys.stderr)
+        if problems:
+            return 2
+    elif args.format == "json":
+        rendered = render_jsonl(merged)
+    else:
+        rendered = "\n".join(
+            render_text(report, source=text, path=display)
+            for display, text, report in units
+        )
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(rendered + "\n")
+        print(f"lint report written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+
+    threshold = Severity.parse(args.fail_on)
+    return 1 if merged.at_least(threshold) else 0
+
+
 def _synthesize_memory(kernel, words: int):
     """A workload for a kernel we know nothing about: every pointer param
     gets a ``words``-long global buffer of small nonzero values, every
@@ -570,6 +747,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observe_flags(p_trace)
     p_trace.set_defaults(func=cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the static analyzer over PTX kernels and render "
+             "text/JSONL/SARIF diagnostics",
+    )
+    p_lint.add_argument(
+        "inputs", nargs="*",
+        help="PTX-subset files, or '-' for stdin",
+    )
+    p_lint.add_argument(
+        "--bench", action="append", default=[], metavar="ABBR",
+        help="lint a registered benchmark kernel ('all' for the suite); "
+             "repeatable",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default text, with source carets)",
+    )
+    p_lint.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    p_lint.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    p_lint.add_argument(
+        "--disable", action="append", default=[], metavar="ID",
+        help="skip this rule (repeatable)",
+    )
+    p_lint.add_argument(
+        "--severity", action="append", default=[], metavar="RULE=LEVEL",
+        help="override a rule's severity (error|warning|note); repeatable",
+    )
+    p_lint.add_argument(
+        "--fail-on", choices=("error", "warning", "note"), default="error",
+        help="exit 1 when any diagnostic is at least this severe "
+             "(default error)",
+    )
+    p_lint.add_argument(
+        "--compiled", action="store_true",
+        help="also compile each kernel and run the post-compile "
+             "(penny-*, ckpt-*) rules",
+    )
+    p_lint.add_argument(
+        "--fixtures", default=None, metavar="DIR",
+        help="regression mode: lint DIR/*.ptx against their .expect "
+             "goldens",
+    )
+    p_lint.add_argument(
+        "--scheme", default=SCHEME_PENNY, choices=_SCHEMES,
+        help="scheme preset for --compiled",
+    )
+    p_lint.add_argument("--block", type=int, default=256,
+                        help="threads per block for --compiled")
+    p_lint.add_argument("--grid", type=int, default=4,
+                        help="number of blocks for --compiled")
+    _add_observe_flags(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_campaign = sub.add_parser(
         "campaign",

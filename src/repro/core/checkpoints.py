@@ -122,6 +122,10 @@ def eager_plan(liveins: LiveinAnalysis) -> CheckpointPlan:
     boundary the LUP's value reaches."""
     plan = CheckpointPlan()
     by_site: Dict[Tuple[Reg, DefSite], PlannedCheckpoint] = {}
+    # liveins.edges is keyed in discovery order (boundaries in block order,
+    # registers by name), so the checkpoint list — and everything downstream
+    # that indexes into it, notably prune_basic's seeded random proposals —
+    # is deterministic across interpreter hash seeds.
     for reg, edges in liveins.edges.items():
         for lup, boundary in sorted(
             edges, key=lambda e: (e[0].label, e[0].index, e[1])

@@ -103,6 +103,26 @@ class CloneError(CompileError):
     default_pass = "clone"
 
 
+class LintError(CompileError):
+    """The pre-compile analyzer found error-severity diagnostics.
+
+    Raised by the pipeline when ``PennyConfig.lint`` is on: compiling a
+    kernel with an uninitialized read or a divergent barrier would bake
+    undefined behavior into the protected binary, so the input is
+    rejected up front.  ``diagnostics`` holds the offending
+    :class:`repro.lint.Diagnostic` objects.
+    """
+
+    default_pass = "lint"
+
+    def __init__(self, message: str, diagnostics=(), **kwargs):
+        super().__init__(message, **kwargs)
+        self.diagnostics = list(diagnostics)
+        self.detail.setdefault(
+            "diagnostics", [str(d) for d in self.diagnostics]
+        )
+
+
 class RenamingError(CompileError):
     """Register renaming did not converge within its round budget."""
 

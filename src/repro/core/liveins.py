@@ -86,10 +86,16 @@ def analyze_liveins(
     rdefs = rdefs or ReachingDefs(cfg)
 
     analysis = LiveinAnalysis()
-    for label in regions.boundaries:
+    # Deterministic discovery order — boundaries in block order, registers
+    # by name — so every consumer that iterates the result dicts (the
+    # checkpoint planners in particular) is hash-seed invariant.
+    block_order = {b.label: i for i, b in enumerate(kernel.blocks)}
+    for label in sorted(
+        regions.boundaries, key=lambda l: block_order.get(l, len(block_order))
+    ):
         info = BoundaryInfo(label=label)
         info.live_ins = set(liveness.live_in.get(label, set()))
-        for reg in info.live_ins:
+        for reg in sorted(info.live_ins, key=lambda r: r.name):
             sites = {
                 s
                 for s in rdefs.reaching_at(label, 0, reg)

@@ -111,6 +111,15 @@ class PennyConfig:
     #: compiled kernel and raise on violations; off by default because the
     #: evaluation compiles hundreds of kernels, on in the test suite
     verify: bool = False
+    #: run the pre-compile analyzer (repro.lint) on the input kernel and
+    #: promote error-severity diagnostics to a typed
+    #: :class:`repro.core.errors.LintError` before any pass runs
+    lint: bool = False
+    #: lint rule ids to disable (applies to ``lint`` above and to every
+    #: analyzer run that receives this config)
+    lint_disable: tuple = ()
+    #: per-rule severity overrides, rule id -> "error"/"warning"/"note"
+    lint_severity: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self):
         # Normalize the overwrite knob to the typed Scheme enum (accepting
@@ -255,6 +264,9 @@ class PennyCompiler:
                 with obs.span("pass.clone"):
                     kernel = clone_kernel(kernel)
 
+            if self.config.lint:
+                self._lint_input(kernel)
+
             try:
                 if self.strict:
                     result = self._dispatch(kernel, launch, self.config)
@@ -265,6 +277,24 @@ class PennyCompiler:
                 raise
             self._count_result(result)
             return result
+
+    def _lint_input(self, kernel: Kernel) -> None:
+        """Run the pre-compile analyzer; promote error-severity findings
+        to a typed :class:`LintError`.  Degrading cannot fix a broken
+        input, so this gate applies in strict and fallback modes alike."""
+        from repro.core.errors import LintError
+        from repro.lint import lint_kernel
+
+        with obs.span("pass.lint", kernel=kernel.name):
+            report = lint_kernel(kernel, config=self.config)
+        errors = report.errors
+        if errors:
+            raise LintError(
+                f"{len(errors)} lint error(s): "
+                + "; ".join(str(d) for d in errors[:5]),
+                diagnostics=errors,
+                kernel=kernel,
+            )
 
     @staticmethod
     def _count_result(result: CompileResult) -> None:

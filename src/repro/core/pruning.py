@@ -18,7 +18,7 @@ why it leaves many prunable checkpoints committed).
 
 from __future__ import annotations
 
-import random
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -220,14 +220,24 @@ def prune_basic(
 ) -> PruneResult:
     """Bolt's basic pruning: random n-bit strings propose pruned subsets;
     the first *valid* solution encountered wins (§6.4: "finds any first
-    valid solution encountered during the random searches")."""
-    rng = random.Random(seed)
+    valid solution encountered during the random searches").
+
+    Each checkpoint's bit is an SHA-256 coin over ``(seed, attempt,
+    checkpoint key)`` rather than a draw from a sequential RNG, so the
+    search outcome is independent of the checkpoint list's order (and of
+    ``PYTHONHASHSEED``) — same property :func:`gpusim.campaign.stable_seed`
+    gives injection plans.
+    """
     n = len(plan.checkpoints)
     result = PruneResult()
 
     best: Optional[Tuple[Set[int], Dict[Tuple, SliceExpr]]] = None
-    for _ in range(attempts):
-        proposal = {i for i in range(n) if rng.random() < 0.5}
+    for attempt in range(attempts):
+        proposal = {
+            i
+            for i, cp in enumerate(plan.checkpoints)
+            if _stable_coin(seed, attempt, cp.key)
+        }
         slices = _validate_solution(plan, validator, proposal)
         if slices is not None:
             best = (proposal, slices)
@@ -250,6 +260,14 @@ def prune_basic(
     }
     plan.stats = result.stats
     return result
+
+
+def _stable_coin(seed: int, attempt: int, key: Tuple) -> bool:
+    """A fair coin that depends only on the checkpoint's identity."""
+    digest = hashlib.sha256(
+        f"{seed}:{attempt}:{key!r}".encode("utf-8")
+    ).digest()
+    return digest[0] < 128
 
 
 def _validate_solution(

@@ -1,109 +1,75 @@
-"""Static verification of compiled kernels.
+"""Static verification of compiled kernels — compatibility shim.
 
-A production resilience compiler cannot afford silent mis-compilation: a
-kernel that *runs correctly* but whose recovery metadata is subtly wrong
-only fails when a particle strikes.  This verifier re-derives the
-correctness obligations of docs/INTERNALS.md from the final kernel and its
-metadata, independently of the passes that were supposed to establish
-them:
+The V1–V5 obligations (coverage, restore completeness, barrier
+isolation, slice safety, adjustment soundness) now live as lint rules in
+:mod:`repro.lint.rules_post` (``penny-coverage`` … ``penny-adjustment``)
+on top of the shared analyzer engine.  This module keeps the historical
+entry points alive for the pipeline, the fallback lattice, the fuzz
+oracle, and every test that imports them:
 
-- **V1 coverage** — along every path, after the last definition of a
-  live-in register a checkpoint store (or its pruned-with-slice
-  replacement) precedes the boundary.
-- **V2 restore completeness** — every region's recovery entry restores
-  every live-in register that has a definition (slot or slice), and every
-  slot it references exists in the storage assignment.
-- **V3 barrier isolation** — no barrier-like instruction can be re-executed:
-  each is block-final with only boundary successors.
-- **V4 slice safety** — recovery slices only read read-only memory,
-  locations no reachable store may alias, committed slots, and fault-free
-  sources.
-- **V5 adjustment soundness** — adjustment blocks contain only checkpoint
-  stores (plus the address arithmetic the unoptimized lowering emits for
-  them) and one unconditional branch, and carry mini-region entries
-  restoring every register they read.
+- :func:`verify_compiled` runs exactly the five migrated rules and
+  returns their diagnostics as strings, every message normalized to the
+  ``kernel:block:index: message`` form.
+- :func:`check` raises :class:`VerificationError` on any violation.
+- ``_is_checkpoint_store`` / ``_is_checkpoint_addressing`` re-export the
+  checkpoint-store classifiers (schemes and tests import them from
+  here).
 
-``verify_compiled`` returns a list of human-readable violations (empty =
-clean); :class:`VerificationError` is raised by ``check`` for pipeline
-integration.
+Newer post-compile rules (``ckpt-loop-overwrite``, ``ckpt-slot-alias``,
+``ckpt-space-write``, ``restore-live-mismatch``) intentionally do NOT
+run here: the fallback lattice uses ``verify_compiled`` as its
+acceptance gate, and that contract is pinned to V1–V5.  Run
+``penny lint --compiled`` or :func:`repro.lint.lint_compiled` for the
+full rule set.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List
 
-from repro.analysis.cfg import CFG
-from repro.core.codegen import GLOBAL_CKPT_SYMBOL, SHARED_CKPT_SYMBOL
-from repro.core.recovery_meta import RecoveryTable
-from repro.core.slices import (
-    SLoad,
-    SOp,
-    SSelp,
-    SSetp,
-    SSlot,
-    SliceExpr,
-)
-from repro.ir.instructions import Alu, Bra, Instruction, St
 from repro.ir.module import Kernel
-from repro.ir.types import Imm, MemSpace, Reg, Special, SymRef
+from repro.lint.rules_post import (
+    is_checkpoint_addressing as _is_checkpoint_addressing,
+    is_checkpoint_store as _is_checkpoint_store,
+)
+
+#: the migrated V1–V5 obligations, in the historical reporting order
+VERIFY_RULES = (
+    "penny-restore",  # V2
+    "penny-coverage",  # V1
+    "penny-barrier",  # V3
+    "penny-slice",  # V4
+    "penny-adjustment",  # V5
+)
+
+__all__ = [
+    "VERIFY_RULES",
+    "VerificationError",
+    "check",
+    "verify_compiled",
+]
 
 
 class VerificationError(RuntimeError):
     """The compiled kernel violates a recovery-correctness obligation."""
 
 
-def _is_checkpoint_store(inst: Instruction) -> bool:
-    if not isinstance(inst, St):
-        return False
-    if isinstance(inst.base, SymRef):
-        return inst.base.name in (SHARED_CKPT_SYMBOL, GLOBAL_CKPT_SYMBOL)
-    if isinstance(inst.base, Reg):
-        return inst.base.name.startswith(("%ckb_", "%ca"))
-    return False
-
-
-def _is_checkpoint_addressing(inst: Instruction) -> bool:
-    """Address arithmetic emitted by the unoptimized (``low_opts=False``)
-    checkpoint lowering: unguarded mov/mad into a fresh ``%ca*`` register
-    whose inputs are only specials, immediates, checkpoint base symbols,
-    or other ``%ca*`` registers.  Such instructions cannot touch kernel
-    state, so they are sound inside adjustment blocks."""
-    if not isinstance(inst, Alu) or inst.guard is not None:
-        return False
-    dst = inst.dst
-    if not isinstance(dst, Reg) or not dst.name.startswith("%ca"):
-        return False
-    for src in inst.srcs:
-        if isinstance(src, (Special, Imm)):
-            continue
-        if isinstance(src, SymRef) and src.name in (
-            SHARED_CKPT_SYMBOL,
-            GLOBAL_CKPT_SYMBOL,
-        ):
-            continue
-        if isinstance(src, Reg) and src.name.startswith("%ca"):
-            continue
-        return False
-    return True
-
-
 def verify_compiled(kernel: Kernel) -> List[str]:
-    """Check every obligation; returns violations (empty list = clean)."""
-    problems: List[str] = []
-    table: Optional[RecoveryTable] = kernel.meta.get("recovery_table")
-    boundaries: Set[str] = set(kernel.meta.get("region_boundaries", set()))
-    adjustments: Set[str] = set(kernel.meta.get("adjustment_blocks", set()))
-    storage = kernel.meta.get("storage_assignment")
-    if table is None or not boundaries:
-        return ["kernel carries no recovery metadata (not compiled?)"]
+    """Check every V1–V5 obligation; returns violations (empty = clean).
 
-    cfg = CFG(kernel)
-    problems += _verify_restores(kernel, cfg, table, boundaries, storage)
-    problems += _verify_coverage(kernel, cfg, table, boundaries)
-    problems += _verify_barriers(kernel, cfg, boundaries, adjustments)
-    problems += _verify_slices(kernel, cfg, table, storage)
-    problems += _verify_adjustments(kernel, cfg, table, adjustments)
-    return problems
+    Each violation is ``kernel:block:index: message``.
+    """
+    from repro.lint.engine import lint_compiled
+
+    if kernel.meta.get("recovery_table") is None or not kernel.meta.get(
+        "region_boundaries"
+    ):
+        return ["kernel carries no recovery metadata (not compiled?)"]
+    report = lint_compiled(kernel, only=VERIFY_RULES)
+    by_rule = {rid: [] for rid in VERIFY_RULES}
+    for d in report.diagnostics:
+        by_rule.setdefault(d.rule, []).append(d.plain())
+    return [p for rid in VERIFY_RULES for p in by_rule[rid]]
 
 
 def check(kernel: Kernel) -> None:
@@ -113,298 +79,3 @@ def check(kernel: Kernel) -> None:
         raise VerificationError(
             f"{len(problems)} violation(s): " + "; ".join(problems[:5])
         )
-
-
-# -- V2: restore completeness -------------------------------------------------
-
-
-def _verify_restores(
-    kernel: Kernel, cfg: CFG, table: RecoveryTable, boundaries, storage
-) -> List[str]:
-    from repro.analysis.liveness import Liveness
-    from repro.analysis.reachingdefs import ReachingDefs
-
-    problems: List[str] = []
-    liveness = Liveness(cfg)
-    rdefs = ReachingDefs(cfg)
-    for label in boundaries:
-        entry = table.regions.get(label)
-        if entry is None:
-            problems.append(f"boundary {label} has no recovery entry")
-            continue
-        restored = {a.reg_name for a in entry.restores}
-        for reg in liveness.live_in.get(label, set()):
-            sites = [
-                s for s in rdefs.reaching_at(label, 0, reg) if not s.is_entry
-            ]
-            if not sites:
-                continue  # read-before-write: nothing restorable
-            if reg.name not in restored:
-                problems.append(
-                    f"{label}: live-in {reg.name} has no restore action"
-                )
-        for action in entry.restores:
-            if action.is_slot:
-                if storage is None or (
-                    action.reg_name,
-                    action.slot_color,
-                ) not in storage.slots:
-                    problems.append(
-                        f"{label}: slot restore of {action.reg_name} "
-                        f"color {action.slot_color} has no storage slot"
-                    )
-            elif action.slice_expr is None:
-                problems.append(
-                    f"{label}: restore of {action.reg_name} is neither "
-                    "slot nor slice"
-                )
-    return problems
-
-
-# -- V1: coverage ----------------------------------------------------------------
-
-
-def _verify_coverage(
-    kernel: Kernel, cfg: CFG, table: RecoveryTable, boundaries
-) -> List[str]:
-    """For every slot-restored register of every recovery entry (boundaries
-    and adjustment mini-regions alike): no path may run from a definition
-    of the register to the entry's label without passing a checkpoint store
-    into the restored *color's* slot.
-
-    Performed on the final (lowered) kernel, independently of the plan.
-    Slot colors are recovered from each store's byte offset against the
-    storage assignment's coalesced layout.
-    """
-    problems: List[str] = []
-    storage = kernel.meta.get("storage_assignment")
-    if storage is None:
-        return ["kernel has no storage assignment"]
-
-    from repro.core.storage import StorageKind
-
-    #: (reg name, color) -> expected store offset + space
-    expected: Dict[Tuple[str, int], Tuple[int, MemSpace]] = {}
-    for (reg_name, color), slot in storage.slots.items():
-        if slot.kind is StorageKind.SHARED:
-            expected[(reg_name, color)] = (
-                slot.index * storage.threads_per_block * 4,
-                MemSpace.SHARED,
-            )
-        else:
-            expected[(reg_name, color)] = (
-                slot.index * storage.total_threads * 4,
-                MemSpace.GLOBAL,
-            )
-
-    # Positions of defs, and of checkpoint stores per (register, color).
-    defs: Dict[str, List[Tuple[str, int]]] = {}
-    cp_stores: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
-    for blk in cfg.blocks:
-        for i, inst in enumerate(blk.instructions):
-            if _is_checkpoint_store(inst) and isinstance(inst.src, Reg):
-                for color in (0, 1):
-                    key = (inst.src.name, color)
-                    exp = expected.get(key)
-                    if exp and exp == (inst.offset, inst.space):
-                        cp_stores.setdefault(key, set()).add((blk.label, i))
-            else:
-                for reg in inst.defs():
-                    defs.setdefault(reg.name, []).append((blk.label, i))
-
-    def uncovered_path(
-        reg_name: str, color: int, start: Tuple[str, int], target: str
-    ) -> bool:
-        """Path from just after ``start`` to ``target``'s entry crossing
-        neither a matching-color checkpoint store nor a redefinition (each
-        redefinition is its own coverage problem)."""
-        blockers = cp_stores.get((reg_name, color), set())
-        redefs = set(defs.get(reg_name, []))
-        seen: Set[Tuple[str, int]] = set()
-        work = [(start[0], start[1] + 1)]
-        while work:
-            label, idx = work.pop()
-            if (label, idx) in seen:
-                continue
-            seen.add((label, idx))
-            blk = cfg.block(label)
-            blocked = False
-            for j in range(idx, len(blk.instructions)):
-                if (label, j) in blockers or (
-                    (label, j) in redefs and (label, j) != start
-                ):
-                    blocked = True
-                    break
-            if blocked:
-                continue
-            for succ in cfg.successors(label):
-                if succ == target:
-                    return True
-                work.append((succ, 0))
-        return False
-
-    for label, entry in table.regions.items():
-        for action in entry.restores:
-            if not action.is_slot:
-                continue
-            for d in defs.get(action.reg_name, []):
-                if uncovered_path(
-                    action.reg_name, action.slot_color, d, label
-                ):
-                    problems.append(
-                        f"{label}: definition of {action.reg_name} at "
-                        f"{d[0]}:{d[1]} can reach the entry without a "
-                        f"K{action.slot_color} checkpoint "
-                        "(slot restore would be stale)"
-                    )
-                    break
-    return problems
-
-
-# -- V3: barrier isolation ------------------------------------------------------
-
-
-def _verify_barriers(
-    kernel: Kernel, cfg: CFG, boundaries, adjustments
-) -> List[str]:
-    problems: List[str] = []
-    for blk in kernel.blocks:
-        for i, inst in enumerate(blk.instructions):
-            if not inst.is_barrier_like:
-                continue
-            if i != len(blk.instructions) - 1:
-                problems.append(
-                    f"{blk.label}: barrier-like instruction not block-final"
-                )
-                continue
-            for succ in cfg.successors(blk.label):
-                if succ not in boundaries:
-                    problems.append(
-                        f"{blk.label}: barrier falls into non-boundary "
-                        f"{succ} (re-execution would repeat it)"
-                    )
-    return problems
-
-
-# -- V4: slice safety ---------------------------------------------------------------
-
-
-def _verify_slices(
-    kernel: Kernel, cfg: CFG, table: RecoveryTable, storage
-) -> List[str]:
-    problems: List[str] = []
-    # Blocks reachable from each boundary (a slice attached to boundary B
-    # only ever runs after B was crossed, so only stores reachable from B
-    # can invalidate its memory sources).
-    reachable_cache: Dict[str, Set[str]] = {}
-
-    def reachable_from(label: str) -> Set[str]:
-        if label not in reachable_cache:
-            seen = {label}
-            stack = [label]
-            while stack:
-                cur = stack.pop()
-                for succ in cfg.successors(cur):
-                    if succ not in seen:
-                        seen.add(succ)
-                        stack.append(succ)
-            reachable_cache[label] = seen
-        return reachable_cache[label]
-
-    def local_store_reachable(boundary: str) -> bool:
-        for lbl in reachable_from(boundary):
-            for inst in cfg.block(lbl).instructions:
-                if (
-                    inst.is_memory_write
-                    and not _is_checkpoint_store(inst)
-                    and getattr(inst, "space", None) is MemSpace.LOCAL
-                ):
-                    return True
-        return False
-
-    def check_expr(where: str, boundary: str, expr: SliceExpr) -> None:
-        if isinstance(expr, SLoad):
-            check_expr(where, boundary, expr.base)
-            if expr.space in (MemSpace.PARAM, MemSpace.CONST):
-                return
-            # The pruning validator proved the precise address-aware
-            # property; the verifier independently re-checks the coarser
-            # path property for thread-private (local) memory, where the
-            # address is immaterial: no local store may execute between
-            # the boundary and the slice's run.
-            if expr.space is MemSpace.LOCAL and local_store_reachable(
-                boundary
-            ):
-                problems.append(
-                    f"{where}: slice re-executes a local-memory load but a "
-                    "local store is reachable from its boundary"
-                )
-            return
-        if isinstance(expr, SSlot):
-            if storage is None or (expr.reg_name, expr.color) not in storage.slots:
-                problems.append(
-                    f"{where}: slice reads missing slot "
-                    f"({expr.reg_name}, K{expr.color})"
-                )
-            return
-        if isinstance(expr, SOp):
-            for s in expr.srcs:
-                check_expr(where, boundary, s)
-        elif isinstance(expr, SSetp):
-            check_expr(where, boundary, expr.a)
-            check_expr(where, boundary, expr.b)
-        elif isinstance(expr, SSelp):
-            check_expr(where, boundary, expr.a)
-            check_expr(where, boundary, expr.b)
-            check_expr(where, boundary, expr.pred)
-
-    for label, entry in table.regions.items():
-        for action in entry.restores:
-            if action.slice_expr is not None:
-                check_expr(
-                    f"{label}/{action.reg_name}", label, action.slice_expr
-                )
-    return problems
-
-
-# -- V5: adjustment blocks ---------------------------------------------------------
-
-
-def _verify_adjustments(
-    kernel: Kernel, cfg: CFG, table: RecoveryTable, adjustments
-) -> List[str]:
-    problems: List[str] = []
-    for label in adjustments:
-        try:
-            blk = kernel.block(label)
-        except KeyError:
-            problems.append(f"adjustment block {label} missing")
-            continue
-        entry = table.regions.get(label)
-        if entry is None or not entry.mini_region:
-            problems.append(
-                f"adjustment block {label} lacks a mini-region entry"
-            )
-            continue
-        restored = {a.reg_name for a in entry.restores}
-        body = blk.instructions
-        if not body or not isinstance(body[-1], Bra) or body[-1].guard:
-            problems.append(
-                f"adjustment block {label} must end in an unconditional bra"
-            )
-        for inst in body[:-1]:
-            if _is_checkpoint_addressing(inst):
-                continue
-            if not _is_checkpoint_store(inst):
-                problems.append(
-                    f"adjustment block {label} contains a non-checkpoint "
-                    f"instruction: {inst}"
-                )
-                continue
-            src = inst.src
-            if isinstance(src, Reg) and src.name not in restored:
-                problems.append(
-                    f"adjustment block {label} reads {src.name} without a "
-                    "mini-region restore"
-                )
-    return problems

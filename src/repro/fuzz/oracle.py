@@ -3,7 +3,10 @@
 For one :class:`FuzzCase` the oracle checks, in order:
 
 1. **Validity** — the kernel parses and validates (mutants may not;
-   that is an ``invalid_case`` outcome, not a finding).
+   that is an ``invalid_case`` outcome, not a finding).  The static
+   analyzer then runs as its own subject under test: a rule crash is a
+   finding on any case, and an error-severity diagnostic on a
+   pure-generated (unmutated) kernel is a *false-error* finding.
 2. **Baseline** — the *unprotected* kernel runs to completion on the
    functional simulator.  A baseline crash means the case itself is bad
    (``baseline_skip``), again not a compiler bug.
@@ -72,78 +75,47 @@ def _reads_uninitialized(kernel) -> bool:
     budget trips.  Such kernels are undefined-behavior inputs and must
     be discarded as ``invalid_case``, never reported as findings.
 
-    The analysis is instruction-granular: IN[i] is the set of registers
-    written on *every* path reaching instruction ``i`` (meet = set
-    intersection), guarded instructions do not count as writes (the
-    predicate may be false), and a read outside IN is a violation.
+    Delegates to the analyzer's shared dataflow engine
+    (:func:`repro.lint.dataflow.uninitialized_reads`), the same
+    must-analysis that backs the ``uninit-read`` lint rule — one engine,
+    one definition of "definitely assigned".
     """
-    from repro.ir.instructions import Bra, Ret
+    from repro.analysis.cfg import CFG
+    from repro.lint.dataflow import uninitialized_reads
 
-    flat = []  # (inst, block_index)
-    block_start: Dict[int, int] = {}  # block index -> flat index
-    for bi, blk in enumerate(kernel.blocks):
-        block_start[bi] = len(flat)
-        for inst in blk.instructions:
-            flat.append(inst)
-    block_start[len(kernel.blocks)] = len(flat)
-    label_to_flat = {
-        blk.label: block_start[bi]
-        for bi, blk in enumerate(kernel.blocks)
-    }
-    n = len(flat)
-    if n == 0:
-        return False
+    return bool(uninitialized_reads(CFG(kernel)))
 
-    def successors(i: int) -> List[int]:
-        inst = flat[i]
-        if isinstance(inst, Ret):
-            return []
-        if isinstance(inst, Bra):
-            tgt = label_to_flat[inst.target]
-            if inst.guard is None:
-                return [tgt]
-            return [j for j in (i + 1, tgt) if j < n] or []
-        return [i + 1] if i + 1 < n else []
 
-    preds: List[List[int]] = [[] for _ in range(n)]
-    for i in range(n):
-        for j in successors(i):
-            preds[j].append(i)
+def _run_analyzer(case: FuzzCase, kernel, iteration: int):
+    """Run the pre-compile analyzer over one case; returns a finding or
+    ``None`` (see the stage-1b comment in :func:`run_case`)."""
+    from repro.lint import AnalyzerError, lint_kernel
 
-    universe = set()
-    for inst in flat:
-        universe.update(r.name for r in inst.defs())
-
-    def gen(i: int) -> set:
-        inst = flat[i]
-        if inst.guard is not None:
-            return set()  # predicated-off executions do not write
-        return {r.name for r in inst.defs()}
-
-    out = [set(universe) for _ in range(n)]
-    out[0] = gen(0)
-    changed = True
-    while changed:
-        changed = False
-        for i in range(n):
-            if i == 0 or not preds[i]:
-                inn = set()
-            else:
-                inn = set.intersection(*(out[p] for p in preds[i]))
-            new_out = inn | gen(i)
-            if new_out != out[i]:
-                out[i] = new_out
-                changed = True
-
-    for i in range(n):
-        if i == 0 or not preds[i]:
-            inn = set()
-        else:
-            inn = set.intersection(*(out[p] for p in preds[i]))
-        for reg in flat[i].reg_uses():
-            if reg.name not in inn:
-                return True
-    return False
+    try:
+        report = lint_kernel(kernel)
+    except AnalyzerError as exc:
+        return _make_finding(
+            iteration,
+            case,
+            "lint",
+            message=f"analyzer crashed in rule {exc.rule_id}: {exc}",
+            exc_type="AnalyzerCrash",
+            pass_name="lint",
+        )
+    if case.mutations:
+        return None
+    errors = report.errors
+    if errors:
+        return _make_finding(
+            iteration,
+            case,
+            "lint",
+            message="false error on generated kernel: "
+            + "; ".join(d.plain() for d in errors[:5]),
+            exc_type="LintFalseError",
+            pass_name="lint",
+        )
+    return None
 
 
 def _resolve_config(scheme: Union[str, PennyConfig]) -> PennyConfig:
@@ -221,6 +193,19 @@ def run_case(
         return CaseResult(status="invalid_case", stats=stats)
     if _reads_uninitialized(kernel):
         return CaseResult(status="invalid_case", stats=stats)
+
+    # 1b. the static analyzer rides along as its own subject under test.
+    # A rule crash on any valid kernel is an analyzer bug (stage
+    # ``lint``); an *error*-severity diagnostic on a pure-generated
+    # kernel is a false positive — the generator only emits well-formed,
+    # race-free, convergent kernels — so that is a finding too.  Mutants
+    # may legitimately trip rules (that is what the rules are for), so
+    # for them only crashes count.
+    lint_finding = _run_analyzer(case, kernel, iteration)
+    if lint_finding is not None:
+        return CaseResult(
+            status="finding", finding=lint_finding, stats=stats
+        )
 
     launch = Launch(grid=case.grid, block=case.block)
     launch_cfg = LaunchConfig(

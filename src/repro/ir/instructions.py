@@ -57,10 +57,13 @@ Guard = Tuple[Reg, bool]  # (predicate register, sense); sense False = @!%p
 class Instruction:
     """Base class for all instructions."""
 
-    __slots__ = ("guard",)
+    __slots__ = ("guard", "loc")
 
     def __init__(self, guard: Optional[Guard] = None):
         self.guard = guard
+        #: source span (:class:`repro.ir.types.SrcLoc`) when parsed from
+        #: text; ``None`` for instructions built programmatically
+        self.loc = None
 
     # -- dataflow interface --------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.ir.types import (
     Reg,
     SPECIAL_REGISTERS,
     Special,
+    SrcLoc,
     SymRef,
 )
 
@@ -283,7 +284,11 @@ def parse_module(text: str) -> Module:
             parser.start_block(lm.group(1))
             continue
         try:
-            parser.emit(parser.parse_instruction(line))
+            inst = parser.parse_instruction(line)
+            code = raw.split("//", 1)[0]
+            col = len(code) - len(code.lstrip()) + 1
+            inst.loc = SrcLoc(lineno, col, len(code.rstrip()))
+            parser.emit(inst)
         except PtxParseError:
             raise
         except ValueError as exc:

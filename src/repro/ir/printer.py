@@ -7,8 +7,15 @@ from typing import List
 from repro.ir.module import Kernel, Module
 
 
-def print_kernel(kernel: Kernel) -> str:
-    """Render a kernel as parseable PTX-subset text."""
+def print_kernel(kernel: Kernel, locs: bool = False) -> str:
+    """Render a kernel as parseable PTX-subset text.
+
+    With ``locs=True`` every instruction that carries a source span
+    (:class:`repro.ir.types.SrcLoc`, attached by the parser) is suffixed
+    with a ``// loc=line:col`` comment.  The comment is ignored on
+    re-parse, so the round-trip stays lossless for the program text while
+    preserving provenance for human readers and golden files.
+    """
     lines: List[str] = []
     params = ", ".join(
         f".param .{'ptr' if p.is_pointer else p.dtype.value} {p.name}"
@@ -20,10 +27,13 @@ def print_kernel(kernel: Kernel) -> str:
     for blk in kernel.blocks:
         lines.append(f"{blk.label}:")
         for inst in blk.instructions:
-            lines.append(f"  {inst}")
+            text = f"  {inst}"
+            if locs and getattr(inst, "loc", None) is not None:
+                text += f"  // loc={inst.loc}"
+            lines.append(text)
     lines.append("}")
     return "\n".join(lines)
 
 
-def print_module(module: Module) -> str:
-    return "\n\n".join(print_kernel(k) for k in module.kernels)
+def print_module(module: Module, locs: bool = False) -> str:
+    return "\n\n".join(print_kernel(k, locs=locs) for k in module.kernels)

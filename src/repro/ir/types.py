@@ -131,6 +131,23 @@ class SymRef:
         return self.name
 
 
+@dataclass(frozen=True)
+class SrcLoc:
+    """A source span in the PTX-subset text an instruction was parsed from.
+
+    ``line`` and ``col`` are 1-based; ``end_col`` is the column of the last
+    character (inclusive), so carets can underline the whole instruction.
+    Instructions built programmatically (builder, passes) carry no location.
+    """
+
+    line: int
+    col: int = 1
+    end_col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
 #: Any value-producing operand an instruction may read.
 Operand = Union[Reg, Imm, Special, SymRef]
 

@@ -1,0 +1,134 @@
+"""Rule model and registry: which rules exist, which run, at what severity.
+
+A :class:`Rule` couples an id, a default severity, and a phase —
+``pre`` rules inspect input PTX before compilation, ``post`` rules
+inspect a compiled kernel's recovery metadata — with a ``check``
+callable producing :class:`~repro.lint.diagnostics.Diagnostic` objects.
+
+The process-wide :data:`DEFAULT_REGISTRY` is populated by
+:mod:`repro.lint.rules_pre` / :mod:`repro.lint.rules_post` at import
+time via the :func:`rule` decorator.  Call sites never mutate it:
+:meth:`RuleRegistry.select` returns a filtered, severity-adjusted view
+driven by ``PennyConfig.lint_disable`` / ``lint_severity`` or the CLI's
+``--rule`` / ``--disable`` flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+PRE = "pre"
+POST = "post"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named check.  ``check`` receives a
+    :class:`repro.lint.engine.LintContext` and yields diagnostics; the
+    engine stamps each diagnostic's severity with this rule's (possibly
+    overridden) severity, so rules only decide *what* to report."""
+
+    id: str
+    phase: str
+    severity: Severity
+    description: str
+    check: Callable[..., Iterable[Diagnostic]]
+
+    def with_severity(self, severity: Severity) -> "Rule":
+        return replace(self, severity=severity)
+
+
+class UnknownRuleError(ValueError):
+    """A rule id named in config/CLI that no registered rule matches."""
+
+    def __init__(self, rule_id: str, known: Sequence[str]):
+        super().__init__(
+            f"unknown lint rule {rule_id!r}; known rules: {', '.join(known)}"
+        )
+        self.rule_id = rule_id
+
+
+class RuleRegistry:
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def add(self, rule: Rule) -> None:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate lint rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def get(self, rule_id: str) -> Rule:
+        if rule_id not in self._rules:
+            raise UnknownRuleError(rule_id, self.ids())
+        return self._rules[rule_id]
+
+    def rules(self, phase: Optional[str] = None) -> List[Rule]:
+        out = [
+            self._rules[rid]
+            for rid in sorted(self._rules)
+            if phase is None or self._rules[rid].phase == phase
+        ]
+        return out
+
+    def select(
+        self,
+        phase: Optional[str] = None,
+        only: Optional[Sequence[str]] = None,
+        disable: Sequence[str] = (),
+        severity: Optional[Mapping[str, object]] = None,
+    ) -> List[Rule]:
+        """The rules that should run, severity overrides applied.
+
+        ``only`` (if given) whitelists rule ids; ``disable`` drops ids;
+        ``severity`` maps rule id -> severity name.  Every id mentioned
+        anywhere must exist — a typo'd rule name is a configuration
+        error, not a silently-ignored no-op.
+        """
+        for rid in list(only or ()) + list(disable):
+            self.get(rid)
+        overrides: Dict[str, Severity] = {}
+        for rid, sev in (severity or {}).items():
+            self.get(rid)
+            overrides[rid] = Severity.parse(sev)
+        selected = []
+        for rule in self.rules(phase):
+            if only is not None and rule.id not in only:
+                continue
+            if rule.id in disable:
+                continue
+            if rule.id in overrides:
+                rule = rule.with_severity(overrides[rule.id])
+            selected.append(rule)
+        return selected
+
+
+#: all built-in rules; populated on import of the rules_* modules
+DEFAULT_REGISTRY = RuleRegistry()
+
+
+def rule(
+    id: str,
+    phase: str,
+    severity: Severity,
+    description: str,
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+):
+    """Decorator registering a check function as a built-in rule."""
+
+    def wrap(fn: Callable[..., Iterable[Diagnostic]]) -> Callable:
+        registry.add(Rule(id, phase, severity, description, fn))
+        return fn
+
+    return wrap

@@ -1,0 +1,274 @@
+"""Renderers: annotated text, JSONL, and SARIF 2.1.0.
+
+- :func:`render_text` — compiler-style ``file:line:col: severity: …``
+  lines; when the original source text is available, each diagnostic is
+  followed by the offending source line and a caret span under it.
+- :func:`render_jsonl` — one JSON object per diagnostic plus a trailing
+  ``lint_report`` summary record, in the exact format
+  :class:`repro.obs.MetricsSink` emits (``validate_metrics_jsonl``
+  accepts the output).
+- :func:`sarif_report` / :func:`render_sarif` — a SARIF 2.1.0 run, the
+  interchange format CI code-scanning services ingest.  Logical
+  locations carry the ``kernel:block:index`` triple; physical locations
+  appear whenever the parser attached source spans.
+- :func:`validate_sarif` — a hand-rolled structural validator for the
+  subset of the SARIF schema this module emits, in the same spirit as
+  :func:`repro.obs.export.validate_metrics_record`: no network, no
+  jsonschema dependency, loud on shape violations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import DEFAULT_REGISTRY, RuleRegistry
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "penny-lint"
+
+#: SARIF result levels for our severities (SARIF has no "error/warning/
+#: note" triple of its own semantics beyond these literal levels)
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+
+# -- text -----------------------------------------------------------------------
+
+
+def render_text(
+    report: LintReport,
+    source: Optional[str] = None,
+    path: Optional[str] = None,
+) -> str:
+    """Compiler-style text, one finding per paragraph.
+
+    ``source`` enables caret annotation; ``path`` replaces the kernel
+    name as the file prefix for physical locations.
+    """
+    lines = source.splitlines() if source is not None else None
+    out: List[str] = []
+    for d in report.diagnostics:
+        loc = d.location.loc
+        if loc is not None:
+            prefix = f"{path or d.location.kernel}:{loc.line}:{loc.col}"
+        else:
+            prefix = str(d.location)
+        out.append(f"{prefix}: {d.severity.value}: [{d.rule}] {d.message}")
+        if lines is not None and loc is not None and 1 <= loc.line <= len(
+            lines
+        ):
+            src = lines[loc.line - 1]
+            out.append(f"  {src}")
+            width = max(1, (loc.end_col or loc.col) - loc.col + 1)
+            out.append("  " + " " * (loc.col - 1) + "^" * width)
+        if d.fixit:
+            out.append(f"  fix-it: {d.fixit}")
+    counts = report.counts()
+    summary = ", ".join(
+        f"{counts[s.value]} {s.value}(s)"
+        for s in (Severity.ERROR, Severity.WARNING, Severity.NOTE)
+        if counts[s.value]
+    )
+    out.append(summary if summary else "clean: no findings")
+    return "\n".join(out)
+
+
+# -- JSONL ----------------------------------------------------------------------
+
+
+def render_jsonl(report: LintReport) -> str:
+    """One metrics-sink record per diagnostic + a summary record."""
+    rows = [json.dumps(d.to_dict(), sort_keys=True) for d in report.diagnostics]
+    rows.append(json.dumps(report.to_dict(), sort_keys=True))
+    return "\n".join(rows)
+
+
+# -- SARIF ----------------------------------------------------------------------
+
+
+def _sarif_rules(
+    report: LintReport, registry: RuleRegistry
+) -> List[Dict[str, Any]]:
+    rules = []
+    for rid in report.rules_run or sorted(
+        {d.rule for d in report.diagnostics}
+    ):
+        desc = registry.get(rid).description if rid in registry else rid
+        rules.append(
+            {
+                "id": rid,
+                "shortDescription": {"text": desc},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL[registry.get(rid).severity]
+                    if rid in registry
+                    else "warning"
+                },
+            }
+        )
+    return rules
+
+
+def _sarif_result(
+    d: Diagnostic, rule_index: Mapping[str, int], path: Optional[str]
+) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "logicalLocations": [
+            {
+                "name": d.location.block,
+                "fullyQualifiedName": str(d.location),
+                "kind": "block",
+            }
+        ]
+    }
+    if d.location.loc is not None:
+        region: Dict[str, Any] = {
+            "startLine": d.location.loc.line,
+            "startColumn": d.location.loc.col,
+        }
+        if d.location.loc.end_col:
+            region["endColumn"] = d.location.loc.end_col + 1
+        location["physicalLocation"] = {
+            "artifactLocation": {
+                "uri": path or f"{d.location.kernel}.ptx"
+            },
+            "region": region,
+        }
+    result: Dict[str, Any] = {
+        "ruleId": d.rule,
+        "level": _SARIF_LEVEL[d.severity],
+        "message": {"text": d.message},
+        "locations": [location],
+    }
+    if d.rule in rule_index:
+        result["ruleIndex"] = rule_index[d.rule]
+    if d.fixit:
+        result["properties"] = {"fixit": d.fixit}
+    return result
+
+
+def sarif_report(
+    report: LintReport,
+    path: Optional[str] = None,
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+    tool_version: str = "0.1",
+) -> Dict[str, Any]:
+    """The full SARIF 2.1.0 log object for one analyzer run."""
+    rules = _sarif_rules(report, registry)
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://dl.acm.org/doi/10.1145/3385412.3386033"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(d, rule_index, path)
+                    for d in report.diagnostics
+                ],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, path: Optional[str] = None) -> str:
+    return json.dumps(sarif_report(report, path=path), indent=2, sort_keys=True)
+
+
+def validate_sarif(obj: Union[str, Mapping[str, Any]]) -> List[str]:
+    """Structural validation of a SARIF 2.1.0 log (the subset we emit,
+    which is also the subset CI scanners require); returns problems
+    (empty = valid).  Accepts a JSON string or a parsed object."""
+    if isinstance(obj, str):
+        try:
+            obj = json.loads(obj)
+        except json.JSONDecodeError as exc:
+            return [f"not JSON: {exc}"]
+    if not isinstance(obj, Mapping):
+        return ["log is not an object"]
+    problems: List[str] = []
+    if obj.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = obj.get("runs")
+    if not isinstance(runs, Sequence) or isinstance(runs, (str, bytes)):
+        return problems + ["'runs' must be an array"]
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not isinstance(run, Mapping):
+            problems.append(f"{where} is not an object")
+            continue
+        driver = (run.get("tool") or {}).get("driver")
+        if not isinstance(driver, Mapping) or not driver.get("name"):
+            problems.append(f"{where}.tool.driver.name missing")
+            driver = {}
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        for i, r in enumerate(rules):
+            if not isinstance(r, Mapping) or not isinstance(
+                r.get("id"), str
+            ):
+                problems.append(f"{where}.tool.driver.rules[{i}].id missing")
+            else:
+                rule_ids.add(r["id"])
+        results = run.get("results")
+        if not isinstance(results, Sequence) or isinstance(
+            results, (str, bytes)
+        ):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for i, res in enumerate(results):
+            rw = f"{where}.results[{i}]"
+            if not isinstance(res, Mapping):
+                problems.append(f"{rw} is not an object")
+                continue
+            if not isinstance(res.get("ruleId"), str):
+                problems.append(f"{rw}.ruleId missing")
+            elif rule_ids and res["ruleId"] not in rule_ids:
+                problems.append(
+                    f"{rw}.ruleId {res['ruleId']!r} not among driver rules"
+                )
+            if res.get("level") not in ("error", "warning", "note", "none"):
+                problems.append(f"{rw}.level invalid: {res.get('level')!r}")
+            msg = res.get("message")
+            if not isinstance(msg, Mapping) or not isinstance(
+                msg.get("text"), str
+            ):
+                problems.append(f"{rw}.message.text missing")
+            for li, loc in enumerate(res.get("locations", [])):
+                lw = f"{rw}.locations[{li}]"
+                phys = loc.get("physicalLocation") if isinstance(
+                    loc, Mapping
+                ) else None
+                if phys is not None:
+                    art = phys.get("artifactLocation", {})
+                    if not isinstance(art.get("uri"), str):
+                        problems.append(
+                            f"{lw}.physicalLocation.artifactLocation.uri "
+                            "missing"
+                        )
+                    region = phys.get("region", {})
+                    start = region.get("startLine")
+                    if not isinstance(start, int) or start < 1:
+                        problems.append(
+                            f"{lw}.physicalLocation.region.startLine "
+                            f"invalid: {start!r}"
+                        )
+    return problems

@@ -1,0 +1,572 @@
+"""Post-compile rules: the recovery-correctness obligations, as lint rules.
+
+The first five (``penny-coverage`` … ``penny-adjustment``) are the V1–V5
+checks that used to live as a monolith in :mod:`repro.core.verify`; that
+module is now a thin compatibility shim running exactly these rules.
+They re-derive the obligations of docs/INTERNALS.md from the final
+kernel and its metadata, independently of the passes that were supposed
+to establish them.
+
+Four further rules cross-check the checkpoint machinery itself:
+
+- ``ckpt-loop-overwrite`` — a checkpoint store that can clobber, inside
+  the very region whose entry restores it, the slot copy recovery would
+  read (the §3.1 overwrite hazard the 2-coloring exists to prevent —
+  classically via a loop back edge).
+- ``ckpt-slot-alias`` — a program store through a general register
+  derived from a checkpoint base symbol: it aliases slot storage without
+  being a checkpoint store.
+- ``ckpt-space-write`` — a store directly into checkpoint space whose
+  (register, offset) matches no assigned slot: a rogue write corrupting
+  somebody's checkpoint.
+- ``restore-live-mismatch`` — a restore action for a register that is
+  not live-in at its boundary: dead recovery work that usually means the
+  plan and the final code disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.core.codegen import GLOBAL_CKPT_SYMBOL, SHARED_CKPT_SYMBOL
+from repro.ir.instructions import Alu, Bra, Instruction, St
+from repro.ir.types import Imm, MemSpace, Reg, Special, SymRef
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import POST, rule
+
+CKPT_SYMBOLS = (SHARED_CKPT_SYMBOL, GLOBAL_CKPT_SYMBOL)
+
+
+def is_checkpoint_store(inst: Instruction) -> bool:
+    """A store into dedicated checkpoint storage: through the checkpoint
+    base symbols, or through the compiler-reserved ``%ckb_*`` /
+    ``%ca*`` address registers the low-level optimizer substitutes."""
+    if not isinstance(inst, St):
+        return False
+    if isinstance(inst.base, SymRef):
+        return inst.base.name in CKPT_SYMBOLS
+    if isinstance(inst.base, Reg):
+        return inst.base.name.startswith(("%ckb_", "%ca"))
+    return False
+
+
+def is_checkpoint_addressing(inst: Instruction) -> bool:
+    """Address arithmetic emitted by the unoptimized (``low_opts=False``)
+    checkpoint lowering: unguarded mov/mad into a fresh ``%ca*`` register
+    whose inputs are only specials, immediates, checkpoint base symbols,
+    or other ``%ca*`` registers.  Such instructions cannot touch kernel
+    state, so they are sound inside adjustment blocks."""
+    if not isinstance(inst, Alu) or inst.guard is not None:
+        return False
+    dst = inst.dst
+    if not isinstance(dst, Reg) or not dst.name.startswith("%ca"):
+        return False
+    for src in inst.srcs:
+        if isinstance(src, (Special, Imm)):
+            continue
+        if isinstance(src, SymRef) and src.name in CKPT_SYMBOLS:
+            continue
+        if isinstance(src, Reg) and src.name.startswith("%ca"):
+            continue
+        return False
+    return True
+
+
+def _expected_slots(storage) -> Dict[Tuple[str, int], Tuple[int, MemSpace]]:
+    """(reg name, color) -> the byte offset + space its checkpoint store
+    must use under the storage assignment's coalesced layout."""
+    from repro.core.storage import StorageKind
+
+    expected: Dict[Tuple[str, int], Tuple[int, MemSpace]] = {}
+    for (reg_name, color), slot in storage.slots.items():
+        if slot.kind is StorageKind.SHARED:
+            expected[(reg_name, color)] = (
+                slot.index * storage.threads_per_block * 4,
+                MemSpace.SHARED,
+            )
+        else:
+            expected[(reg_name, color)] = (
+                slot.index * storage.total_threads * 4,
+                MemSpace.GLOBAL,
+            )
+    return expected
+
+
+# -- V2: restore completeness -------------------------------------------------
+
+
+@rule(
+    "penny-restore",
+    POST,
+    Severity.ERROR,
+    "V2: every live-in with a definition is restored, every slot exists",
+)
+def check_restores(ctx) -> Iterator[Diagnostic]:
+    liveness = ctx.liveness()
+    rdefs = ctx.reaching_defs()
+    storage = ctx.storage
+    for label in sorted(ctx.boundaries):
+        entry = ctx.recovery_table.regions.get(label)
+        if entry is None:
+            yield ctx.diag(f"boundary {label} has no recovery entry", label)
+            continue
+        restored = {a.reg_name for a in entry.restores}
+        for reg in liveness.live_in.get(label, set()):
+            sites = [
+                s for s in rdefs.reaching_at(label, 0, reg) if not s.is_entry
+            ]
+            if not sites:
+                continue  # read-before-write: nothing restorable
+            if reg.name not in restored:
+                yield ctx.diag(
+                    f"live-in {reg.name} has no restore action", label
+                )
+        for action in entry.restores:
+            if action.is_slot:
+                if storage is None or (
+                    action.reg_name,
+                    action.slot_color,
+                ) not in storage.slots:
+                    yield ctx.diag(
+                        f"slot restore of {action.reg_name} color "
+                        f"{action.slot_color} has no storage slot",
+                        label,
+                    )
+            elif action.slice_expr is None:
+                yield ctx.diag(
+                    f"restore of {action.reg_name} is neither slot "
+                    "nor slice",
+                    label,
+                )
+
+
+# -- V1: coverage -------------------------------------------------------------
+
+
+@rule(
+    "penny-coverage",
+    POST,
+    Severity.ERROR,
+    "V1: no path from a definition to its restoring entry skips the "
+    "checkpoint store",
+)
+def check_coverage(ctx) -> Iterator[Diagnostic]:
+    storage = ctx.storage
+    if storage is None:
+        yield ctx.diag(
+            "kernel has no storage assignment", ctx.cfg.entry
+        )
+        return
+    cfg = ctx.cfg
+    expected = _expected_slots(storage)
+
+    # Positions of defs, and of checkpoint stores per (register, color).
+    defs: Dict[str, List[Tuple[str, int]]] = {}
+    cp_stores: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+    for blk in cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if is_checkpoint_store(inst) and isinstance(inst.src, Reg):
+                for color in (0, 1):
+                    key = (inst.src.name, color)
+                    exp = expected.get(key)
+                    if exp and exp == (inst.offset, inst.space):
+                        cp_stores.setdefault(key, set()).add((blk.label, i))
+            else:
+                for reg in inst.defs():
+                    defs.setdefault(reg.name, []).append((blk.label, i))
+
+    def uncovered_path(
+        reg_name: str, color: int, start: Tuple[str, int], target: str
+    ) -> bool:
+        """Path from just after ``start`` to ``target``'s entry crossing
+        neither a matching-color checkpoint store nor a redefinition
+        (each redefinition is its own coverage problem)."""
+        blockers = cp_stores.get((reg_name, color), set())
+        redefs = set(defs.get(reg_name, []))
+        seen: Set[Tuple[str, int]] = set()
+        work = [(start[0], start[1] + 1)]
+        while work:
+            label, idx = work.pop()
+            if (label, idx) in seen:
+                continue
+            seen.add((label, idx))
+            blk = cfg.block(label)
+            blocked = False
+            for j in range(idx, len(blk.instructions)):
+                if (label, j) in blockers or (
+                    (label, j) in redefs and (label, j) != start
+                ):
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            for succ in cfg.successors(label):
+                if succ == target:
+                    return True
+                work.append((succ, 0))
+        return False
+
+    for label, entry in sorted(ctx.recovery_table.regions.items()):
+        for action in entry.restores:
+            if not action.is_slot:
+                continue
+            for d in defs.get(action.reg_name, []):
+                if uncovered_path(
+                    action.reg_name, action.slot_color, d, label
+                ):
+                    yield ctx.diag(
+                        f"definition of {action.reg_name} at "
+                        f"{d[0]}:{d[1]} can reach the entry without a "
+                        f"K{action.slot_color} checkpoint "
+                        "(slot restore would be stale)",
+                        label,
+                    )
+                    break
+
+
+# -- V3: barrier isolation ----------------------------------------------------
+
+
+@rule(
+    "penny-barrier",
+    POST,
+    Severity.ERROR,
+    "V3: barrier-like instructions are block-final with boundary "
+    "successors only",
+)
+def check_barriers(ctx) -> Iterator[Diagnostic]:
+    boundaries = ctx.boundaries
+    for blk in ctx.kernel.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if not inst.is_barrier_like:
+                continue
+            if i != len(blk.instructions) - 1:
+                yield ctx.diag(
+                    "barrier-like instruction not block-final",
+                    blk.label,
+                    i,
+                )
+                continue
+            for succ in ctx.cfg.successors(blk.label):
+                if succ not in boundaries:
+                    yield ctx.diag(
+                        f"barrier falls into non-boundary {succ} "
+                        "(re-execution would repeat it)",
+                        blk.label,
+                        i,
+                    )
+
+
+# -- V4: slice safety ---------------------------------------------------------
+
+
+@rule(
+    "penny-slice",
+    POST,
+    Severity.ERROR,
+    "V4: recovery slices only read sources no re-execution can corrupt",
+)
+def check_slices(ctx) -> Iterator[Diagnostic]:
+    from repro.core.slices import SLoad, SOp, SSelp, SSetp, SSlot
+
+    cfg = ctx.cfg
+    storage = ctx.storage
+    reachable_cache: Dict[str, Set[str]] = {}
+
+    def reachable_from(label: str) -> Set[str]:
+        if label not in reachable_cache:
+            seen = {label}
+            stack = [label]
+            while stack:
+                cur = stack.pop()
+                for succ in cfg.successors(cur):
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append(succ)
+            reachable_cache[label] = seen
+        return reachable_cache[label]
+
+    def local_store_reachable(boundary: str) -> bool:
+        for lbl in reachable_from(boundary):
+            for inst in cfg.block(lbl).instructions:
+                if (
+                    inst.is_memory_write
+                    and not is_checkpoint_store(inst)
+                    and getattr(inst, "space", None) is MemSpace.LOCAL
+                ):
+                    return True
+        return False
+
+    def check_expr(reg_name: str, boundary: str, expr):
+        if isinstance(expr, SLoad):
+            yield from check_expr(reg_name, boundary, expr.base)
+            if expr.space in (MemSpace.PARAM, MemSpace.CONST):
+                return
+            # The pruning validator proved the precise address-aware
+            # property; re-check the coarser path property for
+            # thread-private (local) memory, where the address is
+            # immaterial: no local store may execute between the
+            # boundary and the slice's run.
+            if expr.space is MemSpace.LOCAL and local_store_reachable(
+                boundary
+            ):
+                yield ctx.diag(
+                    f"slice for {reg_name} re-executes a local-memory "
+                    "load but a local store is reachable from its "
+                    "boundary",
+                    boundary,
+                )
+            return
+        if isinstance(expr, SSlot):
+            if (
+                storage is None
+                or (expr.reg_name, expr.color) not in storage.slots
+            ):
+                yield ctx.diag(
+                    f"slice for {reg_name} reads missing slot "
+                    f"({expr.reg_name}, K{expr.color})",
+                    boundary,
+                )
+            return
+        if isinstance(expr, SOp):
+            for s in expr.srcs:
+                yield from check_expr(reg_name, boundary, s)
+        elif isinstance(expr, SSetp):
+            yield from check_expr(reg_name, boundary, expr.a)
+            yield from check_expr(reg_name, boundary, expr.b)
+        elif isinstance(expr, SSelp):
+            yield from check_expr(reg_name, boundary, expr.a)
+            yield from check_expr(reg_name, boundary, expr.b)
+            yield from check_expr(reg_name, boundary, expr.pred)
+
+    for label, entry in sorted(ctx.recovery_table.regions.items()):
+        for action in entry.restores:
+            if action.slice_expr is not None:
+                yield from check_expr(
+                    action.reg_name, label, action.slice_expr
+                )
+
+
+# -- V5: adjustment blocks ----------------------------------------------------
+
+
+@rule(
+    "penny-adjustment",
+    POST,
+    Severity.ERROR,
+    "V5: adjustment blocks only checkpoint, and restore what they read",
+)
+def check_adjustments(ctx) -> Iterator[Diagnostic]:
+    for label in sorted(ctx.adjustments):
+        try:
+            blk = ctx.kernel.block(label)
+        except KeyError:
+            yield ctx.diag(
+                f"adjustment block {label} missing", ctx.cfg.entry
+            )
+            continue
+        entry = ctx.recovery_table.regions.get(label)
+        if entry is None or not entry.mini_region:
+            yield ctx.diag(
+                f"adjustment block {label} lacks a mini-region entry",
+                label,
+            )
+            continue
+        restored = {a.reg_name for a in entry.restores}
+        body = blk.instructions
+        if not body or not isinstance(body[-1], Bra) or body[-1].guard:
+            yield ctx.diag(
+                f"adjustment block {label} must end in an "
+                "unconditional bra",
+                label,
+            )
+        for i, inst in enumerate(body[:-1]):
+            if is_checkpoint_addressing(inst):
+                continue
+            if not is_checkpoint_store(inst):
+                yield ctx.diag(
+                    f"adjustment block {label} contains a "
+                    f"non-checkpoint instruction: {inst}",
+                    label,
+                    i,
+                )
+                continue
+            src = inst.src
+            if isinstance(src, Reg) and src.name not in restored:
+                yield ctx.diag(
+                    f"adjustment block {label} reads {src.name} "
+                    "without a mini-region restore",
+                    label,
+                    i,
+                )
+
+
+# -- new cross-checks ---------------------------------------------------------
+
+
+@rule(
+    "ckpt-loop-overwrite",
+    POST,
+    Severity.ERROR,
+    "checkpoint store can clobber the slot its own region restores",
+)
+def check_ckpt_loop_overwrite(ctx) -> Iterator[Diagnostic]:
+    """The §3.1 overwrite hazard, re-derived from the final kernel: a
+    checkpoint store into slot (r, K) lying *inside* the region whose
+    entry restores (r, K), after r was redefined inside that region —
+    recovery would restore the post-fault value.  The classic instance
+    is a loop body store reached again around the back edge with the
+    same color as the header's restore."""
+    storage = ctx.storage
+    if storage is None or ctx.recovery_table is None:
+        return
+    cfg = ctx.cfg
+    expected = _expected_slots(storage)
+    boundaries = ctx.boundaries
+
+    stores: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+    defs: Dict[str, List[Tuple[str, int]]] = {}
+    adjustments = ctx.adjustments
+    for blk in cfg.blocks:
+        if blk.label in adjustments:
+            continue  # recovery-path code: runs only after a fault, and
+            # deliberately rewrites the slots its mini-region restored
+        for i, inst in enumerate(blk.instructions):
+            if is_checkpoint_store(inst) and isinstance(inst.src, Reg):
+                for color in (0, 1):
+                    key = (inst.src.name, color)
+                    if expected.get(key) == (inst.offset, inst.space):
+                        stores.setdefault(key, []).append((blk.label, i))
+            else:
+                for reg in inst.defs():
+                    defs.setdefault(reg.name, []).append((blk.label, i))
+
+    def in_region(boundary: str, label: str) -> bool:
+        """Reachable from the boundary without crossing another one."""
+        if label == boundary:
+            return True
+        avoiding = (boundaries - {boundary, label})
+        return cfg.paths_exist(boundary, label, avoiding=avoiding)
+
+    for label, entry in sorted(ctx.recovery_table.regions.items()):
+        if entry.mini_region:
+            continue
+        for action in entry.restores:
+            if not action.is_slot:
+                continue
+            key = (action.reg_name, action.slot_color)
+            for s_lbl, s_idx in stores.get(key, ()):
+                if not in_region(label, s_lbl):
+                    continue
+                # Redefined between the region entry and the store?
+                clobbers = any(
+                    in_region(label, d_lbl)
+                    and (
+                        d_lbl != s_lbl
+                        or d_idx < s_idx
+                        or cfg.paths_exist(
+                            s_lbl, d_lbl, avoiding=boundaries - {label}
+                        )
+                    )
+                    for d_lbl, d_idx in defs.get(action.reg_name, ())
+                )
+                if clobbers:
+                    yield ctx.diag(
+                        f"checkpoint store of {action.reg_name} into its "
+                        f"K{action.slot_color} slot can execute inside "
+                        f"the region entered at {label} after "
+                        f"{action.reg_name} was redefined: recovery "
+                        "would restore the overwritten value",
+                        s_lbl,
+                        s_idx,
+                    )
+                    break
+
+
+@rule(
+    "ckpt-slot-alias",
+    POST,
+    Severity.ERROR,
+    "program store through an address derived from a checkpoint base",
+)
+def check_ckpt_slot_alias(ctx) -> Iterator[Diagnostic]:
+    taint = ctx.symbol_taint(CKPT_SYMBOLS)
+    for blk in ctx.cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if not isinstance(inst, St) or not isinstance(inst.base, Reg):
+                continue
+            if inst.base.name.startswith(("%ckb_", "%ca")):
+                continue  # the lowering's own reserved address registers
+            if inst.base.name in taint.before(blk.label, i):
+                yield ctx.diag(
+                    f"store through {inst.base.name}, which is derived "
+                    "from a checkpoint base symbol: aliases slot "
+                    "storage without being a checkpoint store",
+                    blk.label,
+                    i,
+                )
+
+
+@rule(
+    "ckpt-space-write",
+    POST,
+    Severity.ERROR,
+    "direct store into checkpoint space matching no assigned slot",
+)
+def check_ckpt_space_write(ctx) -> Iterator[Diagnostic]:
+    """Only symbol-addressed stores are checked: after the low-level
+    optimizer folds bases into ``%ckb_*`` registers the offsets move
+    into the register value, so a register-addressed store's target slot
+    is not statically decidable here."""
+    storage = ctx.storage
+    if storage is None:
+        return
+    expected = _expected_slots(storage)
+    for blk in ctx.cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if not isinstance(inst, St):
+                continue
+            if not (
+                isinstance(inst.base, SymRef)
+                and inst.base.name in CKPT_SYMBOLS
+            ):
+                continue
+            src_name = inst.src.name if isinstance(inst.src, Reg) else None
+            matches = src_name is not None and any(
+                expected.get((src_name, color)) == (inst.offset, inst.space)
+                for color in (0, 1)
+            )
+            if not matches:
+                what = src_name or "an immediate"
+                yield ctx.diag(
+                    f"store of {what} at offset {inst.offset} into "
+                    f"{inst.base.name} matches no assigned checkpoint "
+                    "slot: rogue write into checkpoint space",
+                    blk.label,
+                    i,
+                )
+
+
+@rule(
+    "restore-live-mismatch",
+    POST,
+    Severity.WARNING,
+    "restore action for a register that is not live-in at its boundary",
+)
+def check_restore_live_mismatch(ctx) -> Iterator[Diagnostic]:
+    liveness = ctx.liveness()
+    for label, entry in sorted(ctx.recovery_table.regions.items()):
+        if entry.mini_region:
+            continue  # adjustment restores feed the block, not live-ins
+        live = {r.name for r in liveness.live_in.get(label, set())}
+        for action in entry.restores:
+            if action.reg_name.startswith(("%ckb_", "%ca")):
+                continue  # reserved address registers: re-derived on
+                # recovery, never live-in in the program's own liveness
+            if action.reg_name not in live:
+                yield ctx.diag(
+                    f"restore of {action.reg_name} at a boundary where "
+                    "it is not live-in: dead recovery work (plan and "
+                    "final code disagree)",
+                    label,
+                )

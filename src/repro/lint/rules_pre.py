@@ -1,0 +1,157 @@
+"""Pre-compile rules: checks on the *input* PTX, before any Penny pass.
+
+These catch kernels that would be miscompiled — or mis-protected — by
+construction: a register read with no dominating write has no checkpoint
+to restore; a barrier inside thread-divergent control flow deadlocks
+long before a particle strike matters; a uniform-address shared store of
+a thread-varying value is a write/write race the SDC simulator would
+blame on the wrong scheme.  ``uncut-antidep`` is a note, not a problem:
+it previews the memory anti-dependences that will force region cuts
+(docs/INTERNALS.md §regions) so authors can see the cost of a store
+placement while still editing the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.antidep import find_memory_antideps
+from repro.ir.instructions import Atom, Bar, St
+from repro.ir.types import MemSpace
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import PRE, rule
+
+
+@rule(
+    "uninit-read",
+    PRE,
+    Severity.ERROR,
+    "register read without a definite prior assignment on every path",
+)
+def check_uninit_read(ctx) -> Iterator[Diagnostic]:
+    seen = set()
+    for label, index, reg in ctx.uninitialized_reads():
+        key = (label, index, reg.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield ctx.diag(
+            f"read of {reg.name} not definitely assigned on every path",
+            label,
+            index,
+            fixit=f"initialize {reg.name} before the first branch",
+        )
+
+
+@rule(
+    "unreachable-block",
+    PRE,
+    Severity.WARNING,
+    "basic block unreachable from the kernel entry",
+)
+def check_unreachable_block(ctx) -> Iterator[Diagnostic]:
+    reachable = ctx.cfg.reachable()
+    for blk in ctx.cfg.blocks:
+        if blk.label not in reachable:
+            yield ctx.diag(
+                f"block {blk.label} is unreachable from entry "
+                f"{ctx.cfg.entry}",
+                blk.label,
+                0,
+                fixit=f"delete block {blk.label} or branch to it",
+            )
+
+
+@rule(
+    "divergent-barrier",
+    PRE,
+    Severity.ERROR,
+    "bar.sync control-dependent on a thread-varying predicate",
+)
+def check_divergent_barrier(ctx) -> Iterator[Diagnostic]:
+    taint = ctx.thread_taint()
+    for blk in ctx.cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if not isinstance(inst, Bar):
+                continue
+            for dep in sorted(
+                ctx.control_deps().of(blk.label),
+                key=lambda d: (d.branch_block, d.pred.name),
+            ):
+                # The predicate's value at the branch decides which
+                # threads reach the barrier; if it varies per thread,
+                # some threads wait forever.
+                if dep.pred.name in taint.block_out[dep.branch_block]:
+                    yield ctx.diag(
+                        f"barrier is control-dependent on thread-varying "
+                        f"predicate {dep.pred.name} (branch in "
+                        f"{dep.branch_block}): threads that skip it "
+                        "deadlock the rest",
+                        blk.label,
+                        i,
+                        fixit="hoist the bar above the divergent branch",
+                    )
+                    break
+            else:
+                if inst.guard is not None and inst.guard[0].name in (
+                    taint.before(blk.label, i)
+                ):
+                    yield ctx.diag(
+                        f"barrier guarded by thread-varying predicate "
+                        f"{inst.guard[0].name}: threads that skip it "
+                        "deadlock the rest",
+                        blk.label,
+                        i,
+                        fixit="drop the guard or make it uniform",
+                    )
+
+
+@rule(
+    "shared-race",
+    PRE,
+    Severity.ERROR,
+    "unsynchronized same-address shared store of thread-varying data",
+)
+def check_shared_race(ctx) -> Iterator[Diagnostic]:
+    taint = ctx.thread_taint()
+    for blk in ctx.cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            if not isinstance(inst, St) or inst.space is not MemSpace.SHARED:
+                continue
+            if isinstance(inst, Atom):
+                continue  # hardware serializes RMW
+            value = taint.before(blk.label, i)
+            addr_varies = taint.analysis.op_tainted(inst.base, value)
+            if addr_varies:
+                continue  # per-thread addresses: disjoint locations
+            if taint.analysis.guard_tainted(inst, value):
+                continue  # e.g. @%p(tid==0): a single thread writes
+            src_varies = taint.analysis.op_tainted(inst.src, value)
+            if not src_varies:
+                continue  # all threads store the same value: benign
+            yield ctx.diag(
+                "all threads store a thread-varying value to the same "
+                "shared address: write/write race with an "
+                "arbitrary winner",
+                blk.label,
+                i,
+                fixit="guard the store with a tid==0 predicate or use atom",
+            )
+
+
+@rule(
+    "uncut-antidep",
+    PRE,
+    Severity.NOTE,
+    "memory anti-dependence that region formation must cut",
+)
+def check_uncut_antidep(ctx) -> Iterator[Diagnostic]:
+    for dep in find_memory_antideps(ctx.cfg, ctx.alias()):
+        (l_lbl, l_idx), (s_lbl, s_idx) = dep.load_at, dep.store_at
+        yield ctx.diag(
+            f"load may be overwritten by the store at {s_lbl}:{s_idx} "
+            f"({dep.result.value} alias): every load-to-store path "
+            "will require a region boundary",
+            l_lbl,
+            l_idx,
+        )

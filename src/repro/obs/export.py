@@ -38,6 +38,8 @@ METRIC_KINDS = (
     "fuzz_report",
     "finding",
     "meta",
+    "diagnostic",
+    "lint_report",
 )
 
 

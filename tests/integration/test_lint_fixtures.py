@@ -1,0 +1,150 @@
+"""Golden bad-kernel fixtures and the ``penny lint`` CLI end to end.
+
+Every ``tests/fixtures/lint/*.ptx`` must trigger exactly the diagnostics
+listed in its ``.expect`` golden — in particular, its *intended* rule and
+no other error-severity finding — and the CLI fixtures mode must agree.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import SCHEME_PENNY, PennyCompiler, scheme_config
+from repro.core.errors import LintError
+from repro.core.pipeline import PennyConfig
+from repro.ir.parser import parse_module
+from repro.lint import Severity, lint_kernel
+from repro.lint.render import validate_sarif
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "lint"
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+_fixture_files = sorted(FIXTURES.glob("*.ptx"))
+
+
+def _golden(ptx: Path):
+    lines = ptx.with_suffix(".expect").read_text().splitlines()
+    return sorted(
+        l.strip() for l in lines if l.strip() and not l.startswith("#")
+    )
+
+
+def _actual(ptx: Path):
+    text = ptx.read_text()
+    rows = []
+    for kernel in parse_module(text).kernels:
+        report = lint_kernel(kernel, source=text)
+        rows += [
+            f"{d.severity.value} {d.rule} {d.location}"
+            for d in report.diagnostics
+        ]
+    return sorted(rows)
+
+
+class TestFixtureGoldens:
+    def test_fixture_suite_is_populated(self):
+        assert len(_fixture_files) >= 4
+        for ptx in _fixture_files:
+            assert ptx.with_suffix(".expect").exists(), ptx.name
+
+    @pytest.mark.parametrize(
+        "ptx", _fixture_files, ids=lambda p: p.stem
+    )
+    def test_fixture_matches_its_golden(self, ptx):
+        assert _actual(ptx) == _golden(ptx)
+
+    @pytest.mark.parametrize(
+        "ptx", _fixture_files, ids=lambda p: p.stem
+    )
+    def test_only_the_intended_rule_reaches_error_severity(self, ptx):
+        intended = {
+            line.split()[1]
+            for line in _golden(ptx)
+            if line.startswith("error")
+        }
+        text = ptx.read_text()
+        for kernel in parse_module(text).kernels:
+            report = lint_kernel(kernel, source=text)
+            assert {d.rule for d in report.errors} == intended
+
+
+class TestLintCli:
+    def test_fixtures_mode_is_green(self, capsys):
+        assert main(["lint", "--fixtures", str(FIXTURES)]) == 0
+        out = capsys.readouterr().out
+        assert f"{len(_fixture_files)}/{len(_fixture_files)}" in out
+
+    def test_fixtures_mode_catches_regressions(self, tmp_path, capsys):
+        bad = tmp_path / "drifted.ptx"
+        bad.write_text(
+            (FIXTURES / "uninit_read.ptx").read_text()
+        )
+        bad.with_suffix(".expect").write_text(
+            "warning some-other-rule drifted:ENTRY:0\n"
+        )
+        assert main(["lint", "--fixtures", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "missing:" in out and "unexpected:" in out
+
+    def test_vecadd_sarif_validates(self, capsys):
+        path = EXAMPLES / "vecadd.ptx"
+        rc = main(["lint", str(path), "--format", "sarif"])
+        out = capsys.readouterr().out
+        assert rc == 0  # notes only: below the default error gate
+        assert validate_sarif(out) == []
+        log = json.loads(out)
+        results = log["runs"][0]["results"]
+        assert results, "vecadd should lint to uncut-antidep notes"
+        assert {r["level"] for r in results} == {"note"}
+
+    def test_error_gate_and_fail_on(self, tmp_path, capsys):
+        bad = FIXTURES / "uninit_read.ptx"
+        assert main(["lint", str(bad)]) == 1
+        capsys.readouterr()
+        clean = EXAMPLES / "vecadd.ptx"
+        assert main(["lint", str(clean)]) == 0
+        capsys.readouterr()
+        # notes trip the gate once --fail-on lowers it
+        assert main(["lint", str(clean), "--fail-on", "note"]) == 1
+        capsys.readouterr()
+        out_file = tmp_path / "report.sarif"
+        assert (
+            main(
+                [
+                    "lint",
+                    str(clean),
+                    "--format",
+                    "sarif",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        assert validate_sarif(out_file.read_text()) == []
+
+
+class TestPipelineGate:
+    def test_strict_pipeline_promotes_errors(self):
+        text = (FIXTURES / "uninit_read.ptx").read_text()
+        (kernel,) = parse_module(text).kernels
+        compiler = PennyCompiler(
+            PennyConfig(lint=True), strict=True
+        )
+        with pytest.raises(LintError) as exc_info:
+            compiler.compile(kernel, None)
+        assert exc_info.value.diagnostics
+        assert all(
+            d.severity is Severity.ERROR
+            for d in exc_info.value.diagnostics
+        )
+
+    def test_gate_respects_rule_disable(self):
+        text = (FIXTURES / "uninit_read.ptx").read_text()
+        (kernel,) = parse_module(text).kernels
+        config = scheme_config(SCHEME_PENNY)
+        config.lint = True
+        config.lint_disable = ("uninit-read",)
+        PennyCompiler(config, strict=True).compile(kernel, None)

@@ -1,0 +1,135 @@
+"""Edge cases for checkpoint-overwrite hazard detection.
+
+Two shapes the main checkpoint-pass tests do not cover: *back-to-back*
+memory anti-dependences inside a single basic block (both cuts land
+mid-block, splitting it twice), and a loop whose induction update sits on
+the *header* block itself, so the loop-carried hazard is witnessed by a
+boundary checkpoint instance in the latch.
+"""
+
+from repro.analysis import CFG, ReachingDefs
+from repro.analysis.alias import AliasAnalysis
+from repro.analysis.antidep import find_memory_antideps
+from repro.core.bimodal import bimodal_plan
+from repro.core.checkpoints import eager_plan
+from repro.core.costmodel import CostModel
+from repro.core.hazards import detect_hazards, materialize_instances
+from repro.core.liveins import analyze_liveins
+from repro.core.regions import form_regions
+from repro.ir import KernelBuilder
+from repro.ir.types import Reg
+
+
+def back_to_back_kernel():
+    """Two read-modify-write pairs on the same address in one block."""
+    b = KernelBuilder("k", params=[("A", "ptr")])
+    a = b.ld_param("A")
+    v1 = b.ld("global", a, dtype="u32")
+    w1 = b.mul(v1, 2)
+    b.st("global", a, w1)
+    v2 = b.ld("global", a, dtype="u32")
+    w2 = b.mul(v2, 3)
+    b.st("global", a, w2)
+    b.ret()
+    return b.finish()
+
+
+def header_update_kernel():
+    """In-place loop update with the induction increment on the header."""
+    b = KernelBuilder("k", params=[("A", "ptr"), ("n", "u32")])
+    a = b.ld_param("A")
+    n = b.ld_param("n")
+    i = b.mov(0, dst=b.reg("u32", "%i"))
+    b.bra("HEAD")
+    b.label("HEAD")
+    b.add(i, 1, dst=i)
+    p = b.setp("ge", i, n)
+    b.bra("EXIT", pred=p)
+    b.label("BODY")
+    off = b.shl(i, 2)
+    addr = b.add(a, off)
+    v = b.ld("global", addr, dtype="u32")
+    v2 = b.mul(v, 2)
+    b.st("global", addr, v2)
+    b.bra("HEAD")
+    b.label("EXIT")
+    b.ret()
+    return b.finish()
+
+
+def _prepare(kernel):
+    regions = form_regions(kernel)
+    cfg = CFG(kernel)
+    rdefs = ReachingDefs(cfg)
+    liveins = analyze_liveins(kernel, regions, cfg=cfg, rdefs=rdefs)
+    return regions, cfg, rdefs, liveins
+
+
+class TestBackToBackAntideps:
+    def test_both_pairs_found_in_one_block(self):
+        k = back_to_back_kernel()
+        cfg = CFG(k)
+        deps = find_memory_antideps(cfg, AliasAnalysis(cfg))
+        same_block = [
+            d for d in deps if d.load_at[0] == d.store_at[0] == "ENTRY"
+        ]
+        # ld1->st1, ld1->st2 and ld2->st2 all live in ENTRY
+        assert len(same_block) == 3
+        assert {(d.load_at[1], d.store_at[1]) for d in same_block} >= {
+            (1, 3),
+            (4, 6),
+        }
+
+    def test_two_cuts_split_the_block_twice(self):
+        k = back_to_back_kernel()
+        regions, _, _, _ = _prepare(k)
+        assert regions.num_cuts == 2
+        assert len(regions.boundaries) == 3  # entry + one per cut
+
+    def test_straight_line_rmw_chain_has_no_hazard(self):
+        # Every checkpointed value is defined in the region *before* the
+        # one where it is live-in, so no checkpoint can clobber a value
+        # recovery still needs — for either planning mode.
+        k = back_to_back_kernel()
+        regions, cfg, _, liveins = _prepare(k)
+        for plan in (
+            eager_plan(liveins),
+            bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg)),
+        ):
+            instances = materialize_instances(plan, cfg)
+            assert detect_hazards(cfg, regions, liveins, instances) == set()
+
+
+class TestHeaderLoopHazard:
+    def test_loop_carried_induction_on_header_is_hazardous(self):
+        k = header_update_kernel()
+        regions, cfg, _, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        assert Reg("%i") in hazardous
+
+    def test_hazard_witness_is_a_boundary_instance_in_the_latch(self):
+        k = header_update_kernel()
+        regions, cfg, _, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        detect_hazards(cfg, regions, liveins, instances)
+        witnesses = [
+            x for x in instances if x.hazardous and x.reg == Reg("%i")
+        ]
+        assert witnesses
+        # the increment lives on HEAD, so the clobbering store is the
+        # block-bottom boundary checkpoint in the loop body (the latch)
+        assert all(x.at_block_end for x in witnesses)
+        assert {x.block for x in witnesses} == {"BODY"}
+
+    def test_loop_invariant_bases_stay_safe(self):
+        k = header_update_kernel()
+        regions, cfg, _, liveins = _prepare(k)
+        plan = bimodal_plan(cfg, liveins, CostModel.for_cfg(cfg))
+        instances = materialize_instances(plan, cfg)
+        hazardous = detect_hazards(cfg, regions, liveins, instances)
+        # the array base and the bound are never redefined
+        assert Reg("%v0") not in hazardous
+        assert Reg("%v1") not in hazardous

@@ -1,0 +1,220 @@
+"""Post-compile lint rules and the ``verify_compiled`` shim.
+
+Covers the satellite bugfix too: every V1–V5 violation message is
+normalized to the ``kernel:block:index: message`` form (the legacy
+"no recovery metadata" string is the single deliberate exception).
+"""
+
+import re
+
+import pytest
+
+from repro.bench import get_benchmark
+from repro.core import PennyCompiler, SCHEME_PENNY, scheme_config
+from repro.core.codegen import SHARED_CKPT_SYMBOL
+from repro.core.pipeline import PennyConfig
+from repro.core.recovery_meta import RestoreAction
+from repro.core.verify import (
+    VERIFY_RULES,
+    VerificationError,
+    check,
+    verify_compiled,
+)
+from repro.ir.instructions import Alu, St
+from repro.ir.types import DType, MemSpace, Reg, SymRef
+from repro.lint import lint_compiled
+
+#: every normalized violation starts with kernel:block:index:
+LOCATED = re.compile(r"^[^\s:]+:[^\s:]+:\d+: \S")
+
+
+def _compiled(abbr="STC", **cfg):
+    bench = get_benchmark(abbr)
+    wl = bench.workload()
+    config = scheme_config(SCHEME_PENNY) if not cfg else PennyConfig(**cfg)
+    return PennyCompiler(config).compile(
+        bench.fresh_kernel(), wl.launch_config
+    )
+
+
+class TestVerifyShim:
+    def test_clean_compile_is_clean(self):
+        assert verify_compiled(_compiled().kernel) == []
+
+    def test_uncompiled_kernel_keeps_the_legacy_message(self):
+        kernel = get_benchmark("STC").fresh_kernel()
+        assert verify_compiled(kernel) == [
+            "kernel carries no recovery metadata (not compiled?)"
+        ]
+
+    def test_check_raises_with_counted_message(self):
+        result = _compiled()
+        boundary = next(iter(result.regions.boundaries))
+        del result.recovery.regions[boundary]
+        with pytest.raises(VerificationError, match=r"\d+ violation\(s\)"):
+            check(result.kernel)
+
+    def test_shim_runs_only_the_v_rules(self):
+        # A doctored rogue write trips ckpt-space-write under the full
+        # post rule set but must NOT leak into verify_compiled: the
+        # fallback lattice's acceptance gate is pinned to V1-V5.
+        result = _compiled()
+        kernel = result.kernel
+        kernel.blocks[0].instructions.insert(
+            0,
+            St(
+                MemSpace.SHARED,
+                DType.U32,
+                SymRef(SHARED_CKPT_SYMBOL),
+                Reg("%nosuchreg", DType.U32),
+                999996,
+            ),
+        )
+        assert verify_compiled(kernel) == []
+        report = lint_compiled(kernel, only=["ckpt-space-write"])
+        assert len(report.diagnostics) == 1
+
+    def test_all_violations_are_located(self):
+        """Satellite: every V1-V5 message is kernel:block:index-formed."""
+        result = _compiled()
+        # break three obligations at once
+        boundary = next(iter(result.regions.boundaries))
+        del result.recovery.regions[boundary]
+        for entry in result.recovery.regions.values():
+            slot_actions = [a for a in entry.restores if a.is_slot]
+            if slot_actions:
+                slot_actions[0].slot_color = 7
+                break
+        problems = verify_compiled(result.kernel)
+        assert problems
+        for p in problems:
+            assert LOCATED.match(p), p
+
+    def test_problems_grouped_in_historical_rule_order(self):
+        result = _compiled()
+        boundary = sorted(result.regions.boundaries)[0]
+        del result.recovery.regions[boundary]
+        report = lint_compiled(result.kernel, only=VERIFY_RULES)
+        order = [VERIFY_RULES.index(d.rule) for d in report.diagnostics]
+        assert order == sorted(order)
+        problems = verify_compiled(result.kernel)
+        assert any("no recovery entry" in p for p in problems)
+
+
+class TestNewPostRules:
+    def test_clean_on_penny_compile(self):
+        report = lint_compiled(_compiled().kernel)
+        assert report.diagnostics == []
+
+    def test_loop_overwrite_caught_when_prevention_disabled(self):
+        """The §3.1 hazard the 2-coloring/renaming schemes exist to
+        prevent: with ``overwrite='none'`` the rule must expose it."""
+        result = _compiled("BO", overwrite="none", pruning="none")
+        report = lint_compiled(
+            result.kernel, only=["ckpt-loop-overwrite"]
+        )
+        assert report.diagnostics
+        for d in report.diagnostics:
+            assert "recovery would restore the overwritten value" in (
+                d.message
+            )
+
+    def test_loop_overwrite_clean_under_both_schemes(self):
+        for overwrite in ("rr", "sa"):
+            result = _compiled("BO", overwrite=overwrite)
+            report = lint_compiled(
+                result.kernel, only=["ckpt-loop-overwrite"]
+            )
+            assert report.diagnostics == [], overwrite
+
+    def test_rogue_ckpt_space_write_flagged(self):
+        result = _compiled()
+        kernel = result.kernel
+        kernel.blocks[0].instructions.insert(
+            0,
+            St(
+                MemSpace.SHARED,
+                DType.U32,
+                SymRef(SHARED_CKPT_SYMBOL),
+                Reg("%nosuchreg", DType.U32),
+                999996,
+            ),
+        )
+        report = lint_compiled(kernel, only=["ckpt-space-write"])
+        (d,) = report.diagnostics
+        assert "rogue write" in d.message
+        assert d.location.block == kernel.blocks[0].label
+
+    def test_slot_alias_store_flagged(self):
+        result = _compiled()
+        kernel = result.kernel
+        evil = Reg("%evil", DType.U32)
+        kernel.blocks[0].instructions[0:0] = [
+            Alu("mov", DType.U32, evil, [SymRef(SHARED_CKPT_SYMBOL)]),
+            St(MemSpace.SHARED, DType.U32, evil, Reg("%evil", DType.U32)),
+        ]
+        report = lint_compiled(kernel, only=["ckpt-slot-alias"])
+        assert len(report.diagnostics) == 1
+        assert "derived from a checkpoint base symbol" in (
+            report.diagnostics[0].message
+        )
+
+    def test_dead_restore_flagged_as_warning(self):
+        result = _compiled()
+        entry = next(
+            e
+            for e in result.recovery.regions.values()
+            if not e.mini_region
+        )
+        entry.restores.append(
+            RestoreAction(reg_name="%never_live", dtype="u32", slot_color=0)
+        )
+        report = lint_compiled(
+            result.kernel, only=["restore-live-mismatch"]
+        )
+        (d,) = report.diagnostics
+        assert d.severity.value == "warning"
+        assert "%never_live" in d.message
+
+    def test_checkpoint_store_classifiers(self):
+        from repro.lint.rules_post import (
+            is_checkpoint_addressing,
+            is_checkpoint_store,
+        )
+
+        sym_store = St(
+            MemSpace.SHARED,
+            DType.U32,
+            SymRef(SHARED_CKPT_SYMBOL),
+            Reg("%r", DType.U32),
+        )
+        ckb_store = St(
+            MemSpace.SHARED,
+            DType.U32,
+            Reg("%ckb_s0", DType.U32),
+            Reg("%r", DType.U32),
+        )
+        plain_store = St(
+            MemSpace.GLOBAL,
+            DType.U32,
+            Reg("%a", DType.U32),
+            Reg("%r", DType.U32),
+        )
+        assert is_checkpoint_store(sym_store)
+        assert is_checkpoint_store(ckb_store)
+        assert not is_checkpoint_store(plain_store)
+
+        addr = Alu(
+            "mov",
+            DType.U32,
+            Reg("%ca0", DType.U32),
+            [SymRef(SHARED_CKPT_SYMBOL)],
+        )
+        assert is_checkpoint_addressing(addr)
+        leak = Alu(
+            "add",
+            DType.U32,
+            Reg("%ca1", DType.U32),
+            [Reg("%ca0", DType.U32), Reg("%v5", DType.U32)],
+        )
+        assert not is_checkpoint_addressing(leak)

@@ -1,0 +1,162 @@
+"""Renderers: caret text, metrics-sink JSONL, and SARIF 2.1.0."""
+
+import json
+
+from repro.ir.parser import parse_module
+from repro.lint import lint_kernel
+from repro.lint.render import (
+    SARIF_VERSION,
+    render_jsonl,
+    render_sarif,
+    render_text,
+    sarif_report,
+    validate_sarif,
+)
+from repro.obs.export import validate_metrics_jsonl
+
+BAD = """\
+.entry k (.param .ptr A) {
+ENTRY:
+  ld.param.u32 %a, [A];
+  add.u32 %r1, %r0, %a;
+  st.global.u32 [%a], %r1;
+  ret;
+}
+"""
+
+
+def _report(text=BAD, **kwargs):
+    (kernel,) = parse_module(text).kernels
+    return lint_kernel(kernel, source=text, **kwargs)
+
+
+class TestText:
+    def test_caret_points_at_the_offending_line(self):
+        out = render_text(_report(), source=BAD, path="bad.ptx")
+        lines = out.splitlines()
+        head = next(l for l in lines if "uninit-read" in l)
+        assert head.startswith("bad.ptx:4:")
+        assert "error" in head
+        i = lines.index(head)
+        assert lines[i + 1].strip() == "add.u32 %r1, %r0, %a;"
+        assert set(lines[i + 2].strip()) == {"^"}
+
+    def test_summary_line_counts_by_severity(self):
+        out = render_text(_report())
+        assert out.splitlines()[-1].startswith("1 error(s)")
+
+    def test_clean_report_says_so(self):
+        text = BAD.replace("%r0", "%a")
+        out = render_text(_report(text))
+        assert out.splitlines()[-1] == "clean: no findings"
+
+    def test_without_locs_falls_back_to_logical_location(self):
+        (kernel,) = parse_module(BAD).kernels
+        for blk in kernel.blocks:
+            for inst in blk.instructions:
+                inst.loc = None
+        out = render_text(lint_kernel(kernel))
+        assert "k:ENTRY:1:" in out
+        assert "^" not in out
+
+
+class TestJsonl:
+    def test_lines_pass_the_metrics_validator(self):
+        lines = render_jsonl(_report()).splitlines()
+        assert validate_metrics_jsonl(lines) == []
+
+    def test_one_record_per_diagnostic_plus_summary(self):
+        report = _report()
+        rows = [json.loads(l) for l in render_jsonl(report).splitlines()]
+        assert [r["kind"] for r in rows[:-1]] == ["diagnostic"] * len(
+            report.diagnostics
+        )
+        tail = rows[-1]
+        assert tail["kind"] == "lint_report"
+        assert tail["counts"]["error"] == 1
+        assert "uninit-read" in tail["rules_run"]
+
+    def test_diagnostic_rows_carry_source_spans(self):
+        row = json.loads(render_jsonl(_report()).splitlines()[0])
+        assert row["kernel"] == "k" and row["block"] == "ENTRY"
+        assert row["line"] == 4
+
+
+class TestSarif:
+    def test_emitted_sarif_validates(self):
+        out = render_sarif(_report(), path="bad.ptx")
+        assert validate_sarif(out) == []
+
+    def test_run_shape(self):
+        log = sarif_report(_report(), path="bad.ptx")
+        assert log["version"] == SARIF_VERSION
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "penny-lint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "uninit-read" in rule_ids
+        (result,) = [
+            r for r in run["results"] if r["ruleId"] == "uninit-read"
+        ]
+        assert result["level"] == "error"
+        assert result["ruleIndex"] == rule_ids.index("uninit-read")
+        (loc,) = result["locations"]
+        assert loc["logicalLocations"][0]["fullyQualifiedName"] == (
+            "k:ENTRY:1"
+        )
+        phys = loc["physicalLocation"]
+        assert phys["artifactLocation"]["uri"] == "bad.ptx"
+        assert phys["region"]["startLine"] == 4
+
+    def test_severity_override_is_reflected_in_level(self):
+        text = (
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  ld.global.u32 %x, [%a];\n"
+            "  st.global.u32 [%a], %x;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        # the only finding here is the uncut-antidep note...
+        base = sarif_report(_report(text))
+        levels = {r["level"] for r in base["runs"][0]["results"]}
+        assert levels == {"note"}
+        # ...which an override must surface as a SARIF error
+        promoted = sarif_report(
+            _report(text, severity={"uncut-antidep": "error"})
+        )
+        levels = {r["level"] for r in promoted["runs"][0]["results"]}
+        assert levels == {"error"}
+
+    def test_validator_rejects_broken_logs(self):
+        good = sarif_report(_report())
+        assert validate_sarif(good) == []
+
+        wrong_version = dict(good, version="2.0.0")
+        assert any(
+            "version" in p for p in validate_sarif(wrong_version)
+        )
+
+        assert validate_sarif("not json {")[0].startswith("not JSON")
+
+        no_runs = {"version": SARIF_VERSION, "runs": "oops"}
+        assert "'runs' must be an array" in validate_sarif(no_runs)
+
+        orphan_rule = json.loads(json.dumps(good))
+        orphan_rule["runs"][0]["results"][0]["ruleId"] = "ghost-rule"
+        assert any(
+            "not among driver rules" in p
+            for p in validate_sarif(orphan_rule)
+        )
+
+        bad_level = json.loads(json.dumps(good))
+        bad_level["runs"][0]["results"][0]["level"] = "fatal"
+        assert any("level invalid" in p for p in validate_sarif(bad_level))
+
+        bad_line = json.loads(json.dumps(good))
+        region = bad_line["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        region["startLine"] = 0
+        assert any("startLine" in p for p in validate_sarif(bad_line))

@@ -1,0 +1,295 @@
+"""Rule registry semantics and the pre-compile rule set."""
+
+import pytest
+
+from repro import obs
+from repro.ir.parser import parse_kernel
+from repro.lint import (
+    AnalyzerError,
+    LintContext,
+    Severity,
+    UnknownRuleError,
+    lint_kernel,
+    lint_source,
+    run_rules,
+)
+from repro.lint.registry import (
+    DEFAULT_REGISTRY,
+    PRE,
+    Rule,
+    RuleRegistry,
+)
+
+
+def _lint(text: str, **kwargs):
+    return lint_kernel(parse_kernel(text), **kwargs)
+
+
+def _rules_fired(report):
+    return {d.rule for d in report.diagnostics}
+
+
+class TestRegistry:
+    def test_default_registry_has_both_phases(self):
+        pre = {r.id for r in DEFAULT_REGISTRY.rules(PRE)}
+        assert {
+            "uninit-read",
+            "unreachable-block",
+            "divergent-barrier",
+            "shared-race",
+            "uncut-antidep",
+        } <= pre
+        post = {r.id for r in DEFAULT_REGISTRY.rules("post")}
+        assert {
+            "penny-restore",
+            "penny-coverage",
+            "penny-barrier",
+            "penny-slice",
+            "penny-adjustment",
+            "ckpt-loop-overwrite",
+            "ckpt-slot-alias",
+            "ckpt-space-write",
+            "restore-live-mismatch",
+        } <= post
+
+    def test_select_only(self):
+        rules = DEFAULT_REGISTRY.select(phase=PRE, only=["uninit-read"])
+        assert [r.id for r in rules] == ["uninit-read"]
+
+    def test_select_disable(self):
+        rules = DEFAULT_REGISTRY.select(
+            phase=PRE, disable=("uncut-antidep",)
+        )
+        ids = [r.id for r in rules]
+        assert "uncut-antidep" not in ids and "uninit-read" in ids
+
+    def test_select_severity_override(self):
+        rules = DEFAULT_REGISTRY.select(
+            phase=PRE, severity={"uncut-antidep": "error"}
+        )
+        by_id = {r.id: r for r in rules}
+        assert by_id["uncut-antidep"].severity is Severity.ERROR
+        # the registry itself is untouched
+        assert (
+            DEFAULT_REGISTRY.get("uncut-antidep").severity is Severity.NOTE
+        )
+
+    def test_unknown_rule_everywhere_raises(self):
+        with pytest.raises(UnknownRuleError):
+            DEFAULT_REGISTRY.select(phase=PRE, only=["no-such-rule"])
+        with pytest.raises(UnknownRuleError):
+            DEFAULT_REGISTRY.select(phase=PRE, disable=("no-such-rule",))
+        with pytest.raises(UnknownRuleError):
+            DEFAULT_REGISTRY.select(
+                phase=PRE, severity={"no-such-rule": "error"}
+            )
+
+    def test_duplicate_registration_rejected(self):
+        reg = RuleRegistry()
+        r = Rule(
+            id="x",
+            phase=PRE,
+            severity=Severity.NOTE,
+            description="",
+            check=lambda ctx: iter(()),
+        )
+        reg.add(r)
+        with pytest.raises(ValueError):
+            reg.add(r)
+
+
+class TestEngine:
+    def test_engine_stamps_rule_and_severity(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  add.u32 %r1, %r0, %a;\n"
+            "  st.global.u32 [%a], %r1;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        (d,) = report.errors
+        assert d.rule == "uninit-read"
+        assert d.severity is Severity.ERROR
+        assert str(d.location) == "k:ENTRY:1"
+        assert d.fixit
+
+    def test_severity_override_flows_through(self):
+        text = (
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  ld.global.u32 %x, [%a];\n"
+            "  st.global.u32 [%a], %x;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        base = _lint(text)
+        assert _rules_fired(base) == {"uncut-antidep"}
+        assert base.errors == []
+        promoted = _lint(text, severity={"uncut-antidep": "error"})
+        assert len(promoted.errors) == 1
+
+    def test_crashing_rule_raises_analyzer_error(self):
+        reg = RuleRegistry()
+
+        def boom(ctx):
+            raise ZeroDivisionError("rule bug")
+            yield  # pragma: no cover
+
+        reg.add(
+            Rule(
+                id="crashy",
+                phase=PRE,
+                severity=Severity.NOTE,
+                description="",
+                check=boom,
+            )
+        )
+        kernel = parse_kernel(
+            ".entry k (.param .ptr A) {\nENTRY:\n  ret;\n}\n"
+        )
+        with pytest.raises(AnalyzerError) as exc_info:
+            run_rules(LintContext(kernel), reg.rules(PRE))
+        assert exc_info.value.rule_id == "crashy"
+
+    def test_rules_run_under_obs_spans_and_counters(self):
+        kernel = parse_kernel(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  add.u32 %r1, %r0, %a;\n"
+            "  st.global.u32 [%a], %r1;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        with obs.Tracer() as tracer:
+            lint_kernel(kernel)
+        assert tracer.find("lint.rule")
+        counts = tracer.counters.to_dict()["counters"]
+        assert counts.get("lint.rules_run", 0) >= 5
+        assert counts.get("lint.findings.uninit-read") == 1
+        assert counts.get("lint.severity.error") == 1
+
+
+class TestPreRules:
+    def test_uniform_barrier_is_clean(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  setp.lt.u32 %p, %a, 16;\n"
+            "  @%p bra WORK;\n"
+            "SKIP:\n"
+            "  bra EXIT;\n"
+            "WORK:\n"
+            "  bar.sync;\n"
+            "  bra EXIT;\n"
+            "EXIT:\n"
+            "  ret;\n"
+            "}\n"
+        )
+        # the predicate comes from a param: uniform across the block
+        assert "divergent-barrier" not in _rules_fired(report)
+
+    def test_tid_guarded_barrier_is_flagged(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  setp.lt.u32 %p, %t, 16;\n"
+            "  @%p bar.sync;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "divergent-barrier" in _rules_fired(report)
+
+    def test_shared_store_with_varying_address_is_clean(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "  .shared .b32 buf[64];\n"
+            "ENTRY:\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  shl.u32 %off, %t, 2;\n"
+            "  mov.u32 %b, buf;\n"
+            "  add.u32 %pb, %b, %off;\n"
+            "  st.shared.u32 [%pb], %t;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "shared-race" not in _rules_fired(report)
+
+    def test_shared_store_guarded_by_tid_is_clean(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "  .shared .b32 buf[4];\n"
+            "ENTRY:\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  setp.eq.u32 %p, %t, 0;\n"
+            "  @%p st.shared.u32 [buf], %t;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "shared-race" not in _rules_fired(report)
+
+    def test_uniform_value_broadcast_is_clean(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "  .shared .b32 buf[4];\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  st.shared.u32 [buf], %a;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "shared-race" not in _rules_fired(report)
+
+    def test_varying_value_to_uniform_address_is_a_race(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "  .shared .b32 buf[4];\n"
+            "ENTRY:\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  st.shared.u32 [buf], %t;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "shared-race" in _rules_fired(report)
+
+    def test_atomic_to_uniform_address_is_clean(self):
+        report = _lint(
+            ".entry k (.param .ptr A) {\n"
+            "  .shared .b32 buf[4];\n"
+            "ENTRY:\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  atom.shared.add.u32 %old, [buf], %t;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "shared-race" not in _rules_fired(report)
+
+
+class TestLintSource:
+    def test_lints_every_kernel_and_attaches_locs(self):
+        report = lint_source(
+            ".entry k1 (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  add.u32 %r1, %r0, %a;\n"
+            "  st.global.u32 [%a], %r1;\n"
+            "  ret;\n"
+            "}\n"
+            ".entry k2 (.param .ptr B) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %b, [B];\n"
+            "  add.u32 %r2, %q0, %b;\n"
+            "  st.global.u32 [%b], %r2;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        kernels = {d.location.kernel for d in report.errors}
+        assert kernels == {"k1", "k2"}
+        for d in report.errors:
+            assert d.location.loc is not None
+            assert d.location.loc.line in (4, 11)

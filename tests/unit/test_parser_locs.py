@@ -1,0 +1,95 @@
+"""Source locations: the parser attaches a SrcLoc to every instruction,
+and the printer can surface them (off by default)."""
+
+import re
+
+from repro.ir import KernelBuilder
+from repro.ir.parser import parse_kernel, parse_module
+from repro.ir.printer import print_kernel, print_module
+from repro.ir.types import SrcLoc
+
+TEXT = """\
+// leading comment
+.entry k (.param .ptr A, .param .u32 n) {
+ENTRY:
+  ld.param.u32 %a, [A];
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %p, %n, 1;
+  @%p bra BODY;
+  bra EXIT;
+BODY:
+  ld.global.u32 %v, [%a];
+  add.u32 %w, %v, %n;
+  st.global.u32 [%a], %w;  // trailing comment
+  bra EXIT;
+EXIT:
+  ret;
+}
+"""
+
+
+class TestParserLocs:
+    def test_every_instruction_carries_a_loc(self):
+        kernel = parse_kernel(TEXT)
+        for blk in kernel.blocks:
+            for inst in blk.instructions:
+                assert isinstance(inst.loc, SrcLoc), inst
+                assert inst.loc.line >= 1 and inst.loc.col >= 1
+                assert inst.loc.end_col >= inst.loc.col
+
+    def test_lines_point_at_the_source_text(self):
+        kernel = parse_kernel(TEXT)
+        lines = TEXT.splitlines()
+        for blk in kernel.blocks:
+            for inst in blk.instructions:
+                src = lines[inst.loc.line - 1]
+                # the span starts exactly where the instruction text does
+                assert src[: inst.loc.col - 1].strip() == ""
+                assert src[inst.loc.col - 1] not in (" ", "\t")
+
+    def test_trailing_comment_is_outside_the_span(self):
+        kernel = parse_kernel(TEXT)
+        store = next(
+            i
+            for b in kernel.blocks
+            for i in b.instructions
+            if i.loc.line == 12
+        )
+        src = TEXT.splitlines()[11]
+        spanned = src[store.loc.col - 1 : store.loc.end_col]
+        assert spanned.endswith(";")
+        assert "//" not in spanned
+
+    def test_builder_instructions_carry_no_loc(self):
+        b = KernelBuilder("k", params=[("A", "ptr")])
+        a = b.ld_param("A")
+        b.st("global", a, a)
+        b.ret()
+        kernel = b.finish()
+        for blk in kernel.blocks:
+            for inst in blk.instructions:
+                assert inst.loc is None
+
+
+class TestPrinterLocs:
+    def test_locs_off_by_default(self):
+        out = print_kernel(parse_kernel(TEXT))
+        assert "// loc=" not in out
+
+    def test_locs_flag_annotates_every_parsed_instruction(self):
+        kernel = parse_kernel(TEXT)
+        out = print_kernel(kernel, locs=True)
+        n_inst = sum(len(b.instructions) for b in kernel.blocks)
+        annotations = re.findall(r"// loc=(\d+):(\d+)", out)
+        assert len(annotations) == n_inst
+        assert ("4", "3") in annotations  # first ld.param
+
+    def test_annotated_output_reparses_identically(self):
+        kernel = parse_kernel(TEXT)
+        round_tripped = parse_kernel(print_kernel(kernel, locs=True))
+        assert print_kernel(round_tripped) == print_kernel(kernel)
+
+    def test_print_module_threads_the_flag(self):
+        module = parse_module(TEXT)
+        assert "// loc=" in print_module(module, locs=True)
+        assert "// loc=" not in print_module(module)
