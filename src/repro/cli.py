@@ -33,6 +33,15 @@ rendering text with source carets, JSONL metrics records, or SARIF
 kernel and runs the post-compile checkpoint rules.  Exit status is 1
 when any diagnostic reaches ``--fail-on`` (default ``error``).
 
+``serve`` runs the :mod:`repro.serve` async compile server (JSONL over
+TCP: bounded request queue, typed ``ServerBusy`` backpressure, compile
+cache, graceful SIGTERM drain); ``client`` is its blocking counterpart
+with retry + exponential backoff + jitter (``penny client compile
+kernel.ptx``, plus ``ping``/``stats``/``shutdown``); ``cache`` manages
+the on-disk compile cache (``penny cache {stats,clear,gc}``).
+``compile``/``report``/``verify`` accept ``--jobs N`` (parallel batch
+compilation of multi-kernel modules) and ``--cache-dir DIR``.
+
 ``trace`` compiles and executes a kernel under a :mod:`repro.obs` tracer
 — including a seeded register-file fault so the trace shows detection
 and recovery re-execution — and writes a Chrome trace-event JSON
@@ -134,15 +143,43 @@ def _build_config(args: argparse.Namespace) -> PennyConfig:
 
 
 def _compile_all(args: argparse.Namespace):
-    module = parse_module(_read_source(args.input))
+    from contextlib import nullcontext
+
+    source = _read_source(args.input)
     config = _build_config(args)
     launch = LaunchConfig(
         threads_per_block=args.block, num_blocks=args.grid
     )
-    compiler = PennyCompiler(
-        config, strict=not getattr(args, "no_strict", False)
-    )
-    return [compiler.compile(kernel, launch) for kernel in module.kernels]
+    strict = not getattr(args, "no_strict", False)
+    cache_dir = getattr(args, "cache_dir", None)
+    jobs = getattr(args, "jobs", 1) or 1
+    cache_ctx = nullcontext()
+    if cache_dir:
+        from repro.serve import CompileCache
+
+        cache_ctx = CompileCache(directory=cache_dir)
+    with cache_ctx:
+        if jobs > 1:
+            from repro.core.errors import CompileError
+            from repro.serve import compile_batch, jobs_from_source
+
+            batch_jobs = jobs_from_source(
+                source, config, launch, strict=strict
+            )
+            report = compile_batch(batch_jobs, workers=jobs)
+            for failed in report.failures:
+                err = failed.error or {}
+                raise CompileError(
+                    f"job {failed.name!r} failed: "
+                    f"{err.get('type')}: {err.get('message')}",
+                    pass_name="batch",
+                )
+            return report.compile_results()
+        module = parse_module(source)
+        compiler = PennyCompiler(config, strict=strict)
+        return [
+            compiler.compile(kernel, launch) for kernel in module.kernels
+        ]
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -617,6 +654,130 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if recovered_all else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async compile server until SIGTERM/SIGINT drains it."""
+    from repro.serve import CompileServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        cache_dir=args.cache_dir,
+        use_threads=args.threads,
+    )
+    server = CompileServer(config)
+
+    import threading
+
+    def announce():
+        server._ready.wait()
+        print(
+            f"penny serve: listening on {config.host}:{server.port} "
+            f"(workers={config.workers}, queue={config.queue_limit}, "
+            f"cache={config.cache_dir or 'memory-only'})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    threading.Thread(target=announce, daemon=True).start()
+    with _Observation(args):
+        status = server.run()
+    print(
+        f"penny serve: drained ({server.stats.compiles} compile(s), "
+        f"{server.stats.busy_rejections} busy rejection(s), "
+        f"cache hit rate {server.cache.stats.hit_rate:.1%})",
+        file=sys.stderr,
+    )
+    return status
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running ``penny serve``: compile/ping/stats/shutdown."""
+    from repro.serve import CompileClient, RetryPolicy, ServeError
+
+    client = CompileClient(
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        retry=RetryPolicy(
+            attempts=args.retries, base_delay=args.backoff
+        ),
+    )
+    try:
+        if args.action == "ping":
+            print("pong" if client.ping() else "no pong")
+            return 0
+        if args.action == "stats":
+            json.dump(client.stats(), sys.stdout, indent=2)
+            print()
+            return 0
+        if args.action == "shutdown":
+            client.shutdown()
+            print("shutdown requested", file=sys.stderr)
+            return 0
+        # compile
+        if not args.input:
+            print("client compile: an input file is required",
+                  file=sys.stderr)
+            return 2
+        config = _build_config(args)
+        status = 0
+        for kernel in parse_module(_read_source(args.input)).kernels:
+            response = client.compile(
+                print_kernel(kernel),
+                config=config,
+                launch={
+                    "threads_per_block": args.block,
+                    "num_blocks": args.grid,
+                },
+                strict=not getattr(args, "no_strict", False),
+                name=kernel.name,
+            )
+            if args.json:
+                json.dump(response, sys.stdout, indent=2)
+                print()
+                continue
+            print(response["kernel"])
+            print()
+            print(f"// scheme: {config.name}")
+            print(f"// cached: {response.get('cached')}")
+            for key in sorted(response.get("summary", {})):
+                print(f"// {key}: {response['summary'][key]}")
+            print()
+        return status
+    except ServeError as exc:
+        print(f"client: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect / clear / garbage-collect the on-disk compile cache."""
+    from repro.serve import CompileCache, default_cache_dir
+
+    directory = args.cache_dir or default_cache_dir()
+    cache = CompileCache(directory=directory)
+    if args.action == "stats":
+        json.dump(cache.report(), sys.stdout, indent=2)
+        print()
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entrie(s) from {directory}")
+        return 0
+    # gc
+    removed = cache.gc(
+        max_bytes=args.max_bytes, max_age_seconds=args.max_age
+    )
+    entries, total = cache.disk_usage()
+    print(
+        f"gc removed {removed} entrie(s); {entries} entrie(s), "
+        f"{total} byte(s) remain in {directory}"
+    )
+    return 0
+
+
 def cmd_schemes(_args: argparse.Namespace) -> int:
     for name in _SCHEMES:
         cfg = scheme_config(name)
@@ -695,6 +856,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="compile through the fallback lattice instead of "
                  "raising on pass failure",
         )
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="compile a multi-kernel module on N worker processes "
+                 "(repro.serve batch driver)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="consult/fill an on-disk compile cache at DIR",
+        )
     p_verify.add_argument(
         "--corpus", default=None, metavar="JSONL",
         help="re-check a fuzz finding corpus instead of compiling a file",
@@ -710,6 +880,114 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_schemes = sub.add_parser("schemes", help="list scheme presets")
     p_schemes.set_defaults(func=cmd_schemes)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async compile server (JSONL over TCP, bounded "
+             "queue, compile cache, graceful SIGTERM drain)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=9779,
+        help="TCP port (0 = ephemeral; announced on stderr)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="compile worker processes (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="max in-flight compile requests before ServerBusy "
+             "rejections (default 8)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=120.0,
+        help="per-request compile deadline in seconds (default 120)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk compile cache directory (default memory-only)",
+    )
+    p_serve.add_argument(
+        "--threads", action="store_true",
+        help="thread pool instead of process pool (debugging)",
+    )
+    _add_observe_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client",
+        help="talk to a running penny serve (retry + backoff + jitter)",
+    )
+    p_client.add_argument(
+        "action", choices=("compile", "ping", "stats", "shutdown"),
+    )
+    p_client.add_argument(
+        "input", nargs="?", default=None,
+        help="PTX-subset file for 'compile', or '-' for stdin",
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=9779)
+    p_client.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="socket timeout per attempt (seconds)",
+    )
+    p_client.add_argument(
+        "--retries", type=int, default=5,
+        help="attempts before ServerUnavailable (default 5)",
+    )
+    p_client.add_argument(
+        "--backoff", type=float, default=0.05,
+        help="base backoff delay in seconds (doubles per retry, "
+             "jittered)",
+    )
+    p_client.add_argument(
+        "--scheme", default=SCHEME_PENNY, choices=_SCHEMES,
+        help="comparison-scheme preset to start from",
+    )
+    p_client.add_argument(
+        "--pruning", choices=("none", "basic", "optimal"), default=None
+    )
+    p_client.add_argument(
+        "--storage", choices=("shared", "global", "auto"), default=None
+    )
+    p_client.add_argument(
+        "--overwrite", type=Scheme.parse, choices=tuple(Scheme),
+        default=None, metavar="{rr,sa,auto,none}",
+        help="overwrite-prevention scheme (aliases accepted)",
+    )
+    p_client.add_argument("--no-low-opts", action="store_true")
+    p_client.add_argument("--param-noalias", action="store_true")
+    p_client.add_argument("--no-strict", action="store_true")
+    p_client.add_argument("--block", type=int, default=256,
+                          help="threads per block (storage layout)")
+    p_client.add_argument("--grid", type=int, default=4,
+                          help="number of blocks (storage layout)")
+    p_client.add_argument(
+        "--json", action="store_true",
+        help="print the raw response object(s)",
+    )
+    p_client.set_defaults(func=cmd_client)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect/clear/gc the on-disk compile cache",
+    )
+    p_cache.add_argument("action", choices=("stats", "clear", "gc"))
+    p_cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default $PENNY_CACHE_DIR or "
+             "~/.cache/penny)",
+    )
+    p_cache.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="gc: evict least-recently-used entries beyond this size",
+    )
+    p_cache.add_argument(
+        "--max-age", type=float, default=None,
+        help="gc: drop entries older than this many seconds",
+    )
+    p_cache.set_defaults(func=cmd_cache)
 
     p_trace = sub.add_parser(
         "trace",

@@ -129,6 +129,48 @@ class PennyConfig:
 
         self.overwrite = Scheme.parse(self.overwrite)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serializable form: field-declaration key order,
+        enums as their string values, tuples as lists.  The inverse of
+        :meth:`from_dict` (round-trip preserves equality), and the
+        configuration half of the serving layer's cache key."""
+        from dataclasses import fields as _fields
+
+        from repro.core.schemes import Scheme
+
+        out: Dict[str, Any] = {}
+        for f in _fields(self):
+            value = getattr(self, f.name)
+            if f.name == "overwrite":
+                value = Scheme.parse(value).value
+            elif f.name == "lint_disable":
+                value = [str(v) for v in value]
+            elif f.name == "lint_severity":
+                value = {k: str(v) for k, v in sorted(value.items())}
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PennyConfig":
+        """Rebuild a config from :meth:`to_dict` output.  Unknown keys
+        raise :class:`repro.core.errors.ConfigError` — a forward-version
+        dict must not silently compile under different knobs."""
+        from dataclasses import fields as _fields
+
+        known = {f.name for f in _fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown PennyConfig field(s) {unknown}",
+                pass_name="config",
+            )
+        kwargs = dict(payload)
+        if "lint_disable" in kwargs:
+            kwargs["lint_disable"] = tuple(kwargs["lint_disable"])
+        if "lint_severity" in kwargs:
+            kwargs["lint_severity"] = dict(kwargs["lint_severity"])
+        return cls(**kwargs)
+
 
 @dataclass
 class CompileResult:
@@ -233,10 +275,16 @@ class PennyCompiler:
         config: Optional[PennyConfig] = None,
         budget: Optional[StorageBudget] = None,
         strict: bool = True,
+        cache=None,
     ):
         self.config = config or PennyConfig()
         self.budget = budget or StorageBudget()
         self.strict = strict
+        #: an explicit :class:`repro.serve.CompileCache`; when ``None``
+        #: the context-installed cache (``repro.serve.active_cache``)
+        #: applies, so ``with CompileCache(...):`` accelerates existing
+        #: callers without threading a parameter through them
+        self.cache = cache
 
     def compile(
         self,
@@ -244,9 +292,40 @@ class PennyCompiler:
         launch: Optional[LaunchConfig] = None,
         copy: bool = True,
     ) -> CompileResult:
+        launch = launch or LaunchConfig()
+        cache = self.cache
+        if cache is None:
+            from repro.serve.cache import active_cache
+
+            cache = active_cache()
+        # copy=False callers rely on the input kernel being rewritten in
+        # place; serving a cached result would skip that side effect.
+        if cache is None or not copy:
+            return self._compile_uncached(kernel, launch, copy)
+        from repro.serve.key import compile_cache_key
+
+        key = compile_cache_key(
+            kernel,
+            self.config,
+            launch=launch,
+            budget=self.budget,
+            strict=self.strict,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._compile_uncached(kernel, launch, copy)
+        cache.put(key, result)
+        return result
+
+    def _compile_uncached(
+        self,
+        kernel: Kernel,
+        launch: LaunchConfig,
+        copy: bool,
+    ) -> CompileResult:
         from repro.core.schemes import Scheme
 
-        launch = launch or LaunchConfig()
         with obs.span(
             "compile",
             kernel=kernel.name,

@@ -35,13 +35,26 @@ def main(argv=None) -> int:
         if name not in ARTIFACTS:
             print(f"unknown artifact {name!r}; choose from {ARTIFACTS}")
             return 2
-        module = importlib.import_module(f"repro.experiments.{name}")
-        print("=" * 72)
-        print(f"### {name}")
-        print("=" * 72)
-        start = time.time()
-        module.main()
-        print(f"\n[{name}: {time.time() - start:.1f}s]\n")
+    # One compile cache across all artifacts: fig9-fig15 revisit the
+    # same (benchmark, scheme) variants, so later figures run warm.
+    from repro.experiments.harness import compile_cache
+
+    with compile_cache() as cache:
+        for name in names:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            print("=" * 72)
+            print(f"### {name}")
+            print("=" * 72)
+            start = time.time()
+            module.main()
+            print(f"\n[{name}: {time.time() - start:.1f}s]\n")
+        stats = cache.stats
+        if stats.hits or stats.misses:
+            print(
+                f"[compile cache: {stats.hits} hit(s), "
+                f"{stats.misses} miss(es), "
+                f"hit rate {stats.hit_rate:.1%}]"
+            )
     return 0
 
 

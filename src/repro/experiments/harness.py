@@ -40,6 +40,29 @@ SCHEMES_FIG9 = (
 )
 
 
+def compile_cache(directory: Optional[str] = None):
+    """A compile-cache context for experiment sweeps.
+
+    Many artifacts re-compile the same (benchmark, scheme) pairs —
+    fig9/fig15 share every variant, fig10–fig14 each re-derive the Penny
+    configs — so installing one :class:`repro.serve.CompileCache` around
+    a sweep turns all repeats into hits.  ``measure_scheme`` needs no
+    changes: :class:`PennyCompiler` consults the context cache on every
+    ``compile()``.
+
+    ``directory=None`` honors ``$PENNY_CACHE_DIR`` when set (warm cache
+    across runs, e.g. in CI) and otherwise stays memory-only so a plain
+    ``python -m repro.experiments`` leaves no files behind.
+    """
+    import os
+
+    from repro.serve.cache import CompileCache
+
+    if directory is None:
+        directory = os.environ.get("PENNY_CACHE_DIR") or None
+    return CompileCache(directory=directory)
+
+
 @dataclass
 class BenchmarkMeasurement:
     """One (benchmark, scheme) data point."""

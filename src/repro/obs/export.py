@@ -40,6 +40,9 @@ METRIC_KINDS = (
     "meta",
     "diagnostic",
     "lint_report",
+    "batch_report",
+    "cache_stats",
+    "cache_benchmark",
 )
 
 

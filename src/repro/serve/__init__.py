@@ -1,0 +1,105 @@
+"""``repro.serve`` — compilation-as-a-service.
+
+Three layers turn the one-shot compiler into a serving subsystem:
+
+- **Content-addressed compile cache** (:mod:`repro.serve.cache`,
+  :mod:`repro.serve.key`): results keyed by SHA-256 of the canonical
+  kernel text, the canonical :class:`~repro.core.pipeline.PennyConfig`
+  serialization and a code-version fingerprint; an in-memory LRU with a
+  byte budget over an atomic, corruption-tolerant disk store.
+  Installing a cache (``with CompileCache(...):``) accelerates every
+  existing entry point — :class:`~repro.core.pipeline.PennyCompiler`
+  consults the context's cache on each ``compile()``.
+
+- **Parallel batch driver** (:mod:`repro.serve.batch`):
+  :func:`compile_batch` fans jobs over a process pool with
+  deterministic result ordering, per-job typed error capture and cache
+  consultation before dispatch.
+
+- **Async server + client** (:mod:`repro.serve.server`,
+  :mod:`repro.serve.client`): ``penny serve`` fronts the pool with a
+  bounded queue (typed :class:`ServerBusy` backpressure), per-request
+  timeouts, disconnect cancellation and graceful SIGTERM drain;
+  ``penny client`` retries transient failures with exponential backoff
+  plus jitter.
+
+Quickstart::
+
+    from repro.serve import CompileCache, compile_batch, jobs_from_source
+
+    with CompileCache(directory="~/.cache/penny"):
+        jobs = jobs_from_source(open("kernels.ptx").read(), config)
+        report = compile_batch(jobs, workers=4)   # second run: all hits
+"""
+
+from repro.serve.batch import (
+    BatchReport,
+    CompileJob,
+    JobResult,
+    compile_batch,
+    jobs_from_source,
+)
+from repro.serve.cache import (
+    CacheStats,
+    CompileCache,
+    active_cache,
+    default_cache_dir,
+)
+from repro.serve.client import (
+    DEFAULT_PORT,
+    CompileClient,
+    RetryPolicy,
+    wait_until_ready,
+)
+from repro.serve.errors import (
+    ProtocolError,
+    RemoteCompileError,
+    RequestCancelled,
+    RequestTimeout,
+    ServeError,
+    ServerBusy,
+    ServerUnavailable,
+    error_from_dict,
+)
+from repro.serve.key import (
+    CacheKey,
+    canonical_config_json,
+    code_fingerprint,
+    compile_cache_key,
+)
+from repro.serve.server import CompileServer, ServeConfig, ServerStats
+
+__all__ = [
+    # cache
+    "CompileCache",
+    "CacheStats",
+    "active_cache",
+    "default_cache_dir",
+    "CacheKey",
+    "compile_cache_key",
+    "canonical_config_json",
+    "code_fingerprint",
+    # batch
+    "CompileJob",
+    "JobResult",
+    "BatchReport",
+    "compile_batch",
+    "jobs_from_source",
+    # server + client
+    "CompileServer",
+    "ServeConfig",
+    "ServerStats",
+    "CompileClient",
+    "RetryPolicy",
+    "DEFAULT_PORT",
+    "wait_until_ready",
+    # errors
+    "ServeError",
+    "ServerBusy",
+    "RequestTimeout",
+    "RequestCancelled",
+    "ProtocolError",
+    "ServerUnavailable",
+    "RemoteCompileError",
+    "error_from_dict",
+]

@@ -1,0 +1,319 @@
+"""The parallel batch compile driver.
+
+:func:`compile_batch` runs many independent compilations with the same
+contract serial code gets, at process-pool throughput:
+
+- **deterministic ordering** — results come back in job order no matter
+  which worker finished first (the campaign/fuzz engines' idiom);
+- **typed per-job error capture** — a failing job yields its serialized
+  :class:`repro.core.errors.CompileError` in the :class:`JobResult`; it
+  never kills the batch or another job;
+- **cache consultation before dispatch** — jobs whose key is already in
+  the installed (or passed) :class:`repro.serve.cache.CompileCache` skip
+  the pool entirely, and every miss compiled by a worker is stored back
+  by the parent, so the *next* batch is warm;
+- a :class:`BatchReport` implementing the :class:`repro.obs.Reportable`
+  protocol, with per-job timings for the metrics sink.
+
+Workers are plain ``multiprocessing.Pool`` processes rebuilt from pure
+data (``ptx`` text + ``PennyConfig.to_dict()``), mirroring
+:mod:`repro.gpusim.campaign`; results cross the process boundary via
+pickle, which is why :class:`CompileResult` pickle-safety is a tested
+invariant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import repro.obs as obs
+from repro.core.errors import CompileError
+from repro.core.pipeline import (
+    CompileResult,
+    LaunchConfig,
+    PennyCompiler,
+    PennyConfig,
+)
+from repro.core.storage import StorageBudget
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_kernel
+from repro.serve.cache import CompileCache, active_cache
+from repro.serve.key import compile_cache_key
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One unit of batch work: a single kernel's text plus its knobs."""
+
+    ptx: str
+    config: PennyConfig
+    launch: LaunchConfig = field(default_factory=LaunchConfig)
+    strict: bool = True
+    name: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ptx": self.ptx,
+            "config": self.config.to_dict(),
+            "launch": {
+                "threads_per_block": self.launch.threads_per_block,
+                "num_blocks": self.launch.num_blocks,
+            },
+            "strict": self.strict,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "CompileJob":
+        return cls(
+            ptx=d["ptx"],
+            config=PennyConfig.from_dict(d["config"]),
+            launch=LaunchConfig(**d.get("launch", {})),
+            strict=bool(d.get("strict", True)),
+            name=d.get("name"),
+        )
+
+
+def jobs_from_source(
+    source: str,
+    config: PennyConfig,
+    launch: Optional[LaunchConfig] = None,
+    strict: bool = True,
+    name: Optional[str] = None,
+) -> List[CompileJob]:
+    """One job per kernel in a PTX-subset module (canonicalized text, so
+    the jobs share cache entries with any equivalent spelling)."""
+    launch = launch or LaunchConfig()
+    return [
+        CompileJob(
+            ptx=print_kernel(kernel),
+            config=config,
+            launch=launch,
+            strict=strict,
+            name=name or kernel.name,
+        )
+        for kernel in parse_module(source).kernels
+    ]
+
+
+@dataclass
+class JobResult:
+    """One job's outcome: exactly one of ``result`` / ``error`` is set."""
+
+    index: int
+    name: str
+    result: Optional[CompileResult] = None
+    error: Optional[Dict[str, Any]] = None
+    cached: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "index": self.index,
+            "name": self.name,
+            "ok": self.ok,
+            "cached": self.cached,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class BatchReport:
+    """A whole batch's outcome (:class:`repro.obs.Reportable`)."""
+
+    results: List[JobResult]
+    workers: int
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def failures(self) -> List[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    def compile_results(self) -> List[Optional[CompileResult]]:
+        """Results in job order (``None`` where the job failed)."""
+        return [r.result for r in self.results]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "batch_report",
+            "jobs": len(self.results),
+            "ok": sum(1 for r in self.results if r.ok),
+            "failed": len(self.failures),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "jobs": len(self.results),
+            "ok": sum(1 for r in self.results if r.ok),
+            "failed": len(self.failures),
+            "cache_hits": self.cache_hits,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+        }
+
+
+def _compile_job(job: CompileJob) -> CompileResult:
+    """Compile one job in-process (no cache — callers own that)."""
+    module = parse_module(job.ptx)
+    if len(module.kernels) != 1:
+        raise CompileError(
+            f"batch job {job.name!r} must contain exactly one kernel, "
+            f"got {len(module.kernels)}",
+            pass_name="batch",
+        )
+    compiler = PennyCompiler(job.config, strict=job.strict, cache=None)
+    # The job's kernel is freshly parsed and private to this call.
+    return compiler.compile(module.kernels[0], job.launch, copy=False)
+
+
+def _worker_run(payload: Dict[str, Any]):
+    """Pool worker: returns ``(index, ok, result_or_error_dict)``."""
+    index = payload["index"]
+    job = CompileJob.from_dict(payload["job"])
+    start = time.perf_counter()
+    try:
+        result = _compile_job(job)
+    except CompileError as exc:
+        return index, False, exc.to_dict(), time.perf_counter() - start
+    except Exception as exc:  # non-compiler crash: still just this job
+        return (
+            index,
+            False,
+            {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "pass": "batch",
+                "scheme": None,
+                "kernel": job.name,
+                "kernel_ptx": job.ptx,
+                "detail": {},
+            },
+            time.perf_counter() - start,
+        )
+    return index, True, result, time.perf_counter() - start
+
+
+def compile_batch(
+    jobs: Sequence[CompileJob],
+    workers: int = 1,
+    cache: Optional[CompileCache] = None,
+    chunksize: int = 1,
+) -> BatchReport:
+    """Compile ``jobs`` on up to ``workers`` processes.
+
+    ``cache=None`` uses the context-installed cache (if any); pass a
+    :class:`CompileCache` to pin one explicitly.  Failed jobs yield
+    their typed error payload in ``report.results[i].error``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    jobs = list(jobs)
+    if cache is None:
+        cache = active_cache()
+    started = time.perf_counter()
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+    hits = 0
+
+    with obs.span("serve.batch", jobs=len(jobs), workers=workers):
+        todo: List[int] = []
+        keys = {}
+        for i, job in enumerate(jobs):
+            name = job.name or f"job{i}"
+            if cache is not None:
+                # A malformed job must fail *as that job* in the worker,
+                # not abort the whole batch during key derivation.
+                try:
+                    module = parse_module(job.ptx)
+                except Exception:
+                    module = None
+                if module is not None and len(module.kernels) == 1:
+                    # Same key derivation as PennyCompiler.compile under
+                    # an installed cache (workers use the default budget).
+                    keys[i] = compile_cache_key(
+                        module.kernels[0],
+                        job.config,
+                        launch=job.launch,
+                        budget=StorageBudget(),
+                        strict=job.strict,
+                    )
+                    hit = cache.get(keys[i])
+                    if hit is not None:
+                        hits += 1
+                        results[i] = JobResult(
+                            index=i, name=name, result=hit, cached=True
+                        )
+                        obs.event("batch.job", job=name, cached=True)
+                        continue
+            todo.append(i)
+
+        for index, ok, payload, seconds in _execute(jobs, todo, workers, chunksize):
+            name = jobs[index].name or f"job{index}"
+            with obs.span(
+                "batch.job", job=name, ok=ok, seconds=round(seconds, 6)
+            ):
+                if ok:
+                    results[index] = JobResult(
+                        index=index,
+                        name=name,
+                        result=payload,
+                        seconds=seconds,
+                    )
+                    if cache is not None and index in keys:
+                        cache.put(keys[index], payload)
+                else:
+                    obs.inc("batch.job_failures")
+                    results[index] = JobResult(
+                        index=index,
+                        name=name,
+                        error=payload,
+                        seconds=seconds,
+                    )
+
+    report = BatchReport(
+        results=[r for r in results if r is not None],
+        workers=workers,
+        wall_seconds=time.perf_counter() - started,
+        cache_hits=hits,
+        cache_misses=len(jobs) - hits,
+    )
+    obs.inc("batch.jobs", len(jobs))
+    return report
+
+
+def _execute(
+    jobs: Sequence[CompileJob],
+    todo: Sequence[int],
+    workers: int,
+    chunksize: int,
+):
+    """Yield ``(index, ok, payload, seconds)`` for every job in ``todo``
+    (arrival order; the caller re-sorts by slot)."""
+    if workers <= 1 or len(todo) <= 1:
+        for i in todo:
+            yield _worker_run({"index": i, "job": jobs[i].to_dict()})
+        return
+    import multiprocessing as mp
+
+    ctx = mp.get_context()
+    payloads = [{"index": i, "job": jobs[i].to_dict()} for i in todo]
+    with ctx.Pool(processes=min(workers, len(todo))) as pool:
+        for record in pool.imap_unordered(
+            _worker_run, payloads, chunksize=chunksize
+        ):
+            yield record

@@ -1,0 +1,353 @@
+"""The two-tier content-addressed compile cache.
+
+Tier 1 is an in-memory LRU with a byte budget: entries are the pickled
+:class:`repro.core.pipeline.CompileResult` payloads, recency is update
+order, and eviction walks the cold end until the budget holds.  Tier 2
+is an optional on-disk store (one file per key digest) shared between
+processes and sessions:
+
+- **writes are atomic** — payloads land in a same-directory temp file
+  first and are published with ``os.replace``, so a concurrent reader
+  (or a killed writer) can never observe a half-written entry;
+- **reads are corruption-tolerant** — any failure to read or unpickle
+  an entry (truncation, bit rot, a stale format) is a *miss*, the bad
+  file is unlinked best-effort, and a counter records it.
+
+Results are stored pickled and unpickled fresh on every hit, so each
+caller gets an isolated object graph — a hit can be mutated (kernels
+are executed, stats annotated) without poisoning the cache.
+
+A cache is installed for a dynamic scope the same way a tracer is::
+
+    with CompileCache(directory="~/.cache/penny") as cache:
+        PennyCompiler(cfg).compile(kernel)   # miss, stored
+        PennyCompiler(cfg).compile(kernel)   # hit
+
+:func:`active_cache` is the context-var lookup the compiler driver
+performs; every lookup/store is an ``obs`` span with ``cache.hit`` /
+``cache.miss`` / ``cache.evict`` counters.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import tempfile
+import time
+from collections import OrderedDict
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro.obs as obs
+from repro.serve.key import CacheKey
+
+_ACTIVE: ContextVar[Optional["CompileCache"]] = ContextVar(
+    "repro_serve_cache", default=None
+)
+
+#: default in-memory budget — roughly 10k pickled kernel results
+DEFAULT_MEMORY_BYTES = 64 * 1024 * 1024
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def active_cache() -> Optional["CompileCache"]:
+    """The cache installed for this context, or ``None`` (uncached)."""
+    return _ACTIVE.get()
+
+
+def default_cache_dir() -> str:
+    """``$PENNY_CACHE_DIR`` or the conventional user cache location."""
+    env = os.environ.get("PENNY_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "penny")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (process-local, monotonic)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    memory_bytes: int = 0
+    memory_entries: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "memory_bytes": self.memory_bytes,
+            "memory_entries": self.memory_entries,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CompileCache:
+    """Two-tier (memory LRU + optional disk) compile-result cache."""
+
+    def __init__(
+        self,
+        max_memory_bytes: int = DEFAULT_MEMORY_BYTES,
+        directory: Optional[str] = None,
+    ):
+        if max_memory_bytes < 0:
+            raise ValueError("max_memory_bytes must be >= 0")
+        self.max_memory_bytes = max_memory_bytes
+        self.directory = (
+            os.path.abspath(os.path.expanduser(directory))
+            if directory
+            else None
+        )
+        if self.directory:
+            os.makedirs(self.directory, exist_ok=True)
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self._token = None
+
+    # -- installation (context-var scoped, like obs.Tracer) -------------------
+
+    def __enter__(self) -> "CompileCache":
+        self._token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+        return False
+
+    # -- the lookup/store API --------------------------------------------------
+
+    def get(self, key: CacheKey):
+        """The cached :class:`CompileResult` for ``key`` (a fresh,
+        isolated copy), or ``None``."""
+        digest = key.digest
+        with obs.span("cache.lookup", digest=digest[:12]) as sp:
+            payload = self._memory_get(digest)
+            tier = "memory"
+            if payload is None and self.directory:
+                payload = self._disk_get(digest)
+                tier = "disk"
+                if payload is not None:
+                    # Promote: disk hits become memory-resident.
+                    self._memory_put(digest, payload)
+            if payload is None:
+                self.stats.misses += 1
+                obs.inc("cache.miss")
+                sp.tag(hit=False)
+                return None
+            try:
+                result = pickle.loads(payload)
+            except Exception:
+                # A poisoned memory entry (should be impossible) still
+                # must not take the compile down with it.
+                self._drop(digest)
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                obs.inc("cache.corrupt")
+                obs.inc("cache.miss")
+                sp.tag(hit=False, corrupt=True)
+                return None
+            self.stats.hits += 1
+            obs.inc("cache.hit")
+            sp.tag(hit=True, tier=tier)
+            return result
+
+    def put(self, key: CacheKey, result) -> None:
+        """Store one compile result under ``key`` in both tiers."""
+        digest = key.digest
+        payload = pickle.dumps(result, _PICKLE_PROTOCOL)
+        with obs.span(
+            "cache.store", digest=digest[:12], bytes=len(payload)
+        ):
+            self._memory_put(digest, payload)
+            if self.directory:
+                self._disk_put(digest, payload)
+            self.stats.stores += 1
+            obs.inc("cache.store")
+
+    def clear(self) -> int:
+        """Drop every entry in both tiers; returns entries removed."""
+        removed = len(self._memory)
+        self._memory.clear()
+        self.stats.memory_bytes = 0
+        self.stats.memory_entries = 0
+        if self.directory:
+            for name, path in self._disk_entries():
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> int:
+        """Reclaim disk entries: drop everything older than
+        ``max_age_seconds``, then evict least-recently-used files until
+        the tier fits ``max_bytes``.  Returns files removed."""
+        if not self.directory:
+            return 0
+        now = time.time()
+        removed = 0
+        entries: List[Tuple[float, int, str]] = []  # (mtime, size, path)
+        for name, path in self._disk_entries():
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            if (
+                max_age_seconds is not None
+                and now - st.st_mtime > max_age_seconds
+            ):
+                removed += self._unlink(path)
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        if max_bytes is not None:
+            entries.sort()  # oldest first
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= max_bytes:
+                    break
+                removed += self._unlink(path)
+                total -= size
+        return removed
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(entries, bytes)`` currently in the disk tier."""
+        entries = 0
+        total = 0
+        if self.directory:
+            for name, path in self._disk_entries():
+                try:
+                    total += os.stat(path).st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return entries, total
+
+    def report(self) -> Dict[str, Any]:
+        """Stats + tier shape (what ``penny cache stats`` prints)."""
+        entries, total = self.disk_usage()
+        return {
+            "kind": "cache_stats",
+            "directory": self.directory,
+            "disk_entries": entries,
+            "disk_bytes": total,
+            "max_memory_bytes": self.max_memory_bytes,
+            "stats": self.stats.to_dict(),
+            "hit_rate": round(self.stats.hit_rate, 4),
+        }
+
+    # -- memory tier -----------------------------------------------------------
+
+    def _memory_get(self, digest: str) -> Optional[bytes]:
+        payload = self._memory.get(digest)
+        if payload is not None:
+            self._memory.move_to_end(digest)
+        return payload
+
+    def _memory_put(self, digest: str, payload: bytes) -> None:
+        if len(payload) > self.max_memory_bytes:
+            return  # would evict everything and still not fit
+        old = self._memory.pop(digest, None)
+        if old is not None:
+            self.stats.memory_bytes -= len(old)
+        self._memory[digest] = payload
+        self.stats.memory_bytes += len(payload)
+        while self.stats.memory_bytes > self.max_memory_bytes and self._memory:
+            _, evicted = self._memory.popitem(last=False)
+            self.stats.memory_bytes -= len(evicted)
+            self.stats.evictions += 1
+            obs.inc("cache.evict")
+        self.stats.memory_entries = len(self._memory)
+
+    def _drop(self, digest: str) -> None:
+        old = self._memory.pop(digest, None)
+        if old is not None:
+            self.stats.memory_bytes -= len(old)
+            self.stats.memory_entries = len(self._memory)
+        if self.directory:
+            self._unlink(self._path(digest))
+
+    # -- disk tier -------------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.pkl")
+
+    def _disk_entries(self):
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".pkl"):
+                yield name, os.path.join(self.directory, name)
+
+    def _disk_get(self, digest: str) -> Optional[bytes]:
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as f:
+                payload = f.read()
+        except OSError:
+            return None
+        # Validate eagerly: a truncated/corrupted entry must behave as a
+        # miss *here*, before the payload is promoted to the memory tier.
+        try:
+            pickle.loads(payload)
+        except Exception:
+            self.stats.corrupt += 1
+            obs.inc("cache.corrupt")
+            self._unlink(path)
+            return None
+        # Recency for gc's LRU ordering.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return payload
+
+    def _disk_put(self, digest: str, payload: bytes) -> None:
+        path = self._path(digest)
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with io.open(fd, "wb") as f:
+                    f.write(payload)
+                os.replace(tmp, path)  # atomic publish
+            except BaseException:
+                self._unlink(tmp)
+                raise
+        except OSError:
+            # A full or read-only disk degrades the cache, never the
+            # compilation.
+            obs.event("cache.disk_write_failed", digest=digest[:12])
+
+    @staticmethod
+    def _unlink(path: str) -> int:
+        try:
+            os.unlink(path)
+            return 1
+        except OSError:
+            return 0

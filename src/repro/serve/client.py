@@ -1,0 +1,187 @@
+"""The blocking compile client: ``penny client``.
+
+A plain-socket JSONL client for :class:`repro.serve.server.CompileServer`
+with the retry discipline a fleet client needs: transient failures
+(connection refused/reset, and :class:`ServerBusy` backpressure
+rejections) are retried with **exponential backoff plus jitter** —
+``delay = min(cap, base * 2^attempt) * (1 + jitter * U[0,1))`` — so a
+thundering herd of rejected clients decorrelates instead of
+re-stampeding the queue.  Deterministic tests inject their own ``rng``
+and ``sleep``.
+
+Non-transient failures surface as typed exceptions immediately:
+:class:`RemoteCompileError` for a typed compiler failure on the server
+(its serialized :class:`~repro.core.errors.CompileError` rides in
+``detail``), :class:`RequestTimeout`/:class:`ProtocolError` as
+themselves, and :class:`ServerUnavailable` once the retry budget is
+spent.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve.errors import (
+    ProtocolError,
+    ServeError,
+    ServerBusy,
+    ServerUnavailable,
+    error_from_dict,
+)
+
+#: the default serving port (an arbitrary registered-range pick)
+DEFAULT_PORT = 9779
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff discipline for transient failures."""
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    retry_busy: bool = True
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        backoff = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return backoff * (1.0 + self.jitter * rng.random())
+
+
+class CompileClient:
+    """One connection-per-request blocking client (context manager is
+    optional; there is no persistent state beyond configuration)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+
+    # -- the wire --------------------------------------------------------------
+
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response exchange on a fresh connection."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(
+                json.dumps(payload, default=str).encode("utf-8") + b"\n"
+            )
+            with sock.makefile("rb") as f:
+                line = f.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        try:
+            response = json.loads(line)
+            if not isinstance(response, dict):
+                raise ValueError("response is not a JSON object")
+        except Exception as exc:
+            raise ProtocolError(f"bad response frame: {exc}") from exc
+        return response
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one op with retry+backoff; returns the ``ok`` response
+        object, raises a typed :class:`ServeError` otherwise."""
+        payload = {"op": op, "id": fields.pop("id", None), **fields}
+        failures = []
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                self._sleep(self.retry.delay(attempt - 1, self._rng))
+            try:
+                response = self._roundtrip(payload)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                failures.append(f"{type(exc).__name__}: {exc}")
+                continue
+            if response.get("ok"):
+                return response
+            error = error_from_dict(response.get("error"))
+            if isinstance(error, ServerBusy) and self.retry.retry_busy:
+                failures.append("ServerBusy")
+                continue
+            raise error
+        raise ServerUnavailable(
+            f"no response from {self.host}:{self.port} after "
+            f"{self.retry.attempts} attempt(s)",
+            attempts=failures,
+        )
+
+    # -- convenience ops -------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> bool:
+        return bool(self.request("shutdown").get("ok"))
+
+    def compile(
+        self,
+        ptx: str,
+        config=None,
+        scheme: Optional[str] = None,
+        launch: Optional[Dict[str, int]] = None,
+        strict: bool = True,
+        name: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Compile one kernel's text remotely.  ``config`` is a
+        :class:`~repro.core.pipeline.PennyConfig` (or its dict form);
+        ``scheme`` names a preset instead.  Returns the response object
+        (``kernel`` text, ``result`` dict, ``cached`` flag)."""
+        fields: Dict[str, Any] = {
+            "ptx": ptx,
+            "strict": strict,
+        }
+        if config is not None:
+            fields["config"] = (
+                config if isinstance(config, dict) else config.to_dict()
+            )
+        elif scheme is not None:
+            fields["scheme"] = scheme
+        if launch is not None:
+            fields["launch"] = launch
+        if name is not None:
+            fields["name"] = name
+        return self.request("compile", **fields)
+
+
+def wait_until_ready(
+    host: str,
+    port: int,
+    timeout: float = 10.0,
+    interval: float = 0.05,
+) -> bool:
+    """Poll ``ping`` until the server answers (startup helper for
+    scripts and CI); returns whether it became ready in time."""
+    client = CompileClient(
+        host=host,
+        port=port,
+        timeout=min(timeout, 2.0),
+        retry=RetryPolicy(attempts=1),
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            if client.ping():
+                return True
+        except ServeError:
+            pass
+        time.sleep(interval)
+    return False

@@ -1,0 +1,107 @@
+"""Typed errors of the serving subsystem.
+
+Every failure mode a caller of :mod:`repro.serve` can hit is a distinct
+exception type, mirroring the compiler's :mod:`repro.core.errors`
+hierarchy: the batch driver captures per-job :class:`CompileError`\\ s
+without dying, the server rejects with :class:`ServerBusy` under
+backpressure instead of queuing unboundedly, and the client surfaces
+exhausted retries as :class:`ServerUnavailable` with the attempt log.
+
+All of them serialize with :meth:`to_dict` (and rebuild with
+:func:`error_from_dict`) so the wire protocol and job records carry the
+*type*, not just a message string.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer failure."""
+
+    def __init__(self, message: str, **detail: Any):
+        super().__init__(message)
+        self.message = message
+        self.detail: Dict[str, Any] = detail
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": type(self).__name__,
+            "message": self.message,
+            "detail": {k: _plain(v) for k, v in self.detail.items()},
+        }
+
+
+class ServerBusy(ServeError):
+    """The server's bounded request queue is full (backpressure).
+
+    Deliberately *not* retried by the server itself: the client owns the
+    retry policy (exponential backoff + jitter) so a saturated server
+    sheds load instead of accumulating it.
+    """
+
+
+class RequestTimeout(ServeError):
+    """A request exceeded its per-request compile deadline."""
+
+
+class RequestCancelled(ServeError):
+    """The client disconnected (or the server drained) mid-request."""
+
+
+class ProtocolError(ServeError):
+    """A malformed frame on the JSONL wire protocol."""
+
+
+class ServerUnavailable(ServeError):
+    """The client exhausted its retry budget without a served response."""
+
+
+class RemoteCompileError(ServeError):
+    """A compile request failed on the server with a typed
+    :class:`repro.core.errors.CompileError`; ``detail`` carries its
+    serialized form (pass name, scheme, kernel snapshot)."""
+
+
+_ERROR_TYPES = {}
+
+
+def _register(cls) -> None:
+    _ERROR_TYPES[cls.__name__] = cls
+
+
+for _cls in (
+    ServeError,
+    ServerBusy,
+    RequestTimeout,
+    RequestCancelled,
+    ProtocolError,
+    ServerUnavailable,
+    RemoteCompileError,
+):
+    _register(_cls)
+
+
+def error_from_dict(payload: Optional[Dict[str, Any]]) -> ServeError:
+    """Rebuild a typed serve error from its wire form (unknown types
+    degrade to the :class:`ServeError` base, never raise)."""
+    if not isinstance(payload, dict):
+        return ServeError("malformed error payload")
+    cls = _ERROR_TYPES.get(str(payload.get("type")), ServeError)
+    detail = payload.get("detail")
+    err = cls(str(payload.get("message", "unknown error")))
+    if isinstance(detail, dict):
+        err.detail = detail
+    return err
+
+
+def _plain(value: Any) -> Any:
+    """JSON-safe rendering of one detail value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    return str(value)

@@ -1,0 +1,136 @@
+"""Content-addressed cache keys for compilations.
+
+A compilation is a pure function of four inputs, and the key hashes
+exactly those — nothing environmental:
+
+1. the **canonical kernel text** (:func:`repro.ir.printer.print_kernel`
+   of the input, so whitespace/comment variants of the same program
+   share an entry);
+2. the **canonical configuration** — ``PennyConfig.to_dict()`` plus the
+   launch geometry, storage budget and strictness, JSON-serialized with
+   sorted keys (two equal configs always serialize identically);
+3. the **code-version fingerprint** — a SHA-256 over every ``repro``
+   source file, so editing any compiler pass invalidates the whole
+   cache rather than serving results from a different compiler;
+4. a **key-schema version**, bumped when the key derivation itself
+   changes.
+
+The combined digest addresses both cache tiers (the disk tier's
+filenames are the digest), which makes invalidation trivial: there is
+none.  A stale entry is simply never looked up again, and ``penny cache
+gc`` reclaims the bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from repro.ir.printer import print_kernel
+
+#: bump when the key derivation (not the compiler) changes shape
+KEY_SCHEMA_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Computed once per process; any edit to the compiler, simulator or
+    serving code changes it, so cached results can never outlive the
+    code that produced them.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__"
+        )
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            digest.update(rel.encode("utf-8"))
+            digest.update(b"\0")
+            with open(path, "rb") as f:
+                digest.update(f.read())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def canonical_config_json(
+    config,
+    launch=None,
+    budget=None,
+    strict: bool = True,
+) -> str:
+    """The configuration half of the key: one sorted-key JSON document
+    covering everything besides the kernel that steers compilation."""
+    payload: Dict[str, Any] = {"config": config.to_dict(), "strict": bool(strict)}
+    if launch is not None:
+        payload["launch"] = {
+            "threads_per_block": launch.threads_per_block,
+            "num_blocks": launch.num_blocks,
+        }
+    if budget is not None:
+        payload["budget"] = dataclasses.asdict(budget)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The content address of one compilation."""
+
+    ptx_sha: str
+    config_sha: str
+    code_sha: str
+    schema: int = KEY_SCHEMA_VERSION
+
+    @property
+    def digest(self) -> str:
+        """The combined address (disk filenames, memory-tier dict key)."""
+        return _sha256(
+            f"{self.schema}\0{self.ptx_sha}\0{self.config_sha}\0{self.code_sha}"
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "digest": self.digest,
+            "ptx_sha": self.ptx_sha,
+            "config_sha": self.config_sha,
+            "code_sha": self.code_sha,
+            "schema": str(self.schema),
+        }
+
+
+def compile_cache_key(
+    kernel,
+    config,
+    launch=None,
+    budget=None,
+    strict: bool = True,
+    code_sha: Optional[str] = None,
+) -> CacheKey:
+    """Derive the :class:`CacheKey` for compiling ``kernel`` under
+    ``config`` (+ launch geometry, storage budget, strictness)."""
+    return CacheKey(
+        ptx_sha=_sha256(print_kernel(kernel)),
+        config_sha=_sha256(
+            canonical_config_json(
+                config, launch=launch, budget=budget, strict=strict
+            )
+        ),
+        code_sha=code_sha if code_sha is not None else code_fingerprint(),
+    )

@@ -1,0 +1,543 @@
+"""The async compile server: ``penny serve``.
+
+An asyncio TCP server speaking a line-delimited JSON protocol (one
+request object per line, one response object per line, strictly
+request/response per connection).  Operations:
+
+``ping``
+    liveness probe, echoes ``id``.
+``stats``
+    server counters + the cache's :meth:`CompileCache.report` — what CI
+    asserts warm-path hit rates against.
+``compile``
+    ``{"op": "compile", "ptx": ..., "config": {...}, "launch": {...},
+    "strict": true}`` — the config payload is
+    :meth:`PennyConfig.to_dict` form (or ``"scheme": "Penny"`` to use a
+    preset).  The response carries the protected kernel text, the
+    result's ``to_dict()`` and a ``cached`` flag.
+``shutdown``
+    begin a graceful drain (the same path SIGTERM takes).
+
+Scale and robustness properties:
+
+- compilation runs on a worker pool (processes by default; threads with
+  ``use_threads=True``, which tests use so they can monkeypatch the job
+  runner) behind a **bounded queue**: when ``queue_limit`` requests are
+  in flight, further compiles are rejected immediately with a typed
+  :class:`ServerBusy` payload — the client owns retry policy, the
+  server sheds load;
+- every compile has a **per-request timeout** (:class:`RequestTimeout`)
+  and is **cancelled** when its client disconnects mid-request (the
+  handler watches the connection while the pool works);
+- SIGTERM/SIGINT (or the ``shutdown`` op) **drain gracefully**: the
+  listener closes, in-flight requests finish and are answered, new
+  compiles are rejected as busy, then the process exits;
+- the parent consults the :class:`CompileCache` before dispatching to
+  the pool and stores every miss, so a repeated corpus is served from
+  memory/disk without touching a worker.
+
+Observability: ``serve.request`` spans, ``serve.requests`` /
+``serve.busy_rejections`` / ``serve.timeouts`` / ``serve.cancelled``
+counters and a ``serve.queue_depth`` gauge, all through
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import repro.obs as obs
+from repro.core.pipeline import PennyConfig
+from repro.ir.printer import print_kernel
+from repro.serve.batch import CompileJob, _compile_job
+from repro.serve.cache import DEFAULT_MEMORY_BYTES, CompileCache
+from repro.serve.errors import (
+    ProtocolError,
+    RequestTimeout,
+    ServeError,
+    ServerBusy,
+)
+from repro.serve.key import compile_cache_key
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``penny serve`` is configured by."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = ephemeral (the bound port is announced)
+    workers: int = 2
+    queue_limit: int = 8
+    request_timeout: float = 120.0
+    cache_dir: Optional[str] = None
+    max_memory_bytes: int = DEFAULT_MEMORY_BYTES
+    #: thread pool instead of process pool (tests; GIL-bound otherwise)
+    use_threads: bool = False
+
+
+@dataclass
+class ServerStats:
+    """Process-local request counters (reported by the ``stats`` op)."""
+
+    requests: int = 0
+    compiles: int = 0
+    busy_rejections: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    errors: int = 0
+    protocol_errors: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "compiles": self.compiles,
+            "busy_rejections": self.busy_rejections,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "protocol_errors": self.protocol_errors,
+        }
+
+
+def _execute_request(payload: Dict[str, Any]) -> Tuple[str, Any]:
+    """Pool entry point: compile one serialized job.
+
+    Returns ``("ok", CompileResult)`` or ``("error", error_dict)`` —
+    exceptions never cross the executor boundary untyped.  Module-level
+    (not a method) so the process pool can pickle it and tests can
+    monkeypatch it.
+    """
+    from repro.core.errors import CompileError
+
+    job = CompileJob.from_dict(payload)
+    try:
+        return "ok", _compile_job(job)
+    except CompileError as exc:
+        return "error", exc.to_dict()
+    except Exception as exc:
+        return "error", {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "pass": "serve",
+            "scheme": None,
+            "kernel": job.name,
+            "kernel_ptx": job.ptx,
+            "detail": {},
+        }
+
+
+class CompileServer:
+    """One serving process: listener + bounded queue + worker pool."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.stats = ServerStats()
+        self.cache = CompileCache(
+            max_memory_bytes=self.config.max_memory_bytes,
+            directory=self.config.cache_dir,
+        )
+        self.port: Optional[int] = None  #: bound port, set on start
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor = None
+        self._inflight = 0
+        self._draining = False
+        self._drained: Optional[asyncio.Event] = None
+        self._ready = threading.Event()  #: for start_in_thread callers
+        self._connections: set = set()
+        self._handlers: set = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def run(self) -> int:
+        """Blocking entry point: serve until drained (SIGTERM/SIGINT or
+        a ``shutdown`` op), then return 0."""
+        asyncio.run(self.serve())
+        return 0
+
+    async def serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        cfg = self.config
+        if cfg.use_threads:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(1, cfg.workers)
+            )
+        else:
+            self._executor = ProcessPoolExecutor(
+                max_workers=max(1, cfg.workers)
+            )
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self.initiate_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # not the main thread (tests) or unsupported
+        self._server = await asyncio.start_server(
+            self._handle, cfg.host, cfg.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        obs.event("serve.listening", host=cfg.host, port=self.port)
+        self._ready.set()
+        try:
+            await self._drained.wait()
+        finally:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+            # Push EOF to idle connections so their handlers exit before
+            # the loop tears down (silences cancelled-task noise).
+            for writer in list(self._connections):
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+            handlers = list(self._handlers)
+            if handlers:
+                await asyncio.wait(handlers, timeout=1.0)
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._ready.clear()
+
+    def initiate_drain(self) -> None:
+        """Begin graceful shutdown: stop accepting, finish in-flight
+        work, reject new compiles as busy, then let :meth:`serve` exit.
+        Safe to call more than once; must run on the server's loop."""
+        if self._draining:
+            return
+        self._draining = True
+        obs.event("serve.draining", inflight=self._inflight)
+        if self._server is not None:
+            self._server.close()
+        if self._inflight == 0 and self._drained is not None:
+            self._drained.set()
+
+    def request_shutdown(self) -> None:
+        """Thread-safe drain trigger (what tests and signal-less
+        embedders call)."""
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.initiate_drain)
+            except RuntimeError:
+                pass  # loop already closed: the server has exited
+
+    def start_in_thread(self, timeout: float = 10.0) -> threading.Thread:
+        """Run the server on a daemon thread; returns once it is
+        listening (``self.port`` is bound)."""
+        thread = threading.Thread(target=self.run, daemon=True)
+        thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not start listening in time")
+        return thread
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        pending_line: Optional[bytes] = None
+        task = asyncio.current_task()
+        self._connections.add(writer)
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                if pending_line is not None:
+                    line, pending_line = pending_line, None
+                else:
+                    line = await reader.readline()
+                if not line:
+                    break
+                response, pending_line = await self._dispatch(
+                    reader, line
+                )
+                if response is None:
+                    break  # client went away mid-request
+                await self._send(writer, response)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(
+        self, reader: asyncio.StreamReader, line: bytes
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[bytes]]:
+        """Handle one frame.  Returns ``(response, pipelined_line)``;
+        a ``None`` response means the client disconnected."""
+        self.stats.requests += 1
+        obs.inc("serve.requests")
+        try:
+            req = json.loads(line)
+            if not isinstance(req, dict):
+                raise ValueError("frame is not a JSON object")
+        except Exception as exc:
+            self.stats.protocol_errors += 1
+            return (
+                _error_response(
+                    None, ProtocolError(f"bad frame: {exc}")
+                ),
+                None,
+            )
+        rid = req.get("id")
+        op = req.get("op")
+        if op == "ping":
+            return {"id": rid, "ok": True, "op": "ping"}, None
+        if op == "stats":
+            return (
+                {
+                    "id": rid,
+                    "ok": True,
+                    "op": "stats",
+                    "stats": {
+                        "server": self.stats.to_dict(),
+                        "cache": self.cache.report(),
+                        "inflight": self._inflight,
+                        "queue_limit": self.config.queue_limit,
+                        "draining": self._draining,
+                    },
+                },
+                None,
+            )
+        if op == "shutdown":
+            self._loop.call_soon(self.initiate_drain)
+            return {"id": rid, "ok": True, "op": "shutdown"}, None
+        if op == "compile":
+            return await self._compile_request(reader, req)
+        self.stats.protocol_errors += 1
+        return _error_response(rid, ProtocolError(f"unknown op {op!r}")), None
+
+    async def _compile_request(
+        self, reader: asyncio.StreamReader, req: Dict[str, Any]
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[bytes]]:
+        rid = req.get("id")
+        if self._draining or self._inflight >= self.config.queue_limit:
+            self.stats.busy_rejections += 1
+            obs.inc("serve.busy_rejections")
+            return (
+                _error_response(
+                    rid,
+                    ServerBusy(
+                        "draining"
+                        if self._draining
+                        else "request queue is full",
+                        inflight=self._inflight,
+                        queue_limit=self.config.queue_limit,
+                        draining=self._draining,
+                    ),
+                ),
+                None,
+            )
+        try:
+            job = _job_from_request(req)
+        except Exception as exc:
+            self.stats.protocol_errors += 1
+            return (
+                _error_response(rid, ProtocolError(f"bad request: {exc}")),
+                None,
+            )
+
+        self._inflight += 1
+        obs.gauge("serve.queue_depth", self._inflight)
+        started = time.perf_counter()
+        try:
+            with obs.span("serve.request", op="compile", job=job.name):
+                return await self._compile_inner(
+                    reader, rid, job, started
+                )
+        finally:
+            self._inflight -= 1
+            if self._draining and self._inflight == 0:
+                self._drained.set()
+
+    async def _compile_inner(
+        self,
+        reader: asyncio.StreamReader,
+        rid,
+        job: CompileJob,
+        started: float,
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[bytes]]:
+        # Cache first: a warm key never touches the pool.
+        key = _key_for_job(job)
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.stats.compiles += 1
+                return (
+                    _ok_response(rid, hit, cached=True, started=started),
+                    None,
+                )
+
+        compute = asyncio.ensure_future(
+            asyncio.wait_for(
+                self._loop.run_in_executor(
+                    self._executor, _execute_request, job.to_dict()
+                ),
+                timeout=self.config.request_timeout,
+            )
+        )
+        # Watch the connection while the pool works: EOF cancels the
+        # request; a pipelined frame is kept for the handler loop.
+        watcher = asyncio.ensure_future(reader.readline())
+        pipelined: Optional[bytes] = None
+        await asyncio.wait(
+            {compute, watcher}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if watcher.done():
+            try:
+                line = watcher.result()
+            except Exception:
+                line = b""  # connection error == disconnect
+            if not line and not compute.done():
+                # Disconnect mid-request: abandon the computation.
+                compute.cancel()
+                self.stats.cancelled += 1
+                obs.inc("serve.cancelled")
+                return None, None
+            pipelined = line or None
+            if not compute.done():
+                await asyncio.wait({compute})
+        else:
+            # Cancellation must complete before the handler loop calls
+            # readline() again, or the reader raises "already waiting".
+            watcher.cancel()
+            await asyncio.wait({watcher})
+
+        try:
+            status, payload = compute.result()
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            obs.inc("serve.timeouts")
+            return (
+                _error_response(
+                    rid,
+                    RequestTimeout(
+                        f"compile exceeded {self.config.request_timeout}s",
+                        timeout=self.config.request_timeout,
+                    ),
+                ),
+                pipelined,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # pool infrastructure failure
+            self.stats.errors += 1
+            return (
+                _error_response(
+                    rid, ServeError(f"executor failure: {exc}")
+                ),
+                pipelined,
+            )
+
+        if status != "ok":
+            self.stats.errors += 1
+            obs.inc("serve.compile_errors")
+            return (
+                {
+                    "id": rid,
+                    "ok": False,
+                    "error": {
+                        "type": "RemoteCompileError",
+                        "message": payload.get("message", "compile failed"),
+                        "detail": payload,
+                    },
+                },
+                pipelined,
+            )
+        self.stats.compiles += 1
+        if key is not None:
+            self.cache.put(key, payload)
+        return (
+            _ok_response(rid, payload, cached=False, started=started),
+            pipelined,
+        )
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        writer.write(
+            json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+            + b"\n"
+        )
+        await writer.drain()
+
+
+def _job_from_request(req: Dict[str, Any]) -> CompileJob:
+    """Build the job from a compile frame (full config dict, or a
+    ``scheme`` preset name, or server defaults)."""
+    ptx = req.get("ptx")
+    if not isinstance(ptx, str) or not ptx.strip():
+        raise ValueError("missing 'ptx'")
+    if "config" in req:
+        config = PennyConfig.from_dict(req["config"])
+    elif "scheme" in req:
+        from repro.core.schemes import scheme_config
+
+        config = scheme_config(req["scheme"])
+    else:
+        config = PennyConfig()
+    from repro.core.pipeline import LaunchConfig
+
+    launch = LaunchConfig(**req.get("launch", {}))
+    return CompileJob(
+        ptx=ptx,
+        config=config,
+        launch=launch,
+        strict=bool(req.get("strict", True)),
+        name=req.get("name"),
+    )
+
+
+def _key_for_job(job: CompileJob):
+    from repro.core.storage import StorageBudget
+    from repro.ir.parser import parse_module
+
+    try:
+        module = parse_module(job.ptx)
+    except Exception:
+        return None  # the worker will fail the job with a typed error
+    if len(module.kernels) != 1:
+        return None
+    return compile_cache_key(
+        module.kernels[0],
+        job.config,
+        launch=job.launch,
+        budget=StorageBudget(),
+        strict=job.strict,
+    )
+
+
+def _ok_response(
+    rid, result, cached: bool, started: float
+) -> Dict[str, Any]:
+    return {
+        "id": rid,
+        "ok": True,
+        "cached": cached,
+        "kernel": print_kernel(result.kernel),
+        "result": result.to_dict(),
+        "summary": result.summary(),
+        "seconds": round(time.perf_counter() - started, 6),
+    }
+
+
+def _error_response(rid, error: ServeError) -> Dict[str, Any]:
+    return {"id": rid, "ok": False, "error": error.to_dict()}

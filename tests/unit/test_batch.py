@@ -1,0 +1,152 @@
+"""The parallel batch driver: ordering, error capture, cache coupling.
+
+The acceptance bar: ``compile_batch(jobs, workers=4)`` must produce
+results ``to_dict()``-identical to a serial run, a failing job must
+yield its typed error without killing the batch, and a warm second run
+must be served from the cache.
+"""
+
+import pytest
+
+from repro.core.pipeline import LaunchConfig, PennyConfig
+from repro.obs.export import validate_metrics_record
+from repro.serve.batch import (
+    BatchReport,
+    CompileJob,
+    compile_batch,
+    jobs_from_source,
+)
+from repro.serve.cache import CompileCache
+
+KERNEL_TEMPLATE = """
+.entry k{i} (.param .ptr A, .param .u32 n) {{
+ENTRY:
+  mov.u32 %tid, %tid.x;
+  ld.param.u32 %a, [A];
+  ld.param.u32 %n, [n];
+  mov.u32 %i, %tid;
+HEAD:
+  setp.ge.u32 %p1, %i, %n;
+  @%p1 bra EXIT;
+BODY:
+  shl.u32 %off, %i, 2;
+  add.u32 %addr, %a, %off;
+  ld.global.u32 %v, [%addr];
+  mad.u32 %v2, %v, {mult}, 7;
+  st.global.u32 [%addr], %v2;
+  add.u32 %i, %i, 32;
+  bra HEAD;
+EXIT:
+  ret;
+}}
+"""
+
+BAD_PTX = """
+.entry broken (.param .ptr A) {
+ENTRY:
+  bra NOWHERE;
+}
+"""
+
+LAUNCH = LaunchConfig(threads_per_block=32, num_blocks=2)
+
+
+def _module(n=4):
+    return "\n".join(
+        KERNEL_TEMPLATE.format(i=i, mult=3 + i) for i in range(n)
+    )
+
+
+def _jobs(n=4):
+    return jobs_from_source(_module(n), PennyConfig(), launch=LAUNCH)
+
+
+def test_jobs_from_source_one_job_per_kernel():
+    jobs = _jobs(3)
+    assert [j.name for j in jobs] == ["k0", "k1", "k2"]
+    assert all(isinstance(j, CompileJob) for j in jobs)
+
+
+def test_job_round_trips_through_dict():
+    job = _jobs(1)[0]
+    assert CompileJob.from_dict(job.to_dict()) == job
+
+
+def test_parallel_results_identical_to_serial():
+    jobs = _jobs(4)
+    serial = compile_batch(jobs, workers=1, cache=None)
+    parallel = compile_batch(jobs, workers=4, cache=None)
+    assert all(r.ok for r in serial.results)
+    assert all(r.ok for r in parallel.results)
+    assert [r.name for r in parallel.results] == [
+        r.name for r in serial.results
+    ]
+    for a, b in zip(serial.results, parallel.results):
+        assert a.result.to_dict() == b.result.to_dict()
+
+
+def test_failed_job_is_captured_not_fatal():
+    jobs = _jobs(2) + [
+        CompileJob(ptx=BAD_PTX, config=PennyConfig(), launch=LAUNCH)
+    ]
+    report = compile_batch(jobs, workers=2, cache=None)
+    assert len(report.results) == 3
+    assert [r.ok for r in report.results] == [True, True, False]
+    failure = report.results[2]
+    assert failure.error is not None
+    assert "NOWHERE" in failure.error["message"]
+    assert report.compile_results()[2] is None
+    assert len(report.failures) == 1
+
+
+def test_unparseable_job_fails_as_that_job():
+    jobs = [
+        CompileJob(ptx="this is not ptx", config=PennyConfig()),
+        _jobs(1)[0],
+    ]
+    # Even with a cache installed (key derivation parses the text), the
+    # malformed job must fail alone.
+    with CompileCache():
+        report = compile_batch(jobs, workers=1)
+    assert [r.ok for r in report.results] == [False, True]
+
+
+def test_warm_batch_is_all_hits():
+    jobs = _jobs(3)
+    with CompileCache() as cache:
+        cold = compile_batch(jobs, workers=2)
+        assert cold.cache_hits == 0 and cold.cache_misses == 3
+        warm = compile_batch(jobs, workers=2)
+        assert warm.cache_hits == 3 and warm.cache_misses == 0
+        assert all(r.cached for r in warm.results)
+        assert cache.stats.hits == 3
+    for a, b in zip(cold.results, warm.results):
+        assert a.result.to_dict() == b.result.to_dict()
+
+
+def test_batch_matches_pipeline_cache_keys():
+    """A batch warms the same keys ``PennyCompiler.compile`` consults —
+    one shared cache serves both entry points."""
+    from repro.core.pipeline import PennyCompiler
+    from repro.ir.parser import parse_module
+
+    with CompileCache() as cache:
+        compile_batch(_jobs(1), workers=1)
+        kernel = parse_module(_module(1)).kernels[0]
+        PennyCompiler(PennyConfig()).compile(kernel, LAUNCH)
+        assert cache.stats.hits == 1
+
+
+def test_report_is_reportable():
+    report = compile_batch(_jobs(2), workers=1, cache=None)
+    d = report.to_dict()
+    assert d["kind"] == "batch_report"
+    assert d["jobs"] == 2 and d["ok"] == 2 and d["failed"] == 0
+    assert validate_metrics_record(d) == []
+    summary = report.summary()
+    assert summary["jobs"] == 2 and summary["workers"] == 1
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ValueError):
+        compile_batch([], workers=0)

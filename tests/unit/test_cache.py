@@ -1,0 +1,247 @@
+"""The content-addressed compile cache: keys, tiers, corruption, LRU.
+
+The load-bearing guarantees:
+
+- **warm == cold** — a cache hit is byte-identical to recompiling
+  (``print_kernel`` text and the full ``to_dict()`` report);
+- **any input change misses** — flipping one config knob or editing one
+  character of the kernel text changes the key;
+- **corruption is a miss, never a crash** — truncated/garbage disk
+  entries are detected on read, unlinked, counted, and recompiled;
+- the memory tier is an **LRU with a byte budget**.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_kernel
+from repro.serve.cache import CompileCache, active_cache
+from repro.serve.key import (
+    KEY_SCHEMA_VERSION,
+    CacheKey,
+    compile_cache_key,
+)
+
+PTX = """
+.entry axpy (.param .ptr A, .param .u32 n) {
+ENTRY:
+  mov.u32 %tid, %tid.x;
+  ld.param.u32 %a, [A];
+  ld.param.u32 %n, [n];
+  mov.u32 %i, %tid;
+HEAD:
+  setp.ge.u32 %p1, %i, %n;
+  @%p1 bra EXIT;
+BODY:
+  shl.u32 %off, %i, 2;
+  add.u32 %addr, %a, %off;
+  ld.global.u32 %v, [%addr];
+  mad.u32 %v2, %v, 3, 7;
+  st.global.u32 [%addr], %v2;
+  add.u32 %i, %i, 32;
+  bra HEAD;
+EXIT:
+  ret;
+}
+"""
+
+LAUNCH = LaunchConfig(threads_per_block=32, num_blocks=2)
+
+
+def _kernel(source=PTX):
+    return parse_module(source).kernels[0]
+
+
+def _compile(cache=None, source=PTX, config=None):
+    compiler = PennyCompiler(config or PennyConfig(), cache=cache)
+    return compiler.compile(_kernel(source), LAUNCH)
+
+
+# -- keys -------------------------------------------------------------------------
+
+
+def test_key_is_deterministic():
+    a = compile_cache_key(_kernel(), PennyConfig(), launch=LAUNCH)
+    b = compile_cache_key(_kernel(), PennyConfig(), launch=LAUNCH)
+    assert a == b and a.digest == b.digest
+    assert a.schema == KEY_SCHEMA_VERSION
+
+
+def test_key_misses_on_config_knob_flip():
+    base = compile_cache_key(_kernel(), PennyConfig(), launch=LAUNCH)
+    flipped = compile_cache_key(
+        _kernel(), PennyConfig(pruning="none"), launch=LAUNCH
+    )
+    assert base.ptx_sha == flipped.ptx_sha  # same kernel...
+    assert base.config_sha != flipped.config_sha  # ...different knobs
+    assert base.digest != flipped.digest
+
+
+def test_key_misses_on_one_character_ptx_edit():
+    edited = PTX.replace("mad.u32 %v2, %v, 3, 7", "mad.u32 %v2, %v, 3, 8")
+    assert edited != PTX
+    base = compile_cache_key(_kernel(), PennyConfig(), launch=LAUNCH)
+    other = compile_cache_key(_kernel(edited), PennyConfig(), launch=LAUNCH)
+    assert base.ptx_sha != other.ptx_sha
+    assert base.digest != other.digest
+
+
+def test_key_includes_launch_and_strict():
+    base = compile_cache_key(_kernel(), PennyConfig(), launch=LAUNCH)
+    other_launch = compile_cache_key(
+        _kernel(),
+        PennyConfig(),
+        launch=LaunchConfig(threads_per_block=64, num_blocks=2),
+    )
+    lax = compile_cache_key(
+        _kernel(), PennyConfig(), launch=LAUNCH, strict=False
+    )
+    assert base.digest != other_launch.digest
+    assert base.digest != lax.digest
+
+
+# -- warm == cold -----------------------------------------------------------------
+
+
+def test_warm_hit_is_byte_identical_to_cold_compile(tmp_path):
+    with CompileCache(directory=str(tmp_path)) as cache:
+        cold = _compile(cache)
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+        warm = _compile(cache)
+        assert cache.stats.hits == 1
+    assert print_kernel(warm.kernel) == print_kernel(cold.kernel)
+    assert warm.to_dict() == cold.to_dict()
+
+
+def test_disk_tier_survives_process_restart(tmp_path):
+    with CompileCache(directory=str(tmp_path)) as first:
+        cold = _compile(first)
+    # A "new process": fresh cache object, empty memory tier.
+    with CompileCache(directory=str(tmp_path)) as second:
+        warm = _compile(second)
+        assert second.stats.hits == 1 and second.stats.misses == 0
+    assert warm.to_dict() == cold.to_dict()
+
+
+def test_config_flip_recompiles(tmp_path):
+    with CompileCache(directory=str(tmp_path)) as cache:
+        _compile(cache)
+        _compile(cache, config=PennyConfig(pruning="none"))
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+
+def test_context_installation_and_nesting(tmp_path):
+    assert active_cache() is None
+    with CompileCache() as outer:
+        assert active_cache() is outer
+        with CompileCache(directory=str(tmp_path)) as inner:
+            assert active_cache() is inner
+        assert active_cache() is outer
+    assert active_cache() is None
+
+
+def test_compiler_uses_context_cache():
+    with CompileCache() as cache:
+        _compile()  # no explicit cache argument
+        _compile()
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_copy_false_bypasses_cache():
+    """``copy=False`` hands the caller's kernel to the passes for
+    in-place mutation — a cached result could not honor that."""
+    with CompileCache() as cache:
+        kernel = _kernel()
+        PennyCompiler(PennyConfig()).compile(kernel, LAUNCH, copy=False)
+        assert cache.stats.hits + cache.stats.misses == 0
+
+
+# -- corruption tolerance ---------------------------------------------------------
+
+
+def _sole_entry(tmp_path):
+    entries = [p for p in os.listdir(tmp_path) if p.endswith(".pkl")]
+    assert len(entries) == 1
+    return os.path.join(str(tmp_path), entries[0])
+
+
+@pytest.mark.parametrize(
+    "damage",
+    [
+        lambda raw: raw[: len(raw) // 2],  # truncated
+        lambda raw: b"not a pickle at all",  # garbage
+        lambda raw: b"",  # empty file
+    ],
+    ids=["truncated", "garbage", "empty"],
+)
+def test_corrupt_disk_entry_is_a_miss_not_a_crash(tmp_path, damage):
+    with CompileCache(directory=str(tmp_path)) as cache:
+        cold = _compile(cache)
+        path = _sole_entry(tmp_path)
+        with open(path, "rb") as f:
+            raw = f.read()
+        with open(path, "wb") as f:
+            f.write(damage(raw))
+
+    # Fresh cache (no memory tier) forced onto the damaged file.
+    with CompileCache(directory=str(tmp_path)) as cache:
+        warm = _compile(cache)
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+    assert warm.to_dict() == cold.to_dict()
+    # The bad file was replaced by the recompile's store.
+    with open(_sole_entry(tmp_path), "rb") as f:
+        pickle.load(f)  # must unpickle cleanly now
+
+
+# -- LRU + maintenance ------------------------------------------------------------
+
+
+def test_memory_lru_evicts_cold_entries():
+    entry_bytes = len(pickle.dumps("x" * 60, pickle.HIGHEST_PROTOCOL))
+    cache = CompileCache(max_memory_bytes=2 * entry_bytes)  # room for two
+    key = lambda i: CacheKey(f"p{i}", "c", "v", 1)  # noqa: E731
+    cache.put(key(0), "x" * 60)
+    cache.put(key(1), "y" * 60)
+    cache.get(key(0))  # touch 0: now 1 is the cold end
+    cache.put(key(2), "z" * 60)  # must evict exactly one
+    assert cache.stats.evictions == 1
+    assert cache.get(key(0)) == "x" * 60
+    assert cache.get(key(1)) is None  # the untouched one went
+    assert cache.get(key(2)) == "z" * 60
+
+
+def test_oversized_entry_does_not_wipe_the_cache():
+    cache = CompileCache(max_memory_bytes=200)
+    cache.put(CacheKey("small", "c", "v", 1), "s")
+    cache.put(CacheKey("huge", "c", "v", 1), "x" * 10_000)
+    assert cache.get(CacheKey("small", "c", "v", 1)) == "s"
+    assert cache.get(CacheKey("huge", "c", "v", 1)) is None
+
+
+def test_clear_and_gc(tmp_path):
+    cache = CompileCache(directory=str(tmp_path))
+    for i in range(4):
+        cache.put(CacheKey(f"p{i}", "c", "v", 1), "x" * 100)
+    entries, total = cache.disk_usage()
+    assert entries == 4
+    # Size-bounded gc keeps the newest entries.
+    removed = cache.gc(max_bytes=total // 2)
+    assert removed >= 1
+    assert cache.disk_usage()[1] <= total // 2
+    assert cache.clear() >= cache.disk_usage()[0]
+    assert cache.disk_usage() == (0, 0)
+    assert cache.gc(max_age_seconds=0.0) == 0  # empty dir: nothing to do
+
+
+def test_report_is_metrics_schema_valid(tmp_path):
+    from repro.obs.export import validate_metrics_record
+
+    with CompileCache(directory=str(tmp_path)) as cache:
+        _compile(cache)
+        _compile(cache)
+    assert validate_metrics_record(cache.report()) == []

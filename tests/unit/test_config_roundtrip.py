@@ -1,0 +1,124 @@
+"""PennyConfig's canonical dict round-trip (the cache-key substrate).
+
+The compile cache keys on ``json.dumps(config.to_dict(), sort_keys=True)``,
+so the serialization must be (a) lossless — ``from_dict(to_dict(c)) == c``
+for every config the evaluation exercises, (b) canonical — enums render
+as stable strings, mappings in sorted order — and (c) strict on the way
+in — unknown keys are a typed error, not silently-different knobs.
+"""
+
+import json
+from dataclasses import fields, replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigError
+from repro.core.pipeline import PennyConfig
+from repro.core.schemes import (
+    SCHEME_BOLT_AUTO,
+    SCHEME_BOLT_GLOBAL,
+    SCHEME_PENNY,
+    Scheme,
+    scheme_config,
+)
+
+EVALUATED = (SCHEME_BOLT_GLOBAL, SCHEME_BOLT_AUTO, SCHEME_PENNY)
+
+
+# -- the evaluated variants -------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", EVALUATED)
+def test_preset_round_trips(scheme):
+    config = scheme_config(scheme)
+    rebuilt = PennyConfig.from_dict(config.to_dict())
+    assert rebuilt == config
+
+
+@pytest.mark.parametrize("scheme", EVALUATED)
+def test_preset_dict_is_json_canonical(scheme):
+    d = scheme_config(scheme).to_dict()
+    # JSON-serializable without default= hooks...
+    text = json.dumps(d, sort_keys=True)
+    # ...and stable: encode -> decode -> encode is a fixed point.
+    assert json.dumps(json.loads(text), sort_keys=True) == text
+
+
+def test_default_config_round_trips():
+    config = PennyConfig()
+    assert PennyConfig.from_dict(config.to_dict()) == config
+
+
+def test_dict_covers_every_field():
+    d = PennyConfig().to_dict()
+    assert set(d) == {f.name for f in fields(PennyConfig)}
+
+
+def test_overwrite_scheme_serializes_as_enum_value_string():
+    for raw, expected in (("rr", "rr"), (Scheme.SA, "sa"), ("auto", "auto")):
+        d = PennyConfig(overwrite=raw).to_dict()
+        assert d["overwrite"] == expected
+        assert isinstance(d["overwrite"], str)
+        assert PennyConfig.from_dict(d).to_dict()["overwrite"] == expected
+
+
+def test_unknown_key_is_a_typed_error():
+    payload = PennyConfig().to_dict()
+    payload["turbo_mode"] = True
+    with pytest.raises(ConfigError, match="turbo_mode"):
+        PennyConfig.from_dict(payload)
+
+
+def test_knob_flip_changes_canonical_json():
+    base = json.dumps(PennyConfig().to_dict(), sort_keys=True)
+    for change in (
+        {"pruning": "none"},
+        {"storage_mode": "global"},
+        {"overwrite": "sa"},
+        {"low_opts": False},
+        {"param_noalias": True},
+        {"lint_disable": ("W001",)},
+    ):
+        flipped = replace(PennyConfig(), **change)
+        assert json.dumps(flipped.to_dict(), sort_keys=True) != base
+
+
+# -- property test over the whole knob space --------------------------------------
+
+configs = st.builds(
+    PennyConfig,
+    placement=st.sampled_from(["bimodal", "eager"]),
+    pruning=st.sampled_from(["optimal", "basic", "none"]),
+    storage_mode=st.sampled_from(["auto", "shared", "global"]),
+    overwrite=st.sampled_from(["auto", "rr", "sa", "none"]),
+    low_opts=st.booleans(),
+    cost_base=st.integers(min_value=1, max_value=1024),
+    cover_base=st.integers(min_value=1, max_value=16),
+    basic_prune_attempts=st.integers(min_value=1, max_value=256),
+    basic_prune_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    max_rename_rounds=st.integers(min_value=1, max_value=32),
+    max_replan_rounds=st.integers(min_value=1, max_value=32),
+    param_noalias=st.booleans(),
+    verify=st.booleans(),
+    lint=st.booleans(),
+    lint_disable=st.tuples(st.sampled_from(["W001", "W002", "E001"])),
+    lint_severity=st.dictionaries(
+        st.sampled_from(["W001", "W002"]),
+        st.sampled_from(["error", "warning", "note"]),
+        max_size=2,
+    ),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=configs)
+def test_round_trip_is_lossless_and_canonical(config):
+    d = config.to_dict()
+    rebuilt = PennyConfig.from_dict(d)
+    assert rebuilt == config
+    # Canonical: the same config always renders the same JSON.
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+        d, sort_keys=True
+    )

@@ -1,0 +1,106 @@
+"""CompileResult pickle-safety — the serving subsystem's load-bearing
+invariant.
+
+Results cross process boundaries (batch pool workers), live pickled in
+the compile cache, and are unpickled fresh on every hit.  A result must
+therefore survive ``pickle.loads(pickle.dumps(r))`` with *nothing* lost:
+same ``to_dict()``, byte-identical protected kernel text, and the
+recovery table (the paper's per-region REPLAY/SKIP metadata, stowed in
+``kernel.meta``) intact and equal entry-for-entry.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.suite import get_benchmark
+from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_kernel
+
+PTX = """
+.entry axpy (.param .ptr A, .param .u32 n) {
+ENTRY:
+  mov.u32 %tid, %tid.x;
+  ld.param.u32 %a, [A];
+  ld.param.u32 %n, [n];
+  mov.u32 %i, %tid;
+HEAD:
+  setp.ge.u32 %p1, %i, %n;
+  @%p1 bra EXIT;
+BODY:
+  shl.u32 %off, %i, 2;
+  add.u32 %addr, %a, %off;
+  ld.global.u32 %v, [%addr];
+  mad.u32 %v2, %v, 3, 7;
+  st.global.u32 [%addr], %v2;
+  add.u32 %i, %i, 32;
+  bra HEAD;
+EXIT:
+  ret;
+}
+"""
+
+
+def _compile_ptx():
+    kernel = parse_module(PTX).kernels[0]
+    return PennyCompiler(PennyConfig()).compile(
+        kernel, LaunchConfig(threads_per_block=32, num_blocks=2)
+    )
+
+
+def _round_trip(result):
+    return pickle.loads(pickle.dumps(result))
+
+
+def test_round_trip_preserves_report_dict():
+    result = _compile_ptx()
+    clone = _round_trip(result)
+    assert clone.to_dict() == result.to_dict()
+    assert clone.summary() == result.summary()
+
+
+def test_round_trip_preserves_kernel_text():
+    result = _compile_ptx()
+    clone = _round_trip(result)
+    assert print_kernel(clone.kernel) == print_kernel(result.kernel)
+
+
+def test_round_trip_preserves_recovery_table():
+    result = _compile_ptx()
+    clone = _round_trip(result)
+    table = result.kernel.meta["recovery_table"]
+    cloned = clone.kernel.meta["recovery_table"]
+    assert type(cloned) is type(table)
+    assert sorted(cloned.regions) == sorted(table.regions)
+    assert cloned == table
+    assert clone.kernel.meta["region_boundaries"] == (
+        result.kernel.meta["region_boundaries"]
+    )
+    assert clone.kernel.meta["protected"] is True
+
+
+def test_clone_is_isolated():
+    """Mutating an unpickled result must not reach the original (the
+    cache hands out fresh copies for exactly this reason)."""
+    result = _compile_ptx()
+    clone = _round_trip(result)
+    clone.kernel.meta["protected"] = "tampered"
+    clone.stats["registers"] = -1
+    assert result.kernel.meta["protected"] is True
+    assert result.stats["registers"] != -1
+
+
+@pytest.mark.parametrize("abbr", ["BFS", "SGEMM", "HS"])
+def test_benchmark_results_survive_the_wire(abbr):
+    bench = get_benchmark(abbr)
+    result = PennyCompiler(PennyConfig()).compile(
+        bench.fresh_kernel(), bench.workload().launch_config
+    )
+    clone = _round_trip(result)
+    assert clone.to_dict() == result.to_dict()
+    assert print_kernel(clone.kernel) == print_kernel(result.kernel)
+    assert (
+        clone.kernel.meta["recovery_table"]
+        == result.kernel.meta["recovery_table"]
+    )
