@@ -682,14 +682,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
 
     threading.Thread(target=announce, daemon=True).start()
+    chaos = None
+    if getattr(args, "chaos", None):
+        from repro.serve.chaos import ChaosEngine, ChaosPlan
+
+        plan = ChaosPlan.parse(args.chaos, seed=args.chaos_seed)
+        chaos = ChaosEngine(plan)
+        print(
+            f"penny serve: chaos plan armed "
+            f"({len(plan.rules)} rule(s), seed {plan.seed})",
+            file=sys.stderr,
+            flush=True,
+        )
     with _Observation(args):
-        status = server.run()
+        if chaos is not None:
+            with chaos:
+                status = server.run()
+        else:
+            status = server.run()
     print(
         f"penny serve: drained ({server.stats.compiles} compile(s), "
         f"{server.stats.busy_rejections} busy rejection(s), "
         f"cache hit rate {server.cache.stats.hit_rate:.1%})",
         file=sys.stderr,
     )
+    if chaos is not None:
+        summary = chaos.summary()
+        by_kind = ", ".join(
+            f"{kind}={count}"
+            for kind, count in summary["by_kind"].items()
+        ) or "none"
+        print(
+            f"penny serve: chaos injected {summary['injections']} "
+            f"fault(s) ({by_kind})",
+            file=sys.stderr,
+        )
     return status
 
 
@@ -709,6 +736,11 @@ def cmd_client(args: argparse.Namespace) -> int:
         if args.action == "ping":
             print("pong" if client.ping() else "no pong")
             return 0
+        if args.action == "health":
+            health = client.health()
+            json.dump(health, sys.stdout, indent=2)
+            print()
+            return 0 if health.get("ready") else 1
         if args.action == "stats":
             json.dump(client.stats(), sys.stdout, indent=2)
             print()
@@ -912,6 +944,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", action="store_true",
         help="thread pool instead of process pool (debugging)",
     )
+    p_serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="chaos plan: comma-separated kind[:p=..][:max=..][:after=..]"
+             "[:delay=..] rules (e.g. 'worker.kill:p=0.2:max=3,"
+             "cache.corrupt:p=0.5'), or @file.json with a saved plan",
+    )
+    p_serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the chaos plan's deterministic fault sequence",
+    )
     _add_observe_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -920,7 +962,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="talk to a running penny serve (retry + backoff + jitter)",
     )
     p_client.add_argument(
-        "action", choices=("compile", "ping", "stats", "shutdown"),
+        "action",
+        choices=("compile", "ping", "health", "stats", "shutdown"),
     )
     p_client.add_argument(
         "input", nargs="?", default=None,

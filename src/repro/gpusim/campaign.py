@@ -527,7 +527,9 @@ def load_journal(path: str) -> Tuple[Optional[Dict], Dict[int, InjectionRecord]]
     records: Dict[int, InjectionRecord] = {}
     if not os.path.exists(path):
         return None, records
-    with open(path) as f:
+    # errors="replace": truncation mid multi-byte character must read as
+    # a corrupt line, not raise UnicodeDecodeError.
+    with open(path, errors="replace") as f:
         for lineno, line in enumerate(f):
             line = line.strip()
             if not line:
@@ -536,6 +538,10 @@ def load_journal(path: str) -> Tuple[Optional[Dict], Dict[int, InjectionRecord]]
                 obj = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn write from a mid-campaign kill
+            if not isinstance(obj, dict):
+                # A torn fragment can still parse (a bare number, a
+                # string): anything but a record object is skipped.
+                continue
             if lineno == 0 and "spec" in obj:
                 header = obj
                 continue

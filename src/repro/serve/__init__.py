@@ -1,12 +1,13 @@
 """``repro.serve`` — compilation-as-a-service.
 
-Three layers turn the one-shot compiler into a serving subsystem:
+Four layers turn the one-shot compiler into a serving subsystem:
 
 - **Content-addressed compile cache** (:mod:`repro.serve.cache`,
   :mod:`repro.serve.key`): results keyed by SHA-256 of the canonical
   kernel text, the canonical :class:`~repro.core.pipeline.PennyConfig`
   serialization and a code-version fingerprint; an in-memory LRU with a
-  byte budget over an atomic, corruption-tolerant disk store.
+  byte budget over an atomic, corruption-tolerant, self-healing disk
+  store (write faults counted, corrupt entries unlinked on read).
   Installing a cache (``with CompileCache(...):``) accelerates every
   existing entry point — :class:`~repro.core.pipeline.PennyCompiler`
   consults the context's cache on each ``compile()``.
@@ -16,12 +17,24 @@ Three layers turn the one-shot compiler into a serving subsystem:
   deterministic result ordering, per-job typed error capture and cache
   consultation before dispatch.
 
-- **Async server + client** (:mod:`repro.serve.server`,
-  :mod:`repro.serve.client`): ``penny serve`` fronts the pool with a
-  bounded queue (typed :class:`ServerBusy` backpressure), per-request
-  timeouts, disconnect cancellation and graceful SIGTERM drain;
-  ``penny client`` retries transient failures with exponential backoff
-  plus jitter.
+- **Async server + supervised pool + client**
+  (:mod:`repro.serve.server`, :mod:`repro.serve.pool`,
+  :mod:`repro.serve.client`): ``penny serve`` fronts a *supervised*
+  worker pool — crashed workers restart with backoff, hung workers are
+  reclaimed, poison jobs are quarantined with a typed
+  :class:`PoisonJobError` — behind a bounded queue (typed
+  :class:`ServerBusy` backpressure), with per-cache-key request
+  coalescing, per-request timeouts, disconnect cancellation, a
+  ``health`` op and graceful SIGTERM drain; ``penny client`` retries
+  transient failures with exponential backoff plus jitter under an
+  optional wall-clock deadline, and an optional :class:`CircuitBreaker`
+  fails fast while the server is down.
+
+- **Chaos harness** (:mod:`repro.serve.chaos`): seeded, plan-driven
+  service-level fault injection — worker kills and hangs, cache
+  corruption/truncation/ENOSPC, connection drops — installable for a
+  dynamic scope (``with ChaosEngine(plan):``) exactly like the cache
+  and tracer, and inert (one context-var read) when absent.
 
 Quickstart::
 
@@ -45,13 +58,23 @@ from repro.serve.cache import (
     active_cache,
     default_cache_dir,
 )
+from repro.serve.chaos import (
+    ChaosEngine,
+    ChaosEvent,
+    ChaosPlan,
+    ChaosRule,
+    active_chaos,
+)
 from repro.serve.client import (
     DEFAULT_PORT,
+    CircuitBreaker,
     CompileClient,
     RetryPolicy,
     wait_until_ready,
 )
 from repro.serve.errors import (
+    CircuitOpen,
+    PoisonJobError,
     ProtocolError,
     RemoteCompileError,
     RequestCancelled,
@@ -59,6 +82,7 @@ from repro.serve.errors import (
     ServeError,
     ServerBusy,
     ServerUnavailable,
+    WorkerCrashError,
     error_from_dict,
 )
 from repro.serve.key import (
@@ -67,6 +91,7 @@ from repro.serve.key import (
     code_fingerprint,
     compile_cache_key,
 )
+from repro.serve.pool import PoolConfig, PoolMetrics, WorkerPool
 from repro.serve.server import CompileServer, ServeConfig, ServerStats
 
 __all__ = [
@@ -85,14 +110,24 @@ __all__ = [
     "BatchReport",
     "compile_batch",
     "jobs_from_source",
-    # server + client
+    # server + pool + client
     "CompileServer",
     "ServeConfig",
     "ServerStats",
+    "WorkerPool",
+    "PoolConfig",
+    "PoolMetrics",
     "CompileClient",
     "RetryPolicy",
+    "CircuitBreaker",
     "DEFAULT_PORT",
     "wait_until_ready",
+    # chaos
+    "ChaosEngine",
+    "ChaosPlan",
+    "ChaosRule",
+    "ChaosEvent",
+    "active_chaos",
     # errors
     "ServeError",
     "ServerBusy",
@@ -101,5 +136,8 @@ __all__ = [
     "ProtocolError",
     "ServerUnavailable",
     "RemoteCompileError",
+    "WorkerCrashError",
+    "PoisonJobError",
+    "CircuitOpen",
     "error_from_dict",
 ]

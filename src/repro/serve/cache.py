@@ -30,6 +30,7 @@ performs; every lookup/store is an ``obs`` span with ``cache.hit`` /
 
 from __future__ import annotations
 
+import errno
 import io
 import os
 import pickle
@@ -41,6 +42,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import repro.obs as obs
+from repro.serve.chaos import (
+    SITE_CACHE_READ,
+    SITE_CACHE_STORE,
+    active_chaos,
+)
 from repro.serve.key import CacheKey
 
 _ACTIVE: ContextVar[Optional["CompileCache"]] = ContextVar(
@@ -76,6 +82,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    store_errors: int = 0
     evictions: int = 0
     corrupt: int = 0
     memory_bytes: int = 0
@@ -86,6 +93,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "store_errors": self.store_errors,
             "evictions": self.evictions,
             "corrupt": self.corrupt,
             "memory_bytes": self.memory_bytes,
@@ -305,6 +313,14 @@ class CompileCache:
 
     def _disk_get(self, digest: str) -> Optional[bytes]:
         path = self._path(digest)
+        chaos = active_chaos()
+        # Only a read that has an entry to damage is a decision point:
+        # that keeps the injected count equal to the faults that truly
+        # happened (a corrupted nonexistent file is not a fault).
+        if chaos is not None and os.path.exists(path):
+            rule = chaos.decide(SITE_CACHE_READ, digest=digest[:12])
+            if rule is not None:
+                self._apply_read_chaos(rule, path)
         try:
             with open(path, "rb") as f:
                 payload = f.read()
@@ -328,21 +344,65 @@ class CompileCache:
 
     def _disk_put(self, digest: str, payload: bytes) -> None:
         path = self._path(digest)
+        rule = None
+        chaos = active_chaos()
+        if chaos is not None:
+            rule = chaos.decide(SITE_CACHE_STORE, digest=digest[:12])
+            if rule is not None and rule.kind == "cache.slow_store":
+                time.sleep(rule.delay_s)
+        write_payload = payload
+        if rule is not None and rule.kind == "cache.torn":
+            # A filesystem that lied about atomicity: a truncated entry
+            # lands under the real name.  The read path's eager pickle
+            # validation is what catches (and unlinks) it.
+            write_payload = payload[: max(1, len(payload) // 2)]
         try:
             fd, tmp = tempfile.mkstemp(
                 dir=self.directory, prefix=".tmp-", suffix=".pkl"
             )
             try:
                 with io.open(fd, "wb") as f:
-                    f.write(payload)
+                    f.write(write_payload)
+                    f.flush()
+                    if rule is not None and rule.kind == "cache.enospc":
+                        raise OSError(
+                            errno.ENOSPC, "no space left on device"
+                        )
+                # Paranoia against short writes the buffered layer did
+                # not surface: never publish a file of the wrong size.
+                if os.stat(tmp).st_size != len(write_payload):
+                    raise OSError(errno.EIO, "short write to cache tier")
                 os.replace(tmp, path)  # atomic publish
             except BaseException:
                 self._unlink(tmp)
                 raise
         except OSError:
             # A full or read-only disk degrades the cache, never the
-            # compilation.
+            # compilation: the temp file is gone, the old entry (if any)
+            # is untouched, and the failure is counted.
+            self.stats.store_errors += 1
+            obs.inc("cache.store_error")
             obs.event("cache.disk_write_failed", digest=digest[:12])
+
+    @staticmethod
+    def _apply_read_chaos(rule, path: str) -> None:
+        """Damage the on-disk entry the way the rule prescribes, then
+        let the *normal* read path discover it (that path — validate,
+        count ``cache.corrupt``, unlink, miss — is what is under test)."""
+        if rule.kind == "cache.slow_read":
+            time.sleep(rule.delay_s)
+            return
+        try:
+            if rule.kind == "cache.corrupt":
+                size = os.path.getsize(path)
+                with open(path, "r+b") as f:
+                    f.write(b"\xde\xad\xbe\xef" * max(1, size // 8))
+            elif rule.kind == "cache.truncate":
+                size = os.path.getsize(path)
+                with open(path, "r+b") as f:
+                    f.truncate(max(0, size // 2))
+        except OSError:
+            pass  # nothing on disk to damage: the read will miss anyway
 
     @staticmethod
     def _unlink(path: str) -> int:

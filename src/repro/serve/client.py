@@ -9,6 +9,22 @@ thundering herd of rejected clients decorrelates instead of
 re-stampeding the queue.  Deterministic tests inject their own ``rng``
 and ``sleep``.
 
+The retry budget is bounded two ways: by **attempts** and by a
+wall-clock **deadline** (``RetryPolicy.deadline``) — a client under a
+latency SLO stops retrying when another backoff sleep would blow the
+budget, not after a fixed count whose worst case nobody computed.  The
+final :class:`ServerUnavailable` carries the full post-mortem:
+``attempts`` (per-attempt cause strings), structured ``causes``,
+``elapsed``, and whether the deadline was the binding constraint.
+
+Layered above retry sits an optional **circuit breaker**
+(:class:`CircuitBreaker`): a shared-by-reference failure tracker that
+trips open after ``failure_threshold`` consecutive *transport* failures,
+fails calls fast with :class:`CircuitOpen` while open, and lets one
+probe through after ``reset_timeout`` (half-open) to test recovery.
+Only transport-level failures count — a typed compile error or a
+``ServerBusy`` rejection proves the server is alive.
+
 Non-transient failures surface as typed exceptions immediately:
 :class:`RemoteCompileError` for a typed compiler failure on the server
 (its serialized :class:`~repro.core.errors.CompileError` rides in
@@ -22,11 +38,13 @@ from __future__ import annotations
 import json
 import random
 import socket
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.serve.errors import (
+    CircuitOpen,
     ProtocolError,
     ServeError,
     ServerBusy,
@@ -40,22 +58,120 @@ DEFAULT_PORT = 9779
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Backoff discipline for transient failures."""
+    """Backoff discipline for transient failures.
+
+    ``attempts`` bounds the try count; ``deadline`` (seconds of total
+    elapsed time, ``None`` = unbounded) bounds worst-case latency — the
+    loop gives up *before* a backoff sleep that would cross it.
+    """
 
     attempts: int = 5
     base_delay: float = 0.05
     max_delay: float = 2.0
     jitter: float = 0.5
     retry_busy: bool = True
+    deadline: Optional[float] = None
 
     def delay(self, attempt: int, rng: random.Random) -> float:
         backoff = min(self.max_delay, self.base_delay * (2.0 ** attempt))
         return backoff * (1.0 + self.jitter * rng.random())
 
 
+# -- the circuit breaker -----------------------------------------------------------
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-transport-failure breaker (share one per server
+    endpoint across clients/threads).
+
+    closed → open after ``failure_threshold`` consecutive transport
+    failures; open → half-open after ``reset_timeout`` seconds (exactly
+    one probe is let through); half-open → closed on success, back to
+    open on failure.  Thread-safe; uses the monotonic clock.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = _CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  In half-open, admits exactly
+        one probe at a time."""
+        with self._lock:
+            if self._state == _CLOSED:
+                return True
+            now = self._clock()
+            if (
+                self._state == _OPEN
+                and self._opened_at is not None
+                and now - self._opened_at >= self.reset_timeout
+            ):
+                self._state = _HALF_OPEN
+                self._probing = False
+            if self._state == _HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = _CLOSED
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == _HALF_OPEN or (
+                self._failures >= self.failure_threshold
+            ):
+                self._state = _OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            retry_in = None
+            if self._state == _OPEN and self._opened_at is not None:
+                retry_in = max(
+                    0.0,
+                    self.reset_timeout - (self._clock() - self._opened_at),
+                )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "retry_in": retry_in,
+            }
+
+
 class CompileClient:
     """One connection-per-request blocking client (context manager is
-    optional; there is no persistent state beyond configuration)."""
+    optional; there is no persistent state beyond configuration and the
+    optionally shared :class:`CircuitBreaker`)."""
 
     def __init__(
         self,
@@ -65,11 +181,13 @@ class CompileClient:
         retry: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
         sleep: Callable[[float], None] = time.sleep,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retry = retry or RetryPolicy()
+        self.breaker = breaker
         self._rng = rng or random.Random()
         self._sleep = sleep
 
@@ -99,32 +217,95 @@ class CompileClient:
         """Send one op with retry+backoff; returns the ``ok`` response
         object, raises a typed :class:`ServeError` otherwise."""
         payload = {"op": op, "id": fields.pop("id", None), **fields}
-        failures = []
-        for attempt in range(self.retry.attempts):
+        failures: List[str] = []
+        causes: List[Dict[str, Any]] = []
+        started = time.monotonic()
+        deadline = self.retry.deadline
+        deadline_exceeded = False
+        attempt = 0
+        while attempt < self.retry.attempts:
             if attempt:
-                self._sleep(self.retry.delay(attempt - 1, self._rng))
+                pause = self.retry.delay(attempt - 1, self._rng)
+                if (
+                    deadline is not None
+                    and time.monotonic() - started + pause > deadline
+                ):
+                    deadline_exceeded = True
+                    break
+                self._sleep(pause)
+            if self.breaker is not None and not self.breaker.allow():
+                raise CircuitOpen(
+                    f"circuit open for {self.host}:{self.port}",
+                    breaker=self.breaker.snapshot(),
+                    attempts=failures,
+                )
+            attempt += 1
+            attempt_started = time.monotonic()
             try:
                 response = self._roundtrip(payload)
             except (ConnectionError, socket.timeout, OSError) as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 failures.append(f"{type(exc).__name__}: {exc}")
+                causes.append(
+                    {
+                        "attempt": attempt,
+                        "kind": "transport",
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "seconds": round(
+                            time.monotonic() - attempt_started, 6
+                        ),
+                    }
+                )
                 continue
+            # Any parsed response proves the server is alive, whatever
+            # it says: the breaker is about transport, not semantics.
+            if self.breaker is not None:
+                self.breaker.record_success()
             if response.get("ok"):
                 return response
             error = error_from_dict(response.get("error"))
             if isinstance(error, ServerBusy) and self.retry.retry_busy:
                 failures.append("ServerBusy")
+                causes.append(
+                    {
+                        "attempt": attempt,
+                        "kind": "busy",
+                        "type": "ServerBusy",
+                        "message": error.message,
+                        "seconds": round(
+                            time.monotonic() - attempt_started, 6
+                        ),
+                    }
+                )
                 continue
             raise error
+        elapsed = time.monotonic() - started
         raise ServerUnavailable(
             f"no response from {self.host}:{self.port} after "
-            f"{self.retry.attempts} attempt(s)",
+            f"{attempt} attempt(s)"
+            + (
+                f" ({elapsed:.2f}s elapsed, deadline {deadline}s)"
+                if deadline_exceeded
+                else ""
+            ),
             attempts=failures,
+            causes=causes,
+            attempt_count=attempt,
+            elapsed=round(elapsed, 6),
+            deadline=deadline,
+            deadline_exceeded=deadline_exceeded,
         )
 
     # -- convenience ops -------------------------------------------------------
 
     def ping(self) -> bool:
         return bool(self.request("ping").get("ok"))
+
+    def health(self) -> Dict[str, Any]:
+        """The server's readiness + supervision snapshot."""
+        return self.request("health")
 
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")["stats"]

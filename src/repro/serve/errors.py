@@ -64,6 +64,29 @@ class RemoteCompileError(ServeError):
     serialized form (pass name, scheme, kernel snapshot)."""
 
 
+class WorkerCrashError(ServeError):
+    """A pool worker died (crash, SIGKILL, or a supervisor hang-kill)
+    while running the job and the retry budget did not absorb it."""
+
+
+class PoisonJobError(ServeError):
+    """A job killed enough consecutive workers to be quarantined.
+
+    The supervised pool retries a job whose worker crashed; a job whose
+    *every* attempt kills its worker would otherwise crash-loop the pool
+    forever.  After ``poison_threshold`` consecutive worker deaths the
+    job is failed with this error and its key is quarantined — later
+    submissions of the same key fail fast without touching a worker.
+    """
+
+
+class CircuitOpen(ServeError):
+    """The client's circuit breaker is open: recent attempts failed at
+    the transport layer, so the client fails fast instead of hammering a
+    dead server.  ``detail`` carries the breaker state and when the next
+    probe is allowed."""
+
+
 _ERROR_TYPES = {}
 
 
@@ -79,6 +102,9 @@ for _cls in (
     ProtocolError,
     ServerUnavailable,
     RemoteCompileError,
+    WorkerCrashError,
+    PoisonJobError,
+    CircuitOpen,
 ):
     _register(_cls)
 

@@ -6,6 +6,11 @@ request/response per connection).  Operations:
 
 ``ping``
     liveness probe, echoes ``id``.
+``health``
+    readiness + supervision snapshot: ``ready`` (accepting work),
+    draining flag, uptime and the worker pool's
+    :meth:`~repro.serve.pool.WorkerPool.health` (alive/dead workers,
+    restart/quarantine counters).  ``ready`` is an alias.
 ``stats``
     server counters + the cache's :meth:`CompileCache.report` — what CI
     asserts warm-path hit rates against.
@@ -20,12 +25,20 @@ request/response per connection).  Operations:
 
 Scale and robustness properties:
 
-- compilation runs on a worker pool (processes by default; threads with
-  ``use_threads=True``, which tests use so they can monkeypatch the job
-  runner) behind a **bounded queue**: when ``queue_limit`` requests are
-  in flight, further compiles are rejected immediately with a typed
+- compilation runs on a **supervised** worker pool
+  (:class:`repro.serve.pool.WorkerPool`; processes by default, threads
+  with ``use_threads=True``, which tests use so they can monkeypatch the
+  job runner) behind a **bounded queue**: when ``queue_limit`` requests
+  are in flight, further compiles are rejected immediately with a typed
   :class:`ServerBusy` payload — the client owns retry policy, the
-  server sheds load;
+  server sheds load.  A crashed worker is restarted with backoff and its
+  job retried; a job that keeps killing workers is quarantined with a
+  typed :class:`PoisonJobError` instead of crash-looping the farm;
+- concurrent cold requests for the same :class:`CacheKey` are
+  **coalesced**: the first becomes the leader and compiles, the rest
+  await the same in-flight computation (one ``cache.miss``, one worker
+  dispatch, one ``cache.put`` — cache-stampede suppression).  The
+  shared compile is abandoned only when its *last* waiter disconnects;
 - every compile has a **per-request timeout** (:class:`RequestTimeout`)
   and is **cancelled** when its client disconnects mid-request (the
   handler watches the connection while the pool works);
@@ -36,20 +49,26 @@ Scale and robustness properties:
   the pool and stores every miss, so a repeated corpus is served from
   memory/disk without touching a worker.
 
+Chaos: with a :class:`repro.serve.chaos.ChaosEngine` installed, the
+response path consults the ``conn.drop`` site before writing (the
+connection is closed instead — the client's retry path), the pool
+consults ``worker.job`` at dispatch, and the cache consults
+``cache.store``/``cache.read``.
+
 Observability: ``serve.request`` spans, ``serve.requests`` /
-``serve.busy_rejections`` / ``serve.timeouts`` / ``serve.cancelled``
-counters and a ``serve.queue_depth`` gauge, all through
-:mod:`repro.obs`.
+``serve.busy_rejections`` / ``serve.timeouts`` / ``serve.cancelled`` /
+``serve.coalesced`` counters and a ``serve.queue_depth`` gauge, all
+through :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -58,13 +77,17 @@ from repro.core.pipeline import PennyConfig
 from repro.ir.printer import print_kernel
 from repro.serve.batch import CompileJob, _compile_job
 from repro.serve.cache import DEFAULT_MEMORY_BYTES, CompileCache
+from repro.serve.chaos import SITE_CONN_SEND, active_chaos
 from repro.serve.errors import (
+    PoisonJobError,
     ProtocolError,
     RequestTimeout,
     ServeError,
     ServerBusy,
+    WorkerCrashError,
 )
 from repro.serve.key import compile_cache_key
+from repro.serve.pool import PoolConfig, WorkerPool
 
 
 @dataclass
@@ -80,6 +103,11 @@ class ServeConfig:
     max_memory_bytes: int = DEFAULT_MEMORY_BYTES
     #: thread pool instead of process pool (tests; GIL-bound otherwise)
     use_threads: bool = False
+    #: consecutive worker deaths caused by one job before quarantine
+    poison_threshold: int = 2
+    #: extra slack the pool's hang detector grants beyond the request
+    #: timeout (the request answers first; the pool then reclaims)
+    job_timeout_grace: float = 5.0
 
 
 @dataclass
@@ -93,6 +121,7 @@ class ServerStats:
     cancelled: int = 0
     errors: int = 0
     protocol_errors: int = 0
+    coalesced: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -103,6 +132,7 @@ class ServerStats:
             "cancelled": self.cancelled,
             "errors": self.errors,
             "protocol_errors": self.protocol_errors,
+            "coalesced": self.coalesced,
         }
 
 
@@ -110,9 +140,9 @@ def _execute_request(payload: Dict[str, Any]) -> Tuple[str, Any]:
     """Pool entry point: compile one serialized job.
 
     Returns ``("ok", CompileResult)`` or ``("error", error_dict)`` —
-    exceptions never cross the executor boundary untyped.  Module-level
-    (not a method) so the process pool can pickle it and tests can
-    monkeypatch it.
+    exceptions never cross the worker boundary untyped.  Module-level
+    (not a method) so worker processes can resolve it by path and tests
+    can monkeypatch it.
     """
     from repro.core.errors import CompileError
 
@@ -133,8 +163,18 @@ def _execute_request(payload: Dict[str, Any]) -> Tuple[str, Any]:
         }
 
 
+class _LiveCompile:
+    """One in-flight compile shared by every coalesced request."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task: asyncio.Task):
+        self.task = task
+        self.waiters = 1
+
+
 class CompileServer:
-    """One serving process: listener + bounded queue + worker pool."""
+    """One serving process: listener + bounded queue + supervised pool."""
 
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
@@ -146,13 +186,15 @@ class CompileServer:
         self.port: Optional[int] = None  #: bound port, set on start
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._executor = None
+        self._pool: Optional[WorkerPool] = None
         self._inflight = 0
+        self._live: Dict[str, _LiveCompile] = {}  #: digest -> compile
         self._draining = False
         self._drained: Optional[asyncio.Event] = None
         self._ready = threading.Event()  #: for start_in_thread callers
         self._connections: set = set()
         self._handlers: set = set()
+        self._started_at: Optional[float] = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -166,14 +208,14 @@ class CompileServer:
         self._loop = asyncio.get_running_loop()
         self._drained = asyncio.Event()
         cfg = self.config
-        if cfg.use_threads:
-            self._executor = ThreadPoolExecutor(
-                max_workers=max(1, cfg.workers)
+        self._pool = WorkerPool(
+            PoolConfig(
+                workers=max(1, cfg.workers),
+                use_threads=cfg.use_threads,
+                job_timeout=cfg.request_timeout + cfg.job_timeout_grace,
+                poison_threshold=cfg.poison_threshold,
             )
-        else:
-            self._executor = ProcessPoolExecutor(
-                max_workers=max(1, cfg.workers)
-            )
+        ).start()
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
                 self._loop.add_signal_handler(sig, self.initiate_drain)
@@ -183,6 +225,7 @@ class CompileServer:
             self._handle, cfg.host, cfg.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
         obs.event("serve.listening", host=cfg.host, port=self.port)
         self._ready.set()
         try:
@@ -203,7 +246,7 @@ class CompileServer:
             handlers = list(self._handlers)
             if handlers:
                 await asyncio.wait(handlers, timeout=1.0)
-            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._pool.shutdown(wait=False)
             self._ready.clear()
 
     def initiate_drain(self) -> None:
@@ -230,8 +273,13 @@ class CompileServer:
 
     def start_in_thread(self, timeout: float = 10.0) -> threading.Thread:
         """Run the server on a daemon thread; returns once it is
-        listening (``self.port`` is bound)."""
-        thread = threading.Thread(target=self.run, daemon=True)
+        listening (``self.port`` is bound).  The thread runs in a copy
+        of the caller's context, so a tracer or chaos engine installed
+        by the caller stays visible to the server and its pool."""
+        ctx = contextvars.copy_context()
+        thread = threading.Thread(
+            target=ctx.run, args=(self.run,), daemon=True
+        )
         thread.start()
         if not self._ready.wait(timeout):
             raise RuntimeError("server did not start listening in time")
@@ -260,7 +308,8 @@ class CompileServer:
                 )
                 if response is None:
                     break  # client went away mid-request
-                await self._send(writer, response)
+                if not await self._send(writer, response):
+                    break  # chaos dropped the connection
         except (
             ConnectionResetError,
             BrokenPipeError,
@@ -300,6 +349,8 @@ class CompileServer:
         op = req.get("op")
         if op == "ping":
             return {"id": rid, "ok": True, "op": "ping"}, None
+        if op in ("health", "ready"):
+            return self._health_response(rid), None
         if op == "stats":
             return (
                 {
@@ -309,6 +360,9 @@ class CompileServer:
                     "stats": {
                         "server": self.stats.to_dict(),
                         "cache": self.cache.report(),
+                        "pool": (
+                            self._pool.health() if self._pool else {}
+                        ),
                         "inflight": self._inflight,
                         "queue_limit": self.config.queue_limit,
                         "draining": self._draining,
@@ -323,6 +377,29 @@ class CompileServer:
             return await self._compile_request(reader, req)
         self.stats.protocol_errors += 1
         return _error_response(rid, ProtocolError(f"unknown op {op!r}")), None
+
+    def _health_response(self, rid) -> Dict[str, Any]:
+        pool_health = self._pool.health() if self._pool else {}
+        ready = (
+            not self._draining
+            and bool(pool_health.get("alive", 0))
+        )
+        return {
+            "id": rid,
+            "ok": True,
+            "op": "health",
+            "ready": ready,
+            "draining": self._draining,
+            "uptime": (
+                round(time.monotonic() - self._started_at, 3)
+                if self._started_at is not None
+                else None
+            ),
+            "inflight": self._inflight,
+            "live_compiles": len(self._live),
+            "coalesced": self.stats.coalesced,
+            "pool": pool_health,
+        }
 
     async def _compile_request(
         self, reader: asyncio.StreamReader, req: Dict[str, Any]
@@ -374,54 +451,111 @@ class CompileServer:
         job: CompileJob,
         started: float,
     ) -> Tuple[Optional[Dict[str, Any]], Optional[bytes]]:
-        # Cache first: a warm key never touches the pool.
         key = _key_for_job(job)
-        if key is not None:
-            hit = self.cache.get(key)
-            if hit is not None:
-                self.stats.compiles += 1
-                return (
-                    _ok_response(rid, hit, cached=True, started=started),
-                    None,
-                )
+        digest = key.digest if key is not None else None
 
-        compute = asyncio.ensure_future(
-            asyncio.wait_for(
-                self._loop.run_in_executor(
-                    self._executor, _execute_request, job.to_dict()
-                ),
+        # Coalesce onto an identical in-flight compile *before* the
+        # cache lookup — followers must not count an extra cache miss.
+        live = self._live.get(digest) if digest is not None else None
+        if live is not None:
+            live.waiters += 1
+            self.stats.coalesced += 1
+            obs.inc("serve.coalesced")
+        else:
+            # Cache next: a warm key never touches the pool.
+            if key is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.stats.compiles += 1
+                    return (
+                        _ok_response(
+                            rid, hit, cached=True, started=started
+                        ),
+                        None,
+                    )
+            live = _LiveCompile(
+                asyncio.ensure_future(self._run_pooled(job, key))
+            )
+            if digest is not None:
+                self._live[digest] = live
+                entry = live
+
+                def _evict(_task, digest=digest, entry=entry):
+                    if self._live.get(digest) is entry:
+                        del self._live[digest]
+
+                live.task.add_done_callback(_evict)
+
+        return await self._await_compile(reader, rid, live, started)
+
+    async def _run_pooled(
+        self, job: CompileJob, key
+    ) -> Tuple[str, Any]:
+        """The shared computation behind one (possibly coalesced)
+        compile: dispatch to the pool, await with the request timeout,
+        store the result.  Runs exactly once per live digest."""
+        digest = key.digest if key is not None else None
+        future = self._pool.submit(job.to_dict(), key=digest)
+        try:
+            status, payload = await asyncio.wait_for(
+                asyncio.wrap_future(future),
                 timeout=self.config.request_timeout,
             )
-        )
-        # Watch the connection while the pool works: EOF cancels the
-        # request; a pipelined frame is kept for the handler loop.
+        finally:
+            if not future.done():
+                future.cancel()
+        if status == "ok" and key is not None:
+            self.cache.put(key, payload)
+        return status, payload
+
+    async def _await_compile(
+        self,
+        reader: asyncio.StreamReader,
+        rid,
+        live: _LiveCompile,
+        started: float,
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[bytes]]:
+        # Each request shields the shared task: one waiter walking away
+        # must not kill the compile its peers are still waiting on.
+        waiter = asyncio.ensure_future(asyncio.shield(live.task))
         watcher = asyncio.ensure_future(reader.readline())
         pipelined: Optional[bytes] = None
-        await asyncio.wait(
-            {compute, watcher}, return_when=asyncio.FIRST_COMPLETED
-        )
-        if watcher.done():
-            try:
-                line = watcher.result()
-            except Exception:
-                line = b""  # connection error == disconnect
-            if not line and not compute.done():
-                # Disconnect mid-request: abandon the computation.
-                compute.cancel()
-                self.stats.cancelled += 1
-                obs.inc("serve.cancelled")
-                return None, None
-            pipelined = line or None
-            if not compute.done():
-                await asyncio.wait({compute})
-        else:
-            # Cancellation must complete before the handler loop calls
-            # readline() again, or the reader raises "already waiting".
-            watcher.cancel()
-            await asyncio.wait({watcher})
+        try:
+            await asyncio.wait(
+                {waiter, watcher}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if watcher.done():
+                try:
+                    line = watcher.result()
+                except Exception:
+                    line = b""  # connection error == disconnect
+                if not line and not waiter.done():
+                    # Disconnect mid-request: leave the shared compile;
+                    # the last waiter out turns off the lights.
+                    waiter.cancel()
+                    await asyncio.wait({waiter})
+                    self.stats.cancelled += 1
+                    obs.inc("serve.cancelled")
+                    live.waiters -= 1
+                    if live.waiters <= 0 and not live.task.done():
+                        live.task.cancel()
+                    return None, None
+                pipelined = line or None
+                if not waiter.done():
+                    await asyncio.wait({waiter})
+            else:
+                # Cancellation must complete before the handler loop
+                # calls readline() again, or the reader raises
+                # "already waiting".
+                watcher.cancel()
+                await asyncio.wait({watcher})
+        finally:
+            if not watcher.done():
+                watcher.cancel()
+        live.waiters -= 1
 
         try:
-            status, payload = compute.result()
+            status, payload = waiter.result()
         except asyncio.TimeoutError:
             self.stats.timeouts += 1
             obs.inc("serve.timeouts")
@@ -437,6 +571,13 @@ class CompileServer:
             )
         except asyncio.CancelledError:
             raise
+        except (PoisonJobError, WorkerCrashError) as exc:
+            self.stats.errors += 1
+            obs.inc("serve.pool_failures")
+            return _error_response(rid, exc), pipelined
+        except ServeError as exc:
+            self.stats.errors += 1
+            return _error_response(rid, exc), pipelined
         except Exception as exc:  # pool infrastructure failure
             self.stats.errors += 1
             return (
@@ -462,22 +603,35 @@ class CompileServer:
                 pipelined,
             )
         self.stats.compiles += 1
-        if key is not None:
-            self.cache.put(key, payload)
         return (
             _ok_response(rid, payload, cached=False, started=started),
             pipelined,
         )
 
-    @staticmethod
     async def _send(
-        writer: asyncio.StreamWriter, payload: Dict[str, Any]
-    ) -> None:
+        self, writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> bool:
+        """Write one response frame.  Returns False when a chaos rule
+        dropped the connection instead (the client's retry path)."""
+        chaos = active_chaos()
+        if chaos is not None:
+            rule = chaos.decide(
+                SITE_CONN_SEND,
+                op=str(payload.get("op", "compile")),
+                ok=bool(payload.get("ok")),
+            )
+            if rule is not None:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+                return False
         writer.write(
             json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
             + b"\n"
         )
         await writer.drain()
+        return True
 
 
 def _job_from_request(req: Dict[str, Any]) -> CompileJob:
