@@ -249,7 +249,15 @@ def _verify_corpus(args: argparse.Namespace) -> int:
         print(f"{args.corpus}: no findings")
         return 0
     stale = 0
+    checked = 0
     for i, finding in enumerate(corpus.findings):
+        if finding.stage == "harness_crash" or not finding.case:
+            # The worker died before the case could be serialized back;
+            # only the generating seed survives.
+            print(f"[{i}] skipped: harness_crash finding has no case "
+                  f"(rebuild with --seed {finding.seed})")
+            continue
+        checked += 1
         case = finding.fuzz_case()
         if finding.reduced_kernel:
             case = _dc.replace(case, kernel_text=finding.reduced_kernel)
@@ -266,12 +274,68 @@ def _verify_corpus(args: argparse.Namespace) -> int:
             stale += 1
             print(f"[{i}] STALE: recorded {finding.fingerprint!r}, "
                   f"got {got!r}")
-    print(f"{len(corpus.findings) - stale}/{len(corpus.findings)} "
-          f"findings still reproduce")
+    print(f"{checked - stale}/{checked} findings still reproduce")
     return 1 if stale else 0
 
 
+def _campaign_fsck(args: argparse.Namespace) -> int:
+    """``penny campaign --fsck JOURNAL``: validate checksums + schema and
+    print the reconciliation summary without running anything."""
+    import os
+
+    from repro.gpusim.campaign import fsck_journal
+
+    if not os.path.exists(args.fsck):
+        print(f"fsck: no journal at {args.fsck}", file=sys.stderr)
+        return 2
+    fsck = fsck_journal(args.fsck)
+    recon = fsck.reconcile()
+    if args.json:
+        json.dump(fsck.to_dict(), sys.stdout, indent=2)
+        print()
+        return 0 if recon["complete"] else 1
+    header = fsck.header or {}
+    spec = header.get("spec") or {}
+    print(f"journal: {args.fsck}")
+    print(
+        f"  header: version={header.get('version', '?')} "
+        f"benchmark={spec.get('benchmark', '?')} "
+        f"n={spec.get('num_injections', '?')} "
+        f"seed={spec.get('seed', '?')}"
+    )
+    print(
+        f"  lines: {fsck.total_lines} total, {fsck.record_lines} records, "
+        f"{fsck.corrupt_lines} corrupt, {fsck.legacy_lines} legacy"
+    )
+    if fsck.duplicate_indices:
+        shown = ", ".join(map(str, fsck.duplicate_indices[:10]))
+        print(f"  duplicates: {shown}"
+              + (" ..." if len(fsck.duplicate_indices) > 10 else ""))
+    status = "ok" if recon["complete"] else "INCOMPLETE"
+    missing = recon["missing"]
+    print(
+        f"campaign: reconciliation {status} — "
+        f"{recon['recorded']}/{recon['expected']} indices accounted "
+        f"({len(missing)} missing, {len(recon['duplicates'])} duplicate, "
+        f"{fsck.corrupt_lines} corrupt line(s))"
+    )
+    if missing:
+        shown = ", ".join(map(str, missing[:10]))
+        print(f"  missing: {shown}" + (" ..." if len(missing) > 10 else ""))
+        print("  (run with --resume to complete the sweep)")
+    return 0 if recon["complete"] else 1
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.fsck:
+        return _campaign_fsck(args)
+    if not args.bench:
+        print(
+            "campaign: --bench is required (or --fsck JOURNAL to "
+            "validate a journal offline)",
+            file=sys.stderr,
+        )
+        return 2
     # Deferred: pulls in numpy (bench registry) and the simulator.
     from repro.bench import get_benchmark  # noqa: F401  (validates early)
     from repro.gpusim.campaign import CampaignSpec, ParallelCampaign
@@ -296,37 +360,100 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         max_instructions=args.watchdog,
         max_recoveries=args.max_recoveries,
     )
+    chaos = None
+    if getattr(args, "chaos", None):
+        from repro.serve.chaos import ChaosEngine, ChaosPlan
+
+        plan = ChaosPlan.parse(args.chaos, seed=args.chaos_seed)
+        chaos = ChaosEngine(plan)
+        print(
+            f"penny campaign: chaos plan armed "
+            f"({len(plan.rules)} rule(s), seed {plan.seed})",
+            file=sys.stderr,
+        )
+    campaign = ParallelCampaign(
+        spec,
+        workers=args.workers,
+        journal_path=args.journal,
+        wall_timeout=args.wall_timeout,
+        poison_threshold=args.poison_threshold,
+    )
     with _Observation(args) as watch:
-        report = ParallelCampaign(
-            spec, workers=args.workers, journal_path=args.journal
-        ).run(resume=args.resume)
+        if chaos is not None:
+            with chaos:
+                report = campaign.run(
+                    resume=args.resume, handle_signals=True
+                )
+        else:
+            report = campaign.run(resume=args.resume, handle_signals=True)
         watch.report(report)
+    if chaos is not None:
+        summary = chaos.summary()
+        print(
+            f"penny campaign: chaos injected {summary['injections']} "
+            f"fault(s) {summary['by_kind']}",
+            file=sys.stderr,
+        )
+
+    recon = report.reconciliation()
+    sup = report.supervision or {}
+    status = (
+        "ok"
+        if recon["complete"]
+        else ("partial" if report.interrupted else "FAILED")
+    )
+    print(
+        f"campaign: reconciliation {status} — "
+        f"{recon['recorded']}/{recon['expected']} indices accounted "
+        f"exactly once (retries={sup.get('retries', 0)}, "
+        f"quarantined={sup.get('quarantined', 0)}, "
+        f"worker_restarts={sup.get('restarts', 0)}, "
+        f"journal_write_errors={sup.get('journal_write_errors', 0)}, "
+        f"journal_corrupt={sup.get('journal_corrupt_records', 0)})",
+        file=sys.stderr,
+    )
 
     if args.json:
         json.dump(report.to_dict(), sys.stdout, indent=2)
         print()
-        return 0
-
-    summary = report.summary()
-    print(
-        f"campaign: {spec.benchmark} scheme={spec.scheme} "
-        f"code={spec.rf_code} surfaces={','.join(spec.surfaces)} "
-        f"n={spec.num_injections} workers={args.workers}"
-    )
-    print()
-    print(f"{'outcome':14}{'count':>8}")
-    for name, count in summary.items():
-        print(f"{name:14}{count:>8}")
-    taxonomy = report.due_taxonomy()
-    if taxonomy:
+    else:
+        summary = report.summary()
+        print(
+            f"campaign: {spec.benchmark} scheme={spec.scheme} "
+            f"code={spec.rf_code} surfaces={','.join(spec.surfaces)} "
+            f"n={spec.num_injections} workers={args.workers}"
+        )
         print()
-        print("DUE taxonomy:")
-        for label, count in sorted(taxonomy.items()):
-            print(f"  {label:20}{count:>6}")
-    print()
-    print(f"{'rate':12}{'point':>9}{'95% CI':>20}")
-    for name, (p, lo, hi) in report.rates().items():
-        print(f"{name:12}{p:>9.4f}   [{lo:.4f}, {hi:.4f}]")
+        print(f"{'outcome':14}{'count':>8}")
+        for name, count in summary.items():
+            print(f"{name:14}{count:>8}")
+        taxonomy = report.due_taxonomy()
+        if taxonomy:
+            print()
+            print("DUE taxonomy:")
+            for label, count in sorted(taxonomy.items()):
+                print(f"  {label:20}{count:>6}")
+        print()
+        print(f"{'rate':12}{'point':>9}{'95% CI':>20}")
+        for name, (p, lo, hi) in report.rates().items():
+            print(f"{name:12}{p:>9.4f}   [{lo:.4f}, {hi:.4f}]")
+
+    if report.interrupted:
+        reason = sup.get("drain_reason", "signal")
+        if args.journal:
+            hint = (
+                f"penny campaign --bench {spec.benchmark} "
+                f"-n {spec.num_injections} --seed {spec.seed} "
+                f"--journal {args.journal} --resume"
+            )
+        else:
+            hint = "re-run with --journal PATH to make drains resumable"
+        print(
+            f"campaign: interrupted ({reason}) — journal flushed, "
+            f"partial report emitted; resume with: {hint}",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -1134,7 +1261,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a parallel fault-injection campaign on a benchmark",
     )
     p_campaign.add_argument(
-        "--bench", required=True, help="benchmark abbreviation (e.g. STC)"
+        "--bench", default=None,
+        help="benchmark abbreviation (e.g. STC); "
+        "required unless --fsck is given",
+    )
+    p_campaign.add_argument(
+        "--fsck", default=None, metavar="JOURNAL",
+        help="validate a journal's checksums/schema and print its "
+        "reconciliation summary without running anything",
     )
     p_campaign.add_argument(
         "-n", "--injections", type=int, default=200,
@@ -1179,6 +1313,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--max-recoveries", type=int, default=100,
         help="recovery budget per thread before budget_exhausted",
+    )
+    p_campaign.add_argument(
+        "--wall-timeout", type=float, default=None,
+        help="wall-clock seconds before a busy worker is declared hung "
+        "and reclaimed (default: no deadline)",
+    )
+    p_campaign.add_argument(
+        "--poison-threshold", type=int, default=2,
+        help="consecutive worker deaths on one injection before it is "
+        "quarantined as a worker_crash DUE (default 2)",
+    )
+    p_campaign.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="arm a chaos plan for the campaign "
+        "(e.g. 'campaign.worker.kill:p=0.1:max=3,journal.torn:p=0.05')",
+    )
+    p_campaign.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="seed for the chaos plan's RNG (deterministic injection)",
     )
     p_campaign.add_argument(
         "--json", action="store_true", help="machine-readable output"

@@ -24,14 +24,19 @@ from repro.fuzz.generator import FuzzCase, GeneratorConfig, generate_case
 from repro.fuzz.mutators import mutate_case
 from repro.fuzz.oracle import run_case
 from repro.fuzz.reducer import instruction_count, reduce_case
-from repro.fuzz.triage import Finding, TriageCorpus
+from repro.fuzz.triage import Finding, TriageCorpus, fingerprint
 from repro.gpusim.campaign import stable_seed
+from repro.runtime.errors import TaskRuntimeError
+from repro.runtime.pool import PoolConfig, WorkerPool
 
 #: per-iteration outcome labels (findings carry their stage separately)
 OUTCOME_OK = "ok"
 OUTCOME_INVALID = "invalid_case"
 OUTCOME_BASELINE_SKIP = "baseline_skip"
 OUTCOME_FINDING = "finding"
+#: the worker running the iteration died (segfault, OOM-kill, hang):
+#: recorded as a Finding with the generating seed instead of vanishing
+OUTCOME_HARNESS_CRASH = "harness_crash"
 
 
 @dataclass(frozen=True)
@@ -154,29 +159,71 @@ def _run_iteration(spec: FuzzSpec, index: int) -> Dict:
 _WORKER_SPEC: Optional[FuzzSpec] = None
 
 
-def _worker_init(spec_dict: Dict) -> None:
+def _pool_runner(payload: Dict) -> Dict:
+    """The supervised pool's task runner: one fuzz iteration per call
+    (the spec is cached per worker process)."""
     global _WORKER_SPEC
-    _WORKER_SPEC = FuzzSpec.from_dict(spec_dict)
+    spec = FuzzSpec.from_dict(payload["spec"])
+    if _WORKER_SPEC != spec:
+        _WORKER_SPEC = spec
+    return _run_iteration(_WORKER_SPEC, int(payload["index"]))
 
 
-def _worker_run(index: int) -> Dict:
-    assert _WORKER_SPEC is not None, "worker pool not initialized"
-    return _run_iteration(_WORKER_SPEC, index)
+def _crash_finding(
+    spec: FuzzSpec, index: int, exc: TaskRuntimeError
+) -> Finding:
+    """A worker death mid-iteration, triaged like any other failure.
+
+    ``case`` is empty — the worker died before the case could be
+    serialized back — but ``seed`` is the generating seed, so
+    ``spec.case_for_iteration(index)`` (or ``penny fuzz --seed``)
+    rebuilds the exact input that killed the worker.
+    """
+    exc_type = type(exc).__name__
+    message = getattr(exc, "message", str(exc))
+    return Finding(
+        iteration=index,
+        seed=stable_seed(spec.seed, index),
+        stage=OUTCOME_HARNESS_CRASH,
+        exc_type=exc_type,
+        pass_name="harness",
+        message=message,
+        fingerprint=fingerprint(
+            OUTCOME_HARNESS_CRASH, exc_type, "harness", message
+        ),
+        case={},
+        error=exc.to_dict() if hasattr(exc, "to_dict") else {},
+    )
 
 
 class FuzzRunner:
-    """Runs a :class:`FuzzSpec`, optionally in parallel, then triages
-    (and optionally reduces) the findings."""
+    """Runs a :class:`FuzzSpec`, optionally in parallel on the
+    supervised worker pool, then triages (and optionally reduces) the
+    findings.
+
+    A worker that dies mid-iteration (previously: the iteration silently
+    vanished from a ``multiprocessing.Pool`` sweep, or aborted it) is
+    retried; past ``poison_threshold`` consecutive deaths the iteration
+    is recorded as a :class:`Finding` with stage ``harness_crash`` and
+    the generating seed — crash opacity was itself a finding-shaped bug.
+    """
 
     def __init__(
         self,
         spec: FuzzSpec,
         workers: int = 1,
         journal_path: Optional[str] = None,
+        *,
+        use_threads: bool = False,
+        wall_timeout: Optional[float] = None,
+        poison_threshold: int = 2,
     ):
         self.spec = spec
         self.workers = max(1, workers)
         self.journal_path = journal_path
+        self.use_threads = use_threads
+        self.wall_timeout = wall_timeout
+        self.poison_threshold = poison_threshold
 
     def run(self, reduce: bool = False) -> FuzzReport:
         with obs.span(
@@ -217,16 +264,30 @@ class FuzzRunner:
             for i in todo:
                 yield _run_iteration(self.spec, i)
             return
-        import multiprocessing as mp
-
-        ctx = mp.get_context()
-        with ctx.Pool(
-            processes=self.workers,
-            initializer=_worker_init,
-            initargs=(self.spec.to_dict(),),
-        ) as pool:
-            for record in pool.imap_unordered(_worker_run, todo, chunksize=1):
-                yield record
+        config = PoolConfig(
+            workers=self.workers,
+            use_threads=self.use_threads,
+            runner="repro.fuzz.harness:_pool_runner",
+            job_timeout=self.wall_timeout,
+            poison_threshold=self.poison_threshold,
+            chaos_site="campaign.worker",
+            tick=0.005,
+        )
+        spec_dict = self.spec.to_dict()
+        jobs = ((str(i), {"spec": spec_dict, "index": i}) for i in todo)
+        with WorkerPool(config) as pool:
+            for key, outcome in pool.imap_supervised(jobs):
+                index = int(key)
+                if isinstance(outcome, TaskRuntimeError):
+                    obs.inc("fuzz.harness_crashes")
+                    finding = _crash_finding(self.spec, index, outcome)
+                    yield {
+                        "index": index,
+                        "outcome": OUTCOME_HARNESS_CRASH,
+                        "finding": dataclasses.asdict(finding),
+                    }
+                else:
+                    yield outcome
 
     # -- reduction ----------------------------------------------------------------
 
@@ -234,6 +295,8 @@ class FuzzRunner:
         """ddmin the first finding of every bucket in-place."""
         for fp, findings in report.buckets().items():
             rep = findings[0]
+            if not rep.case:
+                continue  # harness_crash: no case to shrink (seed only)
             case = rep.fuzz_case()
             original = instruction_count(case.kernel_text)
 
@@ -263,8 +326,11 @@ def run_fuzz(
     workers: int = 1,
     journal_path: Optional[str] = None,
     reduce: bool = False,
+    **kwargs: Any,
 ) -> FuzzReport:
-    """Convenience wrapper mirroring :func:`repro.gpusim.campaign.run_campaign`."""
+    """Convenience wrapper mirroring :func:`repro.gpusim.campaign.run_campaign`
+    (``kwargs`` pass through to :class:`FuzzRunner` — ``use_threads``,
+    ``wall_timeout``, ``poison_threshold``)."""
     return FuzzRunner(
-        spec, workers=workers, journal_path=journal_path
+        spec, workers=workers, journal_path=journal_path, **kwargs
     ).run(reduce=reduce)

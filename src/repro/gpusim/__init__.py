@@ -45,7 +45,9 @@ from repro.gpusim.campaign import (
     CampaignReport,
     CampaignSpec,
     InjectionRecord,
+    JournalFsck,
     ParallelCampaign,
+    fsck_journal,
     run_campaign,
     wilson_interval,
 )
@@ -76,7 +78,9 @@ __all__ = [
     "CampaignSpec",
     "CampaignReport",
     "InjectionRecord",
+    "JournalFsck",
     "ParallelCampaign",
+    "fsck_journal",
     "run_campaign",
     "wilson_interval",
 ]

@@ -18,29 +18,54 @@ assumptions:
   ``memory_exception`` or ``watchdog_timeout`` — instead of one lossy
   ``DUE`` bucket.
 
-- **Scale.**  Injections run on a multiprocessing worker pool with
-  deterministic per-index seeding (an injection's plan depends only on the
-  campaign seed and its index, never on scheduling), a per-injection
-  instruction-budget watchdog, a crash-safe JSONL journal that survives a
-  mid-campaign kill and resumes to the identical final report,
-  :meth:`CampaignReport.merge` for sharded campaigns, and Wilson-score
-  confidence intervals on the outcome rates.
+- **Scale.**  Injections run on the *supervised* worker pool
+  (:class:`repro.runtime.pool.WorkerPool`) with deterministic per-index
+  seeding (an injection's plan depends only on the campaign seed and its
+  index, never on scheduling), a per-injection instruction-budget
+  watchdog, a crash-safe JSONL journal that survives a mid-campaign kill
+  and resumes to the identical final report, :meth:`CampaignReport.merge`
+  for sharded campaigns, and Wilson-score confidence intervals on the
+  outcome rates.
 
-Journal format: line 1 is a header ``{"spec": {...}, "version": 1}``; every
-subsequent line is one :class:`InjectionRecord` as JSON.  Lines are written
-append-only and flushed per record, so after a crash the journal holds a
-header plus complete records (a torn final line is detected and dropped on
-resume).
+- **Supervision.**  A worker that segfaults, is OOM-killed, or hangs
+  past the wall-clock deadline (``wall_timeout`` — distinct from the
+  instruction-budget watchdog, which cannot fire when the *worker* is
+  wedged) takes down exactly one injection attempt: the index is retried
+  on another worker, and an index whose attempts kill
+  ``poison_threshold`` consecutive workers is quarantined and journaled
+  as a typed ``worker_crash`` DUE record — the sweep-level analogue of a
+  detected-unrecoverable error, classified and survived instead of
+  fatal.  SIGINT/SIGTERM drain gracefully: the journal is flushed, the
+  partial report is tagged resumable, and ``--resume`` completes the
+  sweep to the identical report.  At the end of an uninterrupted run the
+  engine *reconciles*: every index accounted for exactly once
+  (journaled ∪ retried ∪ quarantined) or a
+  :class:`repro.runtime.errors.ReconciliationError` is raised.
+
+Journal format (version 2): line 1 is a header ``{"spec": {...},
+"version": 2}``; every subsequent line is one :class:`InjectionRecord`
+as JSON.  Each line carries a CRC32 trailer (``<json>\\t<8-hex-crc>``)
+so torn or bit-rotted records are *detected*, not silently mis-parsed;
+:func:`fsck_journal` validates checksums and schema, skipping and
+counting corrupt lines.  Version-1 lines (no trailer) are still
+accepted as ``legacy``.  Lines are written append-only and flushed per
+record, so after a crash the journal holds a header plus complete
+records (a torn final line is detected and dropped on resume).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import math
 import os
 import random
+import signal
+import threading
+import zlib
+from collections import Counter as _IndexCounter
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -57,8 +82,26 @@ from repro.gpusim.faults import (
     classify_due,
 )
 from repro.gpusim.memory import MemoryError32
+from repro.runtime.errors import (
+    PoisonJobError,
+    ReconciliationError,
+    TaskRuntimeError,
+)
+from repro.runtime.pool import PoolConfig, WorkerPool
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+
+#: surface label of records synthesized for quarantined indices (the
+#: fault hit the *harness*, not a simulated structure)
+SURFACE_HARNESS = "harness"
+
+
+def _campaign_chaos():
+    """Late-bound :func:`repro.serve.chaos.active_chaos` (lazy so
+    importing the campaign engine does not pull in the serving stack)."""
+    from repro.serve.chaos import active_chaos
+
+    return active_chaos()
 
 SURFACE_RF = "rf"
 SURFACE_CKPT = "ckpt"
@@ -194,6 +237,13 @@ class CampaignReport:
 
     records: List[InjectionRecord] = field(default_factory=list)
     spec: Optional[CampaignSpec] = None
+    #: True when the run was drained early (SIGINT/SIGTERM): the report
+    #: is partial but the journal is flushed, so ``--resume`` completes
+    #: it to the identical uninterrupted report
+    interrupted: bool = False
+    #: supervision counters of the pool that ran this sweep (restarts,
+    #: crashes, retries, quarantined, ...); ``None`` for inline runs
+    supervision: Optional[Dict[str, Any]] = None
 
     def count(self, outcome: FaultOutcome) -> int:
         return sum(1 for r in self.records if r.outcome == outcome.value)
@@ -249,12 +299,34 @@ class CampaignReport:
             if r.counters
         )
 
+    def reconciliation(self) -> Dict[str, Any]:
+        """End-of-run accounting: is every index of the spec present
+        exactly once?  ``missing``/``duplicates`` list the offenders."""
+        expected = (
+            self.spec.num_injections if self.spec else len(self.records)
+        )
+        counts = _IndexCounter(r.index for r in self.records)
+        missing = [i for i in range(expected) if i not in counts]
+        duplicates = sorted(i for i, n in counts.items() if n > 1)
+        return {
+            "expected": expected,
+            "recorded": len(self.records),
+            "missing": missing,
+            "duplicates": duplicates,
+            "complete": not missing and not duplicates,
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": "campaign_report",
             "spec": self.spec.to_dict() if self.spec else None,
             "injections": len(self.records),
             "injected_runs": self.injected_runs,
+            "interrupted": self.interrupted,
+            "resumable": self.interrupted,
+            "supervision": self.supervision,
+            "reconciliation": self.reconciliation(),
+            "records": [dataclasses.asdict(r) for r in self.records],
             "summary": self.summary(),
             "due_taxonomy": dict(sorted(self.due_taxonomy().items())),
             "by_surface": {
@@ -503,30 +575,133 @@ def _plan_detail(plan) -> Optional[str]:
 
 # -- worker-pool plumbing --------------------------------------------------------
 
-_WORKER_STATE: Optional[_CampaignState] = None
+_WORKER_STATE: Optional[Tuple[str, _CampaignState]] = None
 
 
-def _worker_init(spec_dict: Dict) -> None:
+def _spec_digest(spec_dict: Dict) -> str:
+    return hashlib.sha256(
+        json.dumps(spec_dict, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _pool_runner(payload: Dict) -> Dict:
+    """The supervised pool's task runner: one injection per call.
+
+    The compiled kernel + golden profile are built once per worker
+    process and cached by spec digest, so a restarted worker rebuilds
+    them exactly once and consecutive injections pay nothing.
+    """
     global _WORKER_STATE
-    _WORKER_STATE = _CampaignState(CampaignSpec.from_dict(spec_dict))
-
-
-def _worker_run(index: int) -> Dict:
-    assert _WORKER_STATE is not None, "worker pool not initialized"
-    return dataclasses.asdict(_WORKER_STATE.run_index(index))
+    spec_dict = payload["spec"]
+    digest = _spec_digest(spec_dict)
+    if _WORKER_STATE is None or _WORKER_STATE[0] != digest:
+        _WORKER_STATE = (
+            digest,
+            _CampaignState(CampaignSpec.from_dict(spec_dict)),
+        )
+    return dataclasses.asdict(
+        _WORKER_STATE[1].run_index(int(payload["index"]))
+    )
 
 
 # -- journal ---------------------------------------------------------------------
 
 
-def load_journal(path: str) -> Tuple[Optional[Dict], Dict[int, InjectionRecord]]:
-    """Read a (possibly truncated) journal.  Returns the header spec dict
-    (or None) and the complete records by index.  Torn or corrupt lines —
-    the tail of a killed campaign — are skipped, not fatal."""
+def _crc_line(payload: str) -> str:
+    """Version-2 journal line: payload + tab + 8-hex CRC32.
+
+    ``json.dumps`` never emits a raw tab (it escapes to ``\\t``), so
+    splitting on the *last* tab is unambiguous.
+    """
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{payload}\t{crc:08x}"
+
+
+def _parse_journal_line(line: str) -> Tuple[Optional[Dict], str]:
+    """One journal line -> ``(object, status)`` where status is ``"ok"``
+    (CRC-verified v2 line), ``"legacy"`` (v1 line, no trailer) or
+    ``"corrupt"`` (bad CRC, bad JSON, or not a record object)."""
+    if "\t" in line:
+        payload, _, trailer = line.rpartition("\t")
+        crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        if trailer != f"{crc:08x}":
+            return None, "corrupt"
+        status = "ok"
+    else:
+        payload, status = line, "legacy"
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError:
+        return None, "corrupt"
+    if not isinstance(obj, dict):
+        # A torn fragment can still parse (a bare number, a string):
+        # anything but a record object is corrupt.
+        return None, "corrupt"
+    return obj, status
+
+
+@dataclass
+class JournalFsck:
+    """The result of validating one journal file.
+
+    ``records`` holds every line that survived checksum + schema
+    validation, keyed by index (last occurrence wins, matching the
+    append-only log's "later supersedes earlier" semantics);
+    ``corrupt_lines`` counts lines that did not.
+    """
+
+    path: str
     header: Optional[Dict] = None
-    records: Dict[int, InjectionRecord] = {}
+    records: Dict[int, InjectionRecord] = field(default_factory=dict)
+    total_lines: int = 0
+    record_lines: int = 0
+    corrupt_lines: int = 0
+    legacy_lines: int = 0
+    duplicate_indices: List[int] = field(default_factory=list)
+
+    def reconcile(self, expected: Optional[int] = None) -> Dict[str, Any]:
+        """Accounting summary against ``expected`` indices (defaults to
+        the header spec's ``num_injections``)."""
+        if expected is None and self.header is not None:
+            expected = self.header.get("spec", {}).get("num_injections")
+        if expected is None:
+            expected = (max(self.records) + 1) if self.records else 0
+        missing = [i for i in range(expected) if i not in self.records]
+        return {
+            "expected": expected,
+            "recorded": len(self.records),
+            "missing": missing,
+            "duplicates": list(self.duplicate_indices),
+            "corrupt_lines": self.corrupt_lines,
+            "legacy_lines": self.legacy_lines,
+            "complete": not missing and not self.duplicate_indices,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "journal_fsck",
+            "path": self.path,
+            "version": (
+                self.header.get("version") if self.header else None
+            ),
+            "total_lines": self.total_lines,
+            "record_lines": self.record_lines,
+            "corrupt_lines": self.corrupt_lines,
+            "legacy_lines": self.legacy_lines,
+            "reconciliation": self.reconcile(),
+        }
+
+
+def fsck_journal(path: str) -> JournalFsck:
+    """Validate a (possibly truncated, possibly bit-rotted) journal.
+
+    Every line is checksum- and schema-checked; torn or corrupt lines —
+    the tail of a killed campaign, a flipped disk bit — are skipped and
+    *counted*, never fatal and never silently mis-parsed as data.
+    """
+    fsck = JournalFsck(path=path)
     if not os.path.exists(path):
-        return None, records
+        return fsck
     # errors="replace": truncation mid multi-byte character must read as
     # a corrupt line, not raise UnicodeDecodeError.
     with open(path, errors="replace") as f:
@@ -534,30 +709,56 @@ def load_journal(path: str) -> Tuple[Optional[Dict], Dict[int, InjectionRecord]]
             line = line.strip()
             if not line:
                 continue
-            try:
-                obj = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write from a mid-campaign kill
-            if not isinstance(obj, dict):
-                # A torn fragment can still parse (a bare number, a
-                # string): anything but a record object is skipped.
+            fsck.total_lines += 1
+            obj, status = _parse_journal_line(line)
+            if status == "corrupt":
+                fsck.corrupt_lines += 1
                 continue
-            if lineno == 0 and "spec" in obj:
-                header = obj
+            if status == "legacy":
+                fsck.legacy_lines += 1
+            if fsck.header is None and "spec" in obj and lineno == 0:
+                fsck.header = obj
                 continue
             try:
                 rec = InjectionRecord(**obj)
             except TypeError:
+                fsck.corrupt_lines += 1
+                if status == "legacy":
+                    fsck.legacy_lines -= 1
                 continue
-            records[rec.index] = rec
-    return header, records
+            fsck.record_lines += 1
+            if (
+                rec.index in fsck.records
+                and rec.index not in fsck.duplicate_indices
+            ):
+                fsck.duplicate_indices.append(rec.index)
+            fsck.records[rec.index] = rec
+    fsck.duplicate_indices.sort()
+    return fsck
+
+
+def load_journal(path: str) -> Tuple[Optional[Dict], Dict[int, InjectionRecord]]:
+    """Read a (possibly truncated) journal.  Returns the header spec dict
+    (or None) and the complete records by index.  Torn or corrupt lines —
+    the tail of a killed campaign — are skipped, not fatal."""
+    fsck = fsck_journal(path)
+    return fsck.header, fsck.records
 
 
 class _Journal:
-    """Append-only JSONL writer, flushed per record (crash-safe)."""
+    """Append-only checksummed JSONL writer, flushed per record.
+
+    Write faults (real ``OSError`` or injected ``journal.torn`` /
+    ``journal.enospc`` chaos) never propagate: the record stays in the
+    engine's memory, ``write_errors`` counts it, and the engine calls
+    :meth:`repair` at end of run to append whatever the disk is missing
+    — so a journal hole costs a repair pass, not a record.
+    """
 
     def __init__(self, path: str, spec: CampaignSpec, fresh: bool):
         self.path = path
+        self.write_errors = 0
+        self._torn = False
         mode = "w" if fresh else "a"
         if not fresh and os.path.exists(path) and os.path.getsize(path) > 0:
             # A kill can tear the final line without a newline; terminate
@@ -579,15 +780,73 @@ class _Journal:
                 )
             )
 
-    def _write_line(self, line: str) -> None:
-        self._f.write(line + "\n")
+    def _raw_write(self, text: str) -> None:
+        if self._torn:
+            # The previous write died mid-line: terminate the fragment so
+            # it costs exactly one corrupt line, not the next record too.
+            text = "\n" + text
+            self._torn = False
+        self._f.write(text)
         self._f.flush()
         os.fsync(self._f.fileno())
 
-    def append(self, record: InjectionRecord) -> None:
-        self._write_line(record.to_json())
+    def _write_line(self, payload: str) -> None:
+        self._raw_write(_crc_line(payload) + "\n")
+
+    def append(self, record: InjectionRecord) -> bool:
+        """Write one record; returns False (and counts) on a write
+        fault instead of raising."""
+        payload = record.to_json()
+        chaos = _campaign_chaos()
+        rule = None
+        if chaos is not None:
+            from repro.serve.chaos import SITE_JOURNAL_WRITE
+
+            rule = chaos.decide(SITE_JOURNAL_WRITE, index=record.index)
+        try:
+            if rule is not None and rule.action == "enospc":
+                raise OSError(
+                    errno.ENOSPC, "no space left on device (chaos)"
+                )
+            if rule is not None and rule.action == "torn":
+                line = _crc_line(payload)
+                self._raw_write(line[: max(1, len(line) // 2)])
+                self._torn = True
+                raise OSError(errno.EIO, "torn journal write (chaos)")
+            self._write_line(payload)
+            return True
+        except OSError:
+            self.write_errors += 1
+            self._torn = True  # re-terminate before the next write
+            obs.inc("journal.write_errors")
+            return False
+
+    def repair(self, records: Iterable[InjectionRecord]) -> int:
+        """Append every in-memory record missing on disk (fsck first);
+        returns how many were appended.  Bypasses chaos — this *is* the
+        recovery path."""
+        self._f.flush()
+        on_disk = fsck_journal(self.path).records
+        appended = 0
+        for rec in sorted(records, key=lambda r: r.index):
+            if rec.index in on_disk:
+                continue
+            try:
+                self._write_line(rec.to_json())
+                appended += 1
+            except OSError:
+                self.write_errors += 1
+                self._torn = True
+        if appended:
+            obs.inc("journal.repaired", appended)
+        return appended
 
     def close(self) -> None:
+        if self._torn:
+            try:
+                self._raw_write("")
+            except OSError:
+                pass
         self._f.close()
 
 
@@ -595,14 +854,23 @@ class _Journal:
 
 
 class ParallelCampaign:
-    """Runs a :class:`CampaignSpec` on a worker pool with a resumable
-    journal.
+    """Runs a :class:`CampaignSpec` on the supervised worker pool with a
+    checksummed, resumable journal.
 
     ``workers <= 1`` runs inline (no subprocesses) — same records, same
-    journal.  ``resume=True`` re-reads the journal, keeps every complete
-    record and only runs the missing indices; because plans are seeded per
-    index, the resumed campaign's final report is identical to an
-    uninterrupted run's.
+    journal.  ``resume=True`` fscks the journal, keeps every record that
+    survives checksum + schema validation and only runs the missing
+    indices; because plans are seeded per index, the resumed campaign's
+    final report is identical to an uninterrupted run's.
+
+    Supervision (``workers > 1``): a worker crash or hang takes down one
+    injection attempt; the index is retried, and after
+    ``poison_threshold`` consecutive worker deaths it is quarantined and
+    recorded as a ``worker_crash`` DUE.  ``wall_timeout`` is the
+    per-injection wall-clock deadline (``None`` = never) — the recovery
+    net *under* the instruction-budget watchdog, for when the worker
+    itself is wedged.  An uninterrupted run ends with reconciliation:
+    every index exactly once, or :class:`ReconciliationError`.
     """
 
     def __init__(
@@ -610,46 +878,101 @@ class ParallelCampaign:
         spec: CampaignSpec,
         workers: int = 1,
         journal_path: Optional[str] = None,
+        *,
+        use_threads: bool = False,
+        wall_timeout: Optional[float] = None,
+        poison_threshold: int = 2,
     ):
         self.spec = spec
         self.workers = max(1, workers)
         self.journal_path = journal_path
+        self.use_threads = use_threads
+        self.wall_timeout = wall_timeout
+        self.poison_threshold = poison_threshold
+        self._stop = threading.Event()
+        self._stop_reason: Optional[str] = None
+        self._supervision: Optional[Dict[str, Any]] = None
 
-    def run(self, resume: bool = False) -> CampaignReport:
-        with obs.span(
-            "campaign.run",
-            benchmark=self.spec.benchmark,
-            scheme=self.spec.scheme,
-            injections=self.spec.num_injections,
-            workers=self.workers,
-            seed=self.spec.seed,
-        ):
-            return self._run(resume)
+    def request_stop(self, reason: str = "stop") -> None:
+        """Ask the sweep to drain: finish nothing new, flush the journal,
+        return the partial (resumable) report.  Thread- and
+        signal-safe."""
+        self._stop_reason = reason
+        self._stop.set()
+
+    def run(
+        self, resume: bool = False, handle_signals: bool = False
+    ) -> CampaignReport:
+        """``handle_signals=True`` (the CLI path) installs SIGINT/SIGTERM
+        handlers for the duration of the run: the first signal drains
+        gracefully, a second one force-raises ``KeyboardInterrupt``."""
+        self._stop.clear()
+        self._stop_reason = None
+        restore: List[Tuple[Any, Any]] = []
+        if handle_signals:
+            restore = self._install_signal_handlers()
+        try:
+            with obs.span(
+                "campaign.run",
+                benchmark=self.spec.benchmark,
+                scheme=self.spec.scheme,
+                injections=self.spec.num_injections,
+                workers=self.workers,
+                seed=self.spec.seed,
+            ):
+                return self._run(resume)
+        finally:
+            for sig, old in restore:
+                try:
+                    signal.signal(sig, old)
+                except (ValueError, OSError):
+                    pass
+
+    def _install_signal_handlers(self) -> List[Tuple[Any, Any]]:
+        def _drain(signum, frame):
+            if self._stop.is_set():
+                raise KeyboardInterrupt  # second signal: force
+            self.request_stop(signal.Signals(signum).name)
+
+        restore = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                restore.append((sig, signal.signal(sig, _drain)))
+            except ValueError:
+                pass  # not the main thread: drain via request_stop only
+        return restore
 
     def _run(self, resume: bool) -> CampaignReport:
+        n = self.spec.num_injections
         done: Dict[int, InjectionRecord] = {}
+        pre_corrupt = 0
         if self.journal_path and resume:
-            header, done = load_journal(self.journal_path)
+            fsck = fsck_journal(self.journal_path)
+            header = fsck.header
             if header is not None and header.get("spec") != self.spec.to_dict():
                 raise ValueError(
                     "journal was written by a different campaign spec; "
                     "refusing to resume into it"
                 )
             # Drop stray indices beyond this spec (defensive).
-            done = {
-                i: r
-                for i, r in done.items()
-                if 0 <= i < self.spec.num_injections
-            }
-        todo = [
-            i for i in range(self.spec.num_injections) if i not in done
-        ]
+            done = {i: r for i, r in fsck.records.items() if 0 <= i < n}
+            pre_corrupt = fsck.corrupt_lines
+            if pre_corrupt:
+                obs.inc("journal.corrupt_records", pre_corrupt)
+                obs.event(
+                    "journal.fsck",
+                    path=self.journal_path,
+                    corrupt=pre_corrupt,
+                    kept=len(done),
+                )
+        todo = [i for i in range(n) if i not in done]
         journal = (
             _Journal(self.journal_path, self.spec, fresh=not done)
             if self.journal_path
             else None
         )
         records = list(done.values())
+        self._supervision = None
         try:
             if todo:
                 for rec in self._execute(todo):
@@ -658,28 +981,121 @@ class ParallelCampaign:
                         journal.append(rec)
         finally:
             if journal is not None:
+                if journal.write_errors:
+                    # Holes from torn/ENOSPC writes: heal from memory so
+                    # the on-disk journal matches the report.
+                    journal.repair(records)
                 journal.close()
         records.sort(key=lambda r: r.index)
-        return CampaignReport(records=records, spec=self.spec)
+        interrupted = (
+            self._stop.is_set() and len({r.index for r in records}) < n
+        )
+        # Inline runs have no pool counters but still carry the journal
+        # accounting, so `supervision` is always present on a report.
+        supervision = dict(self._supervision or {})
+        if journal is not None:
+            supervision["journal_write_errors"] = journal.write_errors
+        supervision["journal_corrupt_records"] = pre_corrupt
+        if self._stop_reason:
+            supervision["drain_reason"] = self._stop_reason
+        report = CampaignReport(
+            records=records,
+            spec=self.spec,
+            interrupted=interrupted,
+            supervision=supervision,
+        )
+        if not interrupted:
+            recon = report.reconciliation()
+            if not recon["complete"]:
+                raise ReconciliationError(
+                    "campaign reconciliation failed: "
+                    f"{len(recon['missing'])} missing, "
+                    f"{len(recon['duplicates'])} duplicate indices",
+                    expected=recon["expected"],
+                    recorded=recon["recorded"],
+                    missing=recon["missing"][:20],
+                    duplicates=recon["duplicates"][:20],
+                )
+        return report
 
     def _execute(self, todo: Sequence[int]) -> Iterable[InjectionRecord]:
         if self.workers <= 1 or len(todo) <= 1:
             state = _CampaignState(self.spec)
             for i in todo:
+                if self._stop.is_set():
+                    return
                 yield state.run_index(i)
             return
-        import multiprocessing as mp
-
-        ctx = mp.get_context()
-        with ctx.Pool(
-            processes=self.workers,
-            initializer=_worker_init,
-            initargs=(self.spec.to_dict(),),
-        ) as pool:
-            for rec_dict in pool.imap_unordered(
-                _worker_run, todo, chunksize=4
+        config = PoolConfig(
+            workers=self.workers,
+            use_threads=self.use_threads,
+            runner="repro.gpusim.campaign:_pool_runner",
+            job_timeout=self.wall_timeout,
+            poison_threshold=self.poison_threshold,
+            chaos_site="campaign.worker",
+            tick=0.005,
+        )
+        spec_dict = self.spec.to_dict()
+        jobs = (
+            (str(i), {"spec": spec_dict, "index": i}) for i in todo
+        )
+        with WorkerPool(config) as pool:
+            for key, outcome in pool.imap_supervised(
+                jobs, stop=self._stop
             ):
-                yield InjectionRecord(**rec_dict)
+                index = int(key)
+                if isinstance(outcome, TaskRuntimeError):
+                    yield self._crash_record(index, outcome)
+                else:
+                    yield InjectionRecord(**outcome)
+            m = pool.metrics
+            self._supervision = {
+                "workers": self.workers,
+                "use_threads": self.use_threads,
+                "wall_timeout": self.wall_timeout,
+                "poison_threshold": self.poison_threshold,
+                **m.to_dict(),
+            }
+            if m.restarts:
+                obs.inc("campaign.worker_restarts", m.restarts)
+            if m.retries:
+                obs.inc("campaign.worker_retries", m.retries)
+            if m.hung_kills:
+                obs.inc("campaign.worker_hung", m.hung_kills)
+
+    def _crash_record(
+        self, index: int, exc: TaskRuntimeError
+    ) -> InjectionRecord:
+        """Synthesize the typed ``worker_crash`` DUE record for an index
+        whose worker(s) died past the retry budget — the sweep-level
+        DUE: detected, contained, and survived."""
+        quarantined = isinstance(exc, PoisonJobError)
+        if quarantined:
+            obs.inc("campaign.quarantined")
+        obs.event(
+            "campaign.worker_crash",
+            index=index,
+            quarantined=quarantined,
+            message=getattr(exc, "message", str(exc)),
+        )
+        counters = Counters()
+        counters.inc(f"campaign.due.{DueType.WORKER_CRASH.value}")
+        detail = getattr(exc, "message", str(exc))
+        strikes = getattr(exc, "detail", {}).get("strikes")
+        if strikes:
+            detail += f" (strikes={strikes})"
+        return InjectionRecord(
+            index=index,
+            surface=SURFACE_HARNESS,
+            outcome=FaultOutcome.DUE.value,
+            due_cause=DueType.WORKER_CRASH.value,
+            detections=-1,
+            recoveries=-1,
+            instructions=-1,
+            seed=stable_seed(self.spec.seed, index),
+            detail=f"worker_crash: {detail}",
+            counters=counters.to_dict(),
+        )
 
 
 def run_campaign(
@@ -687,8 +1103,11 @@ def run_campaign(
     workers: int = 1,
     journal_path: Optional[str] = None,
     resume: bool = False,
+    **kwargs: Any,
 ) -> CampaignReport:
-    """Convenience wrapper: build and run a :class:`ParallelCampaign`."""
+    """Convenience wrapper: build and run a :class:`ParallelCampaign`
+    (``kwargs`` pass through to its constructor — ``use_threads``,
+    ``wall_timeout``, ``poison_threshold``)."""
     return ParallelCampaign(
-        spec, workers=workers, journal_path=journal_path
+        spec, workers=workers, journal_path=journal_path, **kwargs
     ).run(resume=resume)

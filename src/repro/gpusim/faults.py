@@ -71,6 +71,11 @@ class DueType(enum.Enum):
     #: the per-injection instruction-budget watchdog fired (runaway loop,
     #: control-flow escape, barrier livelock)
     WATCHDOG_TIMEOUT = "watchdog_timeout"
+    #: the *harness* worker running the injection died repeatedly
+    #: (segfault, OOM-kill, wall-clock hang) and the supervised pool
+    #: quarantined the index — the sweep-level DUE: the injection's
+    #: outcome is unknowable, but the campaign survives and accounts it
+    WORKER_CRASH = "worker_crash"
 
 
 def classify_due(exc: BaseException) -> DueType:

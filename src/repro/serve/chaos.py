@@ -46,6 +46,24 @@ kind                   site                effect
                                            connection closed (client retry)
 =====================  ==================  =====================================
 
+Campaign-side kinds (honored by the shared :mod:`repro.runtime.pool`
+when driven by the injection campaign or the fuzz harness, and by the
+campaign journal):
+
+==========================  ===================  ============================
+kind                        site                 effect
+==========================  ===================  ============================
+``campaign.worker.kill``    ``campaign.worker``  a sweep worker is SIGKILLed
+                                                 mid-task (retry/quarantine)
+``campaign.worker.hang``    ``campaign.worker``  the task stalls ``delay_s``
+                                                 seconds (wall-clock reclaim)
+``journal.torn``            ``journal.write``    a journal record is cut mid-
+                                                 line (fsck / repair path)
+``journal.enospc``          ``journal.write``    the journal write raises
+                                                 ``ENOSPC`` (record kept
+                                                 in memory, repaired at end)
+==========================  ===================  ============================
+
 Quickstart::
 
     from repro.serve.chaos import ChaosPlan, ChaosEngine
@@ -81,6 +99,8 @@ SITE_WORKER_JOB = "worker.job"
 SITE_CACHE_STORE = "cache.store"
 SITE_CACHE_READ = "cache.read"
 SITE_CONN_SEND = "conn.send"
+SITE_CAMPAIGN_WORKER = "campaign.worker"
+SITE_JOURNAL_WRITE = "journal.write"
 
 #: kind -> (site, worker-directive action or None)
 KINDS: Dict[str, str] = {
@@ -93,6 +113,10 @@ KINDS: Dict[str, str] = {
     "cache.truncate": SITE_CACHE_READ,
     "cache.slow_read": SITE_CACHE_READ,
     "conn.drop": SITE_CONN_SEND,
+    "campaign.worker.kill": SITE_CAMPAIGN_WORKER,
+    "campaign.worker.hang": SITE_CAMPAIGN_WORKER,
+    "journal.torn": SITE_JOURNAL_WRITE,
+    "journal.enospc": SITE_JOURNAL_WRITE,
 }
 
 #: default stall for the hang/slow kinds (seconds)
@@ -120,7 +144,10 @@ class ChaosRule:
     probability: float = 1.0
     max_injections: Optional[int] = None
     after: int = 0
-    delay_s: float = DEFAULT_HANG_SECONDS
+    #: None -> action default: stall-shaped actions (hang, slow_*) get
+    #: DEFAULT_HANG_SECONDS, everything else (kill, torn, ...) fires
+    #: immediately.  A ``worker.kill:delay=5`` still dies mid-job.
+    delay_s: Optional[float] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -134,6 +161,13 @@ class ChaosRule:
             raise ValueError("max_injections must be >= 0")
         if self.after < 0:
             raise ValueError("after must be >= 0")
+        if self.delay_s is None:
+            stalls = self.action in ("hang", "slow_store", "slow_read")
+            object.__setattr__(
+                self,
+                "delay_s",
+                DEFAULT_HANG_SECONDS if stalls else 0.0,
+            )
         if self.delay_s < 0:
             raise ValueError("delay_s must be >= 0")
 
@@ -143,8 +177,10 @@ class ChaosRule:
 
     @property
     def action(self) -> str:
-        """The site-local action name (the part after the dot)."""
-        return self.kind.split(".", 1)[1]
+        """The site-local action name (the part after the *last* dot:
+        ``campaign.worker.kill`` -> ``kill``, ``journal.torn`` ->
+        ``torn``)."""
+        return self.kind.rsplit(".", 1)[1]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -162,7 +198,11 @@ class ChaosRule:
             probability=float(d.get("probability", 1.0)),
             max_injections=d.get("max_injections"),
             after=int(d.get("after", 0)),
-            delay_s=float(d.get("delay_s", DEFAULT_HANG_SECONDS)),
+            delay_s=(
+                None
+                if d.get("delay_s") is None
+                else float(d["delay_s"])
+            ),
         )
 
 

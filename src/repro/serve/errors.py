@@ -16,6 +16,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from repro.runtime.errors import PoisonJobError as _RuntimePoisonJobError
+from repro.runtime.errors import WorkerCrashError as _RuntimeWorkerCrashError
+from repro.runtime.errors import _plain
+
 
 class ServeError(RuntimeError):
     """Base class of every serving-layer failure."""
@@ -64,12 +68,17 @@ class RemoteCompileError(ServeError):
     serialized form (pass name, scheme, kernel snapshot)."""
 
 
-class WorkerCrashError(ServeError):
+class WorkerCrashError(_RuntimeWorkerCrashError, ServeError):
     """A pool worker died (crash, SIGKILL, or a supervisor hang-kill)
-    while running the job and the retry budget did not absorb it."""
+    while running the job and the retry budget did not absorb it.
+
+    Subclasses both the runtime's generic
+    :class:`repro.runtime.errors.WorkerCrashError` (so the shared pool
+    and sweep engines catch it generically) and :class:`ServeError` (so
+    it round-trips the wire like every serving failure)."""
 
 
-class PoisonJobError(ServeError):
+class PoisonJobError(_RuntimePoisonJobError, ServeError):
     """A job killed enough consecutive workers to be quarantined.
 
     The supervised pool retries a job whose worker crashed; a job whose
@@ -77,6 +86,7 @@ class PoisonJobError(ServeError):
     forever.  After ``poison_threshold`` consecutive worker deaths the
     job is failed with this error and its key is quarantined — later
     submissions of the same key fail fast without touching a worker.
+    Dual-inherits like :class:`WorkerCrashError`.
     """
 
 
@@ -120,14 +130,3 @@ def error_from_dict(payload: Optional[Dict[str, Any]]) -> ServeError:
     if isinstance(detail, dict):
         err.detail = detail
     return err
-
-
-def _plain(value: Any) -> Any:
-    """JSON-safe rendering of one detail value."""
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_plain(v) for v in value]
-    if isinstance(value, dict):
-        return {str(k): _plain(v) for k, v in value.items()}
-    return str(value)

@@ -1,632 +1,53 @@
-"""The supervised compile worker pool.
+"""The serving layer's view of the supervised worker pool.
 
-``ProcessPoolExecutor`` (the previous farm) has no supervision story: a
-worker SIGKILLed mid-job poisons the whole executor
-(``BrokenProcessPool``), a hung worker occupies its slot forever, and
-there is no notion of a *job* that keeps killing workers.  This pool
-applies the paper's inject→detect→recover discipline to the serving
-stack itself:
+The pool itself — generation-tagged per-slot queues, heartbeat +
+busy-deadline liveness, exponential-backoff restarts, per-key crash
+strikes with quarantine — lives in :mod:`repro.runtime.pool`, where the
+fault-injection campaign engine and the fuzz harness share it.  This
+module binds it to the compile farm:
 
-- **detect** — every worker slot is watched by a supervisor thread:
-  process liveness per tick, per-worker heartbeats (a stalled-but-alive
-  process is treated as dead), and a per-job busy deadline (a hung
-  compile is reclaimed, not leaked);
-- **contain** — a crash takes down exactly one job attempt.  The job is
-  retried on another worker; a job whose attempts kill
-  ``poison_threshold`` consecutive workers is failed with a typed
-  :class:`~repro.serve.errors.PoisonJobError` and its key quarantined,
-  so one adversarial input cannot crash-loop the farm;
-- **recover** — dead workers are restarted with exponential backoff
-  (``restart_backoff_base * 2^consecutive_crashes``, capped), and a
-  worker that completes a job resets its slot's backoff.
-
-Each worker owns a private inbox *and* a private result queue: a worker
-SIGKILLed mid-``put`` can corrupt at most its own queue, which is
-discarded on restart — the supervisor's view of every other worker stays
-intact (this is why the pool does not share one results queue the way
-``multiprocessing.Pool`` does).
-
-Jobs are dispatched one at a time per worker, so the supervisor always
-knows *which* job a dead worker was running.  Results are delivered on
-:class:`concurrent.futures.Future`\\ s (await them from asyncio via
-``asyncio.wrap_future``).
-
-Chaos: at every dispatch the supervisor consults
-:func:`repro.serve.chaos.active_chaos` (site ``worker.job``); a firing
-rule ships a *directive* inside the payload envelope and the worker
-executes it on arrival — SIGKILL itself (``worker.kill``) or stall
-(``worker.hang``).  Decisions are made per *dispatch*, so a retried job
-re-rolls and the campaign's fault plan stays in one seeded place.
-
-Observability: ``pool.restarts`` / ``pool.crashes`` / ``pool.hung`` /
-``pool.quarantined`` / ``pool.jobs`` counters and ``pool.spawn`` /
-``pool.worker_died`` events through :mod:`repro.obs`.
+- the default ``runner`` is the server's request executor (resolved
+  lazily inside the worker, so thread-mode tests can monkeypatch
+  ``repro.serve.server._execute_request``);
+- chaos dispatches consult the ``worker.job`` site
+  (:data:`repro.serve.chaos.SITE_WORKER_JOB`), keeping the serving
+  fault plan addressable separately from campaign-side chaos;
+- crash and quarantine failures raise the serving layer's
+  wire-serializable :class:`~repro.serve.errors.WorkerCrashError` /
+  :class:`~repro.serve.errors.PoisonJobError` (which subclass the
+  runtime's base types, so generic ``except`` clauses see both).
 """
 
 from __future__ import annotations
 
-import contextvars
-import itertools
-import os
-import queue as thread_queue
-import signal
-import threading
-import time
-from collections import deque
-from concurrent.futures import Future
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
-import repro.obs as obs
-from repro.serve.chaos import SITE_WORKER_JOB, active_chaos
+from repro.runtime.pool import PoolMetrics
+from repro.runtime.pool import PoolConfig as _RuntimePoolConfig
+from repro.runtime.pool import WorkerPool as _RuntimeWorkerPool
+from repro.serve.chaos import SITE_WORKER_JOB
 from repro.serve.errors import PoisonJobError, WorkerCrashError
 
 #: default runner — resolved lazily inside the worker, so thread-mode
 #: tests can monkeypatch ``repro.serve.server._execute_request``
 DEFAULT_RUNNER = "repro.serve.server:_execute_request"
 
+__all__ = ["DEFAULT_RUNNER", "PoolConfig", "PoolMetrics", "WorkerPool"]
+
 
 @dataclass
-class PoolConfig:
-    """Supervision knobs for one :class:`WorkerPool`."""
+class PoolConfig(_RuntimePoolConfig):
+    """Supervision knobs for the compile farm's :class:`WorkerPool`."""
 
-    workers: int = 2
-    #: worker threads instead of processes (tests; GIL-bound otherwise)
-    use_threads: bool = False
-    #: ``module:attr`` path of the job runner (``payload -> result``)
     runner: str = DEFAULT_RUNNER
-    #: seconds between worker heartbeats (process mode only)
-    heartbeat_interval: float = 1.0
-    #: a live process silent for this long is treated as dead
-    heartbeat_timeout: float = 15.0
-    #: a worker busy on one job longer than this is killed and reclaimed
-    #: (``None`` = never; servers set it from their request timeout)
-    job_timeout: Optional[float] = None
-    #: consecutive worker deaths caused by one job before quarantine
-    poison_threshold: int = 2
-    restart_backoff_base: float = 0.05
-    restart_backoff_cap: float = 2.0
-    #: supervisor tick (liveness / dispatch / restart cadence)
-    tick: float = 0.02
-
-    def __post_init__(self):
-        if self.workers < 1:
-            raise ValueError("workers must be >= 1")
-        if self.poison_threshold < 1:
-            raise ValueError("poison_threshold must be >= 1")
+    chaos_site: str = SITE_WORKER_JOB
+    crash_error: type = WorkerCrashError
+    poison_error: type = PoisonJobError
 
 
-# -- worker side -----------------------------------------------------------------
-
-
-def _resolve_runner(path: str):
-    """``module:attr`` -> callable, resolved fresh per job (late binding
-    keeps monkeypatched doubles visible in thread mode)."""
-    import importlib
-
-    module_name, _, attr = path.partition(":")
-    return getattr(importlib.import_module(module_name), attr)
-
-
-def _apply_directive(directive: Optional[Dict[str, Any]], is_process: bool):
-    """Execute a chaos directive inside the worker.  Returns True when
-    the worker should die silently (thread-mode kill)."""
-    if not directive:
-        return False
-    action = directive.get("action")
-    if action == "hang":
-        time.sleep(float(directive.get("delay_s", 30.0)))
-    elif action == "kill":
-        delay = float(directive.get("delay_s", 0.0))
-        if delay:
-            time.sleep(delay)
-        if is_process:
-            os.kill(os.getpid(), signal.SIGKILL)
-        return True  # thread worker: die without reporting
-    return False
-
-
-def _worker_main(
-    slot_id: int,
-    generation: int,
-    inbox,
-    outbox,
-    runner_path: str,
-    heartbeat_interval: float,
-    is_process: bool,
-) -> None:
-    """One worker's loop: take a job envelope, run it, report the result.
-
-    Runs as a forked/spawned process (``is_process=True``) or a daemon
-    thread.  The runner's contract is to *return* a status tuple, never
-    raise; anything that escapes anyway is reported as a typed error
-    payload so a worker bug does not look like a crash.
-    """
-    if is_process:
-        stop = threading.Event()
-
-        def beat() -> None:
-            while not stop.is_set():
-                try:
-                    outbox.put(("hb", generation))
-                except Exception:
-                    return
-                stop.wait(heartbeat_interval)
-
-        threading.Thread(target=beat, daemon=True).start()
-    try:
-        outbox.put(("ready", generation))
-        while True:
-            msg = inbox.get()
-            if msg is None:
-                break
-            job_id, payload, directive = msg
-            if _apply_directive(directive, is_process):
-                return  # simulated kill (thread mode)
-            try:
-                result = _resolve_runner(runner_path)(payload)
-            except BaseException as exc:  # runner contract violation
-                result = (
-                    "error",
-                    {
-                        "type": type(exc).__name__,
-                        "message": str(exc),
-                        "pass": "pool",
-                        "scheme": None,
-                        "kernel": None,
-                        "kernel_ptx": None,
-                        "detail": {},
-                    },
-                )
-            outbox.put(("done", generation, job_id, result))
-    finally:
-        if is_process:
-            stop.set()
-
-
-# -- supervisor side -------------------------------------------------------------
-
-_IDLE = "idle"
-_BUSY = "busy"
-_DEAD = "dead"  # waiting for its backoff before respawn
-_STARTING = "starting"  # spawned, ready message not yet seen
-
-
-@dataclass
-class _Job:
-    id: int
-    payload: Dict[str, Any]
-    key: str
-    future: Future
-    dispatches: int = 0
-
-
-class _Slot:
-    """One supervised worker position (process or thread + its queues)."""
-
-    __slots__ = (
-        "id",
-        "proc",
-        "generation",
-        "inbox",
-        "outbox",
-        "state",
-        "job",
-        "busy_since",
-        "last_seen",
-        "consecutive_crashes",
-        "restart_at",
-    )
-
-    def __init__(self, slot_id: int):
-        self.id = slot_id
-        self.proc = None
-        self.generation = 0
-        self.inbox = None
-        self.outbox = None
-        self.state = _DEAD
-        self.job: Optional[_Job] = None
-        self.busy_since: Optional[float] = None
-        self.last_seen = 0.0
-        self.consecutive_crashes = 0
-        self.restart_at = 0.0
-
-
-@dataclass
-class PoolMetrics:
-    """Monotonic supervision counters (mirrored into ``obs``)."""
-
-    jobs_completed: int = 0
-    restarts: int = 0
-    crashes: int = 0
-    hung_kills: int = 0
-    quarantined: int = 0
-    retries: int = 0
-
-    def to_dict(self) -> Dict[str, int]:
-        return {
-            "jobs_completed": self.jobs_completed,
-            "restarts": self.restarts,
-            "crashes": self.crashes,
-            "hung_kills": self.hung_kills,
-            "quarantined": self.quarantined,
-            "retries": self.retries,
-        }
-
-
-class WorkerPool:
-    """Supervised fixed-size worker pool with crash/hang recovery."""
+class WorkerPool(_RuntimeWorkerPool):
+    """Supervised compile worker pool (serve-flavored defaults)."""
 
     def __init__(self, config: Optional[PoolConfig] = None):
-        self.config = config or PoolConfig()
-        self.metrics = PoolMetrics()
-        self._slots: List[_Slot] = [
-            _Slot(i) for i in range(self.config.workers)
-        ]
-        self._pending: Deque[_Job] = deque()
-        self._inflight: Dict[int, _Job] = {}
-        self._quarantine: set = set()
-        self._strikes: Dict[str, int] = {}
-        self._lock = threading.RLock()
-        self._wake = threading.Event()
-        self._stopping = False
-        self._started = False
-        self._job_ids = itertools.count(1)
-        self._supervisor: Optional[threading.Thread] = None
-        self._mp_ctx = None
-
-    # -- lifecycle -------------------------------------------------------------
-
-    def start(self) -> "WorkerPool":
-        if self._started:
-            return self
-        self._started = True
-        if not self.config.use_threads:
-            import multiprocessing as mp
-
-            self._mp_ctx = mp.get_context()
-        for slot in self._slots:
-            self._spawn(slot, initial=True)
-        # The supervisor runs in a copy of the caller's context so the
-        # installed tracer and chaos engine stay visible from its thread.
-        ctx = contextvars.copy_context()
-        self._supervisor = threading.Thread(
-            target=ctx.run,
-            args=(self._supervise,),
-            name="penny-pool-supervisor",
-            daemon=True,
-        )
-        self._supervisor.start()
-        return self
-
-    def shutdown(self, wait: bool = True, timeout: float = 2.0) -> None:
-        with self._lock:
-            if not self._started or self._stopping:
-                return
-            self._stopping = True
-            for job in list(self._pending):
-                job.future.cancel()
-            self._pending.clear()
-            for job in self._inflight.values():
-                job.future.cancel()
-            self._inflight.clear()
-        self._wake.set()
-        if self._supervisor is not None and wait:
-            self._supervisor.join(timeout=timeout)
-        for slot in self._slots:
-            if slot.inbox is not None:
-                try:
-                    slot.inbox.put_nowait(None)
-                except Exception:
-                    pass
-        if wait:
-            deadline = time.monotonic() + timeout
-            for slot in self._slots:
-                proc = slot.proc
-                if proc is None:
-                    continue
-                remaining = max(0.0, deadline - time.monotonic())
-                try:
-                    proc.join(remaining)
-                except Exception:
-                    pass
-                if not self.config.use_threads and proc.is_alive():
-                    try:
-                        proc.kill()
-                        proc.join(0.5)
-                    except Exception:
-                        pass
-
-    def __enter__(self) -> "WorkerPool":
-        return self.start()
-
-    def __exit__(self, *exc) -> bool:
-        self.shutdown()
-        return False
-
-    # -- the submission API ----------------------------------------------------
-
-    def submit(
-        self, payload: Dict[str, Any], key: Optional[str] = None
-    ) -> Future:
-        """Queue one job; returns a future resolving to the runner's
-        return value, or raising :class:`PoisonJobError` /
-        :class:`WorkerCrashError`.  ``key`` identifies the job for
-        poison-quarantine purposes (the compile cache digest, normally);
-        anonymous jobs still quarantine across their own retries."""
-        future: Future = Future()
-        with self._lock:
-            if not self._started or self._stopping:
-                future.set_exception(
-                    WorkerCrashError("worker pool is not running")
-                )
-                return future
-            if key is not None and key in self._quarantine:
-                future.set_exception(
-                    PoisonJobError(
-                        "job key is quarantined (earlier attempts killed "
-                        f"{self.config.poison_threshold} worker(s))",
-                        key=key,
-                        quarantined=True,
-                    )
-                )
-                return future
-            job_id = next(self._job_ids)
-            job = _Job(
-                id=job_id,
-                payload=payload,
-                key=key if key is not None else f"anon:{job_id}",
-                future=future,
-            )
-            self._pending.append(job)
-        self._wake.set()
-        return future
-
-    # -- introspection ---------------------------------------------------------
-
-    def health(self) -> Dict[str, Any]:
-        """JSON-safe pool snapshot (the server's ``health`` op body)."""
-        with self._lock:
-            states = [s.state for s in self._slots]
-            return {
-                "workers": len(self._slots),
-                "alive": sum(
-                    1 for s in states if s in (_IDLE, _BUSY, _STARTING)
-                ),
-                "idle": states.count(_IDLE),
-                "busy": states.count(_BUSY),
-                "dead": states.count(_DEAD),
-                "pending": len(self._pending),
-                "inflight": len(self._inflight),
-                "quarantined_keys": sorted(self._quarantine),
-                "use_threads": self.config.use_threads,
-                **self.metrics.to_dict(),
-            }
-
-    # -- spawning --------------------------------------------------------------
-
-    def _spawn(self, slot: _Slot, initial: bool = False) -> None:
-        slot.generation += 1
-        if self.config.use_threads:
-            slot.inbox = thread_queue.Queue()
-            slot.outbox = thread_queue.Queue()
-            proc = threading.Thread(
-                target=_worker_main,
-                args=(
-                    slot.id,
-                    slot.generation,
-                    slot.inbox,
-                    slot.outbox,
-                    self.config.runner,
-                    self.config.heartbeat_interval,
-                    False,
-                ),
-                name=f"penny-worker-{slot.id}",
-                daemon=True,
-            )
-        else:
-            slot.inbox = self._mp_ctx.Queue()
-            slot.outbox = self._mp_ctx.Queue()
-            proc = self._mp_ctx.Process(
-                target=_worker_main,
-                args=(
-                    slot.id,
-                    slot.generation,
-                    slot.inbox,
-                    slot.outbox,
-                    self.config.runner,
-                    self.config.heartbeat_interval,
-                    True,
-                ),
-                name=f"penny-worker-{slot.id}",
-                daemon=True,
-            )
-        slot.proc = proc
-        slot.state = _STARTING
-        slot.job = None
-        slot.busy_since = None
-        slot.last_seen = time.monotonic()
-        proc.start()
-        if not initial:
-            self.metrics.restarts += 1
-            obs.inc("pool.restarts")
-        obs.event(
-            "pool.spawn",
-            slot=slot.id,
-            generation=slot.generation,
-            initial=initial,
-        )
-
-    # -- the supervisor loop ---------------------------------------------------
-
-    def _supervise(self) -> None:
-        while True:
-            self._wake.wait(self.config.tick)
-            self._wake.clear()
-            with self._lock:
-                if self._stopping:
-                    return
-                now = time.monotonic()
-                for slot in self._slots:
-                    self._drain_outbox(slot, now)
-                for slot in self._slots:
-                    self._check_slot(slot, now)
-                self._dispatch(now)
-
-    def _drain_outbox(self, slot: _Slot, now: float) -> None:
-        outbox = slot.outbox
-        if outbox is None:
-            return
-        while True:
-            try:
-                msg = outbox.get_nowait()
-            except thread_queue.Empty:
-                return
-            except Exception:
-                # A worker SIGKILLed mid-put can corrupt its own queue;
-                # its death is detected via liveness, so just stop
-                # reading this incarnation's stream.
-                return
-            try:
-                kind = msg[0]
-                generation = msg[1]
-            except Exception:
-                continue
-            if generation != slot.generation:
-                continue  # a previous incarnation's stale message
-            slot.last_seen = now
-            if kind == "ready":
-                if slot.state == _STARTING:
-                    slot.state = _IDLE
-            elif kind == "hb":
-                pass  # last_seen refreshed above
-            elif kind == "done":
-                _, _, job_id, result = msg
-                job = self._inflight.pop(job_id, None)
-                if job is not None and not job.future.done():
-                    job.future.set_result(result)
-                if job is not None:
-                    self._strikes.pop(job.key, None)
-                    self.metrics.jobs_completed += 1
-                    obs.inc("pool.jobs")
-                if slot.job is not None and slot.job.id == job_id:
-                    slot.job = None
-                    slot.busy_since = None
-                    slot.consecutive_crashes = 0
-                    slot.state = _IDLE
-
-    def _check_slot(self, slot: _Slot, now: float) -> None:
-        if slot.state == _DEAD:
-            if now >= slot.restart_at:
-                self._spawn(slot)
-            return
-        proc = slot.proc
-        if proc is None or not proc.is_alive():
-            self._on_worker_death(slot, now, cause="crash")
-            return
-        # A live-but-silent process (stuck syscall, SIGSTOP) is dead for
-        # scheduling purposes; heartbeats only exist in process mode.
-        if (
-            not self.config.use_threads
-            and now - slot.last_seen > self.config.heartbeat_timeout
-        ):
-            self._kill_worker(slot)
-            self._on_worker_death(slot, now, cause="silent")
-            return
-        if (
-            slot.state == _BUSY
-            and self.config.job_timeout is not None
-            and slot.busy_since is not None
-            and now - slot.busy_since > self.config.job_timeout
-        ):
-            self._kill_worker(slot)
-            self.metrics.hung_kills += 1
-            obs.inc("pool.hung")
-            self._on_worker_death(slot, now, cause="hung")
-
-    def _kill_worker(self, slot: _Slot) -> None:
-        if self.config.use_threads:
-            return  # threads cannot be killed; the slot is abandoned
-        try:
-            slot.proc.kill()
-        except Exception:
-            pass
-
-    def _on_worker_death(self, slot: _Slot, now: float, cause: str) -> None:
-        job = slot.job
-        self.metrics.crashes += 1
-        obs.inc("pool.crashes")
-        obs.event(
-            "pool.worker_died",
-            slot=slot.id,
-            cause=cause,
-            job=(job.key if job else None),
-        )
-        if job is not None:
-            self._inflight.pop(job.id, None)
-            if job.future.done():
-                pass  # caller gave up (timeout/cancel): reclaim only
-            else:
-                strikes = self._strikes.get(job.key, 0) + 1
-                self._strikes[job.key] = strikes
-                if strikes >= self.config.poison_threshold:
-                    self._quarantine.add(job.key)
-                    self.metrics.quarantined += 1
-                    obs.inc("pool.quarantined")
-                    job.future.set_exception(
-                        PoisonJobError(
-                            f"job killed {strikes} worker(s) and was "
-                            "quarantined",
-                            key=job.key,
-                            strikes=strikes,
-                            cause=cause,
-                        )
-                    )
-                else:
-                    self.metrics.retries += 1
-                    obs.inc("pool.retries")
-                    self._pending.appendleft(job)
-        slot.job = None
-        slot.busy_since = None
-        slot.state = _DEAD
-        slot.consecutive_crashes += 1
-        backoff = min(
-            self.config.restart_backoff_cap,
-            self.config.restart_backoff_base
-            * (2.0 ** (slot.consecutive_crashes - 1)),
-        )
-        slot.restart_at = now + backoff
-
-    def _dispatch(self, now: float) -> None:
-        for slot in self._slots:
-            if not self._pending:
-                return
-            if slot.state != _IDLE:
-                continue
-            job = self._pending.popleft()
-            if job.future.done():
-                continue  # cancelled while queued
-            directive = None
-            chaos = active_chaos()
-            if chaos is not None:
-                rule = chaos.decide(
-                    SITE_WORKER_JOB, key=job.key, slot=slot.id
-                )
-                if rule is not None:
-                    directive = {
-                        "action": rule.action,
-                        "delay_s": rule.delay_s,
-                    }
-            job.dispatches += 1
-            try:
-                slot.inbox.put_nowait(
-                    (job.id, job.payload, directive)
-                )
-            except Exception:
-                # Inbox unusable (worker just died): retry elsewhere.
-                self._pending.appendleft(job)
-                continue
-            self._inflight[job.id] = job
-            slot.job = job
-            slot.busy_since = now
-            slot.state = _BUSY
+        super().__init__(config or PoolConfig())

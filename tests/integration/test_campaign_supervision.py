@@ -1,0 +1,217 @@
+"""Campaign supervision under chaos: worker kills, hangs, torn
+journals, signal drain, and resume equality.
+
+The acceptance contract: a campaign under a seeded chaos plan still
+completes all N injections with every index accounted exactly once;
+a campaign killed mid-sweep and resumed produces a merged report equal
+to an uninterrupted run's.
+"""
+
+import dataclasses
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.gpusim.campaign import (
+    SURFACE_HARNESS,
+    CampaignSpec,
+    ParallelCampaign,
+    fsck_journal,
+    load_journal,
+)
+from repro.gpusim.faults import DueType
+from repro.serve.chaos import ChaosEngine, ChaosPlan
+
+SPEC = CampaignSpec(benchmark="STC", num_injections=24, seed=2020)
+
+
+def _as_dicts(report):
+    return [dataclasses.asdict(r) for r in report.records]
+
+
+class TestChaosKills:
+    def test_transient_kills_complete_with_identical_records(self):
+        """SIGKILLed workers below the poison threshold are transparent:
+        every index retries deterministically, so the report equals the
+        uninterrupted inline run's record for record."""
+        clean = ParallelCampaign(SPEC).run()
+        plan = ChaosPlan.parse(
+            "campaign.worker.kill:p=0.25:max=4", seed=11
+        )
+        engine = ChaosEngine(plan)
+        with engine:
+            chaotic = ParallelCampaign(
+                SPEC, workers=2, poison_threshold=6
+            ).run()
+        assert engine.summary()["injections"] > 0  # the plan really fired
+        assert _as_dicts(chaotic) == _as_dicts(clean)
+        recon = chaotic.reconciliation()
+        assert recon["complete"] is True
+        sup = chaotic.supervision
+        assert sup is not None and sup["crashes"] > 0
+
+    def test_relentless_kills_quarantine_as_worker_crash_dues(self):
+        """p=1.0 kills with threshold 1: every injection is quarantined
+        and journaled as a typed worker_crash DUE — the sweep still
+        accounts for every index."""
+        plan = ChaosPlan.parse("campaign.worker.kill:p=1.0", seed=3)
+        with ChaosEngine(plan):
+            report = ParallelCampaign(
+                SPEC, workers=2, poison_threshold=1
+            ).run()
+        assert len(report.records) == SPEC.num_injections
+        assert report.reconciliation()["complete"] is True
+        for record in report.records:
+            assert record.surface == SURFACE_HARNESS
+            assert record.outcome == "due"
+            assert record.due_cause == DueType.WORKER_CRASH.value
+            assert record.instructions == -1
+        assert report.due_taxonomy() == {
+            "worker_crash": SPEC.num_injections
+        }
+
+    def test_hung_worker_is_reclaimed_by_wall_deadline(self):
+        """campaign.worker.hang stalls the task far past the wall
+        deadline; the supervisor reclaims the worker and the index is
+        retried (hang rule exhausted) to the correct record."""
+        clean = ParallelCampaign(SPEC).run()
+        plan = ChaosPlan.parse(
+            "campaign.worker.hang:p=1.0:max=1:delay=120", seed=5
+        )
+        with ChaosEngine(plan):
+            report = ParallelCampaign(
+                SPEC,
+                workers=2,
+                # Comfortably above worker warm-up (first job compiles
+                # the kernel) so only the injected hang trips it, even
+                # on a loaded machine.
+                wall_timeout=8.0,
+                poison_threshold=3,
+            ).run()
+        assert _as_dicts(report) == _as_dicts(clean)
+        sup = report.supervision
+        assert sup is not None and sup["hung_kills"] >= 1
+
+
+class TestJournalChaos:
+    def test_torn_and_enospc_writes_cost_a_repair_not_a_record(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.jsonl"
+        plan = ChaosPlan.parse(
+            "journal.torn:p=0.2:max=2,journal.enospc:p=0.2:max=2",
+            seed=7,
+        )
+        engine = ChaosEngine(plan)
+        with engine:
+            report = ParallelCampaign(
+                SPEC, journal_path=str(path)
+            ).run()
+        assert engine.summary()["injections"] > 0
+        assert report.reconciliation()["complete"] is True
+        sup = report.supervision
+        assert sup["journal_write_errors"] > 0
+        # The end-of-run repair pass restored every dropped record:
+        # the journal on disk reconciles even though writes failed.
+        fsck = fsck_journal(str(path))
+        assert fsck.reconcile()["complete"] is True
+        assert len(fsck.records) == SPEC.num_injections
+
+    def test_resume_after_torn_tail_matches_uninterrupted(self, tmp_path):
+        """Kill-then-resume equality with a torn tail: truncate the
+        journal mid-record, resume, and the merged report equals an
+        uninterrupted run's."""
+        clean = ParallelCampaign(SPEC).run()
+
+        path = tmp_path / "journal.jsonl"
+        ParallelCampaign(SPEC, journal_path=str(path)).run()
+
+        # Keep the header + 10 records, then tear the 11th mid-record,
+        # as a hard kill would.
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:11]) + lines[11][: len(lines[11]) // 2])
+        pre = fsck_journal(str(path))
+        assert pre.corrupt_lines == 1
+        assert len(pre.records) == 10
+
+        resumed = ParallelCampaign(SPEC, journal_path=str(path)).run(
+            resume=True
+        )
+        assert _as_dicts(resumed) == _as_dicts(clean)
+        assert resumed.reconciliation()["complete"] is True
+        # The torn record was re-run, not trusted.
+        assert resumed.supervision["journal_corrupt_records"] == 1
+
+    def test_resume_refuses_a_journal_from_a_different_spec(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.jsonl"
+        other = dataclasses.replace(SPEC, seed=999)
+        ParallelCampaign(other, journal_path=str(path)).run()
+        with pytest.raises(ValueError, match="spec"):
+            ParallelCampaign(SPEC, journal_path=str(path)).run(
+                resume=True
+            )
+
+
+class TestSignalDrain:
+    def test_sigint_drains_flushes_and_resumes_to_identical_report(
+        self, tmp_path
+    ):
+        """The CLI satellite end to end: SIGINT a running campaign →
+        exit 3, journal flushed, resume hint printed; --resume then
+        completes to the same records as an uninterrupted run."""
+        journal = tmp_path / "journal.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath("src"), env.get("PYTHONPATH", "")]
+        )
+        base = [
+            sys.executable, "-m", "repro.cli", "campaign",
+            "--bench", "STC", "-n", "300", "--workers", "2",
+            "--seed", "2020", "--journal", str(journal),
+        ]
+        proc = subprocess.Popen(
+            base,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # Wait for real progress before interrupting.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if journal.exists() and len(
+                fsck_journal(str(journal)).records
+            ) >= 5:
+                break
+            time.sleep(0.2)
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 3, stderr
+        assert "reconciliation partial" in stderr
+        assert "--resume" in stderr
+
+        done = subprocess.run(
+            base + ["--resume", "--json"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert done.returncode == 0, done.stderr
+        assert "reconciliation ok" in done.stderr
+
+        clean = ParallelCampaign(
+            dataclasses.replace(SPEC, num_injections=300)
+        ).run()
+        _, records = load_journal(str(journal))
+        assert len(records) == 300
+        merged = [
+            dataclasses.asdict(records[i]) for i in range(300)
+        ]
+        assert merged == _as_dicts(clean)

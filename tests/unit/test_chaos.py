@@ -72,7 +72,14 @@ def test_every_kind_maps_to_a_site():
     for kind, site in KINDS.items():
         rule = ChaosRule(kind=kind)
         assert rule.site == site
-        assert rule.action == kind.split(".", 1)[1]
+        # The action is the last dotted component (three-part campaign
+        # kinds included), and only stall-shaped actions default to a
+        # nonzero delay.
+        assert rule.action == kind.rsplit(".", 1)[1]
+        if rule.action in ("hang", "slow_store", "slow_read"):
+            assert rule.delay_s == DEFAULT_HANG_SECONDS
+        else:
+            assert rule.delay_s == 0.0
 
 
 # -- determinism ------------------------------------------------------------------

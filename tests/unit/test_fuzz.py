@@ -260,6 +260,68 @@ class TestHarness:
         assert report.outcomes.get("ok", 0) >= 3
 
 
+class TestHarnessCrash:
+    """A worker dying mid-iteration becomes a Finding, not a hole."""
+
+    def test_crash_finding_carries_the_generating_seed(self):
+        from repro.fuzz.harness import (
+            OUTCOME_HARNESS_CRASH,
+            _crash_finding,
+        )
+        from repro.gpusim.campaign import stable_seed
+        from repro.runtime.errors import PoisonJobError
+
+        spec = FuzzSpec(iterations=10, seed=77)
+        exc = PoisonJobError("worker died 2x", key="4", strikes=2)
+        finding = _crash_finding(spec, 4, exc)
+        assert finding.stage == OUTCOME_HARNESS_CRASH
+        assert finding.pass_name == "harness"
+        assert finding.iteration == 4
+        assert finding.seed == stable_seed(77, 4)
+        assert finding.case == {}
+        assert finding.error["type"] == "PoisonJobError"
+        assert finding.fingerprint  # triageable like any other failure
+
+    def test_supervised_sweep_records_crashes_as_findings(self):
+        """Chaos kills every worker; with poison_threshold=1 each
+        iteration quarantines into a harness_crash finding — the sweep
+        still completes and (with reduce=True) reduction skips the
+        case-less findings instead of crashing."""
+        from repro.fuzz.harness import OUTCOME_HARNESS_CRASH
+        from repro.serve.chaos import ChaosEngine, ChaosPlan
+
+        spec = FuzzSpec(iterations=4, seed=2020, mutate_rate=0.0,
+                        fault=False)
+        plan = ChaosPlan.parse("campaign.worker.kill:p=1.0", seed=9)
+        with ChaosEngine(plan):
+            report = FuzzRunner(
+                spec, workers=2, poison_threshold=1
+            ).run(reduce=True)
+        assert report.outcomes == {OUTCOME_HARNESS_CRASH: 4}
+        assert len(report.findings) == 4
+        stages = {f.stage for f in report.findings}
+        assert stages == {OUTCOME_HARNESS_CRASH}
+        # One bucket: same fingerprint for the same failure mode.
+        assert len(report.buckets()) == 1
+
+    def test_transient_kills_below_threshold_lose_nothing(self):
+        from repro.serve.chaos import ChaosEngine, ChaosPlan
+
+        spec = FuzzSpec(iterations=6, seed=2020, mutate_rate=0.0,
+                        fault=False)
+        clean = FuzzRunner(spec).run()
+        plan = ChaosPlan.parse(
+            "campaign.worker.kill:p=0.4:max=2", seed=13
+        )
+        with ChaosEngine(plan):
+            chaotic = FuzzRunner(
+                spec, workers=2, poison_threshold=4
+            ).run()
+        # Retried iterations are deterministic: same outcomes as the
+        # uninterrupted inline sweep.
+        assert chaotic.outcomes == clean.outcomes
+
+
 class TestInjectedBugAcceptance:
     """ISSUE acceptance: a deliberately-injected pass bug is caught,
     triaged into the correct bucket, and reduced to <= 25% of the

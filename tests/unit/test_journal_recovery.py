@@ -5,17 +5,23 @@ truncated at an arbitrary byte.  ``load_journal`` must drop exactly the
 partial record (and only it), and an append-mode ``_Journal`` opened on
 the torn file must terminate the fragment so resumed records do not
 merge into it.  The main test truncates at *every* byte offset of the
-final record — including offsets that cut multi-byte UTF-8 characters
-and offsets where the remaining prefix still parses as JSON.
+final record.
+
+Since journal v2 every line carries a ``\\t<crc32>`` trailer, so a torn
+fragment survives at exactly two offsets: the cut that drops only the
+trailing newline (the CRC line is whole) and the cut that lands exactly
+between payload and trailer (the bare JSON payload is accepted as a
+legacy v1 line).  Every other prefix fails the checksum or the schema.
 """
 
 import json
-import os
 
 from repro.gpusim.campaign import (
     CampaignSpec,
     InjectionRecord,
+    _crc_line,
     _Journal,
+    _parse_journal_line,
     load_journal,
 )
 
@@ -34,20 +40,19 @@ def _records(n):
             recoveries=i % 3,
             instructions=1000 + i,
             seed=100 + i,
-            # A non-ASCII detail: truncation mid multi-byte char must
-            # still read back as a skipped line, not a decode crash.
             detail=f"répro-№{i}",
         )
         for i in range(n)
     ]
 
 
-def _parses_as_record(fragment: bytes) -> bool:
-    try:
-        obj = json.loads(fragment.decode("utf-8", errors="replace"))
-    except json.JSONDecodeError:
+def _fragment_is_whole(fragment: bytes) -> bool:
+    """Does this torn prefix still read back as a valid record line?"""
+    line = fragment.decode("utf-8", errors="replace").strip()
+    if not line:
         return False
-    if not isinstance(obj, dict):
+    obj, status = _parse_journal_line(line)
+    if obj is None:
         return False
     try:
         InjectionRecord(**obj)
@@ -59,7 +64,7 @@ def _parses_as_record(fragment: bytes) -> bool:
 def _write_journal(path, spec, records):
     journal = _Journal(str(path), spec, fresh=True)
     for record in records:
-        journal.append(record)
+        assert journal.append(record)
     journal.close()
 
 
@@ -70,7 +75,8 @@ def test_truncation_at_every_byte_of_the_final_record(tmp_path):
     _write_journal(path, spec, records)
 
     blob = path.read_bytes()
-    final_line = records[-1].to_json().encode() + b"\n"
+    payload = records[-1].to_json()
+    final_line = _crc_line(payload).encode() + b"\n"
     assert blob.endswith(final_line)
     base = len(blob) - len(final_line)
 
@@ -80,21 +86,42 @@ def test_truncation_at_every_byte_of_the_final_record(tmp_path):
         header, loaded = load_journal(str(torn))
         assert header is not None and "spec" in header, cut
         # Exactly the complete records survive; the torn one is gone —
-        # except at the one offset where only the trailing newline was
-        # lost and the record is genuinely whole.
-        fragment_is_whole = _parses_as_record(final_line[:cut])
+        # except at the offsets where the fragment is genuinely whole.
+        fragment_is_whole = _fragment_is_whole(final_line[:cut])
         expected = [0, 1, 2, 3] if fragment_is_whole else [0, 1, 2]
         assert sorted(loaded) == expected, f"cut at byte {cut}"
         for i in (0, 1, 2):
             assert loaded[i] == records[i], f"cut at byte {cut}"
-    # Sanity: the whole-record case exists exactly once (newline-only
-    # truncation), so the loop above really covered both branches.
+    # Sanity: the whole-record offsets are exactly the payload/trailer
+    # boundary (legacy acceptance, with or without the dangling tab —
+    # line stripping eats it) and the newline-only truncation, so the
+    # loop above really covered both branches.
     whole = [
         cut
         for cut in range(len(final_line))
-        if _parses_as_record(final_line[:cut])
+        if _fragment_is_whole(final_line[:cut])
     ]
-    assert whole == [len(final_line) - 1]
+    n = len(payload.encode())
+    assert whole == [n, n + 1, len(final_line) - 1]
+
+
+def test_crc_catches_bitrot_legacy_parsing_would_accept(tmp_path):
+    """The v1 loader accepted any line that parsed as record JSON; the
+    CRC trailer rejects a line whose payload was altered after write."""
+    spec = _spec(1)
+    record = _records(1)[0]
+    path = tmp_path / "rot.jsonl"
+    _write_journal(path, spec, [record])
+
+    blob = path.read_bytes()
+    # Flip the record's seed digit inside the payload: still valid JSON,
+    # still a valid InjectionRecord — only the checksum knows.
+    rotted = blob.replace(b'"seed": 100', b'"seed": 900')
+    assert rotted != blob
+    path.write_bytes(rotted)
+    header, loaded = load_journal(str(path))
+    assert header is not None
+    assert loaded == {}  # dropped as corrupt, not mis-loaded as seed=900
 
 
 def test_append_resume_after_every_truncation_completes_the_set(tmp_path):
@@ -106,7 +133,7 @@ def test_append_resume_after_every_truncation_completes_the_set(tmp_path):
     path = tmp_path / "journal.jsonl"
     _write_journal(path, spec, records)
     blob = path.read_bytes()
-    final_line = records[-1].to_json().encode() + b"\n"
+    final_line = _crc_line(records[-1].to_json()).encode() + b"\n"
     base = len(blob) - len(final_line)
 
     # Every offset is cheap enough to run exhaustively here too.
@@ -128,17 +155,18 @@ def test_append_resume_after_every_truncation_completes_the_set(tmp_path):
 
 def test_garbage_lines_are_skipped_not_fatal(tmp_path):
     """Non-object JSON, binary noise and half-written headers are all
-    skipped: recovery never throws on journal content."""
+    skipped: recovery never throws on journal content.  CRC-less record
+    lines (a v1 journal) still load, tagged legacy."""
     path = tmp_path / "garbage.jsonl"
     good = _records(2)
     lines = [
         json.dumps({"spec": _spec().to_dict(), "version": 1}),
         "12345",  # parses, but is not a record object
         '"just a string"',
-        good[0].to_json(),
+        good[0].to_json(),  # v1-style line, no trailer
         "{\"index\": 9, \"unknown_field\": true}",  # wrong shape
         "\xff\xfe binary noise",
-        good[1].to_json(),
+        _crc_line(good[1].to_json()),  # v2-style line
     ]
     path.write_text("\n".join(lines) + "\n", errors="replace")
     header, loaded = load_journal(str(path))
