@@ -9,12 +9,12 @@ Run:  python examples/quickstart.py
 
 import repro
 from repro import (
-    Executor,
     FaultPlan,
     KernelBuilder,
     Launch,
     LaunchConfig,
     MemoryImage,
+    make_executor,
     print_kernel,
 )
 
@@ -63,7 +63,7 @@ def main():
     # 1. The unprotected kernel and its golden output.
     kernel = build_kernel()
     mem, addr = make_memory(n)
-    Executor(kernel, rf_code_factory=lambda: None).run(launch, mem)
+    make_executor(kernel, rf_code_factory=lambda: None).run(launch, mem)
     golden = mem.download(addr, n)
     print("golden output (first 8):", golden[:8])
 
@@ -78,7 +78,9 @@ def main():
 
     # 3. Run the protected kernel fault-free: identical output.
     mem2, _ = make_memory(n)
-    Executor(result.kernel, rf_code_factory=lambda: None).run(launch, mem2)
+    make_executor(result.kernel, rf_code_factory=lambda: None).run(
+        launch, mem2
+    )
     assert mem2.download(addr, n) == golden
     print("\nfault-free protected run matches golden output")
 
@@ -87,7 +89,7 @@ def main():
     # region's live-ins from checkpoint storage and re-executes.
     plan = FaultPlan(ctaid=0, tid=3, after_instructions=25, bits=(13,))
     mem3, _ = make_memory(n)
-    stats = Executor(result.kernel, fault_plan=plan).run(launch, mem3)
+    stats = repro.simulate(result, launch=launch, mem=mem3, fault_plan=plan)
     out = mem3.download(addr, n)
     print(f"\ninjected a bit flip into register {plan.hit_register!r} "
           f"of thread (0,3)")

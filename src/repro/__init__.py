@@ -8,11 +8,17 @@ Quickstart::
 
     kernel = ...                     # build or parse a PTX-subset kernel
     result = repro.protect(kernel)   # full Penny pipeline, strict
-    repro.Executor(result.kernel).run(repro.Launch(...), repro.MemoryImage())
+    stats = repro.simulate(
+        result, launch=repro.Launch(grid=1, block=32),
+        mem=repro.MemoryImage(),
+    )
 
-:func:`protect` is the one-call entry point; drop down to
-:class:`PennyCompiler` + :class:`PennyConfig` when you need to mix knobs
-the presets don't cover.  To watch a run, install a tracer first::
+:func:`protect` is the one-call compile entry point and
+:func:`simulate` the one-call execute entry point (``backend="auto"``
+picks the vectorized NumPy engine; pass ``backend="scalar"`` for the
+reference interpreter).  Drop down to :class:`PennyCompiler` +
+:class:`PennyConfig`, or :func:`repro.gpusim.make_executor`, when you
+need to mix knobs the presets don't cover.  To watch a run, install a tracer first::
 
     with repro.obs.Tracer() as tracer:
         result = repro.protect(kernel)
@@ -48,7 +54,8 @@ from repro.core.schemes import (
     Scheme,
     scheme_config,
 )
-from repro.gpusim.executor import Executor, Launch
+from repro.gpusim.backend import make_executor
+from repro.gpusim.executor import ExecutionResult, Executor, Launch
 from repro.gpusim.faults import FaultCampaign, FaultOutcome, FaultPlan
 from repro.gpusim.memory import MemoryImage
 from repro.ir.builder import KernelBuilder
@@ -94,8 +101,39 @@ def protect(
     )
 
 
+def simulate(
+    result: Union[CompileResult, Kernel],
+    *,
+    launch: Launch,
+    mem: MemoryImage,
+    backend: str = "auto",
+    fault_plan=None,
+) -> ExecutionResult:
+    """Execute a protected kernel on the simulator with one call.
+
+    The execution-side twin of :func:`protect`: accepts the
+    :class:`CompileResult` ``protect`` returned (or a bare
+    :class:`Kernel`), picks an execution engine, runs it, and returns
+    the :class:`ExecutionResult`.  Outputs land in ``mem`` — download
+    them from there.  All arguments but the kernel are keyword-only.
+
+    :param result: a :class:`CompileResult` (its ``.kernel`` is run) or
+        a :class:`Kernel`.
+    :param launch: grid/block geometry (:class:`Launch`).
+    :param mem: the :class:`MemoryImage` holding params and buffers.
+    :param backend: ``"auto"`` (default — the vectorized NumPy engine),
+        ``"scalar"`` (the reference interpreter), or ``"vector"``.
+    :param fault_plan: optional fault-injection plan (e.g.
+        :class:`FaultPlan`); hooks fire identically on both backends.
+    """
+    kernel = result.kernel if isinstance(result, CompileResult) else result
+    executor = make_executor(kernel, backend=backend, fault_plan=fault_plan)
+    return executor.run(launch, mem)
+
+
 __all__ = [
     "protect",
+    "simulate",
     "PennyCompiler",
     "PennyConfig",
     "CompileResult",
@@ -107,6 +145,8 @@ __all__ = [
     "SCHEME_PENNY",
     "scheme_config",
     "Executor",
+    "ExecutionResult",
+    "make_executor",
     "Launch",
     "MemoryImage",
     "FaultCampaign",

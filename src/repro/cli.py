@@ -183,6 +183,7 @@ def _compile_all(args: argparse.Namespace):
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     with _Observation(args) as watch:
         results = _compile_all(args)
         for result in results:
@@ -207,6 +208,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.verify import verify_compiled
 
+    _apply_backend(args)
     if args.corpus:
         return _verify_corpus(args)
     if not args.input:
@@ -359,6 +361,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         pattern=args.pattern,
         max_instructions=args.watchdog,
         max_recoveries=args.max_recoveries,
+        backend=args.backend,
     )
     chaos = None
     if getattr(args, "chaos", None):
@@ -467,6 +470,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         strict=args.strict,
         fault=not args.no_fault,
         mutate_rate=args.mutate_rate,
+        backend=args.backend,
+        cross_check=args.cross_check,
     )
     with _Observation(args) as watch:
         report = FuzzRunner(
@@ -696,9 +701,11 @@ def _synthesize_memory(kernel, words: int):
 def cmd_trace(args: argparse.Namespace) -> int:
     """Compile and execute kernels under a tracer, seeding one recoverable
     register-file fault so the trace shows detection + re-execution."""
-    from repro.gpusim.executor import Executor, Launch
+    from repro.gpusim.backend import make_executor
+    from repro.gpusim.executor import Launch
     from repro.gpusim.faults import FaultPlan
 
+    _apply_backend(args)
     module = parse_module(_read_source(args.input))
     config = _build_config(args)
     launch_config = LaunchConfig(
@@ -719,7 +726,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
             # Fault-free reference run.
             mem = _synthesize_memory(result.kernel, args.words)
-            reports.append(Executor(result.kernel).run(launch, mem))
+            reports.append(
+                make_executor(result.kernel, backend=args.backend).run(
+                    launch, mem
+                )
+            )
 
             # Seeded fault runs: scan injection points until one lands on
             # a live register and recovery fires (bounded attempts; a
@@ -737,8 +748,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
                     )
                     fmem = _synthesize_memory(result.kernel, args.words)
                     try:
-                        faulted = Executor(
-                            result.kernel, fault_plan=plan
+                        faulted = make_executor(
+                            result.kernel,
+                            backend=args.backend,
+                            fault_plan=plan,
                         ).run(launch, fmem)
                     except Exception:
                         continue  # DUE/timeout: try another point
@@ -948,6 +961,29 @@ def cmd_schemes(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default="auto",
+        choices=("auto", "scalar", "vector"),
+        help="executor engine for any simulation this command performs "
+             "(auto picks the vectorized engine; scalar is the "
+             "reference interpreter)",
+    )
+
+
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Make ``--backend`` the process default, so every ``auto``
+    resolution downstream (oracle replays, spawned helpers) follows the
+    flag."""
+    backend = getattr(args, "backend", None)
+    if backend and backend != "auto":
+        import os
+
+        from repro.gpusim.backend import BACKEND_ENV_VAR
+
+        os.environ[BACKEND_ENV_VAR] = backend
+
+
 def _add_observe_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", default=None, metavar="JSON",
@@ -1024,6 +1060,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None, metavar="DIR",
             help="consult/fill an on-disk compile cache at DIR",
         )
+        _add_backend_flag(p)
     p_verify.add_argument(
         "--corpus", default=None, metavar="JSONL",
         help="re-check a fuzz finding corpus instead of compiling a file",
@@ -1193,6 +1230,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--words", type=int, default=64,
         help="synthesized buffer length / scalar-param value",
     )
+    _add_backend_flag(p_trace)
     _add_observe_flags(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
@@ -1336,6 +1374,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    _add_backend_flag(p_campaign)
     _add_observe_flags(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
@@ -1378,8 +1417,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL finding-corpus path (crash-safe, append-only)",
     )
     p_fuzz.add_argument(
+        "--cross-check", action="store_true",
+        help="re-run every zero-fault protected execution on the other "
+             "backend and flag any divergence as a finding",
+    )
+    p_fuzz.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    _add_backend_flag(p_fuzz)
     _add_observe_flags(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
     return parser

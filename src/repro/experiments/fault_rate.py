@@ -17,7 +17,8 @@ from typing import Dict, List
 from repro.bench import get_benchmark
 from repro.core.pipeline import PennyCompiler
 from repro.core.schemes import SCHEME_PENNY, scheme_config
-from repro.gpusim.executor import Executor, SimulationError
+from repro.gpusim.backend import make_executor
+from repro.gpusim.executor import SimulationError
 from repro.gpusim.faults import RateFaultPlan, classify_due
 from repro.gpusim.memory import MemoryError32
 
@@ -45,7 +46,7 @@ def run(
     )
 
     mem, _, out = wl.make()
-    golden_exec = Executor(result.kernel).run(wl.launch, mem)
+    golden_exec = make_executor(result.kernel).run(wl.launch, mem)
     golden = mem.download(*out)
     base_insts = golden_exec.instructions
 
@@ -55,7 +56,7 @@ def run(
         row = None
         for _ in range(max(1, repeats)):
             mem2 = wl.make_memory()
-            executor = Executor(
+            executor = make_executor(
                 result.kernel,
                 fault_plan=plan,
                 max_recoveries_per_thread=100_000,

@@ -13,8 +13,8 @@ from typing import List
 from repro.bench import ALL_BENCHMARKS
 from repro.core.pipeline import PennyCompiler
 from repro.core.schemes import SCHEME_PENNY, scheme_config
+from repro.gpusim.backend import make_executor
 from repro.gpusim.energy import rf_energy
-from repro.gpusim.executor import Executor
 
 
 def run(benchmarks=None) -> List[dict]:
@@ -23,7 +23,7 @@ def run(benchmarks=None) -> List[dict]:
     for bench in benches:
         wl = bench.workload()
         mem = wl.make_memory()
-        base_exec = Executor(
+        base_exec = make_executor(
             bench.fresh_kernel(), rf_code_factory=lambda: None
         ).run(wl.launch, mem)
         base = rf_energy(base_exec, "None").total_pj
@@ -33,7 +33,7 @@ def run(benchmarks=None) -> List[dict]:
             bench.fresh_kernel(), wl.launch_config
         )
         mem2 = wl.make_memory()
-        penny_exec = Executor(
+        penny_exec = make_executor(
             compiled.kernel, rf_code_factory=lambda: None
         ).run(wl.launch, mem2)
         penny = rf_energy(penny_exec, "Parity").total_pj

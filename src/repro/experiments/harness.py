@@ -26,7 +26,8 @@ from repro.core.schemes import (
     scheme_config,
 )
 from repro.gpusim.config import FERMI_C2050, GpuConfig
-from repro.gpusim.executor import ExecutionResult, Executor
+from repro.gpusim.backend import make_executor
+from repro.gpusim.executor import ExecutionResult
 from repro.gpusim.timing import TimingModel, TimingReport
 from repro.ir.module import Kernel
 from repro.regalloc import count_registers
@@ -88,7 +89,7 @@ def _measure_kernel(
     regs_override: Optional[int] = None,
 ) -> Tuple[float, TimingReport, ExecutionResult]:
     mem = workload.make_memory()
-    execution = Executor(kernel, rf_code_factory=lambda: None).run(
+    execution = make_executor(kernel, rf_code_factory=lambda: None).run(
         workload.launch, mem
     )
     regs = regs_override if regs_override is not None else count_registers(kernel)

@@ -28,7 +28,8 @@ from repro.core.schemes import (
     scheme_config,
 )
 from repro.gpusim.config import FERMI_C2050
-from repro.gpusim.executor import Executor, Launch
+from repro.gpusim.backend import make_executor
+from repro.gpusim.executor import Launch
 from repro.gpusim.memory import MemoryImage
 from repro.gpusim.timing import TimingModel
 from repro.ir.builder import KernelBuilder
@@ -84,7 +85,7 @@ def _measure(kernel: Kernel, threads=32, blocks=2) -> float:
     mem.upload(addr, list(range(1, 65)))
     mem.set_param("A", addr)
     mem.set_param("n", threads)
-    execution = Executor(kernel, rf_code_factory=lambda: None).run(
+    execution = make_executor(kernel, rf_code_factory=lambda: None).run(
         Launch(grid=blocks, block=threads), mem
     )
     shared = sum(4 * d.num_words for d in kernel.shared)

@@ -51,12 +51,16 @@ class FuzzSpec:
     mutate_rate: float = 0.3
     mutate_rounds: int = 2
     buffer_words: int = 160
+    backend: str = "auto"  # executor engine: auto | scalar | vector
+    cross_check: bool = False  # re-run zero-fault on the other backend
 
     def __post_init__(self):
         if self.iterations < 0:
             raise ValueError("iterations must be >= 0")
         if not 0.0 <= self.mutate_rate <= 1.0:
             raise ValueError("mutate_rate must be in [0, 1]")
+        if self.backend not in ("auto", "scalar", "vector"):
+            raise ValueError(f"unknown executor backend {self.backend!r}")
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -146,6 +150,8 @@ def _run_iteration(spec: FuzzSpec, index: int) -> Dict:
             strict=spec.strict,
             fault=spec.fault,
             iteration=index,
+            backend=spec.backend,
+            cross_check=spec.cross_check,
         )
         it_span.tag(outcome=result.status)
     obs.inc(f"fuzz.outcome.{result.status}")
@@ -307,6 +313,8 @@ class FuzzRunner:
                     strict=self.spec.strict,
                     fault=self.spec.fault,
                     iteration=rep.iteration,
+                    backend=self.spec.backend,
+                    cross_check=self.spec.cross_check,
                 )
                 return (
                     result.finding is not None

@@ -22,6 +22,12 @@ For one :class:`FuzzCase` the oracle checks, in order:
    engine) the protected kernel must finish with the baseline's output:
    a mismatch is silent data corruption, a simulator exception is a
    detected-unrecoverable failure; both break the paper's guarantee.
+
+With ``cross_check=True`` a seventh stage re-runs the protected
+zero-fault execution on the *other* executor backend and demands a
+bit-identical :class:`ExecutionResult` and output buffers — the fuzzer
+then differentially tests the lane-parallel engine against the scalar
+oracle on every generated kernel, for free.
 """
 
 from __future__ import annotations
@@ -35,8 +41,9 @@ from repro.core.schemes import scheme_config
 from repro.core.verify import verify_compiled
 from repro.fuzz.generator import FuzzCase
 from repro.fuzz.triage import Finding, fingerprint
+from repro.gpusim.backend import make_executor, resolve_backend
 from repro.gpusim.campaign import stable_seed
-from repro.gpusim.executor import Executor, Launch, SimulationError
+from repro.gpusim.executor import Launch, SimulationError
 from repro.gpusim.faults import FaultPlan
 from repro.gpusim.memory import MemoryError32
 
@@ -181,9 +188,12 @@ def run_case(
     strict: bool = False,
     fault: bool = True,
     iteration: int = 0,
+    backend: str = "auto",
+    cross_check: bool = False,
 ) -> CaseResult:
     """Run the full differential oracle over one case."""
     stats: Dict[str, float] = {}
+    backend = resolve_backend(backend)
 
     # 1. validity
     try:
@@ -215,8 +225,9 @@ def run_case(
     # 2. unprotected baseline
     mem, out_map = case.make_memory()
     try:
-        base_exec = Executor(
+        base_exec = make_executor(
             kernel,
+            backend=backend,
             rf_code_factory=lambda: None,
             max_instructions_per_thread=BASELINE_BUDGET,
         ).run(launch, mem)
@@ -264,8 +275,9 @@ def run_case(
     # 5. zero-fault differential
     mem2, out_map2 = case.make_memory()
     try:
-        Executor(
+        protected_exec = make_executor(
             protected,
+            backend=backend,
             max_instructions_per_thread=protected_budget,
         ).run(launch, mem2)
     except (SimulationError, MemoryError32) as exc:
@@ -301,10 +313,54 @@ def run_case(
             stats=stats,
         )
 
+    # 5b. backend cross-check: the other engine must reproduce the
+    # protected run bit for bit (results, counters, and output buffers).
+    if cross_check:
+        other = "scalar" if backend == "vector" else "vector"
+        mem3, out_map3 = case.make_memory()
+        try:
+            other_exec = make_executor(
+                protected,
+                backend=other,
+                max_instructions_per_thread=protected_budget,
+            ).run(launch, mem3)
+        except (SimulationError, MemoryError32) as exc:
+            return CaseResult(
+                status="finding",
+                finding=_make_finding(
+                    iteration,
+                    case,
+                    "cross_check",
+                    message=f"{other} backend raised where {backend} "
+                    f"succeeded: {exc}",
+                    exc_type="BackendMismatch",
+                    pass_name="vexec",
+                ),
+                stats=stats,
+            )
+        mismatch = None
+        if other_exec != protected_exec:
+            mismatch = "execution statistics differ"
+        elif _download_outputs(mem3, out_map3) != protected_out:
+            mismatch = "output buffers differ"
+        if mismatch is not None:
+            return CaseResult(
+                status="finding",
+                finding=_make_finding(
+                    iteration,
+                    case,
+                    "cross_check",
+                    message=f"{backend} vs {other}: {mismatch}",
+                    exc_type="BackendMismatch",
+                    pass_name="vexec",
+                ),
+                stats=stats,
+            )
+
     # 6. fault recovery
     if fault and protected.meta.get("recovery_table") is not None:
         fault_result = _run_fault(
-            case, protected, launch, protected_budget, iteration
+            case, protected, launch, protected_budget, iteration, backend
         )
         if fault_result is not None:
             return CaseResult(
@@ -319,6 +375,7 @@ def _run_fault(
     launch: Launch,
     budget: int,
     iteration: int,
+    backend: str = "auto",
 ) -> Optional[Finding]:
     """One deterministic single-bit RF injection; returns a finding when
     the protection contract breaks."""
@@ -327,8 +384,8 @@ def _run_fault(
     # A fresh zero-fault run profiles thread lifetimes for point selection
     # (the run above already proved this cannot raise).
     mem_p, out_map = case.make_memory()
-    profile = Executor(
-        protected, max_instructions_per_thread=budget
+    profile = make_executor(
+        protected, backend=backend, max_instructions_per_thread=budget
     ).run(launch, mem_p)
     golden = _download_outputs(mem_p, out_map)
     lifetimes = {
@@ -349,8 +406,9 @@ def _run_fault(
     )
     mem_f, out_map_f = case.make_memory()
     try:
-        Executor(
+        make_executor(
             protected,
+            backend=backend,
             max_instructions_per_thread=budget,
             fault_plan=plan,
         ).run(launch, mem_f)

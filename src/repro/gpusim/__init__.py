@@ -19,6 +19,13 @@ A functional SIMT interpreter for the PTX-subset IR with:
 - an analytic timing model (occupancy + latency hiding) and an RF energy
   model (GPUWattch stand-in) fed by the interpreter's dynamic counts.
 
+Two interchangeable execution engines sit behind :func:`make_executor`:
+the scalar interpreter (:mod:`repro.gpusim.executor`, the semantic
+oracle) and a NumPy lane-parallel engine (:mod:`repro.gpusim.vexec`) that
+evaluates whole thread blocks per instruction.  They are bit-for-bit
+equivalent — same results, counters, fault hooks, and recovery behavior —
+so ``backend="auto"`` simply picks the fast one.
+
 Fermi (Tesla C2050) and Volta (Titan V) configurations mirror the paper's
 two evaluation targets.
 """
@@ -27,6 +34,12 @@ from repro.gpusim.config import FERMI_C2050, VOLTA_TITAN_V, GpuConfig
 from repro.gpusim.memory import MemoryImage
 from repro.gpusim.regfile import ParityError, RegisterFile
 from repro.gpusim.executor import ExecutionResult, Executor, Launch
+from repro.gpusim.backend import (
+    BACKEND_CHOICES,
+    ExecutorBackend,
+    make_executor,
+    resolve_backend,
+)
 from repro.gpusim.occupancy import occupancy
 from repro.gpusim.timing import TimingModel, TimingReport
 from repro.gpusim.energy import rf_energy
@@ -60,6 +73,10 @@ __all__ = [
     "RegisterFile",
     "ParityError",
     "Executor",
+    "ExecutorBackend",
+    "make_executor",
+    "resolve_backend",
+    "BACKEND_CHOICES",
     "Launch",
     "ExecutionResult",
     "occupancy",

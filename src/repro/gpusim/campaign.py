@@ -71,7 +71,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import repro.obs as obs
 from repro.obs.metrics import Counters
-from repro.gpusim.executor import Executor, SimulationError
+from repro.gpusim.backend import make_executor
+from repro.gpusim.executor import SimulationError
 from repro.gpusim.faults import (
     CheckpointFaultPlan,
     ComposedFaultPlan,
@@ -166,6 +167,7 @@ class CampaignSpec:
     recovery_repeat_rate: float = 0.25
     max_instructions: int = 2_000_000  # per-injection watchdog budget
     max_recoveries: int = 100
+    backend: str = "auto"  # executor engine: auto | scalar | vector
 
     def __post_init__(self):
         for s in self.surfaces:
@@ -179,6 +181,8 @@ class CampaignSpec:
             raise ValueError(f"unknown rf code {self.rf_code!r}")
         if self.num_injections < 0:
             raise ValueError("num_injections must be >= 0")
+        if self.backend not in ("auto", "scalar", "vector"):
+            raise ValueError(f"unknown executor backend {self.backend!r}")
 
     def to_dict(self) -> Dict:
         d = dataclasses.asdict(self)
@@ -401,8 +405,10 @@ class _CampaignState:
 
         # Golden run (generous budget — the watchdog is for injected runs).
         mem, _, out = self.wl.make()
-        golden_exec = Executor(
-            self.kernel, rf_code_factory=self.code_factory
+        golden_exec = make_executor(
+            self.kernel,
+            backend=spec.backend,
+            rf_code_factory=self.code_factory,
         ).run(self.wl.launch, mem)
         self.out = out
         self.golden = mem.download(*out)
@@ -502,8 +508,9 @@ class _CampaignState:
     def run_index(self, index: int) -> InjectionRecord:
         surface, seed, plan = self.plan_for_index(index)
         mem = self.wl.make_memory()
-        executor = Executor(
+        executor = make_executor(
             self.kernel,
+            backend=self.spec.backend,
             rf_code_factory=self.code_factory,
             max_instructions_per_thread=self.spec.max_instructions,
             max_recoveries_per_thread=self.spec.max_recoveries,

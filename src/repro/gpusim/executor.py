@@ -60,6 +60,29 @@ def to_signed(b: int) -> int:
     return b - (1 << 32) if b & (1 << 31) else b
 
 
+def _plan_takes_env(fault_plan) -> bool:
+    """Does this fault plan's ``after_instruction`` take ``(thread, env)``?
+
+    Plans declare their hook surface explicitly via a ``HOOK_API`` class
+    attribute (see :class:`repro.gpusim.faults.FaultPlan`): version >= 2
+    means the widened ``(thread, env)`` signature, version 1 the original
+    ``(thread)`` one.  Third-party plans without the attribute fall back
+    to the historical ``inspect.signature`` arity probe.
+    """
+    if fault_plan is None:
+        return False
+    api = getattr(fault_plan, "HOOK_API", None)
+    if api is not None:
+        return int(api) >= 2
+    try:
+        hook_params = inspect.signature(
+            fault_plan.after_instruction
+        ).parameters
+        return len(hook_params) >= 2
+    except (TypeError, ValueError):
+        return True
+
+
 class SimulationError(RuntimeError):
     """The simulated program misbehaved (bad address, runaway loop, ...)."""
 
@@ -121,6 +144,9 @@ class ExecutionResult:
     )
     shared_accesses: int = 0
     global_accesses: int = 0
+    #: which engine produced this result ("scalar" | "vector"); excluded
+    #: from equality so differential A/B comparisons stay meaningful
+    backend: str = field(default="scalar", compare=False)
 
     def total_by_class(self) -> Counter:
         total = Counter()
@@ -131,6 +157,7 @@ class ExecutionResult:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": "execution_result",
+            "backend": self.backend,
             "threads": self.threads,
             "instructions": self.instructions,
             "detections": self.detections,
@@ -242,8 +269,30 @@ def _classify(inst) -> str:
     return CLASS_ALU  # setp/selp/bra/membar/ret issue like ALU ops
 
 
+def _publish_counters(result: ExecutionResult) -> None:
+    """Dump one run's dynamic statistics into the current tracer's
+    metrics registry.  End-of-run only — no per-instruction observability
+    cost in either engine's hot loop.  Shared by every backend so the
+    metrics key space is identical whichever engine produced the run."""
+    if obs.current_tracer() is None:
+        return
+    obs.inc("sim.runs")
+    obs.inc("sim.instructions", result.instructions)
+    obs.inc("sim.threads", result.threads)
+    obs.inc("sim.detections", result.detections)
+    obs.inc("sim.recoveries", result.recoveries)
+    obs.inc("sim.rf_reads", result.rf_reads)
+    obs.inc("sim.rf_writes", result.rf_writes)
+    obs.inc("sim.shared_accesses", result.shared_accesses)
+    obs.inc("sim.global_accesses", result.global_accesses)
+    for cls, n in result.total_by_class().items():
+        obs.inc(f"sim.inst.{cls}", n)
+
+
 class Executor:
     """Executes one kernel over a launch grid."""
+
+    backend_name = "scalar"
 
     def __init__(
         self,
@@ -260,15 +309,7 @@ class Executor:
         self.fault_plan = fault_plan
         # Newer plans take (thread, env) so they can strike memory-side
         # state; plans predating the widened surface take (thread) only.
-        self._plan_takes_env = False
-        if fault_plan is not None:
-            try:
-                hook_params = inspect.signature(
-                    fault_plan.after_instruction
-                ).parameters
-                self._plan_takes_env = len(hook_params) >= 2
-            except (TypeError, ValueError):
-                self._plan_takes_env = True
+        self._plan_takes_env = _plan_takes_env(fault_plan)
         self._block_index = {blk.label: i for i, blk in enumerate(kernel.blocks)}
         self._recovery_runtime = None
         table = kernel.meta.get("recovery_table")
@@ -288,31 +329,17 @@ class Executor:
             grid=launch.grid,
             block=launch.block,
             faulted=self.fault_plan is not None,
+            backend=self.backend_name,
         ):
             result = self._run(launch, mem)
-        self._publish_counters(result)
+        _publish_counters(result)
         return result
 
     def _publish_counters(self, result: ExecutionResult) -> None:
-        """Dump one run's dynamic statistics into the current tracer's
-        metrics registry.  End-of-run only — the interpreter's hot loop
-        carries no per-instruction observability cost."""
-        if obs.current_tracer() is None:
-            return
-        obs.inc("sim.runs")
-        obs.inc("sim.instructions", result.instructions)
-        obs.inc("sim.threads", result.threads)
-        obs.inc("sim.detections", result.detections)
-        obs.inc("sim.recoveries", result.recoveries)
-        obs.inc("sim.rf_reads", result.rf_reads)
-        obs.inc("sim.rf_writes", result.rf_writes)
-        obs.inc("sim.shared_accesses", result.shared_accesses)
-        obs.inc("sim.global_accesses", result.global_accesses)
-        for cls, n in result.total_by_class().items():
-            obs.inc(f"sim.inst.{cls}", n)
+        _publish_counters(result)
 
     def _run(self, launch: Launch, mem: MemoryImage) -> ExecutionResult:
-        result = ExecutionResult()
+        result = ExecutionResult(backend=self.backend_name)
         # Stateful fault plans (rate plans, campaign plans) carry per-run
         # bookkeeping; reset it so a reused plan cannot leak injection
         # schedules or counters from a previous run into this one.

@@ -34,6 +34,7 @@ need in-region detection.
 from __future__ import annotations
 
 import enum
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -101,9 +102,30 @@ def classify_due(exc: BaseException) -> DueType:
     raise TypeError(f"cannot classify {exc!r} as a DUE")
 
 
+def _thread_stream_seed(seed: int, ctaid: int, tid: int) -> int:
+    """A per-thread RNG stream seed, stable across platforms and engines.
+
+    Deriving one independent stream per thread (instead of consuming a
+    shared RNG in hook-call order) is what makes rate-style plans
+    backend-invariant: the scalar and vector engines interleave threads
+    differently, but each thread's *own* hook sequence — and therefore
+    its draws — is identical under both.
+    """
+    digest = hashlib.sha256(
+        f"fault-stream:{seed}:{ctaid}:{tid}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 @dataclass
 class FaultPlan:
-    """One scheduled register-file injection."""
+    """One scheduled register-file injection.
+
+    ``HOOK_API = 2`` declares the widened executor-hook signature
+    ``after_instruction(thread, env)`` (see
+    :func:`repro.gpusim.executor._plan_takes_env`); plans without the
+    attribute are probed by signature for backward compatibility.
+    """
 
     ctaid: int
     tid: int
@@ -114,6 +136,14 @@ class FaultPlan:
 
     injected: bool = field(default=False, compare=False)
     hit_register: Optional[str] = field(default=None, compare=False)
+
+    HOOK_API = 2
+
+    def hook_threads(self) -> Optional[List[Tuple[int, int]]]:
+        """The (ctaid, tid) pairs whose hooks can have any effect, or
+        ``None`` for "every thread".  Lets the lane-parallel engine skip
+        the per-lane hook loop for lanes a targeted plan ignores."""
+        return [(self.ctaid, self.tid)]
 
     def after_instruction(self, t: ThreadContext, env=None) -> None:
         """Executor hook: called after each instruction of each thread."""
@@ -141,13 +171,21 @@ class RateFaultPlan:
     Used to quantify the recovery procedure's cost as a function of fault
     rate (§3.1's Amdahl argument: at realistic rates — one strike per *day*
     — recovery time is invisible; this plan lets the simulator dial the
-    rate up until it is not)."""
+    rate up until it is not).
+
+    Each thread draws from its own RNG stream (derived from ``seed`` and
+    the thread's coordinates via :func:`_thread_stream_seed`), so the
+    injection schedule depends only on per-thread execution — not on how
+    an engine interleaves threads — and is identical under the scalar and
+    vector backends."""
 
     interval: int
     seed: int = 0
     bit_range: int = 33
 
     injections: int = field(default=0, compare=False)
+
+    HOOK_API = 2
 
     def __post_init__(self):
         if self.interval < 1:
@@ -157,10 +195,10 @@ class RateFaultPlan:
     def reset(self) -> None:
         """Re-arm the plan for a fresh run.  The executor calls this at
         every ``run()`` start, so reusing one plan object across runs
-        cannot leak the previous run's schedule (``_next``) or its
+        cannot leak the previous run's schedule (``_streams``) or its
         ``injections`` count into the next campaign."""
-        self._rng = random.Random(self.seed)
-        self._next: Dict[Tuple[int, int], int] = {}
+        #: (ctaid, tid) -> [rng, next-due executed count]
+        self._streams: Dict[Tuple[int, int], List] = {}
         self.injections = 0
 
     @property
@@ -169,18 +207,20 @@ class RateFaultPlan:
 
     def after_instruction(self, t: ThreadContext, env=None) -> None:
         key = (t.ctaid, t.tid)
-        due = self._next.get(key)
-        if due is None:
-            due = self._next[key] = self._rng.randint(1, self.interval)
+        stream = self._streams.get(key)
+        if stream is None:
+            rng = random.Random(
+                _thread_stream_seed(self.seed, t.ctaid, t.tid)
+            )
+            stream = self._streams[key] = [rng, rng.randint(1, self.interval)]
+        rng, due = stream
         if t.executed < due:
             return
-        self._next[key] = t.executed + self._rng.randint(
-            1, 2 * self.interval
-        )
-        reg = t.rf.random_register(self._rng)
+        stream[1] = t.executed + rng.randint(1, 2 * self.interval)
+        reg = t.rf.random_register(rng)
         if reg is None:
             return
-        if t.rf.flip_bits(reg, [self._rng.randrange(self.bit_range)]):
+        if t.rf.flip_bits(reg, [rng.randrange(self.bit_range)]):
             self.injections += 1
 
 
@@ -219,6 +259,11 @@ class CheckpointFaultPlan:
     injected: bool = field(default=False, compare=False)
     effect: Optional[str] = field(default=None, compare=False)
     hit_slot: Optional[str] = field(default=None, compare=False)
+
+    HOOK_API = 2
+
+    def hook_threads(self) -> Optional[List[Tuple[int, int]]]:
+        return [(self.ctaid, self.tid)]
 
     def after_instruction(self, t: ThreadContext, env=None) -> None:
         if self.injected or env is None:
@@ -302,9 +347,14 @@ class RecoveryFaultPlan:
 
     strikes: int = field(default=0, compare=False)
 
+    HOOK_API = 2
+
     def __post_init__(self):
         if self.mode not in ("register", "slot"):
             raise ValueError(f"unknown recovery-fault mode {self.mode!r}")
+
+    def hook_threads(self) -> Optional[List[Tuple[int, int]]]:
+        return [(self.primary.ctaid, self.primary.tid)]
 
     @property
     def injected(self) -> bool:
@@ -354,6 +404,22 @@ class ComposedFaultPlan:
     recovery plus the checkpoint-slot fault recovery must then survive)."""
 
     plans: List[object] = field(default_factory=list)
+
+    HOOK_API = 2
+
+    def hook_threads(self) -> Optional[List[Tuple[int, int]]]:
+        """Union of the children's targets; ``None`` (all threads) as soon
+        as any child is untargeted."""
+        targets: List[Tuple[int, int]] = []
+        for p in self.plans:
+            getter = getattr(p, "hook_threads", None)
+            child = getter() if callable(getter) else None
+            if child is None:
+                return None
+            for key in child:
+                if key not in targets:
+                    targets.append(key)
+        return targets
 
     @property
     def injected(self) -> bool:
@@ -438,6 +504,7 @@ class FaultCampaign:
         output_region: Tuple[int, int],
         rf_code_factory=None,
         max_instructions_per_thread: int = 2_000_000,
+        backend: str = "auto",
     ):
         self.kernel = kernel
         self.launch = launch
@@ -445,16 +512,19 @@ class FaultCampaign:
         self.output_region = output_region
         self.rf_code_factory = rf_code_factory
         self.max_instructions = max_instructions_per_thread
+        self.backend = backend
         self._golden: Optional[List[int]] = None
 
-    def _executor(self, fault_plan=None) -> Executor:
+    def _executor(self, fault_plan=None):
+        from repro.gpusim.backend import make_executor
+
         kwargs = {
             "max_instructions_per_thread": self.max_instructions,
             "fault_plan": fault_plan,
         }
         if self.rf_code_factory is not None:
             kwargs["rf_code_factory"] = self.rf_code_factory
-        return Executor(self.kernel, **kwargs)
+        return make_executor(self.kernel, backend=self.backend, **kwargs)
 
     def golden_output(self) -> List[int]:
         if self._golden is None:

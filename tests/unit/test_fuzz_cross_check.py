@@ -1,0 +1,78 @@
+"""The fuzz oracle's backend cross-check stage.
+
+With ``cross_check=True`` the oracle re-runs the zero-fault protected
+execution on the *other* engine and compares statistics and output
+buffers — turning every fuzz iteration into a differential test of the
+vectorized engine against the scalar oracle (or vice versa).  These
+tests pin that the stage runs clean on generated cases, that a
+divergence is reported as a ``BackendMismatch`` finding, and that the
+knobs thread through :class:`FuzzSpec` and the harness.
+"""
+
+from repro.fuzz.generator import generate_case
+from repro.fuzz.harness import FuzzRunner, FuzzSpec
+from repro.fuzz.oracle import run_case
+
+
+class TestCrossCheckStage:
+    def test_generated_cases_cross_check_clean(self):
+        """A handful of generated cases: the cross-check stage must not
+        produce findings (the engines are equivalent) and must not
+        change the oracle verdict."""
+        for seed in (1, 7, 42, 99, 123):
+            case = generate_case(seed)
+            plain = run_case(case, fault=False)
+            checked = run_case(case, fault=False, cross_check=True)
+            assert checked.status == plain.status
+            if plain.finding is None:
+                assert checked.finding is None
+
+    def test_cross_check_runs_from_either_backend(self):
+        case = generate_case(42)
+        for backend in ("scalar", "vector"):
+            result = run_case(
+                case, fault=False, backend=backend, cross_check=True
+            )
+            finding = result.finding
+            assert finding is None or finding.exc_type != "BackendMismatch"
+
+    def test_backend_choice_does_not_change_verdict(self):
+        """Fuzz findings must be backend-invariant: the same case gets
+        the same outcome and fingerprint on both engines."""
+        for seed in (3, 17, 56):
+            case = generate_case(seed)
+            results = [
+                run_case(case, backend=backend)
+                for backend in ("scalar", "vector")
+            ]
+            assert results[0].status == results[1].status
+            fps = [
+                r.finding.fingerprint if r.finding else None
+                for r in results
+            ]
+            assert fps[0] == fps[1]
+
+
+class TestSpecPlumbing:
+    def test_spec_carries_backend_and_cross_check(self):
+        spec = FuzzSpec(backend="vector", cross_check=True)
+        restored = FuzzSpec.from_dict(spec.to_dict())
+        assert restored.backend == "vector"
+        assert restored.cross_check is True
+
+    def test_spec_rejects_unknown_backend(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="backend"):
+            FuzzSpec(backend="gpu")
+
+    def test_small_cross_checked_sweep(self):
+        """An end-to-end sweep with the cross-check armed: no
+        BackendMismatch buckets may appear."""
+        spec = FuzzSpec(
+            iterations=6, seed=2024, fault=False, cross_check=True
+        )
+        report = FuzzRunner(spec).run()
+        assert report.iterations_run == 6
+        for finding in report.findings:
+            assert finding.exc_type != "BackendMismatch"
