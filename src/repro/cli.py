@@ -139,6 +139,13 @@ def _build_config(args: argparse.Namespace) -> PennyConfig:
         config.low_opts = False
     if args.param_noalias:
         config.param_noalias = True
+    if getattr(args, "policy", None):
+        from repro.policy import PolicyError, ProtectionPolicy
+
+        try:
+            config.policy = str(ProtectionPolicy.parse(args.policy))
+        except PolicyError as exc:
+            raise SystemExit(f"error: invalid --policy: {exc}")
     return config
 
 
@@ -362,6 +369,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         max_instructions=args.watchdog,
         max_recoveries=args.max_recoveries,
         backend=args.backend,
+        policy=args.policy,
     )
     chaos = None
     if getattr(args, "chaos", None):
@@ -638,9 +646,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
                         lint_kernel(kernel, source=text, **select_kwargs)
                     )
                     if args.compiled:
-                        compiler = PennyCompiler(
-                            scheme_config(args.scheme), strict=False
-                        )
+                        lint_config = scheme_config(args.scheme)
+                        if getattr(args, "policy", None):
+                            lint_config.policy = args.policy
+                        compiler = PennyCompiler(lint_config, strict=False)
                         launch = LaunchConfig(
                             threads_per_block=args.block,
                             num_blocks=args.grid,
@@ -1042,6 +1051,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--param-noalias", action="store_true",
             help="assume distinct pointer params never alias (restrict)",
         )
+        p.add_argument(
+            "--policy", default=None, metavar="POLICY",
+            help="protection policy (full, address-only, "
+                 "top-k-vulnerable[:K], detection-only, none; "
+                 "';'-separated region overrides)",
+        )
         p.add_argument("--block", type=int, default=256,
                        help="threads per block (storage layout)")
         p.add_argument("--grid", type=int, default=4,
@@ -1165,6 +1180,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_client.add_argument("--no-low-opts", action="store_true")
     p_client.add_argument("--param-noalias", action="store_true")
+    p_client.add_argument(
+        "--policy", default=None, metavar="POLICY",
+        help="protection policy sent with the compile request",
+    )
     p_client.add_argument("--no-strict", action="store_true")
     p_client.add_argument("--block", type=int, default=256,
                           help="threads per block (storage layout)")
@@ -1219,6 +1238,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--no-low-opts", action="store_true")
     p_trace.add_argument("--param-noalias", action="store_true")
+    p_trace.add_argument(
+        "--policy", default=None, metavar="POLICY",
+        help="protection policy (full, address-only, "
+             "top-k-vulnerable[:K], detection-only, none)",
+    )
     p_trace.add_argument("--no-strict", action="store_true")
     p_trace.add_argument(
         "--block", type=int, default=16, help="threads per block"
@@ -1287,6 +1311,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheme", default=SCHEME_PENNY, choices=_SCHEMES,
         help="scheme preset for --compiled",
     )
+    p_lint.add_argument(
+        "--policy", default=None, metavar="POLICY",
+        help="protection policy for --compiled (drives the "
+             "policy-uncovered-addr rule)",
+    )
     p_lint.add_argument("--block", type=int, default=256,
                         help="threads per block for --compiled")
     p_lint.add_argument("--grid", type=int, default=4,
@@ -1325,6 +1354,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--code", default="parity", choices=("parity", "secded", "none"),
         help="register-file detection code",
+    )
+    p_campaign.add_argument(
+        "--policy", default="full", metavar="POLICY",
+        help="protection policy applied to the compiled kernel "
+             "(full, address-only, top-k-vulnerable[:K], "
+             "detection-only, none)",
     )
     p_campaign.add_argument(
         "--surfaces", default="rf",

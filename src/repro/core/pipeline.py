@@ -120,14 +120,24 @@ class PennyConfig:
     lint_disable: tuple = ()
     #: per-rule severity overrides, rule id -> "error"/"warning"/"note"
     lint_severity: Dict[str, str] = field(default_factory=dict)
+    #: selective-protection policy (:class:`repro.policy.ProtectionPolicy`
+    #: string form): ``full`` | ``address-only`` |
+    #: ``top-k-vulnerable[:K]`` | ``detection-only`` | ``none``, plus
+    #: optional ``;label=kind`` per-region overrides and ``;no-addr-guard``
+    policy: str = "full"
 
     def __post_init__(self):
         # Normalize the overwrite knob to the typed Scheme enum (accepting
         # historical strings and aliases).  Imported lazily: schemes.py
         # imports PennyConfig from this module at load time.
         from repro.core.schemes import Scheme
+        from repro.policy import PolicyError, ProtectionPolicy
 
         self.overwrite = Scheme.parse(self.overwrite)
+        try:
+            self.policy = str(ProtectionPolicy.parse(self.policy))
+        except PolicyError as exc:
+            raise ConfigError(str(exc), pass_name="config") from None
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical JSON-serializable form: field-declaration key order,
@@ -143,6 +153,12 @@ class PennyConfig:
             value = getattr(self, f.name)
             if f.name == "overwrite":
                 value = Scheme.parse(value).value
+            elif f.name == "policy":
+                # callers may assign a raw string after construction;
+                # canonicalize so equal policies always serialize equal
+                from repro.policy import ProtectionPolicy
+
+                value = str(ProtectionPolicy.parse(value))
             elif f.name == "lint_disable":
                 value = [str(v) for v in value]
             elif f.name == "lint_severity":
@@ -201,6 +217,7 @@ class CompileResult:
             "pruning": self.config.pruning,
             "storage_mode": self.config.storage_mode,
             "overwrite": Scheme.parse(self.config.overwrite).value,
+            "policy": self.config.policy,
             "launch": {
                 "threads_per_block": self.launch.threads_per_block,
                 "num_blocks": self.launch.num_blocks,
@@ -233,6 +250,8 @@ _COMPILED_META_KEYS = (
     "region_boundaries",
     "storage_assignment",
     "protected",
+    "protection_policy",
+    "protected_registers",
 )
 
 
@@ -401,9 +420,72 @@ class PennyCompiler:
     def _dispatch(
         self, kernel: Kernel, launch: LaunchConfig, config: PennyConfig
     ) -> CompileResult:
+        from repro.policy import ProtectionPolicy
+
+        policy = ProtectionPolicy.parse(config.policy)
+        if policy.unprotected:
+            return self._compile_unprotected(kernel, launch, policy)
         if config.overwrite == "auto":
             return self._compile_auto(kernel, launch)
         return self._compile_one(kernel, launch, config.overwrite)
+
+    def _compile_unprotected(
+        self, kernel: Kernel, launch: LaunchConfig, policy
+    ) -> CompileResult:
+        """``none`` / ``detection-only`` (with no protecting overrides):
+        no regions, no checkpoints, no recovery metadata.  The kernel
+        runs bare (the SDC baseline) or with the detection code on every
+        register but nothing to recover from (every detection is a
+        ``no_runtime`` DUE)."""
+        from repro.policy import KIND_NONE
+
+        with obs.span("pass.policy", policy=str(policy)):
+            kernel.meta["protection_policy"] = str(policy)
+            if policy.kind == KIND_NONE:
+                kernel.meta["protected_registers"] = frozenset()
+            # detection-only: no "protected_registers" key = all protected
+
+        if self.config.verify:
+            from repro.core.verify import check as verify_check
+
+            with obs.span("pass.verify"):
+                verify_check(kernel)
+
+        result = CompileResult(
+            kernel=kernel,
+            config=self.config,
+            launch=launch,
+            plan=CheckpointPlan(),
+            regions=RegionInfo(boundaries=set()),
+            recovery=RecoveryTable(),
+            coloring=None,
+            codegen=CodegenResult(),
+            stats={},
+        )
+        registers = float(count_registers(kernel))
+        result.stats.update(
+            {
+                "overwrite_scheme": "none",
+                "estimated_cost": 0.0,
+                "checkpoints_total": 0.0,
+                "checkpoints_committed": 0.0,
+                "checkpoints_pruned": 0.0,
+                "hazardous_registers": 0.0,
+                "registers": registers,
+                "shared_slots": 0.0,
+                "global_slots": 0.0,
+                "shared_ckpt_bytes": 0.0,
+                "emitted_checkpoints": 0.0,
+                "address_insts": 0.0,
+                "forced_commits": 0.0,
+                "num_boundaries": 0.0,
+                "protection_policy": str(policy),
+                "protected_registers": (
+                    0.0 if policy.kind == KIND_NONE else registers
+                ),
+            }
+        )
+        return result
 
     # -- the fallback lattice (strict=False) -----------------------------------
 
@@ -519,7 +601,9 @@ class PennyCompiler:
         self, kernel: Kernel, launch: LaunchConfig, overwrite: str
     ) -> CompileResult:
         from repro.core.schemes import Scheme
+        from repro.policy import ProtectionPolicy
 
+        policy = ProtectionPolicy.parse(self.config.policy)
         overwrite = Scheme.parse(overwrite)
         with obs.span("pass.regions"):
             cfg = CFG(kernel)
@@ -538,6 +622,14 @@ class PennyCompiler:
                     liveins = analyze_liveins(
                         kernel, regions, cfg=cfg, rdefs=rdefs
                     )
+                if policy.selective:
+                    # Recomputed every round: renaming changes names, so
+                    # the criticality/vulnerability sets must follow.
+                    with obs.span("pass.policy", policy=str(policy)):
+                        critical, top = self._policy_selection(cfg)
+                        from repro.policy import filter_liveins
+
+                        filter_liveins(liveins, policy, critical, top)
                 cost = CostModel.for_cfg(cfg, base=self.config.cost_base)
                 with obs.span("pass.plan"):
                     plan = self._make_plan(cfg, liveins, cost)
@@ -562,6 +654,26 @@ class PennyCompiler:
             kernel, launch, overwrite, cfg, rdefs, regions, liveins,
             cost, plan, instances, hazardous,
         )
+
+    def _policy_selection(self, cfg: CFG):
+        """The (criticality, top-vulnerable) name sets the configured
+        policy needs on ``cfg`` — ``None`` for the ones it does not."""
+        from repro.analysis.vuln import (
+            address_critical_registers,
+            register_vulnerability,
+        )
+        from repro.policy import ProtectionPolicy
+
+        policy = ProtectionPolicy.parse(self.config.policy)
+        critical = top = None
+        if policy.needs_criticality:
+            critical = address_critical_registers(cfg)
+        if policy.needs_vulnerability:
+            report = register_vulnerability(
+                cfg, loop_base=self.config.cost_base
+            )
+            top = policy.top_set(report)
+        return critical, top
 
     def _raise_renaming(self, overwrite, kernel, hazardous):
         raise RenamingError(
@@ -677,6 +789,15 @@ class PennyCompiler:
         kernel.meta["region_boundaries"] = regions.boundaries
         kernel.meta["protected"] = True
 
+        from repro.policy import ProtectionPolicy
+
+        policy = ProtectionPolicy.parse(self.config.policy)
+        if not policy.is_full:
+            kernel.meta["protection_policy"] = str(policy)
+            protected = self._protected_registers(kernel, policy, recovery)
+            if protected is not None:
+                kernel.meta["protected_registers"] = protected
+
         if self.config.verify:
             from repro.core.verify import check as verify_check
 
@@ -696,6 +817,46 @@ class PennyCompiler:
         )
         self._fill_stats(result, cost, overwrite, storage, hazardous)
         return result
+
+    def _protected_registers(self, kernel, policy, recovery):
+        """The run-time protected set of a selectively compiled kernel.
+
+        Computed on the *final* post-codegen kernel: the criticality and
+        vulnerability sets must cover the checkpoint stores and address
+        arithmetic the compiler just emitted, so under ``address-only``
+        every address-feeding chain in the shipped code is protected by
+        construction.  ``None`` = every register (full/detection bases).
+        """
+        from repro.analysis.vuln import (
+            address_critical_registers,
+            register_vulnerability,
+        )
+        from repro.policy import (
+            KIND_ADDRESS,
+            KIND_TOPK,
+            reserved_register_names,
+        )
+
+        final_cfg = CFG(kernel)
+        critical = top = None
+        if policy.kind == KIND_ADDRESS:
+            critical = address_critical_registers(final_cfg)
+        elif policy.kind == KIND_TOPK:
+            report = register_vulnerability(
+                final_cfg, loop_base=self.config.cost_base
+            )
+            top = policy.top_set(report)
+        restores = {
+            action.reg_name
+            for entry in recovery.regions.values()
+            for action in entry.restores
+        }
+        return policy.protected_names(
+            critical=critical,
+            top=top,
+            reserved=reserved_register_names(kernel),
+            restores=restores,
+        )
 
     def _reconcile_coloring(
         self, plan: CheckpointPlan, coloring: ColoringResult, recovery
@@ -797,6 +958,13 @@ class PennyCompiler:
                 "forced_commits": float(result.recovery.forced_commits),
                 "num_boundaries": float(len(result.regions.boundaries)),
             }
+        )
+        result.stats["protection_policy"] = self.config.policy
+        protected = kernel.meta.get("protected_registers")
+        result.stats["protected_registers"] = (
+            float(len(protected))
+            if protected is not None
+            else result.stats["registers"]
         )
 
 

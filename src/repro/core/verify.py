@@ -54,6 +54,23 @@ class VerificationError(RuntimeError):
     """The compiled kernel violates a recovery-correctness obligation."""
 
 
+def _policy_opted_out(kernel: Kernel) -> bool:
+    """True when the kernel was compiled under a protection policy that
+    legitimately produces no recovery metadata (``none`` /
+    ``detection-only``): the V1–V5 obligations are vacuous then, and the
+    fallback lattice must accept such kernels instead of rejecting them
+    as "not compiled"."""
+    meta = kernel.meta.get("protection_policy")
+    if meta is None:
+        return False
+    from repro.policy import PolicyError, ProtectionPolicy
+
+    try:
+        return ProtectionPolicy.parse(meta).unprotected
+    except PolicyError:
+        return False
+
+
 def verify_compiled(kernel: Kernel) -> List[str]:
     """Check every V1–V5 obligation; returns violations (empty = clean).
 
@@ -64,6 +81,8 @@ def verify_compiled(kernel: Kernel) -> List[str]:
     if kernel.meta.get("recovery_table") is None or not kernel.meta.get(
         "region_boundaries"
     ):
+        if _policy_opted_out(kernel):
+            return []  # none/detection-only: no metadata is correct
         return ["kernel carries no recovery metadata (not compiled?)"]
     report = lint_compiled(kernel, only=VERIFY_RULES)
     by_rule = {rid: [] for rid in VERIFY_RULES}

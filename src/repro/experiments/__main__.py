@@ -26,6 +26,7 @@ ARTIFACTS = (
     "energy_total",
     "fault_rate",
     "scale_study",
+    "pareto",
 )
 
 

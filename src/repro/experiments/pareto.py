@@ -1,0 +1,338 @@
+"""Protection-policy Pareto study: coverage vs overhead.
+
+Penny's full scheme checkpoints every region live-in; the policy layer
+(:mod:`repro.policy`) lets the compiler protect only the registers that
+matter most — address-feeding chains (PRESAGE-style), the most
+vulnerable registers by ACE-weighted live-interval exposure, or nothing
+at all.  This experiment sweeps the policy axis over the benchmark
+suite and reports, per policy:
+
+* **instruction overhead** — dynamic instructions of the compiled
+  kernel normalized to the unprotected baseline (geometric mean and
+  per-bench), plus the timing model's normalized execution time;
+* **storage overhead** — checkpoint bytes per block from the storage
+  model, plus the parity-protected register count;
+* **coverage** — a seeded fault-injection campaign per (policy, bench)
+  classifies outcomes into masked / recovered / SDC / DUE; coverage is
+  ``1 - SDC rate`` with Wilson 95% confidence bounds.
+
+The output table is the coverage-vs-overhead Pareto frontier the paper
+family (Penny, PRESAGE, ACE analyses) argues about: ``full`` buys the
+highest coverage at the highest overhead, ``address-only`` keeps SDC
+close to full for a fraction of the checkpoints, ``none`` is the bare
+register file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench import ALL_BENCHMARKS, get_benchmark
+from repro.core.schemes import SCHEME_PENNY, scheme_config
+from repro.experiments.harness import (
+    compile_cache,
+    geometric_mean,
+    measure_baseline,
+    measure_scheme,
+)
+from repro.gpusim.campaign import CampaignSpec, ParallelCampaign
+
+#: the policy axis, cheapest-protection-last
+DEFAULT_POLICIES = (
+    "full",
+    "address-only",
+    "top-k-vulnerable:0.5",
+    "detection-only",
+    "none",
+)
+
+#: structurally diverse default subset (loops, shared memory, atomics)
+DEFAULT_APPS = ("STC", "BO", "FW", "NW")
+
+
+def _policy_config(policy: str):
+    return dataclasses.replace(scheme_config(SCHEME_PENNY), policy=policy)
+
+
+def measure_policy_overhead(bench, policy: str, baseline) -> Dict:
+    """Compile ``bench`` under ``policy`` and measure dynamic
+    instruction / cycle overhead plus the storage model's stats."""
+    m = measure_scheme(
+        bench,
+        SCHEME_PENNY,
+        baseline_cycles=baseline.cycles,
+        config_override=_policy_config(policy),
+    )
+    stats = m.compile_result.stats
+    base_insts = baseline.execution.instructions
+    return {
+        "instructions": m.execution.instructions,
+        "inst_overhead": (
+            m.execution.instructions / base_insts if base_insts else 1.0
+        ),
+        "normalized_time": m.normalized,
+        "ckpt_bytes_per_block": stats.get("shared_ckpt_bytes", 0.0),
+        "emitted_checkpoints": stats.get("emitted_checkpoints", 0.0),
+        "protected_registers": stats.get("protected_registers", 0.0),
+        "registers": stats.get("registers", 0.0),
+    }
+
+
+def measure_policy_coverage(
+    abbr: str,
+    policy: str,
+    injections: int,
+    seed: int,
+    workers: int = 1,
+) -> Dict:
+    """Run a seeded RF fault campaign under ``policy`` and return the
+    outcome rates with Wilson 95% bounds."""
+    spec = CampaignSpec(
+        benchmark=abbr,
+        scheme=SCHEME_PENNY,
+        rf_code="parity",
+        num_injections=injections,
+        seed=seed,
+        surfaces=("rf",),
+        bits_per_fault=1,
+        policy=policy,
+    )
+    report = ParallelCampaign(spec, workers=workers).run()
+    rates = report.rates()
+    sdc_rate, sdc_lo, sdc_hi = rates["sdc"]
+    due_rate, due_lo, due_hi = rates["due"]
+    return {
+        "outcomes": report.summary(),
+        "sdc_rate": sdc_rate,
+        "sdc_ci": (sdc_lo, sdc_hi),
+        "due_rate": due_rate,
+        "due_ci": (due_lo, due_hi),
+        # coverage = faults that did NOT silently corrupt the output;
+        # the CI mirrors the SDC interval (coverage = 1 - SDC rate).
+        "coverage": 1.0 - sdc_rate,
+        "coverage_ci": (1.0 - sdc_hi, 1.0 - sdc_lo),
+    }
+
+
+def run(
+    apps: Sequence[str] = DEFAULT_APPS,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    injections_per_app: int = 60,
+    seed: int = 2020,
+    workers: int = 1,
+) -> List[Dict]:
+    """The full sweep: one row per (policy, benchmark)."""
+    rows: List[Dict] = []
+    with compile_cache():
+        for abbr in apps:
+            bench = get_benchmark(abbr)
+            baseline = measure_baseline(bench)
+            for policy in policies:
+                row: Dict = {"abbr": abbr, "policy": policy}
+                row.update(
+                    measure_policy_overhead(bench, policy, baseline)
+                )
+                row.update(
+                    measure_policy_coverage(
+                        abbr,
+                        policy,
+                        injections=injections_per_app,
+                        seed=seed,
+                        workers=workers,
+                    )
+                )
+                rows.append(row)
+    return rows
+
+
+def aggregate(rows: List[Dict]) -> List[Dict]:
+    """Collapse per-bench rows into one summary row per policy:
+    geometric-mean overheads and pooled coverage."""
+    from repro.gpusim.campaign import wilson_interval
+
+    policies: List[str] = []
+    for r in rows:
+        if r["policy"] not in policies:
+            policies.append(r["policy"])
+    out = []
+    for policy in policies:
+        sub = [r for r in rows if r["policy"] == policy]
+        sdc = sum(r["outcomes"]["sdc"] for r in sub)
+        due = sum(r["outcomes"]["due"] for r in sub)
+        injected = sum(
+            sum(
+                v
+                for k, v in r["outcomes"].items()
+                if k != "not_injected"
+            )
+            for r in sub
+        )
+        rate, lo, hi = wilson_interval(sdc, injected)
+        out.append(
+            {
+                "policy": policy,
+                "inst_overhead": geometric_mean(
+                    [r["inst_overhead"] for r in sub]
+                ),
+                "normalized_time": geometric_mean(
+                    [r["normalized_time"] for r in sub]
+                ),
+                "ckpt_bytes_per_block": sum(
+                    r["ckpt_bytes_per_block"] for r in sub
+                )
+                / len(sub),
+                "coverage": 1.0 - rate,
+                "coverage_ci": (1.0 - hi, 1.0 - lo),
+                "sdc": sdc,
+                "due": due,
+                "due_rate": due / injected if injected else 0.0,
+                "injected": injected,
+            }
+        )
+    return out
+
+
+def pareto_frontier(summary: List[Dict]) -> List[str]:
+    """Policies not dominated on (instruction overhead, coverage,
+    DUE rate): a policy is dominated when another is at least as good
+    on all three axes and strictly better on one.  The DUE axis keeps
+    ``detection-only`` from spuriously dominating ``full`` — it trades
+    silent corruption for unavailability, not for free."""
+    frontier = []
+    for a in summary:
+        dominated = any(
+            b["coverage"] >= a["coverage"]
+            and b["inst_overhead"] <= a["inst_overhead"]
+            and b["due_rate"] <= a["due_rate"]
+            and (
+                b["coverage"] > a["coverage"]
+                or b["inst_overhead"] < a["inst_overhead"]
+                or b["due_rate"] < a["due_rate"]
+            )
+            for b in summary
+            if b is not a
+        )
+        if not dominated:
+            frontier.append(a["policy"])
+    return frontier
+
+
+def format_table(rows: List[Dict], summary: List[Dict]) -> str:
+    lines = [
+        "Protection-policy Pareto study "
+        "(coverage vs instruction/storage overhead)",
+        "",
+        f"{'bench':7}{'policy':24}{'inst ovh':>10}{'time ovh':>10}"
+        f"{'ckpt B/blk':>12}{'prot regs':>11}"
+        f"{'coverage (95% CI)':>24}{'sdc':>5}{'due':>5}",
+    ]
+    for r in rows:
+        lo, hi = r["coverage_ci"]
+        lines.append(
+            f"{r['abbr']:7}{r['policy']:24}"
+            f"{r['inst_overhead']:>10.3f}{r['normalized_time']:>10.3f}"
+            f"{r['ckpt_bytes_per_block']:>12.0f}"
+            f"{int(r['protected_registers']):>5}/"
+            f"{int(r['registers']):<5}"
+            f"{r['coverage']:.3f} [{lo:.3f}, {hi:.3f}]".rjust(24)
+            + f"{r['outcomes']['sdc']:>5}{r['outcomes']['due']:>5}"
+        )
+    lines.append("")
+    lines.append("per-policy aggregate (gmean overheads, pooled coverage):")
+    lines.append(
+        f"{'policy':24}{'inst ovh':>10}{'time ovh':>10}"
+        f"{'coverage (95% CI)':>24}{'due rate':>10}{'frontier':>10}"
+    )
+    frontier = set(pareto_frontier(summary))
+    for s in summary:
+        lo, hi = s["coverage_ci"]
+        lines.append(
+            f"{s['policy']:24}{s['inst_overhead']:>10.3f}"
+            f"{s['normalized_time']:>10.3f}"
+            + f"{s['coverage']:.3f} [{lo:.3f}, {hi:.3f}]".rjust(24)
+            + f"{s['due_rate']:>10.3f}"
+            + f"{'yes' if s['policy'] in frontier else '-':>10}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.pareto",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--benches",
+        default=",".join(DEFAULT_APPS),
+        help="comma-separated benchmark abbreviations, or 'all'",
+    )
+    parser.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help="comma-separated protection policies to sweep",
+    )
+    parser.add_argument(
+        "-n",
+        "--injections",
+        type=int,
+        default=60,
+        help="fault injections per (policy, bench) campaign",
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="campaign worker processes"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable rows instead of the text table",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE", help="write output to FILE"
+    )
+    # The ``python -m repro.experiments`` driver calls ``main()`` with
+    # artifact names still in sys.argv — default to no flags there.
+    args = parser.parse_args(argv if argv is not None else [])
+
+    if args.benches.strip().lower() == "all":
+        apps = ALL_BENCHMARKS.abbrs()
+    else:
+        apps = [a.strip() for a in args.benches.split(",") if a.strip()]
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+
+    rows = run(
+        apps=apps,
+        policies=policies,
+        injections_per_app=args.injections,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    summary = aggregate(rows)
+    if args.json:
+        rendered = json.dumps(
+            {
+                "rows": rows,
+                "summary": summary,
+                "frontier": pareto_frontier(summary),
+            },
+            indent=2,
+            default=list,
+        )
+    else:
+        rendered = format_table(rows, summary)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(rendered + "\n")
+        print(f"pareto study written to {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,234 @@
+"""Policy-matrix gate: the selective-protection invariants, as a check.
+
+CI runs this module (job ``policy-matrix``) to hold the policy layer to
+its contract on every push:
+
+1. **Compile matrix** — every benchmark kernel compiles under ``full``,
+   ``address-only`` and ``none``, and the post-compile lint gate stays
+   clean; in particular the ``policy-uncovered-addr`` rule reports zero
+   violations under ``address-only`` (every register feeding a memory
+   address, branch predicate or barrier condition is parity-protected).
+2. **Overhead monotonicity** — ``address-only`` never executes more
+   instructions than ``full``, and executes strictly fewer on every
+   kernel where ``full`` checkpoints a register the criticality
+   analysis does not require (i.e. wherever a saving is possible).
+3. **Coverage ordering** — a small seeded fault campaign per policy
+   must order the measured coverage ``full >= address-only >= none``.
+
+Exit status 0 means all invariants hold; violations are printed and
+exit status is 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.cfg import CFG
+from repro.analysis.vuln import address_critical_registers
+from repro.bench import ALL_BENCHMARKS, get_benchmark
+from repro.core.schemes import SCHEME_PENNY, scheme_config
+from repro.experiments.harness import compile_cache, measure_baseline
+from repro.experiments.pareto import (
+    measure_policy_coverage,
+    measure_policy_overhead,
+)
+from repro.lint import Severity, lint_compiled
+
+MATRIX_POLICIES = ("full", "address-only", "none")
+
+#: campaign subset: small, structurally diverse, fast to simulate
+CAMPAIGN_APPS = ("STC", "BO", "FW")
+
+
+def _compile_matrix(abbrs: Sequence[str]) -> List[str]:
+    """Invariants 1 + 2 over the compile matrix.  Returns violations."""
+    from repro.core.pipeline import PennyCompiler
+
+    violations: List[str] = []
+    for abbr in abbrs:
+        bench = get_benchmark(abbr)
+        baseline = measure_baseline(bench)
+        insts: Dict[str, int] = {}
+        reducible = False
+        for policy in MATRIX_POLICIES:
+            config = dataclasses.replace(
+                scheme_config(SCHEME_PENNY), policy=policy
+            )
+            result = PennyCompiler(config).compile(
+                bench.fresh_kernel(), bench.workload().launch_config
+            )
+            report = lint_compiled(result.kernel)
+            errors = [
+                d
+                for d in report.diagnostics
+                if d.severity == Severity.ERROR
+            ]
+            uncovered = [
+                d for d in errors if d.rule == "policy-uncovered-addr"
+            ]
+            if uncovered:
+                violations.append(
+                    f"{abbr}/{policy}: {len(uncovered)} "
+                    f"policy-uncovered-addr violation(s): "
+                    + "; ".join(d.message for d in uncovered[:3])
+                )
+            elif errors:
+                violations.append(
+                    f"{abbr}/{policy}: lint errors: "
+                    + "; ".join(
+                        f"{d.rule}: {d.message}" for d in errors[:3]
+                    )
+                )
+            m = measure_policy_overhead(bench, policy, baseline)
+            insts[policy] = int(m["instructions"])
+            if policy == "full" and m["emitted_checkpoints"]:
+                # is there anything address-only is allowed to drop?
+                kernel = bench.fresh_kernel()
+                critical = address_critical_registers(CFG(kernel))
+                stored = {
+                    action.reg_name
+                    for rr in result.recovery.regions.values()
+                    for action in rr.restores
+                    if action.slot_color is not None
+                }
+                reducible = bool(stored - critical)
+        if insts["address-only"] > insts["full"]:
+            violations.append(
+                f"{abbr}: address-only executes MORE instructions than "
+                f"full ({insts['address-only']} > {insts['full']})"
+            )
+        elif reducible and insts["address-only"] >= insts["full"]:
+            violations.append(
+                f"{abbr}: address-only should be strictly cheaper than "
+                f"full (non-critical registers are checkpointed) but "
+                f"ties at {insts['full']} instructions"
+            )
+        if insts["none"] > insts["address-only"]:
+            violations.append(
+                f"{abbr}: none executes more instructions than "
+                f"address-only"
+            )
+        print(
+            f"  {abbr:8} full={insts['full']:>9} "
+            f"addr={insts['address-only']:>9} none={insts['none']:>9} "
+            f"{'(reducible)' if reducible else ''}"
+        )
+    return violations
+
+
+def _coverage_ordering(
+    abbrs: Sequence[str], injections: int, seed: int, workers: int
+) -> List[str]:
+    """Invariant 3: pooled coverage full >= address-only >= none."""
+    totals = {p: {"sdc": 0, "n": 0} for p in MATRIX_POLICIES}
+    for abbr in abbrs:
+        for policy in MATRIX_POLICIES:
+            cov = measure_policy_coverage(
+                abbr, policy, injections=injections, seed=seed,
+                workers=workers,
+            )
+            injected = sum(
+                v
+                for k, v in cov["outcomes"].items()
+                if k != "not_injected"
+            )
+            totals[policy]["sdc"] += cov["outcomes"]["sdc"]
+            totals[policy]["n"] += injected
+            print(
+                f"  {abbr:8}{policy:14} coverage={cov['coverage']:.3f} "
+                f"sdc={cov['outcomes']['sdc']} "
+                f"due={cov['outcomes']['due']}"
+            )
+    coverage = {
+        p: 1.0 - (t["sdc"] / t["n"] if t["n"] else 0.0)
+        for p, t in totals.items()
+    }
+    print(
+        "  pooled coverage: "
+        + "  ".join(f"{p}={coverage[p]:.3f}" for p in MATRIX_POLICIES)
+    )
+    violations = []
+    if not (
+        coverage["full"]
+        >= coverage["address-only"]
+        >= coverage["none"]
+    ):
+        violations.append(
+            "coverage ordering violated: expected full >= address-only "
+            f">= none, measured {coverage}"
+        )
+    return violations
+
+
+def run(
+    abbrs: Optional[Sequence[str]] = None,
+    campaign_apps: Sequence[str] = CAMPAIGN_APPS,
+    injections: int = 40,
+    seed: int = 2020,
+    workers: int = 1,
+) -> List[str]:
+    if abbrs is None:
+        abbrs = ALL_BENCHMARKS.abbrs()
+    violations: List[str] = []
+    print(f"compile matrix over {len(abbrs)} benchmark(s):")
+    with compile_cache():
+        violations += _compile_matrix(abbrs)
+        print(
+            f"coverage campaigns ({injections} injections x "
+            f"{len(campaign_apps)} bench(es) x "
+            f"{len(MATRIX_POLICIES)} policies):"
+        )
+        violations += _coverage_ordering(
+            campaign_apps, injections, seed, workers
+        )
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.policy_matrix",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--benches", default="all",
+        help="comma-separated abbreviations for the compile matrix",
+    )
+    parser.add_argument(
+        "--campaign-benches", default=",".join(CAMPAIGN_APPS),
+        help="comma-separated abbreviations for the coverage campaigns",
+    )
+    parser.add_argument("-n", "--injections", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv if argv is not None else [])
+
+    abbrs = (
+        None
+        if args.benches.strip().lower() == "all"
+        else [a.strip() for a in args.benches.split(",") if a.strip()]
+    )
+    campaign_apps = [
+        a.strip() for a in args.campaign_benches.split(",") if a.strip()
+    ]
+    violations = run(
+        abbrs=abbrs,
+        campaign_apps=campaign_apps,
+        injections=args.injections,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print()
+    if violations:
+        for v in violations:
+            print("FAIL:", v)
+        return 1
+    print("policy matrix: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))

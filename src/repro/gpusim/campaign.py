@@ -168,8 +168,17 @@ class CampaignSpec:
     max_instructions: int = 2_000_000  # per-injection watchdog budget
     max_recoveries: int = 100
     backend: str = "auto"  # executor engine: auto | scalar | vector
+    #: selective-protection policy applied when compiling the scheme
+    #: (:class:`repro.policy.ProtectionPolicy` string form)
+    policy: str = "full"
 
     def __post_init__(self):
+        from repro.policy import ProtectionPolicy
+
+        # canonicalize through the parser (frozen dataclass: go around)
+        object.__setattr__(
+            self, "policy", str(ProtectionPolicy.parse(self.policy))
+        )
         for s in self.surfaces:
             if s not in ALL_SURFACES:
                 raise ValueError(f"unknown injection surface {s!r}")
@@ -392,8 +401,11 @@ class _CampaignState:
             from repro.core.pipeline import PennyCompiler
             from repro.core.schemes import scheme_config
 
+            config = scheme_config(spec.scheme)
+            if spec.policy != "full":
+                config = dataclasses.replace(config, policy=spec.policy)
             kernel = (
-                PennyCompiler(scheme_config(spec.scheme))
+                PennyCompiler(config)
                 .compile(kernel, self.wl.launch_config)
                 .kernel
             )

@@ -375,8 +375,13 @@ class Executor:
             shared_bases[decl.name] = offset
             offset += decl.num_words * 4
 
+        protected = self.kernel.meta.get("protected_registers")
         threads = [
-            ThreadContext(tid, ctaid, RegisterFile(self.rf_code_factory()))
+            ThreadContext(
+                tid,
+                ctaid,
+                RegisterFile(self.rf_code_factory(), protected=protected),
+            )
             for tid in range(launch.block)
         ]
         entry_label = self.kernel.entry.label

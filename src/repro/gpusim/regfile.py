@@ -7,12 +7,15 @@ property Penny's recovery correctness depends on (Appendix A, Axiom 1).
 
 Fault injection flips raw codeword bits.  An unprotected register file
 (``code=None``) stores bare values and lets corrupted reads through — used
-for SDC baselines.
+for SDC baselines.  Selective-protection policies pass ``protected`` (a
+set of register names, from ``kernel.meta["protected_registers"]``):
+registers outside the set store bare values even when a code is
+installed, so faults on them go undetected exactly as the policy chose.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, Optional
 
 from repro.coding.base import Code
 
@@ -30,21 +33,32 @@ class ParityError(RuntimeError):
 class RegisterFile:
     """One thread's registers: name -> codeword."""
 
-    def __init__(self, code: Optional[Code] = None):
+    def __init__(
+        self,
+        code: Optional[Code] = None,
+        protected: Optional[FrozenSet[str]] = None,
+    ):
         self.code = code
+        #: names covered by the detection code; ``None`` = every register
+        self.protected = protected
         self.words: Dict[str, int] = {}
         self.reads = 0
         self.writes = 0
         self.detections = 0
         self.injected_faults = 0
 
+    def _covered(self, name: str) -> bool:
+        return self.code is not None and (
+            self.protected is None or name in self.protected
+        )
+
     def write(self, name: str, value: int) -> None:
         value &= _MASK32
         self.writes += 1
-        if self.code is None:
-            self.words[name] = value
-        else:
+        if self._covered(name):
             self.words[name] = self.code.encode(value)
+        else:
+            self.words[name] = value
 
     def read(self, name: str) -> int:
         self.reads += 1
@@ -55,7 +69,7 @@ class RegisterFile:
             self.write(name, 0)
             self.reads += 0
             word = self.words[name]
-        if self.code is None:
+        if not self._covered(name):
             return word & _MASK32
         if self.code.check(word):
             self.detections += 1
@@ -67,7 +81,7 @@ class RegisterFile:
         word = self.words.get(name)
         if word is None:
             return None
-        if self.code is None:
+        if not self._covered(name):
             return word & _MASK32
         return self.code.extract_data(word)
 

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -149,16 +149,29 @@ class _VCode:
 class VRegisterFile:
     """All lanes' registers as a ``(regs, lanes)`` codeword matrix."""
 
-    def __init__(self, lanes: int, code, reg_names: List[str]):
+    def __init__(
+        self,
+        lanes: int,
+        code,
+        reg_names: List[str],
+        protected: Optional[FrozenSet[str]] = None,
+    ):
         self.lanes = lanes
         self.vcode = _VCode(code)
         self.code = code
+        #: selective protection: names outside the set store bare values
+        #: (meaningful only with a code installed); ``None`` = all covered
+        self._protected = protected if code is not None else None
         self.rows: Dict[str, int] = {}
         for name in reg_names:
             self.rows.setdefault(name, len(self.rows))
         n = max(len(self.rows), 1)
         self.words = np.zeros((n, lanes), dtype=_U64)
         self.written = np.zeros((n, lanes), dtype=bool)
+        self.row_protected = np.ones(n, dtype=bool)
+        if self._protected is not None:
+            for name, row in self.rows.items():
+                self.row_protected[row] = name in self._protected
         self.reads = np.zeros(lanes, dtype=_I64)
         self.writes = np.zeros(lanes, dtype=_I64)
         self.detections = np.zeros(lanes, dtype=_I64)
@@ -179,11 +192,23 @@ class VRegisterFile:
                 self.written = np.vstack(
                     [self.written, np.zeros((grow, self.lanes), dtype=bool)]
                 )
+                self.row_protected = np.concatenate(
+                    [self.row_protected, np.ones(grow, dtype=bool)]
+                )
+            if self._protected is not None:
+                self.row_protected[idx] = name in self._protected
         return idx
 
     def write_masked(self, row: int, mask: np.ndarray, values) -> None:
         self.writes[mask] += 1
         vals = values[mask] if isinstance(values, np.ndarray) else values
+        if not self.row_protected[row]:
+            if isinstance(vals, np.ndarray):
+                self.words[row, mask] = vals & _U64(_MASK32)
+            else:
+                self.words[row, mask] = _U64(int(vals) & _MASK32)
+            self.written[row, mask] = True
+            return
         if isinstance(vals, np.ndarray):
             self.words[row, mask] = self.vcode.encode(vals)
         else:
@@ -203,12 +228,15 @@ class VRegisterFile:
         Mirrors the scalar file: a never-written register is implicitly
         written as zero first (the write counter moves), the read counter
         moves *before* the check, detections are counted per faulting
-        lane."""
+        lane.  An unprotected row returns bare (possibly corrupted) data
+        and can never fault — the policy's chosen SDC exposure."""
         unwritten = mask & ~self.written[row]
         if unwritten.any():
             self.write_masked(row, unwritten, 0)
         self.reads[mask] += 1
         words = self.words[row]
+        if not self.row_protected[row]:
+            return words & _U64(_MASK32), None
         if self.dirty:
             bad = self.vcode.check(words) & mask
             if bad.any():
@@ -253,9 +281,10 @@ class _LaneRF:
         vrf.writes[self.lane] += 1
         value &= _MASK32
         code = vrf.code
-        vrf.words[row, self.lane] = _U64(
-            value if code is None else code.encode(value)
-        )
+        if code is None or not vrf.row_protected[row]:
+            vrf.words[row, self.lane] = _U64(value)
+        else:
+            vrf.words[row, self.lane] = _U64(code.encode(value))
         vrf.written[row, self.lane] = True
 
     def read(self, name: str) -> int:
@@ -266,7 +295,7 @@ class _LaneRF:
             self.write(name, 0)
         word = int(vrf.words[row, self.lane])
         code = vrf.code
-        if code is None:
+        if code is None or not vrf.row_protected[row]:
             return word & _MASK32
         if code.check(word):
             vrf.detections[self.lane] += 1
@@ -279,7 +308,7 @@ class _LaneRF:
         if row is None or not vrf.written[row, self.lane]:
             return None
         word = int(vrf.words[row, self.lane])
-        if vrf.code is None:
+        if vrf.code is None or not vrf.row_protected[row]:
             return word & _MASK32
         return vrf.code.extract_data(word)
 
@@ -991,7 +1020,10 @@ class _VBlockState:
         self.lanes = lanes
         self.labels = ex.labels
         self.vrf = VRegisterFile(
-            lanes, ex.rf_code_factory(), list(ex._reg_names)
+            lanes,
+            ex.rf_code_factory(),
+            list(ex._reg_names),
+            protected=ex.kernel.meta.get("protected_registers"),
         )
         self.executed = np.zeros(lanes, dtype=_I64)
         self.recoveries = np.zeros(lanes, dtype=_I64)

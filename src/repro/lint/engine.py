@@ -172,6 +172,40 @@ class LintContext:
     def has_recovery_meta(self) -> bool:
         return self.recovery_table is not None and bool(self.boundaries)
 
+    # -- selective-protection policy -------------------------------------------
+
+    @property
+    def protection_policy(self):
+        """The :class:`repro.policy.ProtectionPolicy` this kernel was
+        compiled under, or ``None`` (classic full protection / not
+        compiled).  Unparseable metadata reads as ``None``."""
+        meta = self.kernel.meta.get("protection_policy")
+        if meta is None:
+            return None
+        from repro.policy import PolicyError, ProtectionPolicy
+
+        try:
+            return ProtectionPolicy.parse(meta)
+        except PolicyError:
+            return None
+
+    @property
+    def protected_registers(self):
+        """Names carrying a detection code at run time; ``None`` = all."""
+        return self.kernel.meta.get("protected_registers")
+
+    def is_protected(self, name: str) -> bool:
+        protected = self.protected_registers
+        return protected is None or name in protected
+
+    def address_criticality(self) -> FrozenSet[str]:
+        """Cached address-criticality set of this kernel."""
+        from repro.analysis.vuln import address_critical_registers
+
+        return self._memo(
+            "addrcrit", lambda: address_critical_registers(self.cfg)
+        )
+
 
 def run_rules(
     ctx: LintContext, rules: Sequence[Rule]
@@ -245,6 +279,11 @@ def lint_compiled(
     rules = _select(config, POST, only, disable, severity, registry)
     with obs.span("lint.kernel", kernel=kernel.name, phase=POST):
         if not ctx.has_recovery_meta:
+            policy = ctx.protection_policy
+            if policy is not None and policy.unprotected:
+                # none/detection-only compiles carry no recovery metadata
+                # by design: nothing to check, clean report.
+                return LintReport(rules_run=[r.id for r in rules])
             report = LintReport(rules_run=[r.id for r in rules])
             report.diagnostics.append(
                 Diagnostic(

@@ -102,21 +102,44 @@ def _expected_slots(storage) -> Dict[Tuple[str, int], Tuple[int, MemSpace]]:
     "V2: every live-in with a definition is restored, every slot exists",
 )
 def check_restores(ctx) -> Iterator[Diagnostic]:
+    from repro.policy import UNPROTECTED_KINDS
+
     liveness = ctx.liveness()
     rdefs = ctx.reaching_defs()
     storage = ctx.storage
+    policy = ctx.protection_policy
+    selective = policy is not None and not policy.is_full
+    if selective:
+        # Under a partial policy a live-in legitimately lacks a restore
+        # when the policy never selected it.  Drift still surfaces: a
+        # register the policy selected (protected + restored somewhere)
+        # must be restored at every boundary whose kind protects it.
+        restored_anywhere = {
+            action.reg_name
+            for entry in ctx.recovery_table.regions.values()
+            for action in entry.restores
+        }
     for label in sorted(ctx.boundaries):
         entry = ctx.recovery_table.regions.get(label)
         if entry is None:
             yield ctx.diag(f"boundary {label} has no recovery entry", label)
             continue
         restored = {a.reg_name for a in entry.restores}
+        boundary_unprotected = (
+            selective and policy.kind_at(label) in UNPROTECTED_KINDS
+        )
         for reg in liveness.live_in.get(label, set()):
             sites = [
                 s for s in rdefs.reaching_at(label, 0, reg) if not s.is_entry
             ]
             if not sites:
                 continue  # read-before-write: nothing restorable
+            if selective and (
+                boundary_unprotected
+                or not ctx.is_protected(reg.name)
+                or reg.name not in restored_anywhere
+            ):
+                continue  # the policy opted this register out here
             if reg.name not in restored:
                 yield ctx.diag(
                     f"live-in {reg.name} has no restore action", label
@@ -570,3 +593,46 @@ def check_restore_live_mismatch(ctx) -> Iterator[Diagnostic]:
                     "final code disagree)",
                     label,
                 )
+
+
+@rule(
+    "policy-uncovered-addr",
+    POST,
+    Severity.ERROR,
+    "address-feeding chain register left unprotected by the active policy",
+)
+def check_policy_uncovered_addr(ctx) -> Iterator[Diagnostic]:
+    """Under a selective policy, every register on a chain feeding a
+    memory address, branch predicate or barrier condition must carry the
+    detection code: a silent flip there corrupts *where* data goes or
+    *which path* executes, the failure class address-generation-only
+    protection exists to rule out.  Policies opt out explicitly —
+    ``none``/``detection-only`` bases (nothing/everything selected by
+    other means) or the literal ``no-addr-guard`` token."""
+    policy = ctx.protection_policy
+    if policy is None:
+        return  # classic full protection: everything is covered
+    if policy.unprotected or not policy.addr_guard:
+        return  # explicit opt-out
+    protected = ctx.protected_registers
+    if protected is None:
+        return  # every register carries the code
+    uncovered = sorted(set(ctx.address_criticality()) - set(protected))
+    if not uncovered:
+        return
+    # anchor each finding at the register's first appearance
+    first: Dict[str, Tuple[str, int]] = {}
+    for blk in ctx.cfg.blocks:
+        for i, inst in enumerate(blk.instructions):
+            for reg in list(inst.defs()) + list(inst.reg_uses()):
+                first.setdefault(reg.name, (blk.label, i))
+    for name in uncovered:
+        label, index = first.get(name, (ctx.cfg.entry, 0))
+        yield ctx.diag(
+            f"{name} feeds a memory address, branch predicate or "
+            f"barrier condition but carries no detection code under "
+            f"policy {policy} (add a region override or "
+            "';no-addr-guard' to opt out)",
+            label,
+            index,
+        )

@@ -1,0 +1,368 @@
+"""Selective-protection policies: which registers Penny actually guards.
+
+Penny historically protects *everything*: every region-boundary live-in
+is checkpointed and every register carries a detection code.  The
+related work protects selectively — PRESAGE guards only the chains that
+feed memory addresses, partial-protection schemes guard the top
+fraction of registers by expected fault impact — and a
+:class:`ProtectionPolicy` makes that a first-class compiler knob:
+
+=====================  ======================================================
+``full``               the historical behavior: checkpoint every live-in,
+                       parity on every register
+``address-only``       PRESAGE-style: protect exactly the backward chains
+                       feeding memory addresses, branch predicates and
+                       barrier conditions (:mod:`repro.analysis.vuln`)
+``top-k-vulnerable``   protect the K most vulnerable registers by
+                       ACE-style live-interval exposure; ``K`` is a
+                       fraction (``:0.5``) or an absolute count (``:8``)
+``detection-only``     parity on every register but no checkpoints: faults
+                       are *detected* (DUE) but never recovered
+``none``               nothing at all — the SDC baseline
+=====================  ======================================================
+
+A policy string is ``;``-separated: the base kind first, then optional
+``label=kind`` per-region overrides (the boundary ``label``'s live-ins
+are selected under ``kind`` instead of the base), then the literal
+``no-addr-guard`` to opt out of the ``policy-uncovered-addr`` lint
+guarantee.  Examples::
+
+    full
+    address-only
+    top-k-vulnerable:0.25
+    none;BB7=full
+    top-k-vulnerable:4;no-addr-guard
+
+Two independent mechanisms fall out of one policy:
+
+- **checkpoint selection** — per boundary, which live-ins are
+  checkpointed/restored (drives the whole §5 pipeline);
+- **the protected set** — which register names carry a detection code at
+  run time (``kernel.meta["protected_registers"]``; ``None`` = all).
+  Partial policies always keep parity on the compiler-reserved
+  checkpoint-addressing registers and on every register the recovery
+  table restores, so recovery itself stays detectable.
+
+The canonical string form round-trips through :meth:`parse` and is what
+``PennyConfig.to_dict`` (and therefore the serve cache key) carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple, Union
+
+KIND_FULL = "full"
+KIND_ADDRESS = "address-only"
+KIND_TOPK = "top-k-vulnerable"
+KIND_DETECTION = "detection-only"
+KIND_NONE = "none"
+
+#: kinds that select no checkpoints at a boundary
+UNPROTECTED_KINDS = (KIND_DETECTION, KIND_NONE)
+
+#: kinds allowed as per-region overrides (``top-k`` is whole-kernel: its
+#: ranking has no per-region meaning)
+OVERRIDE_KINDS = (KIND_FULL, KIND_ADDRESS, KIND_DETECTION, KIND_NONE)
+
+_KIND_ALIASES: Dict[str, str] = {
+    "full": KIND_FULL,
+    "all": KIND_FULL,
+    "penny": KIND_FULL,
+    "address-only": KIND_ADDRESS,
+    "addr-only": KIND_ADDRESS,
+    "addr": KIND_ADDRESS,
+    "address": KIND_ADDRESS,
+    "presage": KIND_ADDRESS,
+    "top-k-vulnerable": KIND_TOPK,
+    "top-k": KIND_TOPK,
+    "topk": KIND_TOPK,
+    "top": KIND_TOPK,
+    "detection-only": KIND_DETECTION,
+    "detection": KIND_DETECTION,
+    "detect": KIND_DETECTION,
+    "none": KIND_NONE,
+    "off": KIND_NONE,
+}
+
+#: register-name prefixes the compiler reserves for checkpoint machinery;
+#: partial policies always keep these under the detection code
+RESERVED_REG_PREFIXES = ("%ckb_", "%ca")
+
+#: default ``top-k-vulnerable`` parameter when none is given
+DEFAULT_TOP_FRACTION = 0.5
+
+
+class PolicyError(ValueError):
+    """A protection-policy string failed to parse."""
+
+
+def _parse_kind(token: str, where: str) -> Tuple[str, Optional[float]]:
+    token = token.strip().lower().replace("_", "-")
+    param: Optional[float] = None
+    if ":" in token:
+        token, _, raw = token.partition(":")
+        try:
+            param = float(raw)
+        except ValueError:
+            raise PolicyError(
+                f"bad top-k parameter {raw!r} in {where}"
+            ) from None
+    kind = _KIND_ALIASES.get(token)
+    if kind is None:
+        known = sorted(
+            {KIND_FULL, KIND_ADDRESS, KIND_TOPK, KIND_DETECTION, KIND_NONE}
+        )
+        raise PolicyError(
+            f"unknown protection kind {token!r} in {where}; known: {known}"
+        )
+    if param is not None:
+        if kind != KIND_TOPK:
+            raise PolicyError(
+                f"kind {kind!r} takes no parameter (in {where})"
+            )
+        if param <= 0:
+            raise PolicyError(
+                f"top-k parameter must be positive, got {param} in {where}"
+            )
+        if param >= 1 and param != int(param):
+            raise PolicyError(
+                f"top-k count must be an integer, got {param} in {where}"
+            )
+    return kind, param
+
+
+def _format_param(param: float) -> str:
+    if param >= 1:
+        return str(int(param))
+    return repr(param)
+
+
+@dataclass(frozen=True)
+class ProtectionPolicy:
+    """One parsed policy: base kind, top-k parameter, region overrides."""
+
+    kind: str = KIND_FULL
+    #: top-k parameter: a fraction in (0, 1) or an integer count >= 1;
+    #: ``None`` means :data:`DEFAULT_TOP_FRACTION` (only for ``top-k``)
+    top_k: Optional[float] = None
+    #: sorted ``(boundary label, kind)`` per-region overrides
+    overrides: Tuple[Tuple[str, str], ...] = ()
+    #: when False the policy opted out of the ``policy-uncovered-addr``
+    #: guarantee (the ``no-addr-guard`` token)
+    addr_guard: bool = True
+
+    @classmethod
+    def parse(
+        cls, value: Union["ProtectionPolicy", str, None]
+    ) -> "ProtectionPolicy":
+        """Parse a policy string (or pass a policy through).  ``None``
+        and the empty string mean ``full``.  Raises :class:`PolicyError`
+        (a ``ValueError``) on malformed input."""
+        if isinstance(value, cls):
+            return value
+        if value is None:
+            return cls()
+        if not isinstance(value, str):
+            raise PolicyError(
+                f"cannot parse {value!r} as a protection policy"
+            )
+        tokens = [t.strip() for t in value.split(";") if t.strip()]
+        if not tokens:
+            return cls()
+        kind, param = _parse_kind(tokens[0], "the base policy")
+        overrides: Dict[str, str] = {}
+        addr_guard = True
+        for token in tokens[1:]:
+            if token.lower().replace("_", "-") == "no-addr-guard":
+                addr_guard = False
+                continue
+            label, sep, raw_kind = token.partition("=")
+            if not sep or not label.strip():
+                raise PolicyError(
+                    f"bad policy token {token!r}: expected 'label=kind' "
+                    "or 'no-addr-guard'"
+                )
+            okind, oparam = _parse_kind(
+                raw_kind, f"override for {label.strip()!r}"
+            )
+            if okind not in OVERRIDE_KINDS or oparam is not None:
+                raise PolicyError(
+                    f"kind {okind!r} is not allowed as a per-region "
+                    f"override; allowed: {sorted(OVERRIDE_KINDS)}"
+                )
+            overrides[label.strip()] = okind
+        if kind != KIND_TOPK and param is not None:
+            raise PolicyError(f"kind {kind!r} takes no parameter")
+        return cls(
+            kind=kind,
+            top_k=param,
+            overrides=tuple(sorted(overrides.items())),
+            addr_guard=addr_guard,
+        )
+
+    def __str__(self) -> str:
+        base = self.kind
+        if self.kind == KIND_TOPK and self.top_k is not None:
+            base += f":{_format_param(self.top_k)}"
+        parts = [base]
+        parts.extend(f"{label}={kind}" for label, kind in self.overrides)
+        if not self.addr_guard:
+            parts.append("no-addr-guard")
+        return ";".join(parts)
+
+    # -- policy queries -------------------------------------------------------
+
+    def kind_at(self, label: str) -> str:
+        """The checkpoint-selection kind for boundary ``label``."""
+        for olabel, okind in self.overrides:
+            if olabel == label:
+                return okind
+        return self.kind
+
+    @property
+    def is_full(self) -> bool:
+        """The historical protect-everything behavior, exactly."""
+        return self.kind == KIND_FULL and not self.overrides
+
+    @property
+    def unprotected(self) -> bool:
+        """No boundary anywhere selects a checkpoint: the pipeline can
+        skip region formation entirely."""
+        return self.kind in UNPROTECTED_KINDS and all(
+            k in UNPROTECTED_KINDS for _, k in self.overrides
+        )
+
+    @property
+    def selective(self) -> bool:
+        """Protects something, but not everything the classic way."""
+        return not self.is_full and not self.unprotected
+
+    @property
+    def needs_criticality(self) -> bool:
+        return self.kind == KIND_ADDRESS or any(
+            k == KIND_ADDRESS for _, k in self.overrides
+        )
+
+    @property
+    def needs_vulnerability(self) -> bool:
+        return self.kind == KIND_TOPK
+
+    def top_set(self, report) -> FrozenSet[str]:
+        """The protected names under ``top-k`` given a
+        :class:`repro.analysis.vuln.VulnerabilityReport`."""
+        param = self.top_k if self.top_k is not None else DEFAULT_TOP_FRACTION
+        if param >= 1:
+            return report.top_k(int(param))
+        return report.top_fraction(param)
+
+    # -- checkpoint selection -------------------------------------------------
+
+    def checkpoint_selection(
+        self,
+        label: str,
+        names: Iterable[str],
+        critical: Optional[FrozenSet[str]] = None,
+        top: Optional[FrozenSet[str]] = None,
+    ) -> Set[str]:
+        """Which of the live-in ``names`` at boundary ``label`` the
+        policy checkpoints."""
+        kind = self.kind_at(label)
+        names = set(names)
+        if kind == KIND_FULL:
+            return names
+        if kind in UNPROTECTED_KINDS:
+            return set()
+        if kind == KIND_ADDRESS:
+            return names & set(critical or ())
+        return names & set(top or ())  # KIND_TOPK
+
+    # -- the run-time protected set -------------------------------------------
+
+    def protected_names(
+        self,
+        critical: Optional[FrozenSet[str]] = None,
+        top: Optional[FrozenSet[str]] = None,
+        reserved: Iterable[str] = (),
+        restores: Iterable[str] = (),
+    ) -> Optional[FrozenSet[str]]:
+        """Register names carrying a detection code at run time.
+
+        ``None`` means *all* (full/detection-only bases).  Partial
+        policies union in the compiler-reserved checkpoint-addressing
+        registers and every restored register, so detection covers the
+        recovery machinery itself."""
+        if self.kind in (KIND_FULL, KIND_DETECTION):
+            return None
+        if self.kind == KIND_NONE:
+            base: Set[str] = set()
+        elif self.kind == KIND_ADDRESS:
+            base = set(critical or ())
+        else:  # KIND_TOPK
+            base = set(top or ())
+        base |= set(reserved)
+        base |= set(restores)
+        return frozenset(base)
+
+
+def filter_liveins(liveins, policy, critical=None, top=None):
+    """Restrict a :class:`repro.core.liveins.LiveinAnalysis` in place to
+    the policy's checkpoint selection.
+
+    Returns ``{label: dropped reg names}`` for stats.  Dropping a
+    register from a boundary removes it from ``live_ins``, ``lups`` and
+    the bipartite ``edges`` relation, so placement, hazard detection and
+    the recovery table all see only the selected registers.
+    """
+    dropped: Dict[str, Set[str]] = {}
+    for label, info in liveins.boundaries.items():
+        keep = policy.checkpoint_selection(
+            label, (r.name for r in info.live_ins), critical, top
+        )
+        removed = {r for r in info.live_ins if r.name not in keep}
+        if not removed:
+            continue
+        info.live_ins -= removed
+        for reg in removed:
+            info.lups.pop(reg, None)
+        dropped[label] = {r.name for r in removed}
+    if dropped:
+        for reg in list(liveins.edges):
+            kept = {
+                (site, label)
+                for (site, label) in liveins.edges[reg]
+                if not (label in dropped and reg.name in dropped[label])
+            }
+            if kept:
+                liveins.edges[reg] = kept
+            else:
+                del liveins.edges[reg]
+    return dropped
+
+
+def reserved_register_names(kernel) -> Set[str]:
+    """Compiler-reserved checkpoint-machinery registers in ``kernel``."""
+    names: Set[str] = set()
+    for blk in kernel.blocks:
+        for inst in blk.instructions:
+            for reg in list(inst.defs()) + list(inst.reg_uses()):
+                if reg.name.startswith(RESERVED_REG_PREFIXES):
+                    names.add(reg.name)
+    return names
+
+
+__all__ = [
+    "DEFAULT_TOP_FRACTION",
+    "KIND_ADDRESS",
+    "KIND_DETECTION",
+    "KIND_FULL",
+    "KIND_NONE",
+    "KIND_TOPK",
+    "OVERRIDE_KINDS",
+    "PolicyError",
+    "ProtectionPolicy",
+    "RESERVED_REG_PREFIXES",
+    "UNPROTECTED_KINDS",
+    "filter_liveins",
+    "reserved_register_names",
+]

@@ -81,6 +81,23 @@ def test_key_misses_on_config_knob_flip():
     assert base.digest != flipped.digest
 
 
+def test_key_misses_on_policy_flip():
+    # the protection policy is a compilation input: two configs that
+    # differ only in policy must never share a cache entry
+    base = compile_cache_key(_kernel(), PennyConfig(), launch=LAUNCH)
+    flipped = compile_cache_key(
+        _kernel(), PennyConfig(policy="address-only"), launch=LAUNCH
+    )
+    assert base.ptx_sha == flipped.ptx_sha
+    assert base.config_sha != flipped.config_sha
+    assert base.digest != flipped.digest
+    # aliases canonicalize: "addr" and "address-only" are the SAME key
+    aliased = compile_cache_key(
+        _kernel(), PennyConfig(policy="addr"), launch=LAUNCH
+    )
+    assert aliased.digest == flipped.digest
+
+
 def test_key_misses_on_one_character_ptx_edit():
     edited = PTX.replace("mad.u32 %v2, %v, 3, 7", "mad.u32 %v2, %v, 3, 8")
     assert edited != PTX

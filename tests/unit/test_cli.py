@@ -75,6 +75,26 @@ def test_report_emits_json(ptx_file, capsys):
     assert reports[0]["boundaries"]
 
 
+def test_policy_flag_threads_into_report(ptx_file, capsys):
+    assert (
+        main(
+            [
+                "report", ptx_file, "--block", "32", "--grid", "2",
+                "--policy", "addr",
+            ]
+        )
+        == 0
+    )
+    reports = json.loads(capsys.readouterr().out)
+    assert reports[0]["policy"] == "address-only"  # alias canonicalized
+    assert reports[0]["stats"]["protection_policy"] == "address-only"
+
+
+def test_policy_flag_rejects_garbage(ptx_file):
+    with pytest.raises(SystemExit, match="invalid --policy"):
+        main(["compile", ptx_file, "--policy", "frobnicate"])
+
+
 def test_param_noalias_flag(ptx_file, capsys):
     assert (
         main(

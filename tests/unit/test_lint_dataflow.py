@@ -270,3 +270,172 @@ class TestBackwardDirection:
         assert "%y" not in solver.after("JOIN", 0)
         assert "%z" in solver.before("JOIN", 1)
         assert "%z" not in solver.after("JOIN", 1)
+
+
+class TestTaintEdgeCases:
+    """Select joins, loop-carried taint, and taint across compiled
+    checkpoint/restore code — the shapes the selective-protection
+    analyses lean on."""
+
+    def test_selp_joins_taint_from_either_value_operand(self):
+        # dst = pred ? a : b — taint flows in through a, b, or the
+        # predicate; a fully uniform selp stays clean.
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  mov.u32 %u, 7;\n"
+            "  setp.lt.u32 %pc, %u, 16;\n"
+            "  selp.u32 %m1, %t, %u, %pc;\n"
+            "  selp.u32 %m2, %u, %u, %pc;\n"
+            "  st.global.u32 [%a], %m1;\n"
+            "  st.global.u32 [%a], %m2;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        solver = solve_thread_taint(cfg)
+        out = solver.block_out["ENTRY"]
+        assert "%m1" in out  # one arm is %tid-derived
+        assert "%m2" not in out  # both arms and predicate uniform
+
+    def test_selp_tainted_predicate_taints_dst(self):
+        # the selected value differs per thread even when both arms are
+        # uniform, because *which* arm is picked varies
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  setp.lt.u32 %pc, %t, 16;\n"
+            "  selp.u32 %m, 1, 2, %pc;\n"
+            "  st.global.u32 [%a], %m;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "%m" in solve_thread_taint(cfg).block_out["ENTRY"]
+
+    def test_symbol_taint_joins_through_selp(self):
+        # either arm holding a buf-derived address taints the select
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "  .shared .b32 buf[16];\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %b, buf;\n"
+            "  mov.u32 %c, 64;\n"
+            "  setp.lt.u32 %pc, %c, 16;\n"
+            "  selp.u32 %sel, %b, %c, %pc;\n"
+            "  ld.shared.u32 %v, [%sel];\n"
+            "  st.global.u32 [%a], %v;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        solver = solve_symbol_taint(cfg, ["buf"])
+        assert "%sel" in solver.block_out["ENTRY"]
+
+    def test_loop_carried_taint_reaches_fixpoint(self):
+        # %x starts uniform and picks up taint on the backedge (from
+        # %t); only the second worklist pass over the loop can see it —
+        # the solver must iterate to a fixpoint, not stop after one
+        # sweep.
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  mov.u32 %x, 0;\n"
+            "  mov.u32 %i, 0;\n"
+            "L_TOP:\n"
+            "  add.u32 %x, %x, %t;\n"
+            "  add.u32 %i, %i, 1;\n"
+            "  setp.lt.u32 %c, %i, 4;\n"
+            "  @%c bra L_TOP;\n"
+            "EXIT:\n"
+            "  st.global.u32 [%a], %x;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        solver = solve_thread_taint(cfg)
+        assert "%x" in solver.block_in["L_TOP"]  # carried around
+        assert "%x" in solver.block_in["EXIT"]
+
+    def test_loop_carried_uniform_stays_uniform(self):
+        # the dual: a loop-carried accumulator fed only by uniform
+        # values must NOT be tainted by mere loop membership
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %x, 0;\n"
+            "  mov.u32 %i, 0;\n"
+            "L_TOP:\n"
+            "  add.u32 %x, %x, 3;\n"
+            "  add.u32 %i, %i, 1;\n"
+            "  setp.lt.u32 %c, %i, 4;\n"
+            "  @%c bra L_TOP;\n"
+            "EXIT:\n"
+            "  st.global.u32 [%a], %x;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        solver = solve_thread_taint(cfg)
+        assert "%x" not in solver.block_in["EXIT"]
+
+    def test_taint_across_compiled_checkpoint_restore(self):
+        # Penny's emitted checkpoint/restore code (shared-memory stores
+        # indexed by %tid, slot-base arithmetic on %ckb_*) must not
+        # confuse either taint analysis: the compiled kernel's dataflow
+        # still solves to a fixpoint, the checkpoint base register is
+        # thread-varying (tid-indexed slots), and restoring a uniform
+        # register does not invent taint for it.
+        from repro.core.pipeline import LaunchConfig, PennyCompiler, PennyConfig
+        from repro.ir.parser import parse_kernel
+
+        src = (
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  mul.u32 %o, %t, 4;\n"
+            "  add.u32 %p, %a, %o;\n"
+            "  mov.u32 %i, 0;\n"
+            "L_TOP:\n"
+            "  ld.global.u32 %v, [%p];\n"
+            "  add.u32 %v, %v, 1;\n"
+            "  st.global.u32 [%p], %v;\n"
+            "  add.u32 %i, %i, 1;\n"
+            "  setp.lt.u32 %c, %i, 4;\n"
+            "  @%c bra L_TOP;\n"
+            "EXIT:\n"
+            "  ret;\n"
+            "}\n"
+        )
+        result = PennyCompiler(PennyConfig()).compile(
+            parse_kernel(src),
+            LaunchConfig(threads_per_block=32, num_blocks=1),
+        )
+        cfg = CFG(result.kernel)
+        taint = solve_thread_taint(cfg)
+        # the fixpoint exists and per-thread state stayed per-thread
+        exit_in = taint.block_in["EXIT"]
+        assert "%p" in taint.block_out["ENTRY"]
+        # checkpoint-base registers index shared slots by %tid: tainted
+        ckb = [
+            r
+            for blk in cfg.blocks
+            for i in blk.instructions
+            for r in i.defs()
+            if r.name.startswith("%ckb_")
+        ]
+        assert ckb, "compiled kernel emitted no checkpoint base"
+        for reg in ckb:
+            assert any(
+                reg.name in taint.block_out[blk.label]
+                for blk in cfg.blocks
+            )
+        # the uniform trip counter is restored from a checkpoint slot
+        # (a tid-indexed shared load) — conservative taint is fine, but
+        # the solver must still classify the never-checkpointed uniform
+        # param load as uniform
+        assert "%a" not in exit_in

@@ -218,3 +218,51 @@ class TestNewPostRules:
             [Reg("%ca0", DType.U32), Reg("%v5", DType.U32)],
         )
         assert not is_checkpoint_addressing(leak)
+
+
+class TestPolicyUncoveredAddr:
+    """The ``policy-uncovered-addr`` gate: ERROR when a register on an
+    address-feeding chain is left unprotected by the active policy."""
+
+    def test_address_only_is_clean_by_construction(self):
+        report = lint_compiled(
+            _compiled(policy="address-only").kernel,
+            only=["policy-uncovered-addr"],
+        )
+        assert report.diagnostics == []
+
+    def test_full_policy_is_clean(self):
+        report = lint_compiled(
+            _compiled().kernel, only=["policy-uncovered-addr"]
+        )
+        assert report.diagnostics == []
+
+    def test_starved_top_k_fires(self):
+        # protect a single register: some address chain is necessarily
+        # uncovered on a real kernel
+        result = _compiled(policy="top-k-vulnerable:1")
+        report = lint_compiled(
+            result.kernel, only=["policy-uncovered-addr"]
+        )
+        assert report.diagnostics, "expected uncovered address chains"
+        assert all(
+            d.rule == "policy-uncovered-addr" for d in report.diagnostics
+        )
+
+    def test_opted_out_policies_stay_silent(self):
+        # none / detection-only explicitly opt out of address protection
+        for policy in ("none", "detection-only"):
+            report = lint_compiled(
+                _compiled(policy=policy).kernel,
+                only=["policy-uncovered-addr"],
+            )
+            assert report.diagnostics == []
+
+    def test_rule_not_in_verify_shim(self):
+        # the fallback lattice must accept top-k kernels: the rule gates
+        # full lint runs (CLI / SARIF / CI), not verify_compiled
+        from repro.core.verify import VERIFY_RULES
+
+        assert "policy-uncovered-addr" not in VERIFY_RULES
+        result = _compiled(policy="top-k-vulnerable:1")
+        assert verify_compiled(result.kernel) == []

@@ -1,0 +1,233 @@
+"""Unit tests for the protection-policy layer (:mod:`repro.policy`).
+
+Covers the policy grammar (kinds, aliases, top-k parameters, per-region
+overrides, the address-guard opt-out), the canonical string form that
+config hashing depends on, the selection semantics
+(``checkpoint_selection`` / ``protected_names``), and how the policy
+threads through :class:`PennyConfig`, :class:`CompileResult` and
+:class:`CampaignSpec`.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.pipeline import (
+    LaunchConfig,
+    PennyCompiler,
+    PennyConfig,
+)
+from repro.ir.parser import parse_kernel
+from repro.policy import (
+    KIND_ADDRESS,
+    KIND_DETECTION,
+    KIND_FULL,
+    KIND_NONE,
+    KIND_TOPK,
+    PolicyError,
+    ProtectionPolicy,
+)
+
+PTX = """
+.entry k (.param .ptr A) {
+ENTRY:
+  ld.param.u32 %a, [A];
+  mov.u32 %t, %tid.x;
+  mul.u32 %o, %t, 4;
+  add.u32 %p, %a, %o;
+  ld.global.u32 %x, [%p];
+  add.u32 %y, %x, 1;
+  st.global.u32 [%p], %y;
+  ret;
+}
+"""
+
+LAUNCH = LaunchConfig(threads_per_block=32, num_blocks=1)
+
+
+class TestParsing:
+    def test_default_is_full(self):
+        p = ProtectionPolicy.parse(None)
+        assert p.kind == KIND_FULL and p.is_full
+
+    def test_aliases(self):
+        assert ProtectionPolicy.parse("penny").kind == KIND_FULL
+        assert ProtectionPolicy.parse("addr").kind == KIND_ADDRESS
+        assert ProtectionPolicy.parse("presage").kind == KIND_ADDRESS
+        assert ProtectionPolicy.parse("topk").kind == KIND_TOPK
+        assert ProtectionPolicy.parse("detect").kind == KIND_DETECTION
+        assert ProtectionPolicy.parse("off").kind == KIND_NONE
+
+    def test_topk_parameters(self):
+        assert ProtectionPolicy.parse("top-k:4").top_k == 4.0
+        assert ProtectionPolicy.parse("top-k:0.25").top_k == 0.25
+
+    def test_canonical_string_round_trips(self):
+        for text in (
+            "full",
+            "address-only",
+            "top-k-vulnerable:0.5",
+            "detection-only",
+            "none",
+            "address-only;L_1=none",
+            "full;no-addr-guard",
+        ):
+            p = ProtectionPolicy.parse(text)
+            assert ProtectionPolicy.parse(str(p)) == p
+
+    def test_parse_is_idempotent_on_policy_objects(self):
+        p = ProtectionPolicy.parse("address-only")
+        assert ProtectionPolicy.parse(p) is p
+
+    def test_overrides(self):
+        p = ProtectionPolicy.parse("full;L_1=none;L_2=address-only")
+        assert p.kind_at("L_1") == KIND_NONE
+        assert p.kind_at("L_2") == KIND_ADDRESS
+        assert p.kind_at("ENTRY") == KIND_FULL
+        assert not p.is_full  # overrides make it non-uniform
+
+    def test_rejects_garbage(self):
+        for bad in (
+            "frobnicate",
+            "top-k:-1",
+            "top-k:0",
+            "top-k:1.5.2",
+            "full:3",  # only top-k takes a parameter
+            "L_1=top-k:2",  # top-k is not overridable per region
+        ):
+            with pytest.raises(PolicyError):
+                ProtectionPolicy.parse(bad)
+
+    def test_unprotected_predicate(self):
+        assert ProtectionPolicy.parse("none").unprotected
+        assert ProtectionPolicy.parse("detection-only").unprotected
+        assert not ProtectionPolicy.parse("address-only").unprotected
+        # a protected base with an unprotected override is NOT globally
+        # unprotected
+        assert not ProtectionPolicy.parse("full;L_1=none").unprotected
+
+
+class TestSelection:
+    def test_checkpoint_selection_full_keeps_all(self):
+        p = ProtectionPolicy.parse("full")
+        names = {"%a", "%b"}
+        assert p.checkpoint_selection("L", names, None, None) == names
+
+    def test_checkpoint_selection_address_intersects(self):
+        p = ProtectionPolicy.parse("address-only")
+        kept = p.checkpoint_selection(
+            "L", {"%a", "%b"}, frozenset({"%a"}), None
+        )
+        assert kept == {"%a"}
+
+    def test_checkpoint_selection_override_wins(self):
+        p = ProtectionPolicy.parse("full;L_1=none")
+        assert p.checkpoint_selection("L_1", {"%a"}, None, None) == set()
+        assert p.checkpoint_selection("L_2", {"%a"}, None, None) == {"%a"}
+
+    def test_protected_names_kinds(self):
+        crit, top = frozenset({"%a"}), frozenset({"%b"})
+        full = ProtectionPolicy.parse("full")
+        assert full.protected_names(crit, top, set(), set()) is None
+        det = ProtectionPolicy.parse("detection-only")
+        assert det.protected_names(crit, top, set(), set()) is None
+        none = ProtectionPolicy.parse("none")
+        assert none.protected_names(crit, top, set(), set()) == frozenset()
+        addr = ProtectionPolicy.parse("address-only")
+        assert addr.protected_names(crit, top, set(), set()) == crit
+
+    def test_protected_names_unions_reserved_and_restores(self):
+        addr = ProtectionPolicy.parse("address-only")
+        out = addr.protected_names(
+            frozenset({"%a"}), None, {"%ckb_s"}, {"%v1"}
+        )
+        assert out == frozenset({"%a", "%ckb_s", "%v1"})
+
+
+class TestConfigThreading:
+    def test_config_normalizes_policy(self):
+        config = PennyConfig(policy="addr")
+        assert config.policy == "address-only"
+
+    def test_config_rejects_bad_policy(self):
+        with pytest.raises(ConfigError):
+            PennyConfig(policy="frobnicate")
+
+    def test_to_dict_canonicalizes_post_construction_assignment(self):
+        config = PennyConfig()
+        config.policy = "topk:2"  # raw alias, assigned after init
+        assert config.to_dict()["policy"] == "top-k-vulnerable:2"
+
+    def test_compile_result_reports_policy(self):
+        config = PennyConfig(policy="address-only")
+        result = PennyCompiler(config).compile(parse_kernel(PTX), LAUNCH)
+        assert result.to_dict()["policy"] == "address-only"
+        assert result.stats["protection_policy"] == "address-only"
+
+    def test_unprotected_policies_skip_checkpointing(self):
+        for policy in ("none", "detection-only"):
+            config = PennyConfig(policy=policy)
+            result = PennyCompiler(config).compile(
+                parse_kernel(PTX), LAUNCH
+            )
+            assert result.stats["emitted_checkpoints"] == 0.0
+            assert not result.regions.boundaries
+            assert result.kernel.meta["protection_policy"] == policy
+
+    def test_none_policy_exposes_empty_protected_set(self):
+        result = PennyCompiler(PennyConfig(policy="none")).compile(
+            parse_kernel(PTX), LAUNCH
+        )
+        assert result.kernel.meta["protected_registers"] == frozenset()
+
+    def test_detection_only_leaves_every_register_covered(self):
+        result = PennyCompiler(
+            PennyConfig(policy="detection-only")
+        ).compile(parse_kernel(PTX), LAUNCH)
+        # absent key = the register file covers everything
+        assert "protected_registers" not in result.kernel.meta
+
+    def test_address_only_protects_a_subset(self):
+        result = PennyCompiler(
+            PennyConfig(policy="address-only")
+        ).compile(parse_kernel(PTX), LAUNCH)
+        protected = result.kernel.meta["protected_registers"]
+        assert protected is not None
+        # the address chain is in; the loaded data value is not
+        assert "%p" in protected
+        assert "%y" not in protected
+
+
+class TestCampaignSpec:
+    def test_spec_normalizes_policy(self):
+        from repro.gpusim.campaign import CampaignSpec
+
+        spec = CampaignSpec(
+            benchmark="STC", scheme="Penny", num_injections=1,
+            policy="addr",
+        )
+        assert spec.policy == "address-only"
+
+    def test_spec_rejects_bad_policy(self):
+        from repro.gpusim.campaign import CampaignSpec
+
+        with pytest.raises(PolicyError):
+            CampaignSpec(
+                benchmark="STC", scheme="Penny", num_injections=1,
+                policy="frobnicate",
+            )
+
+    def test_spec_round_trips_and_defaults_old_journals(self):
+        from repro.gpusim.campaign import CampaignSpec
+
+        spec = CampaignSpec(
+            benchmark="STC", scheme="Penny", num_injections=1,
+            policy="address-only",
+        )
+        d = spec.to_dict()
+        assert d["policy"] == "address-only"
+        assert CampaignSpec.from_dict(d) == spec
+        # journals written before the policy field default to full
+        d.pop("policy")
+        assert CampaignSpec.from_dict(d).policy == "full"

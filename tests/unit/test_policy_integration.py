@@ -1,0 +1,177 @@
+"""End-to-end invariants of the selective-protection policy layer on
+real benchmark kernels.
+
+The acceptance contract for ``address-only``: every register the
+criticality analysis finds feeding a memory address, branch predicate
+or barrier condition is parity-protected (the ``policy-uncovered-addr``
+lint rule reports zero violations), while the kernel executes strictly
+fewer instructions than under ``full`` wherever ``full`` checkpoints
+any register the analysis does not require.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.analysis.vuln import address_critical_registers
+from repro.bench import get_benchmark
+from repro.core.pipeline import PennyCompiler
+from repro.core.schemes import scheme_config
+from repro.lint import Severity, lint_compiled
+from repro.policy import ProtectionPolicy
+
+#: benches where full checkpoints more than the critical set — the
+#: strict-savings claim must hold on each (the remaining suite is
+#: covered by the CI policy-matrix job)
+REDUCIBLE = ("STC", "NW", "GAU")
+
+
+def _compile(abbr, policy):
+    bench = get_benchmark(abbr)
+    config = dataclasses.replace(scheme_config("Penny"), policy=policy)
+    return bench, PennyCompiler(config).compile(
+        bench.fresh_kernel(), bench.workload().launch_config
+    )
+
+
+def _dynamic_instructions(bench, result):
+    from repro.gpusim import make_executor
+
+    workload = bench.workload()
+    mem = workload.make_memory()
+    run = make_executor(result.kernel, rf_code_factory=lambda: None).run(
+        workload.launch, mem
+    )
+    return run.instructions
+
+
+@pytest.mark.parametrize("abbr", REDUCIBLE)
+class TestAddressOnlyOnBenchmarks:
+    def test_no_uncovered_address_chains(self, abbr):
+        _, result = _compile(abbr, "address-only")
+        report = lint_compiled(result.kernel)
+        assert [
+            d for d in report.diagnostics
+            if d.rule == "policy-uncovered-addr"
+        ] == []
+        assert not any(
+            d.severity == Severity.ERROR for d in report.diagnostics
+        )
+
+    def test_protected_set_covers_final_critical_set(self, abbr):
+        _, result = _compile(abbr, "address-only")
+        protected = result.kernel.meta["protected_registers"]
+        critical = address_critical_registers(CFG(result.kernel))
+        assert critical <= protected
+
+    def test_strictly_fewer_instructions_than_full(self, abbr):
+        bench, full = _compile(abbr, "full")
+        _, addr = _compile(abbr, "address-only")
+        n_full = _dynamic_instructions(bench, full)
+        n_addr = _dynamic_instructions(bench, addr)
+        assert n_addr < n_full
+
+    def test_checkpoint_stores_shrink(self, abbr):
+        _, full = _compile(abbr, "full")
+        _, addr = _compile(abbr, "address-only")
+        assert (
+            addr.stats["emitted_checkpoints"]
+            < full.stats["emitted_checkpoints"]
+        )
+
+
+class TestUnreducibleBenchStaysSound:
+    def test_bfs_ties_because_every_checkpoint_is_critical(self):
+        # BFS checkpoints only address/branch-critical registers, so
+        # address-only cannot (and must not) drop anything: equal cost,
+        # still zero uncovered chains.
+        bench, full = _compile("BFS", "full")
+        _, addr = _compile("BFS", "address-only")
+        assert _dynamic_instructions(bench, addr) == _dynamic_instructions(
+            bench, full
+        )
+        report = lint_compiled(addr.kernel)
+        assert [
+            d for d in report.diagnostics
+            if d.rule == "policy-uncovered-addr"
+        ] == []
+
+
+class TestPolicyCampaign:
+    def test_campaign_runs_under_selective_policy(self):
+        from repro.gpusim.campaign import CampaignSpec, ParallelCampaign
+
+        spec = CampaignSpec(
+            benchmark="STC",
+            scheme="Penny",
+            rf_code="parity",
+            num_injections=6,
+            seed=11,
+            surfaces=("rf",),
+            policy="address-only",
+        )
+        report = ParallelCampaign(spec).run()
+        assert len(report.records) == 6
+        assert report.reconciliation()["complete"]
+
+    def test_none_policy_campaign_can_produce_sdc(self):
+        from repro.gpusim.campaign import CampaignSpec, ParallelCampaign
+
+        spec = CampaignSpec(
+            benchmark="STC",
+            scheme="Penny",
+            rf_code="parity",
+            num_injections=20,
+            seed=2020,
+            surfaces=("rf",),
+            policy="none",
+        )
+        report = ParallelCampaign(spec).run()
+        summary = report.summary()
+        # a bare register file under parity hardware: detections are
+        # impossible, so every non-masked fault silently corrupts
+        assert summary["recovered"] == 0
+        assert summary["sdc"] > 0
+
+    def test_journal_preserves_policy(self, tmp_path):
+        from repro.gpusim.campaign import (
+            CampaignSpec,
+            ParallelCampaign,
+            load_journal,
+        )
+
+        path = tmp_path / "journal.jsonl"
+        spec = CampaignSpec(
+            benchmark="STC",
+            scheme="Penny",
+            num_injections=3,
+            seed=5,
+            policy="address-only",
+        )
+        ParallelCampaign(spec, journal_path=str(path)).run()
+        header, records = load_journal(str(path))
+        assert header is not None
+        loaded = CampaignSpec.from_dict(header["spec"])
+        assert loaded.policy == "address-only"
+        assert len(records) == 3
+
+
+class TestFallbackLattice:
+    def test_unprotected_policy_survives_verification(self):
+        # the fallback lattice verifies every rung with verify_compiled;
+        # a detection-only kernel has no recovery metadata by design and
+        # must still verify clean rather than degrade
+        from repro.core.verify import verify_compiled
+
+        _, result = _compile("STC", "detection-only")
+        assert verify_compiled(result.kernel) == []
+        assert result.stats.get("degraded", 0.0) in (0.0, None)
+
+    def test_policy_string_survives_scheme_config(self):
+        config = dataclasses.replace(
+            scheme_config("Penny"), policy="presage"
+        )
+        assert (
+            str(ProtectionPolicy.parse(config.policy)) == "address-only"
+        )

@@ -1,0 +1,195 @@
+"""Unit tests for the register-vulnerability and address-criticality
+analyses (:mod:`repro.analysis.vuln`).
+
+The criticality analysis is the soundness anchor of the ``address-only``
+policy: everything it misses is a register the policy will leave
+unprotected, so these tests pin the chain semantics — backward closure
+into address operands, guard predicates and barrier conditions, the
+load barrier (values read *from* memory are data, not addresses), and
+the per-point replay that catches intra-block chains.
+"""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.vuln import (
+    address_critical_registers,
+    register_vulnerability,
+    solve_address_criticality,
+)
+from repro.ir.parser import parse_kernel
+
+
+def _cfg(text: str) -> CFG:
+    return CFG(parse_kernel(text))
+
+
+STRAIGHT = """
+.entry k (.param .ptr A) {
+ENTRY:
+  ld.param.u32 %a, [A];
+  mov.u32 %t, %tid.x;
+  mul.u32 %o, %t, 4;
+  add.u32 %p, %a, %o;
+  ld.global.u32 %x, [%p];
+  add.u32 %y, %x, 1;
+  st.global.u32 [%p], %y;
+  ret;
+}
+"""
+
+
+class TestAddressCriticality:
+    def test_address_chain_is_closed_backward(self):
+        crit = address_critical_registers(_cfg(STRAIGHT))
+        # %p is the address; %a, %o, %t feed it transitively
+        assert {"%a", "%t", "%o", "%p"} <= crit
+
+    def test_loaded_data_is_not_critical(self):
+        crit = address_critical_registers(_cfg(STRAIGHT))
+        assert "%x" not in crit
+        assert "%y" not in crit
+
+    def test_branch_predicate_and_its_feeders_are_critical(self):
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  setp.lt.u32 %c, %t, 16;\n"
+            "  @%c bra DONE;\n"
+            "BODY:\n"
+            "  st.global.u32 [%a], %t;\n"
+            "  ret;\n"
+            "DONE:\n"
+            "  ret;\n"
+            "}\n"
+        )
+        crit = address_critical_registers(cfg)
+        assert "%c" in crit  # the predicate itself
+        assert "%t" in crit  # feeds the predicate
+
+    def test_guarded_store_predicate_is_critical(self):
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %t, %tid.x;\n"
+            "  setp.lt.u32 %g, %t, 8;\n"
+            "  @%g st.global.u32 [%a], %t;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        assert "%g" in address_critical_registers(cfg)
+
+    def test_load_does_not_propagate_criticality(self):
+        # %q's address comes out of memory: %v is critical (it IS the
+        # address), but the chain stops there — the address that loaded
+        # %v is independently seeded, not propagated through the load.
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  ld.global.u32 %v, [%a];\n"
+            "  ld.global.u32 %w, [%v];\n"
+            "  st.global.u32 [%a], %w;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        crit = address_critical_registers(cfg)
+        assert "%v" in crit and "%a" in crit
+
+    def test_intra_block_chain_is_invisible_at_boundaries(self):
+        # %o is defined and consumed as address-feed inside one block;
+        # the block-boundary values never contain it, but the per-point
+        # replay must.
+        cfg = _cfg(STRAIGHT)
+        solver = solve_address_criticality(cfg)
+        assert "%o" not in solver.block_out["ENTRY"]
+        assert "%o" in address_critical_registers(cfg)
+
+    def test_unrelated_alu_register_is_not_critical(self):
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %dead, 42;\n"
+            "  add.u32 %dead2, %dead, 1;\n"
+            "  st.global.u32 [%a], %dead2;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        crit = address_critical_registers(cfg)
+        # stored VALUES are data, not addresses
+        assert "%dead" not in crit and "%dead2" not in crit
+
+
+class TestRegisterVulnerability:
+    def test_scores_cover_live_registers(self):
+        report = register_vulnerability(_cfg(STRAIGHT))
+        assert report.scores["%p"] > 0
+        assert report.scores["%a"] > 0
+
+    def test_ranking_is_deterministic_and_sorted(self):
+        cfg = _cfg(STRAIGHT)
+        a = register_vulnerability(cfg).ranked()
+        b = register_vulnerability(cfg).ranked()
+        assert a == b
+        scores = [s for _, s in a]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_long_lived_register_outscores_short_lived(self):
+        # %base stays live across the expensive global load + store;
+        # %tmp lives for exactly one ALU instruction.
+        cfg = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %base, [A];\n"
+            "  mov.u32 %tmp, 7;\n"
+            "  add.u32 %t2, %tmp, 1;\n"
+            "  ld.global.u32 %v, [%base];\n"
+            "  add.u32 %s, %v, %t2;\n"
+            "  st.global.u32 [%base], %s;\n"
+            "  ret;\n"
+            "}\n"
+        )
+        report = register_vulnerability(cfg)
+        assert report.scores["%base"] > report.scores["%tmp"]
+
+    def test_loop_residency_multiplies_exposure(self):
+        looped = _cfg(
+            ".entry k (.param .ptr A) {\n"
+            "ENTRY:\n"
+            "  ld.param.u32 %a, [A];\n"
+            "  mov.u32 %i, 0;\n"
+            "L_TOP:\n"
+            "  st.global.u32 [%a], %i;\n"
+            "  add.u32 %i, %i, 1;\n"
+            "  setp.lt.u32 %c, %i, 16;\n"
+            "  @%c bra L_TOP;\n"
+            "EXIT:\n"
+            "  ret;\n"
+            "}\n"
+        )
+        report = register_vulnerability(looped, loop_base=8)
+        flat = register_vulnerability(looped, loop_base=1)
+        # with trip-count weighting the loop-resident register's score
+        # grows relative to its unweighted exposure
+        assert report.scores["%a"] > flat.scores["%a"]
+
+    def test_top_k_and_top_fraction(self):
+        report = register_vulnerability(_cfg(STRAIGHT))
+        ranked = [name for name, _ in report.ranked()]
+        assert report.top_k(2) == frozenset(ranked[:2])
+        n = len(ranked)
+        half = report.top_fraction(0.5)
+        assert len(half) == (n + 1) // 2
+        assert half <= frozenset(ranked)
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        report = register_vulnerability(_cfg(STRAIGHT))
+        d = report.to_dict()
+        assert d["kind"] == "vulnerability_report"
+        assert d["registers"] == len(report.scores)
+        assert d["ranked"][0] == report.ranked()[0][0]
+        json.dumps(d)  # round-trippable
