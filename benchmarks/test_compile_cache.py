@@ -3,9 +3,12 @@
 The serving subsystem's headline number: a warm cache must make a
 repeat compile of the same corpus *measurably* faster than the cold
 pass (hits skip every pass in the pipeline and unpickle a stored
-result).  The corpus is the example PTX files plus a slice of the
-benchmark suite; timings land in the metrics-schema JSONL so CI can
-archive them next to the paper artifacts.
+result).  The cold pass is necessarily a single shot — it is what
+populates the cache — but the warm side now runs through the
+:mod:`repro.perf` repeater, so the gate compares the cold time against
+a warm *median* with a confidence interval rather than one lucky
+unpickle.  Timings land in the metrics-schema JSONL so CI can archive
+them next to the paper artifacts.
 """
 
 import glob
@@ -13,14 +16,13 @@ import json
 import os
 import time
 
-import pytest
-
 from conftest import record_table
 from repro.bench.suite import get_benchmark
 from repro.core.pipeline import LaunchConfig, PennyConfig
 from repro.core.schemes import SCHEME_PENNY, scheme_config
 from repro.ir.printer import print_kernel
 from repro.obs.export import validate_metrics_record
+from repro.perf import RepeatConfig, repeat
 from repro.serve.batch import CompileJob, compile_batch, jobs_from_source
 from repro.serve.cache import CompileCache
 
@@ -64,18 +66,31 @@ def test_warm_cache_beats_cold(benchmark, tmp_path):
         assert not cold.failures
         assert cold.cache_hits == 0
 
-        def warm_pass():
-            return compile_batch(jobs, workers=2)
+        last = {}
 
-        warm = benchmark.pedantic(warm_pass, rounds=3, iterations=1)
-        assert not warm.failures
-        assert warm.cache_hits == len(jobs)  # fully warm
-        warm_seconds = warm.wall_seconds
+        def warm_pass():
+            report = compile_batch(jobs, workers=2)
+            assert not report.failures
+            assert report.cache_hits == len(jobs)  # fully warm
+            last["report"] = report
+            return report.wall_seconds
+
+        rep = repeat(
+            warm_pass,
+            RepeatConfig(
+                warmup=1, min_reps=5, max_reps=12, target_rel_ci=0.10,
+                wall_budget_s=60.0,
+            ),
+            self_timed=True,
+        )
+        warm = last["report"]
+    warm_seconds = rep.summary.median
 
     # The headline claim: warm is strictly faster — generously gated
     # at 2x so a noisy CI box cannot flake the build.
     assert warm_seconds < cold_seconds / 2, (
-        f"warm batch ({warm_seconds:.3f}s) not faster than cold "
+        f"warm batch (median {warm_seconds:.3f}s over "
+        f"{rep.summary.n} reps) not faster than cold "
         f"({cold_seconds:.3f}s)"
     )
 
@@ -83,11 +98,18 @@ def test_warm_cache_beats_cold(benchmark, tmp_path):
     for a, b in zip(cold.results, warm.results):
         assert a.result.to_dict() == b.result.to_dict()
 
+    benchmark.pedantic(
+        lambda: compile_batch(jobs, workers=2), rounds=1, iterations=1
+    )
     record = {
         "kind": "cache_benchmark",
         "jobs": len(jobs),
         "cold_seconds": round(cold_seconds, 6),
         "warm_seconds": round(warm_seconds, 6),
+        "warm_ci": [
+            round(rep.summary.ci_lo, 6), round(rep.summary.ci_hi, 6),
+        ],
+        "warm_reps": rep.summary.n,
         "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 2),
         "hits": cache.stats.hits,
         "misses": cache.stats.misses,
@@ -102,7 +124,7 @@ def test_warm_cache_beats_cold(benchmark, tmp_path):
     record_table(
         "compile cache (cold vs warm)",
         "compile cache: "
-        f"{len(jobs)} jobs, cold {cold_seconds:.2f}s -> warm "
-        f"{warm_seconds:.3f}s ({record['speedup']}x), "
-        f"hit rate {record['hit_rate']:.0%}",
+        f"{len(jobs)} jobs, cold {cold_seconds:.2f}s -> warm median "
+        f"{warm_seconds:.3f}s ({record['speedup']}x, {rep.summary.n} "
+        f"reps), hit rate {record['hit_rate']:.0%}",
     )

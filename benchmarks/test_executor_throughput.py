@@ -1,126 +1,56 @@
 """Executor throughput: the scalar interpreter vs the vectorized engine.
 
-The first point on the repo's perf trajectory (ROADMAP: performance
-benchmarks with recorded baselines).  An ALU-heavy grid-stride kernel at
-full block width is executed by both engines; the ratio of dynamic
-instructions per second is asserted against ``EXECUTOR_BENCH_MIN_SPEEDUP``
-(default 10; CI sets 5 for noisy shared runners) and the measurement is
-recorded in a versioned ``BENCH_executor.json`` at the repo root.
+The first point on the repo's perf trajectory, now driven by the
+:mod:`repro.perf` repeater: both engines run the ALU-burn kernel until
+their medians carry a tight confidence interval, the schema-v2 record
+(samples, CIs, environment fingerprint) is written to
+``BENCH_executor.json`` at the repo root, and the speedup gate reads
+the *medians* rather than a single-shot timing.
+``EXECUTOR_BENCH_MIN_SPEEDUP`` stays the knob (default 10; CI sets 5
+for noisy shared runners).
 """
 
-import json
 import os
-import time
 
 from conftest import record_table
 
-from repro.gpusim import Launch, MemoryImage, make_executor
-from repro.ir import KernelBuilder
+from repro.perf import RepeatConfig, run_bench, validate_bench_result, write_result
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_executor.json")
-SCHEMA_VERSION = 1
-
-THREADS = 256
-BLOCKS = 4
-ITERS = 24
-OPS_PER_ITER = 18
-
-
-def _alu_kernel():
-    """Grid-stride loop, ``OPS_PER_ITER`` dependent ALU ops per trip:
-    the shape campaigns spend their cycles on."""
-    b = KernelBuilder(
-        "alu_burn", params=[("A", "ptr"), ("n", "u32")]
-    )
-    tid = b.special_u32("%tid.x")
-    ntid = b.special_u32("%ntid.x")
-    ctaid = b.special_u32("%ctaid.x")
-    a = b.ld_param("A")
-    n = b.ld_param("n")
-    gtid = b.mad(ctaid, ntid, tid)
-    off = b.shl(b.rem(gtid, n), 2)
-    addr = b.add(a, off)
-    acc = b.ld("global", addr, dtype="u32")
-    i = b.mov(0, dst=b.reg("u32", "%i"))
-    b.label("HEAD")
-    p = b.setp("ge", i, ITERS)
-    b.bra("EXIT", pred=p)
-    cur = acc
-    for k in range(OPS_PER_ITER // 6):
-        cur = b.add(cur, 0x9E37)
-        cur = b.xor(cur, b.shl(cur, 1))
-        cur = b.mul(cur, 3)
-        cur = b.and_(cur, 0xFFFFFF)
-        cur = b.or_(cur, 1)
-        cur = b.sub(cur, gtid)
-    b.add(acc, cur, dst=acc)
-    b.add(i, 1, dst=i)
-    b.bra("HEAD")
-    b.label("EXIT")
-    b.st("global", addr, acc)
-    b.ret()
-    return b.finish()
-
-
-def _memory(n=512):
-    mem = MemoryImage()
-    buf = mem.alloc_global(n)
-    mem.upload(buf, range(1, n + 1))
-    mem.set_param("A", buf)
-    mem.set_param("n", n)
-    return mem, buf
-
-
-def _measure(kernel, backend):
-    """One timed run → (instructions/second, ExecutionResult)."""
-    mem, _ = _memory()
-    ex = make_executor(kernel, backend=backend)
-    start = time.perf_counter()
-    result = ex.run(Launch(grid=BLOCKS, block=THREADS), mem)
-    elapsed = time.perf_counter() - start
-    return result.instructions / elapsed, result, mem.snapshot_global()
 
 
 def test_vector_engine_speedup():
     min_speedup = float(
         os.environ.get("EXECUTOR_BENCH_MIN_SPEEDUP", "10")
     )
-    kernel = _alu_kernel()
+    result = run_bench(
+        "executor",
+        RepeatConfig(
+            warmup=1,
+            min_reps=5,
+            max_reps=12,
+            target_rel_ci=0.10,
+            wall_budget_s=240.0,
+        ),
+    )
 
-    # warm-up decodes/caches, then the timed runs
-    _measure(kernel, "vector")
-    scalar_ips, scalar_result, scalar_mem = _measure(kernel, "scalar")
-    vector_ips, vector_result, vector_mem = _measure(kernel, "vector")
+    assert validate_bench_result(result.to_dict()) == []
+    vector = result.series["vector"].summary
+    scalar = result.series["scalar"].summary
+    assert vector.n >= 5 and scalar.n >= 1
+    assert vector.ci_lo <= vector.median <= vector.ci_hi
 
-    # the benchmark is only meaningful if the engines agree
-    assert scalar_result == vector_result
-    assert scalar_mem == vector_mem
+    write_result(result, BENCH_JSON)
 
-    speedup = vector_ips / scalar_ips
-    record = {
-        "schema_version": SCHEMA_VERSION,
-        "benchmark": "executor_throughput",
-        "kernel": {
-            "name": "alu_burn",
-            "threads_per_block": THREADS,
-            "blocks": BLOCKS,
-            "dynamic_instructions": scalar_result.instructions,
-        },
-        "scalar_instructions_per_sec": round(scalar_ips),
-        "vector_instructions_per_sec": round(vector_ips),
-        "speedup": round(speedup, 2),
-        "min_speedup_required": min_speedup,
-    }
-    with open(BENCH_JSON, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-
+    speedup = result.metrics["speedup"]
     record_table(
         "executor throughput",
-        "executor throughput (instructions/second)\n"
-        f"  scalar: {scalar_ips:>12,.0f}\n"
-        f"  vector: {vector_ips:>12,.0f}\n"
+        "executor throughput (median seconds per run)\n"
+        f"  scalar: {scalar.median:.4f}s  "
+        f"CI [{scalar.ci_lo:.4f}, {scalar.ci_hi:.4f}] ({scalar.n} reps)\n"
+        f"  vector: {vector.median:.4f}s  "
+        f"CI [{vector.ci_lo:.4f}, {vector.ci_hi:.4f}] ({vector.n} reps)\n"
         f"  speedup: {speedup:.1f}x (required >= {min_speedup}x)\n"
         f"  recorded in {os.path.basename(BENCH_JSON)}",
     )

@@ -1462,6 +1462,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(p_fuzz)
     _add_observe_flags(p_fuzz)
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    from repro.perf.cli import register_perf_parser
+
+    register_perf_parser(sub)
     return parser
 
 

@@ -43,6 +43,8 @@ METRIC_KINDS = (
     "batch_report",
     "cache_stats",
     "cache_benchmark",
+    "bench_result",
+    "bench_comparison",
 )
 
 

@@ -1,0 +1,70 @@
+"""Statistical performance harness with regression gating.
+
+The repo makes quantitative performance claims — vector-executor
+speedup, cache hit latency, batch scaling, near-zero disabled-tracer
+overhead — and this package is how those claims stay *tested* instead
+of anecdotal.  Four layers, deliberately separated:
+
+- :mod:`repro.perf.stats` — robust summaries (median/MAD/trimmed mean,
+  bootstrap or t CIs) and a typed two-sample verdict
+  (:class:`Verdict`: improved / regressed / unchanged / inconclusive)
+  against a configurable noise margin.
+- :mod:`repro.perf.repeat` — the repeater: run a callable until the
+  relative CI half-width meets a target, bounded by rep counts and a
+  wall-clock budget, warmup discarded, GC isolated per rep.
+- :mod:`repro.perf.suite` — the benchmark registry wrapping the
+  system's hot paths; each run yields a versioned
+  :class:`BenchResult` with an environment fingerprint.
+- :mod:`repro.perf.compare` — result-level comparison with
+  machine-drift detection, and the gate CI runs (``penny perf gate``).
+
+Artifacts live at the repo root as ``BENCH_<area>.json`` (schema v2,
+validated by :func:`validate_bench_result`)."""
+
+from repro.perf.compare import (
+    ResultComparison,
+    SeriesComparison,
+    compare_results,
+    gate_exit_code,
+)
+from repro.perf.env import ENV_KEYS, MACHINE_KEYS, environment_fingerprint
+from repro.perf.repeat import RepeatConfig, RepeatResult, StopReason, repeat
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    BenchResult,
+    Series,
+    bench_filename,
+    load_result,
+    validate_bench_result,
+    write_result,
+)
+from repro.perf.stats import Comparison, Summary, Verdict, compare
+from repro.perf.suite import get_bench, list_benches, run_bench
+
+__all__ = [
+    "Verdict",
+    "Summary",
+    "Comparison",
+    "compare",
+    "StopReason",
+    "RepeatConfig",
+    "RepeatResult",
+    "repeat",
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "Series",
+    "bench_filename",
+    "validate_bench_result",
+    "write_result",
+    "load_result",
+    "run_bench",
+    "list_benches",
+    "get_bench",
+    "SeriesComparison",
+    "ResultComparison",
+    "compare_results",
+    "gate_exit_code",
+    "ENV_KEYS",
+    "MACHINE_KEYS",
+    "environment_fingerprint",
+]

@@ -1,0 +1,415 @@
+"""``penny perf`` — run, compare, and gate the benchmark suite.
+
+Subactions:
+
+- ``list``      show the registry (name, area, fast-subset flag)
+- ``run``       run benchmark(s), print summaries, write ``BENCH_*.json``
+- ``compare``   fresh run (or saved candidate) vs committed baselines
+- ``gate``      ``compare`` that exits nonzero on a significant
+  regression beyond the noise margin — the CI contract
+- ``validate``  schema-check BENCH files without running anything
+
+Registered into the main ``penny`` parser by
+:func:`register_perf_parser`; all heavy imports stay inside handlers so
+``penny --help`` stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+__all__ = ["register_perf_parser", "cmd_perf"]
+
+
+def _parse_options(pairs: List[str]) -> Dict[str, Any]:
+    """``--opt key=value`` pairs; values parse as JSON when they can."""
+    out: Dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(
+                f"penny perf: bad --opt {pair!r} (expected key=value)"
+            )
+        key, _, raw = pair.partition("=")
+        try:
+            out[key] = json.loads(raw)
+        except ValueError:
+            out[key] = raw
+    return out
+
+
+def _repeat_config(args: argparse.Namespace):
+    from repro.perf.repeat import RepeatConfig
+
+    kwargs: Dict[str, Any] = {}
+    for attr, key in (
+        ("warmup", "warmup"),
+        ("min_reps", "min_reps"),
+        ("max_reps", "max_reps"),
+        ("target_rci", "target_rel_ci"),
+        ("confidence", "confidence"),
+        ("wall_budget", "wall_budget_s"),
+        ("ci_method", "ci_method"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            kwargs[key] = value
+    return RepeatConfig(**kwargs)
+
+
+def _select_benches(args: argparse.Namespace) -> List[str]:
+    from repro.perf.suite import fast_bench_names, get_bench, list_benches
+
+    if getattr(args, "all", False):
+        return [s.name for s in list_benches()]
+    if getattr(args, "fast", False):
+        return fast_bench_names()
+    names = list(getattr(args, "benchmarks", []) or [])
+    if not names:
+        raise SystemExit(
+            "penny perf: name benchmark(s), or use --fast / --all "
+            "(see 'penny perf list')"
+        )
+    for name in names:
+        try:
+            get_bench(name)  # fail fast with the known-names message
+        except KeyError as exc:
+            raise SystemExit(f"penny perf: {exc.args[0]}") from None
+    return names
+
+
+def _bench_path(directory: str, area: str) -> str:
+    from repro.perf.schema import bench_filename
+
+    return os.path.join(directory, bench_filename(area))
+
+
+def cmd_perf_list(args: argparse.Namespace) -> int:
+    from repro.perf.suite import list_benches
+
+    specs = list_benches()
+    if args.json:
+        json.dump(
+            [
+                {
+                    "name": s.name,
+                    "area": s.area,
+                    "fast": s.fast,
+                    "description": s.description,
+                    "options": dict(s.options),
+                }
+                for s in specs
+            ],
+            sys.stdout,
+            indent=2,
+        )
+        print()
+        return 0
+    for s in specs:
+        tag = " [fast]" if s.fast else ""
+        print(f"{s.name:<10}{tag:<8} {s.description}")
+    return 0
+
+
+def cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.perf.schema import write_result
+    from repro.perf.suite import run_bench
+
+    config = _repeat_config(args)
+    options = _parse_options(args.opt)
+    names = _select_benches(args)
+    out_payload = []
+    for name in names:
+        result = run_bench(name, config, options)
+        if args.out and len(names) == 1:
+            path = args.out
+        else:
+            path = _bench_path(args.out_dir or ".", result.area)
+        if not args.no_write:
+            write_result(result, path)
+        if args.json:
+            out_payload.append(result.to_dict())
+        else:
+            print(result.summary())
+            for sname, series in sorted(result.series.items()):
+                if sname == result.primary:
+                    continue
+                s = series.summary
+                print(
+                    f"  {sname}: median {s.median:.6g}{series.unit} "
+                    f"CI [{s.ci_lo:.6g}, {s.ci_hi:.6g}] over {s.n} rep(s)"
+                )
+            for key, value in sorted(result.metrics.items()):
+                print(f"  {key}: {value}")
+            if not args.no_write:
+                print(f"  wrote {path}")
+    if args.json:
+        json.dump(out_payload, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def _load_baseline(args: argparse.Namespace, area: str):
+    from repro.perf.schema import load_result
+
+    path = _bench_path(args.baseline_dir, area)
+    if not os.path.exists(path):
+        return None, path
+    return load_result(path), path
+
+
+def _candidate_result(args: argparse.Namespace, name: str, config, options):
+    """A candidate BENCH record: a saved file when ``--candidate``/
+    ``--candidate-dir`` was given, else a fresh run."""
+    from repro.perf.schema import load_result
+    from repro.perf.suite import get_bench, run_bench
+
+    if getattr(args, "candidate", None):
+        return load_result(args.candidate)
+    if getattr(args, "candidate_dir", None):
+        area = get_bench(name).area
+        return load_result(_bench_path(args.candidate_dir, area))
+    return run_bench(name, config, options)
+
+
+def _run_comparisons(args: argparse.Namespace) -> List[Any]:
+    from repro.perf.compare import compare_results
+
+    config = _repeat_config(args)
+    options = _parse_options(args.opt)
+    names = _select_benches(args)
+    if getattr(args, "candidate", None) and len(names) != 1:
+        raise SystemExit(
+            "penny perf: --candidate FILE compares exactly one benchmark"
+        )
+    comparisons = []
+    for name in names:
+        candidate = _candidate_result(args, name, config, options)
+        baseline, path = _load_baseline(args, candidate.area)
+        if baseline is None:
+            raise SystemExit(
+                f"penny perf: no baseline {path} for {name!r} "
+                "(run 'penny perf run' and commit the result first)"
+            )
+        comparisons.append(
+            compare_results(
+                baseline,
+                candidate,
+                noise_margin=args.noise_margin,
+                confidence=args.confidence or 0.95,
+                method=args.method,
+                ignore_env=args.ignore_env,
+            )
+        )
+    return comparisons
+
+
+def _emit_comparisons(args: argparse.Namespace, comparisons) -> None:
+    from repro.perf.compare import render_comparison
+
+    if args.json:
+        json.dump(
+            [rc.to_dict() for rc in comparisons], sys.stdout, indent=2
+        )
+        print()
+    else:
+        for rc in comparisons:
+            print(render_comparison(rc))
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    comparisons = _run_comparisons(args)
+    _emit_comparisons(args, comparisons)
+    return 0
+
+
+def cmd_perf_gate(args: argparse.Namespace) -> int:
+    from repro.perf.compare import gate_exit_code
+
+    comparisons = _run_comparisons(args)
+    _emit_comparisons(args, comparisons)
+    code = gate_exit_code(comparisons)
+    if not args.json:
+        verdicts = ", ".join(
+            f"{rc.benchmark}={rc.verdict.value}" for rc in comparisons
+        )
+        print(
+            f"perf gate: {'FAIL' if code else 'ok'} ({verdicts})",
+            file=sys.stderr if code else sys.stdout,
+        )
+    return code
+
+
+def cmd_perf_validate(args: argparse.Namespace) -> int:
+    import glob as globmod
+
+    from repro.perf.schema import validate_bench_result
+
+    paths = list(args.files)
+    if not paths:
+        paths = sorted(globmod.glob("BENCH_*.json"))
+    if not paths:
+        raise SystemExit("penny perf validate: no BENCH_*.json found")
+    failures = 0
+    for path in paths:
+        try:
+            with open(path) as f:
+                obj = json.load(f)
+            problems = validate_bench_result(obj)
+        except (OSError, ValueError) as exc:
+            problems = [str(exc)]
+        if problems:
+            failures += 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"    {problem}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+_ACTIONS = {
+    "list": cmd_perf_list,
+    "run": cmd_perf_run,
+    "compare": cmd_perf_compare,
+    "gate": cmd_perf_gate,
+    "validate": cmd_perf_validate,
+}
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    return _ACTIONS[args.perf_action](args)
+
+
+def _add_rep_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--warmup", type=int, default=None,
+        help="discarded warmup reps (default 1)",
+    )
+    p.add_argument(
+        "--min-reps", type=int, default=None,
+        help="samples before the stopping criterion applies (default 5)",
+    )
+    p.add_argument(
+        "--max-reps", type=int, default=None,
+        help="rep ceiling (default 50)",
+    )
+    p.add_argument(
+        "--target-rci", type=float, default=None, metavar="FRAC",
+        help="stop once the CI half-width is below this fraction of "
+             "the median (default 0.05)",
+    )
+    p.add_argument(
+        "--confidence", type=float, default=None,
+        help="CI confidence level (default 0.95)",
+    )
+    p.add_argument(
+        "--wall-budget", type=float, default=None, metavar="SECONDS",
+        help="per-series wall-clock budget",
+    )
+    p.add_argument(
+        "--ci-method", default=None, choices=("bootstrap", "t"),
+        help="summary CI method (default bootstrap)",
+    )
+    p.add_argument(
+        "--opt", action="append", default=[], metavar="KEY=VALUE",
+        help="benchmark option override (repeatable)",
+    )
+
+
+def _add_select_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark names (see 'penny perf list')",
+    )
+    p.add_argument(
+        "--all", action="store_true", help="every registered benchmark"
+    )
+    p.add_argument(
+        "--fast", action="store_true",
+        help="the fast subset (the CI perf-gate set)",
+    )
+
+
+def _add_compare_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--baseline-dir", default=".",
+        help="directory holding committed BENCH_*.json (default .)",
+    )
+    p.add_argument(
+        "--candidate", default=None, metavar="FILE",
+        help="compare this saved result instead of running fresh",
+    )
+    p.add_argument(
+        "--candidate-dir", default=None, metavar="DIR",
+        help="read candidates from DIR instead of running fresh",
+    )
+    p.add_argument(
+        "--noise-margin", type=float, default=0.05, metavar="FRAC",
+        help="relative slowdown treated as noise (default 0.05)",
+    )
+    p.add_argument(
+        "--method", default="bootstrap", choices=("bootstrap", "welch"),
+        help="comparison method (default bootstrap)",
+    )
+    p.add_argument(
+        "--ignore-env", action="store_true",
+        help="keep significant verdicts across machine drift",
+    )
+
+
+def register_perf_parser(sub) -> None:
+    """Attach the ``perf`` subcommand to the main penny subparsers."""
+    p_perf = sub.add_parser(
+        "perf",
+        help="statistical benchmark harness with regression gating",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_action", required=True)
+
+    p_list = perf_sub.add_parser("list", help="show the registry")
+    p_list.add_argument("--json", action="store_true")
+
+    p_run = perf_sub.add_parser(
+        "run", help="run benchmark(s) and write BENCH_<area>.json"
+    )
+    _add_select_flags(p_run)
+    _add_rep_flags(p_run)
+    p_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (single benchmark only)",
+    )
+    p_run.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write BENCH_<area>.json files here (default .)",
+    )
+    p_run.add_argument(
+        "--no-write", action="store_true",
+        help="print summaries without writing BENCH files",
+    )
+    p_run.add_argument("--json", action="store_true")
+
+    p_cmp = perf_sub.add_parser(
+        "compare", help="fresh run (or saved candidate) vs baselines"
+    )
+    p_gate = perf_sub.add_parser(
+        "gate",
+        help="compare and exit nonzero on a significant regression",
+    )
+    for p in (p_cmp, p_gate):
+        _add_select_flags(p)
+        _add_rep_flags(p)
+        _add_compare_flags(p)
+        p.add_argument("--json", action="store_true")
+
+    p_val = perf_sub.add_parser(
+        "validate", help="schema-check BENCH_*.json files"
+    )
+    p_val.add_argument(
+        "files", nargs="*",
+        help="BENCH files (default: BENCH_*.json in the cwd)",
+    )
+
+    p_perf.set_defaults(func=cmd_perf)

@@ -1,0 +1,244 @@
+"""Result-level comparison: a fresh run vs a committed baseline.
+
+:mod:`repro.perf.stats` compares two *sample sets*; this module compares
+two *BENCH records*, which adds the provenance questions the raw
+statistics cannot answer:
+
+- **Which series gates?**  Every series the two results share is
+  compared (informational), but only the result's *primary* series
+  decides the gate.
+- **Are the numbers comparable at all?**  When any
+  :data:`repro.perf.env.MACHINE_KEYS` field drifts between baseline and
+  candidate (different host, Python, NumPy, CPU count), a significant
+  primary verdict is downgraded to ``inconclusive`` — a laptop number vs
+  a CI-runner number is a machine change, not a regression.  Drift in
+  ``code_sha``/``git_rev`` is the *point* of the comparison and never
+  softens it.
+
+:func:`gate_exit_code` turns a list of comparisons into the CI contract:
+nonzero iff any primary verdict is ``regressed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.perf.env import MACHINE_KEYS
+from repro.perf.schema import BenchResult
+from repro.perf.stats import Comparison, Verdict, compare
+
+__all__ = [
+    "SeriesComparison",
+    "ResultComparison",
+    "compare_results",
+    "gate_exit_code",
+    "render_comparison",
+]
+
+
+@dataclass(frozen=True)
+class SeriesComparison:
+    """One shared series, compared."""
+
+    series: str
+    unit: str
+    comparison: Comparison
+    is_primary: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "series": self.series,
+            "unit": self.unit,
+            "is_primary": self.is_primary,
+            **self.comparison.to_dict(),
+        }
+
+
+@dataclass
+class ResultComparison:
+    """Baseline-vs-candidate verdict for one benchmark (Reportable)."""
+
+    benchmark: str
+    area: str
+    primary: str
+    verdict: Verdict  # the gating verdict (post env-drift downgrade)
+    series: List[SeriesComparison]
+    env_drift: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
+    downgraded: bool = False  # True when env drift softened the verdict
+    baseline_created_at: Optional[str] = None
+    candidate_created_at: Optional[str] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def primary_comparison(self) -> SeriesComparison:
+        for sc in self.series:
+            if sc.is_primary:
+                return sc
+        raise LookupError(f"{self.benchmark}: no primary series compared")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "bench_comparison",
+            "benchmark": self.benchmark,
+            "area": self.area,
+            "primary": self.primary,
+            "verdict": self.verdict.value,
+            "downgraded": self.downgraded,
+            "env_drift": {
+                k: {"baseline": a, "candidate": b}
+                for k, (a, b) in sorted(self.env_drift.items())
+            },
+            "series": [sc.to_dict() for sc in self.series],
+            "baseline_created_at": self.baseline_created_at,
+            "candidate_created_at": self.candidate_created_at,
+            "notes": list(self.notes),
+        }
+
+    def summary(self) -> str:
+        pc = self.primary_comparison.comparison
+        return (
+            f"{self.benchmark}: {self.verdict.value} "
+            f"(primary {self.primary} ratio {pc.ratio:.3f}, "
+            f"margin {pc.noise_margin:.0%})"
+        )
+
+
+def _environment_drift(
+    baseline: BenchResult, candidate: BenchResult
+) -> Dict[str, Tuple[Any, Any]]:
+    drift: Dict[str, Tuple[Any, Any]] = {}
+    for key in MACHINE_KEYS:
+        a = baseline.environment.get(key)
+        b = candidate.environment.get(key)
+        if a != b:
+            drift[key] = (a, b)
+    return drift
+
+
+def compare_results(
+    baseline: BenchResult,
+    candidate: BenchResult,
+    *,
+    noise_margin: float = 0.05,
+    confidence: float = 0.95,
+    method: str = "bootstrap",
+    ignore_env: bool = False,
+) -> ResultComparison:
+    """Compare a candidate BENCH record against its committed baseline.
+
+    Durations, so *lower is better*: the candidate regresses when its
+    primary series is significantly slower than the baseline's beyond
+    ``noise_margin``.  Pass ``ignore_env=True`` to keep significant
+    verdicts even across machine drift (e.g. deliberate cross-host
+    comparisons).
+    """
+    if baseline.benchmark != candidate.benchmark:
+        raise ValueError(
+            f"comparing different benchmarks: {baseline.benchmark!r} "
+            f"vs {candidate.benchmark!r}"
+        )
+    notes: List[str] = []
+    primary = candidate.primary
+    if baseline.primary != primary:
+        notes.append(
+            f"primary series changed: {baseline.primary!r} -> {primary!r}"
+        )
+    shared = [
+        name for name in candidate.series if name in baseline.series
+    ]
+    if primary not in shared:
+        raise ValueError(
+            f"{candidate.benchmark}: primary series {primary!r} missing "
+            f"from baseline (has {sorted(baseline.series)})"
+        )
+    for name in sorted(set(baseline.series) ^ set(candidate.series)):
+        notes.append(f"series {name!r} present on only one side")
+
+    series_cmp: List[SeriesComparison] = []
+    for name in sorted(shared, key=lambda n: (n != primary, n)):
+        sc = compare(
+            baseline.series[name].samples,
+            candidate.series[name].samples,
+            noise_margin=noise_margin,
+            confidence=confidence,
+            method=method,
+        )
+        series_cmp.append(
+            SeriesComparison(
+                series=name,
+                unit=candidate.series[name].unit,
+                comparison=sc,
+                is_primary=(name == primary),
+            )
+        )
+
+    drift = _environment_drift(baseline, candidate)
+    verdict = next(
+        sc.comparison.verdict for sc in series_cmp if sc.is_primary
+    )
+    downgraded = False
+    if drift and not ignore_env and verdict in (
+        Verdict.REGRESSED,
+        Verdict.IMPROVED,
+    ):
+        # Different machine shape: absolute timings are incomparable,
+        # so a significant verdict cannot be trusted either way.
+        downgraded = True
+        notes.append(
+            "verdict downgraded to inconclusive: environment drift in "
+            + ", ".join(sorted(drift))
+        )
+        verdict = Verdict.INCONCLUSIVE
+    return ResultComparison(
+        benchmark=candidate.benchmark,
+        area=candidate.area,
+        primary=primary,
+        verdict=verdict,
+        series=series_cmp,
+        env_drift=drift,
+        downgraded=downgraded,
+        baseline_created_at=baseline.created_at,
+        candidate_created_at=candidate.created_at,
+        notes=notes,
+    )
+
+
+def gate_exit_code(comparisons: List[ResultComparison]) -> int:
+    """The CI contract: nonzero iff any gating verdict is a regression."""
+    return 1 if any(
+        rc.verdict is Verdict.REGRESSED for rc in comparisons
+    ) else 0
+
+
+# -- text rendering ---------------------------------------------------------------
+
+_MARK = {
+    Verdict.IMPROVED: "+",
+    Verdict.REGRESSED: "!",
+    Verdict.UNCHANGED: "=",
+    Verdict.INCONCLUSIVE: "?",
+}
+
+
+def render_comparison(rc: ResultComparison) -> str:
+    """Human-readable multi-line report for one benchmark comparison."""
+    lines = [
+        f"{_MARK[rc.verdict]} {rc.benchmark}: {rc.verdict.value.upper()}"
+        + (" (downgraded: environment drift)" if rc.downgraded else "")
+    ]
+    for sc in rc.series:
+        c = sc.comparison
+        tag = "primary" if sc.is_primary else "info"
+        lines.append(
+            f"    {sc.series:<22} [{tag}] "
+            f"{c.median_baseline:.6g} -> {c.median_candidate:.6g} "
+            f"{sc.unit}  ratio {c.ratio:.3f}  "
+            f"log-CI [{c.log_ratio_lo:+.4f}, {c.log_ratio_hi:+.4f}]  "
+            f"{c.verdict.value}"
+        )
+    for key, (a, b) in sorted(rc.env_drift.items()):
+        lines.append(f"    env drift: {key}: {a!r} -> {b!r}")
+    for note in rc.notes:
+        lines.append(f"    note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Environment fingerprinting for benchmark results.
+
+A perf number without its environment is a rumor.  Every
+:class:`repro.perf.schema.BenchResult` embeds this fingerprint so a
+reader (or the gate) can tell whether two results are comparable at
+all: same interpreter, same NumPy, same machine shape — and, via the
+``code_sha`` reused from the serve-tier :func:`repro.serve.key.code_fingerprint`,
+exactly which version of the repo's code produced the number.
+
+Two key groups:
+
+- :data:`MACHINE_KEYS` — keys that make *absolute times* comparable.
+  :func:`repro.perf.compare.compare_results` downgrades a significant
+  verdict to ``inconclusive`` when any of these drift (a laptop number
+  vs a CI-runner number is not a regression, it is a different
+  machine).
+- ``code_sha`` / ``git_rev`` — expected to drift between baseline and
+  candidate; that drift is the *point* of the comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+__all__ = ["ENV_KEYS", "MACHINE_KEYS", "environment_fingerprint"]
+
+#: every key a valid fingerprint must carry
+ENV_KEYS = (
+    "python_version",
+    "implementation",
+    "platform",
+    "machine",
+    "node",
+    "cpu_count",
+    "pythonhashseed",
+    "numpy_version",
+    "git_rev",
+    "code_sha",
+)
+
+#: the subset whose drift makes absolute timings incomparable
+MACHINE_KEYS = (
+    "python_version",
+    "implementation",
+    "platform",
+    "machine",
+    "node",
+    "cpu_count",
+    "numpy_version",
+)
+
+
+def _git_rev() -> Optional[str]:
+    """HEAD of the repo containing the installed ``repro`` package, or
+    ``None`` when not running from a checkout."""
+    import repro
+
+    pkg_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pkg_dir,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Capture everything needed to judge a timing's comparability."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    from repro.serve.key import code_fingerprint
+
+    return {
+        "python_version": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "node": platform.node(),
+        "cpu_count": os.cpu_count(),
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED"),
+        "numpy_version": numpy_version,
+        "git_rev": _git_rev(),
+        "code_sha": code_fingerprint(),
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else None,
+    }

@@ -1,0 +1,224 @@
+"""The repeater: run a measured callable until the number is trustworthy.
+
+SHARP-style measurement discipline (run-until-stopping-criterion, with
+measurement split from analysis): a benchmark body is repeated until the
+summary's **relative CI half-width** drops below a target, bounded by a
+rep-count floor/ceiling and a wall-clock budget, with warmup reps
+discarded and garbage collection isolated per rep (collect before,
+disable during, restore after), so one stray GC cycle cannot masquerade
+as a regression.
+
+The repeater knows nothing about *what* is measured — it times a
+callable (or trusts a self-timed one) and hands the samples to
+:mod:`repro.perf.stats`.  Each rep is an obs span (``perf.rep``) and a
+counter tick (``perf.reps``), so a traced benchmark run shows its reps
+nested under the ``perf.bench`` span.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.perf.stats import Summary
+
+__all__ = ["StopReason", "RepeatConfig", "RepeatResult", "repeat"]
+
+
+class StopReason(str, Enum):
+    """Why the repeater stopped taking samples."""
+
+    CI_TARGET = "ci_target"  # relative CI half-width hit the target
+    MAX_REPS = "max_reps"  # rep ceiling reached before the CI target
+    WALL_BUDGET = "wall_budget"  # out of wall-clock time
+
+
+@dataclass
+class RepeatConfig:
+    """Knobs for one repeater run.
+
+    ``target_rel_ci`` is the stopping criterion: once at least
+    ``min_reps`` samples exist, stop as soon as the summary CI's
+    half-width falls below this fraction of the median.  ``max_reps``
+    and ``wall_budget_s`` bound the attempt; the wall budget may cut a
+    run below ``min_reps`` (but never below one retained sample).
+    """
+
+    warmup: int = 1
+    min_reps: int = 5
+    max_reps: int = 50
+    target_rel_ci: float = 0.05
+    confidence: float = 0.95
+    wall_budget_s: Optional[float] = None
+    gc_isolation: bool = True
+    ci_method: str = "bootstrap"
+    clock: Callable[[], float] = field(
+        default=time.perf_counter, repr=False
+    )
+
+    def __post_init__(self):
+        if self.warmup < 0:
+            raise ValueError(f"warmup {self.warmup} must be >= 0")
+        if self.min_reps < 1:
+            raise ValueError(f"min_reps {self.min_reps} must be >= 1")
+        if self.max_reps < self.min_reps:
+            raise ValueError(
+                f"max_reps {self.max_reps} < min_reps {self.min_reps}"
+            )
+        if self.target_rel_ci <= 0:
+            raise ValueError(
+                f"target_rel_ci {self.target_rel_ci} must be > 0"
+            )
+        if self.wall_budget_s is not None and self.wall_budget_s <= 0:
+            raise ValueError(
+                f"wall_budget_s {self.wall_budget_s} must be > 0"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (the callable clock is process-local, not schema)."""
+        return {
+            "warmup": self.warmup,
+            "min_reps": self.min_reps,
+            "max_reps": self.max_reps,
+            "target_rel_ci": self.target_rel_ci,
+            "confidence": self.confidence,
+            "wall_budget_s": self.wall_budget_s,
+            "gc_isolation": self.gc_isolation,
+            "ci_method": self.ci_method,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RepeatConfig":
+        known = {
+            k: d[k]
+            for k in (
+                "warmup",
+                "min_reps",
+                "max_reps",
+                "target_rel_ci",
+                "confidence",
+                "wall_budget_s",
+                "gc_isolation",
+                "ci_method",
+            )
+            if k in d
+        }
+        return cls(**known)
+
+
+@dataclass(frozen=True)
+class RepeatResult:
+    """Everything one repeater run produced."""
+
+    samples: List[float]  # retained per-rep durations (seconds)
+    warmup_samples: List[float]  # discarded warmup durations
+    stop_reason: StopReason
+    summary: Summary
+    wall_seconds: float  # total, warmup included
+
+
+def _run_one(
+    fn: Callable[[], Any],
+    clock: Callable[[], float],
+    self_timed: bool,
+    gc_isolation: bool,
+) -> float:
+    """One rep under GC isolation; returns its duration in seconds."""
+    if gc_isolation:
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+    try:
+        start = clock()
+        returned = fn()
+        elapsed = clock() - start
+    finally:
+        if gc_isolation and was_enabled:
+            gc.enable()
+    if self_timed:
+        try:
+            elapsed = float(returned)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"self-timed benchmark returned {returned!r}; "
+                "expected its elapsed seconds (> 0)"
+            ) from None
+        if elapsed <= 0:
+            raise ValueError(
+                f"self-timed benchmark returned {returned!r}; "
+                "expected its elapsed seconds (> 0)"
+            )
+    return elapsed
+
+
+def repeat(
+    fn: Callable[[], Any],
+    config: Optional[RepeatConfig] = None,
+    *,
+    self_timed: bool = False,
+) -> RepeatResult:
+    """Run ``fn`` until the stopping criterion is met.
+
+    ``fn`` is called once per rep.  By default the call itself is timed;
+    with ``self_timed=True`` the callable returns its own elapsed
+    seconds (use this to exclude per-rep setup from the measurement).
+    """
+    cfg = config or RepeatConfig()
+    clock = cfg.clock
+    wall_start = clock()
+
+    def out_of_budget() -> bool:
+        return (
+            cfg.wall_budget_s is not None
+            and clock() - wall_start >= cfg.wall_budget_s
+        )
+
+    warmups: List[float] = []
+    with obs.span("perf.repeat", warmup=cfg.warmup, max_reps=cfg.max_reps):
+        for i in range(cfg.warmup):
+            if warmups and out_of_budget():
+                break  # keep budget headroom for measured reps
+            with obs.span("perf.rep", index=i, warmup=True):
+                warmups.append(
+                    _run_one(fn, clock, self_timed, cfg.gc_isolation)
+                )
+            obs.inc("perf.warmup_reps")
+
+        samples: List[float] = []
+        summary: Optional[Summary] = None
+        stop = StopReason.MAX_REPS
+        while True:
+            with obs.span("perf.rep", index=len(samples)):
+                samples.append(
+                    _run_one(fn, clock, self_timed, cfg.gc_isolation)
+                )
+            obs.inc("perf.reps")
+            if len(samples) >= cfg.min_reps:
+                summary = Summary.from_samples(
+                    samples, cfg.confidence, cfg.ci_method
+                )
+                if summary.rel_ci_half_width <= cfg.target_rel_ci:
+                    stop = StopReason.CI_TARGET
+                    break
+            if out_of_budget():
+                stop = StopReason.WALL_BUDGET
+                break
+            if len(samples) >= cfg.max_reps:
+                stop = StopReason.MAX_REPS
+                break
+        if summary is None or len(samples) != summary.n:
+            summary = Summary.from_samples(
+                samples, cfg.confidence, cfg.ci_method
+            )
+    obs.inc(f"perf.stop.{stop.value}")
+    return RepeatResult(
+        samples=samples,
+        warmup_samples=warmups,
+        stop_reason=stop,
+        summary=summary,
+        wall_seconds=clock() - wall_start,
+    )

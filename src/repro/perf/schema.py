@@ -1,0 +1,347 @@
+"""The versioned on-disk shape of a benchmark result.
+
+``BENCH_<area>.json`` files at the repo root are the perf trajectory:
+one committed point per area, rewritten by ``penny perf run`` and
+diffed by ``penny perf compare``/``gate``.  Schema version 2 replaces
+the single-shot v1 numbers with per-rep samples, robust summaries with
+confidence intervals, the repeater configuration that produced them,
+and an environment fingerprint — everything a later reader needs to
+judge (and statistically re-test) the claim.
+
+Anatomy::
+
+    {
+      "schema_version": 2,
+      "kind": "bench_result",
+      "benchmark": "executor",          # registry name (penny perf list)
+      "area": "executor",               # -> BENCH_executor.json
+      "primary": "vector",              # the series the gate compares
+      "series": {
+        "vector": {
+          "unit": "s",
+          "samples": [...],             # retained per-rep durations
+          "warmup_samples": [...],
+          "stop_reason": "ci_target",
+          "summary": {"median": ..., "ci_lo": ..., "ci_hi": ..., ...}
+        },
+        "scalar": {...}
+      },
+      "metrics": {"speedup": 17.8, ...} # derived scalars (informational)
+      "environment": {...},             # repro.perf.env fingerprint
+      "repeat_config": {...},           # the stopping criterion used
+      "wall_seconds": 4.2,
+      "created_at": "2026-08-09T12:00:00Z"
+    }
+
+:func:`validate_bench_result` is the schema gate CI runs over every
+``BENCH_*.json``; it returns a list of problems (empty = valid) in the
+same style as the :mod:`repro.obs.export` validators.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.perf.env import ENV_KEYS
+from repro.perf.repeat import RepeatResult, StopReason
+from repro.perf.stats import Summary
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Series",
+    "BenchResult",
+    "bench_filename",
+    "validate_bench_result",
+    "write_result",
+    "load_result",
+]
+
+#: bump when the result shape changes (v1 was the single-shot
+#: executor-throughput record with no samples or CI)
+SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class Series:
+    """One measured quantity inside a benchmark (e.g. one backend)."""
+
+    name: str
+    unit: str
+    samples: List[float]
+    warmup_samples: List[float]
+    stop_reason: str
+    summary: Summary
+
+    @classmethod
+    def from_repeat(
+        cls, name: str, unit: str, rep: RepeatResult
+    ) -> "Series":
+        return cls(
+            name=name,
+            unit=unit,
+            samples=list(rep.samples),
+            warmup_samples=list(rep.warmup_samples),
+            stop_reason=rep.stop_reason.value,
+            summary=rep.summary,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unit": self.unit,
+            "samples": self.samples,
+            "warmup_samples": self.warmup_samples,
+            "stop_reason": self.stop_reason,
+            "summary": self.summary.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, d: Mapping[str, Any]) -> "Series":
+        return cls(
+            name=name,
+            unit=str(d["unit"]),
+            samples=[float(x) for x in d["samples"]],
+            warmup_samples=[
+                float(x) for x in d.get("warmup_samples", [])
+            ],
+            stop_reason=str(d["stop_reason"]),
+            summary=Summary.from_dict(d["summary"]),
+        )
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run: series + metrics + provenance (Reportable)."""
+
+    benchmark: str
+    area: str
+    primary: str
+    series: Dict[str, Series]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    environment: Dict[str, Any] = field(default_factory=dict)
+    repeat_config: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    created_at: Optional[str] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        if self.primary not in self.series:
+            raise ValueError(
+                f"primary series {self.primary!r} not in "
+                f"{sorted(self.series)}"
+            )
+        if self.created_at is None:
+            self.created_at = time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            )
+
+    @property
+    def primary_series(self) -> Series:
+        return self.series[self.primary]
+
+    # -- Reportable protocol --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "bench_result",
+            "schema_version": self.schema_version,
+            "benchmark": self.benchmark,
+            "area": self.area,
+            "primary": self.primary,
+            "series": {
+                name: s.to_dict() for name, s in sorted(self.series.items())
+            },
+            "metrics": dict(self.metrics),
+            "environment": dict(self.environment),
+            "repeat_config": dict(self.repeat_config),
+            "wall_seconds": self.wall_seconds,
+            "created_at": self.created_at,
+        }
+
+    def summary(self) -> str:
+        s = self.primary_series.summary
+        return (
+            f"{self.benchmark}: {self.primary} median "
+            f"{s.median:.6g}{self.primary_series.unit} "
+            f"CI [{s.ci_lo:.6g}, {s.ci_hi:.6g}] over {s.n} rep(s)"
+        )
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "BenchResult":
+        return cls(
+            benchmark=str(d["benchmark"]),
+            area=str(d["area"]),
+            primary=str(d["primary"]),
+            series={
+                name: Series.from_dict(name, sd)
+                for name, sd in d["series"].items()
+            },
+            metrics=dict(d.get("metrics", {})),
+            environment=dict(d.get("environment", {})),
+            repeat_config=dict(d.get("repeat_config", {})),
+            wall_seconds=float(d.get("wall_seconds", 0.0)),
+            created_at=d.get("created_at"),
+            schema_version=int(d.get("schema_version", -1)),
+        )
+
+
+def bench_filename(area: str) -> str:
+    return f"BENCH_{area}.json"
+
+
+# -- validation -------------------------------------------------------------------
+
+_STOP_REASONS = tuple(r.value for r in StopReason)
+
+_SUMMARY_KEYS = (
+    "n",
+    "mean",
+    "std",
+    "min",
+    "max",
+    "median",
+    "mad",
+    "trimmed_mean",
+    "ci_lo",
+    "ci_hi",
+    "confidence",
+    "method",
+)
+
+
+def _validate_summary(
+    d: Any, n_samples: int, where: str
+) -> List[str]:
+    problems: List[str] = []
+    if not isinstance(d, Mapping):
+        return [f"{where}: summary is not an object"]
+    for key in _SUMMARY_KEYS:
+        if key not in d:
+            problems.append(f"{where}: summary missing {key!r}")
+    if problems:
+        return problems
+    if d["n"] != n_samples:
+        problems.append(
+            f"{where}: summary.n {d['n']} != {n_samples} samples"
+        )
+    try:
+        lo, hi, med = float(d["ci_lo"]), float(d["ci_hi"]), float(d["median"])
+    except (TypeError, ValueError):
+        return problems + [f"{where}: non-numeric summary fields"]
+    if math.isnan(lo) or math.isnan(hi):
+        problems.append(f"{where}: NaN confidence bounds")
+    elif lo > hi:
+        problems.append(f"{where}: ci_lo {lo} > ci_hi {hi}")
+    if not (0 < float(d["confidence"]) < 1):
+        problems.append(
+            f"{where}: confidence {d['confidence']} not in (0, 1)"
+        )
+    if d["method"] == "bootstrap" and not (lo <= med <= hi):
+        problems.append(
+            f"{where}: median {med} outside its CI [{lo}, {hi}]"
+        )
+    return problems
+
+
+def validate_bench_result(obj: Any) -> List[str]:
+    """Schema-check one BENCH record; returns problems (empty = ok)."""
+    if not isinstance(obj, Mapping):
+        return ["result is not an object"]
+    problems: List[str] = []
+    version = obj.get("schema_version")
+    if version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version!r} != {SCHEMA_VERSION} "
+            "(v1 single-shot records must be regenerated with "
+            "'penny perf run')"
+        )
+        return problems
+    if obj.get("kind") != "bench_result":
+        problems.append(f"kind {obj.get('kind')!r} != 'bench_result'")
+    for key in ("benchmark", "area", "primary", "created_at"):
+        if not isinstance(obj.get(key), str) or not obj.get(key):
+            problems.append(f"missing or empty {key!r}")
+    series = obj.get("series")
+    if not isinstance(series, Mapping) or not series:
+        problems.append("series missing or empty")
+        series = {}
+    primary = obj.get("primary")
+    if series and primary not in series:
+        problems.append(
+            f"primary {primary!r} not one of {sorted(series)}"
+        )
+    for name, sd in series.items():
+        where = f"series[{name}]"
+        if not isinstance(sd, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        samples = sd.get("samples")
+        if not isinstance(samples, list) or not samples:
+            problems.append(f"{where}: samples missing or empty")
+            continue
+        bad = [
+            x
+            for x in samples
+            if not isinstance(x, (int, float)) or x <= 0
+        ]
+        if bad:
+            problems.append(
+                f"{where}: {len(bad)} nonpositive/non-numeric sample(s)"
+            )
+        if not isinstance(sd.get("unit"), str) or not sd.get("unit"):
+            problems.append(f"{where}: missing unit")
+        if sd.get("stop_reason") not in _STOP_REASONS:
+            problems.append(
+                f"{where}: stop_reason {sd.get('stop_reason')!r} not in "
+                f"{_STOP_REASONS}"
+            )
+        problems.extend(
+            _validate_summary(sd.get("summary"), len(samples), where)
+        )
+    environment = obj.get("environment")
+    if not isinstance(environment, Mapping):
+        problems.append("environment missing")
+    else:
+        for key in ENV_KEYS:
+            if key not in environment:
+                problems.append(f"environment missing {key!r}")
+    if not isinstance(obj.get("repeat_config"), Mapping):
+        problems.append("repeat_config missing")
+    if not isinstance(obj.get("metrics"), Mapping):
+        problems.append("metrics missing")
+    return problems
+
+
+# -- IO ---------------------------------------------------------------------------
+
+
+def write_result(result: BenchResult, path: str) -> None:
+    """Write a BENCH file atomically (rename over the old point)."""
+    payload = result.to_dict()
+    problems = validate_bench_result(payload)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid bench result: {problems}"
+        )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def load_result(path: str, validate: bool = True) -> BenchResult:
+    """Load (and by default schema-check) a BENCH file."""
+    with open(path) as f:
+        obj = json.load(f)
+    if validate:
+        problems = validate_bench_result(obj)
+        if problems:
+            raise ValueError(
+                f"{path}: invalid bench result: {problems[:5]}"
+            )
+    return BenchResult.from_dict(obj)

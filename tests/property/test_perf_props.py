@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the perf comparison layer.
+
+Three families, as the harness contract demands:
+
+1. **Symmetry**: ``compare(a, b)`` and ``compare(b, a)`` always produce
+   mirrored verdicts (improved <-> regressed) and exactly negated
+   log-ratio intervals — for both methods.
+2. **Synthetic regressions are flagged**: scaling a tight baseline by a
+   factor far beyond the noise bound always yields REGRESSED.
+3. **A/A runs are never flagged**: samples drawn from the same tight
+   band never produce REGRESSED (or IMPROVED) at a margin wider than
+   the band.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.stats import Summary, Verdict, compare
+
+# Bootstrap resampling dominates runtime; keep CI wall-clock sane.
+FAST = {"n_boot": 400}
+
+durations = st.floats(
+    min_value=1e-6,
+    max_value=1e3,
+    allow_nan=False,
+    allow_infinity=False,
+)
+sample_sets = st.lists(durations, min_size=2, max_size=12)
+
+# A tight band: +/-0.5% around 1.0 — far inside a 5% noise margin.
+tight = st.floats(min_value=1.0, max_value=1.005)
+tight_sets = st.lists(tight, min_size=5, max_size=10)
+
+methods = st.sampled_from(["bootstrap", "welch"])
+margins = st.floats(min_value=0.0, max_value=0.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=sample_sets, b=sample_sets, margin=margins, method=methods)
+def test_swap_mirrors_verdict_and_negates_interval(a, b, margin, method):
+    ab = compare(a, b, noise_margin=margin, method=method, **FAST)
+    ba = compare(b, a, noise_margin=margin, method=method, **FAST)
+    assert ba.verdict is ab.verdict.mirrored
+    assert ba.log_ratio_lo == -ab.log_ratio_hi
+    assert ba.log_ratio_hi == -ab.log_ratio_lo
+    # point estimates are reciprocal (up to float noise in the logs)
+    assert abs(math.log(ab.ratio) + math.log(ba.ratio)) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=sample_sets, method=methods)
+def test_self_comparison_never_significant(a, method):
+    # Comparing a sample set against (a copy of) itself: the effect is
+    # exactly zero, so no margin can call it improved or regressed.
+    c = compare(a, list(a), noise_margin=0.05, method=method, **FAST)
+    assert c.verdict in (Verdict.UNCHANGED, Verdict.INCONCLUSIVE)
+    assert c.log_ratio_lo <= 0.0 <= c.log_ratio_hi
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base=tight_sets,
+    factor=st.floats(min_value=1.2, max_value=5.0),
+)
+def test_synthetic_regression_always_flagged(base, factor):
+    # Baseline spread is <= 0.5%; the injected slowdown is >= 20%;
+    # the margin is 5%.  The bootstrap CI of the log-ratio lives within
+    # the samples' span, so it sits far above log1p(0.05): REGRESSED,
+    # always.
+    slowed = [x * factor for x in base]
+    c = compare(base, slowed, noise_margin=0.05, **FAST)
+    assert c.verdict is Verdict.REGRESSED
+    # ... and the mirror image is always IMPROVED.
+    m = compare(slowed, base, noise_margin=0.05, **FAST)
+    assert m.verdict is Verdict.IMPROVED
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=tight_sets, b=tight_sets)
+def test_aa_runs_never_flagged(a, b):
+    # Two independent draws from the same +/-0.5% band, judged at a 5%
+    # margin: any log-ratio the bootstrap can produce is bounded by the
+    # samples' total span (log 1.005 < log 1.05), so the verdict is
+    # UNCHANGED — never a false regression, never inconclusive.
+    c = compare(a, b, noise_margin=0.05, **FAST)
+    assert c.verdict is Verdict.UNCHANGED
+
+
+@settings(max_examples=60, deadline=None)
+@given(xs=sample_sets, conf=st.floats(min_value=0.5, max_value=0.999))
+def test_summary_invariants(xs, conf):
+    s = Summary.from_samples(xs, confidence=conf, n_boot=400)
+    assert s.minimum <= s.median <= s.maximum
+    assert s.minimum <= s.trimmed_mean <= s.maximum
+    assert s.ci_lo <= s.ci_hi
+    # the bootstrap median CI stays inside the observed range
+    assert s.minimum <= s.ci_lo and s.ci_hi <= s.maximum
+    assert s.n == len(xs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xs=sample_sets)
+def test_summary_order_invariance(xs):
+    # Content-derived bootstrap seeds: sample order cannot change the CI.
+    a = Summary.from_samples(xs, n_boot=400)
+    b = Summary.from_samples(list(reversed(xs)), n_boot=400)
+    assert (a.ci_lo, a.ci_hi) == (b.ci_lo, b.ci_hi)
+    assert a.median == b.median

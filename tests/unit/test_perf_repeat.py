@@ -1,0 +1,207 @@
+"""Unit tests for the repeater (repro.perf.repeat): stopping-criterion
+edge cases under a fake clock, warmup discard, GC isolation, obs spans."""
+
+import gc
+
+import pytest
+
+from repro import obs
+from repro.perf.repeat import RepeatConfig, RepeatResult, StopReason, repeat
+
+
+class FakeClock:
+    """A deterministic clock: each call advances by the next tick."""
+
+    def __init__(self, tick=1.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.now += self.tick
+        return self.now
+
+
+def _noop():
+    pass
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        cfg = RepeatConfig()
+        assert cfg.min_reps == 5 and cfg.warmup == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"warmup": -1},
+            {"min_reps": 0},
+            {"min_reps": 10, "max_reps": 5},
+            {"target_rel_ci": 0.0},
+            {"wall_budget_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RepeatConfig(**kwargs)
+
+    def test_dict_roundtrip_excludes_clock(self):
+        cfg = RepeatConfig(min_reps=3, max_reps=7, wall_budget_s=2.5)
+        d = cfg.to_dict()
+        assert "clock" not in d
+        back = RepeatConfig.from_dict(d)
+        assert back.min_reps == 3 and back.max_reps == 7
+        assert back.wall_budget_s == 2.5
+
+
+class TestStopping:
+    def test_zero_variance_stops_at_min_reps(self):
+        # A constant-duration body has a point CI: the target is met
+        # the moment min_reps samples exist.
+        clock = FakeClock(tick=0.5)
+        cfg = RepeatConfig(
+            warmup=1, min_reps=4, max_reps=50, target_rel_ci=0.01,
+            clock=clock, gc_isolation=False,
+        )
+        r = repeat(_noop, cfg)
+        assert r.stop_reason is StopReason.CI_TARGET
+        assert len(r.samples) == 4
+        assert len(r.warmup_samples) == 1
+        assert r.summary.rel_ci_half_width == 0.0
+
+    def test_max_reps_before_ci_target(self, monkeypatch):
+        # Force the CI to never meet the target: noisy self-timed body.
+        durations = iter(
+            [1.0, 5.0, 0.5, 8.0, 0.2, 9.0, 0.1, 7.0] * 10
+        )
+        cfg = RepeatConfig(
+            warmup=0, min_reps=3, max_reps=8, target_rel_ci=0.0001,
+            gc_isolation=False,
+        )
+        r = repeat(lambda: next(durations), cfg, self_timed=True)
+        assert r.stop_reason is StopReason.MAX_REPS
+        assert len(r.samples) == 8
+        assert r.summary.rel_ci_half_width > 0.0001
+
+    def test_wall_budget_exhaustion(self):
+        # Each rep costs 1.0 fake seconds (start+stop ticks at 0.5);
+        # budget of 3.2 cuts the run well below min_reps=50.
+        clock = FakeClock(tick=0.5)
+        cfg = RepeatConfig(
+            warmup=0, min_reps=50, max_reps=100, target_rel_ci=0.01,
+            wall_budget_s=3.2, clock=clock, gc_isolation=False,
+        )
+        r = repeat(_noop, cfg)
+        assert r.stop_reason is StopReason.WALL_BUDGET
+        assert 1 <= len(r.samples) < 50
+        assert r.wall_seconds >= 3.2
+
+    def test_wall_budget_always_retains_one_sample(self):
+        clock = FakeClock(tick=10.0)  # every rep blows the budget
+        cfg = RepeatConfig(
+            warmup=0, min_reps=5, max_reps=10, target_rel_ci=0.01,
+            wall_budget_s=1.0, clock=clock, gc_isolation=False,
+        )
+        r = repeat(_noop, cfg)
+        assert r.stop_reason is StopReason.WALL_BUDGET
+        assert len(r.samples) == 1
+        assert r.summary.n == 1
+
+    def test_warmup_budget_headroom(self):
+        # Warmup must not eat the whole budget: after the first warmup
+        # rep, further warmups are skipped when the budget is gone.
+        clock = FakeClock(tick=10.0)
+        cfg = RepeatConfig(
+            warmup=5, min_reps=1, max_reps=10, target_rel_ci=0.01,
+            wall_budget_s=1.0, clock=clock, gc_isolation=False,
+        )
+        r = repeat(_noop, cfg)
+        assert len(r.warmup_samples) == 1  # the rest were skipped
+        assert len(r.samples) >= 1
+
+
+class TestMeasurement:
+    def test_warmup_discarded_from_samples(self):
+        calls = []
+        cfg = RepeatConfig(
+            warmup=2, min_reps=3, max_reps=3, target_rel_ci=0.5,
+            gc_isolation=False,
+        )
+        r = repeat(lambda: calls.append(len(calls)), cfg)
+        assert len(calls) == 5  # 2 warmup + 3 measured
+        assert len(r.warmup_samples) == 2
+        assert len(r.samples) == 3
+
+    def test_self_timed_uses_returned_seconds(self):
+        durations = iter([0.25, 0.5, 0.75])
+        cfg = RepeatConfig(
+            warmup=0, min_reps=3, max_reps=3, target_rel_ci=10.0,
+            gc_isolation=False,
+        )
+        r = repeat(lambda: next(durations), cfg, self_timed=True)
+        assert r.samples == [0.25, 0.5, 0.75]
+
+    def test_self_timed_rejects_nonpositive(self):
+        cfg = RepeatConfig(warmup=0, min_reps=1, max_reps=1)
+        with pytest.raises(ValueError):
+            repeat(lambda: 0.0, cfg, self_timed=True)
+        with pytest.raises(ValueError):
+            repeat(lambda: None, cfg, self_timed=True)
+
+    def test_gc_disabled_during_rep_and_restored(self):
+        states = []
+        assert gc.isenabled()
+        cfg = RepeatConfig(warmup=0, min_reps=2, max_reps=2,
+                           target_rel_ci=10.0)
+        repeat(lambda: states.append(gc.isenabled()), cfg)
+        assert states == [False, False]  # GC off inside every rep
+        assert gc.isenabled()  # restored afterwards
+
+    def test_gc_isolation_off(self):
+        states = []
+        cfg = RepeatConfig(
+            warmup=0, min_reps=1, max_reps=1, gc_isolation=False
+        )
+        repeat(lambda: states.append(gc.isenabled()), cfg)
+        assert states == [True]
+
+    def test_body_exception_restores_gc(self):
+        assert gc.isenabled()
+        cfg = RepeatConfig(warmup=0, min_reps=1, max_reps=1)
+
+        def boom():
+            raise RuntimeError("bench body failed")
+
+        with pytest.raises(RuntimeError):
+            repeat(boom, cfg)
+        assert gc.isenabled()
+
+    def test_result_is_frozen(self):
+        cfg = RepeatConfig(warmup=0, min_reps=1, max_reps=1,
+                           gc_isolation=False)
+        r = repeat(_noop, cfg)
+        assert isinstance(r, RepeatResult)
+        with pytest.raises(AttributeError):
+            r.samples = []
+
+
+class TestObservability:
+    def test_spans_and_counters(self):
+        cfg = RepeatConfig(
+            warmup=1, min_reps=3, max_reps=3, target_rel_ci=10.0,
+            gc_isolation=False,
+        )
+        with obs.Tracer() as tracer:
+            repeat(_noop, cfg)
+        assert len(tracer.find("perf.repeat")) == 1
+        assert len(tracer.find("perf.rep")) == 4  # 1 warmup + 3 measured
+        counts = tracer.counters.counts
+        assert counts["perf.reps"] == 3
+        assert counts["perf.warmup_reps"] == 1
+        assert counts["perf.stop.ci_target"] == 1
+
+    def test_unobserved_by_default(self):
+        # No tracer installed: repeat must not blow up or leak state.
+        cfg = RepeatConfig(warmup=0, min_reps=1, max_reps=1,
+                           gc_isolation=False)
+        r = repeat(_noop, cfg)
+        assert r.summary.n == 1

@@ -1,0 +1,293 @@
+"""Unit tests for the BENCH schema layer (repro.perf.schema) and the
+result-level comparison (repro.perf.compare)."""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.compare import (
+    compare_results,
+    gate_exit_code,
+    render_comparison,
+)
+from repro.perf.env import ENV_KEYS, environment_fingerprint
+from repro.perf.repeat import RepeatConfig, RepeatResult, StopReason
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    BenchResult,
+    Series,
+    bench_filename,
+    load_result,
+    validate_bench_result,
+    write_result,
+)
+from repro.perf.stats import Summary, Verdict
+
+
+def _series(samples, name="work", unit="s"):
+    return Series(
+        name=name,
+        unit=unit,
+        samples=list(samples),
+        warmup_samples=[samples[0]],
+        stop_reason=StopReason.CI_TARGET.value,
+        summary=Summary.from_samples(samples),
+    )
+
+
+def _result(samples=(1.0, 1.1, 0.9, 1.05, 0.95), **kwargs):
+    defaults = dict(
+        benchmark="selftest",
+        area="selftest",
+        primary="work",
+        series={"work": _series(list(samples))},
+        metrics={"n": len(samples)},
+        environment=environment_fingerprint(),
+        repeat_config=RepeatConfig().to_dict(),
+        wall_seconds=1.0,
+    )
+    defaults.update(kwargs)
+    return BenchResult(**defaults)
+
+
+class TestSchema:
+    def test_valid_result_passes(self):
+        assert validate_bench_result(_result().to_dict()) == []
+
+    def test_dict_roundtrip(self):
+        r = _result()
+        back = BenchResult.from_dict(r.to_dict())
+        assert back.benchmark == r.benchmark
+        assert back.primary_series.samples == r.primary_series.samples
+        assert back.primary_series.summary == r.primary_series.summary
+
+    def test_series_from_repeat(self):
+        rep = RepeatResult(
+            samples=[1.0, 1.1, 0.9],
+            warmup_samples=[1.2],
+            stop_reason=StopReason.MAX_REPS,
+            summary=Summary.from_samples([1.0, 1.1, 0.9]),
+            wall_seconds=4.2,
+        )
+        s = Series.from_repeat("x", "s", rep)
+        assert s.stop_reason == "max_reps"
+        assert s.samples == [1.0, 1.1, 0.9]
+
+    def test_primary_must_exist(self):
+        with pytest.raises(ValueError):
+            _result(primary="nope")
+
+    def test_bench_filename(self):
+        assert bench_filename("executor") == "BENCH_executor.json"
+
+    def test_v1_record_rejected_with_hint(self):
+        problems = validate_bench_result(
+            {"schema_version": 1, "benchmark": "executor_throughput"}
+        )
+        assert len(problems) == 1
+        assert "regenerated" in problems[0]
+
+    def test_not_an_object(self):
+        assert validate_bench_result([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "mutate,needle",
+        [
+            (lambda d: d.update(kind="other"), "kind"),
+            (lambda d: d.update(benchmark=""), "benchmark"),
+            (lambda d: d.update(series={}), "series"),
+            (lambda d: d.update(primary="ghost"), "primary"),
+            (lambda d: d.pop("environment"), "environment"),
+            (lambda d: d.pop("repeat_config"), "repeat_config"),
+            (lambda d: d.pop("metrics"), "metrics"),
+        ],
+    )
+    def test_structural_problems(self, mutate, needle):
+        d = _result().to_dict()
+        mutate(d)
+        problems = validate_bench_result(d)
+        assert any(needle in p for p in problems), problems
+
+    def test_nonpositive_samples_flagged(self):
+        d = _result().to_dict()
+        d["series"]["work"]["samples"][0] = -1.0
+        assert any("nonpositive" in p for p in validate_bench_result(d))
+
+    def test_bad_stop_reason_flagged(self):
+        d = _result().to_dict()
+        d["series"]["work"]["stop_reason"] = "gave_up"
+        assert any("stop_reason" in p for p in validate_bench_result(d))
+
+    def test_summary_n_mismatch_flagged(self):
+        d = _result().to_dict()
+        d["series"]["work"]["summary"]["n"] = 99
+        assert any("summary.n" in p for p in validate_bench_result(d))
+
+    def test_missing_env_key_flagged(self):
+        d = _result().to_dict()
+        del d["environment"]["numpy_version"]
+        assert any(
+            "numpy_version" in p for p in validate_bench_result(d)
+        )
+
+    def test_env_fingerprint_complete(self):
+        env = environment_fingerprint()
+        for key in ENV_KEYS:
+            assert key in env
+        assert env["code_sha"]  # reused from the serve-tier CacheKey
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = os.path.join(str(tmp_path), "BENCH_selftest.json")
+        r = _result()
+        write_result(r, path)
+        with open(path) as f:
+            on_disk = json.load(f)
+        assert on_disk["schema_version"] == SCHEMA_VERSION
+        back = load_result(path)
+        assert back.primary_series.samples == r.primary_series.samples
+
+    def test_write_refuses_invalid(self, tmp_path):
+        r = _result()
+        r.environment = {}  # strip the fingerprint
+        with pytest.raises(ValueError):
+            write_result(r, os.path.join(str(tmp_path), "bad.json"))
+
+    def test_load_rejects_invalid(self, tmp_path):
+        # A structurally-loadable record with a stale schema version.
+        d = _result().to_dict()
+        d["schema_version"] = 1
+        path = os.path.join(str(tmp_path), "BENCH_x.json")
+        with open(path, "w") as f:
+            json.dump(d, f)
+        with pytest.raises(ValueError):
+            load_result(path)
+        # validate=False loads anyway (for migration tooling)
+        assert load_result(path, validate=False).schema_version == 1
+
+
+class TestCompareResults:
+    def test_aa_unchanged(self):
+        base = _result()
+        cand = _result()
+        rc = compare_results(base, cand, noise_margin=0.10)
+        assert rc.verdict is Verdict.UNCHANGED
+        assert not rc.downgraded
+        assert gate_exit_code([rc]) == 0
+
+    def test_synthetic_slowdown_regresses(self):
+        base = _result()
+        slow = _result(
+            samples=[x * 1.5 for x in (1.0, 1.1, 0.9, 1.05, 0.95)]
+        )
+        rc = compare_results(base, slow, noise_margin=0.05)
+        assert rc.verdict is Verdict.REGRESSED
+        assert gate_exit_code([rc]) == 1
+
+    def test_speedup_improves(self):
+        base = _result()
+        fast = _result(
+            samples=[x / 2 for x in (1.0, 1.1, 0.9, 1.05, 0.95)]
+        )
+        rc = compare_results(base, fast, noise_margin=0.05)
+        assert rc.verdict is Verdict.IMPROVED
+        assert gate_exit_code([rc]) == 0
+
+    def test_env_drift_downgrades_significant_verdict(self):
+        base = _result()
+        slow = _result(
+            samples=[x * 1.5 for x in (1.0, 1.1, 0.9, 1.05, 0.95)]
+        )
+        slow.environment = dict(slow.environment)
+        slow.environment["node"] = "another-box"
+        rc = compare_results(base, slow, noise_margin=0.05)
+        assert rc.verdict is Verdict.INCONCLUSIVE
+        assert rc.downgraded
+        assert "node" in rc.env_drift
+        assert gate_exit_code([rc]) == 0  # incomparable, not failing
+
+    def test_ignore_env_keeps_verdict(self):
+        base = _result()
+        slow = _result(
+            samples=[x * 1.5 for x in (1.0, 1.1, 0.9, 1.05, 0.95)]
+        )
+        slow.environment = dict(slow.environment)
+        slow.environment["node"] = "another-box"
+        rc = compare_results(
+            base, slow, noise_margin=0.05, ignore_env=True
+        )
+        assert rc.verdict is Verdict.REGRESSED
+
+    def test_code_sha_drift_does_not_downgrade(self):
+        # Code drift is the point of the comparison.
+        base = _result()
+        slow = _result(
+            samples=[x * 1.5 for x in (1.0, 1.1, 0.9, 1.05, 0.95)]
+        )
+        slow.environment = dict(slow.environment)
+        slow.environment["code_sha"] = "deadbeef"
+        slow.environment["git_rev"] = "cafebabe"
+        rc = compare_results(base, slow, noise_margin=0.05)
+        assert rc.verdict is Verdict.REGRESSED
+        assert rc.env_drift == {}
+
+    def test_unchanged_never_downgraded_by_drift(self):
+        base = _result()
+        cand = _result()
+        cand.environment = dict(cand.environment)
+        cand.environment["node"] = "elsewhere"
+        rc = compare_results(base, cand, noise_margin=0.10)
+        assert rc.verdict is Verdict.UNCHANGED
+        assert not rc.downgraded
+
+    def test_secondary_series_compared_but_not_gating(self):
+        samples = (1.0, 1.1, 0.9, 1.05, 0.95)
+        base = _result(
+            series={
+                "work": _series(list(samples)),
+                "aux": _series(list(samples), name="aux"),
+            }
+        )
+        cand = _result(
+            series={
+                "work": _series(list(samples)),
+                # the *secondary* series regresses badly
+                "aux": _series([x * 5 for x in samples], name="aux"),
+            }
+        )
+        rc = compare_results(base, cand, noise_margin=0.05)
+        assert rc.verdict is Verdict.UNCHANGED  # primary gates
+        aux = next(sc for sc in rc.series if sc.series == "aux")
+        assert aux.comparison.verdict is Verdict.REGRESSED
+        assert gate_exit_code([rc]) == 0
+
+    def test_different_benchmarks_rejected(self):
+        with pytest.raises(ValueError):
+            compare_results(_result(), _result(benchmark="other"))
+
+    def test_primary_missing_from_baseline_rejected(self):
+        base = _result()
+        cand = _result(
+            primary="other",
+            series={"other": _series([1.0, 1.1, 0.9], name="other")},
+        )
+        with pytest.raises(ValueError):
+            compare_results(base, cand)
+
+    def test_to_dict_and_render(self):
+        rc = compare_results(_result(), _result())
+        d = rc.to_dict()
+        assert d["kind"] == "bench_comparison"
+        assert d["verdict"] == "unchanged"
+        text = render_comparison(rc)
+        assert "selftest" in text and "UNCHANGED" in text
+
+    def test_gate_exit_code_mixed(self):
+        base = _result()
+        slow = _result(
+            samples=[x * 1.5 for x in (1.0, 1.1, 0.9, 1.05, 0.95)]
+        )
+        ok = compare_results(base, _result(), noise_margin=0.10)
+        bad = compare_results(base, slow, noise_margin=0.05)
+        assert gate_exit_code([ok]) == 0
+        assert gate_exit_code([ok, bad]) == 1

@@ -1,0 +1,226 @@
+"""Unit tests for the perf statistics layer (repro.perf.stats)."""
+
+import math
+
+import pytest
+
+from repro.perf.stats import (
+    Comparison,
+    Summary,
+    Verdict,
+    compare,
+    mad,
+    median,
+    t_quantile,
+    t_sf,
+    trimmed_mean,
+)
+
+
+class TestEstimators:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad(self):
+        # median 3, deviations [2, 1, 0, 1, 2] -> mad 1
+        assert mad([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+    def test_mad_robust_to_outlier(self):
+        clean = mad([1.0, 2.0, 3.0, 4.0, 5.0])
+        dirty = mad([1.0, 2.0, 3.0, 4.0, 500.0])
+        assert dirty == clean  # one outlier cannot move the MAD
+
+    def test_trimmed_mean_drops_tails(self):
+        xs = [1.0] * 8 + [100.0, -100.0]
+        assert trimmed_mean(xs, trim=0.1) == 1.0
+
+    def test_trimmed_mean_bad_trim(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0, 2.0], trim=0.5)
+
+
+class TestTDistribution:
+    def test_t_quantile_matches_tables(self):
+        # Standard two-sided 95% critical values.
+        for df, expected in ((5, 2.571), (10, 2.228), (30, 2.042)):
+            assert t_quantile(df, 0.95) == pytest.approx(
+                expected, abs=5e-3
+            )
+
+    def test_t_quantile_normal_limit(self):
+        assert t_quantile(1e9, 0.95) == pytest.approx(1.95996, abs=1e-4)
+
+    def test_t_sf_symmetry_and_tables(self):
+        assert t_sf(0.0, 7) == pytest.approx(0.5, abs=1e-9)
+        assert t_sf(2.571, 5) == pytest.approx(0.025, abs=1e-3)
+        assert t_sf(-2.571, 5) == pytest.approx(0.975, abs=1e-3)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            t_quantile(0)
+        with pytest.raises(ValueError):
+            t_sf(1.0, -1)
+
+
+class TestSummary:
+    def test_from_samples_fields(self):
+        s = Summary.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.median == 3.0
+        assert s.mean == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.ci_lo <= s.median <= s.ci_hi
+
+    def test_zero_variance_point_ci(self):
+        s = Summary.from_samples([2.0] * 6)
+        assert s.ci_lo == s.ci_hi == 2.0
+        assert s.rel_ci_half_width == 0.0
+
+    def test_single_sample_point_ci(self):
+        s = Summary.from_samples([1.5])
+        assert s.ci_lo == s.ci_hi == 1.5
+
+    def test_t_method(self):
+        s = Summary.from_samples(
+            [1.0, 1.1, 0.9, 1.05, 0.95], method="t"
+        )
+        assert s.method == "t"
+        assert s.ci_lo < s.mean < s.ci_hi
+
+    def test_bootstrap_deterministic(self):
+        xs = [1.0, 1.2, 0.9, 1.1, 1.05, 0.98]
+        a = Summary.from_samples(xs)
+        b = Summary.from_samples(list(reversed(xs)))  # order-free seed
+        assert (a.ci_lo, a.ci_hi) == (b.ci_lo, b.ci_hi)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary.from_samples([])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            Summary.from_samples([1.0], confidence=1.0)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError):
+            Summary.from_samples([1.0, 2.0], method="magic")
+
+    def test_rel_ci_half_width_nonpositive_center(self):
+        s = Summary.from_samples([-1.0, -2.0, -3.0])
+        assert math.isinf(s.rel_ci_half_width)
+
+    def test_dict_roundtrip(self):
+        s = Summary.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert Summary.from_dict(s.to_dict()) == s
+
+
+class TestCompare:
+    def test_identical_samples_unchanged(self):
+        xs = [1.0, 1.1, 0.9, 1.05, 0.95]
+        c = compare(xs, list(xs))
+        assert c.verdict is Verdict.UNCHANGED
+        assert c.ratio == pytest.approx(1.0)
+
+    def test_clear_regression(self):
+        base = [1.0, 1.01, 0.99, 1.0, 1.005] * 2
+        slow = [x * 1.5 for x in base]
+        c = compare(base, slow, noise_margin=0.05)
+        assert c.verdict is Verdict.REGRESSED
+        assert c.log_ratio_lo > math.log1p(0.05)
+
+    def test_clear_improvement(self):
+        base = [1.0, 1.01, 0.99, 1.0, 1.005] * 2
+        fast = [x / 1.5 for x in base]
+        c = compare(base, fast, noise_margin=0.05)
+        assert c.verdict is Verdict.IMPROVED
+
+    def test_within_margin_unchanged(self):
+        base = [1.0, 1.002, 0.998, 1.001, 0.999] * 3
+        near = [x * 1.01 for x in base]
+        c = compare(base, near, noise_margin=0.10)
+        assert c.verdict is Verdict.UNCHANGED
+
+    def test_wide_spread_inconclusive(self):
+        # Few, widely-spread samples straddling the margin.
+        base = [1.0, 2.0, 0.5, 1.5, 0.8]
+        cand = [1.1, 2.3, 0.6, 1.4, 0.9]
+        c = compare(base, cand, noise_margin=0.01)
+        assert c.verdict is Verdict.INCONCLUSIVE
+
+    def test_swap_mirrors_bootstrap(self):
+        base = [1.0, 1.05, 0.97, 1.02, 0.99, 1.01]
+        slow = [x * 1.4 for x in base]
+        ab = compare(base, slow, noise_margin=0.05)
+        ba = compare(slow, base, noise_margin=0.05)
+        assert ba.verdict is ab.verdict.mirrored
+        assert ba.log_ratio_lo == pytest.approx(-ab.log_ratio_hi)
+        assert ba.log_ratio_hi == pytest.approx(-ab.log_ratio_lo)
+
+    def test_welch_method(self):
+        base = [1.0, 1.02, 0.98, 1.01, 0.99] * 2
+        slow = [x * 1.5 for x in base]
+        c = compare(base, slow, noise_margin=0.05, method="welch")
+        assert c.verdict is Verdict.REGRESSED
+        assert c.p_value is not None and c.p_value < 0.01
+        assert c.t_stat is not None and c.t_stat > 0
+        assert c.df is not None and c.df >= 1
+
+    def test_welch_swap_mirrors(self):
+        base = [1.0, 1.03, 0.96, 1.02, 0.99, 1.01]
+        slow = [x * 1.3 for x in base]
+        ab = compare(base, slow, method="welch")
+        ba = compare(slow, base, method="welch")
+        assert ba.verdict is ab.verdict.mirrored
+        assert ba.log_ratio_lo == pytest.approx(-ab.log_ratio_hi)
+        assert ba.p_value == pytest.approx(ab.p_value)
+
+    def test_welch_degenerate_zero_variance(self):
+        c = compare([1.0] * 5, [2.0] * 5, method="welch")
+        assert c.verdict is Verdict.REGRESSED
+        assert c.p_value == 0.0
+
+    def test_welch_degenerate_identical(self):
+        c = compare([1.0] * 5, [1.0] * 5, method="welch")
+        assert c.verdict is Verdict.UNCHANGED
+        assert c.p_value == 1.0
+
+    def test_zero_variance_bootstrap_point(self):
+        c = compare([2.0] * 4, [2.0] * 4)
+        assert c.verdict is Verdict.UNCHANGED
+        assert c.log_ratio_lo == c.log_ratio_hi == 0.0
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            compare([], [1.0])
+        with pytest.raises(ValueError):
+            compare([1.0], [])
+        with pytest.raises(ValueError):
+            compare([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            compare([1.0], [1.0], noise_margin=-0.1)
+        with pytest.raises(ValueError):
+            compare([1.0], [1.0], method="magic")
+
+    def test_to_dict(self):
+        c = compare([1.0, 1.1, 0.9], [1.0, 1.1, 0.9])
+        d = c.to_dict()
+        assert d["verdict"] == "unchanged"
+        assert d["method"] == "bootstrap"
+        assert d["n_baseline"] == d["n_candidate"] == 3
+
+    def test_verdict_mirrored(self):
+        assert Verdict.IMPROVED.mirrored is Verdict.REGRESSED
+        assert Verdict.REGRESSED.mirrored is Verdict.IMPROVED
+        assert Verdict.UNCHANGED.mirrored is Verdict.UNCHANGED
+        assert Verdict.INCONCLUSIVE.mirrored is Verdict.INCONCLUSIVE
+
+    def test_comparison_is_frozen(self):
+        c = compare([1.0, 1.1], [1.0, 1.1])
+        assert isinstance(c, Comparison)
+        with pytest.raises(AttributeError):
+            c.verdict = Verdict.REGRESSED
